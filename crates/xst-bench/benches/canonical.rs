@@ -1,0 +1,34 @@
+//! E5 — canonical-form costs: canonicalization, O(1) clone, binary-search
+//! membership, merge union.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_core::ops::union;
+use xst_core::Value;
+
+fn bench_canonical(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let s = data::scoped_set(n);
+        let other = data::scoped_set(n / 2 + 1);
+        let probe_e = Value::Int((n / 2) as i64);
+        let probe_s = Value::Int(3);
+
+        let mut g = c.benchmark_group("e5_canonical");
+        g.bench_with_input(BenchmarkId::new("canonicalize", n), &n, |b, _| {
+            b.iter(|| data::scoped_set(n))
+        });
+        g.bench_with_input(BenchmarkId::new("clone", n), &n, |b, _| {
+            b.iter(|| s.clone())
+        });
+        g.bench_with_input(BenchmarkId::new("membership", n), &n, |b, _| {
+            b.iter(|| s.contains(&probe_e, &probe_s))
+        });
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
+            b.iter(|| union(&s, &other))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_canonical);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E2 — composition fusion: naive staged pipeline vs the Theorem-11.2
+//! fused plan (fusion time excluded: it amortizes across batches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_core::Scope;
+use xst_query::{eval, Bindings, Expr, Optimizer};
+
+fn bench_composition(c: &mut Criterion) {
+    let n = 10_000;
+    for &stages in &[2usize, 4, 8] {
+        let mut expr = Expr::table("x");
+        for s in 0..stages {
+            expr = Expr::lit(data::stage_relation(n, s)).image(expr, Scope::pairs());
+        }
+        let (fused, _) = Optimizer::new().optimize(&expr);
+        let mut env = Bindings::new();
+        env.insert("x".into(), data::stage_inputs(n, 64));
+
+        let mut g = c.benchmark_group("e2_pipeline");
+        g.bench_with_input(BenchmarkId::new("naive", stages), &stages, |b, _| {
+            b.iter(|| eval(&expr, &env).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("fused", stages), &stages, |b, _| {
+            b.iter(|| eval(&fused, &env).unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 — image: fused one-pass vs the paper-literal two-pass
+//! restriction-then-domain pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_core::ops::{image, image_two_pass, Scope};
+use xst_core::{ExtendedSet, Value};
+
+fn bench_image(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let r = data::pair_relation(n, (n as i64).max(2));
+        let a = ExtendedSet::classical(
+            (0..(n / 8).max(1)).map(|i| Value::Set(ExtendedSet::tuple([Value::Int(i as i64)]))),
+        );
+        let scope = Scope::pairs();
+        let mut g = c.benchmark_group("e4_image");
+        g.sample_size(20);
+        g.bench_with_input(BenchmarkId::new("two_pass", n), &n, |b, _| {
+            b.iter(|| image_two_pass(&r, &a, &scope))
+        });
+        g.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| image(&r, &a, &scope))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_image);
+criterion_main!(benches);

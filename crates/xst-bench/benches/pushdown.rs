@@ -1,0 +1,58 @@
+//! E3 — restriction pushdown: full scan vs index-driven page access.
+//! Criterion measures wall clock; the page-transfer story is in `report e3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_core::Value;
+use xst_storage::{BufferPool, Index, Storage};
+
+fn bench_pushdown(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let storage = Storage::new();
+        let parts = data::parts_table(&storage, n, 16);
+        let pool = BufferPool::new(storage, 8);
+        let index = Index::build(&parts.file, &pool, 0).unwrap();
+        let key = Value::Int((n / 2) as i64);
+
+        let mut g = c.benchmark_group("e3_point_lookup");
+        g.sample_size(20);
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                pool.clear();
+                let mut hits = 0u32;
+                parts
+                    .file
+                    .scan(&pool, |_, r| {
+                        if r.get(0) == Some(&key) {
+                            hits += 1;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                hits
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
+            b.iter(|| {
+                pool.clear();
+                let rids = index.lookup(&key);
+                let pages = Index::pages_of(&rids);
+                let mut hits = 0u32;
+                parts
+                    .file
+                    .scan_pages(&pool, &pages, |_, r| {
+                        if r.get(0) == Some(&key) {
+                            hits += 1;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                hits
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E6 — dynamic restructuring: record rewrite vs identity re-scope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_storage::{
+    restructure_records, restructure_set, BufferPool, Restructuring, SetEngine, Storage,
+};
+
+fn bench_restructure(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000] {
+        let storage = Storage::new();
+        let parts = data::parts_table(&storage, n, 16);
+        let pool = BufferPool::new(storage.clone(), 64);
+        let spec = Restructuring::new(
+            &parts.schema,
+            [("color", "color"), ("qty", "qty"), ("id", "id")],
+        )
+        .unwrap();
+        let engine = SetEngine::load(&parts, &pool).unwrap();
+
+        let mut g = c.benchmark_group("e6_restructure");
+        g.sample_size(20);
+        g.bench_with_input(BenchmarkId::new("record_rewrite", n), &n, |b, _| {
+            b.iter(|| restructure_records(&parts, &pool, &storage, &spec).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("set_rescope", n), &n, |b, _| {
+            b.iter(|| restructure_set(engine.identity(), &spec))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_restructure);
+criterion_main!(benches);

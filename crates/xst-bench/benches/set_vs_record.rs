@@ -1,0 +1,51 @@
+//! E1 — set processing vs record processing: select / project / join
+//! across cardinalities, both engines over identical stored pages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_core::Value;
+use xst_storage::{BufferPool, RecordEngine, SetEngine, Storage};
+
+fn bench_engines(c: &mut Criterion) {
+    for &n in &[100usize, 1_000, 10_000] {
+        let storage = Storage::new();
+        let parts = data::parts_table(&storage, n, 16);
+        let supplies = data::supplies_table(&storage, n, n.max(1));
+        let pool = BufferPool::new(storage, 64);
+        let rec = RecordEngine::new(&pool);
+        let set_parts = SetEngine::load(&parts, &pool).unwrap();
+        let set_supplies = SetEngine::load(&supplies, &pool).unwrap();
+        let color = Value::Int(7);
+
+        let mut g = c.benchmark_group("e1_select");
+        g.bench_with_input(BenchmarkId::new("record", n), &n, |b, _| {
+            b.iter(|| rec.select(&parts, "color", &color).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("set", n), &n, |b, _| {
+            b.iter(|| set_parts.select("color", &color).unwrap())
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("e1_project");
+        g.bench_with_input(BenchmarkId::new("record", n), &n, |b, _| {
+            b.iter(|| rec.project(&parts, &["color"]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("set", n), &n, |b, _| {
+            b.iter(|| set_parts.project(&["color"]).unwrap())
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("e1_join");
+        g.sample_size(20);
+        g.bench_with_input(BenchmarkId::new("record", n), &n, |b, _| {
+            b.iter(|| rec.join(&supplies, &parts, "pid", "id").unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("set", n), &n, |b, _| {
+            b.iter(|| set_supplies.join(&set_parts, "pid", "id").unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

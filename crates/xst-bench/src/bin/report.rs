@@ -1,0 +1,62 @@
+//! Regenerate every experiment table. Usage:
+//!
+//! ```text
+//! report            # all experiments, default sizes
+//! report e1 e3      # selected experiments
+//! report --quick    # smaller sizes (CI-friendly)
+//! ```
+
+use xst_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    let e1_sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000, 50_000] };
+    let e3_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    let e4_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    let e5_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000, 500_000] };
+    let e6_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000, 50_000] };
+    let e2_stages: &[usize] = &[2, 3, 5, 8];
+
+    println!("xst experiment report (seed {:#x})", xst_bench::data::SEED);
+    if want("f") {
+        print!("{}", exp::f_formal_artifacts());
+    }
+    if want("e1") {
+        print!("{}", exp::e1_set_vs_record(e1_sizes));
+    }
+    if want("e2") {
+        print!("{}", exp::e2_composition(e2_stages, if quick { 1_000 } else { 10_000 }, 64));
+    }
+    if want("e3") {
+        print!("{}", exp::e3_pushdown(e3_sizes));
+    }
+    if want("e4") {
+        print!("{}", exp::e4_image_fusion(e4_sizes));
+    }
+    if want("e5") {
+        print!("{}", exp::e5_canonical(e5_sizes));
+    }
+    if want("e6") {
+        print!("{}", exp::e6_restructure(e6_sizes));
+    }
+    if want("e7") {
+        let e7_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+        print!("{}", exp::e7_witness_ablation(e7_sizes));
+    }
+    if want("e8") {
+        let e8_sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+        print!("{}", exp::e8_parallel_load(e8_sizes, &[1, 2, 4, 8]));
+    }
+    if want("e9") {
+        let e9_sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+        print!("{}", exp::e9_column_store(e9_sizes));
+    }
+}

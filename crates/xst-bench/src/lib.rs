@@ -1,0 +1,16 @@
+//! # xst-bench — experiment harness for the XST reproduction
+//!
+//! * [`data`] — deterministic workload generators (fixed seed);
+//! * [`experiments`] — the E1–E6 measured experiments plus the F-class
+//!   formal-artifact summary, as printable tables;
+//! * [`table`] — report rendering.
+//!
+//! `cargo run -p xst-bench --bin report` regenerates every table in
+//! EXPERIMENTS.md; `cargo bench -p xst-bench` runs the Criterion versions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,83 @@
+//! Minimal fixed-width ASCII table rendering for the experiment report.
+
+/// Accumulates rows and renders an aligned table with a caption.
+pub struct TableBuilder {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> TableBuilder {
+        TableBuilder {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render the table with a trailing note.
+    pub fn finish(self, note: &str) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        if !note.is_empty() {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableBuilder::new("demo", &["a", "long-header"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["longer-cell".into(), "2".into()]);
+        let s = t.finish("a note");
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: a note"));
+        // Alignment: each data line has the same column start for col 2.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('1') || l.contains('2')).collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TableBuilder::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Classical set theory (CST) compatibility layer (§3, Theorem 9.10).
+//!
+//! The paper grounds XST by showing the classical relation algebra is the
+//! special case where relations are classically-scoped sets of ordered
+//! pairs. This module provides that view:
+//!
+//! * [`CstRelation`] — a set of pairs `⟨x, y⟩` with classical membership;
+//! * the classical operators of Definitions 3.1–3.6: image, restriction,
+//!   1-domain, 2-domain;
+//! * [`CstFunction`] — Definition 3.2's element-to-element function object;
+//! * the Theorem 9.10 embedding: every CST function is represented by an
+//!   XST behavior with `σ = ⟨⟨1⟩, ⟨2⟩⟩`, via `f(x) = 𝒱(f_(σ)({⟨x⟩}))`.
+
+use crate::error::{XstError, XstResult};
+use crate::ops::image::Scope;
+use crate::process::Process;
+use crate::set::{ExtendedSet, SetBuilder};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// A classical binary relation: a classically-scoped set of ordered pairs
+/// `⟨x, y⟩ = {x^1, y^2}` (Definition 7.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CstRelation {
+    pairs: BTreeSet<(Value, Value)>,
+}
+
+impl CstRelation {
+    /// The empty relation.
+    pub fn empty() -> CstRelation {
+        CstRelation {
+            pairs: BTreeSet::new(),
+        }
+    }
+
+    /// Build from `(x, y)` pairs.
+    pub fn from_pairs<A: Into<Value>, B: Into<Value>>(
+        pairs: impl IntoIterator<Item = (A, B)>,
+    ) -> CstRelation {
+        CstRelation {
+            pairs: pairs
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+        }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate the pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Value, Value)> + '_ {
+        self.pairs.iter()
+    }
+
+    /// Pair membership `⟨x,y⟩ ∈ R`.
+    pub fn contains(&self, x: &Value, y: &Value) -> bool {
+        self.pairs.contains(&(x.clone(), y.clone()))
+    }
+
+    /// CST Image (Definition 3.1):
+    /// `R[A] = { y : ∃x (x ∈ A ∧ ⟨x,y⟩ ∈ R) }`.
+    pub fn cst_image(&self, a: &BTreeSet<Value>) -> BTreeSet<Value> {
+        self.pairs
+            .iter()
+            .filter(|(x, _)| a.contains(x))
+            .map(|(_, y)| y.clone())
+            .collect()
+    }
+
+    /// CST Restriction (Definition 3.3):
+    /// `R | A = { ⟨x,y⟩ : ⟨x,y⟩ ∈ R ∧ x ∈ A }`.
+    pub fn cst_restrict(&self, a: &BTreeSet<Value>) -> CstRelation {
+        CstRelation {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(x, _)| a.contains(x))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// CST 1-Domain (Definition 3.4): all first components.
+    pub fn domain1(&self) -> BTreeSet<Value> {
+        self.pairs.iter().map(|(x, _)| x.clone()).collect()
+    }
+
+    /// CST 2-Domain (Definition 3.5): all second components.
+    pub fn domain2(&self) -> BTreeSet<Value> {
+        self.pairs.iter().map(|(_, y)| y.clone()).collect()
+    }
+
+    /// CST relative product `R / S = { ⟨x,z⟩ : ∃y (⟨x,y⟩ ∈ R ∧ ⟨y,z⟩ ∈ S) }`
+    /// (the "bland" §10 warm-up example).
+    pub fn cst_relative_product(&self, other: &CstRelation) -> CstRelation {
+        let mut by_first: BTreeMap<&Value, Vec<&Value>> = BTreeMap::new();
+        for (y, z) in other.pairs.iter() {
+            by_first.entry(y).or_default().push(z);
+        }
+        let mut pairs = BTreeSet::new();
+        for (x, y) in self.pairs.iter() {
+            if let Some(zs) = by_first.get(y) {
+                for z in zs {
+                    pairs.insert((x.clone(), (*z).clone()));
+                }
+            }
+        }
+        CstRelation { pairs }
+    }
+
+    /// Is the relation single-valued (no first component with two distinct
+    /// second components)?
+    pub fn is_single_valued(&self) -> bool {
+        let mut last: Option<&Value> = None;
+        for (x, _) in self.pairs.iter() {
+            if last == Some(x) {
+                return false; // BTreeSet orders equal firsts adjacently
+            }
+            last = Some(x);
+        }
+        true
+    }
+
+    /// View the relation as an extended set of classical pairs.
+    pub fn to_extended(&self) -> ExtendedSet {
+        let mut b = SetBuilder::with_capacity(self.pairs.len());
+        for (x, y) in self.pairs.iter() {
+            b.classical_elem(Value::Set(ExtendedSet::pair(x.clone(), y.clone())));
+        }
+        b.build()
+    }
+
+    /// Recover a relation from an extended set of classically-scoped pairs.
+    /// Non-pair or non-classical members are rejected.
+    pub fn from_extended(set: &ExtendedSet) -> XstResult<CstRelation> {
+        let mut pairs = BTreeSet::new();
+        for (elem, scope) in set.iter() {
+            if !scope.is_empty_set() {
+                return Err(XstError::NotATuple {
+                    value: format!("{elem}^{scope} (non-classical scope)"),
+                });
+            }
+            let components = elem
+                .as_set()
+                .and_then(ExtendedSet::as_tuple)
+                .ok_or_else(|| XstError::NotATuple {
+                    value: format!("{elem}"),
+                })?;
+            let [x, y] = components.as_slice() else {
+                return Err(XstError::NotATuple {
+                    value: format!("{elem} (arity ≠ 2)"),
+                });
+            };
+            pairs.insert((x.clone(), y.clone()));
+        }
+        Ok(CstRelation { pairs })
+    }
+
+    /// The XST behavior representing this relation (Theorem 9.10 direction:
+    /// relation → process with `σ = ⟨⟨1⟩,⟨2⟩⟩`).
+    pub fn to_process(&self) -> Process {
+        Process::new(self.to_extended(), Scope::pairs())
+    }
+}
+
+/// A CST function object (Definition 3.2): a single-valued relation with
+/// element-to-element application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CstFunction {
+    relation: CstRelation,
+}
+
+impl CstFunction {
+    /// Build from a relation, verifying single-valuedness.
+    pub fn new(relation: CstRelation) -> XstResult<CstFunction> {
+        if !relation.is_single_valued() {
+            // Find the offending input for the error message.
+            let mut last: Option<&Value> = None;
+            for (x, _) in relation.pairs.iter() {
+                if last == Some(x) {
+                    return Err(XstError::NotAFunction {
+                        input: format!("{x}"),
+                        image_len: relation
+                            .pairs
+                            .iter()
+                            .filter(|(a, _)| a == x)
+                            .count(),
+                    });
+                }
+                last = Some(x);
+            }
+            unreachable!("is_single_valued and the scan disagree");
+        }
+        Ok(CstFunction { relation })
+    }
+
+    /// Build directly from pairs.
+    pub fn from_pairs<A: Into<Value>, B: Into<Value>>(
+        pairs: impl IntoIterator<Item = (A, B)>,
+    ) -> XstResult<CstFunction> {
+        CstFunction::new(CstRelation::from_pairs(pairs))
+    }
+
+    /// Classical application `f(x) = b ⟺ f[{x}] = {b}` (Definition 3.2).
+    pub fn apply(&self, x: &Value) -> Option<Value> {
+        self.relation
+            .pairs
+            .iter()
+            .find(|(a, _)| a == x)
+            .map(|(_, b)| b.clone())
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &CstRelation {
+        &self.relation
+    }
+
+    /// The Theorem 9.10 embedding as an XST behavior.
+    pub fn to_process(&self) -> Process {
+        self.relation.to_process()
+    }
+
+    /// Verify Theorem 9.10 on this function: for every `x` in the domain,
+    /// `f(x) = 𝒱(f_(σ)({⟨x⟩}))`.
+    pub fn embedding_agrees(&self) -> bool {
+        let p = self.to_process();
+        self.relation.domain1().iter().all(|x| {
+            let classical = self.apply(x);
+            let behavioral = p.apply_value(x).ok();
+            classical == behavioral
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::sym;
+
+    fn rel() -> CstRelation {
+        CstRelation::from_pairs([("a", "x"), ("b", "y"), ("c", "x")])
+    }
+
+    #[test]
+    fn cst_image_definition_3_1() {
+        let r = rel();
+        let a: BTreeSet<Value> = [sym("a"), sym("c")].into_iter().collect();
+        let img = r.cst_image(&a);
+        assert_eq!(img, [sym("x")].into_iter().collect());
+    }
+
+    #[test]
+    fn image_equals_domain2_of_restriction() {
+        // Definition 3.6: R[A] = 𝔇₂(R|A).
+        let r = rel();
+        let a: BTreeSet<Value> = [sym("a"), sym("b")].into_iter().collect();
+        assert_eq!(r.cst_image(&a), r.cst_restrict(&a).domain2());
+    }
+
+    #[test]
+    fn domains() {
+        let r = rel();
+        assert_eq!(
+            r.domain1(),
+            [sym("a"), sym("b"), sym("c")].into_iter().collect()
+        );
+        assert_eq!(r.domain2(), [sym("x"), sym("y")].into_iter().collect());
+    }
+
+    #[test]
+    fn cst_relative_product_warmup() {
+        // {⟨a,b⟩} / {⟨b,c⟩} = {⟨a,c⟩} — §10's CST example.
+        let r = CstRelation::from_pairs([("a", "b")]);
+        let s = CstRelation::from_pairs([("b", "c")]);
+        assert_eq!(
+            r.cst_relative_product(&s),
+            CstRelation::from_pairs([("a", "c")])
+        );
+    }
+
+    #[test]
+    fn function_rejects_multivalued_relation() {
+        let r = CstRelation::from_pairs([("a", "x"), ("a", "y")]);
+        assert!(!r.is_single_valued());
+        assert!(matches!(
+            CstFunction::new(r),
+            Err(XstError::NotAFunction { image_len: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn function_application() {
+        let f = CstFunction::from_pairs([("a", "x"), ("b", "y")]).unwrap();
+        assert_eq!(f.apply(&sym("a")), Some(sym("x")));
+        assert_eq!(f.apply(&sym("q")), None);
+    }
+
+    #[test]
+    fn extended_roundtrip() {
+        let r = rel();
+        let e = r.to_extended();
+        assert_eq!(CstRelation::from_extended(&e).unwrap(), r);
+    }
+
+    #[test]
+    fn from_extended_rejects_non_pairs() {
+        let bad = ExtendedSet::classical([Value::sym("atom")]);
+        assert!(CstRelation::from_extended(&bad).is_err());
+        let triple =
+            ExtendedSet::classical([Value::Set(ExtendedSet::tuple(["a", "b", "c"]))]);
+        assert!(CstRelation::from_extended(&triple).is_err());
+        let scoped = ExtendedSet::singleton(
+            Value::Set(ExtendedSet::pair("a", "b")),
+            Value::Int(9),
+        );
+        assert!(CstRelation::from_extended(&scoped).is_err());
+    }
+
+    #[test]
+    fn theorem_9_10_embedding() {
+        let f = CstFunction::from_pairs([("a", "x"), ("b", "y"), ("c", "x")]).unwrap();
+        assert!(f.embedding_agrees());
+        assert_eq!(
+            f.to_process().apply_value(&sym("c")).unwrap(),
+            sym("x")
+        );
+    }
+
+    #[test]
+    fn relation_process_roundtrip_behavior() {
+        // The behavior of the embedded process matches the relation's
+        // classical image on every domain element.
+        let r = rel();
+        let p = r.to_process();
+        for x in r.domain1() {
+            let a: BTreeSet<Value> = [x.clone()].into_iter().collect();
+            let classical = r.cst_image(&a);
+            let behavioral: BTreeSet<Value> = p
+                .apply(&ExtendedSet::classical([Value::Set(ExtendedSet::tuple([
+                    x.clone()
+                ]))]))
+                .iter()
+                .filter_map(|(e, _)| {
+                    e.as_set().and_then(ExtendedSet::as_tuple).map(|t| t[0].clone())
+                })
+                .collect();
+            assert_eq!(classical, behavioral);
+        }
+    }
+}

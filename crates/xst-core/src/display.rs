@@ -1,0 +1,134 @@
+//! Textual notation for XST values, matching the paper's conventions:
+//!
+//! * `∅` — the empty set,
+//! * `⟨a, b, c⟩` — n-tuples (Definition 9.1),
+//! * `{a^1, b^{x, y}, c}` — general scoped members; the classical scope
+//!   `^∅` is omitted,
+//! * symbols print bare, strings print quoted, bytes print as `b"…"` hex.
+//!
+//! The notation round-trips through [`crate::parse`].
+
+use crate::set::ExtendedSet;
+use crate::value::Value;
+use std::fmt;
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                // Keep floats distinguishable from ints on re-parse.
+                if x.0.fract() == 0.0 && x.0.is_finite() {
+                    write!(f, "{:.1}", x.0)
+                } else {
+                    write!(f, "{}", x.0)
+                }
+            }
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => {
+                write!(f, "b\"")?;
+                for byte in b.iter() {
+                    write!(f, "{byte:02x}")?;
+                }
+                write!(f, "\"")
+            }
+            Value::Set(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for ExtendedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        if let Some(components) = self.as_tuple() {
+            write!(f, "⟨")?;
+            for (i, c) in components.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            return write!(f, "⟩");
+        }
+        write!(f, "{{")?;
+        for (i, m) in self.members().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", m.element)?;
+            if !m.scope.is_empty_set() {
+                write!(f, "^{}", m.scope)?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for crate::set::Member {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scope.is_empty_set() {
+            write!(f, "{}", self.element)
+        } else {
+            write!(f, "{}^{}", self.element, self.scope)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::set::{ExtendedSet, Member};
+    use crate::value::Value;
+    use crate::{xset, xtuple};
+
+    #[test]
+    fn empty_set_prints_as_empty_symbol() {
+        assert_eq!(ExtendedSet::empty().to_string(), "∅");
+        assert_eq!(Value::empty_set().to_string(), "∅");
+    }
+
+    #[test]
+    fn tuples_print_in_angle_brackets() {
+        assert_eq!(xtuple!["a", "b", "c"].to_string(), "⟨a, b, c⟩");
+        assert_eq!(xtuple![1, 2].to_string(), "⟨1, 2⟩");
+    }
+
+    #[test]
+    fn scoped_members_print_with_caret() {
+        let s = xset!["a" => 1, "b"];
+        // canonical order: a^1 before b
+        assert_eq!(s.to_string(), "{a^1, b}");
+    }
+
+    #[test]
+    fn nested_sets_print_recursively() {
+        let s = xset![xtuple!["a", "b"].into_value() => "t"];
+        assert_eq!(s.to_string(), "{⟨a, b⟩^t}");
+    }
+
+    #[test]
+    fn atoms_print_distinctly() {
+        assert_eq!(Value::sym("abc").to_string(), "abc");
+        assert_eq!(Value::str("abc").to_string(), "\"abc\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::float(2.5).to_string(), "2.5");
+        assert_eq!(Value::float(2.0).to_string(), "2.0");
+        assert_eq!(Value::bytes([0x68u8, 0x69]).to_string(), "b\"6869\"");
+    }
+
+    #[test]
+    fn member_display() {
+        assert_eq!(Member::new("a", 1).to_string(), "a^1");
+        assert_eq!(Member::classical("a").to_string(), "a");
+    }
+
+    #[test]
+    fn scope_sets_print_in_braces() {
+        let s = xset!["a" => xtuple!["A", "Z"].into_value()];
+        assert_eq!(s.to_string(), "{a^⟨A, Z⟩}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the XST core algebra.
+//!
+//! Hand-rolled (no `thiserror`) per the repository's dependency policy. Every
+//! fallible operation in the crate returns [`XstError`]; infallible operations
+//! return plain values.
+
+use std::fmt;
+
+/// Errors produced by the XST operation algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XstError {
+    /// An operand was required to be an n-tuple (Definition 9.1: a set of the
+    /// form `{x1^1, ..., xn^n}`) but was not.
+    NotATuple {
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// A scope-disjoint union (used by the generalized cross product) found
+    /// the same scope on both sides.
+    ScopeCollision {
+        /// Rendering of the colliding scope.
+        scope: String,
+    },
+    /// A process was expected to behave as a function (Definition 8.2) but a
+    /// singleton input produced a non-singleton image.
+    NotAFunction {
+        /// Rendering of the offending singleton input.
+        input: String,
+        /// Number of members in the (non-singleton) image.
+        image_len: usize,
+    },
+    /// σ-Value (Definition 9.8) was requested but the set carries no value at
+    /// that scope, or carries more than one distinct value.
+    NoUniqueValue {
+        /// Number of distinct candidate values found.
+        candidates: usize,
+    },
+    /// Composition (Definition 11.1) was requested for processes whose scope
+    /// specifications cannot be aligned.
+    NotComposable {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The textual notation parser failed.
+    Parse {
+        /// Byte offset in the input where the failure occurred.
+        offset: usize,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for XstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XstError::NotATuple { value } => {
+                write!(f, "operand is not an n-tuple (Def 9.1): {value}")
+            }
+            XstError::ScopeCollision { scope } => {
+                write!(f, "scope collision in scope-disjoint union: {scope}")
+            }
+            XstError::NotAFunction { input, image_len } => write!(
+                f,
+                "process is not a function (Def 8.2): singleton {input} has image of \
+                 cardinality {image_len}"
+            ),
+            XstError::NoUniqueValue { candidates } => write!(
+                f,
+                "σ-Value (Def 9.8) is undefined: {candidates} distinct candidate values"
+            ),
+            XstError::NotComposable { reason } => {
+                write!(f, "processes are not composable (Def 11.1): {reason}")
+            }
+            XstError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XstError {}
+
+/// Convenience result alias used across the crate.
+pub type XstResult<T> = Result<T, XstError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_a_tuple() {
+        let e = XstError::NotATuple {
+            value: "{a^2}".into(),
+        };
+        assert!(e.to_string().contains("n-tuple"));
+        assert!(e.to_string().contains("{a^2}"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = XstError::Parse {
+            offset: 7,
+            message: "expected '}'".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("byte 7"));
+        assert!(s.contains("expected '}'"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        let e = XstError::NoUniqueValue { candidates: 2 };
+        takes_err(&e);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = XstError::ScopeCollision { scope: "1".into() };
+        let b = XstError::ScopeCollision { scope: "1".into() };
+        let c = XstError::ScopeCollision { scope: "2".into() };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

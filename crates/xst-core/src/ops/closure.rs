@@ -1,0 +1,216 @@
+//! Iteration of behaviors: powers, transitive closure, and fixpoints.
+//!
+//! Composition (§11) makes behaviors a monoid, so iterated behavior is
+//! definable: `f⁰ = I`, `fⁿ = f ∘ fⁿ⁻¹`. For pair relations this yields
+//! the classical reachability operators — implemented here directly on the
+//! scoped-set representation with semi-naive evaluation, since the
+//! composed-carrier form (repeated `Process::compose`) re-tags scopes at
+//! every step and is kept only as a cross-check in tests.
+
+use crate::ops::boolean::{difference, union};
+use crate::ops::image::Scope;
+use crate::ops::product::relative_product;
+use crate::set::ExtendedSet;
+use crate::value::Value;
+
+/// The composition-shaped relative-product scopes for classical pair
+/// relations: match `f`'s position 2 against `g`'s position 1, keep `f`'s
+/// position 1 and `g`'s position 2 in place (§10 recipe (1)).
+fn pair_compose_scopes() -> (Scope, Scope) {
+    (
+        Scope::new(
+            ExtendedSet::from_pairs([(Value::Int(1), Value::Int(1))]),
+            ExtendedSet::from_pairs([(Value::Int(2), Value::Int(1))]),
+        ),
+        Scope::new(
+            ExtendedSet::from_pairs([(Value::Int(1), Value::Int(1))]),
+            ExtendedSet::from_pairs([(Value::Int(2), Value::Int(2))]),
+        ),
+    )
+}
+
+/// `r ; s` — relational composition of two classical pair relations:
+/// `{⟨x,z⟩ : ∃y (⟨x,y⟩ ∈ r ∧ ⟨y,z⟩ ∈ s)}`.
+pub fn pair_compose(r: &ExtendedSet, s: &ExtendedSet) -> ExtendedSet {
+    let (sigma, omega) = pair_compose_scopes();
+    relative_product(r, &sigma, s, &omega)
+}
+
+/// `rⁿ` — the n-th relational power of a classical pair relation
+/// (`r¹ = r`; `n = 0` is rejected by debug assertion — the identity
+/// carrier depends on a universe).
+pub fn pair_power(r: &ExtendedSet, n: u32) -> ExtendedSet {
+    debug_assert!(n >= 1, "pair_power needs n >= 1");
+    let mut acc = r.clone();
+    for _ in 1..n {
+        acc = pair_compose(&acc, r);
+    }
+    acc
+}
+
+/// `r⁺` — transitive closure of a classical pair relation, computed
+/// semi-naively: only newly-discovered pairs are re-joined each round.
+pub fn transitive_closure(r: &ExtendedSet) -> ExtendedSet {
+    let mut closure = r.clone();
+    let mut frontier = r.clone();
+    while !frontier.is_empty() {
+        let next = pair_compose(&frontier, r);
+        let new = difference(&next, &closure);
+        if new.is_empty() {
+            break;
+        }
+        closure = union(&closure, &new);
+        frontier = new;
+    }
+    closure
+}
+
+/// `r*` restricted to the elements that occur in `r`: the reflexive
+/// transitive closure over `r`'s own field (1-domain ∪ 2-domain).
+pub fn reflexive_transitive_closure(r: &ExtendedSet) -> ExtendedSet {
+    let mut identity_pairs = Vec::new();
+    for (e, _) in r.iter() {
+        if let Some(t) = e.as_set().and_then(ExtendedSet::as_tuple) {
+            for v in t {
+                identity_pairs.push(Value::Set(ExtendedSet::pair(v.clone(), v)));
+            }
+        }
+    }
+    union(
+        &transitive_closure(r),
+        &ExtendedSet::classical(identity_pairs),
+    )
+}
+
+/// Iterate a *set-to-set* endofunction on sets to its inflationary
+/// fixpoint: `x, x ∪ f(x), x ∪ f(x) ∪ f(f(x)), …`, bounded by `max_rounds`.
+/// Returns `None` if the bound is hit before stabilizing.
+pub fn inflationary_fixpoint(
+    mut apply: impl FnMut(&ExtendedSet) -> ExtendedSet,
+    start: &ExtendedSet,
+    max_rounds: usize,
+) -> Option<ExtendedSet> {
+    let mut current = start.clone();
+    for _ in 0..max_rounds {
+        let next = union(&current, &apply(&current));
+        if next == current {
+            return Some(current);
+        }
+        current = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+    use crate::xset;
+
+    fn chain() -> ExtendedSet {
+        // a → b → c → d
+        xset![
+            ExtendedSet::pair("a", "b").into_value(),
+            ExtendedSet::pair("b", "c").into_value(),
+            ExtendedSet::pair("c", "d").into_value()
+        ]
+    }
+
+    #[test]
+    fn pair_compose_is_relational_composition() {
+        let r = chain();
+        let rr = pair_compose(&r, &r);
+        assert_eq!(
+            rr,
+            xset![
+                ExtendedSet::pair("a", "c").into_value() => Value::empty_set(),
+                ExtendedSet::pair("b", "d").into_value() => Value::empty_set()
+            ]
+        );
+    }
+
+    #[test]
+    fn pair_compose_agrees_with_process_compose() {
+        // Cross-check against the canonical Process composition on
+        // behaviors: both realize g(f(x)).
+        let f = chain();
+        let g = xset![
+            ExtendedSet::pair("b", "Q").into_value(),
+            ExtendedSet::pair("d", "R").into_value()
+        ];
+        let via_pairs = Process::pairs(pair_compose(&f, &g));
+        let via_process =
+            Process::compose(&Process::pairs(g), &Process::pairs(f)).unwrap();
+        assert!(via_pairs.equivalent(&via_process));
+    }
+
+    #[test]
+    fn powers_walk_the_chain() {
+        let r = chain();
+        assert_eq!(pair_power(&r, 1), r);
+        assert_eq!(pair_power(&r, 2).card(), 2); // a→c, b→d
+        assert_eq!(
+            pair_power(&r, 3),
+            xset![ExtendedSet::pair("a", "d").into_value() => Value::empty_set()]
+        );
+        assert!(pair_power(&r, 4).is_empty());
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let r = chain();
+        let tc = transitive_closure(&r);
+        assert_eq!(tc.card(), 6); // ab ac ad bc bd cd
+        assert!(tc.contains_element(&ExtendedSet::pair("a", "d").into_value()));
+        assert!(!tc.contains_element(&ExtendedSet::pair("d", "a").into_value()));
+    }
+
+    #[test]
+    fn transitive_closure_of_a_cycle_terminates() {
+        let r = xset![
+            ExtendedSet::pair("a", "b").into_value(),
+            ExtendedSet::pair("b", "a").into_value()
+        ];
+        let tc = transitive_closure(&r);
+        assert_eq!(tc.card(), 4); // ab ba aa bb
+        assert!(tc.contains_element(&ExtendedSet::pair("a", "a").into_value()));
+    }
+
+    #[test]
+    fn transitive_closure_of_empty_is_empty() {
+        assert!(transitive_closure(&ExtendedSet::empty()).is_empty());
+    }
+
+    #[test]
+    fn reflexive_closure_adds_identities() {
+        let r = xset![ExtendedSet::pair("a", "b").into_value()];
+        let rtc = reflexive_transitive_closure(&r);
+        assert_eq!(rtc.card(), 3); // ab aa bb
+        assert!(rtc.contains_element(&ExtendedSet::pair("a", "a").into_value()));
+        assert!(rtc.contains_element(&ExtendedSet::pair("b", "b").into_value()));
+    }
+
+    #[test]
+    fn fixpoint_reaches_reachability() {
+        // Frontier expansion from {⟨a⟩} along the chain reaches all nodes.
+        let r = Process::pairs(chain());
+        let start = xset![ExtendedSet::tuple(["a"]).into_value()];
+        let all = inflationary_fixpoint(|x| r.apply(x), &start, 10).unwrap();
+        assert_eq!(all.card(), 4); // ⟨a⟩, ⟨b⟩, ⟨c⟩, ⟨d⟩
+    }
+
+    #[test]
+    fn fixpoint_bound_is_respected() {
+        // A generator that never stabilizes within the bound.
+        let mut i = 0i64;
+        let result = inflationary_fixpoint(
+            |_| {
+                i += 1;
+                xset![ExtendedSet::tuple([Value::Int(i)]).into_value()]
+            },
+            &ExtendedSet::empty(),
+            3,
+        );
+        assert!(result.is_none());
+    }
+}

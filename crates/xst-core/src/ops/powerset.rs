@@ -1,0 +1,178 @@
+//! Powerset and the axiom-level operations of extended set theory.
+//!
+//! The axioms of XST (Blass & Childs, the paper's reference \[1\]) assert
+//! closure of the universe under the classical constructions, re-read for
+//! scoped membership. This module provides the constructive ones —
+//! powerset, pairing, union-of-a-set, separation — and the crate's test
+//! suite (plus the repo-level `tests/axioms.rs`) verifies their
+//! characteristic properties on random sets.
+
+use crate::ops::boolean::union;
+use crate::set::{ExtendedSet, SetBuilder};
+use crate::value::Value;
+
+/// Practical guard: `powerset` of a set with more members than this is
+/// refused (2^n members would be produced).
+pub const MAX_POWERSET_INPUT: usize = 20;
+
+/// The classical-scope powerset: every sub-multiset of `a`'s members, each
+/// wrapped as a classically-scoped member of the result.
+///
+/// `a`'s scoped memberships are preserved inside each subset, so the
+/// powerset of `{x^1, x^2}` has 4 members — scoped memberships are
+/// distinct memberships.
+///
+/// # Panics
+///
+/// Panics if `a.card() > MAX_POWERSET_INPUT` (the result would be
+/// astronomically large); callers wanting bounded enumeration should
+/// filter members first.
+pub fn powerset(a: &ExtendedSet) -> ExtendedSet {
+    assert!(
+        a.card() <= MAX_POWERSET_INPUT,
+        "powerset of {} members refused (> {MAX_POWERSET_INPUT})",
+        a.card()
+    );
+    let members = a.members();
+    let n = members.len();
+    let mut out = SetBuilder::with_capacity(1 << n);
+    for mask in 0u32..(1 << n) {
+        let subset = ExtendedSet::from_members(
+            members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, m)| m.clone())
+                .collect(),
+        );
+        out.classical_elem(Value::Set(subset));
+    }
+    out.build()
+}
+
+/// Pairing: `{a, b}` with classical scopes.
+pub fn pairing(a: &Value, b: &Value) -> ExtendedSet {
+    ExtendedSet::classical([a.clone(), b.clone()])
+}
+
+/// Union of a set of sets: `⋃A = { x^s : ∃B,t (B ∈_t A ∧ x ∈_s B) }`.
+/// Atom members of `A` contribute nothing (they have no members).
+pub fn big_union(a: &ExtendedSet) -> ExtendedSet {
+    let mut acc = ExtendedSet::empty();
+    for (e, _) in a.iter() {
+        if let Some(inner) = e.as_set() {
+            acc = union(&acc, inner);
+        }
+    }
+    acc
+}
+
+/// Separation: the members of `a` satisfying `predicate`.
+pub fn separation(
+    a: &ExtendedSet,
+    mut predicate: impl FnMut(&Value, &Value) -> bool,
+) -> ExtendedSet {
+    ExtendedSet::from_members(
+        a.members()
+            .iter()
+            .filter(|m| predicate(&m.element, &m.scope))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Replacement along an element transformation: apply `f` to every member
+/// element, keeping scopes.
+pub fn replacement(
+    a: &ExtendedSet,
+    mut f: impl FnMut(&Value) -> Value,
+) -> ExtendedSet {
+    ExtendedSet::from_members(
+        a.members()
+            .iter()
+            .map(|m| crate::set::Member::new(f(&m.element), m.scope.clone()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xset;
+
+    #[test]
+    fn powerset_cardinality() {
+        assert_eq!(powerset(&ExtendedSet::empty()).card(), 1); // {∅}
+        let a = xset!["a", "b"];
+        let p = powerset(&a);
+        assert_eq!(p.card(), 4);
+        assert!(p.contains_classical(&Value::empty_set()));
+        assert!(p.contains_classical(&a.into_value()));
+    }
+
+    #[test]
+    fn powerset_counts_scoped_memberships() {
+        // {x^1, x^2} has 2 members, so 4 subsets.
+        let a = xset!["x" => 1, "x" => 2];
+        assert_eq!(powerset(&a).card(), 4);
+    }
+
+    #[test]
+    fn every_powerset_member_is_a_subset() {
+        let a = xset!["a" => 1, "b", 3];
+        for (e, _) in powerset(&a).iter() {
+            assert!(e.as_set().unwrap().is_subset(&a));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "powerset of 21 members refused")]
+    fn powerset_guard() {
+        let big = ExtendedSet::classical((0..21).map(Value::Int));
+        let _ = powerset(&big);
+    }
+
+    #[test]
+    fn pairing_axiom() {
+        let p = pairing(&Value::sym("a"), &Value::sym("b"));
+        assert_eq!(p.card(), 2);
+        assert_eq!(pairing(&Value::sym("a"), &Value::sym("a")).card(), 1);
+    }
+
+    #[test]
+    fn big_union_flattens_one_level() {
+        let a = xset![
+            xset!["x" => 1].into_value(),
+            xset!["y" => 2, "x" => 1].into_value(),
+            "atom"
+        ];
+        assert_eq!(big_union(&a), xset!["x" => 1, "y" => 2]);
+        assert!(big_union(&ExtendedSet::empty()).is_empty());
+    }
+
+    #[test]
+    fn separation_filters() {
+        let a = xset![1, 2, 3, 4];
+        let evens = separation(&a, |e, _| matches!(e, Value::Int(i) if i % 2 == 0));
+        assert_eq!(evens, xset![2, 4]);
+        assert!(evens.is_subset(&a));
+    }
+
+    #[test]
+    fn replacement_maps_elements() {
+        let a = xset![1 => "s", 2 => "t"];
+        let doubled = replacement(&a, |e| match e {
+            Value::Int(i) => Value::Int(i * 2),
+            other => other.clone(),
+        });
+        assert_eq!(doubled, xset![2 => "s", 4 => "t"]);
+    }
+
+    #[test]
+    fn replacement_can_merge() {
+        // Non-injective replacement collapses members with equal images.
+        let a = xset![1, 2];
+        let constant = replacement(&a, |_| Value::sym("k"));
+        assert_eq!(constant.card(), 1);
+    }
+}

@@ -1,0 +1,467 @@
+//! Tuples-as-operands machinery (§9) and the Relative Product (§10).
+//!
+//! * Tuple concatenation (Definition 9.2) shifts the right operand's
+//!   positions past the left operand's arity.
+//! * The XST cross product `⊗` (Definition 9.3) concatenates member pairs
+//!   *and their scopes*.
+//! * `Tag` (Definitions 9.5/9.6) wraps each element in a singleton scoped by
+//!   a label — the device by which the CST Cartesian product `×`
+//!   (Definition 9.7) is recovered: `A × B = A^(1) ⊗ B^(2)`.
+//! * The Relative Product (Definition 10.1) is the join primitive: members
+//!   of `F` and `G` whose σ2-/ω1-projections agree are merged from their
+//!   σ1-/ω2-projections.
+
+use crate::error::{XstError, XstResult};
+use crate::ops::boolean::union;
+use crate::ops::image::Scope;
+use crate::ops::rescope::rescope_value_by_scope;
+use crate::set::{ExtendedSet, Member, SetBuilder};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Tuple concatenation `x · y` (Definition 9.2).
+///
+/// Errors with [`XstError::NotATuple`] unless both operands are n-tuples
+/// (Definition 9.1); the empty set is the 0-tuple and is an identity.
+pub fn concat(x: &ExtendedSet, y: &ExtendedSet) -> XstResult<ExtendedSet> {
+    let n = x.tuple_len().ok_or_else(|| XstError::NotATuple {
+        value: format!("{x}"),
+    })? as i64;
+    y.tuple_len().ok_or_else(|| XstError::NotATuple {
+        value: format!("{y}"),
+    })?;
+    let mut members: Vec<Member> = x.members().to_vec();
+    for m in y.members() {
+        let Value::Int(i) = m.scope else { unreachable!("tuple scopes are ints") };
+        members.push(Member::new(m.element.clone(), Value::Int(i + n)));
+    }
+    Ok(ExtendedSet::from_members(members))
+}
+
+/// Union that fails on scope collision. This is the generalized `·` used by
+/// [`cross`] when an operand member is not a tuple (e.g. the tagged
+/// singletons of Definition 9.7, whose scopes are labels, not positions).
+pub fn scope_disjoint_union(x: &ExtendedSet, y: &ExtendedSet) -> XstResult<ExtendedSet> {
+    for (_, sx) in x.iter() {
+        for (_, sy) in y.iter() {
+            if sx == sy {
+                return Err(XstError::ScopeCollision {
+                    scope: format!("{sx}"),
+                });
+            }
+        }
+    }
+    Ok(union(x, y))
+}
+
+/// The member-level product `x · y`: tuple concatenation when both operands
+/// are tuples, scope-disjoint union otherwise.
+fn member_product(x: &Value, y: &Value) -> XstResult<ExtendedSet> {
+    let xs = x.as_set_view();
+    let ys = y.as_set_view();
+    if xs.tuple_len().is_some() && ys.tuple_len().is_some() {
+        concat(&xs, &ys)
+    } else {
+        scope_disjoint_union(&xs, &ys)
+    }
+}
+
+/// XST cross product `A ⊗ B = {(x·y)^{(s·t)} : x ∈_s A ∧ y ∈_t B}`
+/// (Definition 9.3).
+pub fn cross(a: &ExtendedSet, b: &ExtendedSet) -> XstResult<ExtendedSet> {
+    let mut out = SetBuilder::with_capacity(a.card() * b.card());
+    for (x, s) in a.iter() {
+        for (y, t) in b.iter() {
+            let elem = member_product(x, y)?;
+            let scope = member_product(s, t)?;
+            out.scoped(Value::Set(elem), Value::Set(scope));
+        }
+    }
+    Ok(out.build())
+}
+
+/// `Tag`: `A^(a)` (Definitions 9.5/9.6) — wrap each element `x ∈_s A` into
+/// the singleton `{x^a}`, scoped `{s^a}` when `s ≠ ∅` and classically
+/// otherwise.
+pub fn tag(a: &ExtendedSet, label: &Value) -> ExtendedSet {
+    let mut out = SetBuilder::with_capacity(a.card());
+    for (x, s) in a.iter() {
+        let elem = ExtendedSet::singleton(x.clone(), label.clone());
+        let scope = if s.is_empty_set() {
+            Value::classical_scope() // Definition 9.6
+        } else {
+            Value::Set(ExtendedSet::singleton(s.clone(), label.clone())) // Definition 9.5
+        };
+        out.scoped(Value::Set(elem), scope);
+    }
+    out.build()
+}
+
+/// CST Cartesian product `A × B = A^(1) ⊗ B^(2)` (Definition 9.7).
+///
+/// For classical operands this produces the classical set of ordered pairs
+/// `{⟨x,y⟩}` (Definition 7.2), which the CST layer and Theorem 9.10 build on.
+pub fn cartesian(a: &ExtendedSet, b: &ExtendedSet) -> XstResult<ExtendedSet> {
+    cross(&tag(a, &Value::Int(1)), &tag(b, &Value::Int(2)))
+}
+
+/// Relative Product (Definition 10.1):
+///
+/// ```text
+/// F /^{⟨ω1,ω2⟩}_{⟨σ1,σ2⟩} G = { z^τ : ∃x,s,y,t ( x ∈_s F ∧ y ∈_t G
+///     ∧ x^{/σ2/} = y^{/ω1/} ∧ s^{/σ2/} = t^{/ω1/}
+///     ∧ z = x^{/σ1/} ∪ y^{/ω2/} ∧ τ = s^{/σ1/} ∪ t^{/ω2/} ) }
+/// ```
+///
+/// `sigma` carries `⟨σ1, σ2⟩` (the F side: keep-spec and match-spec) and
+/// `omega` carries `⟨ω1, ω2⟩` (the G side: match-spec and keep-spec). The
+/// eight recipes listed in §10 are reproduced in this module's tests.
+pub fn relative_product(
+    f: &ExtendedSet,
+    sigma: &Scope,
+    g: &ExtendedSet,
+    omega: &Scope,
+) -> ExtendedSet {
+    // Hash-partition G by its (key, key-scope) projection once, then probe
+    // with each F member: O(|F| + |G| + matches) member visits instead of
+    // the naive pairwise O(|F|·|G|).
+    let mut g_by_key: HashMap<(ExtendedSet, ExtendedSet), Vec<(ExtendedSet, ExtendedSet)>> =
+        HashMap::with_capacity(g.card());
+    for (y, t) in g.iter() {
+        let key = (
+            rescope_value_by_scope(y, &omega.sigma1),
+            rescope_value_by_scope(t, &omega.sigma1),
+        );
+        let keep = (
+            rescope_value_by_scope(y, &omega.sigma2),
+            rescope_value_by_scope(t, &omega.sigma2),
+        );
+        g_by_key.entry(key).or_default().push(keep);
+    }
+    let mut out = SetBuilder::new();
+    for (x, s) in f.iter() {
+        let key = (
+            rescope_value_by_scope(x, &sigma.sigma2),
+            rescope_value_by_scope(s, &sigma.sigma2),
+        );
+        let Some(matches) = g_by_key.get(&key) else {
+            continue;
+        };
+        let x_keep = rescope_value_by_scope(x, &sigma.sigma1);
+        let s_keep = rescope_value_by_scope(s, &sigma.sigma1);
+        for (y_keep, t_keep) in matches {
+            let z = union(&x_keep, y_keep);
+            let tau = union(&s_keep, t_keep);
+            out.scoped(Value::Set(z), Value::Set(tau));
+        }
+    }
+    out.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{xset, xtuple};
+
+    #[test]
+    fn concat_per_definition_9_2() {
+        // ⟨a,b,c,d⟩ · ⟨w,x,y,z⟩ = ⟨a,b,c,d,w,x,y,z⟩
+        let x = xtuple!["a", "b", "c", "d"];
+        let y = xtuple!["w", "x", "y", "z"];
+        let z = concat(&x, &y).unwrap();
+        assert_eq!(z, xtuple!["a", "b", "c", "d", "w", "x", "y", "z"]);
+        assert_eq!(z.tuple_len(), Some(8)); // tup(x·y) = n + m
+    }
+
+    #[test]
+    fn concat_with_empty_tuple_is_identity() {
+        let x = xtuple!["a", "b"];
+        assert_eq!(concat(&x, &ExtendedSet::empty()).unwrap(), x);
+        assert_eq!(concat(&ExtendedSet::empty(), &x).unwrap(), x);
+    }
+
+    #[test]
+    fn concat_rejects_non_tuples() {
+        let x = xtuple!["a"];
+        let not_tuple = xset!["a" => "weird"];
+        assert!(matches!(
+            concat(&x, &not_tuple),
+            Err(XstError::NotATuple { .. })
+        ));
+        assert!(matches!(
+            concat(&not_tuple, &x),
+            Err(XstError::NotATuple { .. })
+        ));
+    }
+
+    #[test]
+    fn scope_disjoint_union_detects_collision() {
+        let a = xset!["a" => 1];
+        let b = xset!["b" => 1];
+        assert!(matches!(
+            scope_disjoint_union(&a, &b),
+            Err(XstError::ScopeCollision { .. })
+        ));
+        let c = xset!["b" => 2];
+        assert_eq!(scope_disjoint_union(&a, &c).unwrap(), xset!["a" => 1, "b" => 2]);
+    }
+
+    #[test]
+    fn cross_product_of_tuple_sets() {
+        // {⟨a⟩, ⟨b⟩} ⊗ {⟨x⟩} = {⟨a,x⟩, ⟨b,x⟩}
+        let a = xset![xtuple!["a"].into_value(), xtuple!["b"].into_value()];
+        let b = xset![xtuple!["x"].into_value()];
+        let got = cross(&a, &b).unwrap();
+        assert_eq!(
+            got,
+            xset![
+                ExtendedSet::pair("a", "x").into_value(),
+                ExtendedSet::pair("b", "x").into_value()
+            ]
+        );
+    }
+
+    #[test]
+    fn theorem_9_4_cross_is_associative() {
+        let a = xset![xtuple!["a"].into_value(), xtuple!["b"].into_value()];
+        let b = xset![xtuple!["x", "y"].into_value()];
+        let c = xset![xtuple![1, 2].into_value(), xtuple![3].into_value()];
+        let left = cross(&cross(&a, &b).unwrap(), &c).unwrap();
+        let right = cross(&a, &cross(&b, &c).unwrap()).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn cross_scope_concatenation() {
+        // Members carrying tuple scopes: the scopes concatenate too.
+        let a = xset![xtuple!["a"].into_value() => xtuple!["A"].into_value()];
+        let b = xset![xtuple!["x"].into_value() => xtuple!["X"].into_value()];
+        let got = cross(&a, &b).unwrap();
+        assert_eq!(
+            got,
+            xset![ExtendedSet::pair("a", "x").into_value()
+                => ExtendedSet::pair("A", "X").into_value()]
+        );
+    }
+
+    #[test]
+    fn tag_definitions_9_5_and_9_6() {
+        // Classical member: Definition 9.6 — {x^a} with classical scope.
+        let a = xset!["v"];
+        let tagged = tag(&a, &Value::Int(1));
+        assert_eq!(tagged, xset![xset!["v" => 1].into_value()]);
+        // Scoped member: Definition 9.5 — {x^a}^{{s^a}}.
+        let b = xset!["v" => "s"];
+        let tagged_b = tag(&b, &Value::Int(2));
+        assert_eq!(
+            tagged_b,
+            xset![xset!["v" => 2].into_value() => xset!["s" => 2].into_value()]
+        );
+    }
+
+    #[test]
+    fn cartesian_product_definition_9_7() {
+        // A × B over classical sets yields classical ordered pairs.
+        let a = xset!["a", "b"];
+        let b = xset!["x"];
+        let got = cartesian(&a, &b).unwrap();
+        assert_eq!(
+            got,
+            xset![
+                ExtendedSet::pair("a", "x").into_value(),
+                ExtendedSet::pair("b", "x").into_value()
+            ]
+        );
+    }
+
+    #[test]
+    fn cartesian_cardinality() {
+        let a = xset![1, 2, 3];
+        let b = xset!["x", "y"];
+        assert_eq!(cartesian(&a, &b).unwrap().card(), 6);
+    }
+
+    /// §10 CST warm-up: {⟨a,b⟩} / {⟨b,c⟩} = {⟨a,c⟩} using recipe (1):
+    /// σ = ⟨{1^1}, {2^1}⟩, ω = ⟨{1^1}, {2^2}⟩.
+    #[test]
+    fn relative_product_recipe_1_cst_compose() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("b", "c").into_value()];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
+        let got = relative_product(&f, &sigma, &g, &omega);
+        assert_eq!(
+            got,
+            xset![ExtendedSet::pair("a", "c").into_value() => Value::empty_set()]
+        );
+    }
+
+    /// §10 recipe (2): keep all three components — ⟨a,b⟩ / ⟨b,c⟩ = ⟨a,b,c⟩
+    /// with σ = ⟨{1^1}, {2^1}⟩, ω = ⟨{1^1}, {1^2, 2^3}⟩.
+    #[test]
+    fn relative_product_recipe_2_keep_join_key() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("b", "c").into_value()];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![1 => 2, 2 => 3]);
+        let got = relative_product(&f, &sigma, &g, &omega);
+        assert_eq!(got, xset![xtuple!["a", "b", "c"].into_value() => Value::empty_set()]);
+    }
+
+    /// §10 recipe (4): swap the kept side — produces ⟨b, c⟩-shaped output
+    /// keyed on the *first* components: σ = ⟨{2^1}, {1^1}⟩, ω = ⟨{1^1}, {2^2}⟩.
+    #[test]
+    fn relative_product_recipe_4_swap() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("a", "c").into_value()];
+        let sigma = Scope::new(xset![2 => 1], xset![1 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
+        let got = relative_product(&f, &sigma, &g, &omega);
+        assert_eq!(
+            got,
+            xset![ExtendedSet::pair("b", "c").into_value() => Value::empty_set()]
+        );
+    }
+
+    /// §10 recipe (6): match on G's *second* component and emit only G's
+    /// first: σ = ⟨{1^1}, {2^1}⟩, ω = ⟨{2^1}, {1^2}⟩.
+    #[test]
+    fn relative_product_recipe_6_reverse_key() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("c", "b").into_value()];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![2 => 1], xset![1 => 2]);
+        let got = relative_product(&f, &sigma, &g, &omega);
+        assert_eq!(
+            got,
+            xset![ExtendedSet::pair("a", "c").into_value() => Value::empty_set()]
+        );
+    }
+
+    /// §10 recipe (3): keep both of F's components and re-home G's second
+    /// after them — σ = ⟨{1^1, 2^2}, {1^1}⟩, ω = ⟨{1^1}, {2^3}⟩, matching
+    /// on *first* components: ⟨a,b⟩ / ⟨a,c⟩ = ⟨a,b,c⟩.
+    #[test]
+    fn relative_product_recipe_3_keep_left_whole() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("a", "c").into_value()];
+        let sigma = Scope::new(xset![1 => 1, 2 => 2], xset![1 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 3]);
+        assert_eq!(
+            relative_product(&f, &sigma, &g, &omega),
+            xset![xtuple!["a", "b", "c"].into_value() => Value::empty_set()]
+        );
+    }
+
+    /// §10 recipe (5): match on both *second* components, keep F's first
+    /// and all of G re-homed — σ = ⟨{1^1}, {2^1}⟩, ω = ⟨{2^1}, {1^2, 2^3}⟩:
+    /// ⟨a,b⟩ / ⟨c,b⟩ = ⟨a,c,b⟩.
+    #[test]
+    fn relative_product_recipe_5_match_seconds_keep_right() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("c", "b").into_value()];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![2 => 1], xset![1 => 2, 2 => 3]);
+        assert_eq!(
+            relative_product(&f, &sigma, &g, &omega),
+            xset![xtuple!["a", "c", "b"].into_value() => Value::empty_set()]
+        );
+    }
+
+    /// §10 recipe (7): a wide permuting recipe over mixed arities —
+    /// σ = ⟨{2^1, 3^2, 1^3}, {2^1, 3^2}⟩, ω = ⟨{4^1, 3^2},
+    /// {2^4, 4^5, 3^6, 1^7, 1^8}⟩. F's (2nd, 3rd) must equal G's
+    /// (4th, 3rd); the result permutes F to ⟨b,c,a⟩ and fans G's first
+    /// component into two trailing positions.
+    #[test]
+    fn relative_product_recipe_7_wide_permutation() {
+        let f = xset![xtuple!["a", "b", "c"].into_value()];
+        let g = xset![xtuple!["p", "q", "c", "b"].into_value()];
+        let sigma = Scope::new(xset![2 => 1, 3 => 2, 1 => 3], xset![2 => 1, 3 => 2]);
+        let omega = Scope::new(
+            xset![4 => 1, 3 => 2],
+            xset![2 => 4, 4 => 5, 3 => 6, 1 => 7, 1 => 8],
+        );
+        assert_eq!(
+            relative_product(&f, &sigma, &g, &omega),
+            xset![xtuple!["b", "c", "a", "q", "b", "c", "p", "p"].into_value()
+                => Value::empty_set()]
+        );
+    }
+
+    /// §10 recipe (8): a 3-key natural-join shape over wide tuples —
+    /// σ = ⟨{1^1,…,5^5}, {1^1, 2^2, 3^3}⟩, ω = ⟨{1^1, 2^2, 3^3},
+    /// {4^6, 5^7, 6^8}⟩: F's first three components match G's, F is kept
+    /// whole, and G contributes its last three at positions 6–8.
+    #[test]
+    fn relative_product_recipe_8_three_key_join() {
+        let f = xset![xtuple!["a", "b", "c", "d", "e"].into_value()];
+        let g = xset![
+            xtuple!["a", "b", "c", "x", "y", "z"].into_value(),
+            xtuple!["a", "b", "WRONG", "u", "v", "w"].into_value()
+        ];
+        let sigma = Scope::new(
+            xset![1 => 1, 2 => 2, 3 => 3, 4 => 4, 5 => 5],
+            xset![1 => 1, 2 => 2, 3 => 3],
+        );
+        let omega = Scope::new(
+            xset![1 => 1, 2 => 2, 3 => 3],
+            xset![4 => 6, 5 => 7, 6 => 8],
+        );
+        assert_eq!(
+            relative_product(&f, &sigma, &g, &omega),
+            xset![xtuple!["a", "b", "c", "d", "e", "x", "y", "z"].into_value()
+                => Value::empty_set()]
+        );
+    }
+
+    #[test]
+    fn relative_product_no_match_is_empty() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("z", "c").into_value()];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
+        assert!(relative_product(&f, &sigma, &g, &omega).is_empty());
+    }
+
+    #[test]
+    fn relative_product_is_a_join() {
+        // Multi-row join: two F rows match one G row each.
+        let f = xset![
+            ExtendedSet::pair("a", "k1").into_value(),
+            ExtendedSet::pair("b", "k2").into_value(),
+            ExtendedSet::pair("c", "k3").into_value()
+        ];
+        let g = xset![
+            ExtendedSet::pair("k1", "x").into_value(),
+            ExtendedSet::pair("k2", "y").into_value()
+        ];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
+        let got = relative_product(&f, &sigma, &g, &omega);
+        assert_eq!(
+            got,
+            xset![
+                ExtendedSet::pair("a", "x").into_value() => Value::empty_set(),
+                ExtendedSet::pair("b", "y").into_value() => Value::empty_set()
+            ]
+        );
+    }
+
+    #[test]
+    fn relative_product_matches_scopes_too() {
+        // Same elements, different member scopes on the key side: no match
+        // unless the scope projections agree as well.
+        let f = xset![ExtendedSet::pair("a", "b").into_value() => xtuple!["S", "T"].into_value()];
+        let g = xset![ExtendedSet::pair("b", "c").into_value() => xtuple!["U", "V"].into_value()];
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
+        // Key scopes: s^{/σ2/} = {T^1}, t^{/ω1/} = {U^1} — differ, no match.
+        assert!(relative_product(&f, &sigma, &g, &omega).is_empty());
+        // Align the scopes and the match appears.
+        let g2 =
+            xset![ExtendedSet::pair("b", "c").into_value() => xtuple!["T", "V"].into_value()];
+        let got = relative_product(&f, &sigma, &g2, &omega);
+        assert_eq!(got.card(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Re-scoping — the paper's two scope-rewriting primitives (§7).
+//!
+//! A re-scope specification `σ` is itself an extended set, read as a mapping
+//! between scopes:
+//!
+//! * **Re-scope by scope** (Definition 7.3):
+//!   `A^{/σ/} = { x^w : ∃s (x ∈_s A ∧ s ∈_w σ) }` — a member's *old scope*
+//!   `s` is looked up among σ's **elements**; the matching σ-member's scope
+//!   `w` becomes the new scope. Members whose scope does not occur in σ are
+//!   dropped; a scope occurring several times in σ fans the member out.
+//!
+//! * **Re-scope by element** (Definition 7.5):
+//!   `A^{\σ\} = { x^w : ∃s (x ∈_s A ∧ w ∈_s σ) }` — the inverse direction:
+//!   a member's old scope `s` is looked up among σ's **scopes**, and the
+//!   matching σ-member's element `w` becomes the new scope.
+//!
+//! The paper's example for 7.3: `{a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} =
+//! {a^1, b^2, c^3}`; and for 7.5: `{a^1, b^2, c^3}^{\{w^1, v^2, t^3}\} =
+//! {a^w, b^v, c^t}`.
+
+use crate::set::{ExtendedSet, SetBuilder};
+use crate::value::Value;
+
+/// Re-scope by scope, `A^{/σ/}` (Definition 7.3).
+pub fn rescope_by_scope(a: &ExtendedSet, sigma: &ExtendedSet) -> ExtendedSet {
+    // Fast path: σ maps every member scope of `a` to exactly itself (the
+    // identity specs used pervasively by selections and join keep-sides) —
+    // the result is `a`, shared, with no allocation or re-sort.
+    if sigma_is_identity_on(a, sigma) {
+        return a.clone();
+    }
+    let mut b = SetBuilder::new();
+    for m in a.members() {
+        // Find σ-members whose *element* equals this member's scope; their
+        // scopes are the new scopes. `scopes_of` is a binary search + scan.
+        for w in sigma.scopes_of(&m.scope) {
+            b.scoped(m.element.clone(), w.clone());
+        }
+    }
+    b.build()
+}
+
+/// Does σ map every scope occurring in `a` to exactly itself (and nothing
+/// else)? `∅` trivially qualifies only when `a` is empty.
+fn sigma_is_identity_on(a: &ExtendedSet, sigma: &ExtendedSet) -> bool {
+    a.members().iter().all(|m| {
+        let mut targets = sigma.scopes_of(&m.scope);
+        targets.next() == Some(&m.scope) && targets.next().is_none()
+    })
+}
+
+/// Re-scope by element, `A^{\σ\}` (Definition 7.5).
+pub fn rescope_by_element(a: &ExtendedSet, sigma: &ExtendedSet) -> ExtendedSet {
+    let mut b = SetBuilder::new();
+    for m in a.members() {
+        // Find σ-members whose *scope* equals this member's scope; their
+        // elements are the new scopes.
+        for (w, s) in sigma.iter() {
+            if s == &m.scope {
+                b.scoped(m.element.clone(), w.clone());
+            }
+        }
+    }
+    b.build()
+}
+
+/// Re-scope by scope lifted to a [`Value`]: atoms re-scope to `∅`
+/// (see [`Value::as_set_view`]).
+pub fn rescope_value_by_scope(v: &Value, sigma: &ExtendedSet) -> ExtendedSet {
+    match v {
+        Value::Set(s) => rescope_by_scope(s, sigma),
+        _ => ExtendedSet::empty(),
+    }
+}
+
+/// Re-scope by element lifted to a [`Value`]: atoms re-scope to `∅`.
+pub fn rescope_value_by_element(v: &Value, sigma: &ExtendedSet) -> ExtendedSet {
+    match v {
+        Value::Set(s) => rescope_by_element(s, sigma),
+        _ => ExtendedSet::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::sym;
+    use crate::{xset, xtuple};
+
+    #[test]
+    fn paper_example_7_3() {
+        // {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}
+        let a = xset!["a" => "x", "b" => "y", "c" => "z"];
+        let sigma = xset!["x" => 1, "y" => 2, "z" => 3];
+        assert_eq!(
+            rescope_by_scope(&a, &sigma),
+            xset!["a" => 1, "b" => 2, "c" => 3]
+        );
+    }
+
+    #[test]
+    fn paper_example_7_5() {
+        // {a^1, b^2, c^3}^{\{w^1, v^2, t^3}\} = {a^w, b^v, c^t}
+        let a = xset!["a" => 1, "b" => 2, "c" => 3];
+        let sigma = xset!["w" => 1, "v" => 2, "t" => 3];
+        assert_eq!(
+            rescope_by_element(&a, &sigma),
+            xset!["a" => "w", "b" => "v", "c" => "t"]
+        );
+    }
+
+    #[test]
+    fn rescope_by_scope_drops_unmapped_members() {
+        let a = xset!["a" => 1, "b" => 2];
+        let sigma = xset![1 => 10]; // only old scope 1 is mapped
+        assert_eq!(rescope_by_scope(&a, &sigma), xset!["a" => 10]);
+    }
+
+    #[test]
+    fn rescope_by_scope_fans_out_on_duplicate_mapping() {
+        let a = xset!["a" => 1];
+        // old scope 1 maps to both 10 and 20
+        let sigma = xset![1 => 10, 1 => 20];
+        assert_eq!(rescope_by_scope(&a, &sigma), xset!["a" => 10, "a" => 20]);
+    }
+
+    #[test]
+    fn tuple_permutation_via_rescope() {
+        // ω2 = ⟨1,3,4,5,2⟩ permutes ⟨a,a,a,b,b⟩ into ⟨a,a,b,b,a⟩
+        // (Appendix B derivation c).
+        let t = xtuple!["a", "a", "a", "b", "b"];
+        let omega2 = xtuple![1, 3, 4, 5, 2];
+        assert_eq!(
+            rescope_by_scope(&t, &omega2),
+            xtuple!["a", "a", "b", "b", "a"]
+        );
+    }
+
+    #[test]
+    fn rescope_of_empty_is_empty() {
+        let sigma = xset![1 => 2];
+        assert!(rescope_by_scope(&ExtendedSet::empty(), &sigma).is_empty());
+        assert!(rescope_by_element(&ExtendedSet::empty(), &sigma).is_empty());
+    }
+
+    #[test]
+    fn rescope_with_empty_sigma_is_empty() {
+        let a = xset!["a" => 1];
+        assert!(rescope_by_scope(&a, &ExtendedSet::empty()).is_empty());
+        assert!(rescope_by_element(&a, &ExtendedSet::empty()).is_empty());
+    }
+
+    #[test]
+    fn value_lift_treats_atoms_as_memberless() {
+        let sigma = xset![1 => 2];
+        assert!(rescope_value_by_scope(&sym("q"), &sigma).is_empty());
+        assert!(rescope_value_by_element(&sym("q"), &sigma).is_empty());
+        let v = Value::Set(xset!["a" => 1]);
+        assert_eq!(rescope_value_by_scope(&v, &sigma), xset!["a" => 2]);
+    }
+
+    #[test]
+    fn rescope_directions_are_inverse_on_bijective_sigma() {
+        let a = xset!["a" => 1, "b" => 2, "c" => 3];
+        let sigma = xset!["x" => 1, "y" => 2, "z" => 3];
+        // by-element then by-scope round-trips when σ is a bijection
+        let forward = rescope_by_element(&a, &sigma); // scopes 1,2,3 -> x,y,z
+        let back = rescope_by_scope(&forward, &sigma); // x,y,z -> 1,2,3
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rescope_can_merge_members() {
+        // Two members collapse onto one scope; canonical form dedups the
+        // resulting identical memberships.
+        let a = xset!["a" => 1, "a" => 2];
+        let sigma = xset![1 => 9, 2 => 9];
+        assert_eq!(rescope_by_scope(&a, &sigma), xset!["a" => 9]);
+    }
+}

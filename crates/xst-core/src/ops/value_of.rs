@@ -1,0 +1,151 @@
+//! σ-Value and Value (Definitions 9.8/9.9) — extracting an *element* from a
+//! set-valued result, bridging XST's sets-to-sets behaviors back to CST's
+//! elements-to-elements functions.
+//!
+//! ```text
+//! 𝒱_σ(x) = b  ⟺  ∀y ( ⟨y⟩ ∈_⟨σ⟩ x → y = b )
+//! 𝒱(x)   = b  ⟺  ∀y ( ⟨y⟩ ∈     x → y = b )
+//! ```
+//!
+//! `x` is expected to contain singleton tuples `⟨y⟩`; `𝒱_σ` selects the one
+//! whose membership scope is `⟨σ⟩`, `𝒱` the classically-scoped one. The
+//! paper's Example 9.1 keeps all four square roots of 16 in one set and
+//! selects among them by scope.
+
+use crate::error::{XstError, XstResult};
+use crate::set::ExtendedSet;
+use crate::value::Value;
+
+/// `𝒱_σ(x)` (Definition 9.8): the unique `y` with `⟨y⟩ ∈_⟨σ⟩ x`.
+///
+/// Errors with [`XstError::NoUniqueValue`] when no member — or more than
+/// one distinct member — matches (the biconditional in 9.8 only defines a
+/// value when it is unique).
+pub fn sigma_value(x: &ExtendedSet, sigma: &Value) -> XstResult<Value> {
+    let scope = Value::Set(ExtendedSet::tuple([sigma.clone()]));
+    extract_unique(x, &scope)
+}
+
+/// `𝒱(x)` (Definition 9.9): the unique `y` with `⟨y⟩ ∈ x` (classical scope).
+pub fn value(x: &ExtendedSet) -> XstResult<Value> {
+    extract_unique(x, &Value::classical_scope())
+}
+
+fn extract_unique(x: &ExtendedSet, scope: &Value) -> XstResult<Value> {
+    let mut found: Option<Value> = None;
+    let mut distinct = 0usize;
+    for (elem, s) in x.iter() {
+        if s != scope {
+            continue;
+        }
+        let Some(t) = elem.as_set() else { continue };
+        let Some(components) = t.as_tuple() else { continue };
+        if components.len() != 1 {
+            continue; // only singleton tuples ⟨y⟩ carry values
+        }
+        let y = &components[0];
+        match &found {
+            Some(prev) if prev == y => {}
+            Some(_) => distinct += 1,
+            None => {
+                found = Some(y.clone());
+                distinct = 1;
+            }
+        }
+    }
+    match (found, distinct) {
+        (Some(v), 1) => Ok(v),
+        (_, n) => Err(XstError::NoUniqueValue { candidates: n }),
+    }
+}
+
+/// Example 9.1's square-root set: `√16 = {⟨4⟩^⟨+⟩, ⟨-4⟩^⟨-⟩, ...}`
+/// generalized — build a multi-valued result set from labeled alternatives.
+pub fn labeled_values<L, V>(alternatives: impl IntoIterator<Item = (L, V)>) -> ExtendedSet
+where
+    L: Into<Value>,
+    V: Into<Value>,
+{
+    ExtendedSet::from_pairs(alternatives.into_iter().map(|(label, v)| {
+        (
+            Value::Set(ExtendedSet::tuple([v.into()])),
+            Value::Set(ExtendedSet::tuple([label.into()])),
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{xset, xtuple};
+
+    /// Example 9.1: √16 carries all four roots, selected by scope.
+    #[test]
+    fn example_9_1_square_root() {
+        // Represent 2i as the symbol "2i" (no complex atom needed to
+        // reproduce the selection behavior).
+        let roots = labeled_values([
+            ("+", Value::Int(2)),
+            ("-", Value::Int(-2)),
+            ("i", Value::sym("2i")),
+            ("-i", Value::sym("-2i")),
+        ]);
+        assert_eq!(sigma_value(&roots, &Value::sym("+")).unwrap(), Value::Int(2));
+        assert_eq!(sigma_value(&roots, &Value::sym("-")).unwrap(), Value::Int(-2));
+        assert_eq!(sigma_value(&roots, &Value::sym("i")).unwrap(), Value::sym("2i"));
+        assert_eq!(
+            sigma_value(&roots, &Value::sym("-i")).unwrap(),
+            Value::sym("-2i")
+        );
+    }
+
+    #[test]
+    fn classical_value_extraction() {
+        let x = xset![xtuple!["b"].into_value()];
+        assert_eq!(value(&x).unwrap(), Value::sym("b"));
+    }
+
+    #[test]
+    fn value_undefined_when_absent() {
+        let x = xset![xtuple!["b"].into_value() => xtuple!["+"].into_value()];
+        // No classically-scoped singleton tuple.
+        assert!(matches!(
+            value(&x),
+            Err(XstError::NoUniqueValue { candidates: 0 })
+        ));
+        // No ⟨-⟩-scoped member either.
+        assert!(sigma_value(&x, &Value::sym("-")).is_err());
+    }
+
+    #[test]
+    fn value_undefined_when_ambiguous() {
+        let x = xset![xtuple!["a"].into_value(), xtuple!["b"].into_value()];
+        assert!(matches!(
+            value(&x),
+            Err(XstError::NoUniqueValue { candidates: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_identical_values_are_fine() {
+        // The same ⟨y⟩ cannot appear twice in canonical form, but a y
+        // reachable via one member is unique by construction.
+        let x = xset![xtuple![7].into_value()];
+        assert_eq!(value(&x).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn non_singleton_tuples_are_ignored() {
+        let x = xset![
+            xtuple!["a", "b"].into_value(), // pair — not a value carrier
+            xtuple!["c"].into_value()
+        ];
+        assert_eq!(value(&x).unwrap(), Value::sym("c"));
+    }
+
+    #[test]
+    fn atoms_are_ignored() {
+        let x = xset!["bare", xtuple!["c"].into_value()];
+        assert_eq!(value(&x).unwrap(), Value::sym("c"));
+    }
+}

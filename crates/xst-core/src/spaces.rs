@@ -1,0 +1,523 @@
+//! Process spaces and function spaces (§5, §6, Appendices D/E).
+//!
+//! A 𝒫-space `𝒫(A,B)` collects every process from domain `A` to codomain
+//! `B`; an ℱ-space is its functional sub-collection. Refinements impose the
+//! paper's five conditions:
+//!
+//! | symbol | condition |
+//! |---|---|
+//! | `[` | *on* `A`: `𝔇_σ1(f) = A` |
+//! | `]` | *onto* `B`: `𝔇_σ2(f) = B` |
+//! | `>` | many-to-one associations allowed |
+//! | `-` | one-to-one associations allowed |
+//! | `<` | one-to-many associations allowed |
+//!
+//! Combining the on/onto restrictions with the association alphabet yields
+//! the paper's **16 basic** process spaces of which **8** are function
+//! spaces (Appendix D), and **29 refined** spaces of which **12** are
+//! non-empty function spaces (Appendix E). The refined lattice is modeled
+//! here as: 4 on/onto choices × 7 non-empty subsets of `{>,-,<}`, plus the
+//! degenerate bottom (empty association set — an always-empty space); the
+//! original Appendix E graphic is not in the supplied text, so the counts
+//! (29/12) are the specification we reproduce.
+//!
+//! # Quantifier relativization
+//!
+//! Definitions 5.1–6.3 quantify over *all* sets. Mechanically we relativize
+//! the quantifiers to the behavior's minimal singleton probes
+//! ([`crate::process::Process::singleton_probes`]): application is additive
+//! over union (Consequence 8.1(a)), so behavior on arbitrary inputs is
+//! determined by behavior on the singletons that can non-vacuously match,
+//! and those are exactly the minimal probes.
+
+use crate::process::Process;
+use crate::set::ExtendedSet;
+
+/// Association classes a space admits (the `> - <` alphabet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AssocSet {
+    /// `>` — many-to-one pairs admitted.
+    pub many_to_one: bool,
+    /// `-` — one-to-one pairs admitted.
+    pub one_to_one: bool,
+    /// `<` — one-to-many pairs admitted.
+    pub one_to_many: bool,
+}
+
+impl AssocSet {
+    /// All associations admitted — the unrestricted space.
+    pub const ANY: AssocSet = AssocSet {
+        many_to_one: true,
+        one_to_one: true,
+        one_to_many: true,
+    };
+    /// Function associations only (`>` and `-`).
+    pub const FUNCTIONAL: AssocSet = AssocSet {
+        many_to_one: true,
+        one_to_one: true,
+        one_to_many: false,
+    };
+    /// One-to-one only (`-`).
+    pub const ONE_TO_ONE: AssocSet = AssocSet {
+        many_to_one: false,
+        one_to_one: true,
+        one_to_many: false,
+    };
+
+    /// Is this a *function* constraint (no one-to-many admitted, something
+    /// admitted)?
+    pub fn is_functional(&self) -> bool {
+        !self.one_to_many && (self.many_to_one || self.one_to_one)
+    }
+
+    /// The degenerate bottom: nothing admitted (always-empty space).
+    pub fn is_bottom(&self) -> bool {
+        !self.many_to_one && !self.one_to_one && !self.one_to_many
+    }
+
+    /// All 8 subsets of the alphabet, bottom included.
+    pub fn all() -> Vec<AssocSet> {
+        let mut out = Vec::with_capacity(8);
+        for bits in 0u8..8 {
+            out.push(AssocSet {
+                many_to_one: bits & 1 != 0,
+                one_to_one: bits & 2 != 0,
+                one_to_many: bits & 4 != 0,
+            });
+        }
+        out
+    }
+}
+
+/// A (possibly refined) process-space specification over a fixed domain and
+/// codomain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSpec {
+    /// `[` — require `𝔇_σ1(f) = A`.
+    pub on: bool,
+    /// `]` — require `𝔇_σ2(f) = B`.
+    pub onto: bool,
+    /// Which associations the space admits.
+    pub assoc: AssocSet,
+}
+
+impl SpaceSpec {
+    /// The unrestricted 𝒫-space spec `𝒫(A,B)`.
+    pub fn process() -> SpaceSpec {
+        SpaceSpec {
+            on: false,
+            onto: false,
+            assoc: AssocSet::ANY,
+        }
+    }
+
+    /// The ℱ-space spec `ℱ(A,B)` (Definition 5.2).
+    pub fn function() -> SpaceSpec {
+        SpaceSpec {
+            on: false,
+            onto: false,
+            assoc: AssocSet::FUNCTIONAL,
+        }
+    }
+
+    /// Injective spec `ℱ*[A,B)` (Definition 6.4).
+    pub fn injective() -> SpaceSpec {
+        SpaceSpec {
+            on: true,
+            onto: false,
+            assoc: AssocSet::ONE_TO_ONE,
+        }
+    }
+
+    /// Surjective spec `ℱ[A,B]` (Definition 6.5).
+    pub fn surjective() -> SpaceSpec {
+        SpaceSpec {
+            on: true,
+            onto: true,
+            assoc: AssocSet::FUNCTIONAL,
+        }
+    }
+
+    /// Bijective spec `ℱ*[A,B]` (Definition 6.6).
+    pub fn bijective() -> SpaceSpec {
+        SpaceSpec {
+            on: true,
+            onto: true,
+            assoc: AssocSet::ONE_TO_ONE,
+        }
+    }
+
+    /// Is this spec a function-space spec (one-to-many excluded)?
+    pub fn is_function_space(&self) -> bool {
+        self.assoc.is_functional()
+    }
+
+    /// Render in the paper's condition alphabet, e.g. `[>-]`.
+    pub fn notation(&self) -> String {
+        let mut s = String::new();
+        s.push(if self.on { '[' } else { '(' });
+        if self.assoc.many_to_one {
+            s.push('>');
+        }
+        if self.assoc.one_to_one {
+            s.push('-');
+        }
+        if self.assoc.one_to_many {
+            s.push('<');
+        }
+        s.push(if self.onto { ']' } else { ')' });
+        s
+    }
+
+    /// Spec-level containment: every behavior admitted by `self` is
+    /// admitted by `other` (Consequence 6.1 generalized).
+    pub fn is_subspace_of(&self, other: &SpaceSpec) -> bool {
+        // Stricter on/onto flags and fewer admitted associations.
+        (self.on || !other.on)
+            && (self.onto || !other.onto)
+            && (!self.assoc.many_to_one || other.assoc.many_to_one)
+            && (!self.assoc.one_to_one || other.assoc.one_to_one)
+            && (!self.assoc.one_to_many || other.assoc.one_to_many)
+    }
+}
+
+/// The 16 **basic** process spaces of Appendix D: on/onto (4 combinations)
+/// × association constraint drawn from {unrestricted, `>`, `-`, `<`}.
+pub fn basic_spaces() -> Vec<SpaceSpec> {
+    let assoc_choices = [
+        AssocSet::ANY,
+        AssocSet {
+            many_to_one: true,
+            one_to_one: true,
+            one_to_many: false,
+        }, // functions
+        AssocSet {
+            many_to_one: false,
+            one_to_one: true,
+            one_to_many: false,
+        }, // 1-1 functions
+        AssocSet {
+            many_to_one: false,
+            one_to_one: true,
+            one_to_many: true,
+        }, // no many-to-one (invertible relations)
+    ];
+    let mut out = Vec::with_capacity(16);
+    for &on in &[false, true] {
+        for &onto in &[false, true] {
+            for assoc in assoc_choices {
+                out.push(SpaceSpec { on, onto, assoc });
+            }
+        }
+    }
+    out
+}
+
+/// The 29 **refined** process spaces of Appendix E: on/onto (4) × non-empty
+/// association subsets (7), plus the degenerate bottom.
+pub fn refined_spaces() -> Vec<SpaceSpec> {
+    let mut out = Vec::with_capacity(29);
+    for &on in &[false, true] {
+        for &onto in &[false, true] {
+            for assoc in AssocSet::all() {
+                if !assoc.is_bottom() {
+                    out.push(SpaceSpec { on, onto, assoc });
+                }
+            }
+        }
+    }
+    out.push(SpaceSpec {
+        on: false,
+        onto: false,
+        assoc: AssocSet {
+            many_to_one: false,
+            one_to_one: false,
+            one_to_many: false,
+        },
+    });
+    out
+}
+
+/// Membership test: is `f ∈_σ` the space `spec` carved from `𝒫(A, B)`
+/// (Definitions 5.1–6.6)?
+///
+/// * domain side: `𝔇_σ1(f) ⊆̇ A` (non-empty subset, per the Def 5.1 note),
+///   strengthened to equality when `spec.on`;
+/// * codomain side: `𝔇_σ2(f) ⊆̇ B`, equality when `spec.onto` (since every
+///   image is contained in `𝔇_σ2(f)`, the `∀x (f_(σ)(x) ⊆ B)` clause of
+///   Definition 5.1 follows from the codomain containment);
+/// * association side: the behavior's observed association classes must be
+///   admitted by `spec.assoc`.
+pub fn in_space(f: &Process, spec: &SpaceSpec, a: &ExtendedSet, b: &ExtendedSet) -> bool {
+    let d1 = f.domain();
+    let d2 = f.codomain();
+    let dom_ok = if spec.on {
+        d1 == *a
+    } else {
+        d1.is_nonempty_subset(a)
+    };
+    if !dom_ok {
+        return false;
+    }
+    let cod_ok = if spec.onto {
+        d2 == *b
+    } else {
+        d2.is_nonempty_subset(b)
+    };
+    if !cod_ok {
+        return false;
+    }
+    let one_to_many = f.is_one_to_many();
+    let many_to_one = f.is_many_to_one();
+    if one_to_many && !spec.assoc.one_to_many {
+        return false;
+    }
+    if many_to_one && !spec.assoc.many_to_one {
+        return false;
+    }
+    // A behavior with neither defect exhibits only one-to-one pairs.
+    if !one_to_many && !many_to_one && !spec.assoc.one_to_one {
+        return false;
+    }
+    true
+}
+
+/// Arrow notation (Definitions 6.7/6.8): `f_(σ): A → B` iff `f ∈_σ 𝒫(A,B)`.
+pub fn arrow(f: &Process, a: &ExtendedSet, b: &ExtendedSet) -> bool {
+    in_space(f, &SpaceSpec::process(), a, b)
+}
+
+/// Every refined space (Appendix E) containing `f` over `A → B`, most
+/// specific first (fewest admitted associations, then on/onto strictness).
+pub fn classify(f: &Process, a: &ExtendedSet, b: &ExtendedSet) -> Vec<SpaceSpec> {
+    let mut out: Vec<SpaceSpec> = refined_spaces()
+        .into_iter()
+        .filter(|spec| in_space(f, spec, a, b))
+        .collect();
+    out.sort_by_key(|s| {
+        let admitted = usize::from(s.assoc.many_to_one)
+            + usize::from(s.assoc.one_to_one)
+            + usize::from(s.assoc.one_to_many);
+        let strictness = usize::from(!s.on) + usize::from(!s.onto);
+        (admitted, strictness)
+    });
+    out
+}
+
+/// The most specific refined space containing `f` over `A → B`, if any.
+pub fn most_specific_space(f: &Process, a: &ExtendedSet, b: &ExtendedSet) -> Option<SpaceSpec> {
+    classify(f, a, b).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+    use crate::value::Value;
+    use crate::xset;
+    use crate::xtuple;
+
+    fn dom_ab() -> ExtendedSet {
+        xset![
+            xtuple!["a"].into_value() => Value::empty_set(),
+            xtuple!["b"].into_value() => Value::empty_set()
+        ]
+    }
+
+    fn cod_xy() -> ExtendedSet {
+        xset![
+            xtuple!["x"].into_value() => Value::empty_set(),
+            xtuple!["y"].into_value() => Value::empty_set()
+        ]
+    }
+
+    #[test]
+    fn counts_match_appendix_d() {
+        let basic = basic_spaces();
+        assert_eq!(basic.len(), 16, "16 basic process spaces");
+        assert_eq!(
+            basic.iter().filter(|s| s.is_function_space()).count(),
+            8,
+            "8 basic function spaces"
+        );
+    }
+
+    #[test]
+    fn counts_match_appendix_e() {
+        let refined = refined_spaces();
+        assert_eq!(refined.len(), 29, "29 refined process spaces");
+        assert_eq!(
+            refined.iter().filter(|s| s.is_function_space()).count(),
+            12,
+            "12 non-empty refined function spaces"
+        );
+    }
+
+    #[test]
+    fn bijection_is_in_every_named_space() {
+        let f = Process::from_pairs([("a", "x"), ("b", "y")]);
+        let (a, b) = (dom_ab(), cod_xy());
+        for spec in [
+            SpaceSpec::process(),
+            SpaceSpec::function(),
+            SpaceSpec::injective(),
+            SpaceSpec::surjective(),
+            SpaceSpec::bijective(),
+        ] {
+            assert!(in_space(&f, &spec, &a, &b), "spec {}", spec.notation());
+        }
+    }
+
+    #[test]
+    fn fold_is_function_but_not_injective() {
+        // a ↦ x, b ↦ x : many-to-one.
+        let f = Process::from_pairs([("a", "x"), ("b", "x")]);
+        let a = dom_ab();
+        let b = xset![xtuple!["x"].into_value() => Value::empty_set()];
+        assert!(in_space(&f, &SpaceSpec::function(), &a, &b));
+        assert!(in_space(&f, &SpaceSpec::surjective(), &a, &b));
+        assert!(!in_space(&f, &SpaceSpec::bijective(), &a, &b));
+        assert!(!in_space(&f, &SpaceSpec::injective(), &a, &b));
+    }
+
+    #[test]
+    fn one_to_many_is_a_process_not_a_function() {
+        let f = Process::from_pairs([("a", "x"), ("a", "y")]);
+        let a = xset![xtuple!["a"].into_value() => Value::empty_set()];
+        let b = cod_xy();
+        assert!(in_space(&f, &SpaceSpec::process(), &a, &b));
+        assert!(!in_space(&f, &SpaceSpec::function(), &a, &b));
+    }
+
+    #[test]
+    fn on_requires_domain_equality() {
+        // Partial function: domain {a} ⊂ {a, b}.
+        let f = Process::from_pairs([("a", "x")]);
+        let (a, b) = (dom_ab(), cod_xy());
+        assert!(in_space(&f, &SpaceSpec::function(), &a, &b));
+        let on_spec = SpaceSpec {
+            on: true,
+            ..SpaceSpec::function()
+        };
+        assert!(!in_space(&f, &on_spec, &a, &b));
+    }
+
+    #[test]
+    fn onto_requires_codomain_equality() {
+        let f = Process::from_pairs([("a", "x"), ("b", "x")]);
+        let (a, b) = (dom_ab(), cod_xy());
+        let onto_spec = SpaceSpec {
+            onto: true,
+            ..SpaceSpec::function()
+        };
+        assert!(!in_space(&f, &onto_spec, &a, &b), "misses y");
+    }
+
+    #[test]
+    fn consequence_6_1_subspace_lattice() {
+        // (a) ℱ[A,B) ⊆ ℱ(A,B)
+        let on = SpaceSpec {
+            on: true,
+            ..SpaceSpec::function()
+        };
+        assert!(on.is_subspace_of(&SpaceSpec::function()));
+        // (b) ℱ(A,B] ⊆ ℱ(A,B)
+        let onto = SpaceSpec {
+            onto: true,
+            ..SpaceSpec::function()
+        };
+        assert!(onto.is_subspace_of(&SpaceSpec::function()));
+        // (c) ℱ[A,B] ⊆ ℱ(A,B] and (d) ℱ[A,B] ⊆ ℱ[A,B)
+        let both = SpaceSpec {
+            on: true,
+            onto: true,
+            ..SpaceSpec::function()
+        };
+        assert!(both.is_subspace_of(&onto));
+        assert!(both.is_subspace_of(&on));
+        // Bijective ⊆ injective-with-onto-dropped, etc.
+        assert!(SpaceSpec::bijective().is_subspace_of(&SpaceSpec::surjective()));
+        assert!(!SpaceSpec::function().is_subspace_of(&SpaceSpec::bijective()));
+    }
+
+    #[test]
+    fn subspace_containment_is_sound_on_memberships() {
+        // If spec1 ⊆ spec2 then membership in spec1 implies membership in
+        // spec2 — checked over a few concrete behaviors.
+        let behaviors = [
+            Process::from_pairs([("a", "x"), ("b", "y")]),
+            Process::from_pairs([("a", "x"), ("b", "x")]),
+            Process::from_pairs([("a", "x"), ("a", "y"), ("b", "x")]),
+        ];
+        let (a, b) = (dom_ab(), cod_xy());
+        let specs = refined_spaces();
+        for f in &behaviors {
+            for s1 in &specs {
+                for s2 in &specs {
+                    if s1.is_subspace_of(s2) && in_space(f, s1, &a, &b) {
+                        assert!(
+                            in_space(f, s2, &a, &b),
+                            "{} in {} but not in {}",
+                            f.graph,
+                            s1.notation(),
+                            s2.notation()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn notation_renders_alphabet() {
+        assert_eq!(SpaceSpec::bijective().notation(), "[-]");
+        assert_eq!(SpaceSpec::function().notation(), "(>-)");
+        assert_eq!(SpaceSpec::process().notation(), "(>-<)");
+    }
+
+    #[test]
+    fn classify_orders_most_specific_first() {
+        let f = Process::from_pairs([("a", "x"), ("b", "y")]);
+        let (a, b) = (dom_ab(), cod_xy());
+        let spaces = classify(&f, &a, &b);
+        assert!(!spaces.is_empty());
+        // A bijection's most specific refined space is on+onto with only
+        // one-to-one admitted: "[-]".
+        let top = most_specific_space(&f, &a, &b).unwrap();
+        assert_eq!(top.notation(), "[-]");
+        // Everything listed really contains f, and the unrestricted space
+        // is among them.
+        assert!(spaces.contains(&SpaceSpec::process()));
+        for s in &spaces {
+            assert!(in_space(&f, s, &a, &b));
+        }
+    }
+
+    #[test]
+    fn classify_fold_and_one_to_many() {
+        let (a, b) = (dom_ab(), cod_xy());
+        let fold = Process::from_pairs([("a", "x"), ("b", "x")]);
+        let cod_x = xset![xtuple!["x"].into_value() => Value::empty_set()];
+        let top = most_specific_space(&fold, &a, &cod_x).unwrap();
+        assert_eq!(top.notation(), "[>]", "on + onto, many-to-one only");
+        let split = Process::from_pairs([("a", "x"), ("a", "y")]);
+        let dom_a = xset![xtuple!["a"].into_value() => Value::empty_set()];
+        let top = most_specific_space(&split, &dom_a, &b).unwrap();
+        assert!(
+            top.notation().contains('<'),
+            "one-to-many must be admitted: {}",
+            top.notation()
+        );
+        assert!(!top.is_function_space());
+    }
+
+    #[test]
+    fn arrow_notation() {
+        let f = Process::from_pairs([("a", "x")]);
+        let a = xset![xtuple!["a"].into_value() => Value::empty_set()];
+        let b = cod_xy();
+        assert!(arrow(&f, &a, &b));
+        let wrong_b = xset![xtuple!["z"].into_value() => Value::empty_set()];
+        assert!(!arrow(&f, &a, &wrong_b));
+    }
+}

@@ -1,0 +1,186 @@
+//! # A guided tour of extended set theory, paper section by section
+//!
+//! This module contains no code — it is a narrated walkthrough of the
+//! whole theory with runnable examples (every block below is a doctest).
+//! Section numbers refer to the source paper, *Functions as Set Behavior*
+//! (D L Childs), the author's later specification of the extended set
+//! theory he introduced at VLDB 1977.
+//!
+//! ## §7.2 — Everything is a scoped set
+//!
+//! Membership is three-place: `x ∈_s A`. Ordered pairs and tuples are
+//! *defined* sets, not primitives:
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! // ⟨x, y⟩ = {x^1, y^2}   (Definition 7.2)
+//! let pair = ExtendedSet::pair("x", "y");
+//! assert_eq!(pair, xset!["x" => 1, "y" => 2]);
+//!
+//! // Tuples may repeat elements — positions keep them distinct.
+//! let t = ExtendedSet::tuple(["a", "a", "b"]);
+//! assert_eq!(t.card(), 3);
+//! assert_eq!(t.as_tuple().unwrap().len(), 3);
+//!
+//! // Classical membership is the ∅-scoped special case.
+//! let s = xset!["c"];
+//! assert!(s.contains_classical(&Value::sym("c")));
+//! ```
+//!
+//! ## §7.3–7.6 — The four primitive operations
+//!
+//! Re-scoping rewrites *where* members live; σ-domain projects; and
+//! σ-restriction selects:
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! // Re-scope by scope (7.3): {a^x, b^y}^{/{x↦1, y↦2}/} = {a^1, b^2}
+//! let a = xset!["a" => "x", "b" => "y"];
+//! let spec = xset!["x" => 1, "y" => 2];
+//! assert_eq!(rescope_by_scope(&a, &spec), xset!["a" => 1, "b" => 2]);
+//!
+//! // σ-Domain (7.4) over pairs: 𝔇_⟨2⟩ projects second components.
+//! let r = xset![
+//!     ExtendedSet::pair("a", "x").into_value(),
+//!     ExtendedSet::pair("b", "y").into_value()
+//! ];
+//! let second = sigma_domain(&r, &xtuple![2]);
+//! assert_eq!(second.to_string(), "{⟨x⟩, ⟨y⟩}");
+//!
+//! // σ-Restriction (7.6): keep the pairs whose first component is a.
+//! let picked = sigma_restrict(&r, &xtuple![1], &xset![xtuple!["a"].into_value()]);
+//! assert_eq!(picked.to_string(), "{⟨a, x⟩}");
+//!
+//! // Image (7.1) composes them: R[A]_⟨σ1,σ2⟩ = 𝔇_σ2(R |_σ1 A).
+//! let image_result = image(&r, &xset![xtuple!["a"].into_value()], &Scope::pairs());
+//! assert_eq!(image_result.to_string(), "{⟨x⟩}");
+//! ```
+//!
+//! ## §2, §8 — Processes: functions as behavior
+//!
+//! A process `f_(σ)` is a carrier set plus a scope pair. It is *not* a
+//! set — it denotes behavior, realized by application:
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! let f = Process::from_pairs([("a", "x"), ("b", "y"), ("c", "x")]);
+//! assert!(f.is_function());                      // Definition 8.2
+//!
+//! // The same carrier under the flipped scope is the inverse *behavior* —
+//! // and it is not a function (x has two preimages).
+//! let inv = f.inverse();
+//! assert!(!inv.is_function());
+//! assert_eq!(
+//!     inv.apply(&parse_set("{⟨x⟩}").unwrap()).to_string(),
+//!     "{⟨a⟩, ⟨c⟩}"
+//! );
+//! ```
+//!
+//! ## §4 — Nested application and ambiguity
+//!
+//! Applying a behavior to a behavior yields a behavior (Definition 4.1),
+//! and unbracketed chains are ambiguous — the number of readings is the
+//! Catalan number (2, 5, 14, 42, ...):
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! assert_eq!(interpretation_count(3), 5);
+//! assert_eq!(interpretation_count(5), 42);
+//! let trees = enumerate_interpretations(2);
+//! let shown: Vec<String> = trees.iter().map(|t| t.render(&["f", "g"], "x")).collect();
+//! assert!(shown.contains(&"f(g(x))".to_string()));
+//! assert!(shown.contains(&"(f(g))(x)".to_string()));
+//! ```
+//!
+//! ## §9 — Multi-valued results without paradox
+//!
+//! One set can carry every “answer”, selected by scope (Example 9.1):
+//!
+//! ```
+//! use xst_core::ops::{labeled_values, sigma_value};
+//! use xst_core::Value;
+//!
+//! let roots = labeled_values([
+//!     ("+", Value::Int(4)), ("-", Value::Int(-4)),
+//!     ("i", Value::sym("4i")), ("-i", Value::sym("-4i")),
+//! ]);
+//! assert_eq!(sigma_value(&roots, &Value::sym("-")).unwrap(), Value::Int(-4));
+//! ```
+//!
+//! ## §10–§11 — Relative product and composition
+//!
+//! The relative product is the join primitive; composition is one
+//! relative product (Theorem 11.2), so pipelines fuse:
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! let f = Process::from_pairs([("a", "b")]);
+//! let g = Process::from_pairs([("b", "c")]);
+//! let h = Process::compose(&g, &f).unwrap();
+//! let x = ExtendedSet::classical([ExtendedSet::tuple(["a"]).into_value()]);
+//! assert_eq!(h.apply(&x), g.apply(&f.apply(&x)));
+//! ```
+//!
+//! ## Appendix B — Self-application
+//!
+//! A set can act on itself; the paper's 5-tuple carrier generates all
+//! four unary maps on `{a, b}`:
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! let carrier = xset![
+//!     ExtendedSet::tuple(["a", "a", "a", "b", "b"]).into_value(),
+//!     ExtendedSet::tuple(["b", "b", "a", "a", "b"]).into_value()
+//! ];
+//! let f_sigma = Process::new(carrier.clone(), Scope::pairs());
+//! let f_omega = Process::new(
+//!     carrier,
+//!     Scope::new(xtuple![1], xtuple![1, 3, 4, 5, 2]),
+//! );
+//! // f[f] ≠ ∅ — self-application is expressible.
+//! assert!(!f_omega.apply(&f_omega.graph).is_empty());
+//! // One self-application turns the identity into the a-collapse.
+//! let g2 = Process::from_pairs([("a", "a"), ("b", "a")]);
+//! assert!(f_omega.apply_to_process(&f_sigma).equivalent(&g2));
+//! ```
+//!
+//! ## §5–§6 — Where a behavior lives
+//!
+//! Spaces classify behaviors; the refined lattice has 29 nodes, 12 of
+//! them non-empty function spaces (Appendix E):
+//!
+//! ```
+//! use xst_core::prelude::*;
+//! use xst_core::spaces::most_specific_space;
+//!
+//! let f = Process::from_pairs([("a", "x"), ("b", "y")]);
+//! let (a, b) = (f.domain(), f.codomain());
+//! let spec = most_specific_space(&f, &a, &b).unwrap();
+//! assert_eq!(spec.notation(), "[-]"); // on + onto + one-to-one: a bijection
+//! assert_eq!(refined_spaces().len(), 29);
+//! ```
+//!
+//! ## §12 — Why a database cares
+//!
+//! Every data representation has a mathematical identity, so data
+//! management *is* set processing. The storage crate makes that literal —
+//! see `xst_storage` and the `backend_system` example; grouping, for
+//! instance, is just scope partitioning:
+//!
+//! ```
+//! use xst_core::prelude::*;
+//!
+//! let rows = xset![
+//!     xtuple!["eng", "ann"].into_value(),
+//!     xtuple!["eng", "cy"].into_value(),
+//!     xtuple!["ops", "bo"].into_value()
+//! ];
+//! let groups = group_by_key(&rows, &xtuple![1]);
+//! assert_eq!(groups.card(), 2); // {eng-rows}^⟨eng⟩, {ops-rows}^⟨ops⟩
+//! ```

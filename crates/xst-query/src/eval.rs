@@ -1,0 +1,212 @@
+//! Expression evaluation with operator statistics.
+
+use crate::expr::{Bindings, Expr};
+use std::fmt;
+use xst_core::ops::{
+    cross, difference, image, intersection, relative_product, sigma_domain, sigma_restrict,
+    union,
+};
+use xst_core::{ExtendedSet, XstError, XstResult};
+
+/// Counters the evaluator accumulates; experiment E2 reads
+/// `intermediate_members` to show what fusion saves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Operator nodes executed.
+    pub nodes: u64,
+    /// Total members across all intermediate (non-root) results — the
+    /// materialization volume a pipeline pays.
+    pub intermediate_members: u64,
+    /// Members in the final result.
+    pub result_members: u64,
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} intermediate members, {} result members",
+            self.nodes, self.intermediate_members, self.result_members
+        )
+    }
+}
+
+/// Evaluate `expr` against `bindings`.
+pub fn eval(expr: &Expr, bindings: &Bindings) -> XstResult<ExtendedSet> {
+    let mut stats = EvalStats::default();
+    eval_with_stats(expr, bindings, &mut stats)
+}
+
+/// Evaluate and report statistics.
+pub fn eval_counted(expr: &Expr, bindings: &Bindings) -> XstResult<(ExtendedSet, EvalStats)> {
+    let mut stats = EvalStats::default();
+    let result = eval_with_stats(expr, bindings, &mut stats)?;
+    // The root was counted as intermediate inside the recursion; correct it.
+    stats.intermediate_members -= result.card() as u64;
+    stats.result_members = result.card() as u64;
+    Ok((result, stats))
+}
+
+fn eval_with_stats(
+    expr: &Expr,
+    bindings: &Bindings,
+    stats: &mut EvalStats,
+) -> XstResult<ExtendedSet> {
+    let result = match expr {
+        Expr::Literal(s) => s.clone(),
+        Expr::Table(name) => bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| XstError::NotComposable {
+                reason: format!("unbound table {name}"),
+            })?,
+        Expr::Union(a, b) => union(
+            &eval_with_stats(a, bindings, stats)?,
+            &eval_with_stats(b, bindings, stats)?,
+        ),
+        Expr::Intersect(a, b) => intersection(
+            &eval_with_stats(a, bindings, stats)?,
+            &eval_with_stats(b, bindings, stats)?,
+        ),
+        Expr::Difference(a, b) => difference(
+            &eval_with_stats(a, bindings, stats)?,
+            &eval_with_stats(b, bindings, stats)?,
+        ),
+        Expr::Restrict { r, sigma, a } => sigma_restrict(
+            &eval_with_stats(r, bindings, stats)?,
+            sigma,
+            &eval_with_stats(a, bindings, stats)?,
+        ),
+        Expr::Domain { r, sigma } => {
+            sigma_domain(&eval_with_stats(r, bindings, stats)?, sigma)
+        }
+        Expr::Image { r, a, scope } => image(
+            &eval_with_stats(r, bindings, stats)?,
+            &eval_with_stats(a, bindings, stats)?,
+            scope,
+        ),
+        Expr::RelProduct { f, sigma, g, omega } => relative_product(
+            &eval_with_stats(f, bindings, stats)?,
+            sigma,
+            &eval_with_stats(g, bindings, stats)?,
+            omega,
+        ),
+        Expr::Cross(a, b) => cross(
+            &eval_with_stats(a, bindings, stats)?,
+            &eval_with_stats(b, bindings, stats)?,
+        )?,
+    };
+    stats.nodes += 1;
+    // Leaves are inputs, not materialized intermediates.
+    if !matches!(expr, Expr::Literal(_) | Expr::Table(_)) {
+        stats.intermediate_members += result.card() as u64;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xst_core::{xset, xtuple, Scope, Value};
+
+    fn env() -> Bindings {
+        let f = xset![
+            ExtendedSet::pair("a", "x").into_value(),
+            ExtendedSet::pair("b", "y").into_value(),
+            ExtendedSet::pair("c", "x").into_value()
+        ];
+        let a = xset![xtuple!["a"].into_value()];
+        [("f".to_string(), f), ("a".to_string(), a)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn evaluates_image() {
+        let e = Expr::table("f").image(Expr::table("a"), Scope::pairs());
+        let got = eval(&e, &env()).unwrap();
+        assert_eq!(
+            got,
+            xset![xtuple!["x"].into_value() => Value::empty_set()]
+        );
+    }
+
+    #[test]
+    fn restrict_then_domain_equals_image() {
+        let env = env();
+        let two_pass = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let fused = Expr::table("f").image(Expr::table("a"), Scope::pairs());
+        assert_eq!(eval(&two_pass, &env).unwrap(), eval(&fused, &env).unwrap());
+    }
+
+    #[test]
+    fn stats_show_materialization_difference() {
+        let env = env();
+        let two_pass = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let fused = Expr::table("f").image(Expr::table("a"), Scope::pairs());
+        let (_, s2) = eval_counted(&two_pass, &env).unwrap();
+        let (_, s1) = eval_counted(&fused, &env).unwrap();
+        assert!(s2.nodes > s1.nodes);
+        assert!(
+            s2.intermediate_members > s1.intermediate_members,
+            "two-pass materializes the restriction: {s2} vs {s1}"
+        );
+        assert_eq!(s1.intermediate_members, 0);
+        assert_eq!(s1.result_members, 1);
+    }
+
+    #[test]
+    fn boolean_ops_evaluate() {
+        let mut b = Bindings::new();
+        b.insert("x".into(), xset![1, 2, 3]);
+        b.insert("y".into(), xset![2, 3, 4]);
+        let u = eval(&Expr::table("x").union(Expr::table("y")), &b).unwrap();
+        assert_eq!(u.card(), 4);
+        let i = eval(&Expr::table("x").intersect(Expr::table("y")), &b).unwrap();
+        assert_eq!(i, xset![2, 3]);
+        let d = eval(&Expr::table("x").difference(Expr::table("y")), &b).unwrap();
+        assert_eq!(d, xset![1]);
+    }
+
+    #[test]
+    fn cross_evaluates_and_propagates_errors() {
+        let mut b = Bindings::new();
+        b.insert("t".into(), xset![xtuple!["a"].into_value()]);
+        // Non-tuple members whose scopes collide (both use scope 0).
+        b.insert("bad".into(), xset![xset!["p" => 0].into_value()]);
+        b.insert("bad2".into(), xset![xset!["q" => 0].into_value()]);
+        let ok = eval(&Expr::table("t").cross(Expr::table("t")), &b).unwrap();
+        assert_eq!(ok.card(), 1);
+        assert!(eval(&Expr::table("bad").cross(Expr::table("bad2")), &b).is_err());
+    }
+
+    #[test]
+    fn unbound_table_errors() {
+        assert!(eval(&Expr::table("nope"), &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn rel_product_evaluates() {
+        let mut b = Bindings::new();
+        b.insert(
+            "f".into(),
+            xset![ExtendedSet::pair("a", "k").into_value()],
+        );
+        b.insert(
+            "g".into(),
+            xset![ExtendedSet::pair("k", "z").into_value()],
+        );
+        let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
+        let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
+        let e = Expr::table("f").rel_product(sigma, Expr::table("g"), omega);
+        let got = eval(&e, &b).unwrap();
+        assert_eq!(
+            got,
+            xset![ExtendedSet::pair("a", "z").into_value() => Value::empty_set()]
+        );
+    }
+}

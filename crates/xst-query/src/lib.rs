@@ -1,0 +1,29 @@
+//! # xst-query — algebraic expressions and a law-driven optimizer
+//!
+//! Query processing over the XST algebra:
+//!
+//! * [`expr`] — logical expression trees over named tables and literals;
+//! * [`mod@eval`] — an evaluator with operator statistics (node counts and
+//!   intermediate materialization volume — what composition saves);
+//! * [`rules`] — rewrite rules, each justified by a numbered law of the
+//!   paper (image fusion by C.1(f), empty pruning by C.1(g), union merges
+//!   by C.1(a)/(i), domain fusion by Defs 7.3/7.4, composition fusion by
+//!   Theorem 11.2);
+//! * [`optimizer`] — a fixpoint rule driver whose trace doubles as
+//!   `EXPLAIN` output;
+//! * [`cost`] — cardinality/work estimation used to sanity-check rewrites.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod eval;
+pub mod expr;
+pub mod optimizer;
+pub mod rules;
+
+pub use cost::{estimate, estimated_work, StatsSource, TableStats, DEFAULT_SELECTIVITY};
+pub use eval::{eval, eval_counted, EvalStats};
+pub use expr::{Bindings, Expr};
+pub use optimizer::{explain, Optimizer, Trace, TraceEntry};
+pub use rules::{default_rules, spec_compose, Rule};

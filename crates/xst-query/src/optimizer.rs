@@ -1,0 +1,387 @@
+//! Fixpoint rule driver with an explain trace.
+//!
+//! The optimizer rewrites an expression bottom-up, trying every rule at
+//! every node, and repeats until no rule fires (bounded by a pass limit).
+//! Each firing is recorded in the [`Trace`], which doubles as the `EXPLAIN`
+//! output: rule name, paper law, and the rewritten node.
+
+use crate::expr::Expr;
+use crate::rules::{default_rules, Rule};
+use std::fmt;
+
+/// One optimizer firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// The paper law justifying it.
+    pub law: &'static str,
+    /// Rendering of the node before the rewrite.
+    pub before: String,
+    /// Rendering of the node after the rewrite.
+    pub after: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} ⇒ {}",
+            self.rule, self.law, self.before, self.after
+        )
+    }
+}
+
+/// The full rewrite history of one optimization run.
+pub type Trace = Vec<TraceEntry>;
+
+/// A rule-driven expression optimizer.
+pub struct Optimizer {
+    rules: Vec<Box<dyn Rule>>,
+    max_passes: usize,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::new()
+    }
+}
+
+impl Optimizer {
+    /// Optimizer with the default rule set.
+    pub fn new() -> Optimizer {
+        Optimizer {
+            rules: default_rules(),
+            max_passes: 16,
+        }
+    }
+
+    /// Optimizer with a custom rule set.
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Optimizer {
+        Optimizer {
+            rules,
+            max_passes: 16,
+        }
+    }
+
+    /// Optimize to fixpoint, returning the rewritten expression and trace.
+    pub fn optimize(&self, expr: &Expr) -> (Expr, Trace) {
+        let mut current = expr.clone();
+        let mut trace = Trace::new();
+        for _ in 0..self.max_passes {
+            let (next, changed) = self.pass(&current, &mut trace);
+            current = next;
+            if !changed {
+                break;
+            }
+        }
+        (current, trace)
+    }
+
+    /// One bottom-up pass.
+    fn pass(&self, expr: &Expr, trace: &mut Trace) -> (Expr, bool) {
+        // Rewrite children first.
+        let (node, mut changed) = self.map_children(expr, trace);
+        // Then try rules at this node, repeatedly, until none fires.
+        let mut node = node;
+        loop {
+            let mut fired = false;
+            for rule in &self.rules {
+                if let Some(next) = rule.apply(&node) {
+                    trace.push(TraceEntry {
+                        rule: rule.name(),
+                        law: rule.law(),
+                        before: node.to_string(),
+                        after: next.to_string(),
+                    });
+                    node = next;
+                    fired = true;
+                    changed = true;
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+        (node, changed)
+    }
+
+    fn map_children(&self, expr: &Expr, trace: &mut Trace) -> (Expr, bool) {
+        macro_rules! go {
+            ($e:expr) => {{
+                let (child, ch) = self.pass($e, trace);
+                (Box::new(child), ch)
+            }};
+        }
+        match expr {
+            Expr::Literal(_) | Expr::Table(_) => (expr.clone(), false),
+            Expr::Union(a, b) => {
+                let (a, ca) = go!(a);
+                let (b, cb) = go!(b);
+                (Expr::Union(a, b), ca || cb)
+            }
+            Expr::Intersect(a, b) => {
+                let (a, ca) = go!(a);
+                let (b, cb) = go!(b);
+                (Expr::Intersect(a, b), ca || cb)
+            }
+            Expr::Difference(a, b) => {
+                let (a, ca) = go!(a);
+                let (b, cb) = go!(b);
+                (Expr::Difference(a, b), ca || cb)
+            }
+            Expr::Cross(a, b) => {
+                let (a, ca) = go!(a);
+                let (b, cb) = go!(b);
+                (Expr::Cross(a, b), ca || cb)
+            }
+            Expr::Restrict { r, sigma, a } => {
+                let (r, cr) = go!(r);
+                let (a, ca) = go!(a);
+                (
+                    Expr::Restrict {
+                        r,
+                        sigma: sigma.clone(),
+                        a,
+                    },
+                    cr || ca,
+                )
+            }
+            Expr::Domain { r, sigma } => {
+                let (r, cr) = go!(r);
+                (
+                    Expr::Domain {
+                        r,
+                        sigma: sigma.clone(),
+                    },
+                    cr,
+                )
+            }
+            Expr::Image { r, a, scope } => {
+                let (r, cr) = go!(r);
+                let (a, ca) = go!(a);
+                (
+                    Expr::Image {
+                        r,
+                        a,
+                        scope: scope.clone(),
+                    },
+                    cr || ca,
+                )
+            }
+            Expr::RelProduct { f, sigma, g, omega } => {
+                let (f, cf) = go!(f);
+                let (g, cg) = go!(g);
+                (
+                    Expr::RelProduct {
+                        f,
+                        sigma: sigma.clone(),
+                        g,
+                        omega: omega.clone(),
+                    },
+                    cf || cg,
+                )
+            }
+        }
+    }
+}
+
+impl Optimizer {
+    /// Optimize under a cost guard: a full fixpoint rewrite is accepted
+    /// only if it does not increase [`crate::cost::estimated_work`] under
+    /// `stats`; otherwise the original expression is returned with an
+    /// explanatory trace entry.
+    ///
+    /// With the default rule set every rewrite is work-reducing (see the
+    /// `optimizer_never_increases_estimated_work` test in [`crate::cost`]),
+    /// so the guard exists for custom rule sets — e.g. distribution rules
+    /// that trade one big pass for several small ones.
+    pub fn optimize_costed(
+        &self,
+        expr: &Expr,
+        stats: &dyn crate::cost::StatsSource,
+    ) -> (Expr, Trace) {
+        let before = crate::cost::estimated_work(expr, stats);
+        let (rewritten, mut trace) = self.optimize(expr);
+        let after = crate::cost::estimated_work(&rewritten, stats);
+        if after <= before {
+            (rewritten, trace)
+        } else {
+            trace.push(TraceEntry {
+                rule: "cost-guard",
+                law: "estimated_work must not increase",
+                before: format!("{rewritten} (est. {after:.0})"),
+                after: format!("{expr} (est. {before:.0})"),
+            });
+            (expr.clone(), trace)
+        }
+    }
+}
+
+/// Render an `EXPLAIN`-style report: the final plan plus every firing.
+pub fn explain(expr: &Expr) -> String {
+    let optimizer = Optimizer::new();
+    let (optimized, trace) = optimizer.optimize(expr);
+    let mut out = String::new();
+    out.push_str(&format!("plan: {optimized}\n"));
+    if trace.is_empty() {
+        out.push_str("rewrites: none\n");
+    } else {
+        out.push_str("rewrites:\n");
+        for entry in &trace {
+            out.push_str(&format!("  - {entry}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::expr::Bindings;
+    use xst_core::{xset, xtuple, ExtendedSet, Scope};
+
+    fn env() -> Bindings {
+        let f = xset![
+            ExtendedSet::pair("a", "x").into_value(),
+            ExtendedSet::pair("b", "y").into_value()
+        ];
+        let a = xset![xtuple!["a"].into_value()];
+        [("f".to_string(), f), ("a".to_string(), a)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn optimizes_two_pass_image_to_fused() {
+        let e = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let (optimized, trace) = Optimizer::new().optimize(&e);
+        assert!(matches!(optimized, Expr::Image { .. }));
+        assert!(trace.iter().any(|t| t.rule == "image-fusion"));
+        assert_eq!(eval(&e, &env()).unwrap(), eval(&optimized, &env()).unwrap());
+    }
+
+    #[test]
+    fn optimizer_reaches_fixpoint_on_nested_rewrites() {
+        // ((f |_σ a) domain) ∪ ∅  — needs empty-prune then image-fusion.
+        let e = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2])
+            .union(Expr::lit(ExtendedSet::empty()));
+        let (optimized, trace) = Optimizer::new().optimize(&e);
+        assert!(matches!(optimized, Expr::Image { .. }));
+        assert!(trace.len() >= 2);
+        assert_eq!(eval(&e, &env()).unwrap(), eval(&optimized, &env()).unwrap());
+    }
+
+    #[test]
+    fn pipeline_collapses_through_composition() {
+        let f = xset![ExtendedSet::pair("a", "b").into_value()];
+        let g = xset![ExtendedSet::pair("b", "c").into_value()];
+        let h = xset![ExtendedSet::pair("c", "d").into_value()];
+        // h[g[f[x]]] — three stages fuse to one.
+        let e = Expr::lit(h).image(
+            Expr::lit(g).image(
+                Expr::lit(f).image(Expr::table("x"), Scope::pairs()),
+                Scope::pairs(),
+            ),
+            Scope::pairs(),
+        );
+        let (optimized, trace) = Optimizer::new().optimize(&e);
+        assert_eq!(optimized.size(), 3, "single image over x: {optimized}");
+        assert!(
+            trace
+                .iter()
+                .filter(|t| t.rule == "composition-fusion")
+                .count()
+                >= 2
+        );
+        let mut env = Bindings::new();
+        env.insert("x".into(), xset![xtuple!["a"].into_value()]);
+        assert_eq!(eval(&e, &env).unwrap(), eval(&optimized, &env).unwrap());
+    }
+
+    #[test]
+    fn stable_expressions_are_untouched() {
+        let e = Expr::table("f").image(Expr::table("a"), Scope::pairs());
+        let (optimized, trace) = Optimizer::new().optimize(&e);
+        assert_eq!(optimized, e);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn explain_renders() {
+        let e = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let report = explain(&e);
+        assert!(report.contains("plan:"), "{report}");
+        assert!(report.contains("image-fusion"), "{report}");
+        assert!(report.contains("C.1(f)"), "{report}");
+        let stable = explain(&Expr::table("f"));
+        assert!(stable.contains("rewrites: none"), "{stable}");
+    }
+
+    #[test]
+    fn costed_optimizer_accepts_reducing_rewrites() {
+        use crate::cost::TableStats;
+        let mut stats = TableStats::default();
+        stats.set("f", 100);
+        stats.set("a", 4);
+        let e = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let (optimized, trace) = Optimizer::new().optimize_costed(&e, &stats);
+        assert!(matches!(optimized, Expr::Image { .. }));
+        assert!(!trace.iter().any(|t| t.rule == "cost-guard"));
+    }
+
+    #[test]
+    fn costed_optimizer_rejects_work_increasing_rules() {
+        use crate::cost::TableStats;
+        use crate::rules::Rule;
+
+        /// A deliberately bad rule: duplicates any table scan into a
+        /// self-union (same result, double the estimated work).
+        struct Duplicator;
+        impl Rule for Duplicator {
+            fn name(&self) -> &'static str {
+                "duplicator"
+            }
+            fn law(&self) -> &'static str {
+                "none — pessimization for testing"
+            }
+            fn apply(&self, expr: &Expr) -> Option<Expr> {
+                // Fires only on table "f" and rewrites to tables it never
+                // matches again, so the fixpoint loop terminates.
+                match expr {
+                    Expr::Table(t) if t == "f" => {
+                        Some(Expr::table("g").union(Expr::table("g")))
+                    }
+                    _ => None,
+                }
+            }
+        }
+
+        let mut stats = TableStats::default();
+        stats.set("f", 100);
+        stats.set("g", 100);
+        let e = Expr::table("f").domain(xtuple![1]);
+        let opt = Optimizer::with_rules(vec![Box::new(Duplicator)]);
+        let (guarded, trace) = opt.optimize_costed(&e, &stats);
+        assert_eq!(guarded, e, "pessimization rolled back");
+        assert!(trace.iter().any(|t| t.rule == "cost-guard"));
+    }
+
+    #[test]
+    fn custom_rule_sets() {
+        let opt = Optimizer::with_rules(vec![]);
+        let e = Expr::table("t").union(Expr::table("t"));
+        let (optimized, trace) = opt.optimize(&e);
+        assert_eq!(optimized, e, "no rules, no rewrites");
+        assert!(trace.is_empty());
+    }
+}

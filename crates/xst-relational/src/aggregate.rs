@@ -1,0 +1,222 @@
+//! GROUP BY and aggregation, built on XST scope partitioning.
+//!
+//! The grouping itself is `xst_core::ops::group_by_key` — members are
+//! re-scoped by their key projection and collected per scope, so a grouped
+//! relation is an ordinary extended set `{ rows_with_key^⟨key⟩ }`.
+//! Aggregates then fold each group's column.
+
+use crate::relation::{RelSchema, Relation};
+use xst_core::ops::group_by_key;
+use xst_core::{ExtendedSet, Value, XstError, XstResult};
+
+/// An aggregate function over one column of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of rows in the group.
+    Count,
+    /// Sum of an integer column.
+    Sum,
+    /// Minimum value of a column (by the total order on values).
+    Min,
+    /// Maximum value of a column.
+    Max,
+}
+
+impl Aggregate {
+    /// The column-name suffix used for the output schema.
+    fn label(&self) -> &'static str {
+        match self {
+            Aggregate::Count => "count",
+            Aggregate::Sum => "sum",
+            Aggregate::Min => "min",
+            Aggregate::Max => "max",
+        }
+    }
+
+    fn fold(&self, values: &[Value]) -> XstResult<Value> {
+        match self {
+            Aggregate::Count => Ok(Value::Int(values.len() as i64)),
+            Aggregate::Sum => {
+                let mut total = 0i64;
+                for v in values {
+                    let Value::Int(i) = v else {
+                        return Err(XstError::NotComposable {
+                            reason: format!("sum over non-integer value {v}"),
+                        });
+                    };
+                    total += i;
+                }
+                Ok(Value::Int(total))
+            }
+            Aggregate::Min => values.iter().min().cloned().ok_or_else(empty_group),
+            Aggregate::Max => values.iter().max().cloned().ok_or_else(empty_group),
+        }
+    }
+}
+
+fn empty_group() -> XstError {
+    XstError::NotComposable {
+        reason: "aggregate over an empty group".into(),
+    }
+}
+
+/// `SELECT key_cols, agg(col)… FROM r GROUP BY key_cols`.
+///
+/// The output schema is the key columns followed by one
+/// `"{agg}_{column}"` column per aggregate.
+pub fn group_by(
+    r: &Relation,
+    key_cols: &[&str],
+    aggregates: &[(Aggregate, &str)],
+) -> XstResult<Relation> {
+    if key_cols.is_empty() {
+        return Err(XstError::NotComposable {
+            reason: "group_by needs at least one key column".into(),
+        });
+    }
+    // Key spec: project key columns to positions 1..k.
+    let key_positions: Vec<usize> = key_cols
+        .iter()
+        .map(|c| r.schema().position(c))
+        .collect::<XstResult<_>>()?;
+    let key_spec = ExtendedSet::from_pairs(
+        key_positions
+            .iter()
+            .enumerate()
+            .map(|(out, &pos)| (Value::Int(pos as i64 + 1), Value::Int(out as i64 + 1))),
+    );
+    let agg_positions: Vec<usize> = aggregates
+        .iter()
+        .map(|(_, c)| r.schema().position(c))
+        .collect::<XstResult<_>>()?;
+
+    let groups = group_by_key(r.identity(), &key_spec);
+
+    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.card());
+    for (group, key) in groups.iter() {
+        let key_tuple = key
+            .as_set()
+            .and_then(ExtendedSet::as_tuple)
+            .ok_or_else(|| XstError::NotComposable {
+                reason: format!("group key {key} is not a tuple"),
+            })?;
+        let rows: Vec<Vec<Value>> = group
+            .as_set()
+            .map(|g| {
+                g.iter()
+                    .filter_map(|(e, _)| e.as_set().and_then(ExtendedSet::as_tuple))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut out_row = key_tuple;
+        for ((agg, _), &pos) in aggregates.iter().zip(&agg_positions) {
+            let column: Vec<Value> = rows.iter().map(|row| row[pos].clone()).collect();
+            out_row.push(agg.fold(&column)?);
+        }
+        out_rows.push(out_row);
+    }
+
+    let mut columns: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
+    for (agg, col) in aggregates {
+        columns.push(format!("{}_{col}", agg.label()));
+    }
+    Relation::from_rows(RelSchema::new(columns)?, out_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn supplies() -> Relation {
+        Relation::from_rows(
+            RelSchema::new(["sid", "pid", "qty"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(1), Value::Int(20), Value::Int(50)],
+                vec![Value::Int(2), Value::Int(10), Value::Int(5)],
+                vec![Value::Int(3), Value::Int(30), Value::Int(7)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_per_key() {
+        let g = group_by(&supplies(), &["sid"], &[(Aggregate::Count, "pid")]).unwrap();
+        assert_eq!(g.schema().columns(), &["sid".to_string(), "count_pid".to_string()]);
+        assert!(g.contains_row(&[Value::Int(1), Value::Int(2)]));
+        assert!(g.contains_row(&[Value::Int(2), Value::Int(1)]));
+        assert!(g.contains_row(&[Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn sum_min_max_per_key() {
+        let g = group_by(
+            &supplies(),
+            &["sid"],
+            &[
+                (Aggregate::Sum, "qty"),
+                (Aggregate::Min, "qty"),
+                (Aggregate::Max, "qty"),
+            ],
+        )
+        .unwrap();
+        assert!(g.contains_row(&[
+            Value::Int(1),
+            Value::Int(150),
+            Value::Int(50),
+            Value::Int(100)
+        ]));
+        assert!(g.contains_row(&[Value::Int(3), Value::Int(7), Value::Int(7), Value::Int(7)]));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let g = group_by(
+            &supplies(),
+            &["sid", "pid"],
+            &[(Aggregate::Count, "qty")],
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4, "every (sid,pid) pair is unique here");
+        assert!(g.contains_row(&[Value::Int(1), Value::Int(10), Value::Int(1)]));
+    }
+
+    #[test]
+    fn sum_rejects_non_integers() {
+        let r = Relation::from_rows(
+            RelSchema::new(["k", "v"]).unwrap(),
+            vec![vec![Value::Int(1), Value::sym("not-a-number")]],
+        )
+        .unwrap();
+        assert!(group_by(&r, &["k"], &[(Aggregate::Sum, "v")]).is_err());
+        // Min/Max work on any ordered values.
+        assert!(group_by(&r, &["k"], &[(Aggregate::Min, "v")]).is_ok());
+    }
+
+    #[test]
+    fn empty_relation_groups_to_empty() {
+        let r = Relation::from_rows(RelSchema::new(["k", "v"]).unwrap(), vec![]).unwrap();
+        let g = group_by(&r, &["k"], &[(Aggregate::Count, "v")]).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn errors_on_bad_columns_and_empty_keys() {
+        let s = supplies();
+        assert!(group_by(&s, &[], &[(Aggregate::Count, "qty")]).is_err());
+        assert!(group_by(&s, &["bogus"], &[(Aggregate::Count, "qty")]).is_err());
+        assert!(group_by(&s, &["sid"], &[(Aggregate::Count, "bogus")]).is_err());
+    }
+
+    #[test]
+    fn aggregation_composes_with_algebra() {
+        // total qty per sid, but only for part 10 — selection then group.
+        let only10 =
+            crate::algebra::select_eq(&supplies(), "pid", &Value::Int(10)).unwrap();
+        let g = group_by(&only10, &["sid"], &[(Aggregate::Sum, "qty")]).unwrap();
+        assert!(g.contains_row(&[Value::Int(1), Value::Int(100)]));
+        assert!(g.contains_row(&[Value::Int(2), Value::Int(5)]));
+        assert_eq!(g.len(), 2);
+    }
+}

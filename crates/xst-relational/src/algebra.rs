@@ -1,0 +1,331 @@
+//! The relational algebra, implemented *only* with XST operations.
+//!
+//! | relational op | XST realization |
+//! |---|---|
+//! | selection | σ-restriction (Def 7.6) via the fused image with an identity projection |
+//! | projection | σ-domain (Def 7.4) |
+//! | equijoin | relative product (Def 10.1) |
+//! | rename | schema-level (the identity is untouched — names are presentation) |
+//! | union/intersection/difference | the boolean merges of canonical identities |
+
+use crate::relation::{RelSchema, Relation};
+use xst_core::ops::{
+    difference as set_difference, image, intersection as set_intersection, relative_product,
+    sigma_domain, union as set_union, Scope,
+};
+use xst_core::{ExtendedSet, Value, XstError, XstResult};
+
+/// `σ_{field = value}(r)` — selection by equality on one column.
+pub fn select_eq(r: &Relation, field: &str, value: &Value) -> XstResult<Relation> {
+    select_in(r, field, std::slice::from_ref(value))
+}
+
+/// `σ_{field ∈ values}(r)` — selection by membership. One image call: the
+/// witness set carries every wanted key (Consequence C.1(a) in action).
+pub fn select_in(r: &Relation, field: &str, values: &[Value]) -> XstResult<Relation> {
+    let pos = r.schema().position(field)? as i64;
+    let witness = ExtendedSet::classical(
+        values
+            .iter()
+            .map(|v| Value::Set(ExtendedSet::tuple([v.clone()]))),
+    );
+    let scope = Scope::new(
+        ExtendedSet::tuple([Value::Int(pos + 1)]),
+        identity_spec(r.schema().arity() as i64),
+    );
+    Relation::from_identity(r.schema().clone(), image(r.identity(), &witness, &scope))
+}
+
+/// `π_{fields}(r)` — projection (distinct by construction).
+pub fn project(r: &Relation, fields: &[&str]) -> XstResult<Relation> {
+    let spec = ExtendedSet::tuple(
+        fields
+            .iter()
+            .map(|f| r.schema().position(f).map(|p| Value::Int(p as i64 + 1)))
+            .collect::<XstResult<Vec<_>>>()?,
+    );
+    let schema = RelSchema::new(fields.iter().map(|s| s.to_string()))?;
+    Relation::from_identity(schema, sigma_domain(r.identity(), &spec))
+}
+
+/// Equijoin `l ⋈_{lf = rf} r`: the relative product keeping the left tuple
+/// in place and shifting the right tuple past it. Output columns are the
+/// left columns followed by the right columns; colliding names get a
+/// `right_` prefix.
+pub fn join(l: &Relation, r: &Relation, lf: &str, rf: &str) -> XstResult<Relation> {
+    let lp = l.schema().position(lf)? as i64;
+    let rp = r.schema().position(rf)? as i64;
+    let ln = l.schema().arity() as i64;
+    let rn = r.schema().arity() as i64;
+    let sigma = Scope::new(
+        identity_spec(ln),
+        ExtendedSet::from_pairs([(Value::Int(lp + 1), Value::Int(1))]),
+    );
+    let omega = Scope::new(
+        ExtendedSet::from_pairs([(Value::Int(rp + 1), Value::Int(1))]),
+        ExtendedSet::from_pairs((1..=rn).map(|j| (Value::Int(j), Value::Int(ln + j)))),
+    );
+    let mut columns: Vec<String> = l.schema().columns().to_vec();
+    for c in r.schema().columns() {
+        if columns.contains(c) {
+            columns.push(format!("right_{c}"));
+        } else {
+            columns.push(c.clone());
+        }
+    }
+    let schema = RelSchema::new(columns)?;
+    Relation::from_identity(
+        schema,
+        relative_product(l.identity(), &sigma, r.identity(), &omega),
+    )
+}
+
+/// Semijoin `l ⋉_{lf = rf} r`: the rows of `l` that have a join partner in
+/// `r` — a σ-restriction of `l` witnessed by `r`'s projected keys, no
+/// tuple construction at all.
+pub fn semijoin(l: &Relation, r: &Relation, lf: &str, rf: &str) -> XstResult<Relation> {
+    let keys = project(r, &[rf])?;
+    let lp = l.schema().position(lf)? as i64;
+    let scope = Scope::new(
+        ExtendedSet::tuple([Value::Int(lp + 1)]),
+        identity_spec(l.schema().arity() as i64),
+    );
+    Relation::from_identity(
+        l.schema().clone(),
+        xst_core::ops::image(l.identity(), keys.identity(), &scope),
+    )
+}
+
+/// Antijoin `l ▷_{lf = rf} r`: the rows of `l` with *no* join partner —
+/// the set difference of `l` and its semijoin.
+pub fn antijoin(l: &Relation, r: &Relation, lf: &str, rf: &str) -> XstResult<Relation> {
+    let matched = semijoin(l, r, lf, rf)?;
+    Relation::from_identity(
+        l.schema().clone(),
+        set_difference(l.identity(), matched.identity()),
+    )
+}
+
+/// `ρ` — rename columns; the identity is untouched.
+pub fn rename(r: &Relation, mapping: &[(&str, &str)]) -> XstResult<Relation> {
+    let columns: Vec<String> = r
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| {
+            mapping
+                .iter()
+                .find(|(old, _)| old == c)
+                .map(|(_, new)| new.to_string())
+                .unwrap_or_else(|| c.clone())
+        })
+        .collect();
+    Relation::from_identity(RelSchema::new(columns)?, r.identity().clone())
+}
+
+fn check_compatible(a: &Relation, b: &Relation) -> XstResult<()> {
+    if a.schema().arity() == b.schema().arity() {
+        Ok(())
+    } else {
+        Err(XstError::NotComposable {
+            reason: format!(
+                "union-compatible relations required: arity {} vs {}",
+                a.schema().arity(),
+                b.schema().arity()
+            ),
+        })
+    }
+}
+
+/// `a ∪ b` (union-compatible).
+pub fn union(a: &Relation, b: &Relation) -> XstResult<Relation> {
+    check_compatible(a, b)?;
+    Relation::from_identity(a.schema().clone(), set_union(a.identity(), b.identity()))
+}
+
+/// `a ∩ b` (union-compatible).
+pub fn intersection(a: &Relation, b: &Relation) -> XstResult<Relation> {
+    check_compatible(a, b)?;
+    Relation::from_identity(
+        a.schema().clone(),
+        set_intersection(a.identity(), b.identity()),
+    )
+}
+
+/// `a ~ b` (union-compatible).
+pub fn difference(a: &Relation, b: &Relation) -> XstResult<Relation> {
+    check_compatible(a, b)?;
+    Relation::from_identity(
+        a.schema().clone(),
+        set_difference(a.identity(), b.identity()),
+    )
+}
+
+/// The identity re-scope spec `{1^1, ..., n^n}`.
+fn identity_spec(n: i64) -> ExtendedSet {
+    ExtendedSet::from_pairs((1..=n).map(|i| (Value::Int(i), Value::Int(i))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suppliers() -> Relation {
+        Relation::from_rows(
+            RelSchema::new(["sid", "city"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::sym("london")],
+                vec![Value::Int(2), Value::sym("paris")],
+                vec![Value::Int(3), Value::sym("london")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn supplies() -> Relation {
+        Relation::from_rows(
+            RelSchema::new(["sid", "pid", "qty"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(10), Value::Int(5)],
+                vec![Value::Int(3), Value::Int(20), Value::Int(7)],
+                vec![Value::Int(9), Value::Int(30), Value::Int(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn selection() {
+        let r = select_eq(&suppliers(), "city", &Value::sym("london")).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_row(&[Value::Int(1), Value::sym("london")]));
+        assert!(r.contains_row(&[Value::Int(3), Value::sym("london")]));
+    }
+
+    #[test]
+    fn selection_in_list() {
+        let r = select_in(
+            &suppliers(),
+            "sid",
+            &[Value::Int(1), Value::Int(2), Value::Int(99)],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn projection_is_distinct() {
+        let r = project(&suppliers(), &["city"]).unwrap();
+        assert_eq!(r.len(), 2, "london collapses");
+        assert_eq!(r.schema().columns(), &["city".to_string()]);
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let r = project(&suppliers(), &["city", "sid"]).unwrap();
+        assert!(r.contains_row(&[Value::sym("london"), Value::Int(1)]));
+    }
+
+    #[test]
+    fn equijoin() {
+        let j = join(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        assert_eq!(j.len(), 3, "sid 9 has no supplier");
+        assert_eq!(
+            j.schema().columns(),
+            &["sid", "city", "right_sid", "pid", "qty"]
+                .map(String::from)
+        );
+        assert!(j.contains_row(&[
+            Value::Int(1),
+            Value::sym("london"),
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(100)
+        ]));
+    }
+
+    #[test]
+    fn join_then_project_pipeline() {
+        let j = join(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        let cities_with_pid10 = project(
+            &select_eq(&j, "pid", &Value::Int(10)).unwrap(),
+            &["city"],
+        )
+        .unwrap();
+        assert_eq!(cities_with_pid10.len(), 2);
+    }
+
+    #[test]
+    fn rename_only_touches_schema() {
+        let r = rename(&suppliers(), &[("city", "location")]).unwrap();
+        assert_eq!(r.schema().columns()[1], "location");
+        assert_eq!(r.identity(), suppliers().identity());
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = suppliers();
+        let b = select_eq(&a, "city", &Value::sym("london")).unwrap();
+        assert_eq!(union(&a, &b).unwrap().len(), 3);
+        assert_eq!(intersection(&a, &b).unwrap().len(), 2);
+        assert_eq!(difference(&a, &b).unwrap().len(), 1);
+        assert!(union(&a, &supplies()).is_err(), "arity mismatch");
+    }
+
+    #[test]
+    fn empty_selection_flows_through() {
+        let none = select_eq(&suppliers(), "city", &Value::sym("tokyo")).unwrap();
+        assert!(none.is_empty());
+        let p = project(&none, &["sid"]).unwrap();
+        assert!(p.is_empty());
+        let j = join(&none, &supplies(), "sid", "sid").unwrap();
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        assert!(select_eq(&suppliers(), "bogus", &Value::Int(0)).is_err());
+        assert!(project(&suppliers(), &["bogus"]).is_err());
+        assert!(join(&suppliers(), &supplies(), "bogus", "sid").is_err());
+        assert!(semijoin(&suppliers(), &supplies(), "bogus", "sid").is_err());
+    }
+
+    #[test]
+    fn semijoin_keeps_matching_left_rows_only() {
+        let s = semijoin(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        assert_eq!(s.len(), 3, "sids 1,2,3 supply; schema unchanged");
+        assert_eq!(s.schema(), suppliers().schema());
+        assert!(s.contains_row(&[Value::Int(1), Value::sym("london")]));
+    }
+
+    #[test]
+    fn antijoin_is_the_complement_of_semijoin() {
+        let semi = semijoin(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        let anti = antijoin(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        assert!(anti.is_empty(), "every supplier supplies something here");
+        assert_eq!(
+            union(&semi, &anti).unwrap().identity(),
+            suppliers().identity()
+        );
+        // Remove supplier 1's supplies and it shows up in the antijoin.
+        let fewer = select_in(
+            &supplies(),
+            "sid",
+            &[Value::Int(2), Value::Int(3), Value::Int(9)],
+        )
+        .unwrap();
+        let anti2 = antijoin(&suppliers(), &fewer, "sid", "sid").unwrap();
+        assert_eq!(anti2.len(), 1);
+        assert!(anti2.contains_row(&[Value::Int(1), Value::sym("london")]));
+    }
+
+    #[test]
+    fn semijoin_agrees_with_join_then_project() {
+        // l ⋉ r  ==  π_{l-cols}(l ⋈ r) for these key-unique relations.
+        let semi = semijoin(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        let joined = join(&suppliers(), &supplies(), "sid", "sid").unwrap();
+        let projected = project(&joined, &["sid", "city"]).unwrap();
+        assert_eq!(semi.identity(), projected.identity());
+    }
+}

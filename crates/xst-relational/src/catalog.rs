@@ -1,0 +1,129 @@
+//! An in-memory catalog of named relations, with a bridge from the storage
+//! layer (a stored [`xst_storage::Table`] loads into a [`Relation`] through
+//! its set identity).
+
+use crate::relation::{RelSchema, Relation};
+use std::collections::BTreeMap;
+use xst_core::{XstError, XstResult};
+use xst_storage::{BufferPool, SetEngine, StorageError, Table};
+
+/// Named relations.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation under `name`.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Load a stored table through its set identity and register it.
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        table: &Table,
+        pool: &BufferPool,
+    ) -> Result<(), StorageError> {
+        let engine = SetEngine::load(table, pool)?;
+        let schema = RelSchema::new(table.schema.fields().iter().cloned())
+            .map_err(StorageError::Xst)?;
+        let relation = Relation::from_identity(schema, engine.identity().clone())
+            .map_err(StorageError::Xst)?;
+        self.register(name, relation);
+        Ok(())
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> XstResult<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| XstError::NotComposable {
+                reason: format!("no relation named {name}"),
+            })
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Export as evaluator bindings (name → identity) for `xst_query`.
+    pub fn bindings(&self) -> xst_query::Bindings {
+        self.relations
+            .iter()
+            .map(|(name, rel)| (name.clone(), rel.identity().clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xst_core::Value;
+    use xst_storage::{Record, Schema, Storage};
+
+    #[test]
+    fn register_and_get() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        let r = Relation::from_rows(
+            RelSchema::new(["a"]).unwrap(),
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap();
+        cat.register("t", r.clone());
+        assert_eq!(cat.get("t").unwrap(), &r);
+        assert!(cat.get("missing").is_err());
+        assert_eq!(cat.names(), vec!["t"]);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn register_table_bridges_storage() {
+        let storage = Storage::new();
+        let mut table = Table::create(&storage, Schema::new(["id", "name"]));
+        table
+            .load(&[
+                Record::new([Value::Int(1), Value::str("bolt")]),
+                Record::new([Value::Int(2), Value::str("nut")]),
+            ])
+            .unwrap();
+        let pool = BufferPool::new(storage, 4);
+        let mut cat = Catalog::new();
+        cat.register_table("parts", &table, &pool).unwrap();
+        let rel = cat.get("parts").unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.schema().columns(), &["id".to_string(), "name".to_string()]);
+        assert!(rel.contains_row(&[Value::Int(1), Value::str("bolt")]));
+    }
+
+    #[test]
+    fn bindings_export() {
+        let mut cat = Catalog::new();
+        let r = Relation::from_rows(
+            RelSchema::new(["a"]).unwrap(),
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap();
+        cat.register("t", r.clone());
+        let b = cat.bindings();
+        assert_eq!(b.get("t").unwrap(), r.identity());
+    }
+}

@@ -1,0 +1,464 @@
+//! A small textual pipeline language compiling to [`Query`].
+//!
+//! ```text
+//! from suppliers
+//!   | where city = london
+//!   | join supplies on sid = sid
+//!   | where pid in (10, 20)
+//!   | select city, sname
+//! ```
+//!
+//! Grammar (newlines are whitespace; `|` separates stages):
+//!
+//! ```text
+//! pipeline := "from" ident stage*
+//! stage    := "|" op
+//! op       := "where" ident "=" value
+//!           | "where" ident "in" "(" value ("," value)* ")"
+//!           | "select" ident ("," ident)*
+//!           | "join" ident "on" ident "=" ident
+//!           | "union" ident | "intersect" ident | "except" ident
+//!           | "rename" ident "->" ident ("," ident "->" ident)*
+//!           | "group" "by" ident ("," ident)* "compute" agg ("," agg)*
+//! agg      := ("count" | "sum" | "min" | "max") "(" ident ")"
+//! value    := integer | "quoted string" | bare-word (symbol)
+//! ```
+
+use crate::aggregate::Aggregate;
+use crate::query::Query;
+use xst_core::{Value, XstError, XstResult};
+
+/// Parse a pipeline into a [`Query`].
+pub fn parse_query(input: &str) -> XstResult<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Cursor {
+        tokens: &tokens,
+        pos: 0,
+    };
+    p.keyword("from")?;
+    let root = p.ident()?;
+    let mut q = Query::from(root);
+    while !p.at_end() {
+        p.punct("|")?;
+        q = p.stage(q)?;
+    }
+    Ok(q)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Int(i64),
+    Punct(char),
+    Arrow,
+}
+
+fn tokenize(input: &str) -> XstResult<Vec<(usize, Tok)>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '|' | ',' | '=' | '(' | ')' => {
+                out.push((start, Tok::Punct(c)));
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                out.push((start, Tok::Arrow));
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(XstError::Parse {
+                                offset: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((start, Tok::Str(s)));
+            }
+            _ if c.is_alphanumeric() || c == '_' || c == '-' => {
+                let mut w = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '-')
+                {
+                    // stop before an arrow
+                    if bytes[i] == '-' && bytes.get(i + 1) == Some(&'>') {
+                        break;
+                    }
+                    w.push(bytes[i]);
+                    i += 1;
+                }
+                let tok = match w.parse::<i64>() {
+                    Ok(n) => Tok::Int(n),
+                    Err(_) => Tok::Word(w),
+                };
+                out.push((start, tok));
+            }
+            other => {
+                return Err(XstError::Parse {
+                    offset: start,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Cursor<'a> {
+    tokens: &'a [(usize, Tok)],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> XstError {
+        XstError::Parse {
+            offset: self.tokens.get(self.pos).map(|&(o, _)| o).unwrap_or(0),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> XstResult<Tok> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> XstResult<()> {
+        match self.next()? {
+            Tok::Word(ref w) if w == kw => Ok(()),
+            other => Err(self.err(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn punct(&mut self, p: &str) -> XstResult<()> {
+        let c = p.chars().next().expect("non-empty punct");
+        match self.next()? {
+            Tok::Punct(got) if got == c => Ok(()),
+            other => Err(self.err(format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.tokens.get(self.pos), Some((_, Tok::Punct(got))) if *got == c)
+    }
+
+    fn ident(&mut self) -> XstResult<String> {
+        match self.next()? {
+            Tok::Word(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn value(&mut self) -> XstResult<Value> {
+        match self.next()? {
+            Tok::Int(i) => Ok(Value::Int(i)),
+            Tok::Str(s) => Ok(Value::str(s)),
+            Tok::Word(w) => Ok(Value::sym(w)),
+            other => Err(self.err(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn agg(&mut self) -> XstResult<(Aggregate, String)> {
+        let name = self.ident()?;
+        let agg = match name.as_str() {
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "min" => Aggregate::Min,
+            "max" => Aggregate::Max,
+            other => return Err(self.err(format!("unknown aggregate '{other}'"))),
+        };
+        self.punct("(")?;
+        let col = self.ident()?;
+        self.punct(")")?;
+        Ok((agg, col))
+    }
+
+    fn stage(&mut self, q: Query) -> XstResult<Query> {
+        let op = self.ident()?;
+        match op.as_str() {
+            "where" => {
+                let field = self.ident()?;
+                match self.next()? {
+                    Tok::Punct('=') => {
+                        let v = self.value()?;
+                        Ok(q.select_eq(field, v))
+                    }
+                    Tok::Word(ref w) if w == "in" => {
+                        self.punct("(")?;
+                        let mut values = vec![self.value()?];
+                        while self.peek_punct(',') {
+                            self.punct(",")?;
+                            values.push(self.value()?);
+                        }
+                        self.punct(")")?;
+                        Ok(q.select_in(field, values))
+                    }
+                    other => Err(self.err(format!("expected '=' or 'in', found {other:?}"))),
+                }
+            }
+            "select" => {
+                let mut fields = vec![self.ident()?];
+                while self.peek_punct(',') {
+                    self.punct(",")?;
+                    fields.push(self.ident()?);
+                }
+                let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+                Ok(q.project(&refs))
+            }
+            "join" => {
+                let right = self.ident()?;
+                self.keyword("on")?;
+                let lf = self.ident()?;
+                self.punct("=")?;
+                let rf = self.ident()?;
+                Ok(q.join(right, lf, rf))
+            }
+            "group" => {
+                self.keyword("by")?;
+                let mut keys = vec![self.ident()?];
+                while self.peek_punct(',') {
+                    self.punct(",")?;
+                    keys.push(self.ident()?);
+                }
+                self.keyword("compute")?;
+                let mut aggs: Vec<(Aggregate, String)> = vec![self.agg()?];
+                while self.peek_punct(',') {
+                    self.punct(",")?;
+                    aggs.push(self.agg()?);
+                }
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let agg_refs: Vec<(Aggregate, &str)> =
+                    aggs.iter().map(|(a, c)| (*a, c.as_str())).collect();
+                Ok(q.group_by(&key_refs, &agg_refs))
+            }
+            "union" => Ok(q.union(self.ident()?)),
+            "intersect" => Ok(q.intersect(self.ident()?)),
+            "except" => Ok(q.difference(self.ident()?)),
+            "rename" => {
+                let mut mapping: Vec<(String, String)> = Vec::new();
+                loop {
+                    let old = self.ident()?;
+                    match self.next()? {
+                        Tok::Arrow => {}
+                        other => {
+                            return Err(self.err(format!("expected '->', found {other:?}")))
+                        }
+                    }
+                    mapping.push((old, self.ident()?));
+                    if self.peek_punct(',') {
+                        self.punct(",")?;
+                    } else {
+                        break;
+                    }
+                }
+                let refs: Vec<(&str, &str)> = mapping
+                    .iter()
+                    .map(|(a, b)| (a.as_str(), b.as_str()))
+                    .collect();
+                Ok(q.rename(&refs))
+            }
+            other => Err(self.err(format!("unknown stage '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::relation::{RelSchema, Relation};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            "suppliers",
+            Relation::from_rows(
+                RelSchema::new(["sid", "sname", "city"]).unwrap(),
+                vec![
+                    vec![Value::Int(1), Value::str("Smith"), Value::sym("london")],
+                    vec![Value::Int(2), Value::str("Jones"), Value::sym("paris")],
+                    vec![Value::Int(3), Value::str("Blake"), Value::sym("london")],
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            "supplies",
+            Relation::from_rows(
+                RelSchema::new(["sid", "pid"]).unwrap(),
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(2), Value::Int(10)],
+                    vec![Value::Int(3), Value::Int(20)],
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn parses_and_runs_a_full_pipeline() {
+        let q = parse_query(
+            "from suppliers
+               | where city = london
+               | join supplies on sid = sid
+               | where pid = 10
+               | select sname",
+        )
+        .unwrap();
+        let r = q.run(&catalog()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains_row(&[Value::str("Smith")]));
+    }
+
+    #[test]
+    fn where_in_lists() {
+        let q = parse_query("from suppliers | where sid in (1, 3) | select city").unwrap();
+        let r = q.run(&catalog()).unwrap();
+        assert_eq!(r.len(), 1, "both are london; projection dedups");
+    }
+
+    #[test]
+    fn string_values_and_renames() {
+        let q = parse_query(
+            "from suppliers | where sname = \"Jones\" | rename city -> location, sid -> id",
+        )
+        .unwrap();
+        let r = q.run(&catalog()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.schema().columns(),
+            &["id".to_string(), "sname".to_string(), "location".to_string()]
+        );
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut cat = catalog();
+        let londoners = parse_query("from suppliers | where city = london")
+            .unwrap()
+            .run(&cat)
+            .unwrap();
+        cat.register("londoners", londoners);
+        let rest = parse_query("from suppliers | except londoners")
+            .unwrap()
+            .run(&cat)
+            .unwrap();
+        assert_eq!(rest.len(), 1);
+        let back = parse_query("from suppliers | intersect suppliers | union suppliers")
+            .unwrap()
+            .run(&cat)
+            .unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        for bad in [
+            "",                                   // no from
+            "from",                               // missing root
+            "from t |",                           // dangling pipe
+            "from t | frobnicate x",              // unknown stage
+            "from t | where a ? b",               // bad operator
+            "from t | where a in (1, 2",          // unclosed list
+            "from t | rename a b",                // missing arrow
+            "from t | where s = \"unterminated", // bad string
+            "from t | where a = $",               // bad char
+            "from t where",                       // missing pipe
+        ] {
+            let got = parse_query(bad);
+            assert!(got.is_err(), "should reject: {bad}");
+            assert!(matches!(got.unwrap_err(), XstError::Parse { .. }));
+        }
+    }
+
+    #[test]
+    fn compiled_form_matches_run() {
+        let cat = catalog();
+        let q = parse_query(
+            "from suppliers | join supplies on sid = sid | where pid = 10 | select city",
+        )
+        .unwrap();
+        let via_run = q.run(&cat).unwrap();
+        let expr = q.to_expr(&cat).unwrap();
+        let via_expr = xst_query::eval(&expr, &cat.bindings()).unwrap();
+        assert_eq!(via_run.identity(), &via_expr);
+    }
+
+    #[test]
+    fn group_by_stage_parses_and_runs() {
+        let q = parse_query(
+            "from supplies | group by sid compute count(pid), sum(pid)",
+        )
+        .unwrap();
+        let r = q.run(&catalog()).unwrap();
+        assert_eq!(
+            r.schema().columns(),
+            &["sid".to_string(), "count_pid".to_string(), "sum_pid".to_string()]
+        );
+        assert!(r.contains_row(&[Value::Int(1), Value::Int(1), Value::Int(10)]));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn group_by_after_join() {
+        let q = parse_query(
+            "from suppliers | join supplies on sid = sid              | group by city compute count(pid)",
+        )
+        .unwrap();
+        let r = q.run(&catalog()).unwrap();
+        assert!(r.contains_row(&[Value::sym("london"), Value::Int(2)]));
+    }
+
+    #[test]
+    fn group_by_parse_errors() {
+        assert!(parse_query("from t | group sid compute count(x)").is_err());
+        assert!(parse_query("from t | group by sid compute frob(x)").is_err());
+        assert!(parse_query("from t | group by sid compute count x").is_err());
+        assert!(parse_query("from t | group by sid").is_err());
+    }
+
+    #[test]
+    fn group_by_has_no_expression_form() {
+        let q = parse_query("from suppliers | group by city compute count(sid)").unwrap();
+        assert!(q.to_expr(&catalog()).is_err());
+        assert!(q.run(&catalog()).is_ok());
+    }
+
+    #[test]
+    fn negative_integers_parse_as_ints() {
+        let q = parse_query("from t | where x = -5");
+        assert!(q.is_ok());
+    }
+}

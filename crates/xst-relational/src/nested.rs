@@ -1,0 +1,231 @@
+//! Nested relations (NF²) — relation-valued columns.
+//!
+//! Classical formulations struggle with relations inside tuples (the
+//! Skolem objection the paper cites about n-tuples as operands); in XST a
+//! relation is a value like any other, so nesting and unnesting are plain
+//! restructurings:
+//!
+//! * [`nest`] groups rows by key columns and folds the remaining columns
+//!   into one *relation-valued* column (a classical set of tuples);
+//! * [`unnest`] flattens it back;
+//! * [`left_outer_join`] pads unmatched left rows with `∅` — no NULL
+//!   machinery needed, the empty set is a first-class value.
+
+use crate::relation::{RelSchema, Relation};
+use xst_core::ops::group_by_key;
+use xst_core::{ExtendedSet, Value, XstResult};
+
+/// Group by `key_cols`; the remaining columns become a single
+/// relation-valued column named `nested_as`.
+pub fn nest(r: &Relation, key_cols: &[&str], nested_as: &str) -> XstResult<Relation> {
+    let key_positions: Vec<usize> = key_cols
+        .iter()
+        .map(|c| r.schema().position(c))
+        .collect::<XstResult<_>>()?;
+    let rest_positions: Vec<usize> = (0..r.schema().arity())
+        .filter(|p| !key_positions.contains(p))
+        .collect();
+    let key_spec = ExtendedSet::from_pairs(
+        key_positions
+            .iter()
+            .enumerate()
+            .map(|(out, &pos)| (Value::Int(pos as i64 + 1), Value::Int(out as i64 + 1))),
+    );
+    let groups = group_by_key(r.identity(), &key_spec);
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.card());
+    for (group, key) in groups.iter() {
+        let mut row = key
+            .as_set()
+            .and_then(ExtendedSet::as_tuple)
+            .expect("group keys are tuples by construction");
+        // The nested value: the group's rows projected to the rest columns.
+        let inner = ExtendedSet::classical(
+            group
+                .as_set()
+                .map(|g| {
+                    g.iter()
+                        .filter_map(|(e, _)| e.as_set().and_then(ExtendedSet::as_tuple))
+                        .map(|tuple| {
+                            Value::Set(ExtendedSet::tuple(
+                                rest_positions.iter().map(|&p| tuple[p].clone()),
+                            ))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+        );
+        row.push(Value::Set(inner));
+        rows.push(row);
+    }
+
+    let mut columns: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
+    columns.push(nested_as.to_string());
+    Relation::from_rows(RelSchema::new(columns)?, rows)
+}
+
+/// Flatten a relation-valued column: each inner tuple contributes one
+/// output row `key_cols × inner_cols`. The inner columns are named
+/// `inner_names`.
+pub fn unnest(r: &Relation, nested_col: &str, inner_names: &[&str]) -> XstResult<Relation> {
+    let pos = r.schema().position(nested_col)?;
+    let outer_cols: Vec<(usize, String)> = r
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != pos)
+        .map(|(i, c)| (i, c.clone()))
+        .collect();
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for row in r.rows() {
+        let inner = row[pos].as_set_view();
+        for (e, _) in inner.iter() {
+            let Some(inner_tuple) = e.as_set().and_then(ExtendedSet::as_tuple) else {
+                continue;
+            };
+            let mut out: Vec<Value> =
+                outer_cols.iter().map(|(i, _)| row[*i].clone()).collect();
+            out.extend(inner_tuple);
+            rows.push(out);
+        }
+    }
+
+    let mut columns: Vec<String> = outer_cols.into_iter().map(|(_, c)| c).collect();
+    columns.extend(inner_names.iter().map(|s| s.to_string()));
+    Relation::from_rows(RelSchema::new(columns)?, rows)
+}
+
+/// Left outer join: matched rows concatenate as in
+/// [`crate::algebra::join`]; unmatched left rows are padded with `∅` in
+/// every right column.
+pub fn left_outer_join(
+    l: &Relation,
+    r: &Relation,
+    lf: &str,
+    rf: &str,
+) -> XstResult<Relation> {
+    let inner = crate::algebra::join(l, r, lf, rf)?;
+    let unmatched = crate::algebra::antijoin(l, r, lf, rf)?;
+    let pad = vec![Value::empty_set(); r.schema().arity()];
+    let padded_rows: Vec<Vec<Value>> = unmatched
+        .rows()
+        .into_iter()
+        .map(|mut row| {
+            row.extend(pad.iter().cloned());
+            row
+        })
+        .collect();
+    let padded = Relation::from_rows(
+        RelSchema::new(inner.schema().columns().to_vec())?,
+        padded_rows,
+    )?;
+    crate::algebra::union(&inner, &padded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn supplies() -> Relation {
+        Relation::from_rows(
+            RelSchema::new(["sid", "pid", "qty"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(1), Value::Int(20), Value::Int(50)],
+                vec![Value::Int(2), Value::Int(10), Value::Int(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nest_groups_rows_into_relation_values() {
+        let n = nest(&supplies(), &["sid"], "items").unwrap();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.schema().columns(), &["sid".to_string(), "items".to_string()]);
+        // Supplier 1 nests two (pid, qty) pairs.
+        let row1 = n
+            .rows()
+            .into_iter()
+            .find(|r| r[0] == Value::Int(1))
+            .unwrap();
+        let items = row1[1].as_set_view();
+        assert_eq!(items.card(), 2);
+        assert!(items.contains_classical(
+            &ExtendedSet::pair(Value::Int(10), Value::Int(100)).into_value()
+        ));
+    }
+
+    #[test]
+    fn nest_unnest_roundtrip() {
+        let original = supplies();
+        let nested = nest(&original, &["sid"], "items").unwrap();
+        let back = unnest(&nested, "items", &["pid", "qty"]).unwrap();
+        assert_eq!(back.identity(), original.identity());
+        assert_eq!(back.schema().columns(), original.schema().columns());
+    }
+
+    #[test]
+    fn nest_by_multiple_keys() {
+        let n = nest(&supplies(), &["sid", "pid"], "rest").unwrap();
+        assert_eq!(n.len(), 3, "every (sid,pid) is unique");
+        for row in n.rows() {
+            assert_eq!(row[2].as_set_view().card(), 1);
+        }
+    }
+
+    #[test]
+    fn unnest_skips_empty_inner_sets() {
+        let r = Relation::from_rows(
+            RelSchema::new(["k", "items"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::empty_set()],
+                vec![
+                    Value::Int(2),
+                    Value::Set(ExtendedSet::classical([Value::Set(ExtendedSet::tuple([
+                        Value::Int(7),
+                    ]))])),
+                ],
+            ],
+        )
+        .unwrap();
+        let u = unnest(&r, "items", &["v"]).unwrap();
+        assert_eq!(u.len(), 1);
+        assert!(u.contains_row(&[Value::Int(2), Value::Int(7)]));
+    }
+
+    #[test]
+    fn left_outer_join_pads_with_empty_set() {
+        let suppliers = Relation::from_rows(
+            RelSchema::new(["sid", "city"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::sym("london")],
+                vec![Value::Int(9), Value::sym("athens")], // supplies nothing
+            ],
+        )
+        .unwrap();
+        let j = left_outer_join(&suppliers, &supplies(), "sid", "sid").unwrap();
+        assert_eq!(j.len(), 3, "two matches for sid 1 + one padded row");
+        assert!(j.contains_row(&[
+            Value::Int(9),
+            Value::sym("athens"),
+            Value::empty_set(),
+            Value::empty_set(),
+            Value::empty_set()
+        ]));
+        // The matched rows are exactly the inner join's.
+        let inner = crate::algebra::join(&suppliers, &supplies(), "sid", "sid").unwrap();
+        for row in inner.rows() {
+            assert!(j.contains_row(&row));
+        }
+    }
+
+    #[test]
+    fn bad_columns_error() {
+        assert!(nest(&supplies(), &["bogus"], "x").is_err());
+        let n = nest(&supplies(), &["sid"], "items").unwrap();
+        assert!(unnest(&n, "bogus", &["a"]).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! A small fluent query builder over a [`Catalog`].
+//!
+//! Queries both *execute* (through the algebra in [`crate::algebra`], which
+//! tracks schemas) and *compile* to an [`xst_query::Expr`] (so the
+//! law-driven optimizer and its `EXPLAIN` trace apply).
+
+use crate::aggregate::{self, Aggregate};
+use crate::algebra;
+use crate::catalog::Catalog;
+use crate::relation::Relation;
+use xst_core::ops::Scope;
+use xst_core::{ExtendedSet, Value, XstResult};
+use xst_query::Expr;
+
+/// One step of a query pipeline.
+#[derive(Debug, Clone)]
+enum Op {
+    SelectEq { field: String, value: Value },
+    SelectIn { field: String, values: Vec<Value> },
+    Project { fields: Vec<String> },
+    Join { right: String, lf: String, rf: String },
+    Union { right: String },
+    Intersect { right: String },
+    Difference { right: String },
+    Rename { mapping: Vec<(String, String)> },
+    GroupBy { keys: Vec<String>, aggs: Vec<(Aggregate, String)> },
+}
+
+/// A fluent pipeline rooted at a named relation.
+#[derive(Debug, Clone)]
+pub struct Query {
+    root: String,
+    ops: Vec<Op>,
+}
+
+impl Query {
+    /// Start from the relation named `root`.
+    pub fn from(root: impl Into<String>) -> Query {
+        Query {
+            root: root.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// `WHERE field = value`.
+    pub fn select_eq(mut self, field: impl Into<String>, value: Value) -> Query {
+        self.ops.push(Op::SelectEq {
+            field: field.into(),
+            value,
+        });
+        self
+    }
+
+    /// `WHERE field IN values`.
+    pub fn select_in(mut self, field: impl Into<String>, values: Vec<Value>) -> Query {
+        self.ops.push(Op::SelectIn {
+            field: field.into(),
+            values,
+        });
+        self
+    }
+
+    /// `SELECT DISTINCT fields`.
+    pub fn project(mut self, fields: &[&str]) -> Query {
+        self.ops.push(Op::Project {
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Equijoin with another catalog relation.
+    pub fn join(
+        mut self,
+        right: impl Into<String>,
+        lf: impl Into<String>,
+        rf: impl Into<String>,
+    ) -> Query {
+        self.ops.push(Op::Join {
+            right: right.into(),
+            lf: lf.into(),
+            rf: rf.into(),
+        });
+        self
+    }
+
+    /// Union with another catalog relation.
+    pub fn union(mut self, right: impl Into<String>) -> Query {
+        self.ops.push(Op::Union {
+            right: right.into(),
+        });
+        self
+    }
+
+    /// Intersection with another catalog relation.
+    pub fn intersect(mut self, right: impl Into<String>) -> Query {
+        self.ops.push(Op::Intersect {
+            right: right.into(),
+        });
+        self
+    }
+
+    /// Difference with another catalog relation.
+    pub fn difference(mut self, right: impl Into<String>) -> Query {
+        self.ops.push(Op::Difference {
+            right: right.into(),
+        });
+        self
+    }
+
+    /// `GROUP BY keys` with aggregates.
+    pub fn group_by(mut self, keys: &[&str], aggs: &[(Aggregate, &str)]) -> Query {
+        self.ops.push(Op::GroupBy {
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            aggs: aggs.iter().map(|(a, c)| (*a, c.to_string())).collect(),
+        });
+        self
+    }
+
+    /// Rename columns.
+    pub fn rename(mut self, mapping: &[(&str, &str)]) -> Query {
+        self.ops.push(Op::Rename {
+            mapping: mapping
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Execute against a catalog.
+    pub fn run(&self, catalog: &Catalog) -> XstResult<Relation> {
+        let mut current = catalog.get(&self.root)?.clone();
+        for op in &self.ops {
+            current = match op {
+                Op::SelectEq { field, value } => algebra::select_eq(&current, field, value)?,
+                Op::SelectIn { field, values } => {
+                    algebra::select_in(&current, field, values)?
+                }
+                Op::Project { fields } => {
+                    let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+                    algebra::project(&current, &refs)?
+                }
+                Op::Join { right, lf, rf } => {
+                    algebra::join(&current, catalog.get(right)?, lf, rf)?
+                }
+                Op::Union { right } => algebra::union(&current, catalog.get(right)?)?,
+                Op::Intersect { right } => {
+                    algebra::intersection(&current, catalog.get(right)?)?
+                }
+                Op::Difference { right } => {
+                    algebra::difference(&current, catalog.get(right)?)?
+                }
+                Op::Rename { mapping } => {
+                    let refs: Vec<(&str, &str)> = mapping
+                        .iter()
+                        .map(|(a, b)| (a.as_str(), b.as_str()))
+                        .collect();
+                    algebra::rename(&current, &refs)?
+                }
+                Op::GroupBy { keys, aggs } => {
+                    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                    let agg_refs: Vec<(Aggregate, &str)> =
+                        aggs.iter().map(|(a, c)| (*a, c.as_str())).collect();
+                    aggregate::group_by(&current, &key_refs, &agg_refs)?
+                }
+            };
+        }
+        Ok(current)
+    }
+
+    /// Compile to a logical [`Expr`] over the catalog's bindings.
+    ///
+    /// Schema positions are resolved by *running the schema computation*
+    /// (not the data) through the same pipeline, so the compiled expression
+    /// matches what [`Query::run`] executes.
+    pub fn to_expr(&self, catalog: &Catalog) -> XstResult<Expr> {
+        let mut schema = catalog.get(&self.root)?.schema().clone();
+        let mut expr = Expr::table(&self.root);
+        for op in &self.ops {
+            match op {
+                Op::SelectEq { field, value } => {
+                    let pos = schema.position(field)? as i64;
+                    let witness = ExtendedSet::classical([Value::Set(ExtendedSet::tuple([
+                        value.clone(),
+                    ]))]);
+                    expr = expr.image(
+                        Expr::lit(witness),
+                        // Witness drives σ1 on the *relation* side, so the
+                        // scope is flipped relative to application: the
+                        // pipeline restricts `expr` by the literal.
+                        Scope::new(
+                            ExtendedSet::tuple([Value::Int(pos + 1)]),
+                            identity_spec(schema.arity() as i64),
+                        ),
+                    );
+                    // NOTE: Expr::Image applies r[a]; here r = expr.
+                    // Schema unchanged by selection.
+                }
+                Op::SelectIn { field, values } => {
+                    let pos = schema.position(field)? as i64;
+                    let witness = ExtendedSet::classical(values.iter().map(|v| {
+                        Value::Set(ExtendedSet::tuple([v.clone()]))
+                    }));
+                    expr = expr.image(
+                        Expr::lit(witness),
+                        Scope::new(
+                            ExtendedSet::tuple([Value::Int(pos + 1)]),
+                            identity_spec(schema.arity() as i64),
+                        ),
+                    );
+                }
+                Op::Project { fields } => {
+                    let spec = ExtendedSet::tuple(
+                        fields
+                            .iter()
+                            .map(|f| schema.position(f).map(|p| Value::Int(p as i64 + 1)))
+                            .collect::<XstResult<Vec<_>>>()?,
+                    );
+                    expr = expr.domain(spec);
+                    schema = crate::relation::RelSchema::new(fields.clone())?;
+                }
+                Op::Join { right, lf, rf } => {
+                    let right_rel = catalog.get(right)?;
+                    let lp = schema.position(lf)? as i64;
+                    let rp = right_rel.schema().position(rf)? as i64;
+                    let ln = schema.arity() as i64;
+                    let rn = right_rel.schema().arity() as i64;
+                    let sigma = Scope::new(
+                        identity_spec(ln),
+                        ExtendedSet::from_pairs([(Value::Int(lp + 1), Value::Int(1))]),
+                    );
+                    let omega = Scope::new(
+                        ExtendedSet::from_pairs([(Value::Int(rp + 1), Value::Int(1))]),
+                        ExtendedSet::from_pairs(
+                            (1..=rn).map(|j| (Value::Int(j), Value::Int(ln + j))),
+                        ),
+                    );
+                    expr = expr.rel_product(sigma, Expr::table(right), omega);
+                    // Recompute the joined schema the same way algebra::join
+                    // does.
+                    let mut columns: Vec<String> = schema.columns().to_vec();
+                    for c in right_rel.schema().columns() {
+                        if columns.contains(c) {
+                            columns.push(format!("right_{c}"));
+                        } else {
+                            columns.push(c.clone());
+                        }
+                    }
+                    schema = crate::relation::RelSchema::new(columns)?;
+                }
+                Op::Union { right } => expr = expr.union(Expr::table(right)),
+                Op::Intersect { right } => expr = expr.intersect(Expr::table(right)),
+                Op::Difference { right } => expr = expr.difference(Expr::table(right)),
+                Op::Rename { .. } => { /* presentation only */ }
+                Op::GroupBy { .. } => {
+                    return Err(xst_core::XstError::NotComposable {
+                        reason: "aggregation has no logical-expression form; \
+                                 run the pipeline instead"
+                            .into(),
+                    })
+                }
+            }
+        }
+        Ok(expr)
+    }
+}
+
+fn identity_spec(n: i64) -> ExtendedSet {
+    ExtendedSet::from_pairs((1..=n).map(|i| (Value::Int(i), Value::Int(i))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelSchema;
+    use xst_query::eval;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            "suppliers",
+            Relation::from_rows(
+                RelSchema::new(["sid", "city"]).unwrap(),
+                vec![
+                    vec![Value::Int(1), Value::sym("london")],
+                    vec![Value::Int(2), Value::sym("paris")],
+                    vec![Value::Int(3), Value::sym("london")],
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            "supplies",
+            Relation::from_rows(
+                RelSchema::new(["sid", "pid", "qty"]).unwrap(),
+                vec![
+                    vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                    vec![Value::Int(2), Value::Int(10), Value::Int(5)],
+                    vec![Value::Int(3), Value::Int(20), Value::Int(7)],
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn pipeline_runs() {
+        let cat = catalog();
+        let result = Query::from("suppliers")
+            .select_eq("city", Value::sym("london"))
+            .project(&["sid"])
+            .run(&cat)
+            .unwrap();
+        assert_eq!(result.len(), 2);
+        assert!(result.contains_row(&[Value::Int(1)]));
+        assert!(result.contains_row(&[Value::Int(3)]));
+    }
+
+    #[test]
+    fn join_pipeline_runs() {
+        let cat = catalog();
+        let result = Query::from("suppliers")
+            .join("supplies", "sid", "sid")
+            .select_eq("pid", Value::Int(10))
+            .project(&["city"])
+            .run(&cat)
+            .unwrap();
+        assert_eq!(result.len(), 2, "london and paris supply pid 10");
+    }
+
+    #[test]
+    fn compiled_expr_matches_run() {
+        let cat = catalog();
+        for q in [
+            Query::from("suppliers")
+                .select_eq("city", Value::sym("london"))
+                .project(&["sid"]),
+            Query::from("suppliers").join("supplies", "sid", "sid"),
+            Query::from("suppliers")
+                .join("supplies", "sid", "sid")
+                .select_eq("pid", Value::Int(10))
+                .project(&["city"]),
+            Query::from("suppliers")
+                .select_in("sid", vec![Value::Int(1), Value::Int(3)]),
+        ] {
+            let via_algebra = q.run(&cat).unwrap();
+            let expr = q.to_expr(&cat).unwrap();
+            let via_expr = eval(&expr, &cat.bindings()).unwrap();
+            assert_eq!(
+                via_algebra.identity(),
+                &via_expr,
+                "query {q:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_applies_to_compiled_queries() {
+        let cat = catalog();
+        let q = Query::from("suppliers")
+            .select_eq("city", Value::sym("london"))
+            .project(&["sid"]);
+        let expr = q.to_expr(&cat).unwrap();
+        let (optimized, _trace) = xst_query::Optimizer::new().optimize(&expr);
+        let a = eval(&expr, &cat.bindings()).unwrap();
+        let b = eval(&optimized, &cat.bindings()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_ops_and_rename() {
+        let cat = catalog();
+        let londoners = Query::from("suppliers")
+            .select_eq("city", Value::sym("london"))
+            .run(&cat)
+            .unwrap();
+        let mut cat2 = catalog();
+        cat2.register("londoners", londoners);
+        let rest = Query::from("suppliers")
+            .difference("londoners")
+            .rename(&[("city", "location")])
+            .run(&cat2)
+            .unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest.schema().columns()[1], "location");
+    }
+
+    #[test]
+    fn missing_root_errors() {
+        assert!(Query::from("nope").run(&catalog()).is_err());
+        assert!(Query::from("nope").to_expr(&catalog()).is_err());
+    }
+}

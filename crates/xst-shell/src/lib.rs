@@ -1,0 +1,313 @@
+//! # xst-shell — an interactive calculator for extended set theory
+//!
+//! A [`Session`] holds named bindings and evaluates one command per line:
+//!
+//! ```text
+//! let f = {⟨a, x⟩, ⟨b, y⟩, ⟨c, x⟩}
+//! apply f {⟨a⟩}                  -- f_(⟨⟨1⟩,⟨2⟩⟩)(x)
+//! image f {⟨x⟩} ⟨2⟩ ⟨1⟩          -- explicit scope pair (the inverse here)
+//! union f g · intersect · difference
+//! domain f ⟨1⟩ · restrict f ⟨1⟩ {⟨a⟩}
+//! compose g f                    -- binds nothing; prints the carrier
+//! tc r                           -- transitive closure of a pair relation
+//! card f · function? f · show f · vars · help
+//! ```
+//!
+//! Operands are either bound names or inline set literals in the crate's
+//! textual notation; the parser figures out which.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use xst_core::ops::{
+    difference, image, intersection, pair_compose, sigma_domain, sigma_restrict,
+    transitive_closure, union,
+};
+use xst_core::parse::parse_set;
+use xst_core::{ExtendedSet, Process, Scope, XstError, XstResult};
+
+/// An interactive session: named set bindings plus command evaluation.
+#[derive(Default)]
+pub struct Session {
+    bindings: BTreeMap<String, ExtendedSet>,
+}
+
+impl Session {
+    /// Fresh session with no bindings.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&ExtendedSet> {
+        self.bindings.get(name)
+    }
+
+    /// Evaluate one command line. `Ok(None)` means "nothing to print"
+    /// (empty line or comment).
+    pub fn eval_line(&mut self, line: &str) -> XstResult<Option<String>> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+            return Ok(None);
+        }
+        // `let name = <set expression>` is the only statement form.
+        if let Some(rest) = line.strip_prefix("let ") {
+            let (name, expr) = rest.split_once('=').ok_or_else(|| err("let needs '='"))?;
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(format!("bad binding name '{name}'")));
+            }
+            let value = self.operand(expr.trim())?;
+            self.bindings.insert(name.to_string(), value);
+            return Ok(Some(format!("{name} bound")));
+        }
+        let mut parts = Tokens::new(line);
+        let command = parts.next_word()?;
+        let out = match command.as_str() {
+            "help" => HELP.to_string(),
+            "vars" => {
+                if self.bindings.is_empty() {
+                    "no bindings".to_string()
+                } else {
+                    let mut s = String::new();
+                    for (name, set) in &self.bindings {
+                        let _ = writeln!(s, "{name} = {set}");
+                    }
+                    s.trim_end().to_string()
+                }
+            }
+            "show" => self.operand(&parts.rest()?)?.to_string(),
+            "card" => self.operand(&parts.rest()?)?.card().to_string(),
+            "union" | "intersect" | "difference" | "compose" => {
+                let a = self.operand(&parts.next_operand()?)?;
+                let b = self.operand(&parts.rest()?)?;
+                match command.as_str() {
+                    "union" => union(&a, &b).to_string(),
+                    "intersect" => intersection(&a, &b).to_string(),
+                    "difference" => difference(&a, &b).to_string(),
+                    // compose g f prints the composed pair-relation carrier.
+                    _ => pair_compose(&b, &a).to_string(),
+                }
+            }
+            "apply" => {
+                let f = self.operand(&parts.next_operand()?)?;
+                let x = self.operand(&parts.rest()?)?;
+                Process::pairs(f).apply(&x).to_string()
+            }
+            "image" => {
+                let r = self.operand(&parts.next_operand()?)?;
+                let a = self.operand(&parts.next_operand()?)?;
+                let s1 = self.operand(&parts.next_operand()?)?;
+                let s2 = self.operand(&parts.rest()?)?;
+                image(&r, &a, &Scope::new(s1, s2)).to_string()
+            }
+            "domain" => {
+                let r = self.operand(&parts.next_operand()?)?;
+                let spec = self.operand(&parts.rest()?)?;
+                sigma_domain(&r, &spec).to_string()
+            }
+            "restrict" => {
+                let r = self.operand(&parts.next_operand()?)?;
+                let spec = self.operand(&parts.next_operand()?)?;
+                let a = self.operand(&parts.rest()?)?;
+                sigma_restrict(&r, &spec, &a).to_string()
+            }
+            "tc" => transitive_closure(&self.operand(&parts.rest()?)?).to_string(),
+            "function?" => {
+                let f = self.operand(&parts.rest()?)?;
+                Process::pairs(f).is_function().to_string()
+            }
+            other => return Err(err(format!("unknown command '{other}' (try 'help')"))),
+        };
+        Ok(Some(out))
+    }
+
+    /// Resolve an operand: a bound name or an inline set literal.
+    fn operand(&self, text: &str) -> XstResult<ExtendedSet> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err(err("missing operand"));
+        }
+        if let Some(set) = self.bindings.get(text) {
+            return Ok(set.clone());
+        }
+        parse_set(text).map_err(|e| {
+            if text.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                err(format!("no binding named '{text}'"))
+            } else {
+                e
+            }
+        })
+    }
+}
+
+/// Splits a command line into whitespace-separated operands, keeping
+/// bracketed set literals (`{...}`, `⟨...⟩`, `<...>`) intact.
+struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Tokens<'a> {
+        Tokens { rest: line.trim() }
+    }
+
+    fn next_word(&mut self) -> XstResult<String> {
+        let word = self.next_operand()?;
+        Ok(word)
+    }
+
+    /// One operand: a balanced bracket group or a bare word.
+    fn next_operand(&mut self) -> XstResult<String> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return Err(err("missing operand"));
+        }
+        let mut depth = 0i32;
+        for (i, c) in self.rest.char_indices() {
+            match c {
+                '{' | '⟨' | '<' | '(' => depth += 1,
+                '}' | '⟩' | '>' | ')' => depth -= 1,
+                c if c.is_whitespace() && depth == 0 => {
+                    let (head, tail) = self.rest.split_at(i);
+                    self.rest = tail;
+                    return Ok(head.to_string());
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 {
+            return Err(err("unbalanced brackets in operand"));
+        }
+        let out = self.rest.to_string();
+        self.rest = "";
+        Ok(out)
+    }
+
+    /// Everything left on the line as one operand.
+    fn rest(&mut self) -> XstResult<String> {
+        let out = self.rest.trim().to_string();
+        self.rest = "";
+        if out.is_empty() {
+            Err(err("missing operand"))
+        } else {
+            Ok(out)
+        }
+    }
+}
+
+fn err(message: impl Into<String>) -> XstError {
+    XstError::Parse {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+const HELP: &str = "\
+commands:
+  let NAME = SET              bind a set (literal notation: {a^1, ⟨b,c⟩, ∅})
+  show X · card X · vars      inspect
+  union A B · intersect A B · difference A B
+  apply F X                   F as pair behavior: F_(⟨⟨1⟩,⟨2⟩⟩)(X)
+  image R A S1 S2             R[A] under the scope pair ⟨S1, S2⟩
+  domain R SPEC · restrict R SPEC A
+  compose G F                 pair-relation composition carrier (g ∘ f)
+  tc R                        transitive closure of a pair relation
+  function? F                 Definition 8.2 test
+  help · quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut Session, line: &str) -> String {
+        session.eval_line(line).unwrap().unwrap_or_default()
+    }
+
+    #[test]
+    fn bind_and_show() {
+        let mut s = Session::new();
+        assert_eq!(run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩}"), "f bound");
+        assert_eq!(run(&mut s, "show f"), "{⟨a, x⟩, ⟨b, y⟩}");
+        assert_eq!(run(&mut s, "card f"), "2");
+        assert!(run(&mut s, "vars").contains("f = "));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_silent() {
+        let mut s = Session::new();
+        assert_eq!(s.eval_line("").unwrap(), None);
+        assert_eq!(s.eval_line("# a comment").unwrap(), None);
+        assert_eq!(s.eval_line("-- also a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn boolean_commands() {
+        let mut s = Session::new();
+        run(&mut s, "let a = {1, 2}");
+        run(&mut s, "let b = {2, 3}");
+        assert_eq!(run(&mut s, "union a b"), "{1, 2, 3}");
+        assert_eq!(run(&mut s, "intersect a b"), "{2}");
+        assert_eq!(run(&mut s, "difference a b"), "{1}");
+        // Inline literals work as operands too.
+        assert_eq!(run(&mut s, "union a {9}"), "{1, 2, 9}");
+    }
+
+    #[test]
+    fn behavior_commands() {
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, ⟨c, x⟩}");
+        assert_eq!(run(&mut s, "apply f {⟨a⟩}"), "{⟨x⟩}");
+        assert_eq!(run(&mut s, "function? f"), "true");
+        // Explicit inverse scope: one-to-many.
+        assert_eq!(run(&mut s, "image f {⟨x⟩} ⟨2⟩ ⟨1⟩"), "{⟨a⟩, ⟨c⟩}");
+        assert_eq!(run(&mut s, "domain f ⟨2⟩"), "{⟨x⟩, ⟨y⟩}");
+        assert_eq!(run(&mut s, "restrict f ⟨1⟩ {⟨a⟩}"), "{⟨a, x⟩}");
+    }
+
+    #[test]
+    fn compose_and_closure() {
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, b⟩}");
+        run(&mut s, "let g = {⟨b, c⟩}");
+        assert_eq!(run(&mut s, "compose g f"), "{⟨a, c⟩}");
+        run(&mut s, "let r = {⟨a, b⟩, ⟨b, c⟩}");
+        let tc = run(&mut s, "tc r");
+        assert!(tc.contains("⟨a, c⟩"), "{tc}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::new();
+        assert!(s.eval_line("frobnicate x").is_err());
+        assert!(s.eval_line("show nope").is_err());
+        assert!(s.eval_line("let = {1}").is_err());
+        assert!(s.eval_line("let bad name = {1}").is_err());
+        assert!(s.eval_line("union {1}").is_err(), "missing operand");
+        assert!(s.eval_line("show {unbalanced").is_err());
+        // The session survives errors.
+        assert_eq!(run(&mut s, "card {1, 2}"), "2");
+    }
+
+    #[test]
+    fn paper_appendix_b_in_the_shell() {
+        // The self-application demo is expressible interactively.
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, a, a, b, b⟩, ⟨b, b, a, a, b⟩}");
+        // f as a pair behavior is the identity on ⟨a⟩/⟨b⟩.
+        assert_eq!(run(&mut s, "apply f {⟨a⟩}"), "{⟨a⟩}");
+        // The ω-scoped image permutes the carrier.
+        assert_eq!(
+            run(&mut s, "image f {⟨a⟩} ⟨1⟩ ⟨1, 3, 4, 5, 2⟩"),
+            "{⟨a, a, b, b, a⟩}"
+        );
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut s = Session::new();
+        let h = run(&mut s, "help");
+        for cmd in ["let", "union", "apply", "image", "tc", "function?"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+}

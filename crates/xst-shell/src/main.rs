@@ -1,0 +1,33 @@
+//! Interactive XST calculator. Reads commands from stdin, one per line;
+//! `help` lists them. All logic lives in the library so it is testable.
+
+use std::io::{BufRead, Write};
+use xst_shell::Session;
+
+fn main() {
+    let mut session = Session::new();
+    println!("xst-shell — extended set theory calculator. Type 'help' or 'quit'.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("xst> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match session.eval_line(line) {
+            Ok(Some(output)) => println!("{output}"),
+            Ok(None) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

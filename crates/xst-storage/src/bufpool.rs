@@ -1,0 +1,410 @@
+//! Simulated disk and buffer pool with I/O accounting.
+//!
+//! We obviously do not have the paper era's disk hardware; what the
+//! experiments need is the *access-cost shape* — how many page transfers a
+//! strategy causes. [`Storage`] is an in-memory "disk" that counts every
+//! page read and write; [`BufferPool`] caches frames with LRU eviction and
+//! counts hits and misses. Experiment E3 (restriction pushdown) reads its
+//! numbers from [`IoStats`].
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a file on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// A page address: file + page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId {
+    /// Owning file.
+    pub file: FileId,
+    /// Zero-based page number within the file.
+    pub page: usize,
+}
+
+/// Cumulative I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages transferred from the simulated disk.
+    pub disk_reads: u64,
+    /// Pages transferred to the simulated disk.
+    pub disk_writes: u64,
+    /// Buffer-pool lookups satisfied from memory.
+    pub pool_hits: u64,
+    /// Buffer-pool lookups that had to go to disk.
+    pub pool_misses: u64,
+}
+
+impl IoStats {
+    /// Total page transfers (the 1977 cost metric).
+    pub fn transfers(&self) -> u64 {
+        self.disk_reads + self.disk_writes
+    }
+
+    /// Hit ratio of the pool, if any lookups happened.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.pool_hits + self.pool_misses;
+        (total > 0).then(|| self.pool_hits as f64 / total as f64)
+    }
+}
+
+#[derive(Default)]
+struct StorageInner {
+    files: Vec<Vec<Box<[u8; PAGE_SIZE]>>>,
+    stats: IoStats,
+}
+
+/// The simulated disk: page-addressed, I/O-counting, cheaply cloneable
+/// (clones share the same disk).
+#[derive(Clone, Default)]
+pub struct Storage {
+    inner: Arc<Mutex<StorageInner>>,
+}
+
+impl Storage {
+    /// Fresh empty disk.
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// Allocate a new empty file.
+    pub fn create_file(&self) -> FileId {
+        let mut inner = self.inner.lock();
+        inner.files.push(Vec::new());
+        FileId(inner.files.len() as u32 - 1)
+    }
+
+    /// Append a page to `file`, returning its page number. Counts one disk
+    /// write.
+    pub fn append_page(&self, file: FileId, page: &Page) -> StorageResult<usize> {
+        let mut inner = self.inner.lock();
+        let f = file_mut(&mut inner.files, file)?;
+        let mut frame = Box::new([0u8; PAGE_SIZE]);
+        frame.copy_from_slice(page.as_bytes());
+        f.push(frame);
+        let n = f.len() - 1;
+        inner.stats.disk_writes += 1;
+        Ok(n)
+    }
+
+    /// Overwrite an existing page. Counts one disk write.
+    pub fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let f = file_mut(&mut inner.files, id.file)?;
+        let pages = f.len();
+        let frame = f.get_mut(id.page).ok_or(StorageError::PageOutOfRange {
+            page: id.page,
+            pages,
+        })?;
+        frame.copy_from_slice(page.as_bytes());
+        inner.stats.disk_writes += 1;
+        Ok(())
+    }
+
+    /// Read a page from disk. Counts one disk read.
+    pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        let mut inner = self.inner.lock();
+        let f = file_ref(&inner.files, id.file)?;
+        let frame = f.get(id.page).ok_or(StorageError::PageOutOfRange {
+            page: id.page,
+            pages: f.len(),
+        })?;
+        let page = Page::from_bytes(&frame[..])?;
+        inner.stats.disk_reads += 1;
+        Ok(page)
+    }
+
+    /// Read a contiguous page range `[lo, hi)` under a single lock
+    /// acquisition — the bulk path for scans and parallel loaders, avoiding
+    /// per-page lock contention. Counts `hi - lo` disk reads.
+    pub fn read_page_range(
+        &self,
+        file: FileId,
+        lo: usize,
+        hi: usize,
+    ) -> StorageResult<Vec<Page>> {
+        let mut inner = self.inner.lock();
+        let f = file_ref(&inner.files, file)?;
+        if hi > f.len() || lo > hi {
+            return Err(StorageError::PageOutOfRange {
+                page: hi,
+                pages: f.len(),
+            });
+        }
+        let pages: StorageResult<Vec<Page>> =
+            f[lo..hi].iter().map(|frame| Page::from_bytes(&frame[..])).collect();
+        inner.stats.disk_reads += (hi - lo) as u64;
+        pages
+    }
+
+    /// Number of pages in `file`.
+    pub fn page_count(&self, file: FileId) -> StorageResult<usize> {
+        let inner = self.inner.lock();
+        Ok(file_ref(&inner.files, file)?.len())
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of files on the disk.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().files.len()
+    }
+
+    /// Clone every page frame of every file (for [`crate::snapshot`]).
+    /// Does not count as I/O: snapshots model offline backup.
+    pub(crate) fn export_all(&self) -> Vec<Vec<Box<[u8; PAGE_SIZE]>>> {
+        self.inner.lock().files.clone()
+    }
+
+    /// Rebuild a disk from exported frames (for [`crate::snapshot`]).
+    pub(crate) fn import_all(files: Vec<Vec<Box<[u8; PAGE_SIZE]>>>) -> Storage {
+        Storage {
+            inner: Arc::new(Mutex::new(StorageInner {
+                files,
+                stats: IoStats::default(),
+            })),
+        }
+    }
+
+    /// Zero the counters (pool hit/miss counters live in the pool).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::default();
+    }
+}
+
+fn file_ref(
+    files: &[Vec<Box<[u8; PAGE_SIZE]>>],
+    id: FileId,
+) -> StorageResult<&Vec<Box<[u8; PAGE_SIZE]>>> {
+    files.get(id.0 as usize).ok_or(StorageError::PageOutOfRange {
+        page: 0,
+        pages: files.len(),
+    })
+}
+
+fn file_mut(
+    files: &mut Vec<Vec<Box<[u8; PAGE_SIZE]>>>,
+    id: FileId,
+) -> StorageResult<&mut Vec<Box<[u8; PAGE_SIZE]>>> {
+    let pages = files.len();
+    files
+        .get_mut(id.0 as usize)
+        .ok_or(StorageError::PageOutOfRange { page: 0, pages })
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, (Arc<Page>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// LRU buffer pool in front of a [`Storage`] disk.
+pub struct BufferPool {
+    storage: Storage,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool holding up to `capacity` frames.
+    pub fn new(storage: Storage, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            storage,
+            capacity,
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Fetch a page through the pool.
+    pub fn get(&self, id: PageId) -> StorageResult<Arc<Page>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((page, last)) = inner.frames.get_mut(&id) {
+                *last = tick;
+                let page = Arc::clone(page);
+                inner.hits += 1;
+                return Ok(page);
+            }
+        }
+        // Miss path: read outside the pool lock is fine for a simulator —
+        // worst case we read twice; correctness is unaffected because pages
+        // are immutable once written through this API.
+        let page = Arc::new(self.storage.read_page(id)?);
+        let mut inner = self.inner.lock();
+        inner.misses += 1;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.frames.len() >= self.capacity {
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, (_, last))| *last) {
+                inner.frames.remove(&victim);
+            }
+        }
+        inner.frames.insert(id, (Arc::clone(&page), tick));
+        Ok(page)
+    }
+
+    /// Drop every cached frame (keeps counters).
+    pub fn clear(&self) {
+        self.inner.lock().frames.clear();
+    }
+
+    /// Snapshot combined disk + pool counters.
+    pub fn stats(&self) -> IoStats {
+        let disk = self.storage.stats();
+        let inner = self.inner.lock();
+        IoStats {
+            pool_hits: inner.hits,
+            pool_misses: inner.misses,
+            ..disk
+        }
+    }
+
+    /// Zero both pool and disk counters.
+    pub fn reset_stats(&self) {
+        self.storage.reset_stats();
+        let mut inner = self.inner.lock();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+
+    /// The underlying disk.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(payload: &[u8]) -> Page {
+        let mut p = Page::new();
+        p.insert(payload).unwrap();
+        p
+    }
+
+    #[test]
+    fn disk_counts_reads_and_writes() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        let n = disk.append_page(f, &page_with(b"x")).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(disk.stats().disk_writes, 1);
+        let _ = disk.read_page(PageId { file: f, page: 0 }).unwrap();
+        assert_eq!(disk.stats().disk_reads, 1);
+        disk.reset_stats();
+        assert_eq!(disk.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn disk_rejects_bad_addresses() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        assert!(disk.read_page(PageId { file: f, page: 0 }).is_err());
+        assert!(disk
+            .read_page(PageId { file: FileId(9), page: 0 })
+            .is_err());
+        assert!(disk
+            .write_page(PageId { file: f, page: 3 }, &Page::new())
+            .is_err());
+    }
+
+    #[test]
+    fn write_page_overwrites() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        disk.append_page(f, &page_with(b"old")).unwrap();
+        let id = PageId { file: f, page: 0 };
+        disk.write_page(id, &page_with(b"new")).unwrap();
+        let p = disk.read_page(id).unwrap();
+        assert_eq!(p.get(0).unwrap(), b"new");
+    }
+
+    #[test]
+    fn pool_hits_after_first_access() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        disk.append_page(f, &page_with(b"x")).unwrap();
+        let pool = BufferPool::new(disk, 4);
+        let id = PageId { file: f, page: 0 };
+        let _ = pool.get(id).unwrap();
+        let _ = pool.get(id).unwrap();
+        let _ = pool.get(id).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.pool_misses, 1);
+        assert_eq!(s.pool_hits, 2);
+        assert_eq!(s.disk_reads, 1, "only the miss touched disk");
+        assert_eq!(s.hit_ratio(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        for i in 0u8..3 {
+            disk.append_page(f, &page_with(&[i])).unwrap();
+        }
+        let pool = BufferPool::new(disk, 2);
+        let id = |page| PageId { file: f, page };
+        pool.get(id(0)).unwrap();
+        pool.get(id(1)).unwrap();
+        pool.get(id(0)).unwrap(); // 0 is now most recent
+        pool.get(id(2)).unwrap(); // evicts 1
+        pool.reset_stats();
+        pool.get(id(0)).unwrap(); // hit
+        pool.get(id(1)).unwrap(); // miss (was evicted)
+        let s = pool.stats();
+        assert_eq!(s.pool_hits, 1);
+        assert_eq!(s.pool_misses, 1);
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_pool_misses_every_time() {
+        // The classic shape: a scan over N pages with a pool of size < N
+        // has zero reuse across repeated scans (LRU worst case).
+        let disk = Storage::new();
+        let f = disk.create_file();
+        for i in 0u8..8 {
+            disk.append_page(f, &page_with(&[i])).unwrap();
+        }
+        let pool = BufferPool::new(disk, 4);
+        for _round in 0..2 {
+            for page in 0..8 {
+                pool.get(PageId { file: f, page }).unwrap();
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.pool_misses, 16, "every access misses");
+        assert_eq!(s.pool_hits, 0);
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        disk.append_page(f, &page_with(b"x")).unwrap();
+        let pool = BufferPool::new(disk, 4);
+        let id = PageId { file: f, page: 0 };
+        pool.get(id).unwrap();
+        pool.clear();
+        pool.reset_stats();
+        pool.get(id).unwrap();
+        assert_eq!(pool.stats().pool_misses, 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Binary codec for [`Value`]s — the stored representation of extended sets.
+//!
+//! The central claim of the VLDB-1977 program is that *stored* data has a
+//! mathematical identity. This codec is the bridge: any [`Value`] (atom or
+//! arbitrarily nested extended set) serializes to a compact tagged byte
+//! string and back, bit-exactly, so a page of bytes *is* a set of values.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! value  := tag:u8 payload
+//! tag 0  bool      payload = u8 (0/1)
+//! tag 1  int       payload = i64
+//! tag 2  float     payload = f64 bits
+//! tag 3  sym       payload = len:u32, utf-8 bytes
+//! tag 4  str       payload = len:u32, utf-8 bytes
+//! tag 5  bytes     payload = len:u32, raw bytes
+//! tag 6  set       payload = count:u32, count × (value value)   -- (elem, scope)
+//! ```
+
+use crate::error::{StorageError, StorageResult};
+use bytes::{Buf, BufMut, BytesMut};
+use xst_core::{ExtendedSet, Member, Value};
+
+const TAG_BOOL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_SYM: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_SET: u8 = 6;
+
+/// Append the encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut BytesMut) {
+    match v {
+        Value::Bool(b) => {
+            out.put_u8(TAG_BOOL);
+            out.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.put_u8(TAG_INT);
+            out.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            out.put_u8(TAG_FLOAT);
+            out.put_u64_le(f.0.to_bits());
+        }
+        Value::Sym(s) => {
+            out.put_u8(TAG_SYM);
+            put_bytes(out, s.as_bytes());
+        }
+        Value::Str(s) => {
+            out.put_u8(TAG_STR);
+            put_bytes(out, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.put_u8(TAG_BYTES);
+            put_bytes(out, b);
+        }
+        Value::Set(s) => {
+            out.put_u8(TAG_SET);
+            out.put_u32_le(s.card() as u32);
+            for m in s.members() {
+                encode_value(&m.element, out);
+                encode_value(&m.scope, out);
+            }
+        }
+    }
+}
+
+fn put_bytes(out: &mut BytesMut, b: &[u8]) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+/// Encode a value into a fresh buffer.
+pub fn encode_to_vec(v: &Value) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    encode_value(v, &mut out);
+    out.to_vec()
+}
+
+/// Decode one value from the front of `buf`, advancing it.
+pub fn decode_value(buf: &mut &[u8]) -> StorageResult<Value> {
+    if buf.is_empty() {
+        return Err(corrupt("unexpected end of input"));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_BOOL => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        TAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            need(buf, 8)?;
+            Ok(Value::float(f64::from_bits(buf.get_u64_le())))
+        }
+        TAG_SYM => Ok(Value::sym(get_str(buf)?)),
+        TAG_STR => Ok(Value::str(get_str(buf)?)),
+        TAG_BYTES => {
+            let b = get_bytes(buf)?;
+            Ok(Value::bytes(b))
+        }
+        TAG_SET => {
+            need(buf, 4)?;
+            let count = buf.get_u32_le() as usize;
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let element = decode_value(buf)?;
+                let scope = decode_value(buf)?;
+                members.push(Member::new(element, scope));
+            }
+            Ok(Value::Set(ExtendedSet::from_members(members)))
+        }
+        other => Err(corrupt(format!("unknown tag {other}"))),
+    }
+}
+
+/// Decode a value that must consume the whole buffer.
+pub fn decode_exact(mut buf: &[u8]) -> StorageResult<Value> {
+    let v = decode_value(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(corrupt(format!("{} trailing bytes", buf.len())));
+    }
+    Ok(v)
+}
+
+fn need(buf: &&[u8], n: usize) -> StorageResult<()> {
+    if buf.len() < n {
+        Err(corrupt(format!("need {n} bytes, have {}", buf.len())))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_bytes(buf: &mut &[u8]) -> StorageResult<Vec<u8>> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
+    let b = get_bytes(buf)?;
+    String::from_utf8(b).map_err(|e| corrupt(format!("invalid utf-8: {e}")))
+}
+
+fn corrupt(reason: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xst_core::{xset, xtuple};
+
+    fn roundtrip(v: &Value) {
+        let bytes = encode_to_vec(v);
+        let back = decode_exact(&bytes).unwrap();
+        assert_eq!(&back, v, "roundtrip of {v}");
+    }
+
+    #[test]
+    fn atoms_roundtrip() {
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::Int(0));
+        roundtrip(&Value::Int(i64::MIN));
+        roundtrip(&Value::Int(i64::MAX));
+        roundtrip(&Value::float(2.5));
+        roundtrip(&Value::float(-0.0));
+        roundtrip(&Value::sym("hello"));
+        roundtrip(&Value::str("data ✓ unicode"));
+        roundtrip(&Value::bytes([0u8, 255, 7]));
+    }
+
+    #[test]
+    fn nan_roundtrips_bit_exactly() {
+        let v = Value::float(f64::NAN);
+        let back = decode_exact(&encode_to_vec(&v)).unwrap();
+        assert_eq!(back, v, "total_cmp equality treats same-bits NaN as equal");
+    }
+
+    #[test]
+    fn sets_roundtrip() {
+        roundtrip(&Value::empty_set());
+        roundtrip(&xset!["a" => 1, "b"].into_value());
+        roundtrip(&xtuple!["a", "b", "c"].into_value());
+        let nested = xset![
+            xtuple!["a", "x"].into_value() => xtuple!["A", "Z"].into_value(),
+            xset![xset!["deep" => 9].into_value()].into_value()
+        ];
+        roundtrip(&nested.into_value());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_exact(&[]).is_err());
+        assert!(decode_exact(&[99]).is_err(), "unknown tag");
+        assert!(decode_exact(&[TAG_INT, 1, 2]).is_err(), "short int");
+        assert!(decode_exact(&[TAG_SYM, 10, 0, 0, 0, b'a']).is_err(), "short body");
+        // trailing garbage after a valid value
+        let mut bytes = encode_to_vec(&Value::Int(1));
+        bytes.push(0);
+        assert!(decode_exact(&bytes).is_err());
+        // invalid utf-8 in a symbol
+        assert!(decode_exact(&[TAG_SYM, 1, 0, 0, 0, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_for_equal_sets() {
+        // Canonical member order makes the encoding canonical too.
+        let a = xset!["b" => 2, "a" => 1].into_value();
+        let b = xset!["a" => 1, "b" => 2].into_value();
+        assert_eq!(encode_to_vec(&a), encode_to_vec(&b));
+    }
+}

@@ -1,0 +1,263 @@
+//! Column-oriented storage — the same relation under a different
+//! representation identity.
+//!
+//! The 1977 argument: since a stored representation is just a set with a
+//! mathematical identity, the *same* relation may be laid out row-wise or
+//! column-wise and the system can reason about both. A [`ColumnTable`]
+//! stores one heap file per column (each row contributing a 1-tuple record
+//! at the same ordinal in every file); its set identity is **equal** to
+//! the row table's, while its access economics differ: a query touching
+//! `k` of `n` columns reads roughly `k/n` of the pages (experiment E9).
+
+use crate::bufpool::{BufferPool, Storage};
+use crate::error::{StorageError, StorageResult};
+use crate::file::HeapFile;
+use crate::record::{Record, Schema};
+use xst_core::{ExtendedSet, SetBuilder, Value};
+
+/// A vertically-partitioned table: one heap file per column.
+pub struct ColumnTable {
+    /// Field layout (shared with the row representation).
+    pub schema: Schema,
+    columns: Vec<HeapFile>,
+    rows: usize,
+}
+
+impl ColumnTable {
+    /// Create an empty column table.
+    pub fn create(storage: &Storage, schema: Schema) -> ColumnTable {
+        let columns = (0..schema.arity())
+            .map(|_| HeapFile::create(storage))
+            .collect();
+        ColumnTable {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Append one record, splitting it across the column files.
+    pub fn append(&mut self, record: &Record) -> StorageResult<()> {
+        record.conforms(&self.schema)?;
+        for (file, value) in self.columns.iter_mut().zip(record.values()) {
+            file.append(&Record::new([value.clone()]))?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append many records and flush.
+    pub fn load<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a Record>,
+    ) -> StorageResult<()> {
+        for r in records {
+            self.append(r)?;
+        }
+        self.sync()
+    }
+
+    /// Flush every column's tail page.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        for c in &mut self.columns {
+            c.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Total pages across all column files.
+    pub fn page_count(&self) -> StorageResult<usize> {
+        self.columns.iter().map(HeapFile::page_count).sum()
+    }
+
+    /// Scan a single column through the pool, in row order.
+    pub fn scan_column(
+        &self,
+        pool: &BufferPool,
+        field: &str,
+        mut f: impl FnMut(usize, Value) -> StorageResult<()>,
+    ) -> StorageResult<()> {
+        let pos = self.schema.require(field)?;
+        let mut row = 0usize;
+        self.columns[pos].scan(pool, |_, record| {
+            let value = record
+                .get(0)
+                .cloned()
+                .ok_or_else(|| StorageError::Corrupt {
+                    reason: "empty column record".into(),
+                })?;
+            f(row, value)?;
+            row += 1;
+            Ok(())
+        })
+    }
+
+    /// Materialize one column as a vector (row order).
+    pub fn read_column(&self, pool: &BufferPool, field: &str) -> StorageResult<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.scan_column(pool, field, |_, v| {
+            out.push(v);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Reconstruct full records by zipping every column (reads all files).
+    pub fn reconstruct(&self, pool: &BufferPool) -> StorageResult<Vec<Record>> {
+        let mut columns = Vec::with_capacity(self.schema.arity());
+        for name in self.schema.fields() {
+            columns.push(self.read_column(pool, name)?);
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(StorageError::Corrupt {
+                    reason: format!(
+                        "column {} has {} rows, expected {rows}",
+                        self.schema.fields()[i],
+                        c.len()
+                    ),
+                });
+            }
+        }
+        Ok((0..rows)
+            .map(|r| Record::new(columns.iter().map(|c| c[r].clone())))
+            .collect())
+    }
+
+    /// The table's set identity — equal to the row representation's
+    /// identity for the same data: the layout is invisible to the
+    /// mathematics.
+    pub fn identity(&self, pool: &BufferPool) -> StorageResult<ExtendedSet> {
+        let mut b = SetBuilder::with_capacity(self.rows);
+        for r in self.reconstruct(pool)? {
+            b.classical_elem(Value::Set(r.to_tuple()));
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SetEngine, Table};
+
+    fn rows(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new([
+                    Value::Int(i),
+                    Value::str(format!("name-{i}")),
+                    Value::Int(i % 10),
+                    Value::sym(if i % 2 == 0 { "even" } else { "odd" }),
+                ])
+            })
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(["id", "name", "qty", "parity"])
+    }
+
+    #[test]
+    fn roundtrip_reconstruction() {
+        let storage = Storage::new();
+        let mut ct = ColumnTable::create(&storage, schema());
+        let data = rows(100);
+        ct.load(&data).unwrap();
+        assert_eq!(ct.row_count(), 100);
+        let pool = BufferPool::new(storage, 16);
+        assert_eq!(ct.reconstruct(&pool).unwrap(), data);
+    }
+
+    #[test]
+    fn identity_equals_row_representation() {
+        let storage = Storage::new();
+        let data = rows(200);
+        let mut ct = ColumnTable::create(&storage, schema());
+        ct.load(&data).unwrap();
+        let mut rt = Table::create(&storage, schema());
+        rt.load(&data).unwrap();
+        let pool = BufferPool::new(storage, 32);
+        let row_identity = SetEngine::load(&rt, &pool).unwrap();
+        assert_eq!(&ct.identity(&pool).unwrap(), row_identity.identity());
+    }
+
+    #[test]
+    fn column_scan_reads_fraction_of_pages() {
+        let storage = Storage::new();
+        let data = rows(5_000);
+        let mut ct = ColumnTable::create(&storage, schema());
+        ct.load(&data).unwrap();
+        let mut rt = Table::create(&storage, schema());
+        rt.load(&data).unwrap();
+        let pool = BufferPool::new(storage, 4);
+
+        // Row store: summing qty reads every page.
+        pool.clear();
+        pool.reset_stats();
+        let mut row_sum = 0i64;
+        rt.file
+            .scan(&pool, |_, r| {
+                if let Some(Value::Int(q)) = r.get(2) {
+                    row_sum += q;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let row_reads = pool.stats().disk_reads;
+
+        // Column store: only the qty file.
+        pool.clear();
+        pool.reset_stats();
+        let mut col_sum = 0i64;
+        ct.scan_column(&pool, "qty", |_, v| {
+            if let Value::Int(q) = v {
+                col_sum += q;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let col_reads = pool.stats().disk_reads;
+
+        assert_eq!(row_sum, col_sum);
+        assert!(
+            col_reads * 2 < row_reads,
+            "column scan should read far fewer pages: {col_reads} vs {row_reads}"
+        );
+    }
+
+    #[test]
+    fn column_order_is_row_order() {
+        let storage = Storage::new();
+        let mut ct = ColumnTable::create(&storage, schema());
+        ct.load(&rows(50)).unwrap();
+        let pool = BufferPool::new(storage, 8);
+        let ids = ct.read_column(&pool, "id").unwrap();
+        for (i, v) in ids.iter().enumerate() {
+            assert_eq!(v, &Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let storage = Storage::new();
+        let mut ct = ColumnTable::create(&storage, schema());
+        assert!(ct.append(&Record::new([Value::Int(1)])).is_err());
+        assert!(ct.read_column(&BufferPool::new(storage, 2), "bogus").is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let storage = Storage::new();
+        let ct = ColumnTable::create(&storage, schema());
+        let pool = BufferPool::new(storage, 2);
+        assert!(ct.reconstruct(&pool).unwrap().is_empty());
+        assert!(ct.identity(&pool).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,488 @@
+//! Set processing vs record processing — the two engines of experiment E1.
+//!
+//! Both engines answer the same queries over the same stored [`HeapFile`]s:
+//!
+//! * [`RecordEngine`] is the tuple-at-a-time baseline: scan, decode, test,
+//!   emit, one record at a time, re-sorting whenever a distinct result is
+//!   needed. This is the "record processing" discipline the XST literature
+//!   argues against.
+//! * [`SetEngine`] loads a table *once* into its canonical set identity and
+//!   then answers every query with whole-set operations from `xst_core` —
+//!   selection is σ-restriction, projection is σ-domain, join is the
+//!   relative product, and union/intersection/difference are linear merges
+//!   over canonical forms.
+//!
+//! Both must agree on every query (tested below and in the integration
+//! suite); the benchmark harness measures where each wins.
+
+use crate::bufpool::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::file::HeapFile;
+use crate::record::{Record, Schema};
+use xst_core::ops::{
+    difference, image, intersection, relative_product, sigma_domain, union, Scope,
+};
+use xst_core::{ExtendedSet, SetBuilder, Value};
+
+/// A stored table: schema + heap file.
+pub struct Table {
+    /// Field layout.
+    pub schema: Schema,
+    /// Record storage.
+    pub file: HeapFile,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn create(storage: &crate::bufpool::Storage, schema: Schema) -> Table {
+        Table {
+            schema,
+            file: HeapFile::create(storage),
+        }
+    }
+
+    /// Append records, validating arity.
+    pub fn load<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a Record>,
+    ) -> StorageResult<()> {
+        for r in records {
+            r.conforms(&self.schema)?;
+            self.file.append(r)?;
+        }
+        self.file.sync()
+    }
+}
+
+/// Tuple-at-a-time query processing (the baseline).
+pub struct RecordEngine<'a> {
+    pool: &'a BufferPool,
+}
+
+impl<'a> RecordEngine<'a> {
+    /// An engine reading through `pool`.
+    pub fn new(pool: &'a BufferPool) -> Self {
+        RecordEngine { pool }
+    }
+
+    /// `SELECT * WHERE field = value`.
+    pub fn select(&self, table: &Table, field: &str, value: &Value) -> StorageResult<Vec<Record>> {
+        let pos = table.schema.require(field)?;
+        let mut out = Vec::new();
+        table.file.scan(self.pool, |_, r| {
+            if r.get(pos) == Some(value) {
+                out.push(r);
+            }
+            Ok(())
+        })?;
+        // Set semantics: results are ordered and duplicate-free, matching
+        // the set engine's canonical output.
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// `SELECT DISTINCT fields` — per-record projection, sort + dedup at
+    /// the end (the record-processing way of getting set semantics back).
+    pub fn project(&self, table: &Table, fields: &[&str]) -> StorageResult<Vec<Record>> {
+        let positions: Vec<usize> = fields
+            .iter()
+            .map(|f| table.schema.require(f))
+            .collect::<StorageResult<_>>()?;
+        let mut out = Vec::new();
+        table.file.scan(self.pool, |_, r| {
+            let projected: Vec<Value> = positions
+                .iter()
+                .map(|&p| r.get(p).cloned().expect("validated position"))
+                .collect();
+            out.push(Record::new(projected));
+            Ok(())
+        })?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Equijoin via build + probe, emitting concatenated records.
+    pub fn join(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_field: &str,
+        right_field: &str,
+    ) -> StorageResult<Vec<Record>> {
+        let lp = left.schema.require(left_field)?;
+        let rp = right.schema.require(right_field)?;
+        // Build side: hash the right table by key, record at a time.
+        let mut build: std::collections::HashMap<Value, Vec<Record>> =
+            std::collections::HashMap::new();
+        right.file.scan(self.pool, |_, r| {
+            if let Some(k) = r.get(rp) {
+                build.entry(k.clone()).or_default().push(r);
+            }
+            Ok(())
+        })?;
+        let mut out = Vec::new();
+        left.file.scan(self.pool, |_, l| {
+            if let Some(k) = l.get(lp) {
+                if let Some(matches) = build.get(k) {
+                    for r in matches {
+                        let mut vals = l.values().to_vec();
+                        vals.extend(r.values().iter().cloned());
+                        out.push(Record::new(vals));
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Set-semantics union of two same-schema tables, record style:
+    /// concatenate then sort + dedup.
+    pub fn union(&self, a: &Table, b: &Table) -> StorageResult<Vec<Record>> {
+        check_same_arity(a, b)?;
+        let mut out = a.file.read_all(self.pool)?;
+        out.extend(b.file.read_all(self.pool)?);
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Set-semantics intersection, record style: sort one side, binary
+    /// search per record of the other.
+    pub fn intersect(&self, a: &Table, b: &Table) -> StorageResult<Vec<Record>> {
+        check_same_arity(a, b)?;
+        let mut bs = b.file.read_all(self.pool)?;
+        bs.sort();
+        let mut out = Vec::new();
+        a.file.scan(self.pool, |_, r| {
+            if bs.binary_search(&r).is_ok() {
+                out.push(r);
+            }
+            Ok(())
+        })?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Set-semantics difference `a ~ b`, record style.
+    pub fn difference(&self, a: &Table, b: &Table) -> StorageResult<Vec<Record>> {
+        check_same_arity(a, b)?;
+        let mut bs = b.file.read_all(self.pool)?;
+        bs.sort();
+        let mut out = Vec::new();
+        a.file.scan(self.pool, |_, r| {
+            if bs.binary_search(&r).is_err() {
+                out.push(r);
+            }
+            Ok(())
+        })?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+fn check_same_arity(a: &Table, b: &Table) -> StorageResult<()> {
+    if a.schema.arity() == b.schema.arity() {
+        Ok(())
+    } else {
+        Err(StorageError::SchemaMismatch {
+            reason: format!(
+                "union-compatible tables required: arity {} vs {}",
+                a.schema.arity(),
+                b.schema.arity()
+            ),
+        })
+    }
+}
+
+/// Whole-set query processing over the table's canonical set identity.
+pub struct SetEngine {
+    identity: ExtendedSet,
+    schema: Schema,
+}
+
+impl SetEngine {
+    /// Load `table` once into its set identity (the only scan this engine
+    /// ever performs).
+    pub fn load(table: &Table, pool: &BufferPool) -> StorageResult<SetEngine> {
+        let mut b = SetBuilder::with_capacity(table.file.record_count());
+        table.file.scan(pool, |_, r| {
+            b.classical_elem(Value::Set(r.to_tuple()));
+            Ok(())
+        })?;
+        Ok(SetEngine {
+            identity: b.build(),
+            schema: table.schema.clone(),
+        })
+    }
+
+    /// Wrap an already-materialized set identity (e.g. an operation result).
+    pub fn from_identity(identity: ExtendedSet, schema: Schema) -> SetEngine {
+        SetEngine { identity, schema }
+    }
+
+    /// The canonical set identity of the table.
+    pub fn identity(&self) -> &ExtendedSet {
+        &self.identity
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Selection as σ-restriction: witnesses pin the field position.
+    pub fn select(&self, field: &str, value: &Value) -> StorageResult<ExtendedSet> {
+        let pos = self.schema.require(field)? as i64;
+        let sigma1 = ExtendedSet::tuple([Value::Int(pos + 1)]);
+        let arity = self.schema.arity() as i64;
+        // Keep whole records: σ2 is the identity re-scope on all positions.
+        let sigma2 = identity_spec(arity);
+        let witness =
+            ExtendedSet::classical([Value::Set(ExtendedSet::tuple([value.clone()]))]);
+        Ok(image(
+            &self.identity,
+            &witness,
+            &Scope::new(sigma1, sigma2),
+        ))
+    }
+
+    /// Projection as σ-domain over the requested positions.
+    pub fn project(&self, fields: &[&str]) -> StorageResult<ExtendedSet> {
+        let spec = ExtendedSet::tuple(
+            fields
+                .iter()
+                .map(|f| self.schema.require(f).map(|p| Value::Int(p as i64 + 1)))
+                .collect::<StorageResult<Vec<_>>>()?,
+        );
+        Ok(sigma_domain(&self.identity, &spec))
+    }
+
+    /// Equijoin as a relative product: match `left_field` against
+    /// `right_field`, keep the left tuple in place and shift the right
+    /// tuple past it (the Definition 9.2 concatenation shape).
+    pub fn join(
+        &self,
+        right: &SetEngine,
+        left_field: &str,
+        right_field: &str,
+    ) -> StorageResult<ExtendedSet> {
+        let lp = self.schema.require(left_field)? as i64;
+        let rp = right.schema.require(right_field)? as i64;
+        let ln = self.schema.arity() as i64;
+        let rn = right.schema.arity() as i64;
+        let sigma = Scope::new(
+            identity_spec(ln),
+            ExtendedSet::from_pairs([(Value::Int(lp + 1), Value::Int(1))]),
+        );
+        let omega = Scope::new(
+            ExtendedSet::from_pairs([(Value::Int(rp + 1), Value::Int(1))]),
+            // Shift right positions past the left tuple.
+            ExtendedSet::from_pairs(
+                (1..=rn).map(|j| (Value::Int(j), Value::Int(ln + j))),
+            ),
+        );
+        Ok(relative_product(&self.identity, &sigma, &right.identity, &omega))
+    }
+
+    /// Union of canonical identities — a linear merge.
+    pub fn union(&self, other: &SetEngine) -> ExtendedSet {
+        union(&self.identity, &other.identity)
+    }
+
+    /// Intersection of canonical identities.
+    pub fn intersect(&self, other: &SetEngine) -> ExtendedSet {
+        intersection(&self.identity, &other.identity)
+    }
+
+    /// Difference of canonical identities.
+    pub fn difference(&self, other: &SetEngine) -> ExtendedSet {
+        difference(&self.identity, &other.identity)
+    }
+
+    /// Convert a result identity back into records (for comparison with the
+    /// record engine).
+    pub fn to_records(result: &ExtendedSet) -> StorageResult<Vec<Record>> {
+        let mut out: Vec<Record> = result
+            .iter()
+            .map(|(e, _)| {
+                e.as_set()
+                    .ok_or_else(|| StorageError::SchemaMismatch {
+                        reason: format!("{e} is not a record set"),
+                    })
+                    .and_then(Record::from_tuple)
+            })
+            .collect::<StorageResult<_>>()?;
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// The identity re-scope spec on positions `1..=n`: `{1^1, ..., n^n}`.
+fn identity_spec(n: i64) -> ExtendedSet {
+    ExtendedSet::from_pairs((1..=n).map(|i| (Value::Int(i), Value::Int(i))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bufpool::Storage;
+
+    fn parts_schema() -> Schema {
+        Schema::new(["pid", "name", "color"])
+    }
+
+    fn supplies_schema() -> Schema {
+        Schema::new(["sid", "pid", "qty"])
+    }
+
+    fn setup() -> (BufferPool, Table, Table) {
+        let storage = Storage::new();
+        let mut parts = Table::create(&storage, parts_schema());
+        parts
+            .load(&[
+                Record::new([Value::Int(1), Value::str("bolt"), Value::sym("red")]),
+                Record::new([Value::Int(2), Value::str("nut"), Value::sym("green")]),
+                Record::new([Value::Int(3), Value::str("cam"), Value::sym("red")]),
+            ])
+            .unwrap();
+        let mut supplies = Table::create(&storage, supplies_schema());
+        supplies
+            .load(&[
+                Record::new([Value::Int(10), Value::Int(1), Value::Int(100)]),
+                Record::new([Value::Int(10), Value::Int(3), Value::Int(50)]),
+                Record::new([Value::Int(20), Value::Int(2), Value::Int(5)]),
+                Record::new([Value::Int(20), Value::Int(9), Value::Int(7)]),
+            ])
+            .unwrap();
+        (BufferPool::new(storage, 16), parts, supplies)
+    }
+
+    #[test]
+    fn engines_agree_on_select() {
+        let (pool, parts, _) = setup();
+        let rec = RecordEngine::new(&pool);
+        let via_records = rec.select(&parts, "color", &Value::sym("red")).unwrap();
+        assert_eq!(via_records.len(), 2);
+        let set = SetEngine::load(&parts, &pool).unwrap();
+        let via_sets =
+            SetEngine::to_records(&set.select("color", &Value::sym("red")).unwrap()).unwrap();
+        assert_eq!(via_records, via_sets);
+    }
+
+    #[test]
+    fn engines_agree_on_project() {
+        let (pool, parts, _) = setup();
+        let rec = RecordEngine::new(&pool);
+        let via_records = rec.project(&parts, &["color"]).unwrap();
+        assert_eq!(via_records.len(), 2, "distinct colors");
+        let set = SetEngine::load(&parts, &pool).unwrap();
+        let via_sets = SetEngine::to_records(&set.project(&["color"]).unwrap()).unwrap();
+        assert_eq!(via_records, via_sets);
+    }
+
+    #[test]
+    fn engines_agree_on_join() {
+        let (pool, parts, supplies) = setup();
+        let rec = RecordEngine::new(&pool);
+        let via_records = rec.join(&supplies, &parts, "pid", "pid").unwrap();
+        assert_eq!(via_records.len(), 3, "supply rows with matching parts");
+        let sl = SetEngine::load(&supplies, &pool).unwrap();
+        let sr = SetEngine::load(&parts, &pool).unwrap();
+        let via_sets = SetEngine::to_records(&sl.join(&sr, "pid", "pid").unwrap()).unwrap();
+        assert_eq!(via_records, via_sets);
+    }
+
+    #[test]
+    fn join_records_are_concatenations() {
+        let (pool, parts, supplies) = setup();
+        let sl = SetEngine::load(&supplies, &pool).unwrap();
+        let sr = SetEngine::load(&parts, &pool).unwrap();
+        let result = sl.join(&sr, "pid", "pid").unwrap();
+        for (e, _) in result.iter() {
+            let t = e.as_set().unwrap();
+            assert_eq!(t.tuple_len(), Some(6), "3 + 3 fields");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_boolean_ops() {
+        let storage = Storage::new();
+        let schema = Schema::new(["v"]);
+        let mut a = Table::create(&storage, schema.clone());
+        a.load(&[
+            Record::new([Value::Int(1)]),
+            Record::new([Value::Int(2)]),
+            Record::new([Value::Int(3)]),
+        ])
+        .unwrap();
+        let mut b = Table::create(&storage, schema);
+        b.load(&[Record::new([Value::Int(2)]), Record::new([Value::Int(4)])])
+            .unwrap();
+        let pool = BufferPool::new(storage, 16);
+        let rec = RecordEngine::new(&pool);
+        let sa = SetEngine::load(&a, &pool).unwrap();
+        let sb = SetEngine::load(&b, &pool).unwrap();
+        assert_eq!(
+            rec.union(&a, &b).unwrap(),
+            SetEngine::to_records(&sa.union(&sb)).unwrap()
+        );
+        assert_eq!(
+            rec.intersect(&a, &b).unwrap(),
+            SetEngine::to_records(&sa.intersect(&sb)).unwrap()
+        );
+        assert_eq!(
+            rec.difference(&a, &b).unwrap(),
+            SetEngine::to_records(&sa.difference(&sb)).unwrap()
+        );
+    }
+
+    #[test]
+    fn select_on_unknown_field_fails() {
+        let (pool, parts, _) = setup();
+        let rec = RecordEngine::new(&pool);
+        assert!(rec.select(&parts, "bogus", &Value::Int(0)).is_err());
+        let set = SetEngine::load(&parts, &pool).unwrap();
+        assert!(set.select("bogus", &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn union_requires_compatible_arity() {
+        let (pool, parts, supplies) = setup();
+        let rec = RecordEngine::new(&pool);
+        // Same arity (3), so this succeeds even across "types"...
+        assert!(rec.union(&parts, &supplies).is_ok());
+        // ...but a genuinely different arity fails.
+        let storage = Storage::new();
+        let narrow = Table::create(&storage, Schema::new(["x"]));
+        assert!(rec.union(&parts, &narrow).is_err());
+    }
+
+    #[test]
+    fn set_engine_identity_is_canonical() {
+        let (pool, parts, _) = setup();
+        let set = SetEngine::load(&parts, &pool).unwrap();
+        assert_eq!(set.identity().card(), 3);
+        // Loading twice yields the identical set (identity is canonical).
+        let again = SetEngine::load(&parts, &pool).unwrap();
+        assert_eq!(set.identity(), again.identity());
+    }
+
+    #[test]
+    fn empty_select_results() {
+        let (pool, parts, _) = setup();
+        let rec = RecordEngine::new(&pool);
+        assert!(rec
+            .select(&parts, "color", &Value::sym("puce"))
+            .unwrap()
+            .is_empty());
+        let set = SetEngine::load(&parts, &pool).unwrap();
+        assert!(set.select("color", &Value::sym("puce")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record did not fit in a page.
+    RecordTooLarge {
+        /// Encoded size of the record.
+        size: usize,
+        /// Maximum payload a fresh page can hold.
+        max: usize,
+    },
+    /// A page id was out of range for the file.
+    PageOutOfRange {
+        /// The requested page id.
+        page: usize,
+        /// Number of pages in the file.
+        pages: usize,
+    },
+    /// A slot id was out of range for the page.
+    SlotOutOfRange {
+        /// The requested slot.
+        slot: usize,
+        /// Number of slots on the page.
+        slots: usize,
+    },
+    /// Stored bytes failed to decode as a value.
+    Corrupt {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A record's shape did not match the schema it was used with.
+    SchemaMismatch {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Propagated error from the XST algebra.
+    Xst(xst_core::XstError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page payload {max}")
+            }
+            StorageError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (file has {pages})")
+            }
+            StorageError::SlotOutOfRange { slot, slots } => {
+                write!(f, "slot {slot} out of range (page has {slots})")
+            }
+            StorageError::Corrupt { reason } => write!(f, "corrupt page data: {reason}"),
+            StorageError::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
+            StorageError::Xst(e) => write!(f, "xst error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<xst_core::XstError> for StorageError {
+    fn from(e: xst_core::XstError) -> Self {
+        StorageError::Xst(e)
+    }
+}
+
+/// Result alias for the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = StorageError::RecordTooLarge { size: 9000, max: 4080 };
+        assert!(e.to_string().contains("9000"));
+        let e = StorageError::PageOutOfRange { page: 9, pages: 3 };
+        assert!(e.to_string().contains("page 9"));
+        let e = StorageError::Corrupt { reason: "bad tag".into() };
+        assert!(e.to_string().contains("bad tag"));
+    }
+
+    #[test]
+    fn converts_from_xst_error() {
+        let x = xst_core::XstError::NoUniqueValue { candidates: 0 };
+        let s: StorageError = x.clone().into();
+        assert_eq!(s, StorageError::Xst(x));
+    }
+}

@@ -1,0 +1,190 @@
+//! Sorted secondary indexes.
+//!
+//! An [`Index`] maps a key field's values to record addresses, kept in a
+//! sorted vector (binary-searchable — the set-theoretic analogue of an
+//! inversion on the field, and the storage hook for restriction pushdown:
+//! experiment E3 compares `σ`-restriction evaluated by full scan against
+//! index-driven page access).
+
+use crate::bufpool::BufferPool;
+use crate::error::StorageResult;
+use crate::file::{HeapFile, RecordId};
+use xst_core::Value;
+
+/// A sorted index over one field position of a heap file.
+#[derive(Debug, Clone)]
+pub struct Index {
+    field: usize,
+    entries: Vec<(Value, RecordId)>,
+}
+
+impl Index {
+    /// Build an index on `field` by scanning `file` through `pool`.
+    pub fn build(file: &HeapFile, pool: &BufferPool, field: usize) -> StorageResult<Index> {
+        let mut entries = Vec::with_capacity(file.record_count());
+        file.scan(pool, |rid, record| {
+            if let Some(v) = record.get(field) {
+                entries.push((v.clone(), rid));
+            }
+            Ok(())
+        })?;
+        entries.sort();
+        Ok(Index { field, entries })
+    }
+
+    /// The indexed field position.
+    pub fn field(&self) -> usize {
+        self.field
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record addresses whose key equals `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RecordId> {
+        let start = self.entries.partition_point(|(k, _)| k < key);
+        self.entries[start..]
+            .iter()
+            .take_while(|(k, _)| k == key)
+            .map(|&(_, rid)| rid)
+            .collect()
+    }
+
+    /// Record addresses with `lo <= key <= hi`.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Vec<RecordId> {
+        let start = self.entries.partition_point(|(k, _)| k < lo);
+        self.entries[start..]
+            .iter()
+            .take_while(|(k, _)| k <= hi)
+            .map(|&(_, rid)| rid)
+            .collect()
+    }
+
+    /// Distinct pages containing any of `rids`, ascending — the read set
+    /// for index-driven access.
+    pub fn pages_of(rids: &[RecordId]) -> Vec<usize> {
+        let mut pages: Vec<usize> = rids.iter().map(|r| r.page).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+
+    /// Distinct keys in order (the index's own 2-domain).
+    pub fn keys(&self) -> Vec<&Value> {
+        let mut out: Vec<&Value> = Vec::new();
+        for (k, _) in &self.entries {
+            if out.last() != Some(&k) {
+                out.push(k);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bufpool::Storage;
+    use crate::record::Record;
+
+    fn setup(n: i64) -> (BufferPool, HeapFile) {
+        let storage = Storage::new();
+        let mut file = HeapFile::create(&storage);
+        for i in 0..n {
+            file.append(&Record::new([
+                Value::Int(i),
+                Value::str(format!("name-{i}")),
+                Value::Int(i % 10), // qty cycles 0..9
+            ]))
+            .unwrap();
+        }
+        file.sync().unwrap();
+        (BufferPool::new(storage, 8), file)
+    }
+
+    #[test]
+    fn point_lookup() {
+        let (pool, file) = setup(100);
+        let idx = Index::build(&file, &pool, 0).unwrap();
+        assert_eq!(idx.len(), 100);
+        let hits = idx.lookup(&Value::Int(42));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(file.get(&pool, hits[0]).unwrap().get(0), Some(&Value::Int(42)));
+        assert!(idx.lookup(&Value::Int(1000)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_all_found() {
+        let (pool, file) = setup(100);
+        let idx = Index::build(&file, &pool, 2).unwrap();
+        let hits = idx.lookup(&Value::Int(3));
+        assert_eq!(hits.len(), 10, "qty 3 occurs every 10 records");
+    }
+
+    #[test]
+    fn range_scan() {
+        let (pool, file) = setup(100);
+        let idx = Index::build(&file, &pool, 0).unwrap();
+        let hits = idx.range(&Value::Int(10), &Value::Int(19));
+        assert_eq!(hits.len(), 10);
+        let empty = idx.range(&Value::Int(200), &Value::Int(300));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pages_of_dedups() {
+        let rids = vec![
+            RecordId { page: 3, slot: 0 },
+            RecordId { page: 1, slot: 2 },
+            RecordId { page: 3, slot: 9 },
+        ];
+        assert_eq!(Index::pages_of(&rids), vec![1, 3]);
+    }
+
+    #[test]
+    fn keys_are_distinct_sorted() {
+        let (pool, file) = setup(25);
+        let idx = Index::build(&file, &pool, 2).unwrap();
+        let keys = idx.keys();
+        assert_eq!(keys.len(), 10);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn index_driven_access_touches_fewer_pages() {
+        let (pool, file) = setup(2000);
+        let idx = Index::build(&file, &pool, 0).unwrap();
+        let total_pages = file.page_count().unwrap();
+        assert!(total_pages > 10);
+        let hits = idx.lookup(&Value::Int(5));
+        let pages = Index::pages_of(&hits);
+        assert_eq!(pages.len(), 1, "a point lookup touches one page");
+        pool.reset_stats();
+        pool.clear();
+        let mut found = Vec::new();
+        file.scan_pages(&pool, &pages, |_, r| {
+            if r.get(0) == Some(&Value::Int(5)) {
+                found.push(r);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(pool.stats().disk_reads, 1);
+    }
+
+    #[test]
+    fn empty_file_builds_empty_index() {
+        let (pool, file) = setup(0);
+        let idx = Index::build(&file, &pool, 0).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.field(), 0);
+    }
+}

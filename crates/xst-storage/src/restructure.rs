@@ -1,0 +1,188 @@
+//! Dynamic data restructuring (experiment E6).
+//!
+//! The XST line argues that because a stored file *is* a set, changing its
+//! layout — permuting columns, renaming fields, projecting columns away —
+//! is a **re-scope** of the identity, not a byte-level rewrite of every
+//! record. This module provides both disciplines over the same table:
+//!
+//! * [`restructure_records`] — the record-processing way: scan, decode,
+//!   rebuild each record in the new layout, write a whole new file
+//!   (paying one disk write per page of output, on top of the read pass);
+//! * [`restructure_set`] — the set-processing way: one σ-domain over the
+//!   canonical identity with the permutation spec `{old^new, ...}`
+//!   (Definition 7.4), no storage traffic at all until/unless the result is
+//!   persisted.
+
+use crate::bufpool::{BufferPool, Storage};
+use crate::engine::Table;
+use crate::error::{StorageError, StorageResult};
+use crate::record::{Record, Schema};
+use xst_core::ops::sigma_domain;
+use xst_core::{ExtendedSet, Value};
+
+/// A column permutation/projection: for each *output* position, the input
+/// field it draws from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Restructuring {
+    /// `source[j]` is the input position feeding output position `j`.
+    pub source: Vec<usize>,
+    /// Field names of the output layout.
+    pub names: Vec<String>,
+}
+
+impl Restructuring {
+    /// Build from `(output_name, input_field)` pairs against a schema.
+    pub fn new<S: Into<String>>(
+        schema: &Schema,
+        columns: impl IntoIterator<Item = (S, &'static str)>,
+    ) -> StorageResult<Restructuring> {
+        let mut source = Vec::new();
+        let mut names = Vec::new();
+        for (out_name, in_field) in columns {
+            source.push(schema.require(in_field)?);
+            names.push(out_name.into());
+        }
+        if source.is_empty() {
+            return Err(StorageError::SchemaMismatch {
+                reason: "restructuring must keep at least one column".into(),
+            });
+        }
+        Ok(Restructuring { source, names })
+    }
+
+    /// The output schema.
+    pub fn output_schema(&self) -> Schema {
+        Schema::new(self.names.clone())
+    }
+
+    /// The σ-domain spec realizing this restructuring on positional
+    /// identities: `{(src+1)^(out+1), ...}` (re-scope by scope,
+    /// Definition 7.3 inside Definition 7.4).
+    pub fn sigma(&self) -> ExtendedSet {
+        ExtendedSet::from_pairs(
+            self.source
+                .iter()
+                .enumerate()
+                .map(|(out, &src)| (Value::Int(src as i64 + 1), Value::Int(out as i64 + 1))),
+        )
+    }
+}
+
+/// Record-processing restructure: rewrite every record into a new table.
+pub fn restructure_records(
+    table: &Table,
+    pool: &BufferPool,
+    storage: &Storage,
+    spec: &Restructuring,
+) -> StorageResult<Table> {
+    let mut out = Table::create(storage, spec.output_schema());
+    let mut batch: Vec<Record> = Vec::new();
+    table.file.scan(pool, |_, r| {
+        let values: Vec<Value> = spec
+            .source
+            .iter()
+            .map(|&p| {
+                r.get(p).cloned().ok_or_else(|| StorageError::SchemaMismatch {
+                    reason: format!("record lacks position {p}"),
+                })
+            })
+            .collect::<StorageResult<_>>()?;
+        batch.push(Record::new(values));
+        Ok(())
+    })?;
+    out.load(&batch)?;
+    Ok(out)
+}
+
+/// Set-processing restructure: one σ-domain over the canonical identity.
+pub fn restructure_set(identity: &ExtendedSet, spec: &Restructuring) -> ExtendedSet {
+    sigma_domain(identity, &spec.sigma())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SetEngine;
+
+    fn setup() -> (Storage, BufferPool, Table) {
+        let storage = Storage::new();
+        let mut t = Table::create(&storage, Schema::new(["id", "name", "qty"]));
+        t.load(&[
+            Record::new([Value::Int(1), Value::str("bolt"), Value::Int(100)]),
+            Record::new([Value::Int(2), Value::str("nut"), Value::Int(50)]),
+        ])
+        .unwrap();
+        let pool = BufferPool::new(storage.clone(), 8);
+        (storage, pool, t)
+    }
+
+    #[test]
+    fn both_disciplines_agree() {
+        let (storage, pool, t) = setup();
+        let spec = Restructuring::new(&t.schema, [("qty", "qty"), ("id", "id")]).unwrap();
+        // Record way.
+        let new_table = restructure_records(&t, &pool, &storage, &spec).unwrap();
+        let rec_result = new_table.file.read_all(&pool).unwrap();
+        // Set way.
+        let engine = SetEngine::load(&t, &pool).unwrap();
+        let set_result =
+            SetEngine::to_records(&restructure_set(engine.identity(), &spec)).unwrap();
+        let mut rec_sorted = rec_result;
+        rec_sorted.sort();
+        assert_eq!(rec_sorted, set_result);
+        // Sorted order: ⟨50,2⟩ precedes ⟨100,1⟩.
+        assert_eq!(set_result[0].values(), &[Value::Int(50), Value::Int(2)]);
+        assert_eq!(set_result[1].values(), &[Value::Int(100), Value::Int(1)]);
+    }
+
+    #[test]
+    fn projection_drops_columns() {
+        let (_, pool, t) = setup();
+        let spec = Restructuring::new(&t.schema, [("name", "name")]).unwrap();
+        let engine = SetEngine::load(&t, &pool).unwrap();
+        let result = restructure_set(engine.identity(), &spec);
+        assert_eq!(result.card(), 2);
+        for (e, _) in result.iter() {
+            assert_eq!(e.as_set().unwrap().tuple_len(), Some(1));
+        }
+    }
+
+    #[test]
+    fn record_restructure_writes_new_pages() {
+        let (storage, pool, t) = setup();
+        let spec = Restructuring::new(&t.schema, [("id", "id")]).unwrap();
+        storage.reset_stats();
+        let _ = restructure_records(&t, &pool, &storage, &spec).unwrap();
+        assert!(storage.stats().disk_writes > 0, "record way pays writes");
+    }
+
+    #[test]
+    fn set_restructure_is_pure() {
+        let (storage, pool, t) = setup();
+        let engine = SetEngine::load(&t, &pool).unwrap();
+        let spec = Restructuring::new(&t.schema, [("id", "id")]).unwrap();
+        storage.reset_stats();
+        let _ = restructure_set(engine.identity(), &spec);
+        assert_eq!(storage.stats().disk_writes, 0, "set way is storage-free");
+        assert_eq!(storage.stats().disk_reads, 0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let (_, _, t) = setup();
+        assert!(Restructuring::new(&t.schema, [("x", "bogus")]).is_err());
+        let empty: Vec<(&str, &'static str)> = vec![];
+        assert!(Restructuring::new(&t.schema, empty).is_err());
+    }
+
+    #[test]
+    fn duplicate_source_column_is_allowed() {
+        // Re-scope fan-out: one input column feeding two outputs.
+        let (_, pool, t) = setup();
+        let spec = Restructuring::new(&t.schema, [("a", "id"), ("b", "id")]).unwrap();
+        let engine = SetEngine::load(&t, &pool).unwrap();
+        let result = restructure_set(engine.identity(), &spec);
+        let recs = SetEngine::to_records(&result).unwrap();
+        assert_eq!(recs[0].values(), &[Value::Int(1), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared test infrastructure for the paper-reproduction suite:
+//! proptest strategies generating random XST values, sets, relations and
+//! processes, plus the paper's recurring fixtures.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+use xst_core::{ExtendedSet, Member, Process, Scope, Value};
+
+/// Strategy for atoms from a deliberately small universe so random sets
+/// collide often (collisions are where set semantics gets interesting).
+pub fn arb_atom() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..6).prop_map(Value::Int),
+        prop::sample::select(vec!["a", "b", "c", "x", "y"]).prop_map(Value::sym),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Strategy for values nested up to `depth` levels of sets.
+pub fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        arb_atom().boxed()
+    } else {
+        prop_oneof![
+            3 => arb_atom(),
+            1 => arb_set(depth - 1).prop_map(Value::Set),
+        ]
+        .boxed()
+    }
+}
+
+/// Strategy for extended sets with members nested up to `depth`.
+pub fn arb_set(depth: u32) -> BoxedStrategy<ExtendedSet> {
+    let scope = prop_oneof![
+        2 => Just(Value::classical_scope()),
+        2 => (1i64..4).prop_map(Value::Int),
+        1 => arb_value(depth.saturating_sub(1)),
+    ];
+    prop::collection::vec((arb_value(depth), scope), 0..5)
+        .prop_map(|pairs| {
+            ExtendedSet::from_members(
+                pairs
+                    .into_iter()
+                    .map(|(e, s)| Member::new(e, s))
+                    .collect(),
+            )
+        })
+        .boxed()
+}
+
+/// Strategy for a "wide" atom-only classical set of up to `n` members.
+pub fn arb_classical(n: usize) -> impl Strategy<Value = ExtendedSet> {
+    prop::collection::vec(arb_atom(), 0..n).prop_map(ExtendedSet::classical)
+}
+
+/// Strategy for sets of classical pairs (CST-style relations).
+pub fn arb_pair_relation() -> impl Strategy<Value = ExtendedSet> {
+    prop::collection::vec((arb_atom(), arb_atom()), 0..8).prop_map(|pairs| {
+        ExtendedSet::classical(
+            pairs
+                .into_iter()
+                .map(|(a, b)| Value::Set(ExtendedSet::pair(a, b))),
+        )
+    })
+}
+
+/// Strategy for pair-relation processes `f_(⟨⟨1⟩,⟨2⟩⟩)`.
+pub fn arb_pair_process() -> impl Strategy<Value = Process> {
+    arb_pair_relation().prop_map(Process::pairs)
+}
+
+/// Strategy for *functional* pair relations (each first component once).
+pub fn arb_function_relation() -> impl Strategy<Value = ExtendedSet> {
+    prop::collection::btree_map(arb_atom(), arb_atom(), 0..8).prop_map(|map| {
+        ExtendedSet::classical(
+            map.into_iter()
+                .map(|(a, b)| Value::Set(ExtendedSet::pair(a, b))),
+        )
+    })
+}
+
+/// Strategy for singleton inputs `{⟨x⟩}` from the shared atom universe.
+pub fn arb_singleton_input() -> impl Strategy<Value = ExtendedSet> {
+    arb_atom().prop_map(|v| {
+        ExtendedSet::classical([Value::Set(ExtendedSet::tuple([v]))])
+    })
+}
+
+/// The paper's Example 8.1 carrier with its member scopes.
+pub fn example_8_1() -> (ExtendedSet, Scope, Scope) {
+    let f = ExtendedSet::from_pairs([
+        (
+            Value::Set(ExtendedSet::pair("a", "x")),
+            Value::Set(ExtendedSet::pair("A", "Z")),
+        ),
+        (
+            Value::Set(ExtendedSet::pair("b", "y")),
+            Value::Set(ExtendedSet::pair("B", "Y")),
+        ),
+        (
+            Value::Set(ExtendedSet::pair("c", "x")),
+            Value::Set(ExtendedSet::pair("C", "Z")),
+        ),
+    ]);
+    (f, Scope::pairs(), Scope::pairs_inverse())
+}
+
+/// The Appendix B carrier `{⟨a,a,a,b,b⟩, ⟨b,b,a,a,b⟩}` with σ and ω.
+pub fn appendix_b() -> (ExtendedSet, Scope, Scope) {
+    let f = ExtendedSet::classical([
+        Value::Set(ExtendedSet::tuple(["a", "a", "a", "b", "b"])),
+        Value::Set(ExtendedSet::tuple(["b", "b", "a", "a", "b"])),
+    ]);
+    let sigma = Scope::pairs();
+    let omega = Scope::new(
+        ExtendedSet::tuple([1i64]),
+        ExtendedSet::tuple([1i64, 3, 4, 5, 2]),
+    );
+    (f, sigma, omega)
+}
+
+/// Singleton input `{⟨x⟩}` for a named atom.
+pub fn singleton(x: &str) -> ExtendedSet {
+    ExtendedSet::classical([Value::Set(ExtendedSet::tuple([x]))])
+}

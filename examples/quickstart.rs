@@ -1,0 +1,40 @@
+//! Quickstart: scoped sets, image, and application in a few lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xst_core::prelude::*;
+
+fn main() -> XstResult<()> {
+    // An extended set has *scoped* members: x ∈_s A.
+    let s = xset!["a" => 1, "b" => 2, "c"];
+    println!("set        : {s}");
+    println!("a ∈_1 s    : {}", s.contains(&sym("a"), &Value::Int(1)));
+    println!("a ∈_2 s    : {}", s.contains(&sym("a"), &Value::Int(2)));
+
+    // Ordered pairs and tuples are *defined* sets: ⟨x,y⟩ = {x^1, y^2}.
+    let pair = ExtendedSet::pair("x", "y");
+    println!("⟨x,y⟩      : {pair} = {{x^1, y^2}}");
+
+    // The paper's Example 8.1: a function as set behavior.
+    let f = Process::from_pairs([("a", "x"), ("b", "y"), ("c", "x")]);
+    println!("\nf          : {}", f.graph);
+    println!("is function: {}", f.is_function());
+
+    // Application is image: f_(σ)(x) = 𝔇_σ2(f |_σ1 x).
+    let input = parse_set("{⟨a⟩}")?;
+    println!("f({{⟨a⟩}})   : {}", f.apply(&input));
+
+    // The inverse behavior shares the carrier but flips the scope — and is
+    // not a function (x has two preimages).
+    let inv = f.inverse();
+    println!("\nf⁻¹ is function: {}", inv.is_function());
+    println!("f⁻¹({{⟨x⟩}})    : {}", inv.apply(&parse_set("{⟨x⟩}")?));
+
+    // Composition constructs a single carrier for the whole pipeline
+    // (Theorem 11.2).
+    let g = Process::from_pairs([("x", "up"), ("y", "down")]);
+    let h = Process::compose(&g, &f)?;
+    println!("\n(g∘f)({{⟨a⟩}}) : {}", h.apply(&input));
+    println!("g(f({{⟨a⟩}}))  : {}", g.apply(&f.apply(&input)));
+    Ok(())
+}

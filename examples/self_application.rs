@@ -1,0 +1,69 @@
+//! Appendix B end-to-end: self-application.
+//!
+//! When functions are subsets of a Cartesian product, `f[f]` is hard to
+//! even state. In XST a behavior's carrier is just a set, so a set can act
+//! on itself. The paper exhibits a single 5-tuple carrier `f` that, through
+//! nested self-application, generates **all four** unary maps on a 2-element
+//! set. This example replays the whole derivation — note that bracketing
+//! matters (Example 4.2): `(f_(ω)(f_(ω)))(f_(σ))` is not `f_(ω)(f_(ω)(f_(σ)))`.
+//!
+//! Run with `cargo run --example self_application`.
+
+use xst_core::prelude::*;
+
+fn main() -> XstResult<()> {
+    // f = {⟨a,a,a,b,b⟩, ⟨b,b,a,a,b⟩}
+    let f_graph = xset![
+        ExtendedSet::tuple(["a", "a", "a", "b", "b"]).into_value(),
+        ExtendedSet::tuple(["b", "b", "a", "a", "b"]).into_value()
+    ];
+    let sigma = Scope::pairs(); // ⟨⟨1⟩, ⟨2⟩⟩
+    let omega = Scope::new(
+        ExtendedSet::tuple([1i64]),
+        ExtendedSet::tuple([1i64, 3, 4, 5, 2]),
+    ); // ⟨⟨1⟩, ⟨1,3,4,5,2⟩⟩
+
+    let f_sigma = Process::new(f_graph.clone(), sigma.clone());
+    let f_omega = Process::new(f_graph, omega);
+
+    // The four unary maps on {a, b}:
+    let g1 = Process::from_pairs([("a", "a"), ("b", "b")]); // identity
+    let g2 = Process::from_pairs([("a", "a"), ("b", "a")]); // collapse to a
+    let g3 = Process::from_pairs([("a", "b"), ("b", "a")]); // swap
+    let g4 = Process::from_pairs([("a", "b"), ("b", "b")]); // collapse to b
+
+    // (a) f_(σ) = g1 — the identity on {⟨a⟩, ⟨b⟩} (also I_A, Appendix B).
+    println!("(a) f_(σ) = g1 (identity)          : {}", f_sigma.equivalent(&g1));
+    let id = Process::identity_on(&xset![
+        ExtendedSet::tuple(["a"]).into_value(),
+        ExtendedSet::tuple(["b"]).into_value()
+    ])?;
+    println!("    f_(σ) = I_A                    : {}", f_sigma.equivalent(&id));
+
+    // (b) f_(ω)(f_(σ)) = g2 — one self-application.
+    let b = f_omega.apply_to_process(&f_sigma);
+    println!("(b) f_(ω)(f_(σ)) = g2              : {}", b.equivalent(&g2));
+
+    // (c) (f_(ω)(f_(ω)))(f_(σ)) = g3 — the *left*-nested bracketing.
+    let ff = f_omega.apply_to_process(&f_omega);
+    let c = ff.apply_to_process(&f_sigma);
+    println!("(c) (f_(ω)(f_(ω)))(f_(σ)) = g3     : {}", c.equivalent(&g3));
+
+    // (d) ((f_(ω)(f_(ω)))(f_(ω)))(f_(σ)) = g4.
+    let fff = ff.apply_to_process(&f_omega);
+    let d = fff.apply_to_process(&f_sigma);
+    println!("(d) ((f_(ω)(f_(ω)))(f_(ω)))(f_(σ)) = g4: {}", d.equivalent(&g4));
+
+    // One more turn of the crank closes the orbit back at the identity.
+    let ffff = fff.apply_to_process(&f_omega);
+    let e = ffff.apply_to_process(&f_sigma);
+    println!("    one more self-application = g1 : {}", e.equivalent(&g1));
+
+    // Show one concrete application table.
+    println!("\nbehavior table for (f_(ω)(f_(ω)))(f_(σ)) — the swap g3:");
+    for x in ["a", "b"] {
+        let input = ExtendedSet::classical([Value::Set(ExtendedSet::tuple([x]))]);
+        println!("  {x} ↦ {}", c.apply(&input));
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Example 9.1 from the paper: one set carries *all four* square roots of
+//! 16, and σ-Value selects among them by scope. Multi-valued "functions"
+//! stop being a paradox when results are sets with scoped members.
+//!
+//! Run with `cargo run --example sqrt_multivalue`.
+
+use xst_core::ops::{labeled_values, sigma_value};
+use xst_core::prelude::*;
+
+/// Build the full square-root set of a perfect square: real roots under
+/// scopes ⟨+⟩/⟨-⟩, imaginary roots of the negation under ⟨i⟩/⟨-i⟩
+/// (represented symbolically).
+fn sqrt_set(n: i64) -> ExtendedSet {
+    let root = (n as f64).sqrt();
+    let exact = root as i64;
+    assert_eq!(exact * exact, n, "demo uses perfect squares");
+    labeled_values([
+        ("+", Value::Int(exact)),
+        ("-", Value::Int(-exact)),
+        ("i", Value::sym(format!("{exact}i"))),
+        ("-i", Value::sym(format!("-{exact}i"))),
+    ])
+}
+
+fn main() -> XstResult<()> {
+    let roots = sqrt_set(16);
+    println!("√√16 = {roots}");
+    for label in ["+", "-", "i", "-i"] {
+        let v = sigma_value(&roots, &Value::sym(label))?;
+        println!("𝒱_{label:<2}(√√16) = {v}");
+    }
+
+    // The classical Value operation (Definition 9.9) needs a classically
+    // scoped member — absent here, so it is undefined. That is the point:
+    // nothing is lost, selection just has to say which root it wants.
+    match xst_core::ops::value(&roots) {
+        Err(e) => println!("𝒱(√√16) is undefined: {e}"),
+        Ok(v) => unreachable!("no classical member, got {v}"),
+    }
+
+    // A "function" that returns the whole root set is a perfectly good XST
+    // behavior: sets-to-sets.
+    let sqrt16 = ExtendedSet::pair(Value::Int(16), Value::Set(sqrt_set(16)));
+    let sqrt25 = ExtendedSet::pair(Value::Int(25), Value::Set(sqrt_set(25)));
+    let sqrt = Process::pairs(ExtendedSet::classical([
+        Value::Set(sqrt16),
+        Value::Set(sqrt25),
+    ]));
+    let image = sqrt.apply(&ExtendedSet::classical([Value::Set(ExtendedSet::tuple([
+        Value::Int(25),
+    ]))]));
+    println!("\nsqrt({{⟨25⟩}}) = {image}");
+    Ok(())
+}

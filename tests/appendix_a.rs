@@ -1,0 +1,154 @@
+//! Appendix A, reproduced exactly: nested application is ambiguous, and the
+//! two bracketings of `f_(σ) g_(ω) (h)` are both non-empty yet different.
+//!
+//! The fixture is the paper's own:
+//!
+//! ```text
+//! f = { ⟨y,z⟩^⟨∅,∅⟩, ⟨a,x,b,k⟩^⟨∅,∅,∅,∅⟩ }
+//! g = { ⟨x,y⟩^⟨∅,∅⟩, ⟨a,b⟩^⟨∅,∅⟩ }
+//! p = { ⟨x,k⟩^⟨∅,∅⟩ }
+//! h = { ⟨x⟩^⟨∅⟩ }
+//! σ = ⟨⟨1,3⟩, ⟨2,4⟩⟩,  ω = ⟨⟨1⟩, ⟨2⟩⟩
+//! ```
+
+use xst_core::process::{enumerate_interpretations, eval_interpretation, Evaluated};
+use xst_core::{ExtendedSet, Process, Scope, Value};
+
+fn empty() -> Value {
+    Value::empty_set()
+}
+
+/// A tuple whose membership scope is the tuple of ∅s of matching arity —
+/// the paper writes these as `⟨y,z⟩^{⟨∅,∅⟩}`.
+fn tagged_tuple(components: &[&str]) -> (Value, Value) {
+    let elem = ExtendedSet::tuple(components.iter().map(Value::sym));
+    let scope = ExtendedSet::tuple(components.iter().map(|_| empty()));
+    (Value::Set(elem), Value::Set(scope))
+}
+
+fn fixture() -> (Process, Process, Process, ExtendedSet) {
+    let f = ExtendedSet::from_pairs([tagged_tuple(&["y", "z"]), tagged_tuple(&["a", "x", "b", "k"])]);
+    let g = ExtendedSet::from_pairs([tagged_tuple(&["x", "y"]), tagged_tuple(&["a", "b"])]);
+    let p = ExtendedSet::from_pairs([tagged_tuple(&["x", "k"])]);
+    let h = {
+        let (e, s) = tagged_tuple(&["x"]);
+        ExtendedSet::from_pairs([(e, s)])
+    };
+    let sigma = Scope::new(ExtendedSet::tuple([1i64, 3]), ExtendedSet::tuple([2i64, 4]));
+    let omega = Scope::pairs();
+    (
+        Process::new(f, sigma),
+        Process::new(g, omega.clone()),
+        Process::new(p, omega),
+        h,
+    )
+}
+
+#[test]
+fn domain_projections_match_paper() {
+    let (f, _, _, _) = fixture();
+    // 𝔇_σ1(f) = {⟨y⟩^⟨∅⟩, ⟨a,b⟩^⟨∅,∅⟩}
+    let d1 = f.domain();
+    let (y1, ys) = tagged_tuple(&["y"]);
+    let (ab, abs) = tagged_tuple(&["a", "b"]);
+    assert_eq!(d1, ExtendedSet::from_pairs([(y1, ys), (ab, abs)]));
+    // 𝔇_σ2(f) = {⟨z⟩^⟨∅⟩, ⟨x,k⟩^⟨∅,∅⟩}
+    let d2 = f.codomain();
+    let (z1, zs) = tagged_tuple(&["z"]);
+    let (xk, xks) = tagged_tuple(&["x", "k"]);
+    assert_eq!(d2, ExtendedSet::from_pairs([(z1, zs), (xk, xks)]));
+}
+
+#[test]
+fn intermediate_results_match_paper() {
+    let (f, g, p, h) = fixture();
+
+    // f_(σ)({⟨y⟩^⟨∅⟩}) = {⟨z⟩^⟨∅⟩}
+    let (y, ys) = tagged_tuple(&["y"]);
+    let input_y = ExtendedSet::from_pairs([(y, ys)]);
+    let (z, zs) = tagged_tuple(&["z"]);
+    assert_eq!(f.apply(&input_y), ExtendedSet::from_pairs([(z, zs)]));
+
+    // f_(σ)(g) = {⟨x,k⟩^⟨∅,∅⟩} — the carrier of p.
+    let fg = f.apply(&g.graph);
+    assert_eq!(fg, p.graph);
+
+    // g_(ω)(h) = {⟨y⟩^⟨∅⟩}
+    let (y2, ys2) = tagged_tuple(&["y"]);
+    assert_eq!(g.apply(&h), ExtendedSet::from_pairs([(y2, ys2)]));
+
+    // p_(ω)(h) = {⟨k⟩^⟨∅⟩}
+    let (k, ks) = tagged_tuple(&["k"]);
+    assert_eq!(p.apply(&h), ExtendedSet::from_pairs([(k, ks)]));
+}
+
+#[test]
+fn the_two_bracketings_differ_and_are_both_nonempty() {
+    let (f, g, _, h) = fixture();
+
+    // Interpretation (a): f_(σ)(g_(ω)(h)).
+    let a = f.apply(&g.apply(&h));
+    // Interpretation (b): (f_(σ)(g_(ω)))(h) — nested application first.
+    let b = f.apply_to_process(&g).apply(&h);
+
+    assert!(!a.is_empty(), "interpretation (a) must be non-empty");
+    assert!(!b.is_empty(), "interpretation (b) must be non-empty");
+    assert_ne!(a, b, "the bracketings disagree (k ≠ z)");
+
+    let (z, zs) = tagged_tuple(&["z"]);
+    assert_eq!(a, ExtendedSet::from_pairs([(z, zs)]));
+    let (k, ks) = tagged_tuple(&["k"]);
+    assert_eq!(b, ExtendedSet::from_pairs([(k, ks)]));
+}
+
+#[test]
+fn enumerated_interpretations_cover_both_bracketings() {
+    let (f, g, _, h) = fixture();
+    let trees = enumerate_interpretations(2);
+    assert_eq!(trees.len(), 2, "two processes → two interpretations");
+    let results: Vec<ExtendedSet> = trees
+        .iter()
+        .map(|t| {
+            match eval_interpretation(t, &[f.clone(), g.clone()], &h).unwrap() {
+                Evaluated::Set(s) => s,
+                Evaluated::Process(_) => panic!("chains ending in a set input realize sets"),
+            }
+        })
+        .collect();
+    // The two enumerated results are exactly {⟨z⟩} and {⟨k⟩}.
+    let (z, zs) = tagged_tuple(&["z"]);
+    let (k, ks) = tagged_tuple(&["k"]);
+    let expect_a = ExtendedSet::from_pairs([(z, zs)]);
+    let expect_b = ExtendedSet::from_pairs([(k, ks)]);
+    assert!(results.contains(&expect_a));
+    assert!(results.contains(&expect_b));
+}
+
+#[test]
+fn three_process_chain_has_five_interpretations() {
+    // Example 4.2's count, evaluated. The Appendix B self-application
+    // carrier makes the ambiguity semantic: different bracketings of
+    // f_(ω) f_(ω) f_(σ) (x) realize different sets.
+    use xst_testkit::{appendix_b, singleton};
+    let (carrier, sigma, omega) = appendix_b();
+    let f_sigma = Process::new(carrier.clone(), sigma);
+    let f_omega = Process::new(carrier, omega);
+    let chain = [f_omega.clone(), f_omega, f_sigma];
+    let input = singleton("a");
+
+    let trees = enumerate_interpretations(3);
+    assert_eq!(trees.len(), 5);
+    let mut distinct = std::collections::BTreeSet::new();
+    for t in &trees {
+        let r = eval_interpretation(t, &chain, &input).unwrap();
+        let Evaluated::Set(s) = r else {
+            panic!("chain applied to a set realizes a set")
+        };
+        distinct.insert(format!("{s}"));
+    }
+    // At least two of the five differ (ambiguity is semantic, not just
+    // syntactic): the fully-right-nested bracketing permutes tuples while
+    // the left-nested one lands in the g3 swap behavior.
+    assert!(distinct.len() >= 2, "interpretations: {distinct:?}");
+    assert!(distinct.contains("{⟨b⟩}"), "left-nested = g3(a) = {{⟨b⟩}}: {distinct:?}");
+}

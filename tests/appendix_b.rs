@@ -1,0 +1,149 @@
+//! Appendix B, reproduced exactly: self-application `f[f] ≠ ∅`, and the
+//! generation of all four unary maps on a 2-element set from the single
+//! carrier `f = {⟨a,a,a,b,b⟩, ⟨b,b,a,a,b⟩}`.
+
+use xst_core::{ExtendedSet, Process, Value};
+use xst_testkit::{appendix_b, singleton};
+
+fn tuple(components: &[&str]) -> ExtendedSet {
+    ExtendedSet::tuple(components.iter().map(Value::sym))
+}
+
+fn classical(tuples: &[&[&str]]) -> ExtendedSet {
+    ExtendedSet::classical(tuples.iter().map(|t| Value::Set(tuple(t))))
+}
+
+#[test]
+fn base_applications_match_derivations_a_through_d() {
+    let (f, sigma, omega) = appendix_b();
+    let f_sigma = Process::new(f.clone(), sigma);
+    let f_omega = Process::new(f, omega);
+
+    // B derivation (a): f_(σ)({⟨a⟩}) = {⟨a⟩}.
+    assert_eq!(f_sigma.apply(&singleton("a")), singleton("a"));
+    // (b): f_(σ)({⟨b⟩}) = {⟨b⟩}.
+    assert_eq!(f_sigma.apply(&singleton("b")), singleton("b"));
+    // (c): f_(ω)({⟨a⟩}) = {⟨a,a,b,b,a⟩}.
+    assert_eq!(
+        f_omega.apply(&singleton("a")),
+        classical(&[&["a", "a", "b", "b", "a"]])
+    );
+    // (d): f_(ω)({⟨b⟩}) = {⟨b,b,a,a,b⟩} permuted = {⟨b,a,a,b,b⟩}.
+    assert_eq!(
+        f_omega.apply(&singleton("b")),
+        classical(&[&["b", "a", "a", "b", "b"]])
+    );
+}
+
+#[test]
+fn self_application_is_nonempty() {
+    let (f, _, omega) = appendix_b();
+    let f_omega = Process::new(f.clone(), omega);
+    // f[f]_ω ≠ ∅ — the headline of Appendix B.
+    let ff = f_omega.apply(&f);
+    assert!(!ff.is_empty());
+    // And the restriction keeps the whole carrier: both tuples witness
+    // themselves.
+    assert_eq!(
+        ff,
+        classical(&[&["a", "a", "b", "b", "a"], &["b", "a", "a", "b", "b"]])
+    );
+}
+
+#[test]
+fn the_four_unary_maps_are_generated() {
+    let (f, sigma, omega) = appendix_b();
+    let f_sigma = Process::new(f.clone(), sigma);
+    let f_omega = Process::new(f, omega);
+
+    let g1 = Process::from_pairs([("a", "a"), ("b", "b")]);
+    let g2 = Process::from_pairs([("a", "a"), ("b", "a")]);
+    let g3 = Process::from_pairs([("a", "b"), ("b", "a")]);
+    let g4 = Process::from_pairs([("a", "b"), ("b", "b")]);
+
+    // (a) f_(σ) = g1.
+    assert!(f_sigma.equivalent(&g1));
+    // (b) f_(ω)(f_(σ)) = g2.
+    let b = f_omega.apply_to_process(&f_sigma);
+    assert!(b.equivalent(&g2));
+    // (c) (f_(ω)(f_(ω)))(f_(σ)) = g3.
+    let ff = f_omega.apply_to_process(&f_omega);
+    let c = ff.apply_to_process(&f_sigma);
+    assert!(c.equivalent(&g3));
+    // (d) ((f_(ω)(f_(ω)))(f_(ω)))(f_(σ)) = g4.
+    let fff = ff.apply_to_process(&f_omega);
+    let d = fff.apply_to_process(&f_sigma);
+    assert!(d.equivalent(&g4));
+
+    // The four generated behaviors are pairwise distinct.
+    assert!(!b.equivalent(&c));
+    assert!(!b.equivalent(&d));
+    assert!(!c.equivalent(&d));
+    assert!(!f_sigma.equivalent(&b));
+}
+
+#[test]
+fn carrier_permutation_orbit_has_period_four() {
+    let (f, sigma, omega) = appendix_b();
+    let f_sigma = Process::new(f.clone(), sigma);
+    let f_omega = Process::new(f, omega);
+    // Applying f_(ω) four times in the left-nested bracketing returns to
+    // the identity behavior.
+    let mut current = f_omega.clone();
+    for _ in 0..3 {
+        current = current.apply_to_process(&f_omega);
+    }
+    let back = current.apply_to_process(&f_sigma);
+    assert!(back.equivalent(&f_sigma), "the orbit closes");
+}
+
+#[test]
+fn f_sigma_is_the_identity_on_its_domain() {
+    // "Other equalities: f_(σ) = I_A" with A = {⟨a⟩, ⟨b⟩}.
+    let (f, sigma, _) = appendix_b();
+    let f_sigma = Process::new(f, sigma);
+    let a = classical(&[&["a"], &["b"]]);
+    let id = Process::identity_on(&a).unwrap();
+    assert!(f_sigma.equivalent(&id));
+    assert!(f_sigma.is_function());
+    assert!(f_sigma.is_one_to_one());
+}
+
+#[test]
+fn consequence_b1_equivalence_implies_domain_equality() {
+    // Consequence B.1: f_(σ) = g_(γ) → matching domain projections
+    // (checked on the σ-behavior vs its g1 presentation).
+    let (f, sigma, _) = appendix_b();
+    let f_sigma = Process::new(f, sigma);
+    let g1 = Process::from_pairs([("a", "a"), ("b", "b")]);
+    assert!(f_sigma.equivalent(&g1));
+    assert_eq!(f_sigma.domain(), g1.domain());
+    // Note: codomain projections agree here too.
+    assert_eq!(f_sigma.codomain(), g1.codomain());
+}
+
+#[test]
+fn consequence_b2_equivalence_is_transitive() {
+    let (f, sigma, _) = appendix_b();
+    let p1 = Process::new(f, sigma);
+    let p2 = Process::from_pairs([("a", "a"), ("b", "b")]);
+    let p3 = Process::identity_on(&classical(&[&["a"], &["b"]])).unwrap();
+    assert!(p1.equivalent(&p2));
+    assert!(p2.equivalent(&p3));
+    assert!(p1.equivalent(&p3));
+}
+
+#[test]
+fn nothing_requires_the_resultant_behavior_to_be_functional() {
+    // The note after the equalities: f_(τ) of Example 8.1 shows a
+    // function's inverse behavior need not be functional. Here: the ω
+    // behavior itself maps singletons to 5-tuples — functional but not on
+    // the same space; its inverse over the permuted carrier is still a
+    // behavior.
+    let (f, _, omega) = appendix_b();
+    let f_omega = Process::new(f, omega);
+    assert!(f_omega.is_function(), "ω-behavior is singleton-to-singleton");
+    let inv = f_omega.inverse();
+    // The inverse maps 5-tuple witnesses back; it is a legitimate process.
+    assert!(inv.is_process());
+}

@@ -1,0 +1,119 @@
+//! Axiom-level properties of the extended set universe, verified on random
+//! sets — the "Extended Set Theory" foundation (the paper's reference [1])
+//! underneath the behavior algebra.
+
+use proptest::prelude::*;
+use xst_core::ops::{
+    big_union, difference, intersection, pairing, powerset, replacement, separation, union,
+};
+use xst_core::{ExtendedSet, Member, Value};
+use xst_testkit::{arb_set, arb_value};
+
+/// Small sets only — powerset is exponential.
+fn arb_small_set() -> impl Strategy<Value = ExtendedSet> {
+    prop::collection::vec(((0i64..5).prop_map(Value::Int), 0i64..3), 0..6).prop_map(|pairs| {
+        ExtendedSet::from_members(
+            pairs
+                .into_iter()
+                .map(|(e, s)| Member::new(e, Value::Int(s)))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Extensionality (scoped form): two sets are equal iff they have the
+    /// same scoped memberships.
+    #[test]
+    fn extensionality(a in arb_set(2), b in arb_set(2)) {
+        let same_members = a.members() == b.members();
+        prop_assert_eq!(a == b, same_members);
+    }
+
+    /// Pairing: {a, b} contains exactly a and b.
+    #[test]
+    fn pairing_axiom(a in arb_value(2), b in arb_value(2)) {
+        let p = pairing(&a, &b);
+        prop_assert!(p.contains_classical(&a));
+        prop_assert!(p.contains_classical(&b));
+        prop_assert!(p.card() <= 2 && p.card() >= 1);
+        prop_assert_eq!(p.card() == 1, a == b);
+    }
+
+    /// Powerset: |P(A)| = 2^|A|; members are exactly the subsets.
+    #[test]
+    fn powerset_axiom(a in arb_small_set()) {
+        let p = powerset(&a);
+        prop_assert_eq!(p.card(), 1usize << a.card());
+        for (e, _) in p.iter() {
+            prop_assert!(e.as_set().unwrap().is_subset(&a));
+        }
+        // A itself and ∅ are members.
+        prop_assert!(p.contains_classical(&Value::Set(a.clone())));
+        prop_assert!(p.contains_classical(&Value::empty_set()));
+    }
+
+    /// Union axiom: x ∈_s ⋃A iff some set-member of A has x ∈_s it.
+    #[test]
+    fn union_axiom(a in arb_set(2)) {
+        let u = big_union(&a);
+        for (e, _) in a.iter() {
+            if let Some(inner) = e.as_set() {
+                prop_assert!(inner.is_subset(&u));
+            }
+        }
+        // And nothing else: every member of u is witnessed.
+        for m in u.members() {
+            let witnessed = a.iter().any(|(e, _)| {
+                e.as_set().is_some_and(|inner| inner.contains(&m.element, &m.scope))
+            });
+            prop_assert!(witnessed);
+        }
+    }
+
+    /// Separation: the filtered set is the largest subset satisfying the
+    /// predicate.
+    #[test]
+    fn separation_axiom(a in arb_set(2)) {
+        let sep = separation(&a, |e, _| !matches!(e, Value::Bool(_)));
+        prop_assert!(sep.is_subset(&a));
+        for m in a.members() {
+            let keep = !matches!(m.element, Value::Bool(_));
+            prop_assert_eq!(sep.contains(&m.element, &m.scope), keep);
+        }
+    }
+
+    /// Replacement: the image set is no larger and is fully covered.
+    #[test]
+    fn replacement_axiom(a in arb_set(2)) {
+        let image = replacement(&a, |e| Value::Set(ExtendedSet::tuple([e.clone()])));
+        prop_assert_eq!(image.card(), a.card(), "injective replacement preserves card");
+        let collapsed = replacement(&a, |_| Value::Int(0));
+        prop_assert_eq!(collapsed.card(), a.distinct_scopes());
+    }
+
+    /// Boolean structure: the member lattice is distributive with ∅ as
+    /// bottom (a sanity bundle the other suites rely on).
+    #[test]
+    fn lattice_bundle(a in arb_set(2), b in arb_set(2)) {
+        prop_assert_eq!(union(&a, &b).is_empty(), a.is_empty() && b.is_empty());
+        prop_assert!(intersection(&a, &b).is_subset(&union(&a, &b)));
+        prop_assert_eq!(
+            difference(&a, &intersection(&a, &b)),
+            difference(&a, &b)
+        );
+    }
+}
+
+#[test]
+fn powerset_of_powerset_nests() {
+    // P(P({x})) has 4 members; deep nesting stays canonical.
+    let a = ExtendedSet::classical([Value::sym("x")]);
+    let pp = powerset(&powerset(&a));
+    assert_eq!(pp.card(), 4);
+    for (e, _) in pp.iter() {
+        for (inner, _) in e.as_set().unwrap().iter() {
+            assert!(inner.as_set().unwrap().is_subset(&a));
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Property tests for the paper's algebraic Consequences — 7.1 (domain),
+//! 8.1 (functions/application), and C.1 (image) — over randomly generated
+//! extended sets, relations, and scopes.
+
+use proptest::prelude::*;
+use xst_core::ops::{
+    difference, image, intersection, sigma_domain, sigma_restrict, union, Scope,
+};
+use xst_core::{ExtendedSet, Process};
+use xst_testkit::{arb_pair_relation, arb_set, arb_singleton_input};
+
+fn arb_spec() -> impl Strategy<Value = ExtendedSet> {
+    // Positional specs over small tuples, including permutations and fans.
+    prop::collection::vec((1i64..5, 1i64..5), 0..4).prop_map(ExtendedSet::from_pairs)
+}
+
+proptest! {
+    // ---------------- Consequence 7.1: σ-Domain laws ----------------
+
+    /// (a) 𝔇_σ(R ∪ Q) = 𝔇_σ(R) ∪ 𝔇_σ(Q)
+    #[test]
+    fn domain_7_1_a(r in arb_pair_relation(), q in arb_pair_relation(), s in arb_spec()) {
+        prop_assert_eq!(
+            sigma_domain(&union(&r, &q), &s),
+            union(&sigma_domain(&r, &s), &sigma_domain(&q, &s))
+        );
+    }
+
+    /// (b) 𝔇_σ(R ∩ Q) ⊆ 𝔇_σ(R) ∩ 𝔇_σ(Q)
+    #[test]
+    fn domain_7_1_b(r in arb_pair_relation(), q in arb_pair_relation(), s in arb_spec()) {
+        let lhs = sigma_domain(&intersection(&r, &q), &s);
+        let rhs = intersection(&sigma_domain(&r, &s), &sigma_domain(&q, &s));
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    /// (c) 𝔇_σ(R) ~ 𝔇_σ(Q) ⊆ 𝔇_σ(R ~ Q)
+    #[test]
+    fn domain_7_1_c(r in arb_pair_relation(), q in arb_pair_relation(), s in arb_spec()) {
+        let lhs = difference(&sigma_domain(&r, &s), &sigma_domain(&q, &s));
+        let rhs = sigma_domain(&difference(&r, &q), &s);
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    /// (d) R ⊆ Q → 𝔇_σ(R) ⊆ 𝔇_σ(Q)
+    #[test]
+    fn domain_7_1_d(q in arb_pair_relation(), s in arb_spec(), keep in any::<u64>()) {
+        // Build R as a pseudo-random subset of Q.
+        let members: Vec<_> = q
+            .members()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep >> (i % 64) & 1 == 1)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let r = ExtendedSet::from_members(members);
+        prop_assert!(r.is_subset(&q));
+        prop_assert!(sigma_domain(&r, &s).is_subset(&sigma_domain(&q, &s)));
+    }
+
+    /// (e) 𝔇_∅(R) = ∅
+    #[test]
+    fn domain_7_1_e(r in arb_set(2)) {
+        prop_assert!(sigma_domain(&r, &ExtendedSet::empty()).is_empty());
+    }
+
+    // ---------------- Consequence 8.1: application laws ----------------
+
+    /// (a) (f ∪ g)_(σ)(x) = f_(σ)(x) ∪ g_(σ)(x)
+    #[test]
+    fn application_8_1_a(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+        x in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        prop_assert_eq!(
+            image(&union(&f, &g), &x, &s),
+            union(&image(&f, &x, &s), &image(&g, &x, &s))
+        );
+    }
+
+    /// (b) (f ∩ g)_(σ)(x) ⊆ f_(σ)(x) ∩ g_(σ)(x)
+    #[test]
+    fn application_8_1_b(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+        x in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let lhs = image(&intersection(&f, &g), &x, &s);
+        let rhs = intersection(&image(&f, &x, &s), &image(&g, &x, &s));
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    /// (c) f_(σ)(x) ~ g_(σ)(x) ⊆ (f ~ g)_(σ)(x)
+    #[test]
+    fn application_8_1_c(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+        x in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let lhs = difference(&image(&f, &x, &s), &image(&g, &x, &s));
+        let rhs = image(&difference(&f, &g), &x, &s);
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    // ---------------- Consequence C.1: image laws ----------------
+
+    /// (a) Q[A ∪ B]_σ = Q[A]_σ ∪ Q[B]_σ
+    #[test]
+    fn image_c1_a(
+        q in arb_pair_relation(),
+        a in arb_singleton_input(),
+        b in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        prop_assert_eq!(
+            image(&q, &union(&a, &b), &s),
+            union(&image(&q, &a, &s), &image(&q, &b, &s))
+        );
+    }
+
+    /// (b) Q[A ∩ B]_σ ⊆ Q[A]_σ ∩ Q[B]_σ
+    #[test]
+    fn image_c1_b(
+        q in arb_pair_relation(),
+        a in arb_singleton_input(),
+        b in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let lhs = image(&q, &intersection(&a, &b), &s);
+        let rhs = intersection(&image(&q, &a, &s), &image(&q, &b, &s));
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    /// (c) Q[A]_σ ~ Q[B]_σ ⊆ Q[A ~ B]_σ
+    #[test]
+    fn image_c1_c(
+        q in arb_pair_relation(),
+        a in arb_singleton_input(),
+        b in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let lhs = difference(&image(&q, &a, &s), &image(&q, &b, &s));
+        let rhs = image(&q, &difference(&a, &b), &s);
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    /// (d) A ⊆ B → Q[A]_σ ⊆ Q[B]_σ
+    #[test]
+    fn image_c1_d(
+        q in arb_pair_relation(),
+        a in arb_singleton_input(),
+        b in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let big = union(&a, &b);
+        prop_assert!(image(&q, &a, &s).is_subset(&image(&q, &big, &s)));
+    }
+
+    /// (e) Q[𝔇_σ1(Q) ∩ A]_⟨σ1,σ2⟩ = Q[A]_⟨σ1,σ2⟩ — for witnesses drawn as
+    /// full domain projections (see the interpretive note in
+    /// `xst_core::ops::restrict`: partial witnesses may select without
+    /// membership in the projection).
+    #[test]
+    fn image_c1_e_on_projection_witnesses(
+        q in arb_pair_relation(),
+        other in arb_pair_relation(),
+        pick in any::<u64>(),
+    ) {
+        let s = Scope::pairs();
+        let dom = sigma_domain(&q, &s.sigma1);
+        // A = pseudo-random subset of Q's domain projection, plus witnesses
+        // from an unrelated relation's projection (possibly outside dom).
+        let members: Vec<_> = dom
+            .members()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick >> (i % 64) & 1 == 1)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let a = union(
+            &ExtendedSet::from_members(members),
+            &sigma_domain(&other, &s.sigma1),
+        );
+        prop_assert_eq!(
+            image(&q, &intersection(&dom, &a), &s),
+            image(&q, &a, &s)
+        );
+    }
+
+    /// (f) Q[A]_⟨σ,γ⟩ = 𝔇_γ(Q |_σ A) — the fused operator equals the
+    /// two-pass pipeline on arbitrary nested sets.
+    #[test]
+    fn image_c1_f(q in arb_set(2), a in arb_set(2), s1 in arb_spec(), s2 in arb_spec()) {
+        let scope = Scope::new(s1, s2);
+        prop_assert_eq!(
+            image(&q, &a, &scope),
+            sigma_domain(&sigma_restrict(&q, &scope.sigma1, &a), &scope.sigma2)
+        );
+    }
+
+    /// (g) Q[∅]_σ = ∅, ∅[A]_σ = ∅, Q[A]_∅ = ∅
+    #[test]
+    fn image_c1_g(q in arb_set(2), a in arb_set(2), s in arb_spec()) {
+        let scope = Scope::new(s.clone(), s);
+        prop_assert!(image(&q, &ExtendedSet::empty(), &scope).is_empty());
+        prop_assert!(image(&ExtendedSet::empty(), &a, &scope).is_empty());
+        let empty_scope = Scope::new(ExtendedSet::empty(), ExtendedSet::empty());
+        prop_assert!(image(&q, &a, &empty_scope).is_empty());
+    }
+
+    /// (h) 𝔇_σ(Q) ∩ A = ∅ → Q[A]_⟨σ,γ⟩ = ∅ — again for projection-shaped
+    /// witnesses.
+    #[test]
+    fn image_c1_h_on_projection_witnesses(
+        q in arb_pair_relation(),
+        other in arb_pair_relation(),
+    ) {
+        let s = Scope::pairs();
+        let dom = sigma_domain(&q, &s.sigma1);
+        // Witnesses drawn from another relation's domain, minus Q's.
+        let a = difference(&sigma_domain(&other, &s.sigma1), &dom);
+        prop_assert!(intersection(&dom, &a).is_empty());
+        prop_assert!(image(&q, &a, &s).is_empty());
+    }
+
+    /// (i) (Q ∪ R)[A]_σ = Q[A]_σ ∪ R[A]_σ
+    #[test]
+    fn image_c1_i(
+        q in arb_pair_relation(),
+        r in arb_pair_relation(),
+        a in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        prop_assert_eq!(
+            image(&union(&q, &r), &a, &s),
+            union(&image(&q, &a, &s), &image(&r, &a, &s))
+        );
+    }
+
+    /// (j) (Q ∩ R)[A]_σ ⊆ Q[A]_σ ∩ R[A]_σ
+    #[test]
+    fn image_c1_j(
+        q in arb_pair_relation(),
+        r in arb_pair_relation(),
+        a in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let lhs = image(&intersection(&q, &r), &a, &s);
+        let rhs = intersection(&image(&q, &a, &s), &image(&r, &a, &s));
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    /// (k) Q[A]_σ ~ R[A]_σ ⊆ (Q ~ R)[A]_σ
+    #[test]
+    fn image_c1_k(
+        q in arb_pair_relation(),
+        r in arb_pair_relation(),
+        a in arb_singleton_input(),
+    ) {
+        let s = Scope::pairs();
+        let lhs = difference(&image(&q, &a, &s), &image(&r, &a, &s));
+        let rhs = image(&difference(&q, &r), &a, &s);
+        prop_assert!(lhs.is_subset(&rhs));
+    }
+
+    // -------- Definition 2.2 / Consequence B.1: process equality --------
+
+    /// Equivalent processes have equal domain and codomain projections.
+    #[test]
+    fn process_equality_implies_projections(f in arb_pair_relation()) {
+        let p = Process::pairs(f.clone());
+        let q = Process::pairs(f);
+        prop_assert!(p.equivalent(&q));
+        prop_assert_eq!(p.domain(), q.domain());
+        prop_assert_eq!(p.codomain(), q.codomain());
+    }
+}
+
+// ---------------- Relative product laws (Definition 10.1) ----------------
+
+proptest! {
+    /// The relative product distributes over union in both operands
+    /// (it is defined member-wise, so this must hold exactly).
+    #[test]
+    fn relative_product_distributes_over_union(
+        f in arb_pair_relation(),
+        f2 in arb_pair_relation(),
+        g in arb_pair_relation(),
+    ) {
+        let sigma = Scope::new(
+            ExtendedSet::from_pairs([(xst_core::Value::Int(1), xst_core::Value::Int(1))]),
+            ExtendedSet::from_pairs([(xst_core::Value::Int(2), xst_core::Value::Int(1))]),
+        );
+        let omega = Scope::new(
+            ExtendedSet::from_pairs([(xst_core::Value::Int(1), xst_core::Value::Int(1))]),
+            ExtendedSet::from_pairs([(xst_core::Value::Int(2), xst_core::Value::Int(2))]),
+        );
+        use xst_core::ops::relative_product;
+        prop_assert_eq!(
+            relative_product(&union(&f, &f2), &sigma, &g, &omega),
+            union(
+                &relative_product(&f, &sigma, &g, &omega),
+                &relative_product(&f2, &sigma, &g, &omega)
+            )
+        );
+        prop_assert_eq!(
+            relative_product(&g, &sigma, &union(&f, &f2), &omega),
+            union(
+                &relative_product(&g, &sigma, &f, &omega),
+                &relative_product(&g, &sigma, &f2, &omega)
+            )
+        );
+    }
+
+    /// Monotone in both operands, and empty operands yield empty products.
+    #[test]
+    fn relative_product_monotone_and_strict(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+        extra in arb_pair_relation(),
+    ) {
+        let sigma = Scope::new(
+            ExtendedSet::from_pairs([(xst_core::Value::Int(1), xst_core::Value::Int(1))]),
+            ExtendedSet::from_pairs([(xst_core::Value::Int(2), xst_core::Value::Int(1))]),
+        );
+        let omega = Scope::new(
+            ExtendedSet::from_pairs([(xst_core::Value::Int(1), xst_core::Value::Int(1))]),
+            ExtendedSet::from_pairs([(xst_core::Value::Int(2), xst_core::Value::Int(2))]),
+        );
+        use xst_core::ops::relative_product;
+        let small = relative_product(&f, &sigma, &g, &omega);
+        let big = relative_product(&union(&f, &extra), &sigma, &g, &omega);
+        prop_assert!(small.is_subset(&big));
+        prop_assert!(relative_product(&ExtendedSet::empty(), &sigma, &g, &omega).is_empty());
+        prop_assert!(relative_product(&f, &sigma, &ExtendedSet::empty(), &omega).is_empty());
+    }
+
+    /// The CST warm-up shape: the §10 recipe-(1) relative product of pair
+    /// relations agrees with classical relational composition computed
+    /// independently through the CST layer.
+    #[test]
+    fn relative_product_agrees_with_cst_composition(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+    ) {
+        use xst_core::cst::CstRelation;
+        let rf = CstRelation::from_extended(&f).unwrap();
+        let rg = CstRelation::from_extended(&g).unwrap();
+        let classical = rf.cst_relative_product(&rg).to_extended();
+        let scoped = xst_core::ops::pair_compose(&f, &g);
+        prop_assert_eq!(classical, scoped);
+    }
+}

@@ -1,0 +1,238 @@
+//! Integration tests for the extension layer: the text query language,
+//! aggregation, closures, snapshots, and parallel loading — all running
+//! against the same stored data.
+
+use proptest::prelude::*;
+use xst_core::ops::{pair_compose, transitive_closure, union};
+use xst_core::{ExtendedSet, Value};
+use xst_testkit::arb_pair_relation;
+use xst_relational::{algebra, group_by, parse_query, Aggregate, Catalog};
+use xst_storage::{
+    load_identity_parallel, restore, snapshot, BufferPool, Record, Schema, SetEngine, Storage,
+    Table,
+};
+
+fn stored_catalog() -> (Storage, BufferPool, Catalog, Table) {
+    let storage = Storage::new();
+    let mut employees = Table::create(&storage, Schema::new(["eid", "dept", "salary"]));
+    employees
+        .load(&[
+            Record::new([Value::Int(1), Value::sym("eng"), Value::Int(120)]),
+            Record::new([Value::Int(2), Value::sym("eng"), Value::Int(100)]),
+            Record::new([Value::Int(3), Value::sym("ops"), Value::Int(90)]),
+            Record::new([Value::Int(4), Value::sym("ops"), Value::Int(95)]),
+            Record::new([Value::Int(5), Value::sym("hr"), Value::Int(80)]),
+        ])
+        .unwrap();
+    let mut reports = Table::create(&storage, Schema::new(["mgr", "sub"]));
+    reports
+        .load(&[
+            Record::new([Value::Int(1), Value::Int(2)]),
+            Record::new([Value::Int(2), Value::Int(3)]),
+            Record::new([Value::Int(3), Value::Int(4)]),
+        ])
+        .unwrap();
+    let pool = BufferPool::new(storage.clone(), 16);
+    let mut catalog = Catalog::new();
+    catalog.register_table("employees", &employees, &pool).unwrap();
+    catalog.register_table("reports", &reports, &pool).unwrap();
+    (storage, pool, catalog, employees)
+}
+
+#[test]
+fn text_queries_over_stored_tables() {
+    let (_, _, catalog, _) = stored_catalog();
+    let r = parse_query("from employees | where dept = eng | select eid")
+        .unwrap()
+        .run(&catalog)
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    let joined = parse_query(
+        "from employees | join reports on eid = mgr | select dept, sub",
+    )
+    .unwrap()
+    .run(&catalog)
+    .unwrap();
+    assert_eq!(joined.len(), 3);
+}
+
+#[test]
+fn aggregation_over_stored_tables() {
+    let (_, _, catalog, _) = stored_catalog();
+    let by_dept = group_by(
+        catalog.get("employees").unwrap(),
+        &["dept"],
+        &[(Aggregate::Count, "eid"), (Aggregate::Sum, "salary"), (Aggregate::Max, "salary")],
+    )
+    .unwrap();
+    assert_eq!(by_dept.len(), 3);
+    assert!(by_dept.contains_row(&[
+        Value::sym("eng"),
+        Value::Int(2),
+        Value::Int(220),
+        Value::Int(120)
+    ]));
+    assert!(by_dept.contains_row(&[
+        Value::sym("hr"),
+        Value::Int(1),
+        Value::Int(80),
+        Value::Int(80)
+    ]));
+}
+
+#[test]
+fn transitive_closure_of_stored_reporting_chain() {
+    let (_, pool, catalog, _) = stored_catalog();
+    let _ = pool;
+    let reports = catalog.get("reports").unwrap();
+    let tc = transitive_closure(reports.identity());
+    // Chain 1→2→3→4 closes to 6 pairs.
+    assert_eq!(tc.card(), 6);
+    assert!(tc.contains_element(&ExtendedSet::pair(Value::Int(1), Value::Int(4)).into_value()));
+    // Management distance 2 = relation squared.
+    let two = pair_compose(reports.identity(), reports.identity());
+    assert_eq!(two.card(), 2);
+}
+
+#[test]
+fn semijoin_antijoin_against_engines() {
+    let (_, _, catalog, _) = stored_catalog();
+    let employees = catalog.get("employees").unwrap();
+    let reports = catalog.get("reports").unwrap();
+    let managers = algebra::semijoin(employees, reports, "eid", "mgr").unwrap();
+    assert_eq!(managers.len(), 3, "eids 1,2,3 manage someone");
+    let leaves = algebra::antijoin(employees, reports, "eid", "mgr").unwrap();
+    assert_eq!(leaves.len(), 2, "eids 4,5 manage no one");
+    assert_eq!(
+        union(managers.identity(), leaves.identity()),
+        *employees.identity()
+    );
+}
+
+#[test]
+fn snapshot_restore_preserves_query_results() {
+    let (storage, _, catalog, employees) = stored_catalog();
+    let q = parse_query("from employees | where dept = ops | select eid").unwrap();
+    let before = q.run(&catalog).unwrap();
+
+    let image = snapshot(&storage);
+    let restored = restore(&image).unwrap();
+    let pool2 = BufferPool::new(restored.clone(), 16);
+
+    // Rebuild the employees relation from the restored disk: file ids are
+    // stable, so the original Table handle's pages exist on the clone.
+    let identity = {
+        let mut b = xst_core::SetBuilder::new();
+        let pages = restored.page_count(employees.file.file_id()).unwrap();
+        for page in 0..pages {
+            let p = pool2
+                .get(xst_storage::PageId {
+                    file: employees.file.file_id(),
+                    page,
+                })
+                .unwrap();
+            for payload in p.iter() {
+                b.classical_elem(Value::Set(Record::decode(payload).unwrap().to_tuple()));
+            }
+        }
+        b.build()
+    };
+    let rel = xst_relational::Relation::from_identity(
+        xst_relational::RelSchema::new(["eid", "dept", "salary"]).unwrap(),
+        identity,
+    )
+    .unwrap();
+    let mut catalog2 = Catalog::new();
+    catalog2.register("employees", rel);
+    let after = q.run(&catalog2).unwrap();
+    assert_eq!(before.identity(), after.identity());
+}
+
+#[test]
+fn parallel_load_agrees_with_engine() {
+    let storage = Storage::new();
+    let mut t = Table::create(&storage, Schema::new(["id", "v"]));
+    let rows: Vec<Record> = (0..3_000)
+        .map(|i| Record::new([Value::Int(i), Value::Int(i % 97)]))
+        .collect();
+    t.load(&rows).unwrap();
+    let pool = BufferPool::new(storage, 8);
+    let sequential = SetEngine::load(&t, &pool).unwrap();
+    for threads in [1, 3, 8] {
+        assert_eq!(
+            &load_identity_parallel(&t.file, threads).unwrap(),
+            sequential.identity()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Transitive closure is idempotent and contains its base relation.
+    #[test]
+    fn closure_laws(r in arb_pair_relation()) {
+        let tc = transitive_closure(&r);
+        prop_assert!(r.is_subset(&tc));
+        prop_assert_eq!(transitive_closure(&tc), tc.clone());
+        // Closed under composition with the base relation.
+        prop_assert!(pair_compose(&tc, &r).is_subset(&tc));
+    }
+
+    /// Relational composition is associative.
+    #[test]
+    fn pair_compose_associative(
+        r in arb_pair_relation(),
+        s in arb_pair_relation(),
+        t in arb_pair_relation(),
+    ) {
+        prop_assert_eq!(
+            pair_compose(&pair_compose(&r, &s), &t),
+            pair_compose(&r, &pair_compose(&s, &t))
+        );
+    }
+
+    /// Group counts over any single-column relation sum to its size.
+    #[test]
+    fn group_counts_partition_the_relation(values in prop::collection::vec(0i64..10, 0..40)) {
+        let rel = xst_relational::Relation::from_rows(
+            xst_relational::RelSchema::new(["v"]).unwrap(),
+            values.iter().map(|&v| vec![Value::Int(v)]).collect::<Vec<_>>(),
+        ).unwrap();
+        let g = group_by(&rel, &["v"], &[(Aggregate::Count, "v")]).unwrap();
+        let total: i64 = g
+            .rows()
+            .iter()
+            .map(|row| match row[1] {
+                Value::Int(n) => n,
+                _ => unreachable!("count is an int"),
+            })
+            .sum();
+        // Relation is a set: duplicates collapse, so counts are all 1 and
+        // sum to the number of distinct values.
+        prop_assert_eq!(total as usize, rel.len());
+        prop_assert_eq!(g.len(), rel.len());
+    }
+
+    /// Snapshot → restore is the identity on disks, whatever the contents.
+    #[test]
+    fn snapshot_roundtrip_random_tables(rows in prop::collection::vec((0i64..1000, 0i64..1000), 0..50)) {
+        let storage = Storage::new();
+        let mut t = Table::create(&storage, Schema::new(["a", "b"]));
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|&(a, b)| Record::new([Value::Int(a), Value::Int(b)]))
+            .collect();
+        t.load(&records).unwrap();
+        let restored = restore(&snapshot(&storage)).unwrap();
+        prop_assert_eq!(restored.file_count(), storage.file_count());
+        let pages = storage.page_count(t.file.file_id()).unwrap();
+        for page in 0..pages {
+            let id = xst_storage::PageId { file: t.file.file_id(), page };
+            prop_assert_eq!(
+                storage.read_page(id).unwrap().as_bytes().to_vec(),
+                restored.read_page(id).unwrap().as_bytes().to_vec()
+            );
+        }
+    }
+}

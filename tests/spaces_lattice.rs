@@ -1,0 +1,205 @@
+//! Appendices D and E: the lattices of process and function spaces, and the
+//! classification of concrete behaviors into them.
+
+use proptest::prelude::*;
+use xst_core::spaces::{basic_spaces, in_space, refined_spaces, AssocSet, SpaceSpec};
+use xst_core::{ExtendedSet, Process, Value};
+use xst_testkit::arb_pair_relation;
+
+#[test]
+fn appendix_d_16_basic_8_function() {
+    let basic = basic_spaces();
+    assert_eq!(basic.len(), 16);
+    assert_eq!(basic.iter().filter(|s| s.is_function_space()).count(), 8);
+    // All 16 specs are distinct.
+    for (i, a) in basic.iter().enumerate() {
+        for b in &basic[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn appendix_e_29_refined_12_function() {
+    let refined = refined_spaces();
+    assert_eq!(refined.len(), 29);
+    assert_eq!(refined.iter().filter(|s| s.is_function_space()).count(), 12);
+    for (i, a) in refined.iter().enumerate() {
+        for b in &refined[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn lattice_has_top_and_bottom() {
+    let refined = refined_spaces();
+    let top = SpaceSpec::process();
+    // Every refined non-bottom spec is a subspace of the unrestricted one.
+    for s in &refined {
+        if !s.assoc.is_bottom() {
+            assert!(s.is_subspace_of(&top), "{} ⊄ top", s.notation());
+        }
+    }
+    // Exactly one bottom.
+    assert_eq!(refined.iter().filter(|s| s.assoc.is_bottom()).count(), 1);
+}
+
+#[test]
+fn consequence_6_1_on_the_whole_lattice() {
+    // (a)–(d) are instances of: adding a constraint yields a subspace.
+    let f_space = SpaceSpec::function();
+    let on = SpaceSpec { on: true, ..f_space.clone() };
+    let onto = SpaceSpec { onto: true, ..f_space.clone() };
+    let both = SpaceSpec { on: true, onto: true, ..f_space.clone() };
+    assert!(on.is_subspace_of(&f_space)); // (a)
+    assert!(onto.is_subspace_of(&f_space)); // (b)
+    assert!(both.is_subspace_of(&onto)); // (c)
+    assert!(both.is_subspace_of(&on)); // (d)
+    // Subspace relation is a partial order on the refined lattice.
+    let refined = refined_spaces();
+    for a in &refined {
+        assert!(a.is_subspace_of(a), "reflexive");
+        for b in &refined {
+            for c in &refined {
+                if a.is_subspace_of(b) && b.is_subspace_of(c) {
+                    assert!(a.is_subspace_of(c), "transitive");
+                }
+            }
+            if a.is_subspace_of(b) && b.is_subspace_of(a) {
+                assert_eq!(a, b, "antisymmetric");
+            }
+        }
+    }
+}
+
+#[test]
+fn named_spaces_classify_canonical_examples() {
+    let dom = ExtendedSet::classical([
+        Value::Set(ExtendedSet::tuple(["a"])),
+        Value::Set(ExtendedSet::tuple(["b"])),
+    ]);
+    let cod = ExtendedSet::classical([
+        Value::Set(ExtendedSet::tuple(["x"])),
+        Value::Set(ExtendedSet::tuple(["y"])),
+    ]);
+    struct Case {
+        name: &'static str,
+        p: Process,
+        function: bool,
+        injective: bool,
+        surjective: bool,
+        bijective: bool,
+    }
+    let cases = [
+        Case {
+            name: "bijection",
+            p: Process::from_pairs([("a", "x"), ("b", "y")]),
+            function: true,
+            injective: true,
+            surjective: true,
+            bijective: true,
+        },
+        Case {
+            name: "fold (onto a point)",
+            p: Process::from_pairs([("a", "x"), ("b", "x")]),
+            function: true,
+            injective: false,
+            surjective: false, // misses y
+            bijective: false,
+        },
+        Case {
+            name: "partial injection",
+            p: Process::from_pairs([("a", "x")]),
+            function: true,
+            injective: false, // not ON A (misses b)
+            surjective: false,
+            bijective: false,
+        },
+        Case {
+            name: "one-to-many",
+            p: Process::from_pairs([("a", "x"), ("a", "y"), ("b", "x")]),
+            function: false,
+            injective: false,
+            surjective: false,
+            bijective: false,
+        },
+    ];
+    for c in &cases {
+        assert!(
+            in_space(&c.p, &SpaceSpec::process(), &dom, &cod),
+            "{}: always a process from A to B",
+            c.name
+        );
+        assert_eq!(
+            in_space(&c.p, &SpaceSpec::function(), &dom, &cod),
+            c.function,
+            "{}: function",
+            c.name
+        );
+        assert_eq!(
+            in_space(&c.p, &SpaceSpec::injective(), &dom, &cod),
+            c.injective,
+            "{}: injective",
+            c.name
+        );
+        assert_eq!(
+            in_space(&c.p, &SpaceSpec::surjective(), &dom, &cod),
+            c.surjective,
+            "{}: surjective",
+            c.name
+        );
+        assert_eq!(
+            in_space(&c.p, &SpaceSpec::bijective(), &dom, &cod),
+            c.bijective,
+            "{}: bijective",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn assoc_alphabet_enumerates_8_subsets() {
+    let all = AssocSet::all();
+    assert_eq!(all.len(), 8);
+    assert_eq!(all.iter().filter(|a| a.is_bottom()).count(), 1);
+    assert_eq!(all.iter().filter(|a| a.is_functional()).count(), 3);
+}
+
+proptest! {
+    /// Membership is monotone along the subspace order for random
+    /// behaviors: f ∈ S and S ⊆ T imply f ∈ T.
+    #[test]
+    fn membership_monotone_on_lattice(graph in arb_pair_relation()) {
+        prop_assume!(!graph.is_empty());
+        let p = Process::pairs(graph);
+        let a = p.domain();
+        let b = p.codomain();
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let refined = refined_spaces();
+        for s in &refined {
+            if in_space(&p, s, &a, &b) {
+                for t in &refined {
+                    if s.is_subspace_of(t) {
+                        prop_assert!(
+                            in_space(&p, t, &a, &b),
+                            "{} in {} but not {}",
+                            p.graph, s.notation(), t.notation()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every non-empty behavior lands in the unrestricted process space
+    /// over its own projections (Definition 6.7 arrow).
+    #[test]
+    fn arrow_over_own_projections(graph in arb_pair_relation()) {
+        prop_assume!(!graph.is_empty());
+        let p = Process::pairs(graph);
+        let (a, b) = (p.domain(), p.codomain());
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        prop_assert!(xst_core::spaces::arrow(&p, &a, &b));
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's theorems, reproduced as executable properties:
+//! Theorem 9.4 (`⊗` associativity), Theorem 9.10 (CST embedding),
+//! Theorem 11.2 (constructible composition), and the interpretation counts
+//! of Examples 4.1/4.2.
+
+use proptest::prelude::*;
+use xst_core::cst::{CstFunction, CstRelation};
+use xst_core::ops::cross;
+use xst_core::process::interpretation_count;
+use xst_core::spaces::{in_space, SpaceSpec};
+use xst_core::{ExtendedSet, Process, Value};
+use xst_testkit::{arb_atom, arb_function_relation, arb_pair_relation, singleton};
+
+fn arb_tuple_set() -> impl Strategy<Value = ExtendedSet> {
+    prop::collection::vec(prop::collection::vec(arb_atom(), 0..3), 0..4).prop_map(|tuples| {
+        ExtendedSet::classical(
+            tuples
+                .into_iter()
+                .map(|t| Value::Set(ExtendedSet::tuple(t))),
+        )
+    })
+}
+
+proptest! {
+    /// Theorem 9.4: A ⊗ B ⊗ C is associative.
+    #[test]
+    fn theorem_9_4_cross_associativity(
+        a in arb_tuple_set(),
+        b in arb_tuple_set(),
+        c in arb_tuple_set(),
+    ) {
+        let left = cross(&cross(&a, &b).unwrap(), &c).unwrap();
+        let right = cross(&a, &cross(&b, &c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Theorem 9.10: every CST function is represented by its XST behavior:
+    /// f(x) = 𝒱(f_(σ)({⟨x⟩})) for σ = ⟨⟨1⟩,⟨2⟩⟩.
+    #[test]
+    fn theorem_9_10_embedding(graph in arb_function_relation(), probe in arb_atom()) {
+        let relation = CstRelation::from_extended(&graph).unwrap();
+        let f = CstFunction::new(relation.clone()).unwrap();
+        prop_assert!(f.embedding_agrees());
+        // Probes outside the domain agree on "undefined" too.
+        let p = f.to_process();
+        prop_assert_eq!(f.apply(&probe), p.apply_value(&probe).ok());
+    }
+
+    /// Theorem 11.2, semantic form: the constructed composition satisfies
+    /// (g ∘ f)(x) = g(f(x)) on every singleton input.
+    #[test]
+    fn theorem_11_2_composition_law(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+        x in arb_atom(),
+    ) {
+        let fp = Process::pairs(f);
+        let gp = Process::pairs(g);
+        let h = Process::compose(&gp, &fp).unwrap();
+        let input = ExtendedSet::classical([Value::Set(ExtendedSet::tuple([x]))]);
+        prop_assert_eq!(h.apply(&input), gp.apply(&fp.apply(&input)));
+    }
+
+    /// Theorem 11.2, typing form: f ∈ ℱ[A,B), g ∈ ℱ[B,C) → g∘f ∈ ℱ[A,C).
+    #[test]
+    fn theorem_11_2_composition_typing(pairs in prop::collection::btree_map(
+        arb_atom(), (arb_atom(), arb_atom()), 1..6
+    )) {
+        // Build a total pipeline: f: A → B, g: B → C with f's image inside
+        // g's domain by construction.
+        let f_graph = ExtendedSet::classical(pairs.iter().map(|(a, (b, _))| {
+            Value::Set(ExtendedSet::pair(a.clone(), b.clone()))
+        }));
+        let g_graph = ExtendedSet::classical(pairs.values().map(|(b, c)| {
+            Value::Set(ExtendedSet::pair(b.clone(), c.clone()))
+        }));
+        let fp = Process::pairs(f_graph);
+        let gp = Process::pairs(g_graph);
+        prop_assume!(fp.is_function() && gp.is_function());
+        let a = fp.domain();
+        let b = gp.domain();
+        let c = gp.codomain();
+        prop_assume!(fp.codomain().is_subset(&b));
+        let on_spec = SpaceSpec { on: true, ..SpaceSpec::function() };
+        prop_assert!(in_space(&fp, &on_spec, &a, &b));
+        prop_assert!(in_space(&gp, &on_spec, &b, &c));
+        let h = Process::compose(&gp, &fp).unwrap();
+        // h is a function from A into C, on A.
+        prop_assert!(h.is_function());
+        prop_assert_eq!(h.domain().card(), a.card());
+        // Every h-image lands in C.
+        for probe in h.singleton_probes() {
+            prop_assert!(h.apply(&probe).is_subset(&c));
+        }
+    }
+
+    /// Composition associativity: (h∘g)∘f ≡ h∘(g∘f) as behaviors.
+    #[test]
+    fn composition_is_associative_as_behavior(
+        f in arb_pair_relation(),
+        g in arb_pair_relation(),
+        h in arb_pair_relation(),
+        x in arb_atom(),
+    ) {
+        let (fp, gp, hp) = (Process::pairs(f), Process::pairs(g), Process::pairs(h));
+        let left = Process::compose(&hp, &Process::compose(&gp, &fp).unwrap());
+        let right = Process::compose(&Process::compose(&hp, &gp).unwrap(), &fp);
+        // Both compositions may rename internal scopes differently, so we
+        // compare behaviors, not carriers.
+        let input = ExtendedSet::classical([Value::Set(ExtendedSet::tuple([x]))]);
+        if let (Ok(l), Ok(r)) = (left, right) {
+            prop_assert_eq!(l.apply(&input), r.apply(&input));
+        }
+    }
+}
+
+#[test]
+fn interpretation_counts_quoted_by_the_paper() {
+    // "two legitimate interpretations" for a 2-chain; "5 for three ...
+    // with 14 for four and 42 for five".
+    assert_eq!(interpretation_count(2), 2);
+    assert_eq!(interpretation_count(3), 5);
+    assert_eq!(interpretation_count(4), 14);
+    assert_eq!(interpretation_count(5), 42);
+    // The sequence continues as the Catalan numbers.
+    assert_eq!(interpretation_count(6), 132);
+    assert_eq!(interpretation_count(10), 16796);
+}
+
+#[test]
+fn composition_worked_example() {
+    // A concrete instance of Theorem 11.2's diagram: h = g ∘ f executes
+    // f-then-g in one step.
+    let f = Process::from_pairs([("a", "b"), ("c", "d"), ("e", "b")]);
+    let g = Process::from_pairs([("b", "1"), ("d", "2")]);
+    let h = Process::compose(&g, &f).unwrap();
+    for (input, expected) in [("a", Some("1")), ("c", Some("2")), ("e", Some("1")), ("q", None)] {
+        let got = h.apply(&singleton(input));
+        match expected {
+            Some(out) => assert_eq!(got, singleton(out), "input {input}"),
+            None => assert!(got.is_empty(), "input {input}"),
+        }
+    }
+    assert!(h.is_function());
+}
+
+#[test]
+fn cst_image_definition_3_6_agrees_with_xst() {
+    // CST: R[A] = 𝔇₂(R|A); XST: the same through scoped machinery.
+    let r = CstRelation::from_pairs([("a", "x"), ("b", "y"), ("c", "x")]);
+    let a: std::collections::BTreeSet<Value> =
+        [Value::sym("a"), Value::sym("c")].into_iter().collect();
+    let classical = r.cst_image(&a);
+    let p = r.to_process();
+    let input = ExtendedSet::classical(
+        a.iter()
+            .map(|v| Value::Set(ExtendedSet::tuple([v.clone()]))),
+    );
+    let behavioral: std::collections::BTreeSet<Value> = p
+        .apply(&input)
+        .iter()
+        .filter_map(|(e, _)| e.as_set().and_then(ExtendedSet::as_tuple).map(|t| t[0].clone()))
+        .collect();
+    assert_eq!(classical, behavioral);
+}
