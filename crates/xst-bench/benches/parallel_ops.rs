@@ -1,0 +1,79 @@
+//! E10 — parallel set-operation kernels vs worker-thread count, plus the
+//! sharded buffer pool under concurrent readers. The acceptance target is
+//! the 100k-member restriction: ≥2x at 4 threads over the 1-thread run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xst_bench::data;
+use xst_core::ops::{par_sigma_restrict, par_union, Parallelism, Scope};
+use xst_core::{ExtendedSet, Value};
+use xst_storage::{BufferPool, PageId, Storage};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_restrict(c: &mut Criterion) {
+    let n = 100_000;
+    let r = data::pair_relation(n, n as i64);
+    let a = ExtendedSet::classical(
+        (0..n / 8).map(|i| Value::Set(ExtendedSet::tuple([Value::Int(i as i64)]))),
+    );
+    let scope = Scope::pairs();
+    let mut g = c.benchmark_group("e10_parallel_restrict");
+    g.sample_size(20);
+    for &k in &THREADS {
+        let par = Parallelism::new(k).with_threshold(1);
+        g.bench_with_input(BenchmarkId::new("threads", k), &k, |b, _| {
+            b.iter(|| par_sigma_restrict(&r, &scope.sigma1, &a, &par))
+        });
+    }
+    g.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let n = 100_000;
+    let s1 = data::scoped_set(n);
+    let s2 = data::scoped_set(n + n / 3 + 1);
+    let mut g = c.benchmark_group("e10_parallel_union");
+    g.sample_size(20);
+    for &k in &THREADS {
+        let par = Parallelism::new(k).with_threshold(1);
+        g.bench_with_input(BenchmarkId::new("threads", k), &k, |b, _| {
+            b.iter(|| par_union(&s1, &s2, &par))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sharded_pool(c: &mut Criterion) {
+    let storage = Storage::new();
+    let parts = data::parts_table(&storage, 50_000, 16);
+    let file = parts.file.file_id();
+    let pages = parts.file.page_count().unwrap();
+    let workers = 4;
+    let mut g = c.benchmark_group("e11_sharded_pool_reads");
+    g.sample_size(10);
+    for &shards in &[1usize, 4, 8] {
+        let pool = BufferPool::with_shards(storage.clone(), pages.max(shards), shards);
+        for p in 0..pages {
+            pool.get(PageId { file, page: p }).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for w in 0..workers {
+                        let pool = &pool;
+                        s.spawn(move || {
+                            for i in 0..8 * pages {
+                                let page = (i * (w + 1) + w) % pages;
+                                pool.get(PageId { file, page }).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_restrict, bench_union, bench_sharded_pool);
+criterion_main!(benches);

@@ -18,11 +18,31 @@ fn main() {
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
-    let e1_sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000, 50_000] };
-    let e3_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
-    let e4_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
-    let e5_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000, 500_000] };
-    let e6_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000, 50_000] };
+    let e1_sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 50_000]
+    };
+    let e3_sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let e4_sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let e5_sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 500_000]
+    };
+    let e6_sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
     let e2_stages: &[usize] = &[2, 3, 5, 8];
 
     println!("xst experiment report (seed {:#x})", xst_bench::data::SEED);
@@ -33,7 +53,10 @@ fn main() {
         print!("{}", exp::e1_set_vs_record(e1_sizes));
     }
     if want("e2") {
-        print!("{}", exp::e2_composition(e2_stages, if quick { 1_000 } else { 10_000 }, 64));
+        print!(
+            "{}",
+            exp::e2_composition(e2_stages, if quick { 1_000 } else { 10_000 }, 64)
+        );
     }
     if want("e3") {
         print!("{}", exp::e3_pushdown(e3_sizes));
@@ -48,7 +71,11 @@ fn main() {
         print!("{}", exp::e6_restructure(e6_sizes));
     }
     if want("e7") {
-        let e7_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+        let e7_sizes: &[usize] = if quick {
+            &[1_000, 10_000]
+        } else {
+            &[1_000, 10_000, 100_000]
+        };
         print!("{}", exp::e7_witness_ablation(e7_sizes));
     }
     if want("e8") {
@@ -58,5 +85,13 @@ fn main() {
     if want("e9") {
         let e9_sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
         print!("{}", exp::e9_column_store(e9_sizes));
+    }
+    if want("e10") {
+        let n = if quick { 10_000 } else { 100_000 };
+        print!("{}", exp::e10_parallel_ops(n, &[1, 2, 4, 8]));
+    }
+    if want("e11") {
+        let n = if quick { 10_000 } else { 50_000 };
+        print!("{}", exp::e11_sharded_pool(n, &[1, 2, 4, 8], 4));
     }
 }

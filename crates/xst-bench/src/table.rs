@@ -70,7 +70,10 @@ mod tests {
         assert!(s.contains("long-header"));
         assert!(s.contains("note: a note"));
         // Alignment: each data line has the same column start for col 2.
-        let lines: Vec<&str> = s.lines().filter(|l| l.contains('1') || l.contains('2')).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains('1') || l.contains('2'))
+            .collect();
         assert_eq!(lines.len(), 2);
     }
 

@@ -189,11 +189,7 @@ impl CstFunction {
                 if last == Some(x) {
                     return Err(XstError::NotAFunction {
                         input: format!("{x}"),
-                        image_len: relation
-                            .pairs
-                            .iter()
-                            .filter(|(a, _)| a == x)
-                            .count(),
+                        image_len: relation.pairs.iter().filter(|(a, _)| a == x).count(),
                     });
                 }
                 last = Some(x);
@@ -315,13 +311,9 @@ mod tests {
     fn from_extended_rejects_non_pairs() {
         let bad = ExtendedSet::classical([Value::sym("atom")]);
         assert!(CstRelation::from_extended(&bad).is_err());
-        let triple =
-            ExtendedSet::classical([Value::Set(ExtendedSet::tuple(["a", "b", "c"]))]);
+        let triple = ExtendedSet::classical([Value::Set(ExtendedSet::tuple(["a", "b", "c"]))]);
         assert!(CstRelation::from_extended(&triple).is_err());
-        let scoped = ExtendedSet::singleton(
-            Value::Set(ExtendedSet::pair("a", "b")),
-            Value::Int(9),
-        );
+        let scoped = ExtendedSet::singleton(Value::Set(ExtendedSet::pair("a", "b")), Value::Int(9));
         assert!(CstRelation::from_extended(&scoped).is_err());
     }
 
@@ -329,10 +321,7 @@ mod tests {
     fn theorem_9_10_embedding() {
         let f = CstFunction::from_pairs([("a", "x"), ("b", "y"), ("c", "x")]).unwrap();
         assert!(f.embedding_agrees());
-        assert_eq!(
-            f.to_process().apply_value(&sym("c")).unwrap(),
-            sym("x")
-        );
+        assert_eq!(f.to_process().apply_value(&sym("c")).unwrap(), sym("x"));
     }
 
     #[test]
@@ -346,11 +335,13 @@ mod tests {
             let classical = r.cst_image(&a);
             let behavioral: BTreeSet<Value> = p
                 .apply(&ExtendedSet::classical([Value::Set(ExtendedSet::tuple([
-                    x.clone()
+                    x.clone(),
                 ]))]))
                 .iter()
                 .filter_map(|(e, _)| {
-                    e.as_set().and_then(ExtendedSet::as_tuple).map(|t| t[0].clone())
+                    e.as_set()
+                        .and_then(ExtendedSet::as_tuple)
+                        .map(|t| t[0].clone())
                 })
                 .collect();
             assert_eq!(classical, behavioral);

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use crate::cst::{CstFunction, CstRelation};
     pub use crate::ops::{
         cartesian, concat, cross, difference, group_by_key, image, intersection, pair_compose,
-        partition_by_scope, relative_product, rescope_by_element, rescope_by_scope,
-        sigma_domain, sigma_restrict, sigma_value, tag, transitive_closure, union, value,
+        partition_by_scope, relative_product, rescope_by_element, rescope_by_scope, sigma_domain,
+        sigma_restrict, sigma_value, tag, transitive_closure, union, value,
     };
     pub use crate::parse::{parse_set, parse_value};
     pub use crate::process::{
@@ -85,8 +85,7 @@ pub mod prelude {
     };
     pub use crate::set::{ExtendedSet, Member, SetBuilder};
     pub use crate::spaces::{
-        basic_spaces, classify, in_space, most_specific_space, refined_spaces, AssocSet,
-        SpaceSpec,
+        basic_spaces, classify, in_space, most_specific_space, refined_spaces, AssocSet, SpaceSpec,
     };
     pub use crate::value::{sym, Value};
     pub use crate::{xset, xtuple, Scope, XstError, XstResult};

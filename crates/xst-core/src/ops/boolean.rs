@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn union_all_folds() {
         let sets = [xset!["a" => 1], xset!["b" => 2], xset!["c" => 3]];
-        assert_eq!(
-            union_all(sets.iter()),
-            xset!["a" => 1, "b" => 2, "c" => 3]
-        );
+        assert_eq!(union_all(sets.iter()), xset!["a" => 1, "b" => 2, "c" => 3]);
         assert!(union_all(std::iter::empty()).is_empty());
     }
 }

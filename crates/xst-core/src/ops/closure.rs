@@ -139,8 +139,7 @@ mod tests {
             ExtendedSet::pair("d", "R").into_value()
         ];
         let via_pairs = Process::pairs(pair_compose(&f, &g));
-        let via_process =
-            Process::compose(&Process::pairs(g), &Process::pairs(f)).unwrap();
+        let via_process = Process::compose(&Process::pairs(g), &Process::pairs(f)).unwrap();
         assert!(via_pairs.equivalent(&via_process));
     }
 

@@ -70,8 +70,7 @@ mod tests {
         let w = xset!["A" => 1, "B" => 2, "C" => 3];
         let r = xset![z.into_value() => w.into_value()];
         let sigma = xtuple![3, 1]; // {3^1, 1^2}
-        let expected =
-            xset![xtuple!["c", "a"].into_value() => xtuple!["C", "A"].into_value()];
+        let expected = xset![xtuple!["c", "a"].into_value() => xtuple!["C", "A"].into_value()];
         assert_eq!(sigma_domain(&r, &sigma), expected);
     }
 

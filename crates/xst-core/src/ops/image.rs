@@ -195,8 +195,13 @@ mod tests {
         ];
         let b = xset![xtuple!["b"].into_value() => xtuple!["B"].into_value()];
         let s = Scope::pairs();
-        assert!(difference(&image(&f, &a, &s), &image(&f, &b, &s))
-            .is_subset(&image(&f, &difference(&a, &b), &s)));
+        assert!(
+            difference(&image(&f, &a, &s), &image(&f, &b, &s)).is_subset(&image(
+                &f,
+                &difference(&a, &b),
+                &s
+            ))
+        );
     }
 
     /// Consequence C.1(d): A ⊆ B → Q[A]_σ ⊆ Q[B]_σ.
@@ -231,8 +236,13 @@ mod tests {
         assert!(image(&intersection(&q, &r), &a, &s)
             .is_subset(&intersection(&image(&q, &a, &s), &image(&r, &a, &s))));
         // (k) difference contained
-        assert!(difference(&image(&q, &a, &s), &image(&r, &a, &s))
-            .is_subset(&image(&difference(&q, &r), &a, &s)));
+        assert!(
+            difference(&image(&q, &a, &s), &image(&r, &a, &s)).is_subset(&image(
+                &difference(&q, &r),
+                &a,
+                &s
+            ))
+        );
     }
 
     /// Scope constructors behave as documented.

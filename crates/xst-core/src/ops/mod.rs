@@ -17,6 +17,7 @@ pub mod boolean;
 pub mod closure;
 pub mod domain;
 pub mod image;
+pub mod par;
 pub mod partition;
 pub mod powerset;
 pub mod product;
@@ -30,9 +31,13 @@ pub use closure::{
     transitive_closure,
 };
 pub use domain::{sigma_domain, sigma_domain_members};
+pub use image::{image, image_two_pass, Scope};
+pub use par::{
+    par_image, par_intersection, par_relative_product, par_sigma_restrict, par_union, Parallelism,
+    DEFAULT_PARALLEL_THRESHOLD,
+};
 pub use partition::{flatten_partition, group_by_key, partition_by_scope};
 pub use powerset::{big_union, pairing, powerset, replacement, separation};
-pub use image::{image, image_two_pass, Scope};
 pub use product::{cartesian, concat, cross, relative_product, scope_disjoint_union, tag};
 pub use rescope::{
     rescope_by_element, rescope_by_scope, rescope_value_by_element, rescope_value_by_scope,

@@ -83,10 +83,7 @@ pub fn separation(
 
 /// Replacement along an element transformation: apply `f` to every member
 /// element, keeping scopes.
-pub fn replacement(
-    a: &ExtendedSet,
-    mut f: impl FnMut(&Value) -> Value,
-) -> ExtendedSet {
+pub fn replacement(a: &ExtendedSet, mut f: impl FnMut(&Value) -> Value) -> ExtendedSet {
     ExtendedSet::from_members(
         a.members()
             .iter()

@@ -32,7 +32,9 @@ pub fn concat(x: &ExtendedSet, y: &ExtendedSet) -> XstResult<ExtendedSet> {
     })?;
     let mut members: Vec<Member> = x.members().to_vec();
     for m in y.members() {
-        let Value::Int(i) = m.scope else { unreachable!("tuple scopes are ints") };
+        let Value::Int(i) = m.scope else {
+            unreachable!("tuple scopes are ints")
+        };
         members.push(Member::new(m.element.clone(), Value::Int(i + n)));
     }
     Ok(ExtendedSet::from_members(members))
@@ -125,8 +127,22 @@ pub fn relative_product(
     // Hash-partition G by its (key, key-scope) projection once, then probe
     // with each F member: O(|F| + |G| + matches) member visits instead of
     // the naive pairwise O(|F|·|G|).
-    let mut g_by_key: HashMap<(ExtendedSet, ExtendedSet), Vec<(ExtendedSet, ExtendedSet)>> =
-        HashMap::with_capacity(g.card());
+    let g_by_key = index_by_key(g, omega);
+    let mut out = SetBuilder::new();
+    for m in f.members() {
+        probe_member(m, sigma, &g_by_key, &mut out);
+    }
+    out.build()
+}
+
+/// G hash-partitioned by its `⟨ω1⟩` projection; values are the kept `⟨ω2⟩`
+/// projections. Shared between [`relative_product`] and the parallel kernel
+/// (`ops::par`), which probes the same index from several threads.
+pub(crate) type KeyIndex = HashMap<(ExtendedSet, ExtendedSet), Vec<(ExtendedSet, ExtendedSet)>>;
+
+/// Build phase of the relative product: partition `G` by join key.
+pub(crate) fn index_by_key(g: &ExtendedSet, omega: &Scope) -> KeyIndex {
+    let mut g_by_key: KeyIndex = HashMap::with_capacity(g.card());
     for (y, t) in g.iter() {
         let key = (
             rescope_value_by_scope(y, &omega.sigma1),
@@ -138,24 +154,27 @@ pub fn relative_product(
         );
         g_by_key.entry(key).or_default().push(keep);
     }
-    let mut out = SetBuilder::new();
-    for (x, s) in f.iter() {
-        let key = (
-            rescope_value_by_scope(x, &sigma.sigma2),
-            rescope_value_by_scope(s, &sigma.sigma2),
-        );
-        let Some(matches) = g_by_key.get(&key) else {
-            continue;
-        };
-        let x_keep = rescope_value_by_scope(x, &sigma.sigma1);
-        let s_keep = rescope_value_by_scope(s, &sigma.sigma1);
-        for (y_keep, t_keep) in matches {
-            let z = union(&x_keep, y_keep);
-            let tau = union(&s_keep, t_keep);
-            out.scoped(Value::Set(z), Value::Set(tau));
-        }
+    g_by_key
+}
+
+/// Probe phase of the relative product: emit all joined members for one
+/// member of `F` into `out`.
+pub(crate) fn probe_member(m: &Member, sigma: &Scope, g_by_key: &KeyIndex, out: &mut SetBuilder) {
+    let (x, s) = (&m.element, &m.scope);
+    let key = (
+        rescope_value_by_scope(x, &sigma.sigma2),
+        rescope_value_by_scope(s, &sigma.sigma2),
+    );
+    let Some(matches) = g_by_key.get(&key) else {
+        return;
+    };
+    let x_keep = rescope_value_by_scope(x, &sigma.sigma1);
+    let s_keep = rescope_value_by_scope(s, &sigma.sigma1);
+    for (y_keep, t_keep) in matches {
+        let z = union(&x_keep, y_keep);
+        let tau = union(&s_keep, t_keep);
+        out.scoped(Value::Set(z), Value::Set(tau));
     }
-    out.build()
 }
 
 #[cfg(test)]
@@ -203,7 +222,10 @@ mod tests {
             Err(XstError::ScopeCollision { .. })
         ));
         let c = xset!["b" => 2];
-        assert_eq!(scope_disjoint_union(&a, &c).unwrap(), xset!["a" => 1, "b" => 2]);
+        assert_eq!(
+            scope_disjoint_union(&a, &c).unwrap(),
+            xset!["a" => 1, "b" => 2]
+        );
     }
 
     #[test]
@@ -305,7 +327,10 @@ mod tests {
         let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
         let omega = Scope::new(xset![1 => 1], xset![1 => 2, 2 => 3]);
         let got = relative_product(&f, &sigma, &g, &omega);
-        assert_eq!(got, xset![xtuple!["a", "b", "c"].into_value() => Value::empty_set()]);
+        assert_eq!(
+            got,
+            xset![xtuple!["a", "b", "c"].into_value() => Value::empty_set()]
+        );
     }
 
     /// §10 recipe (4): swap the kept side — produces ⟨b, c⟩-shaped output
@@ -404,10 +429,7 @@ mod tests {
             xset![1 => 1, 2 => 2, 3 => 3, 4 => 4, 5 => 5],
             xset![1 => 1, 2 => 2, 3 => 3],
         );
-        let omega = Scope::new(
-            xset![1 => 1, 2 => 2, 3 => 3],
-            xset![4 => 6, 5 => 7, 6 => 8],
-        );
+        let omega = Scope::new(xset![1 => 1, 2 => 2, 3 => 3], xset![4 => 6, 5 => 7, 6 => 8]);
         assert_eq!(
             relative_product(&f, &sigma, &g, &omega),
             xset![xtuple!["a", "b", "c", "d", "e", "x", "y", "z"].into_value()
@@ -459,8 +481,7 @@ mod tests {
         // Key scopes: s^{/σ2/} = {T^1}, t^{/ω1/} = {U^1} — differ, no match.
         assert!(relative_product(&f, &sigma, &g, &omega).is_empty());
         // Align the scopes and the match appears.
-        let g2 =
-            xset![ExtendedSet::pair("b", "c").into_value() => xtuple!["T", "V"].into_value()];
+        let g2 = xset![ExtendedSet::pair("b", "c").into_value() => xtuple!["T", "V"].into_value()];
         let got = relative_product(&f, &sigma, &g2, &omega);
         assert_eq!(got.card(), 1);
     }

@@ -98,11 +98,7 @@ impl WitnessSet {
 /// experiment E7 (EXPERIMENTS.md); [`sigma_restrict`] computes the same
 /// set through the partitioned witness structure. The two are asserted
 /// equal by property tests and by the experiment harness on every run.
-pub fn sigma_restrict_naive(
-    r: &ExtendedSet,
-    sigma: &ExtendedSet,
-    a: &ExtendedSet,
-) -> ExtendedSet {
+pub fn sigma_restrict_naive(r: &ExtendedSet, sigma: &ExtendedSet, a: &ExtendedSet) -> ExtendedSet {
     let witnesses: Vec<(ExtendedSet, ExtendedSet)> = a
         .members()
         .iter()
@@ -255,10 +251,7 @@ mod tests {
         let s1 = xtuple![1];
         assert_eq!(
             sigma_restrict(&f, &s1, &union(&a1, &a2)),
-            union(
-                &sigma_restrict(&f, &s1, &a1),
-                &sigma_restrict(&f, &s1, &a2)
-            )
+            union(&sigma_restrict(&f, &s1, &a1), &sigma_restrict(&f, &s1, &a2))
         );
     }
 

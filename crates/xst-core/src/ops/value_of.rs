@@ -39,7 +39,9 @@ fn extract_unique(x: &ExtendedSet, scope: &Value) -> XstResult<Value> {
             continue;
         }
         let Some(t) = elem.as_set() else { continue };
-        let Some(components) = t.as_tuple() else { continue };
+        let Some(components) = t.as_tuple() else {
+            continue;
+        };
         if components.len() != 1 {
             continue; // only singleton tuples ⟨y⟩ carry values
         }
@@ -90,9 +92,18 @@ mod tests {
             ("i", Value::sym("2i")),
             ("-i", Value::sym("-2i")),
         ]);
-        assert_eq!(sigma_value(&roots, &Value::sym("+")).unwrap(), Value::Int(2));
-        assert_eq!(sigma_value(&roots, &Value::sym("-")).unwrap(), Value::Int(-2));
-        assert_eq!(sigma_value(&roots, &Value::sym("i")).unwrap(), Value::sym("2i"));
+        assert_eq!(
+            sigma_value(&roots, &Value::sym("+")).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            sigma_value(&roots, &Value::sym("-")).unwrap(),
+            Value::Int(-2)
+        );
+        assert_eq!(
+            sigma_value(&roots, &Value::sym("i")).unwrap(),
+            Value::sym("2i")
+        );
         assert_eq!(
             sigma_value(&roots, &Value::sym("-i")).unwrap(),
             Value::sym("-2i")

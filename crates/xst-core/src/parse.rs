@@ -73,7 +73,12 @@ impl Parser {
         self.chars
             .get(self.pos)
             .map(|&(o, _)| o)
-            .unwrap_or_else(|| self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|&(o, c)| o + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn err(&self, message: impl Into<String>) -> XstError {
@@ -109,9 +114,7 @@ impl Parser {
             Some('{') => self.set(),
             Some('⟨') | Some('<') => self.tuple(),
             Some('"') => self.string(),
-            Some('b') if self.chars.get(self.pos + 1).map(|&(_, c)| c) == Some('"') => {
-                self.bytes()
-            }
+            Some('b') if self.chars.get(self.pos + 1).map(|&(_, c)| c) == Some('"') => self.bytes(),
             Some(_) => self.word(),
         }
     }
@@ -213,7 +216,10 @@ impl Parser {
 
     fn is_word_char(c: char) -> bool {
         c.is_alphanumeric()
-            || matches!(c, '_' | '+' | '-' | '*' | '/' | '=' | '!' | '?' | '.' | '\'')
+            || matches!(
+                c,
+                '_' | '+' | '-' | '*' | '/' | '=' | '!' | '?' | '.' | '\''
+            )
     }
 
     fn word(&mut self) -> XstResult<Value> {
@@ -224,7 +230,10 @@ impl Parser {
         if self.pos == start {
             return Err(self.err("unexpected character"));
         }
-        let word: String = self.chars[start..self.pos].iter().map(|&(_, c)| c).collect();
+        let word: String = self.chars[start..self.pos]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
         Ok(classify_word(&word))
     }
 }
@@ -271,7 +280,10 @@ mod tests {
         assert_eq!(parse_value("-2i").unwrap(), Value::sym("-2i"));
         assert_eq!(parse_value("+").unwrap(), Value::sym("+"));
         assert_eq!(parse_value("\"hi\"").unwrap(), Value::str("hi"));
-        assert_eq!(parse_value("b\"6869\"").unwrap(), Value::bytes([0x68, 0x69]));
+        assert_eq!(
+            parse_value("b\"6869\"").unwrap(),
+            Value::bytes([0x68, 0x69])
+        );
         assert_eq!(parse_value("∅").unwrap(), Value::empty_set());
     }
 
@@ -291,7 +303,10 @@ mod tests {
         assert_eq!(parse_set("<a, b>").unwrap(), xtuple!["a", "b"]);
         assert_eq!(parse_set("⟨⟩").unwrap(), ExtendedSet::empty());
         // Tuple notation is sugar for the Definition 9.1 set.
-        assert_eq!(parse_set("⟨a, b⟩").unwrap(), parse_set("{a^1, b^2}").unwrap());
+        assert_eq!(
+            parse_set("⟨a, b⟩").unwrap(),
+            parse_set("{a^1, b^2}").unwrap()
+        );
     }
 
     #[test]
@@ -324,7 +339,12 @@ mod tests {
             xtuple!["a", "b", "c"],
             xset![xtuple!["a", "x"].into_value() => xtuple!["A", "Z"].into_value()],
             ExtendedSet::empty(),
-            xset![Value::Int(-3), Value::float(2.5), Value::str("s"), Value::Bool(false)],
+            xset![
+                Value::Int(-3),
+                Value::float(2.5),
+                Value::str("s"),
+                Value::Bool(false)
+            ],
             xset![Value::bytes([1u8, 255])],
         ];
         for s in originals {

@@ -270,7 +270,10 @@ impl Process {
     /// [`Process::compose`].
     pub fn compose_raw(g: &Process, f: &Process) -> Process {
         let h = relative_product(&f.graph, &f.scope, &g.graph, &g.scope);
-        Process::new(h, Scope::new(f.scope.sigma1.clone(), g.scope.sigma2.clone()))
+        Process::new(
+            h,
+            Scope::new(f.scope.sigma1.clone(), g.scope.sigma2.clone()),
+        )
     }
 
     /// Scope-engineered composition `g_(ω) ∘ f_(σ)` satisfying
@@ -534,10 +537,7 @@ mod tests {
         // An empty carrier defines no process.
         assert!(!Process::pairs(ExtendedSet::empty()).is_process());
         // A carrier member invisible to σ breaks the hereditary condition.
-        let broken = Process::pairs(xset![
-            ExtendedSet::pair("a", "x").into_value(),
-            "atom"
-        ]);
+        let broken = Process::pairs(xset![ExtendedSet::pair("a", "x").into_value(), "atom"]);
         assert!(!broken.is_process());
     }
 
@@ -638,7 +638,10 @@ mod tests {
         let x = singleton_tuple("a");
         let got = h.apply(&x);
         // Output arrives at position 2 (ω2 keeps it there).
-        assert_eq!(got, xset![xset!["c" => 2].into_value() => Value::empty_set()]);
+        assert_eq!(
+            got,
+            xset![xset!["c" => 2].into_value() => Value::empty_set()]
+        );
     }
 
     #[test]
@@ -672,10 +675,7 @@ mod tests {
     #[test]
     fn interpretation_rendering() {
         let trees = enumerate_interpretations(2);
-        let rendered: Vec<String> = trees
-            .iter()
-            .map(|t| t.render(&["f", "g"], "x"))
-            .collect();
+        let rendered: Vec<String> = trees.iter().map(|t| t.render(&["f", "g"], "x")).collect();
         assert!(rendered.contains(&"f(g(x))".to_string()));
         assert!(rendered.contains(&"(f(g))(x)".to_string()));
     }
@@ -689,11 +689,11 @@ mod tests {
             .map(|t| t.render(&["f", "g", "h"], "x"))
             .collect();
         let expected: std::collections::BTreeSet<String> = [
-            "f(g(h(x)))",    // (a)
-            "f((g(h))(x))",  // (b)
-            "(f(g(h)))(x)",  // (c)
+            "f(g(h(x)))",     // (a)
+            "f((g(h))(x))",   // (b)
+            "(f(g(h)))(x)",   // (c)
             "((f(g))(h))(x)", // (d)
-            "(f(g))(h(x))",  // (e)
+            "(f(g))(h(x))",   // (e)
         ]
         .into_iter()
         .map(String::from)

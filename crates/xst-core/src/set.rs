@@ -116,12 +116,7 @@ impl ExtendedSet {
         E: Into<Value>,
         S: Into<Value>,
     {
-        ExtendedSet::from_members(
-            pairs
-                .into_iter()
-                .map(|(e, s)| Member::new(e, s))
-                .collect(),
-        )
+        ExtendedSet::from_members(pairs.into_iter().map(|(e, s)| Member::new(e, s)).collect())
     }
 
     /// Build a classical set: every element scoped by `∅`.
@@ -207,11 +202,7 @@ impl ExtendedSet {
     /// Scoped membership test `element ∈_scope self`.
     pub fn contains(&self, element: &Value, scope: &Value) -> bool {
         self.members
-            .binary_search_by(|m| {
-                m.element
-                    .cmp(element)
-                    .then_with(|| m.scope.cmp(scope))
-            })
+            .binary_search_by(|m| m.element.cmp(element).then_with(|| m.scope.cmp(scope)))
             .is_ok()
     }
 
@@ -304,11 +295,10 @@ impl ExtendedSet {
 
     /// Remove a member, returning a new set (copy-on-write).
     pub fn without_member(&self, element: &Value, scope: &Value) -> ExtendedSet {
-        match self.members.binary_search_by(|m| {
-            m.element
-                .cmp(element)
-                .then_with(|| m.scope.cmp(scope))
-        }) {
+        match self
+            .members
+            .binary_search_by(|m| m.element.cmp(element).then_with(|| m.scope.cmp(scope)))
+        {
             Ok(idx) => {
                 let mut v = self.members.as_ref().clone();
                 v.remove(idx);
@@ -577,10 +567,7 @@ mod tests {
     fn tuples_per_definition_9_1() {
         let t = ExtendedSet::tuple([sym("a"), sym("b"), sym("c")]);
         assert_eq!(t.tuple_len(), Some(3));
-        assert_eq!(
-            t.as_tuple().unwrap(),
-            vec![sym("a"), sym("b"), sym("c")]
-        );
+        assert_eq!(t.as_tuple().unwrap(), vec![sym("a"), sym("b"), sym("c")]);
         // The empty set is the 0-tuple.
         assert_eq!(ExtendedSet::empty().tuple_len(), Some(0));
         // Gap in positions -> not a tuple.
@@ -632,7 +619,9 @@ mod tests {
     #[test]
     fn builder_roundtrip() {
         let mut b = SetBuilder::with_capacity(3);
-        b.scoped("a", 1).classical_elem("b").member(Member::new("c", 3));
+        b.scoped("a", 1)
+            .classical_elem("b")
+            .member(Member::new("c", 3));
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
         let s = b.build();

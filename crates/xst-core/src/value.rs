@@ -286,7 +286,9 @@ mod tests {
     fn atom_set_view_is_empty() {
         assert!(Value::sym("a").as_set_view().is_empty());
         assert_eq!(
-            Value::Set(ExtendedSet::classical([Value::Int(1)])).as_set_view().card(),
+            Value::Set(ExtendedSet::classical([Value::Int(1)]))
+                .as_set_view()
+                .card(),
             1
         );
     }

@@ -86,10 +86,9 @@ pub fn estimated_work(expr: &Expr, stats: &dyn StatsSource) -> f64 {
 fn children(expr: &Expr) -> Vec<&Expr> {
     match expr {
         Expr::Literal(_) | Expr::Table(_) => vec![],
-        Expr::Union(a, b)
-        | Expr::Intersect(a, b)
-        | Expr::Difference(a, b)
-        | Expr::Cross(a, b) => vec![a, b],
+        Expr::Union(a, b) | Expr::Intersect(a, b) | Expr::Difference(a, b) | Expr::Cross(a, b) => {
+            vec![a, b]
+        }
         Expr::Restrict { r, a, .. } => vec![r, a],
         Expr::Domain { r, .. } => vec![r],
         Expr::Image { r, a, .. } => vec![r, a],
@@ -136,10 +135,7 @@ mod tests {
             1000.0 * DEFAULT_SELECTIVITY
         );
         assert_eq!(
-            estimate(
-                &b().rel_product(Scope::pairs(), sm(), Scope::pairs()),
-                &s
-            ),
+            estimate(&b().rel_product(Scope::pairs(), sm(), Scope::pairs()), &s),
             10.0
         );
     }

@@ -2,14 +2,80 @@
 
 use crate::expr::{Bindings, Expr};
 use std::fmt;
+use std::time::Instant;
 use xst_core::ops::{
-    cross, difference, image, intersection, relative_product, sigma_domain, sigma_restrict,
-    union,
+    cross, difference, par_image, par_intersection, par_relative_product, par_sigma_restrict,
+    par_union, sigma_domain, Parallelism,
 };
 use xst_core::{ExtendedSet, XstError, XstResult};
 
+/// Operator families the evaluator accounts separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `A ∪ B`
+    Union,
+    /// `A ∩ B`
+    Intersect,
+    /// `A ~ B`
+    Difference,
+    /// `R |_σ A`
+    Restrict,
+    /// `𝔇_σ(R)`
+    Domain,
+    /// `R[A]_σ`
+    Image,
+    /// `F /ω_σ G`
+    RelProduct,
+    /// `A ⊗ B`
+    Cross,
+}
+
+/// Number of [`OpKind`] variants (length of [`EvalStats::per_op`]).
+pub const OP_KINDS: usize = 8;
+
+impl OpKind {
+    /// All kinds, in `per_op` index order.
+    pub const ALL: [OpKind; OP_KINDS] = [
+        OpKind::Union,
+        OpKind::Intersect,
+        OpKind::Difference,
+        OpKind::Restrict,
+        OpKind::Domain,
+        OpKind::Image,
+        OpKind::RelProduct,
+        OpKind::Cross,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Union => "union",
+            OpKind::Intersect => "intersect",
+            OpKind::Difference => "difference",
+            OpKind::Restrict => "restrict",
+            OpKind::Domain => "domain",
+            OpKind::Image => "image",
+            OpKind::RelProduct => "rel_product",
+            OpKind::Cross => "cross",
+        }
+    }
+}
+
+/// Accumulated execution profile of one operator family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Times an operator of this family ran.
+    pub invocations: u64,
+    /// Wall-clock spent inside the kernel (children excluded).
+    pub wall_nanos: u64,
+    /// Largest worker-thread count any invocation fanned out to (1 =
+    /// always sequential).
+    pub max_threads: u32,
+}
+
 /// Counters the evaluator accumulates; experiment E2 reads
-/// `intermediate_members` to show what fusion saves.
+/// `intermediate_members` to show what fusion saves, and E10 reads
+/// `per_op` wall-times to show what the parallel kernels save.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Operator nodes executed.
@@ -19,6 +85,28 @@ pub struct EvalStats {
     pub intermediate_members: u64,
     /// Members in the final result.
     pub result_members: u64,
+    /// Per-family profile, indexed by `OpKind as usize`.
+    pub per_op: [OpStat; OP_KINDS],
+}
+
+impl EvalStats {
+    /// Profile of one operator family.
+    pub fn op(&self, kind: OpKind) -> OpStat {
+        self.per_op[kind as usize]
+    }
+
+    /// Families that actually ran, with their profiles.
+    pub fn ops_run(&self) -> impl Iterator<Item = (OpKind, OpStat)> + '_ {
+        OpKind::ALL
+            .into_iter()
+            .map(|k| (k, self.op(k)))
+            .filter(|(_, s)| s.invocations > 0)
+    }
+
+    /// Total kernel wall-clock across all families, in nanoseconds.
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.per_op.iter().map(|s| s.wall_nanos).sum()
+    }
 }
 
 impl fmt::Display for EvalStats {
@@ -34,67 +122,141 @@ impl fmt::Display for EvalStats {
 /// Evaluate `expr` against `bindings`.
 pub fn eval(expr: &Expr, bindings: &Bindings) -> XstResult<ExtendedSet> {
     let mut stats = EvalStats::default();
-    eval_with_stats(expr, bindings, &mut stats)
+    eval_with_stats(expr, bindings, &mut stats, &Parallelism::sequential())
 }
 
 /// Evaluate and report statistics.
 pub fn eval_counted(expr: &Expr, bindings: &Bindings) -> XstResult<(ExtendedSet, EvalStats)> {
+    eval_parallel(expr, bindings, &Parallelism::sequential())
+}
+
+/// Evaluate with operators routed through the parallel kernels: each
+/// eligible operator fans out to `par.threads` workers when its dominant
+/// operand cardinality clears `par.threshold`. The result is identical to
+/// sequential evaluation on every input; `stats.per_op` records where the
+/// time went and how wide each family ran.
+pub fn eval_parallel(
+    expr: &Expr,
+    bindings: &Bindings,
+    par: &Parallelism,
+) -> XstResult<(ExtendedSet, EvalStats)> {
     let mut stats = EvalStats::default();
-    let result = eval_with_stats(expr, bindings, &mut stats)?;
-    // The root was counted as intermediate inside the recursion; correct it.
-    stats.intermediate_members -= result.card() as u64;
+    let result = eval_with_stats(expr, bindings, &mut stats, par)?;
+    // A non-leaf root was counted as intermediate inside the recursion;
+    // correct it (leaf roots were never counted).
+    if !matches!(expr, Expr::Literal(_) | Expr::Table(_)) {
+        stats.intermediate_members -= result.card() as u64;
+    }
     stats.result_members = result.card() as u64;
     Ok((result, stats))
+}
+
+/// Run one kernel under the clock, crediting `kind`'s profile. `card` is
+/// the dominant-operand cardinality that decides the fan-out width.
+fn timed<F: FnOnce() -> ExtendedSet>(
+    stats: &mut EvalStats,
+    kind: OpKind,
+    par: &Parallelism,
+    card: usize,
+    run: F,
+) -> ExtendedSet {
+    let started = Instant::now();
+    let out = run();
+    let slot = &mut stats.per_op[kind as usize];
+    slot.invocations += 1;
+    slot.wall_nanos += started.elapsed().as_nanos() as u64;
+    let width = if par.should_parallelize(card) {
+        par.threads as u32
+    } else {
+        1
+    };
+    slot.max_threads = slot.max_threads.max(width);
+    out
 }
 
 fn eval_with_stats(
     expr: &Expr,
     bindings: &Bindings,
     stats: &mut EvalStats,
+    par: &Parallelism,
 ) -> XstResult<ExtendedSet> {
     let result = match expr {
         Expr::Literal(s) => s.clone(),
-        Expr::Table(name) => bindings
-            .get(name)
-            .cloned()
-            .ok_or_else(|| XstError::NotComposable {
-                reason: format!("unbound table {name}"),
-            })?,
-        Expr::Union(a, b) => union(
-            &eval_with_stats(a, bindings, stats)?,
-            &eval_with_stats(b, bindings, stats)?,
-        ),
-        Expr::Intersect(a, b) => intersection(
-            &eval_with_stats(a, bindings, stats)?,
-            &eval_with_stats(b, bindings, stats)?,
-        ),
-        Expr::Difference(a, b) => difference(
-            &eval_with_stats(a, bindings, stats)?,
-            &eval_with_stats(b, bindings, stats)?,
-        ),
-        Expr::Restrict { r, sigma, a } => sigma_restrict(
-            &eval_with_stats(r, bindings, stats)?,
-            sigma,
-            &eval_with_stats(a, bindings, stats)?,
-        ),
-        Expr::Domain { r, sigma } => {
-            sigma_domain(&eval_with_stats(r, bindings, stats)?, sigma)
+        Expr::Table(name) => {
+            bindings
+                .get(name)
+                .cloned()
+                .ok_or_else(|| XstError::NotComposable {
+                    reason: format!("unbound table {name}"),
+                })?
         }
-        Expr::Image { r, a, scope } => image(
-            &eval_with_stats(r, bindings, stats)?,
-            &eval_with_stats(a, bindings, stats)?,
-            scope,
-        ),
-        Expr::RelProduct { f, sigma, g, omega } => relative_product(
-            &eval_with_stats(f, bindings, stats)?,
-            sigma,
-            &eval_with_stats(g, bindings, stats)?,
-            omega,
-        ),
-        Expr::Cross(a, b) => cross(
-            &eval_with_stats(a, bindings, stats)?,
-            &eval_with_stats(b, bindings, stats)?,
-        )?,
+        Expr::Union(a, b) => {
+            let x = eval_with_stats(a, bindings, stats, par)?;
+            let y = eval_with_stats(b, bindings, stats, par)?;
+            let card = x.card() + y.card();
+            timed(stats, OpKind::Union, par, card, || par_union(&x, &y, par))
+        }
+        Expr::Intersect(a, b) => {
+            let x = eval_with_stats(a, bindings, stats, par)?;
+            let y = eval_with_stats(b, bindings, stats, par)?;
+            let card = x.card() + y.card();
+            timed(stats, OpKind::Intersect, par, card, || {
+                par_intersection(&x, &y, par)
+            })
+        }
+        Expr::Difference(a, b) => {
+            let x = eval_with_stats(a, bindings, stats, par)?;
+            let y = eval_with_stats(b, bindings, stats, par)?;
+            // No parallel difference kernel: always sequential.
+            timed(
+                stats,
+                OpKind::Difference,
+                &Parallelism::sequential(),
+                0,
+                || difference(&x, &y),
+            )
+        }
+        Expr::Restrict { r, sigma, a } => {
+            let rs = eval_with_stats(r, bindings, stats, par)?;
+            let av = eval_with_stats(a, bindings, stats, par)?;
+            let card = rs.card();
+            timed(stats, OpKind::Restrict, par, card, || {
+                par_sigma_restrict(&rs, sigma, &av, par)
+            })
+        }
+        Expr::Domain { r, sigma } => {
+            let rs = eval_with_stats(r, bindings, stats, par)?;
+            timed(stats, OpKind::Domain, &Parallelism::sequential(), 0, || {
+                sigma_domain(&rs, sigma)
+            })
+        }
+        Expr::Image { r, a, scope } => {
+            let rs = eval_with_stats(r, bindings, stats, par)?;
+            let av = eval_with_stats(a, bindings, stats, par)?;
+            let card = rs.card();
+            timed(stats, OpKind::Image, par, card, || {
+                par_image(&rs, &av, scope, par)
+            })
+        }
+        Expr::RelProduct { f, sigma, g, omega } => {
+            let fs = eval_with_stats(f, bindings, stats, par)?;
+            let gs = eval_with_stats(g, bindings, stats, par)?;
+            let card = fs.card();
+            timed(stats, OpKind::RelProduct, par, card, || {
+                par_relative_product(&fs, sigma, &gs, omega, par)
+            })
+        }
+        Expr::Cross(a, b) => {
+            let x = eval_with_stats(a, bindings, stats, par)?;
+            let y = eval_with_stats(b, bindings, stats, par)?;
+            let started = Instant::now();
+            let out = cross(&x, &y)?;
+            let slot = &mut stats.per_op[OpKind::Cross as usize];
+            slot.invocations += 1;
+            slot.wall_nanos += started.elapsed().as_nanos() as u64;
+            slot.max_threads = slot.max_threads.max(1);
+            out
+        }
     };
     stats.nodes += 1;
     // Leaves are inputs, not materialized intermediates.
@@ -125,10 +287,7 @@ mod tests {
     fn evaluates_image() {
         let e = Expr::table("f").image(Expr::table("a"), Scope::pairs());
         let got = eval(&e, &env()).unwrap();
-        assert_eq!(
-            got,
-            xset![xtuple!["x"].into_value() => Value::empty_set()]
-        );
+        assert_eq!(got, xset![xtuple!["x"].into_value() => Value::empty_set()]);
     }
 
     #[test]
@@ -157,6 +316,33 @@ mod tests {
         );
         assert_eq!(s1.intermediate_members, 0);
         assert_eq!(s1.result_members, 1);
+    }
+
+    #[test]
+    fn per_op_stats_attribute_kernel_runs() {
+        let env = env();
+        let two_pass = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let (_, stats) = eval_counted(&two_pass, &env).unwrap();
+        assert_eq!(stats.op(OpKind::Restrict).invocations, 1);
+        assert_eq!(stats.op(OpKind::Domain).invocations, 1);
+        assert_eq!(stats.op(OpKind::Image).invocations, 0);
+        assert_eq!(stats.op(OpKind::Restrict).max_threads, 1);
+        let run: Vec<_> = stats.ops_run().map(|(k, _)| k).collect();
+        assert_eq!(run, vec![OpKind::Restrict, OpKind::Domain]);
+    }
+
+    #[test]
+    fn eval_parallel_agrees_and_records_width() {
+        let env = env();
+        let e = Expr::table("f").image(Expr::table("a"), Scope::pairs());
+        let par = Parallelism::new(4).with_threshold(1);
+        let (seq, _) = eval_counted(&e, &env).unwrap();
+        let (parallel, stats) = eval_parallel(&e, &env, &par).unwrap();
+        assert_eq!(seq, parallel);
+        assert_eq!(stats.op(OpKind::Image).max_threads, 4);
+        assert!(stats.total_wall_nanos() > 0);
     }
 
     #[test]
@@ -192,14 +378,8 @@ mod tests {
     #[test]
     fn rel_product_evaluates() {
         let mut b = Bindings::new();
-        b.insert(
-            "f".into(),
-            xset![ExtendedSet::pair("a", "k").into_value()],
-        );
-        b.insert(
-            "g".into(),
-            xset![ExtendedSet::pair("k", "z").into_value()],
-        );
+        b.insert("f".into(), xset![ExtendedSet::pair("a", "k").into_value()]);
+        b.insert("g".into(), xset![ExtendedSet::pair("k", "z").into_value()]);
         let sigma = Scope::new(xset![1 => 1], xset![2 => 1]);
         let omega = Scope::new(xset![1 => 1], xset![2 => 2]);
         let e = Expr::table("f").rel_product(sigma, Expr::table("g"), omega);

@@ -23,7 +23,7 @@ pub mod optimizer;
 pub mod rules;
 
 pub use cost::{estimate, estimated_work, StatsSource, TableStats, DEFAULT_SELECTIVITY};
-pub use eval::{eval, eval_counted, EvalStats};
+pub use eval::{eval, eval_counted, eval_parallel, EvalStats, OpKind, OpStat};
 pub use expr::{Bindings, Expr};
 pub use optimizer::{explain, Optimizer, Trace, TraceEntry};
 pub use rules::{default_rules, spec_compose, Rule};

@@ -358,9 +358,7 @@ mod tests {
                 // Fires only on table "f" and rewrites to tables it never
                 // matches again, so the fixpoint loop terminates.
                 match expr {
-                    Expr::Table(t) if t == "f" => {
-                        Some(Expr::table("g").union(Expr::table("g")))
-                    }
+                    Expr::Table(t) if t == "f" => Some(Expr::table("g").union(Expr::table("g"))),
                     _ => None,
                 }
             }

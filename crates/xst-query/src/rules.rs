@@ -38,7 +38,12 @@ impl Rule for ImageFusion {
         let Expr::Domain { r, sigma: sigma2 } = expr else {
             return None;
         };
-        let Expr::Restrict { r: inner, sigma: sigma1, a } = r.as_ref() else {
+        let Expr::Restrict {
+            r: inner,
+            sigma: sigma1,
+            a,
+        } = r.as_ref()
+        else {
             return None;
         };
         Some(Expr::Image {
@@ -64,9 +69,7 @@ impl Rule for EmptyPrune {
         match expr {
             Expr::Union(a, b) if a.is_empty_literal() => Some(b.as_ref().clone()),
             Expr::Union(a, b) if b.is_empty_literal() => Some(a.as_ref().clone()),
-            Expr::Intersect(a, b) if a.is_empty_literal() || b.is_empty_literal() => {
-                Some(empty())
-            }
+            Expr::Intersect(a, b) if a.is_empty_literal() || b.is_empty_literal() => Some(empty()),
             Expr::Difference(a, _) if a.is_empty_literal() => Some(empty()),
             Expr::Difference(a, b) if b.is_empty_literal() => Some(a.as_ref().clone()),
             Expr::Restrict { r, a, .. } if r.is_empty_literal() || a.is_empty_literal() => {
@@ -78,15 +81,11 @@ impl Rule for EmptyPrune {
             Expr::Image { r, a, .. } if r.is_empty_literal() || a.is_empty_literal() => {
                 Some(empty())
             }
-            Expr::Image { scope, .. }
-                if scope.sigma1.is_empty() || scope.sigma2.is_empty() =>
-            {
+            Expr::Image { scope, .. } if scope.sigma1.is_empty() || scope.sigma2.is_empty() => {
                 Some(empty())
             }
             Expr::Cross(a, b) if a.is_empty_literal() || b.is_empty_literal() => Some(empty()),
-            Expr::RelProduct { f, g, .. }
-                if f.is_empty_literal() || g.is_empty_literal() =>
-            {
+            Expr::RelProduct { f, g, .. } if f.is_empty_literal() || g.is_empty_literal() => {
                 Some(empty())
             }
             _ => None,
@@ -125,8 +124,18 @@ impl Rule for ImageUnionMerge {
     }
     fn apply(&self, expr: &Expr) -> Option<Expr> {
         let Expr::Union(l, r) = expr else { return None };
-        let (Expr::Image { r: q1, a: a1, scope: s1 }, Expr::Image { r: q2, a: a2, scope: s2 }) =
-            (l.as_ref(), r.as_ref())
+        let (
+            Expr::Image {
+                r: q1,
+                a: a1,
+                scope: s1,
+            },
+            Expr::Image {
+                r: q2,
+                a: a2,
+                scope: s2,
+            },
+        ) = (l.as_ref(), r.as_ref())
         else {
             return None;
         };
@@ -150,8 +159,18 @@ impl Rule for InputUnionMerge {
     }
     fn apply(&self, expr: &Expr) -> Option<Expr> {
         let Expr::Union(l, r) = expr else { return None };
-        let (Expr::Image { r: q1, a: a1, scope: s1 }, Expr::Image { r: q2, a: a2, scope: s2 }) =
-            (l.as_ref(), r.as_ref())
+        let (
+            Expr::Image {
+                r: q1,
+                a: a1,
+                scope: s1,
+            },
+            Expr::Image {
+                r: q2,
+                a: a2,
+                scope: s2,
+            },
+        ) = (l.as_ref(), r.as_ref())
         else {
             return None;
         };
@@ -187,8 +206,14 @@ impl Rule for DomainFusion {
         "Definitions 7.3/7.4 (re-scope composition)"
     }
     fn apply(&self, expr: &Expr) -> Option<Expr> {
-        let Expr::Domain { r, sigma } = expr else { return None };
-        let Expr::Domain { r: inner, sigma: omega } = r.as_ref() else {
+        let Expr::Domain { r, sigma } = expr else {
+            return None;
+        };
+        let Expr::Domain {
+            r: inner,
+            sigma: omega,
+        } = r.as_ref()
+        else {
             return None;
         };
         Some(Expr::Domain {
@@ -210,13 +235,23 @@ impl Rule for CompositionFusion {
         "Definition 11.1 / Theorem 11.2"
     }
     fn apply(&self, expr: &Expr) -> Option<Expr> {
-        let Expr::Image { r: g_expr, a, scope: omega } = expr else {
+        let Expr::Image {
+            r: g_expr,
+            a,
+            scope: omega,
+        } = expr
+        else {
             return None;
         };
         let Expr::Literal(g_graph) = g_expr.as_ref() else {
             return None;
         };
-        let Expr::Image { r: f_expr, a: x, scope: sigma } = a.as_ref() else {
+        let Expr::Image {
+            r: f_expr,
+            a: x,
+            scope: sigma,
+        } = a.as_ref()
+        else {
             return None;
         };
         let Expr::Literal(f_graph) = f_expr.as_ref() else {
@@ -401,10 +436,7 @@ mod tests {
         assert_eq!(pipeline.size(), 5);
         for input in ["a", "c", "q"] {
             let mut env = Bindings::new();
-            env.insert(
-                "x".into(),
-                xset![xtuple![input].into_value()],
-            );
+            env.insert("x".into(), xset![xtuple![input].into_value()]);
             assert_eq!(
                 eval(&pipeline, &env).unwrap(),
                 eval(&fused, &env).unwrap(),

@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn count_per_key() {
         let g = group_by(&supplies(), &["sid"], &[(Aggregate::Count, "pid")]).unwrap();
-        assert_eq!(g.schema().columns(), &["sid".to_string(), "count_pid".to_string()]);
+        assert_eq!(
+            g.schema().columns(),
+            &["sid".to_string(), "count_pid".to_string()]
+        );
         assert!(g.contains_row(&[Value::Int(1), Value::Int(2)]));
         assert!(g.contains_row(&[Value::Int(2), Value::Int(1)]));
         assert!(g.contains_row(&[Value::Int(3), Value::Int(1)]));
@@ -172,12 +175,7 @@ mod tests {
 
     #[test]
     fn multi_column_keys() {
-        let g = group_by(
-            &supplies(),
-            &["sid", "pid"],
-            &[(Aggregate::Count, "qty")],
-        )
-        .unwrap();
+        let g = group_by(&supplies(), &["sid", "pid"], &[(Aggregate::Count, "qty")]).unwrap();
         assert_eq!(g.len(), 4, "every (sid,pid) pair is unique here");
         assert!(g.contains_row(&[Value::Int(1), Value::Int(10), Value::Int(1)]));
     }
@@ -212,8 +210,7 @@ mod tests {
     #[test]
     fn aggregation_composes_with_algebra() {
         // total qty per sid, but only for part 10 — selection then group.
-        let only10 =
-            crate::algebra::select_eq(&supplies(), "pid", &Value::Int(10)).unwrap();
+        let only10 = crate::algebra::select_eq(&supplies(), "pid", &Value::Int(10)).unwrap();
         let g = group_by(&only10, &["sid"], &[(Aggregate::Sum, "qty")]).unwrap();
         assert!(g.contains_row(&[Value::Int(1), Value::Int(100)]));
         assert!(g.contains_row(&[Value::Int(2), Value::Int(5)]));

@@ -233,8 +233,7 @@ mod tests {
         assert_eq!(j.len(), 3, "sid 9 has no supplier");
         assert_eq!(
             j.schema().columns(),
-            &["sid", "city", "right_sid", "pid", "qty"]
-                .map(String::from)
+            &["sid", "city", "right_sid", "pid", "qty"].map(String::from)
         );
         assert!(j.contains_row(&[
             Value::Int(1),
@@ -248,11 +247,8 @@ mod tests {
     #[test]
     fn join_then_project_pipeline() {
         let j = join(&suppliers(), &supplies(), "sid", "sid").unwrap();
-        let cities_with_pid10 = project(
-            &select_eq(&j, "pid", &Value::Int(10)).unwrap(),
-            &["city"],
-        )
-        .unwrap();
+        let cities_with_pid10 =
+            project(&select_eq(&j, "pid", &Value::Int(10)).unwrap(), &["city"]).unwrap();
         assert_eq!(cities_with_pid10.len(), 2);
     }
 

@@ -32,8 +32,8 @@ impl Catalog {
         pool: &BufferPool,
     ) -> Result<(), StorageError> {
         let engine = SetEngine::load(table, pool)?;
-        let schema = RelSchema::new(table.schema.fields().iter().cloned())
-            .map_err(StorageError::Xst)?;
+        let schema =
+            RelSchema::new(table.schema.fields().iter().cloned()).map_err(StorageError::Xst)?;
         let relation = Relation::from_identity(schema, engine.identity().clone())
             .map_err(StorageError::Xst)?;
         self.register(name, relation);
@@ -83,11 +83,8 @@ mod tests {
     fn register_and_get() {
         let mut cat = Catalog::new();
         assert!(cat.is_empty());
-        let r = Relation::from_rows(
-            RelSchema::new(["a"]).unwrap(),
-            vec![vec![Value::Int(1)]],
-        )
-        .unwrap();
+        let r =
+            Relation::from_rows(RelSchema::new(["a"]).unwrap(), vec![vec![Value::Int(1)]]).unwrap();
         cat.register("t", r.clone());
         assert_eq!(cat.get("t").unwrap(), &r);
         assert!(cat.get("missing").is_err());
@@ -110,18 +107,18 @@ mod tests {
         cat.register_table("parts", &table, &pool).unwrap();
         let rel = cat.get("parts").unwrap();
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.schema().columns(), &["id".to_string(), "name".to_string()]);
+        assert_eq!(
+            rel.schema().columns(),
+            &["id".to_string(), "name".to_string()]
+        );
         assert!(rel.contains_row(&[Value::Int(1), Value::str("bolt")]));
     }
 
     #[test]
     fn bindings_export() {
         let mut cat = Catalog::new();
-        let r = Relation::from_rows(
-            RelSchema::new(["a"]).unwrap(),
-            vec![vec![Value::Int(1)]],
-        )
-        .unwrap();
+        let r =
+            Relation::from_rows(RelSchema::new(["a"]).unwrap(), vec![vec![Value::Int(1)]]).unwrap();
         cat.register("t", r.clone());
         let b = cat.bindings();
         assert_eq!(b.get("t").unwrap(), r.identity());

@@ -270,9 +270,7 @@ impl Cursor<'_> {
                     let old = self.ident()?;
                     match self.next()? {
                         Tok::Arrow => {}
-                        other => {
-                            return Err(self.err(format!("expected '->', found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected '->', found {other:?}"))),
                     }
                     mapping.push((old, self.ident()?));
                     if self.peek_punct(',') {
@@ -359,7 +357,11 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(
             r.schema().columns(),
-            &["id".to_string(), "sname".to_string(), "location".to_string()]
+            &[
+                "id".to_string(),
+                "sname".to_string(),
+                "location".to_string()
+            ]
         );
     }
 
@@ -386,16 +388,16 @@ mod tests {
     #[test]
     fn parse_errors_are_located() {
         for bad in [
-            "",                                   // no from
-            "from",                               // missing root
-            "from t |",                           // dangling pipe
-            "from t | frobnicate x",              // unknown stage
-            "from t | where a ? b",               // bad operator
-            "from t | where a in (1, 2",          // unclosed list
-            "from t | rename a b",                // missing arrow
+            "",                                  // no from
+            "from",                              // missing root
+            "from t |",                          // dangling pipe
+            "from t | frobnicate x",             // unknown stage
+            "from t | where a ? b",              // bad operator
+            "from t | where a in (1, 2",         // unclosed list
+            "from t | rename a b",               // missing arrow
             "from t | where s = \"unterminated", // bad string
-            "from t | where a = $",               // bad char
-            "from t where",                       // missing pipe
+            "from t | where a = $",              // bad char
+            "from t where",                      // missing pipe
         ] {
             let got = parse_query(bad);
             assert!(got.is_err(), "should reject: {bad}");
@@ -418,14 +420,15 @@ mod tests {
 
     #[test]
     fn group_by_stage_parses_and_runs() {
-        let q = parse_query(
-            "from supplies | group by sid compute count(pid), sum(pid)",
-        )
-        .unwrap();
+        let q = parse_query("from supplies | group by sid compute count(pid), sum(pid)").unwrap();
         let r = q.run(&catalog()).unwrap();
         assert_eq!(
             r.schema().columns(),
-            &["sid".to_string(), "count_pid".to_string(), "sum_pid".to_string()]
+            &[
+                "sid".to_string(),
+                "count_pid".to_string(),
+                "sum_pid".to_string()
+            ]
         );
         assert!(r.contains_row(&[Value::Int(1), Value::Int(1), Value::Int(10)]));
         assert_eq!(r.len(), 3);

@@ -85,8 +85,7 @@ pub fn unnest(r: &Relation, nested_col: &str, inner_names: &[&str]) -> XstResult
             let Some(inner_tuple) = e.as_set().and_then(ExtendedSet::as_tuple) else {
                 continue;
             };
-            let mut out: Vec<Value> =
-                outer_cols.iter().map(|(i, _)| row[*i].clone()).collect();
+            let mut out: Vec<Value> = outer_cols.iter().map(|(i, _)| row[*i].clone()).collect();
             out.extend(inner_tuple);
             rows.push(out);
         }
@@ -100,12 +99,7 @@ pub fn unnest(r: &Relation, nested_col: &str, inner_names: &[&str]) -> XstResult
 /// Left outer join: matched rows concatenate as in
 /// [`crate::algebra::join`]; unmatched left rows are padded with `∅` in
 /// every right column.
-pub fn left_outer_join(
-    l: &Relation,
-    r: &Relation,
-    lf: &str,
-    rf: &str,
-) -> XstResult<Relation> {
+pub fn left_outer_join(l: &Relation, r: &Relation, lf: &str, rf: &str) -> XstResult<Relation> {
     let inner = crate::algebra::join(l, r, lf, rf)?;
     let unmatched = crate::algebra::antijoin(l, r, lf, rf)?;
     let pad = vec![Value::empty_set(); r.schema().arity()];
@@ -144,7 +138,10 @@ mod tests {
     fn nest_groups_rows_into_relation_values() {
         let n = nest(&supplies(), &["sid"], "items").unwrap();
         assert_eq!(n.len(), 2);
-        assert_eq!(n.schema().columns(), &["sid".to_string(), "items".to_string()]);
+        assert_eq!(
+            n.schema().columns(),
+            &["sid".to_string(), "items".to_string()]
+        );
         // Supplier 1 nests two (pid, qty) pairs.
         let row1 = n
             .rows()
@@ -153,9 +150,8 @@ mod tests {
             .unwrap();
         let items = row1[1].as_set_view();
         assert_eq!(items.card(), 2);
-        assert!(items.contains_classical(
-            &ExtendedSet::pair(Value::Int(10), Value::Int(100)).into_value()
-        ));
+        assert!(items
+            .contains_classical(&ExtendedSet::pair(Value::Int(10), Value::Int(100)).into_value()));
     }
 
     #[test]

@@ -15,15 +15,38 @@ use xst_query::Expr;
 /// One step of a query pipeline.
 #[derive(Debug, Clone)]
 enum Op {
-    SelectEq { field: String, value: Value },
-    SelectIn { field: String, values: Vec<Value> },
-    Project { fields: Vec<String> },
-    Join { right: String, lf: String, rf: String },
-    Union { right: String },
-    Intersect { right: String },
-    Difference { right: String },
-    Rename { mapping: Vec<(String, String)> },
-    GroupBy { keys: Vec<String>, aggs: Vec<(Aggregate, String)> },
+    SelectEq {
+        field: String,
+        value: Value,
+    },
+    SelectIn {
+        field: String,
+        values: Vec<Value>,
+    },
+    Project {
+        fields: Vec<String>,
+    },
+    Join {
+        right: String,
+        lf: String,
+        rf: String,
+    },
+    Union {
+        right: String,
+    },
+    Intersect {
+        right: String,
+    },
+    Difference {
+        right: String,
+    },
+    Rename {
+        mapping: Vec<(String, String)>,
+    },
+    GroupBy {
+        keys: Vec<String>,
+        aggs: Vec<(Aggregate, String)>,
+    },
 }
 
 /// A fluent pipeline rooted at a named relation.
@@ -133,23 +156,15 @@ impl Query {
         for op in &self.ops {
             current = match op {
                 Op::SelectEq { field, value } => algebra::select_eq(&current, field, value)?,
-                Op::SelectIn { field, values } => {
-                    algebra::select_in(&current, field, values)?
-                }
+                Op::SelectIn { field, values } => algebra::select_in(&current, field, values)?,
                 Op::Project { fields } => {
                     let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
                     algebra::project(&current, &refs)?
                 }
-                Op::Join { right, lf, rf } => {
-                    algebra::join(&current, catalog.get(right)?, lf, rf)?
-                }
+                Op::Join { right, lf, rf } => algebra::join(&current, catalog.get(right)?, lf, rf)?,
                 Op::Union { right } => algebra::union(&current, catalog.get(right)?)?,
-                Op::Intersect { right } => {
-                    algebra::intersection(&current, catalog.get(right)?)?
-                }
-                Op::Difference { right } => {
-                    algebra::difference(&current, catalog.get(right)?)?
-                }
+                Op::Intersect { right } => algebra::intersection(&current, catalog.get(right)?)?,
+                Op::Difference { right } => algebra::difference(&current, catalog.get(right)?)?,
                 Op::Rename { mapping } => {
                     let refs: Vec<(&str, &str)> = mapping
                         .iter()
@@ -180,9 +195,8 @@ impl Query {
             match op {
                 Op::SelectEq { field, value } => {
                     let pos = schema.position(field)? as i64;
-                    let witness = ExtendedSet::classical([Value::Set(ExtendedSet::tuple([
-                        value.clone(),
-                    ]))]);
+                    let witness =
+                        ExtendedSet::classical([Value::Set(ExtendedSet::tuple([value.clone()]))]);
                     expr = expr.image(
                         Expr::lit(witness),
                         // Witness drives σ1 on the *relation* side, so the
@@ -198,9 +212,11 @@ impl Query {
                 }
                 Op::SelectIn { field, values } => {
                     let pos = schema.position(field)? as i64;
-                    let witness = ExtendedSet::classical(values.iter().map(|v| {
-                        Value::Set(ExtendedSet::tuple([v.clone()]))
-                    }));
+                    let witness = ExtendedSet::classical(
+                        values
+                            .iter()
+                            .map(|v| Value::Set(ExtendedSet::tuple([v.clone()]))),
+                    );
                     expr = expr.image(
                         Expr::lit(witness),
                         Scope::new(
@@ -341,17 +357,12 @@ mod tests {
                 .join("supplies", "sid", "sid")
                 .select_eq("pid", Value::Int(10))
                 .project(&["city"]),
-            Query::from("suppliers")
-                .select_in("sid", vec![Value::Int(1), Value::Int(3)]),
+            Query::from("suppliers").select_in("sid", vec![Value::Int(1), Value::Int(3)]),
         ] {
             let via_algebra = q.run(&cat).unwrap();
             let expr = q.to_expr(&cat).unwrap();
             let via_expr = eval(&expr, &cat.bindings()).unwrap();
-            assert_eq!(
-                via_algebra.identity(),
-                &via_expr,
-                "query {q:?} diverged"
-            );
+            assert_eq!(via_algebra.identity(), &via_expr, "query {q:?} diverged");
         }
     }
 

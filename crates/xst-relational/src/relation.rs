@@ -66,11 +66,7 @@ impl Relation {
         for row in rows {
             if row.len() != schema.arity() {
                 return Err(XstError::NotComposable {
-                    reason: format!(
-                        "row arity {} vs schema arity {}",
-                        row.len(),
-                        schema.arity()
-                    ),
+                    reason: format!("row arity {} vs schema arity {}", row.len(), schema.arity()),
                 });
             }
             b.classical_elem(Value::Set(ExtendedSet::tuple(row)));
@@ -192,11 +188,7 @@ mod tests {
         let r = parts();
         assert_eq!(r.len(), 2);
         let rows = r.rows();
-        assert!(rows.contains(&vec![
-            Value::Int(1),
-            Value::str("bolt"),
-            Value::sym("red")
-        ]));
+        assert!(rows.contains(&vec![Value::Int(1), Value::str("bolt"), Value::sym("red")]));
     }
 
     #[test]
@@ -204,7 +196,11 @@ mod tests {
         let schema = RelSchema::new(["a"]).unwrap();
         let r = Relation::from_rows(
             schema,
-            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         assert_eq!(r.len(), 2, "set semantics");

@@ -10,7 +10,10 @@
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a file on the simulated disk.
@@ -121,12 +124,7 @@ impl Storage {
     /// Read a contiguous page range `[lo, hi)` under a single lock
     /// acquisition — the bulk path for scans and parallel loaders, avoiding
     /// per-page lock contention. Counts `hi - lo` disk reads.
-    pub fn read_page_range(
-        &self,
-        file: FileId,
-        lo: usize,
-        hi: usize,
-    ) -> StorageResult<Vec<Page>> {
+    pub fn read_page_range(&self, file: FileId, lo: usize, hi: usize) -> StorageResult<Vec<Page>> {
         let mut inner = self.inner.lock();
         let f = file_ref(&inner.files, file)?;
         if hi > f.len() || lo > hi {
@@ -135,8 +133,10 @@ impl Storage {
                 pages: f.len(),
             });
         }
-        let pages: StorageResult<Vec<Page>> =
-            f[lo..hi].iter().map(|frame| Page::from_bytes(&frame[..])).collect();
+        let pages: StorageResult<Vec<Page>> = f[lo..hi]
+            .iter()
+            .map(|frame| Page::from_bytes(&frame[..]))
+            .collect();
         inner.stats.disk_reads += (hi - lo) as u64;
         pages
     }
@@ -183,10 +183,12 @@ fn file_ref(
     files: &[Vec<Box<[u8; PAGE_SIZE]>>],
     id: FileId,
 ) -> StorageResult<&Vec<Box<[u8; PAGE_SIZE]>>> {
-    files.get(id.0 as usize).ok_or(StorageError::PageOutOfRange {
-        page: 0,
-        pages: files.len(),
-    })
+    files
+        .get(id.0 as usize)
+        .ok_or(StorageError::PageOutOfRange {
+            page: 0,
+            pages: files.len(),
+        })
 }
 
 fn file_mut(
@@ -199,58 +201,110 @@ fn file_mut(
         .ok_or(StorageError::PageOutOfRange { page: 0, pages })
 }
 
-struct PoolInner {
+/// Default shard count for [`BufferPool::new`]. Sharding bounds lock
+/// contention when parallel kernels fault pages concurrently; small pools
+/// collapse to fewer shards so capacity is never wasted on empty shards.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// Frame map of one shard; the LRU clock (`tick`) is shard-local, which is
+/// exactly per-shard LRU.
+struct ShardFrames {
     frames: HashMap<PageId, (Arc<Page>, u64)>,
     tick: u64,
-    hits: u64,
-    misses: u64,
 }
 
-/// LRU buffer pool in front of a [`Storage`] disk.
+/// One pool shard: its frame map behind a dedicated lock, plus lock-free
+/// hit/miss counters so `stats()` never has to stop the world.
+struct Shard {
+    frames: Mutex<ShardFrames>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Shard {
+    fn empty() -> Shard {
+        Shard {
+            frames: Mutex::new(ShardFrames {
+                frames: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Sharded LRU buffer pool in front of a [`Storage`] disk.
+///
+/// Pages hash to one of N independent shards by `PageId`; each shard runs
+/// its own LRU over `capacity / N` frames behind its own lock. Concurrent
+/// readers touching different shards never contend. With one shard this is
+/// exactly the classic single-lock global-LRU pool (several unit tests pin
+/// that configuration).
 pub struct BufferPool {
     storage: Storage,
-    capacity: usize,
-    inner: Mutex<PoolInner>,
+    shard_capacity: usize,
+    shards: Vec<Shard>,
 }
 
 impl BufferPool {
-    /// A pool holding up to `capacity` frames.
+    /// A pool holding up to `capacity` frames across
+    /// [`DEFAULT_POOL_SHARDS`] shards (fewer when `capacity` is smaller).
     pub fn new(storage: Storage, capacity: usize) -> BufferPool {
+        BufferPool::with_shards(storage, capacity, DEFAULT_POOL_SHARDS.min(capacity.max(1)))
+    }
+
+    /// A pool holding up to `capacity` frames across exactly `shards`
+    /// shards. `shards = 1` reproduces global LRU.
+    pub fn with_shards(storage: Storage, capacity: usize, shards: usize) -> BufferPool {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        assert!(
+            shards <= capacity,
+            "more shards than frames leaves empty shards"
+        );
         BufferPool {
             storage,
-            capacity,
-            inner: Mutex::new(PoolInner {
-                frames: HashMap::new(),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-            }),
+            shard_capacity: capacity.div_ceil(shards),
+            shards: (0..shards).map(|_| Shard::empty()).collect(),
         }
+    }
+
+    /// Number of shards (for experiment reporting).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index for a page.
+    fn shard_of(&self, id: PageId) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        id.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
     /// Fetch a page through the pool.
     pub fn get(&self, id: PageId) -> StorageResult<Arc<Page>> {
+        let shard = self.shard_of(id);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.frames.lock();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some((page, last)) = inner.frames.get_mut(&id) {
                 *last = tick;
                 let page = Arc::clone(page);
-                inner.hits += 1;
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(page);
             }
         }
-        // Miss path: read outside the pool lock is fine for a simulator —
+        // Miss path: read outside the shard lock is fine for a simulator —
         // worst case we read twice; correctness is unaffected because pages
         // are immutable once written through this API.
         let page = Arc::new(self.storage.read_page(id)?);
-        let mut inner = self.inner.lock();
-        inner.misses += 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = shard.frames.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.frames.len() >= self.capacity {
+        if inner.frames.len() >= self.shard_capacity {
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, (_, last))| *last) {
                 inner.frames.remove(&victim);
             }
@@ -261,26 +315,47 @@ impl BufferPool {
 
     /// Drop every cached frame (keeps counters).
     pub fn clear(&self) {
-        self.inner.lock().frames.clear();
+        for shard in &self.shards {
+            shard.frames.lock().frames.clear();
+        }
     }
 
-    /// Snapshot combined disk + pool counters.
+    /// Snapshot combined disk + pool counters, aggregated over shards.
     pub fn stats(&self) -> IoStats {
         let disk = self.storage.stats();
-        let inner = self.inner.lock();
+        let (mut hits, mut misses) = (0, 0);
+        for shard in &self.shards {
+            hits += shard.hits.load(Ordering::Relaxed);
+            misses += shard.misses.load(Ordering::Relaxed);
+        }
         IoStats {
-            pool_hits: inner.hits,
-            pool_misses: inner.misses,
+            pool_hits: hits,
+            pool_misses: misses,
             ..disk
         }
+    }
+
+    /// Per-shard `(hits, misses)` counters, in shard order — the E10
+    /// experiment reports hit rates per shard to show access spread.
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.hits.load(Ordering::Relaxed),
+                    s.misses.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Zero both pool and disk counters.
     pub fn reset_stats(&self) {
         self.storage.reset_stats();
-        let mut inner = self.inner.lock();
-        inner.hits = 0;
-        inner.misses = 0;
+        for shard in &self.shards {
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+        }
     }
 
     /// The underlying disk.
@@ -318,7 +393,10 @@ mod tests {
         let f = disk.create_file();
         assert!(disk.read_page(PageId { file: f, page: 0 }).is_err());
         assert!(disk
-            .read_page(PageId { file: FileId(9), page: 0 })
+            .read_page(PageId {
+                file: FileId(9),
+                page: 0
+            })
             .is_err());
         assert!(disk
             .write_page(PageId { file: f, page: 3 }, &Page::new())
@@ -360,7 +438,8 @@ mod tests {
         for i in 0u8..3 {
             disk.append_page(f, &page_with(&[i])).unwrap();
         }
-        let pool = BufferPool::new(disk, 2);
+        // One shard: this test pins classic *global* LRU order.
+        let pool = BufferPool::with_shards(disk, 2, 1);
         let id = |page| PageId { file: f, page };
         pool.get(id(0)).unwrap();
         pool.get(id(1)).unwrap();
@@ -383,7 +462,9 @@ mod tests {
         for i in 0u8..8 {
             disk.append_page(f, &page_with(&[i])).unwrap();
         }
-        let pool = BufferPool::new(disk, 4);
+        // One shard: sharding would spread the scan and break the classic
+        // global-LRU worst case this test demonstrates.
+        let pool = BufferPool::with_shards(disk, 4, 1);
         for _round in 0..2 {
             for page in 0..8 {
                 pool.get(PageId { file: f, page }).unwrap();
@@ -392,6 +473,68 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.pool_misses, 16, "every access misses");
         assert_eq!(s.pool_hits, 0);
+    }
+
+    #[test]
+    fn sharded_pool_caches_when_capacity_suffices() {
+        // Capacity ≥ working set: every page sticks whatever its shard, so
+        // the second round is all hits and shard counters sum to the total.
+        let disk = Storage::new();
+        let f = disk.create_file();
+        for i in 0u8..16 {
+            disk.append_page(f, &page_with(&[i])).unwrap();
+        }
+        let pool = BufferPool::with_shards(disk, 32, 4);
+        assert_eq!(pool.shard_count(), 4);
+        for _round in 0..2 {
+            for page in 0..16 {
+                pool.get(PageId { file: f, page }).unwrap();
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.pool_misses, 16);
+        assert_eq!(s.pool_hits, 16);
+        let per_shard = pool.shard_stats();
+        assert_eq!(per_shard.iter().map(|(h, _)| h).sum::<u64>(), 16);
+        assert_eq!(per_shard.iter().map(|(_, m)| m).sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn sharded_pool_is_safe_under_concurrent_access() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        for i in 0u8..32 {
+            disk.append_page(f, &page_with(&[i])).unwrap();
+        }
+        let pool = BufferPool::with_shards(disk, 16, 8);
+        crossbeam::thread::scope(|scope| {
+            for t in 0..4 {
+                let pool = &pool;
+                scope.spawn(move |_| {
+                    for round in 0..8 {
+                        for page in 0..32 {
+                            let p = pool
+                                .get(PageId {
+                                    file: f,
+                                    page: (page + t * round) % 32,
+                                })
+                                .unwrap();
+                            assert!(p.slot_count() > 0);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = pool.stats();
+        assert_eq!(s.pool_hits + s.pool_misses, 4 * 8 * 32);
+    }
+
+    #[test]
+    fn default_pool_collapses_shards_to_capacity() {
+        let disk = Storage::new();
+        let pool = BufferPool::new(disk, 2);
+        assert_eq!(pool.shard_count(), 2, "capacity caps the shard count");
     }
 
     #[test]

@@ -206,7 +206,10 @@ mod tests {
         assert!(decode_exact(&[]).is_err());
         assert!(decode_exact(&[99]).is_err(), "unknown tag");
         assert!(decode_exact(&[TAG_INT, 1, 2]).is_err(), "short int");
-        assert!(decode_exact(&[TAG_SYM, 10, 0, 0, 0, b'a']).is_err(), "short body");
+        assert!(
+            decode_exact(&[TAG_SYM, 10, 0, 0, 0, b'a']).is_err(),
+            "short body"
+        );
         // trailing garbage after a valid value
         let mut bytes = encode_to_vec(&Value::Int(1));
         bytes.push(0);

@@ -52,10 +52,7 @@ impl ColumnTable {
     }
 
     /// Append many records and flush.
-    pub fn load<'a>(
-        &mut self,
-        records: impl IntoIterator<Item = &'a Record>,
-    ) -> StorageResult<()> {
+    pub fn load<'a>(&mut self, records: impl IntoIterator<Item = &'a Record>) -> StorageResult<()> {
         for r in records {
             self.append(r)?;
         }
@@ -249,7 +246,9 @@ mod tests {
         let storage = Storage::new();
         let mut ct = ColumnTable::create(&storage, schema());
         assert!(ct.append(&Record::new([Value::Int(1)])).is_err());
-        assert!(ct.read_column(&BufferPool::new(storage, 2), "bogus").is_err());
+        assert!(ct
+            .read_column(&BufferPool::new(storage, 2), "bogus")
+            .is_err());
     }
 
     #[test]

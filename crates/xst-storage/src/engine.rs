@@ -20,7 +20,8 @@ use crate::error::{StorageError, StorageResult};
 use crate::file::HeapFile;
 use crate::record::{Record, Schema};
 use xst_core::ops::{
-    difference, image, intersection, relative_product, sigma_domain, union, Scope,
+    difference, par_image, par_intersection, par_relative_product, par_union, sigma_domain,
+    Parallelism, Scope,
 };
 use xst_core::{ExtendedSet, SetBuilder, Value};
 
@@ -42,10 +43,7 @@ impl Table {
     }
 
     /// Append records, validating arity.
-    pub fn load<'a>(
-        &mut self,
-        records: impl IntoIterator<Item = &'a Record>,
-    ) -> StorageResult<()> {
+    pub fn load<'a>(&mut self, records: impl IntoIterator<Item = &'a Record>) -> StorageResult<()> {
         for r in records {
             r.conforms(&self.schema)?;
             self.file.append(r)?;
@@ -205,6 +203,7 @@ fn check_same_arity(a: &Table, b: &Table) -> StorageResult<()> {
 pub struct SetEngine {
     identity: ExtendedSet,
     schema: Schema,
+    par: Parallelism,
 }
 
 impl SetEngine {
@@ -219,12 +218,31 @@ impl SetEngine {
         Ok(SetEngine {
             identity: b.build(),
             schema: table.schema.clone(),
+            par: Parallelism::default(),
         })
     }
 
     /// Wrap an already-materialized set identity (e.g. an operation result).
     pub fn from_identity(identity: ExtendedSet, schema: Schema) -> SetEngine {
-        SetEngine { identity, schema }
+        SetEngine {
+            identity,
+            schema,
+            par: Parallelism::default(),
+        }
+    }
+
+    /// Route this engine's operators through the parallel kernels under
+    /// `par`'s thread count and cardinality threshold. Results are
+    /// identical to the sequential kernels on every input (the kernels are
+    /// differential-tested); only wall-clock changes.
+    pub fn with_parallelism(mut self, par: Parallelism) -> SetEngine {
+        self.par = par;
+        self
+    }
+
+    /// The active degree-of-parallelism policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// The canonical set identity of the table.
@@ -244,12 +262,12 @@ impl SetEngine {
         let arity = self.schema.arity() as i64;
         // Keep whole records: σ2 is the identity re-scope on all positions.
         let sigma2 = identity_spec(arity);
-        let witness =
-            ExtendedSet::classical([Value::Set(ExtendedSet::tuple([value.clone()]))]);
-        Ok(image(
+        let witness = ExtendedSet::classical([Value::Set(ExtendedSet::tuple([value.clone()]))]);
+        Ok(par_image(
             &self.identity,
             &witness,
             &Scope::new(sigma1, sigma2),
+            &self.par,
         ))
     }
 
@@ -284,21 +302,26 @@ impl SetEngine {
         let omega = Scope::new(
             ExtendedSet::from_pairs([(Value::Int(rp + 1), Value::Int(1))]),
             // Shift right positions past the left tuple.
-            ExtendedSet::from_pairs(
-                (1..=rn).map(|j| (Value::Int(j), Value::Int(ln + j))),
-            ),
+            ExtendedSet::from_pairs((1..=rn).map(|j| (Value::Int(j), Value::Int(ln + j)))),
         );
-        Ok(relative_product(&self.identity, &sigma, &right.identity, &omega))
+        Ok(par_relative_product(
+            &self.identity,
+            &sigma,
+            &right.identity,
+            &omega,
+            &self.par,
+        ))
     }
 
-    /// Union of canonical identities — a linear merge.
+    /// Union of canonical identities — a linear merge (range-parallel
+    /// above the parallelism threshold).
     pub fn union(&self, other: &SetEngine) -> ExtendedSet {
-        union(&self.identity, &other.identity)
+        par_union(&self.identity, &other.identity, &self.par)
     }
 
     /// Intersection of canonical identities.
     pub fn intersect(&self, other: &SetEngine) -> ExtendedSet {
-        intersection(&self.identity, &other.identity)
+        par_intersection(&self.identity, &other.identity, &self.par)
     }
 
     /// Difference of canonical identities.
@@ -441,6 +464,32 @@ mod tests {
             rec.difference(&a, &b).unwrap(),
             SetEngine::to_records(&sa.difference(&sb)).unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_engine_agrees_with_sequential_engine() {
+        let (pool, parts, supplies) = setup();
+        let seq_s = SetEngine::load(&supplies, &pool).unwrap();
+        let seq_p = SetEngine::load(&parts, &pool).unwrap();
+        // Threshold 1 forces the parallel kernels even on tiny tables.
+        let par = Parallelism::new(4).with_threshold(1);
+        let par_s = SetEngine::load(&supplies, &pool)
+            .unwrap()
+            .with_parallelism(par);
+        let par_p = SetEngine::load(&parts, &pool)
+            .unwrap()
+            .with_parallelism(par);
+        assert_eq!(par_s.parallelism(), par);
+        assert_eq!(
+            seq_p.select("color", &Value::sym("red")).unwrap(),
+            par_p.select("color", &Value::sym("red")).unwrap()
+        );
+        assert_eq!(
+            seq_s.join(&seq_p, "pid", "pid").unwrap(),
+            par_s.join(&par_p, "pid", "pid").unwrap()
+        );
+        assert_eq!(seq_s.union(&seq_s), par_s.union(&par_s));
+        assert_eq!(seq_s.intersect(&seq_s), par_s.intersect(&par_s));
     }
 
     #[test]

@@ -76,11 +76,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = StorageError::RecordTooLarge { size: 9000, max: 4080 };
+        let e = StorageError::RecordTooLarge {
+            size: 9000,
+            max: 4080,
+        };
         assert!(e.to_string().contains("9000"));
         let e = StorageError::PageOutOfRange { page: 9, pages: 3 };
         assert!(e.to_string().contains("page 9"));
-        let e = StorageError::Corrupt { reason: "bad tag".into() };
+        let e = StorageError::Corrupt {
+            reason: "bad tag".into(),
+        };
         assert!(e.to_string().contains("bad tag"));
     }
 

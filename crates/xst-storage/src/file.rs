@@ -314,9 +314,7 @@ mod tests {
     fn get_by_rid_roundtrips_for_all() {
         let storage = Storage::new();
         let mut file = HeapFile::create(&storage);
-        let rids: Vec<RecordId> = (0..200)
-            .map(|i| file.append(&record(i)).unwrap())
-            .collect();
+        let rids: Vec<RecordId> = (0..200).map(|i| file.append(&record(i)).unwrap()).collect();
         let pool = BufferPool::new(storage, 8);
         for (i, rid) in rids.iter().enumerate() {
             assert_eq!(

@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(idx.len(), 100);
         let hits = idx.lookup(&Value::Int(42));
         assert_eq!(hits.len(), 1);
-        assert_eq!(file.get(&pool, hits[0]).unwrap().get(0), Some(&Value::Int(42)));
+        assert_eq!(
+            file.get(&pool, hits[0]).unwrap().get(0),
+            Some(&Value::Int(42))
+        );
         assert!(idx.lookup(&Value::Int(1000)).is_empty());
     }
 

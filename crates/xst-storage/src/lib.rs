@@ -49,6 +49,6 @@ pub use index::Index;
 pub use page::{Page, MAX_RECORD, PAGE_SIZE};
 pub use parallel::load_identity_parallel;
 pub use record::{file_identity, Record, Schema};
+pub use restructure::{restructure_records, restructure_set, Restructuring};
 pub use snapshot::{restore, snapshot};
 pub use wal::{LoggedTable, Wal};
-pub use restructure::{restructure_records, restructure_set, Restructuring};

@@ -199,7 +199,10 @@ mod tests {
             p.insert(&payload).unwrap();
             inserted += 1;
         }
-        assert!(inserted >= 38, "should fit ~39 104-byte records, got {inserted}");
+        assert!(
+            inserted >= 38,
+            "should fit ~39 104-byte records, got {inserted}"
+        );
         assert!(p.insert(&payload).is_err());
         // Everything is still readable.
         assert!(p.iter().all(|r| r == payload));

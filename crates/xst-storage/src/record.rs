@@ -41,9 +41,10 @@ impl Schema {
 
     /// Position of `name` or a schema error.
     pub fn require(&self, name: &str) -> StorageResult<usize> {
-        self.position(name).ok_or_else(|| StorageError::SchemaMismatch {
-            reason: format!("no field named {name}"),
-        })
+        self.position(name)
+            .ok_or_else(|| StorageError::SchemaMismatch {
+                reason: format!("no field named {name}"),
+            })
     }
 }
 
@@ -166,11 +167,7 @@ impl Record {
 /// The file-level identity: a classical set whose elements are the records'
 /// positional identities.
 pub fn file_identity<'a>(records: impl IntoIterator<Item = &'a Record>) -> ExtendedSet {
-    ExtendedSet::classical(
-        records
-            .into_iter()
-            .map(|r| Value::Set(r.to_tuple())),
-    )
+    ExtendedSet::classical(records.into_iter().map(|r| Value::Set(r.to_tuple())))
 }
 
 #[cfg(test)]

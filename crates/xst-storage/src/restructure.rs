@@ -82,9 +82,11 @@ pub fn restructure_records(
             .source
             .iter()
             .map(|&p| {
-                r.get(p).cloned().ok_or_else(|| StorageError::SchemaMismatch {
-                    reason: format!("record lacks position {p}"),
-                })
+                r.get(p)
+                    .cloned()
+                    .ok_or_else(|| StorageError::SchemaMismatch {
+                        reason: format!("record lacks position {p}"),
+                    })
             })
             .collect::<StorageResult<_>>()?;
         batch.push(Record::new(values));
@@ -125,8 +127,7 @@ mod tests {
         let rec_result = new_table.file.read_all(&pool).unwrap();
         // Set way.
         let engine = SetEngine::load(&t, &pool).unwrap();
-        let set_result =
-            SetEngine::to_records(&restructure_set(engine.identity(), &spec)).unwrap();
+        let set_result = SetEngine::to_records(&restructure_set(engine.identity(), &spec)).unwrap();
         let mut rec_sorted = rec_result;
         rec_sorted.sort();
         assert_eq!(rec_sorted, set_result);

@@ -143,7 +143,10 @@ mod tests {
         let pool = BufferPool::new(restored, 8);
         // Re-open the heap file shape: file 0, scan pages manually.
         let mut seen = 0;
-        let pages = pool.storage().page_count(crate::bufpool::FileId(0)).unwrap();
+        let pages = pool
+            .storage()
+            .page_count(crate::bufpool::FileId(0))
+            .unwrap();
         for page in 0..pages {
             let p = pool
                 .get(PageId {

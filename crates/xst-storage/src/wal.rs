@@ -191,10 +191,7 @@ mod tests {
             let mut buf = wal.buf.lock();
             buf[6] ^= 0xFF;
         }
-        assert!(matches!(
-            wal.records(),
-            Err(StorageError::Corrupt { .. })
-        ));
+        assert!(matches!(wal.records(), Err(StorageError::Corrupt { .. })));
     }
 
     #[test]

@@ -39,12 +39,7 @@ pub fn arb_set(depth: u32) -> BoxedStrategy<ExtendedSet> {
     ];
     prop::collection::vec((arb_value(depth), scope), 0..5)
         .prop_map(|pairs| {
-            ExtendedSet::from_members(
-                pairs
-                    .into_iter()
-                    .map(|(e, s)| Member::new(e, s))
-                    .collect(),
-            )
+            ExtendedSet::from_members(pairs.into_iter().map(|(e, s)| Member::new(e, s)).collect())
         })
         .boxed()
 }
@@ -82,9 +77,7 @@ pub fn arb_function_relation() -> impl Strategy<Value = ExtendedSet> {
 
 /// Strategy for singleton inputs `{⟨x⟩}` from the shared atom universe.
 pub fn arb_singleton_input() -> impl Strategy<Value = ExtendedSet> {
-    arb_atom().prop_map(|v| {
-        ExtendedSet::classical([Value::Set(ExtendedSet::tuple([v]))])
-    })
+    arb_atom().prop_map(|v| ExtendedSet::classical([Value::Set(ExtendedSet::tuple([v]))]))
 }
 
 /// The paper's Example 8.1 carrier with its member scopes.

@@ -14,9 +14,7 @@
 
 use xst_core::Value;
 use xst_relational::{group_by, parse_query, Aggregate, Catalog};
-use xst_storage::{
-    restore, snapshot, BufferPool, Index, Record, Schema, Storage, Table,
-};
+use xst_storage::{restore, snapshot, BufferPool, Index, Record, Schema, Storage, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 1. populate the backend ---------------------------------------

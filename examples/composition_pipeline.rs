@@ -45,8 +45,13 @@ fn main() -> XstResult<()> {
     print!("{}", explain(&pipeline));
 
     let (optimized, trace) = Optimizer::new().optimize(&pipeline);
-    println!("\nstages before: 3 applications, after: 1 (fusions fired: {})",
-        trace.iter().filter(|t| t.rule == "composition-fusion").count());
+    println!(
+        "\nstages before: 3 applications, after: 1 (fusions fired: {})",
+        trace
+            .iter()
+            .filter(|t| t.rule == "composition-fusion")
+            .count()
+    );
 
     // Run both plans on a batch and compare work.
     let batch = ExtendedSet::classical(

@@ -33,12 +33,18 @@ fn main() -> XstResult<()> {
     let g4 = Process::from_pairs([("a", "b"), ("b", "b")]); // collapse to b
 
     // (a) f_(σ) = g1 — the identity on {⟨a⟩, ⟨b⟩} (also I_A, Appendix B).
-    println!("(a) f_(σ) = g1 (identity)          : {}", f_sigma.equivalent(&g1));
+    println!(
+        "(a) f_(σ) = g1 (identity)          : {}",
+        f_sigma.equivalent(&g1)
+    );
     let id = Process::identity_on(&xset![
         ExtendedSet::tuple(["a"]).into_value(),
         ExtendedSet::tuple(["b"]).into_value()
     ])?;
-    println!("    f_(σ) = I_A                    : {}", f_sigma.equivalent(&id));
+    println!(
+        "    f_(σ) = I_A                    : {}",
+        f_sigma.equivalent(&id)
+    );
 
     // (b) f_(ω)(f_(σ)) = g2 — one self-application.
     let b = f_omega.apply_to_process(&f_sigma);
@@ -52,7 +58,10 @@ fn main() -> XstResult<()> {
     // (d) ((f_(ω)(f_(ω)))(f_(ω)))(f_(σ)) = g4.
     let fff = ff.apply_to_process(&f_omega);
     let d = fff.apply_to_process(&f_sigma);
-    println!("(d) ((f_(ω)(f_(ω)))(f_(ω)))(f_(σ)) = g4: {}", d.equivalent(&g4));
+    println!(
+        "(d) ((f_(ω)(f_(ω)))(f_(ω)))(f_(σ)) = g4: {}",
+        d.equivalent(&g4)
+    );
 
     // One more turn of the crank closes the orbit back at the identity.
     let ffff = fff.apply_to_process(&f_omega);

@@ -27,7 +27,10 @@ fn tagged_tuple(components: &[&str]) -> (Value, Value) {
 }
 
 fn fixture() -> (Process, Process, Process, ExtendedSet) {
-    let f = ExtendedSet::from_pairs([tagged_tuple(&["y", "z"]), tagged_tuple(&["a", "x", "b", "k"])]);
+    let f = ExtendedSet::from_pairs([
+        tagged_tuple(&["y", "z"]),
+        tagged_tuple(&["a", "x", "b", "k"]),
+    ]);
     let g = ExtendedSet::from_pairs([tagged_tuple(&["x", "y"]), tagged_tuple(&["a", "b"])]);
     let p = ExtendedSet::from_pairs([tagged_tuple(&["x", "k"])]);
     let h = {
@@ -108,12 +111,12 @@ fn enumerated_interpretations_cover_both_bracketings() {
     assert_eq!(trees.len(), 2, "two processes → two interpretations");
     let results: Vec<ExtendedSet> = trees
         .iter()
-        .map(|t| {
-            match eval_interpretation(t, &[f.clone(), g.clone()], &h).unwrap() {
+        .map(
+            |t| match eval_interpretation(t, &[f.clone(), g.clone()], &h).unwrap() {
                 Evaluated::Set(s) => s,
                 Evaluated::Process(_) => panic!("chains ending in a set input realize sets"),
-            }
-        })
+            },
+        )
         .collect();
     // The two enumerated results are exactly {⟨z⟩} and {⟨k⟩}.
     let (z, zs) = tagged_tuple(&["z"]);
@@ -150,5 +153,8 @@ fn three_process_chain_has_five_interpretations() {
     // syntactic): the fully-right-nested bracketing permutes tuples while
     // the left-nested one lands in the g3 swap behavior.
     assert!(distinct.len() >= 2, "interpretations: {distinct:?}");
-    assert!(distinct.contains("{⟨b⟩}"), "left-nested = g3(a) = {{⟨b⟩}}: {distinct:?}");
+    assert!(
+        distinct.contains("{⟨b⟩}"),
+        "left-nested = g3(a) = {{⟨b⟩}}: {distinct:?}"
+    );
 }

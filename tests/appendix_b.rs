@@ -142,7 +142,10 @@ fn nothing_requires_the_resultant_behavior_to_be_functional() {
     // behavior.
     let (f, _, omega) = appendix_b();
     let f_omega = Process::new(f, omega);
-    assert!(f_omega.is_function(), "ω-behavior is singleton-to-singleton");
+    assert!(
+        f_omega.is_function(),
+        "ω-behavior is singleton-to-singleton"
+    );
     let inv = f_omega.inverse();
     // The inverse maps 5-tuple witnesses back; it is a legitimate process.
     assert!(inv.is_process());

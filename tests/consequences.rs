@@ -3,9 +3,7 @@
 //! extended sets, relations, and scopes.
 
 use proptest::prelude::*;
-use xst_core::ops::{
-    difference, image, intersection, sigma_domain, sigma_restrict, union, Scope,
-};
+use xst_core::ops::{difference, image, intersection, sigma_domain, sigma_restrict, union, Scope};
 use xst_core::{ExtendedSet, Process};
 use xst_testkit::{arb_pair_relation, arb_set, arb_singleton_input};
 

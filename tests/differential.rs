@@ -1,0 +1,220 @@
+//! Differential test layer: the set engine and the record engine are two
+//! implementations of the same relational semantics, and every parallel
+//! kernel is a reimplementation of its sequential oracle. Random workloads
+//! must agree member-exactly in both directions.
+
+use proptest::prelude::*;
+use xst_core::ops::{
+    image, intersection, par_image, par_intersection, par_relative_product, par_sigma_restrict,
+    par_union, relative_product, sigma_restrict, union, Parallelism, Scope,
+};
+use xst_core::{ExtendedSet, Value};
+use xst_storage::{BufferPool, Record, RecordEngine, Schema, SetEngine, Storage, Table};
+use xst_testkit::{arb_pair_relation, arb_set};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A forced-parallel policy: every kernel fans out regardless of size.
+fn forced(threads: usize) -> Parallelism {
+    Parallelism::new(threads).with_threshold(1)
+}
+
+// ---------------------------------------------------------------------------
+// Set engine vs record engine on random workloads.
+// ---------------------------------------------------------------------------
+
+/// Rows over a small value domain so selections hit and joins collide.
+fn arb_rows(cols: usize, max_rows: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0i64..6, cols..cols + 1), 0..max_rows)
+}
+
+fn make_table(storage: &Storage, names: &[&str], rows: &[Vec<i64>]) -> Table {
+    let mut t = Table::create(storage, Schema::new(names.iter().copied()));
+    let records: Vec<Record> = rows
+        .iter()
+        .map(|r| Record::new(r.iter().map(|&v| Value::Int(v))))
+        .collect();
+    t.load(&records).unwrap();
+    t
+}
+
+/// Both engines over both sequential and parallel set evaluation.
+fn engines<'a>(table: &Table, pool: &'a BufferPool) -> (RecordEngine<'a>, SetEngine, SetEngine) {
+    let rec = RecordEngine::new(pool);
+    let seq = SetEngine::load(table, pool).unwrap();
+    let par = SetEngine::load(table, pool)
+        .unwrap()
+        .with_parallelism(forced(4));
+    (rec, seq, par)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Selection: record scan ≡ set-engine image, sequential and parallel.
+    #[test]
+    fn select_agrees(rows in arb_rows(3, 40), col in 0usize..3, key in 0i64..6) {
+        let storage = Storage::new();
+        let table = make_table(&storage, &["a", "b", "c"], &rows);
+        let pool = BufferPool::new(storage, 16);
+        let (rec, seq, par) = engines(&table, &pool);
+        let field = ["a", "b", "c"][col];
+        let key = Value::Int(key);
+
+        let from_records = rec.select(&table, field, &key).unwrap();
+        let from_sets = SetEngine::to_records(&seq.select(field, &key).unwrap()).unwrap();
+        let from_par = SetEngine::to_records(&par.select(field, &key).unwrap()).unwrap();
+        prop_assert_eq!(&from_records, &from_sets);
+        prop_assert_eq!(&from_sets, &from_par);
+    }
+
+    /// Projection onto a random non-empty column subset.
+    #[test]
+    fn project_agrees(rows in arb_rows(3, 40), mask in 1usize..8) {
+        let storage = Storage::new();
+        let table = make_table(&storage, &["a", "b", "c"], &rows);
+        let pool = BufferPool::new(storage, 16);
+        let (rec, seq, par) = engines(&table, &pool);
+        let fields: Vec<&str> = ["a", "b", "c"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, f)| *f)
+            .collect();
+
+        let from_records = rec.project(&table, &fields).unwrap();
+        let from_sets = SetEngine::to_records(&seq.project(&fields).unwrap()).unwrap();
+        let from_par = SetEngine::to_records(&par.project(&fields).unwrap()).unwrap();
+        prop_assert_eq!(&from_records, &from_sets);
+        prop_assert_eq!(&from_sets, &from_par);
+    }
+
+    /// Equi-join on shared-domain columns (record nested loop vs relative
+    /// product), sequential and parallel.
+    #[test]
+    fn join_agrees(left in arb_rows(2, 24), right in arb_rows(2, 24)) {
+        let storage = Storage::new();
+        let lt = make_table(&storage, &["a", "k"], &left);
+        let rt = make_table(&storage, &["k2", "b"], &right);
+        let pool = BufferPool::new(storage, 16);
+        let rec = RecordEngine::new(&pool);
+        let ls = SetEngine::load(&lt, &pool).unwrap();
+        let rs = SetEngine::load(&rt, &pool).unwrap();
+        let lp = SetEngine::load(&lt, &pool).unwrap().with_parallelism(forced(4));
+
+        let from_records = rec.join(&lt, &rt, "k", "k2").unwrap();
+        let from_sets = SetEngine::to_records(&ls.join(&rs, "k", "k2").unwrap()).unwrap();
+        let from_par = SetEngine::to_records(&lp.join(&rs, "k", "k2").unwrap()).unwrap();
+        prop_assert_eq!(&from_records, &from_sets);
+        prop_assert_eq!(&from_sets, &from_par);
+    }
+
+    /// Boolean table ops: union/intersect/difference across both engines.
+    #[test]
+    fn boolean_ops_agree(a in arb_rows(2, 24), b in arb_rows(2, 24)) {
+        let storage = Storage::new();
+        let at = make_table(&storage, &["x", "y"], &a);
+        let bt = make_table(&storage, &["x", "y"], &b);
+        let pool = BufferPool::new(storage, 16);
+        let rec = RecordEngine::new(&pool);
+        let asq = SetEngine::load(&at, &pool).unwrap();
+        let bsq = SetEngine::load(&bt, &pool).unwrap();
+        let apar = SetEngine::load(&at, &pool).unwrap().with_parallelism(forced(4));
+
+        let u_rec = rec.union(&at, &bt).unwrap();
+        prop_assert_eq!(&u_rec, &SetEngine::to_records(&asq.union(&bsq)).unwrap());
+        prop_assert_eq!(&u_rec, &SetEngine::to_records(&apar.union(&bsq)).unwrap());
+        let i_rec = rec.intersect(&at, &bt).unwrap();
+        prop_assert_eq!(&i_rec, &SetEngine::to_records(&asq.intersect(&bsq)).unwrap());
+        prop_assert_eq!(&i_rec, &SetEngine::to_records(&apar.intersect(&bsq)).unwrap());
+        let d_rec = rec.difference(&at, &bt).unwrap();
+        prop_assert_eq!(&d_rec, &SetEngine::to_records(&asq.difference(&bsq)).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernels vs their sequential oracles at 1, 2, 4, 8 threads.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// `par_union` ≡ `union` on arbitrary (nested, scoped) extended sets.
+    #[test]
+    fn par_union_matches_oracle(a in arb_set(2), b in arb_set(2)) {
+        let oracle = union(&a, &b);
+        for k in THREADS {
+            prop_assert_eq!(&par_union(&a, &b, &forced(k)), &oracle);
+        }
+    }
+
+    /// `par_intersection` ≡ `intersection`, both operand orders.
+    #[test]
+    fn par_intersection_matches_oracle(a in arb_set(2), b in arb_set(2)) {
+        let oracle = intersection(&a, &b);
+        for k in THREADS {
+            prop_assert_eq!(&par_intersection(&a, &b, &forced(k)), &oracle);
+            prop_assert_eq!(&par_intersection(&b, &a, &forced(k)), &oracle);
+        }
+    }
+
+    /// `par_sigma_restrict` ≡ `sigma_restrict` for arbitrary σ and A.
+    #[test]
+    fn par_restrict_matches_oracle(r in arb_set(2), sigma in arb_set(1), a in arb_set(2)) {
+        let oracle = sigma_restrict(&r, &sigma, &a);
+        for k in THREADS {
+            prop_assert_eq!(&par_sigma_restrict(&r, &sigma, &a, &forced(k)), &oracle);
+        }
+    }
+
+    /// `par_image` ≡ `image` on random pair relations under ⟨⟨1⟩,⟨2⟩⟩.
+    #[test]
+    fn par_image_matches_oracle(r in arb_pair_relation(), a in arb_set(2)) {
+        let scope = Scope::pairs();
+        let oracle = image(&r, &a, &scope);
+        for k in THREADS {
+            prop_assert_eq!(&par_image(&r, &a, &scope, &forced(k)), &oracle);
+        }
+    }
+
+    /// `par_relative_product` ≡ `relative_product` under §10 recipe (1).
+    #[test]
+    fn par_rel_product_matches_oracle(f in arb_pair_relation(), g in arb_pair_relation()) {
+        let sigma = Scope::new(
+            ExtendedSet::from_pairs([(Value::Int(1), Value::Int(1))]),
+            ExtendedSet::from_pairs([(Value::Int(2), Value::Int(1))]),
+        );
+        let omega = Scope::new(
+            ExtendedSet::from_pairs([(Value::Int(1), Value::Int(1))]),
+            ExtendedSet::from_pairs([(Value::Int(2), Value::Int(2))]),
+        );
+        let oracle = relative_product(&f, &sigma, &g, &omega);
+        for k in THREADS {
+            prop_assert_eq!(
+                &par_relative_product(&f, &sigma, &g, &omega, &forced(k)),
+                &oracle
+            );
+        }
+    }
+
+    /// Also at a larger cardinality than `arb_set` reaches: random classical
+    /// relations wide enough that every thread count gets real chunks.
+    #[test]
+    fn par_kernels_match_on_wide_inputs(seed in 0u32..64) {
+        let n = 200 + (seed as usize) * 7;
+        let r = ExtendedSet::classical((0..n).map(|i| {
+            Value::Set(ExtendedSet::pair(
+                Value::Int((i as i64 * 13 + seed as i64) % 97),
+                Value::Int(i as i64 % 11),
+            ))
+        }));
+        let a = ExtendedSet::classical((0..20).map(|i| {
+            Value::Set(ExtendedSet::tuple([Value::Int(i as i64)]))
+        }));
+        let scope = Scope::pairs();
+        let oracle = image(&r, &a, &scope);
+        for k in THREADS {
+            prop_assert_eq!(&par_image(&r, &a, &scope, &forced(k)), &oracle);
+        }
+    }
+}

@@ -5,12 +5,12 @@
 use proptest::prelude::*;
 use xst_core::ops::{pair_compose, transitive_closure, union};
 use xst_core::{ExtendedSet, Value};
-use xst_testkit::arb_pair_relation;
 use xst_relational::{algebra, group_by, parse_query, Aggregate, Catalog};
 use xst_storage::{
     load_identity_parallel, restore, snapshot, BufferPool, Record, Schema, SetEngine, Storage,
     Table,
 };
+use xst_testkit::arb_pair_relation;
 
 fn stored_catalog() -> (Storage, BufferPool, Catalog, Table) {
     let storage = Storage::new();
@@ -34,7 +34,9 @@ fn stored_catalog() -> (Storage, BufferPool, Catalog, Table) {
         .unwrap();
     let pool = BufferPool::new(storage.clone(), 16);
     let mut catalog = Catalog::new();
-    catalog.register_table("employees", &employees, &pool).unwrap();
+    catalog
+        .register_table("employees", &employees, &pool)
+        .unwrap();
     catalog.register_table("reports", &reports, &pool).unwrap();
     (storage, pool, catalog, employees)
 }
@@ -47,12 +49,10 @@ fn text_queries_over_stored_tables() {
         .run(&catalog)
         .unwrap();
     assert_eq!(r.len(), 2);
-    let joined = parse_query(
-        "from employees | join reports on eid = mgr | select dept, sub",
-    )
-    .unwrap()
-    .run(&catalog)
-    .unwrap();
+    let joined = parse_query("from employees | join reports on eid = mgr | select dept, sub")
+        .unwrap()
+        .run(&catalog)
+        .unwrap();
     assert_eq!(joined.len(), 3);
 }
 
@@ -62,7 +62,11 @@ fn aggregation_over_stored_tables() {
     let by_dept = group_by(
         catalog.get("employees").unwrap(),
         &["dept"],
-        &[(Aggregate::Count, "eid"), (Aggregate::Sum, "salary"), (Aggregate::Max, "salary")],
+        &[
+            (Aggregate::Count, "eid"),
+            (Aggregate::Sum, "salary"),
+            (Aggregate::Max, "salary"),
+        ],
     )
     .unwrap();
     assert_eq!(by_dept.len(), 3);

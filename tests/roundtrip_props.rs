@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use xst_core::ops::{difference, disjoint, intersection, symmetric_difference, union};
 use xst_core::parse::parse_set;
 use xst_core::{ExtendedSet, Value};
-use xst_testkit::{arb_set, arb_value};
 use xst_storage::codec::{decode_exact, encode_to_vec};
+use xst_testkit::{arb_set, arb_value};
 
 proptest! {
     /// Canonical form: building from any permutation of members yields the

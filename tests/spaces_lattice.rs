@@ -49,14 +49,24 @@ fn lattice_has_top_and_bottom() {
 fn consequence_6_1_on_the_whole_lattice() {
     // (a)–(d) are instances of: adding a constraint yields a subspace.
     let f_space = SpaceSpec::function();
-    let on = SpaceSpec { on: true, ..f_space.clone() };
-    let onto = SpaceSpec { onto: true, ..f_space.clone() };
-    let both = SpaceSpec { on: true, onto: true, ..f_space.clone() };
+    let on = SpaceSpec {
+        on: true,
+        ..f_space.clone()
+    };
+    let onto = SpaceSpec {
+        onto: true,
+        ..f_space.clone()
+    };
+    let both = SpaceSpec {
+        on: true,
+        onto: true,
+        ..f_space.clone()
+    };
     assert!(on.is_subspace_of(&f_space)); // (a)
     assert!(onto.is_subspace_of(&f_space)); // (b)
     assert!(both.is_subspace_of(&onto)); // (c)
     assert!(both.is_subspace_of(&on)); // (d)
-    // Subspace relation is a partial order on the refined lattice.
+                                       // Subspace relation is a partial order on the refined lattice.
     let refined = refined_spaces();
     for a in &refined {
         assert!(a.is_subspace_of(a), "reflexive");

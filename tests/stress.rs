@@ -27,8 +27,8 @@ fn deep_nesting_is_cheap_to_build_clone_and_compare() {
     assert_eq!(a, b);
     assert_ne!(a, tower(15));
     assert_eq!(a.depth(), 17); // tower(0) = ∅ is itself depth 1
-    // ...while *shared* spines compare in O(1) via the Arc fast path even
-    // at depths where structural comparison would take 2^500 steps.
+                               // ...while *shared* spines compare in O(1) via the Arc fast path even
+                               // at depths where structural comparison would take 2^500 steps.
     let deep = tower(500);
     let clone = deep.clone();
     assert_eq!(clone, deep);
@@ -113,7 +113,10 @@ fn image_over_a_large_heterogeneous_relation() {
     // Mix pair tuples, triples, atoms, and scoped members in one carrier.
     let mut members = Vec::new();
     for i in 0..5_000i64 {
-        members.push(Value::Set(ExtendedSet::pair(Value::Int(i), Value::Int(i * 2))));
+        members.push(Value::Set(ExtendedSet::pair(
+            Value::Int(i),
+            Value::Int(i * 2),
+        )));
     }
     for i in 0..500i64 {
         members.push(Value::Set(ExtendedSet::tuple([
@@ -174,15 +177,17 @@ fn domain_projection_of_deeply_scoped_members() {
     // Members whose scopes are themselves towers: σ-domain must project
     // scopes recursively without blowing up.
     let deep_scope = tower(30);
-    let r = ExtendedSet::from_pairs([(
-        Value::Set(ExtendedSet::pair("a", "b")),
-        deep_scope.clone(),
-    )]);
+    let r =
+        ExtendedSet::from_pairs([(Value::Set(ExtendedSet::pair("a", "b")), deep_scope.clone())]);
     let d = sigma_domain(&r, &ExtendedSet::tuple([1i64]));
     assert_eq!(d.card(), 1);
     // The deep scope projects to ∅ (its members are not tuple-positioned),
     // leaving ⟨a⟩^∅.
-    let (e, s) = d.iter().next().map(|(e, s)| (e.clone(), s.clone())).unwrap();
+    let (e, s) = d
+        .iter()
+        .next()
+        .map(|(e, s)| (e.clone(), s.clone()))
+        .unwrap();
     assert_eq!(e.to_string(), "⟨a⟩");
     assert!(s.is_empty_set());
 }

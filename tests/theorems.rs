@@ -134,7 +134,12 @@ fn composition_worked_example() {
     let f = Process::from_pairs([("a", "b"), ("c", "d"), ("e", "b")]);
     let g = Process::from_pairs([("b", "1"), ("d", "2")]);
     let h = Process::compose(&g, &f).unwrap();
-    for (input, expected) in [("a", Some("1")), ("c", Some("2")), ("e", Some("1")), ("q", None)] {
+    for (input, expected) in [
+        ("a", Some("1")),
+        ("c", Some("2")),
+        ("e", Some("1")),
+        ("q", None),
+    ] {
         let got = h.apply(&singleton(input));
         match expected {
             Some(out) => assert_eq!(got, singleton(out), "input {input}"),
@@ -159,7 +164,11 @@ fn cst_image_definition_3_6_agrees_with_xst() {
     let behavioral: std::collections::BTreeSet<Value> = p
         .apply(&input)
         .iter()
-        .filter_map(|(e, _)| e.as_set().and_then(ExtendedSet::as_tuple).map(|t| t[0].clone()))
+        .filter_map(|(e, _)| {
+            e.as_set()
+                .and_then(ExtendedSet::as_tuple)
+                .map(|t| t[0].clone())
+        })
         .collect();
     assert_eq!(classical, behavioral);
 }

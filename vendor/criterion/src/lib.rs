@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark closure for a fixed number of timed samples and
+//! prints mean wall-clock time per iteration. No statistics, plots, or
+//! baseline storage — just enough to keep `cargo bench` working and
+//! produce comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("fused", n)` renders as `fused/n`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one routine call, recorded by `iter`.
+    pub mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean over the sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call keeps cold-cache noise out of tiny benchmarks.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = started.elapsed() / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!(
+            "{}/{:<40} {:>12.3?}/iter",
+            self.name,
+            id.to_string(),
+            b.mean
+        );
+        self
+    }
+
+    /// Run one benchmark without a parameter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{}/{:<40} {:>12.3?}/iter", self.name, name, b.mean);
+        self
+    }
+
+    /// End the group (prints a separator; numbers were already emitted).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group with the default sample budget.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 30,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_nonzero_mean() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("spin", 10), &10u64, |b, n| {
+            b.iter(|| {
+                ran += 1;
+                (0..*n).map(black_box).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran >= 5, "routine ran {ran} times, expected >= samples");
+    }
+}

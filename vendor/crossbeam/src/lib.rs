@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the workspace uses is provided, implemented
+//! over `std::thread::scope` (stabilized in Rust 1.63, after crossbeam's
+//! API was designed — which is why the real crate still exists).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (`crossbeam::thread::scope`).
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure; spawned threads may
+    /// borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result, or the
+        /// panic payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so threads can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads; all threads are
+    /// joined before it returns. Matches crossbeam's contract of returning
+    /// `Err` with the panic payload instead of propagating the panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope(s)))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1, 2, 3, 4];
+            let total: i32 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let n = super::scope(|s| {
+                let h = s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn joined_panics_surface_via_join() {
+            let result = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join().is_err()
+            });
+            assert!(result.unwrap());
+        }
+    }
+}
