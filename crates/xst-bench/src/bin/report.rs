@@ -5,8 +5,13 @@
 //! report e1 e3      # selected experiments
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
+//!
+//! Experiments that produce structured numbers (currently E12) are also
+//! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
+//! ("Machine-readable results") for the format.
 
 use xst_bench::experiments as exp;
+use xst_bench::report_json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,5 +98,16 @@ fn main() {
     if want("e11") {
         let n = if quick { 10_000 } else { 50_000 };
         print!("{}", exp::e11_sharded_pool(n, &[1, 2, 4, 8], 4));
+    }
+    if want("e12") {
+        let (n, iters) = if quick { (1_000, 7) } else { (5_000, 15) };
+        let (table, entries) = exp::e12_obs_overhead(n, iters);
+        print!("{table}");
+        let json = report_json::render_json(&entries, xst_bench::data::SEED);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}", path),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }

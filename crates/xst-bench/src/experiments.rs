@@ -731,3 +731,130 @@ pub fn e9_column_store(sizes: &[usize]) -> String {
               the column layout reads only the touched column's pages.",
     )
 }
+
+/// E12 — observability overhead: the E1-style workload (canonicalizing
+/// load through the buffer pool, then a query-layer evaluation), timed
+/// with the collector off and on.
+///
+/// An uninstrumented build cannot be compared in-process, so the disabled
+/// cost is bounded honestly: two *interleaved* disabled runs (A and B) are
+/// timed alternately — their ratio is the measurement noise floor, and the
+/// disabled fast path (one relaxed atomic load per site) sits inside it.
+/// The enabled/disabled ratio then prices what full collection costs.
+/// Returns the printable table plus the machine-readable entries written
+/// to BENCH_PR2.json.
+pub fn e12_obs_overhead(n: usize, iters: usize) -> (String, Vec<crate::report_json::BenchEntry>) {
+    use crate::report_json::BenchEntry;
+    use xst_core::ops::Parallelism;
+    use xst_query::eval_parallel;
+
+    let storage = Storage::new();
+    let parts = data::parts_table(&storage, n, 16);
+    let pool = BufferPool::new(storage, 64);
+    let s1 = data::scoped_set(n);
+    let s2 = data::scoped_set(n + n / 3 + 1);
+    let mut env = Bindings::new();
+    env.insert("s1".into(), s1);
+    env.insert("s2".into(), s2);
+    let expr = Expr::table("s1")
+        .union(Expr::table("s2"))
+        .intersect(Expr::table("s1"));
+    let par = Parallelism::sequential();
+
+    // One iteration touches every instrumented layer: buffer-pool gets and
+    // page reads (the load), then evaluator spans per operator.
+    let workload = || {
+        let engine = SetEngine::load(&parts, &pool).unwrap();
+        let (out, _) = eval_parallel(&expr, &env, &par).unwrap();
+        engine.identity().card() + out.card()
+    };
+
+    let time_ns = |f: &dyn Fn() -> usize| {
+        let start = Instant::now();
+        let out = f();
+        std::hint::black_box(out);
+        start.elapsed().as_nanos() as u64
+    };
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+
+    let was_enabled = xst_obs::enabled();
+    // Interleaved disabled runs: A and B samples alternate, so drift or a
+    // lost timeslice hits both series equally.
+    xst_obs::disable();
+    workload(); // warm the pool and allocators outside the measured runs
+    let (mut off_a, mut off_b) = (Vec::new(), Vec::new());
+    for _ in 0..iters {
+        off_a.push(time_ns(&workload));
+        off_b.push(time_ns(&workload));
+    }
+    xst_obs::enable();
+    let mut on = Vec::new();
+    for _ in 0..iters {
+        on.push(time_ns(&workload));
+        // Drain what the run recorded, as a live scraper would.
+        xst_obs::collector().take_spans();
+    }
+    if !was_enabled {
+        xst_obs::disable();
+    }
+
+    let (a, b, e) = (median(off_a), median(off_b), median(on));
+    let noise = b as f64 / a as f64;
+    let overhead = e as f64 / a.min(b) as f64;
+
+    let mut t = TableBuilder::new(
+        "E12 observability overhead (collector off vs on, median of iters)",
+        &["phase", "rows", "iters", "median ms", "vs off (A)"],
+    );
+    for (phase, ns, ratio) in [
+        ("collector off (A)", a, 1.0),
+        ("collector off (B)", b, noise),
+        ("collector on", e, e as f64 / a as f64),
+    ] {
+        t.row(&[
+            phase.into(),
+            n.to_string(),
+            iters.to_string(),
+            format!("{:.3}", ns as f64 / 1e6),
+            format!("{ratio:.3}x"),
+        ]);
+    }
+    let table = t.finish(
+        "off(B)/off(A) is the noise floor of two identical disabled runs — \
+              the disabled collector costs one relaxed atomic load per site and \
+              hides inside it; on/off prices spans + metrics recording.",
+    );
+
+    let meta = vec![
+        ("rows", n.to_string()),
+        ("iters", iters.to_string()),
+        ("workload", "setengine-load + query-eval".to_string()),
+    ];
+    let entries = vec![
+        BenchEntry::ns("e12_workload_collector_off_a", a, &meta),
+        BenchEntry::ns("e12_workload_collector_off_b", b, &meta),
+        BenchEntry::ns("e12_workload_collector_on", e, &meta),
+        BenchEntry::ratio(
+            "e12_disabled_noise_floor",
+            noise,
+            &[(
+                "note",
+                "two interleaved collector-off runs; the disabled fast path \
+                 (one atomic load per site) is bounded by this ratio"
+                    .to_string(),
+            )],
+        ),
+        BenchEntry::ratio(
+            "e12_enabled_overhead",
+            overhead,
+            &[(
+                "note",
+                "collector on vs best collector-off median".to_string(),
+            )],
+        ),
+    ];
+    (table, entries)
+}

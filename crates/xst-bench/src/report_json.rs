@@ -1,0 +1,164 @@
+//! Machine-readable benchmark results.
+//!
+//! The `report` binary appends every structured entry its experiments
+//! produce and writes them as `BENCH_PR2.json` at the repository root, so
+//! CI and later sessions can diff numbers without scraping the printed
+//! tables. The format is documented in EXPERIMENTS.md ("Machine-readable
+//! results"):
+//!
+//! ```json
+//! {
+//!   "schema": "xst-bench-report/1",
+//!   "seed": "0x5e71977",
+//!   "entries": {
+//!     "e12_workload_collector_off": {
+//!       "value": 12345678.0,
+//!       "unit": "ns",
+//!       "meta": { "iters": "15", "rows": "2000" }
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! No serde in the offline build environment, so the writer is a small
+//! hand-rolled emitter over the one shape we need.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One measured result: an experiment id, a value with a unit, and
+/// free-form string metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable experiment id, e.g. `e12_workload_collector_on`.
+    pub id: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit of `value`: `"ns"` for median wall-times, `"ratio"` for
+    /// dimensionless comparisons.
+    pub unit: &'static str,
+    /// Context needed to interpret the number (sizes, iteration counts).
+    pub meta: BTreeMap<String, String>,
+}
+
+impl BenchEntry {
+    /// A median-nanoseconds entry.
+    pub fn ns(id: impl Into<String>, median_ns: u64, meta: &[(&str, String)]) -> BenchEntry {
+        BenchEntry {
+            id: id.into(),
+            value: median_ns as f64,
+            unit: "ns",
+            meta: to_meta(meta),
+        }
+    }
+
+    /// A dimensionless ratio entry.
+    pub fn ratio(id: impl Into<String>, value: f64, meta: &[(&str, String)]) -> BenchEntry {
+        BenchEntry {
+            id: id.into(),
+            value,
+            unit: "ratio",
+            meta: to_meta(meta),
+        }
+    }
+}
+
+fn to_meta(pairs: &[(&str, String)]) -> BTreeMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the full report document. Entries keep insertion order.
+pub fn render_json(entries: &[BenchEntry], seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"xst-bench-report/1\",\n");
+    let _ = writeln!(out, "  \"seed\": \"{seed:#x}\",");
+    out.push_str("  \"entries\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(out, "    \"{}\": {{", escape(&e.id));
+        let _ = writeln!(out, "      \"value\": {},", number(e.value));
+        let _ = writeln!(out, "      \"unit\": \"{}\",", escape(e.unit));
+        out.push_str("      \"meta\": {");
+        for (j, (k, v)) in e.meta.iter().enumerate() {
+            let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+            if j + 1 < e.meta.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}\n");
+        out.push_str("    }");
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_documented_shape() {
+        let entries = vec![
+            BenchEntry::ns("e12_off", 1_500_000, &[("rows", "2000".to_string())]),
+            BenchEntry::ratio("e12_ratio", 1.0425, &[]),
+        ];
+        let json = render_json(&entries, 0x5E7_1977);
+        assert!(
+            json.contains("\"schema\": \"xst-bench-report/1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"seed\": \"0x5e71977\""), "{json}");
+        assert!(json.contains("\"e12_off\""), "{json}");
+        assert!(json.contains("\"value\": 1500000.0"), "{json}");
+        assert!(json.contains("\"unit\": \"ns\""), "{json}");
+        assert!(json.contains("\"rows\": \"2000\""), "{json}");
+        assert!(json.contains("\"value\": 1.0425"), "{json}");
+        // Balanced braces — the document parses as far as a naive check
+        // can tell (no JSON parser in the offline environment).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        let entries = vec![BenchEntry::ns(
+            "weird\"id\\n",
+            1,
+            &[("k\"", "v\\".to_string())],
+        )];
+        let json = render_json(&entries, 1);
+        assert!(json.contains("weird\\\"id\\\\n"), "{json}");
+        assert!(json.contains("\"k\\\"\": \"v\\\\\""), "{json}");
+    }
+}

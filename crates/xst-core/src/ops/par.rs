@@ -27,6 +27,37 @@ use crate::ops::rescope::rescope_value_by_scope;
 use crate::ops::restrict::restriction_witnesses;
 use crate::set::{ExtendedSet, Member, SetBuilder};
 use crate::value::Value;
+use std::sync::{Arc, OnceLock};
+use xst_obs::{registry, Counter};
+
+/// Times a kernel actually fanned out to threads (threshold met).
+fn par_fanouts_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            "xst_core_par_fanouts_total",
+            "Parallel kernel invocations that crossed the threshold and fanned out to threads.",
+        )
+    })
+}
+
+/// Total worker chunks dispatched across all fanned-out kernel calls.
+fn par_chunks_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            "xst_core_par_chunks_total",
+            "Worker chunks dispatched by fanned-out parallel kernels.",
+        )
+    })
+}
+
+/// Record one fan-out of `workers` chunks on the kernel's span + counters.
+fn note_fanout(span: &mut xst_obs::SpanGuard, workers: usize) {
+    span.attr("chunks", workers);
+    par_fanouts_total().inc();
+    par_chunks_total().add(workers as u64);
+}
 
 /// Members below this count run sequentially by default: thread spawn and
 /// merge overhead beats the win on small sets.
@@ -127,6 +158,7 @@ pub fn par_sigma_restrict(
     a: &ExtendedSet,
     par: &Parallelism,
 ) -> ExtendedSet {
+    let mut span = xst_obs::span!("par.sigma_restrict", card = r.card(), threads = par.threads);
     if !par.should_parallelize(r.card()) {
         return crate::ops::restrict::sigma_restrict(r, sigma, a);
     }
@@ -134,16 +166,15 @@ pub fn par_sigma_restrict(
     if witnesses.is_empty() {
         return ExtendedSet::empty();
     }
-    let kept = map_chunks(
-        chunk_slices(r.members(), par.workers_for(r.card())),
-        |chunk| {
-            chunk
-                .iter()
-                .filter(|m| witnesses.matches(m))
-                .cloned()
-                .collect::<Vec<Member>>()
-        },
-    );
+    let workers = par.workers_for(r.card());
+    note_fanout(&mut span, workers);
+    let kept = map_chunks(chunk_slices(r.members(), workers), |chunk| {
+        chunk
+            .iter()
+            .filter(|m| witnesses.matches(m))
+            .cloned()
+            .collect::<Vec<Member>>()
+    });
     // Filtering a canonical list chunk-wise keeps it sorted and unique.
     ExtendedSet::from_sorted_unique(kept.concat())
 }
@@ -158,6 +189,7 @@ pub fn par_image(
     scope: &Scope,
     par: &Parallelism,
 ) -> ExtendedSet {
+    let mut span = xst_obs::span!("par.image", card = r.card(), threads = par.threads);
     if !par.should_parallelize(r.card()) {
         return crate::ops::image::image(r, a, scope);
     }
@@ -165,24 +197,23 @@ pub fn par_image(
     if witnesses.is_empty() {
         return ExtendedSet::empty();
     }
-    let parts = map_chunks(
-        chunk_slices(r.members(), par.workers_for(r.card())),
-        |chunk| {
-            let mut b = SetBuilder::new();
-            for m in chunk {
-                if !witnesses.matches(m) {
-                    continue;
-                }
-                let x = rescope_value_by_scope(&m.element, &scope.sigma2);
-                if x.is_empty() {
-                    continue;
-                }
-                let s = rescope_value_by_scope(&m.scope, &scope.sigma2);
-                b.scoped(Value::Set(x), Value::Set(s));
+    let workers = par.workers_for(r.card());
+    note_fanout(&mut span, workers);
+    let parts = map_chunks(chunk_slices(r.members(), workers), |chunk| {
+        let mut b = SetBuilder::new();
+        for m in chunk {
+            if !witnesses.matches(m) {
+                continue;
             }
-            b.build()
-        },
-    );
+            let x = rescope_value_by_scope(&m.element, &scope.sigma2);
+            if x.is_empty() {
+                continue;
+            }
+            let s = rescope_value_by_scope(&m.scope, &scope.sigma2);
+            b.scoped(Value::Set(x), Value::Set(s));
+        }
+        b.build()
+    });
     union_all(parts.iter())
 }
 
@@ -196,20 +227,24 @@ pub fn par_relative_product(
     omega: &Scope,
     par: &Parallelism,
 ) -> ExtendedSet {
+    let mut span = xst_obs::span!(
+        "par.relative_product",
+        card = f.card(),
+        threads = par.threads
+    );
     if !par.should_parallelize(f.card()) {
         return crate::ops::product::relative_product(f, sigma, g, omega);
     }
     let g_by_key = index_by_key(g, omega);
-    let parts = map_chunks(
-        chunk_slices(f.members(), par.workers_for(f.card())),
-        |chunk| {
-            let mut out = SetBuilder::new();
-            for m in chunk {
-                probe_member(m, sigma, &g_by_key, &mut out);
-            }
-            out.build()
-        },
-    );
+    let workers = par.workers_for(f.card());
+    note_fanout(&mut span, workers);
+    let parts = map_chunks(chunk_slices(f.members(), workers), |chunk| {
+        let mut out = SetBuilder::new();
+        for m in chunk {
+            probe_member(m, sigma, &g_by_key, &mut out);
+        }
+        out.build()
+    });
     union_all(parts.iter())
 }
 
@@ -219,18 +254,30 @@ pub fn par_relative_product(
 /// member lists into aligned, disjoint key ranges; each worker merges one
 /// range pair and the ordered range results concatenate exactly.
 pub fn par_union(a: &ExtendedSet, b: &ExtendedSet, par: &Parallelism) -> ExtendedSet {
+    let mut span = xst_obs::span!(
+        "par.union",
+        card = a.card() + b.card(),
+        threads = par.threads
+    );
     if !par.should_parallelize(a.card() + b.card()) {
         return union(a, b);
     }
+    note_fanout(&mut span, par.workers_for(a.card().max(b.card())));
     merge_by_ranges(a, b, par, merge_union_range)
 }
 
 /// `A ∩ B` — parallel intersection by member-range partitioning (same
 /// scheme as [`par_union`]).
 pub fn par_intersection(a: &ExtendedSet, b: &ExtendedSet, par: &Parallelism) -> ExtendedSet {
+    let mut span = xst_obs::span!(
+        "par.intersection",
+        card = a.card() + b.card(),
+        threads = par.threads
+    );
     if !par.should_parallelize(a.card() + b.card()) {
         return intersection(a, b);
     }
+    note_fanout(&mut span, par.workers_for(a.card().max(b.card())));
     merge_by_ranges(a, b, par, merge_intersection_range)
 }
 

@@ -1,0 +1,96 @@
+//! # xst-obs — observability substrate for the XST engine
+//!
+//! The build environment is offline, so this crate implements in-house
+//! (over `std` only) the two facilities a production engine cannot run
+//! without:
+//!
+//! * [`span`] — hierarchical **trace spans**: RAII guards created by the
+//!   [`span!`] macro record wall-time, parent/child links, and `key=value`
+//!   attributes into a per-thread buffer that drains to a global
+//!   [`Collector`](span::Collector) when each root span closes. The
+//!   collected records reconstruct the full call tree
+//!   ([`span::span_tree`]) — the substrate behind the shell's `.trace`
+//!   command and the query layer's `EXPLAIN ANALYZE`.
+//! * [`metrics`] — a **metrics registry** of named counters, gauges, and
+//!   fixed-bucket latency histograms. All hot-path state is atomic, so
+//!   concurrent writers merge for free and snapshots never stop the
+//!   world. Two exporters: Prometheus-style text exposition
+//!   ([`Registry::export_prometheus`](metrics::Registry::export_prometheus))
+//!   and a JSON snapshot
+//!   ([`Registry::export_json`](metrics::Registry::export_json)).
+//!
+//! ## The no-op fast path
+//!
+//! One process-global `AtomicBool` gates every instrumentation site. When
+//! the collector is disabled (the default), [`enabled`] is a single
+//! relaxed atomic load and every record/observe/span call returns
+//! immediately — nothing is allocated, timed, or stored. Experiment E12
+//! measures this: the disabled-collector E1 workload is indistinguishable
+//! from an uninstrumented run (see EXPERIMENTS.md).
+//!
+//! ```
+//! xst_obs::enable();
+//! {
+//!     let _root = xst_obs::span!("demo.outer", items = 3);
+//!     let _leaf = xst_obs::span!("demo.inner");
+//! }
+//! let spans = xst_obs::collector().take_spans();
+//! assert!(spans.iter().any(|s| s.name == "demo.outer"));
+//!
+//! let hits = xst_obs::registry().counter("demo_hits_total", "demo counter");
+//! hits.add(2);
+//! assert!(xst_obs::registry()
+//!     .export_prometheus()
+//!     .contains("demo_hits_total"));
+//! xst_obs::disable();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-global collector switch. Relaxed ordering is deliberate:
+/// instrumentation sites only need an eventually-consistent view, and a
+/// relaxed load is the cheapest possible gate.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is the collector on? One relaxed atomic load — this is the entire cost
+/// of a disabled instrumentation site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the collector on: spans record and metrics accumulate.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the collector off: every instrumentation site degrades to a single
+/// atomic load. Already-collected spans and metric values are kept until
+/// explicitly taken or reset.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+pub use metrics::{registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use span::{collector, span_tree, Collector, SpanGuard, SpanNode, SpanRecord};
+
+/// The enable/disable switch is process-global, so tests that toggle it
+/// serialize on one lock (the test harness runs them on many threads).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+    pub fn obs_lock() -> MutexGuard<'static, ()> {
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

@@ -1,0 +1,418 @@
+//! Hierarchical trace spans.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro (or
+//! [`SpanGuard::new`]) and closed by RAII drop. While open it sits on a
+//! per-thread stack, so spans opened inside it become its children; when
+//! it closes, a finished [`SpanRecord`] (wall-time, parent link,
+//! attributes) lands in a per-thread buffer. The buffer drains into the
+//! global [`Collector`] whenever a *root* span (thread-stack empty after
+//! the pop) closes — so the hot path never touches a process-wide lock,
+//! only span-tree roots do.
+//!
+//! Worker threads spawned inside a span start their own root (thread-local
+//! stacks do not cross threads); their records still drain to the same
+//! collector and carry a distinct `thread` index.
+
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotonic).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Instrumentation-site name, e.g. `"eval.restrict"`.
+    pub name: &'static str,
+    /// Small per-process thread index (not the OS tid).
+    pub thread: u64,
+    /// Start time in nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// `key=value` attributes recorded while the span was open.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// The global span sink: finished records from every thread, in drain
+/// order.
+pub struct Collector {
+    epoch: Instant,
+    next_id: AtomicU64,
+    next_thread: AtomicU64,
+    finished: Mutex<Vec<SpanRecord>>,
+}
+
+impl Collector {
+    fn new() -> Collector {
+        Collector {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            next_thread: AtomicU64::new(0),
+            finished: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take every collected span, leaving the collector empty.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.finished.lock().expect("span sink poisoned"))
+    }
+
+    /// Number of collected (drained) spans.
+    pub fn len(&self) -> usize {
+        self.finished.lock().expect("span sink poisoned").len()
+    }
+
+    /// True iff nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every collected span.
+    pub fn clear(&self) {
+        self.finished.lock().expect("span sink poisoned").clear();
+    }
+
+    fn absorb(&self, records: &mut Vec<SpanRecord>) {
+        self.finished
+            .lock()
+            .expect("span sink poisoned")
+            .append(records);
+    }
+}
+
+/// The process-global collector.
+pub fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(Collector::new)
+}
+
+struct ThreadSpans {
+    thread: u64,
+    stack: Vec<u64>,
+    buf: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans {
+        thread: collector().next_thread.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        buf: Vec::new(),
+    });
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    attrs: Vec<(&'static str, String)>,
+}
+
+/// RAII guard for one open span. Create with the
+/// [`span!`](crate::span!) macro; the span closes (and is recorded) when
+/// the guard drops. When the collector is disabled this is a no-op shell
+/// whose construction cost one atomic load.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Open a span named `name` under the innermost open span of this
+    /// thread. Records nothing when the collector is disabled.
+    pub fn new(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { inner: None };
+        }
+        let c = collector();
+        let id = c.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = TLS
+            .try_with(|tls| {
+                let mut tls = tls.borrow_mut();
+                let parent = tls.stack.last().copied();
+                tls.stack.push(id);
+                parent
+            })
+            .unwrap_or(None);
+        SpanGuard {
+            inner: Some(ActiveSpan {
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                start_ns: c.epoch.elapsed().as_nanos() as u64,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach a `key=value` attribute. No-op on a disabled guard.
+    pub fn attr(&mut self, key: &'static str, value: impl Display) {
+        if let Some(active) = &mut self.inner {
+            active.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// Span id, if the guard is live (collector was enabled at open).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let duration_ns = active.start.elapsed().as_nanos() as u64;
+        let _ = TLS.try_with(|tls| {
+            let mut tls = tls.borrow_mut();
+            // Guards drop in reverse open order on one thread, so the top
+            // of the stack is this span; be tolerant anyway (a guard moved
+            // across threads would miss its frame).
+            if tls.stack.last() == Some(&active.id) {
+                tls.stack.pop();
+            } else {
+                tls.stack.retain(|&id| id != active.id);
+            }
+            let thread = tls.thread;
+            tls.buf.push(SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                thread,
+                start_ns: active.start_ns,
+                duration_ns,
+                attrs: active.attrs,
+            });
+            if tls.stack.is_empty() {
+                let mut buf = std::mem::take(&mut tls.buf);
+                collector().absorb(&mut buf);
+            }
+        });
+    }
+}
+
+/// Open a span: `span!("name")` or `span!("name", key = value, ...)`.
+///
+/// Returns a [`SpanGuard`] that must be bound (`let _g = span!(...)`) so
+/// the span stays open for the intended scope. Attribute values are
+/// rendered with `Display`, and only when the collector is enabled — on a
+/// disabled guard the value expressions are never formatted.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::new($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::span::SpanGuard::new($name);
+        if guard.id().is_some() {
+            $(guard.attr(stringify!($key), &$value);)+
+        }
+        guard
+    }};
+}
+
+/// One node of a reconstructed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The finished span.
+    pub record: SpanRecord,
+    /// Child spans, ordered by start time.
+    pub children: Vec<SpanNode>,
+}
+
+/// Rebuild the parent/child forest from a batch of records (as returned
+/// by [`Collector::take_spans`]). Roots are spans whose parent is absent
+/// from the batch; siblings are ordered by start time.
+pub fn span_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    use std::collections::BTreeMap;
+    let ids: std::collections::BTreeSet<u64> = records.iter().map(|r| r.id).collect();
+    let mut children_of: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for r in records {
+        match r.parent {
+            Some(p) if ids.contains(&p) => children_of.entry(p).or_default().push(r),
+            _ => roots.push(r),
+        }
+    }
+    fn build(
+        r: &SpanRecord,
+        children_of: &std::collections::BTreeMap<u64, Vec<&SpanRecord>>,
+    ) -> SpanNode {
+        let mut children: Vec<SpanNode> = children_of
+            .get(&r.id)
+            .map(|kids| kids.iter().map(|k| build(k, children_of)).collect())
+            .unwrap_or_default();
+        children.sort_by_key(|n| n.record.start_ns);
+        SpanNode {
+            record: r.clone(),
+            children,
+        }
+    }
+    roots.sort_by_key(|r| r.start_ns);
+    roots.into_iter().map(|r| build(r, &children_of)).collect()
+}
+
+/// Render a span forest as an indented tree with durations and attributes
+/// (the `.trace show` output).
+pub fn render_tree(forest: &[SpanNode]) -> String {
+    fn walk(node: &SpanNode, prefix: &str, last: bool, top: bool, out: &mut String) {
+        let (branch, next_prefix) = if top {
+            (String::new(), String::new())
+        } else if last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let attrs = if node.record.attrs.is_empty() {
+            String::new()
+        } else {
+            let kv: Vec<String> = node
+                .record
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("  [{}]", kv.join(" "))
+        };
+        out.push_str(&format!(
+            "{branch}{}  {}{attrs}\n",
+            node.record.name,
+            fmt_ns(node.record.duration_ns)
+        ));
+        for (i, child) in node.children.iter().enumerate() {
+            walk(
+                child,
+                &next_prefix,
+                i + 1 == node.children.len(),
+                false,
+                out,
+            );
+        }
+    }
+    let mut out = String::new();
+    for node in forest {
+        walk(node, "", true, true, &mut out);
+    }
+    out
+}
+
+/// Human duration: picks ns/µs/ms/s.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::obs_lock;
+
+    #[test]
+    fn nesting_reconstructs_the_tree() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        {
+            let _a = crate::span!("a");
+            {
+                let mut b = crate::span!("b", size = 7);
+                b.attr("extra", "x");
+                let _c = crate::span!("c");
+            }
+            let _d = crate::span!("d");
+        }
+        crate::disable();
+        let records = collector().take_spans();
+        assert_eq!(records.len(), 4);
+        let forest = span_tree(&records);
+        assert_eq!(forest.len(), 1, "one root");
+        let root = &forest[0];
+        assert_eq!(root.record.name, "a");
+        let kids: Vec<&str> = root.children.iter().map(|c| c.record.name).collect();
+        assert_eq!(kids, ["b", "d"], "siblings in start order");
+        assert_eq!(root.children[0].children[0].record.name, "c");
+        assert_eq!(
+            root.children[0].record.attrs,
+            vec![("size", "7".to_string()), ("extra", "x".to_string())]
+        );
+        let rendered = render_tree(&forest);
+        assert!(rendered.contains("└─ d"), "{rendered}");
+        assert!(rendered.contains("[size=7 extra=x]"), "{rendered}");
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _serial = obs_lock();
+        crate::disable();
+        collector().clear();
+        {
+            let mut g = crate::span!("ghost", n = 1);
+            g.attr("more", 2);
+            assert_eq!(g.id(), None);
+        }
+        assert!(collector().is_empty(), "disabled spans must not collect");
+        assert!(collector().take_spans().is_empty());
+    }
+
+    #[test]
+    fn spans_from_worker_threads_all_collect() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        {
+            let _root = crate::span!("fanout");
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let _w = crate::span!("worker");
+                    });
+                }
+            });
+        }
+        crate::disable();
+        let records = collector().take_spans();
+        assert_eq!(records.iter().filter(|r| r.name == "worker").count(), 4);
+        let threads: std::collections::BTreeSet<u64> = records
+            .iter()
+            .filter(|r| r.name == "worker")
+            .map(|r| r.thread)
+            .collect();
+        assert!(threads.len() > 1, "workers carry distinct thread indexes");
+        // Workers are roots of their own threads (no cross-thread parent).
+        let forest = span_tree(&records);
+        assert_eq!(forest.len(), 5);
+    }
+
+    #[test]
+    fn durations_and_formatting_are_sane() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        {
+            let _s = crate::span!("tick");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        crate::disable();
+        let records = collector().take_spans();
+        let tick = records.iter().find(|r| r.name == "tick").unwrap();
+        assert!(tick.duration_ns >= 2_000_000, "{}", tick.duration_ns);
+        assert_eq!(fmt_ns(512), "512ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

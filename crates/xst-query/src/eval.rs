@@ -59,6 +59,20 @@ impl OpKind {
             OpKind::Cross => "cross",
         }
     }
+
+    /// Trace-span name for this family's evaluator site.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            OpKind::Union => "eval.union",
+            OpKind::Intersect => "eval.intersect",
+            OpKind::Difference => "eval.difference",
+            OpKind::Restrict => "eval.restrict",
+            OpKind::Domain => "eval.domain",
+            OpKind::Image => "eval.image",
+            OpKind::RelProduct => "eval.rel_product",
+            OpKind::Cross => "eval.cross",
+        }
+    }
 }
 
 /// Accumulated execution profile of one operator family.
@@ -140,8 +154,13 @@ pub fn eval_parallel(
     bindings: &Bindings,
     par: &Parallelism,
 ) -> XstResult<(ExtendedSet, EvalStats)> {
+    let mut span = xst_obs::span!("query.eval", threads = par.threads);
     let mut stats = EvalStats::default();
     let result = eval_with_stats(expr, bindings, &mut stats, par)?;
+    if span.id().is_some() {
+        span.attr("nodes", stats.nodes);
+        span.attr("rows_out", result.card());
+    }
     // A non-leaf root was counted as intermediate inside the recursion;
     // correct it (leaf roots were never counted).
     if !matches!(expr, Expr::Literal(_) | Expr::Table(_)) {
@@ -160,8 +179,14 @@ fn timed<F: FnOnce() -> ExtendedSet>(
     card: usize,
     run: F,
 ) -> ExtendedSet {
+    let mut span = xst_obs::SpanGuard::new(kind.span_name());
     let started = Instant::now();
     let out = run();
+    if span.id().is_some() {
+        span.attr("card_in", card);
+        span.attr("rows_out", out.card());
+    }
+    drop(span);
     let slot = &mut stats.per_op[kind as usize];
     slot.invocations += 1;
     slot.wall_nanos += started.elapsed().as_nanos() as u64;
@@ -249,8 +274,14 @@ fn eval_with_stats(
         Expr::Cross(a, b) => {
             let x = eval_with_stats(a, bindings, stats, par)?;
             let y = eval_with_stats(b, bindings, stats, par)?;
+            let mut span = xst_obs::SpanGuard::new(OpKind::Cross.span_name());
             let started = Instant::now();
             let out = cross(&x, &y)?;
+            if span.id().is_some() {
+                span.attr("card_in", x.card() + y.card());
+                span.attr("rows_out", out.card());
+            }
+            drop(span);
             let slot = &mut stats.per_op[OpKind::Cross as usize];
             slot.invocations += 1;
             slot.wall_nanos += started.elapsed().as_nanos() as u64;

@@ -1,0 +1,311 @@
+//! `EXPLAIN ANALYZE`: optimize, execute, and report where the time went.
+//!
+//! [`explain_analyze`] runs the optimizer (recording every rule firing),
+//! then executes the rewritten plan through the same parallel kernels as
+//! [`eval_parallel`](crate::eval::eval_parallel) while building a
+//! [`PlanNode`] tree: one node per operator carrying its inclusive
+//! wall-time and output cardinality. The rendered report is the shell's
+//! `.explain` output — the optimizer trace shows *why* the plan looks the
+//! way it does, the tree shows *what it cost* to run.
+//!
+//! The analyzed execution must be indistinguishable from the ordinary
+//! evaluator on every input; `tests/observability.rs` drives both against
+//! random expressions and asserts identical results.
+
+use crate::expr::{Bindings, Expr};
+use crate::optimizer::{Optimizer, Trace};
+use std::fmt;
+use std::time::Instant;
+use xst_core::ops::{
+    cross, difference, par_image, par_intersection, par_relative_product, par_sigma_restrict,
+    par_union, sigma_domain, Parallelism,
+};
+use xst_core::{ExtendedSet, XstError, XstResult};
+use xst_obs::span::fmt_ns;
+
+/// One executed operator in an analyzed plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// Operator label (`"image"`, `"table f"`, ...).
+    pub op: String,
+    /// Output cardinality.
+    pub rows_out: u64,
+    /// Inclusive wall-time (children included).
+    pub total_ns: u64,
+    /// Input subtrees, in operand order.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Wall-time spent in this operator alone (children subtracted).
+    pub fn self_ns(&self) -> u64 {
+        let kids: u64 = self.children.iter().map(|c| c.total_ns).sum();
+        self.total_ns.saturating_sub(kids)
+    }
+
+    /// Input cardinality: the sum of the children's outputs.
+    pub fn rows_in(&self) -> u64 {
+        self.children.iter().map(|c| c.rows_out).sum()
+    }
+
+    /// Operator count in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+
+    fn render_into(&self, prefix: &str, last: bool, top: bool, out: &mut String) {
+        let (branch, next_prefix) = if top {
+            (String::new(), String::new())
+        } else if last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let timing = if self.children.is_empty() {
+            fmt_ns(self.total_ns)
+        } else {
+            format!(
+                "{} (self {})",
+                fmt_ns(self.total_ns),
+                fmt_ns(self.self_ns())
+            )
+        };
+        out.push_str(&format!(
+            "{branch}{}  {timing}  rows={}\n",
+            self.op, self.rows_out
+        ));
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(&next_prefix, i + 1 == self.children.len(), false, out);
+        }
+    }
+}
+
+/// The full product of one `EXPLAIN ANALYZE` run.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyze {
+    /// The optimized plan that actually executed.
+    pub plan: Expr,
+    /// Every optimizer rule firing, in order.
+    pub rewrites: Trace,
+    /// Per-operator execution tree.
+    pub root: PlanNode,
+    /// The query result (identical to what `eval_parallel` returns).
+    pub result: ExtendedSet,
+    /// End-to-end execution wall-time (optimization excluded).
+    pub total_ns: u64,
+}
+
+impl fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan: {}", self.plan)?;
+        if self.rewrites.is_empty() {
+            writeln!(f, "rewrites: none")?;
+        } else {
+            writeln!(f, "rewrites:")?;
+            for entry in &self.rewrites {
+                writeln!(f, "  - {entry}")?;
+            }
+        }
+        writeln!(f, "operators:")?;
+        let mut tree = String::new();
+        self.root.render_into("  ", true, false, &mut tree);
+        f.write_str(&tree)?;
+        write!(
+            f,
+            "total: {}, {} result members",
+            fmt_ns(self.total_ns),
+            self.result.card()
+        )
+    }
+}
+
+/// Optimize `expr`, execute the rewritten plan, and report per-operator
+/// wall-time and cardinalities alongside the optimizer trace.
+pub fn explain_analyze(
+    expr: &Expr,
+    bindings: &Bindings,
+    par: &Parallelism,
+) -> XstResult<ExplainAnalyze> {
+    let mut span = xst_obs::span!("query.explain_analyze", threads = par.threads);
+    let (plan, rewrites) = Optimizer::new().optimize(expr);
+    let started = Instant::now();
+    let (result, root) = run(&plan, bindings, par)?;
+    let total_ns = started.elapsed().as_nanos() as u64;
+    if span.id().is_some() {
+        span.attr("operators", root.size());
+        span.attr("rows_out", result.card());
+    }
+    Ok(ExplainAnalyze {
+        plan,
+        rewrites,
+        root,
+        result,
+        total_ns,
+    })
+}
+
+/// Execute one node, timing it inclusively and collecting child nodes.
+/// Mirrors `eval_with_stats` operator-for-operator — the kernels are the
+/// same, only the bookkeeping differs.
+fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(ExtendedSet, PlanNode)> {
+    let started = Instant::now();
+    let (op, result, children) = match expr {
+        Expr::Literal(s) => ("literal".to_string(), s.clone(), Vec::new()),
+        Expr::Table(name) => {
+            let s = bindings
+                .get(name)
+                .cloned()
+                .ok_or_else(|| XstError::NotComposable {
+                    reason: format!("unbound table {name}"),
+                })?;
+            (format!("table {name}"), s, Vec::new())
+        }
+        Expr::Union(a, b) => {
+            let (x, na) = run(a, bindings, par)?;
+            let (y, nb) = run(b, bindings, par)?;
+            ("union".to_string(), par_union(&x, &y, par), vec![na, nb])
+        }
+        Expr::Intersect(a, b) => {
+            let (x, na) = run(a, bindings, par)?;
+            let (y, nb) = run(b, bindings, par)?;
+            (
+                "intersect".to_string(),
+                par_intersection(&x, &y, par),
+                vec![na, nb],
+            )
+        }
+        Expr::Difference(a, b) => {
+            let (x, na) = run(a, bindings, par)?;
+            let (y, nb) = run(b, bindings, par)?;
+            ("difference".to_string(), difference(&x, &y), vec![na, nb])
+        }
+        Expr::Restrict { r, sigma, a } => {
+            let (rs, nr) = run(r, bindings, par)?;
+            let (av, na) = run(a, bindings, par)?;
+            (
+                "restrict".to_string(),
+                par_sigma_restrict(&rs, sigma, &av, par),
+                vec![nr, na],
+            )
+        }
+        Expr::Domain { r, sigma } => {
+            let (rs, nr) = run(r, bindings, par)?;
+            ("domain".to_string(), sigma_domain(&rs, sigma), vec![nr])
+        }
+        Expr::Image { r, a, scope } => {
+            let (rs, nr) = run(r, bindings, par)?;
+            let (av, na) = run(a, bindings, par)?;
+            (
+                "image".to_string(),
+                par_image(&rs, &av, scope, par),
+                vec![nr, na],
+            )
+        }
+        Expr::RelProduct { f, sigma, g, omega } => {
+            let (fs, nf) = run(f, bindings, par)?;
+            let (gs, ng) = run(g, bindings, par)?;
+            (
+                "rel_product".to_string(),
+                par_relative_product(&fs, sigma, &gs, omega, par),
+                vec![nf, ng],
+            )
+        }
+        Expr::Cross(a, b) => {
+            let (x, na) = run(a, bindings, par)?;
+            let (y, nb) = run(b, bindings, par)?;
+            ("cross".to_string(), cross(&x, &y)?, vec![na, nb])
+        }
+    };
+    let node = PlanNode {
+        op,
+        rows_out: result.card() as u64,
+        total_ns: started.elapsed().as_nanos() as u64,
+        children,
+    };
+    Ok((result, node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_parallel;
+    use xst_core::{xset, xtuple, Scope};
+
+    fn env() -> Bindings {
+        let f = xset![
+            ExtendedSet::pair("a", "x").into_value(),
+            ExtendedSet::pair("b", "y").into_value(),
+            ExtendedSet::pair("c", "x").into_value()
+        ];
+        let a = xset![xtuple!["a"].into_value()];
+        [("f".to_string(), f), ("a".to_string(), a)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn analyzed_execution_matches_eval() {
+        let env = env();
+        let e = Expr::table("f")
+            .restrict(xtuple![1], Expr::table("a"))
+            .domain(xtuple![2]);
+        let par = Parallelism::sequential();
+        let (expect, _) = eval_parallel(&e, &env, &par).unwrap();
+        let report = explain_analyze(&e, &env, &par).unwrap();
+        assert_eq!(report.result, expect);
+        // The two-pass expression fuses to a single image operator.
+        assert!(matches!(report.plan, Expr::Image { .. }));
+        assert!(report.rewrites.iter().any(|t| t.rule == "image-fusion"));
+        assert_eq!(report.root.op, "image");
+        assert_eq!(report.root.rows_out, 1);
+        assert_eq!(report.root.children.len(), 2);
+        assert_eq!(report.root.rows_in(), 4, "table f (3) + table a (1)");
+    }
+
+    #[test]
+    fn report_renders_tree_times_and_cardinalities() {
+        let env = env();
+        let e = Expr::table("f").image(Expr::table("a"), Scope::pairs());
+        let report = explain_analyze(&e, &env, &Parallelism::sequential()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("plan:"), "{text}");
+        assert!(text.contains("rewrites: none"), "{text}");
+        assert!(text.contains("image"), "{text}");
+        assert!(text.contains("└─ table a"), "{text}");
+        assert!(text.contains("rows=1"), "{text}");
+        assert!(text.contains("self"), "{text}");
+        assert!(text.contains("result members"), "{text}");
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let node = PlanNode {
+            op: "union".into(),
+            rows_out: 10,
+            total_ns: 1_000,
+            children: vec![
+                PlanNode {
+                    op: "table x".into(),
+                    rows_out: 6,
+                    total_ns: 300,
+                    children: Vec::new(),
+                },
+                PlanNode {
+                    op: "table y".into(),
+                    rows_out: 4,
+                    total_ns: 200,
+                    children: Vec::new(),
+                },
+            ],
+        };
+        assert_eq!(node.self_ns(), 500);
+        assert_eq!(node.rows_in(), 10);
+        assert_eq!(node.size(), 3);
+    }
+
+    #[test]
+    fn unbound_tables_error_like_eval() {
+        let e = Expr::table("missing").domain(xtuple![1]);
+        assert!(explain_analyze(&e, &Bindings::new(), &Parallelism::sequential()).is_err());
+    }
+}

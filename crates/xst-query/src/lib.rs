@@ -11,6 +11,8 @@
 //!   Theorem 11.2);
 //! * [`optimizer`] — a fixpoint rule driver whose trace doubles as
 //!   `EXPLAIN` output;
+//! * [`mod@explain`] — `EXPLAIN ANALYZE`: optimize, execute, and render a
+//!   per-operator tree of wall-times and cardinalities;
 //! * [`cost`] — cardinality/work estimation used to sanity-check rewrites.
 
 #![warn(missing_docs)]
@@ -18,12 +20,14 @@
 
 pub mod cost;
 pub mod eval;
+pub mod explain;
 pub mod expr;
 pub mod optimizer;
 pub mod rules;
 
 pub use cost::{estimate, estimated_work, StatsSource, TableStats, DEFAULT_SELECTIVITY};
 pub use eval::{eval, eval_counted, eval_parallel, EvalStats, OpKind, OpStat};
+pub use explain::{explain_analyze, ExplainAnalyze, PlanNode};
 pub use expr::{Bindings, Expr};
 pub use optimizer::{explain, Optimizer, Trace, TraceEntry};
 pub use rules::{default_rules, spec_compose, Rule};

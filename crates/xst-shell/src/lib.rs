@@ -15,26 +15,80 @@
 //!
 //! Operands are either bound names or inline set literals in the crate's
 //! textual notation; the parser figures out which.
+//!
+//! Observability commands (see the README's "Observability" section):
+//!
+//! ```text
+//! .explain <op> ...     optimize + execute, print the per-operator tree
+//! .metrics [json]       metrics exposition (Prometheus text or JSON)
+//! .metrics reset        zero every registered series
+//! .trace on|off|show    toggle the collector / render collected spans
+//! .store NAME           persist a binding through the WAL + buffer pool
+//! .load NAME as NEW     read it back through the pool into NEW
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use xst_core::ops::{
     difference, image, intersection, pair_compose, sigma_domain, sigma_restrict,
-    transitive_closure, union,
+    transitive_closure, union, Parallelism,
 };
 use xst_core::parse::parse_set;
-use xst_core::{ExtendedSet, Process, Scope, XstError, XstResult};
+use xst_core::{ExtendedSet, Process, Scope, SetBuilder, XstError, XstResult};
+use xst_query::{explain_analyze, Expr};
+use xst_storage::{BufferPool, LoggedTable, Record, Schema, Wal};
+
+/// Persistent backing for `.store`/`.load`: one simulated disk, one buffer
+/// pool, one shared WAL, and the tables stored so far. Created lazily on
+/// the first storage command.
+struct Store {
+    pool: BufferPool,
+    wal: Wal,
+    tables: BTreeMap<String, LoggedTable>,
+}
+
+/// Pool capacity for the shell's storage demo — small enough that a
+/// multi-page table forces real misses and evictions into the metrics.
+const SHELL_POOL_PAGES: usize = 8;
+
+impl Store {
+    fn new() -> Store {
+        Store {
+            pool: BufferPool::new(xst_storage::Storage::new(), SHELL_POOL_PAGES),
+            wal: Wal::new(),
+            tables: BTreeMap::new(),
+        }
+    }
+}
+
+/// Schema under every stored binding: one row per member, element and
+/// scope as the two columns.
+fn member_schema() -> Schema {
+    Schema::new(["element", "scope"])
+}
 
 /// An interactive session: named set bindings plus command evaluation.
-#[derive(Default)]
 pub struct Session {
     bindings: BTreeMap<String, ExtendedSet>,
+    store: Option<Store>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
 }
 
 impl Session {
-    /// Fresh session with no bindings.
+    /// Fresh session with no bindings. Turns the observability collector
+    /// on so `.metrics` and `.explain` see every operation; `.trace off`
+    /// turns it back off.
     pub fn new() -> Session {
-        Session::default()
+        xst_obs::enable();
+        Session {
+            bindings: BTreeMap::new(),
+            store: None,
+        }
     }
 
     /// Look up a binding.
@@ -116,9 +170,184 @@ impl Session {
                 let f = self.operand(&parts.rest()?)?;
                 Process::pairs(f).is_function().to_string()
             }
+            ".explain" => self.explain(&mut parts)?,
+            ".metrics" => self.metrics(parts.rest_opt().as_deref())?,
+            ".trace" => self.trace(&parts.rest()?)?,
+            ".store" => self.store_binding(&parts.rest()?)?,
+            ".load" => {
+                let name = parts.next_operand()?;
+                let kw = parts.next_operand()?;
+                if !kw.eq_ignore_ascii_case("as") {
+                    return Err(err("usage: .load NAME as NEW"));
+                }
+                self.load_binding(&name, &parts.rest()?)?
+            }
             other => return Err(err(format!("unknown command '{other}' (try 'help')"))),
         };
         Ok(Some(out))
+    }
+
+    /// `.explain <op> ...` — build the [`Expr`] a command form denotes,
+    /// optimize + execute it, and render the per-operator tree.
+    fn explain(&self, parts: &mut Tokens) -> XstResult<String> {
+        let op = parts.next_word()?;
+        let expr = match op.as_str() {
+            "union" | "intersect" | "difference" | "cross" => {
+                let a = self.expr_operand(&parts.next_operand()?)?;
+                let b = self.expr_operand(&parts.rest()?)?;
+                match op.as_str() {
+                    "union" => a.union(b),
+                    "intersect" => a.intersect(b),
+                    "difference" => a.difference(b),
+                    _ => a.cross(b),
+                }
+            }
+            "domain" => {
+                let r = self.expr_operand(&parts.next_operand()?)?;
+                let spec = self.operand(&parts.rest()?)?;
+                r.domain(spec)
+            }
+            "restrict" => {
+                let r = self.expr_operand(&parts.next_operand()?)?;
+                let spec = self.operand(&parts.next_operand()?)?;
+                let a = self.expr_operand(&parts.rest()?)?;
+                r.restrict(spec, a)
+            }
+            "image" => {
+                let r = self.expr_operand(&parts.next_operand()?)?;
+                let a = self.expr_operand(&parts.next_operand()?)?;
+                let s1 = self.operand(&parts.next_operand()?)?;
+                let s2 = self.operand(&parts.rest()?)?;
+                r.image(a, Scope::new(s1, s2))
+            }
+            other => {
+                return Err(err(format!(
+                "cannot explain '{other}' (union/intersect/difference/cross/domain/restrict/image)"
+            )))
+            }
+        };
+        let report = explain_analyze(&expr, &self.bindings, &Parallelism::available())?;
+        Ok(report.to_string())
+    }
+
+    /// `.metrics [json|reset]`.
+    fn metrics(&self, arg: Option<&str>) -> XstResult<String> {
+        // Hit ratio is derived, not accumulated: refresh it at print time.
+        if let Some(store) = &self.store {
+            store.pool.publish_metrics();
+        }
+        match arg {
+            None => Ok(xst_obs::registry().export_prometheus()),
+            Some("json") => Ok(xst_obs::registry().export_json()),
+            Some("reset") => {
+                xst_obs::registry().reset();
+                if let Some(store) = &self.store {
+                    store.pool.reset_stats();
+                }
+                Ok("metrics reset".to_string())
+            }
+            Some(other) => Err(err(format!("usage: .metrics [json|reset], got '{other}'"))),
+        }
+    }
+
+    /// `.trace on|off|show`.
+    fn trace(&self, arg: &str) -> XstResult<String> {
+        match arg {
+            "on" => {
+                xst_obs::enable();
+                Ok("collector on".to_string())
+            }
+            "off" => {
+                // One global switch gates spans AND metrics — that is the
+                // whole point of the single-atomic-load fast path.
+                xst_obs::disable();
+                Ok("collector off (spans and metrics)".to_string())
+            }
+            "show" => {
+                let records = xst_obs::collector().take_spans();
+                if records.is_empty() {
+                    return Ok("no spans collected".to_string());
+                }
+                let forest = xst_obs::span_tree(&records);
+                Ok(xst_obs::span::render_tree(&forest).trim_end().to_string())
+            }
+            other => Err(err(format!("usage: .trace on|off|show, got '{other}'"))),
+        }
+    }
+
+    /// `.store NAME` — append every member of the binding to a fresh
+    /// WAL-logged table (element and scope columns), then checkpoint.
+    fn store_binding(&mut self, name: &str) -> XstResult<String> {
+        let set = self
+            .bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(format!("no binding named '{name}'")))?;
+        let store = self.store.get_or_insert_with(Store::new);
+        let mut table =
+            LoggedTable::create(store.pool.storage(), member_schema(), store.wal.clone());
+        for m in set.members() {
+            table
+                .append(&Record::new([m.element.clone(), m.scope.clone()]))
+                .map_err(storage_err)?;
+        }
+        table.checkpoint().map_err(storage_err)?;
+        let pages = store
+            .pool
+            .storage()
+            .page_count(table.table.file.file_id())
+            .map_err(storage_err)?;
+        store.tables.insert(name.to_string(), table);
+        Ok(format!(
+            "{name} stored: {} members in {pages} pages (wal checkpointed)",
+            set.card()
+        ))
+    }
+
+    /// `.load NAME as NEW` — scan the stored table back through the buffer
+    /// pool and rebuild the extended set under a new binding.
+    fn load_binding(&mut self, name: &str, target: &str) -> XstResult<String> {
+        if target.is_empty() || !target.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(format!("bad binding name '{target}'")));
+        }
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| err("nothing stored yet (use .store NAME)"))?;
+        let table = store
+            .tables
+            .get(name)
+            .ok_or_else(|| err(format!("no stored table '{name}'")))?;
+        let records = table
+            .table
+            .file
+            .read_all(&store.pool)
+            .map_err(storage_err)?;
+        let mut b = SetBuilder::new();
+        for r in &records {
+            let [element, scope] = r.values() else {
+                return Err(err("stored record is not an element/scope pair"));
+            };
+            b.scoped(element.clone(), scope.clone());
+        }
+        let set = b.build();
+        let card = set.card();
+        self.bindings.insert(target.to_string(), set);
+        Ok(format!(
+            "{target} bound from stored {name}: {} records, {card} members",
+            records.len()
+        ))
+    }
+
+    /// Resolve an `.explain` operand: bound names stay symbolic (table
+    /// references the optimizer can reason about), anything else must be a
+    /// set literal.
+    fn expr_operand(&self, text: &str) -> XstResult<Expr> {
+        let text = text.trim();
+        if self.bindings.contains_key(text) {
+            return Ok(Expr::table(text));
+        }
+        self.operand(text).map(Expr::lit)
     }
 
     /// Resolve an operand: a bound name or an inline set literal.
@@ -185,12 +414,17 @@ impl<'a> Tokens<'a> {
 
     /// Everything left on the line as one operand.
     fn rest(&mut self) -> XstResult<String> {
+        self.rest_opt().ok_or_else(|| err("missing operand"))
+    }
+
+    /// Everything left on the line, or `None` when the line is exhausted.
+    fn rest_opt(&mut self) -> Option<String> {
         let out = self.rest.trim().to_string();
         self.rest = "";
         if out.is_empty() {
-            Err(err("missing operand"))
+            None
         } else {
-            Ok(out)
+            Some(out)
         }
     }
 }
@@ -200,6 +434,11 @@ fn err(message: impl Into<String>) -> XstError {
         offset: 0,
         message: message.into(),
     }
+}
+
+/// Storage errors surface as shell errors, not panics.
+fn storage_err(e: xst_storage::StorageError) -> XstError {
+    err(format!("storage: {e}"))
 }
 
 const HELP: &str = "\
@@ -213,6 +452,11 @@ commands:
   compose G F                 pair-relation composition carrier (g ∘ f)
   tc R                        transitive closure of a pair relation
   function? F                 Definition 8.2 test
+observability:
+  .explain OP ...             optimize + execute, per-operator time/rows tree
+  .metrics [json|reset]       metrics exposition · JSON snapshot · zero all
+  .trace on|off|show          collector switch · render collected spans
+  .store NAME · .load NAME as NEW   WAL + buffer-pool round trip
   help · quit";
 
 #[cfg(test)]
@@ -221,6 +465,15 @@ mod tests {
 
     fn run(session: &mut Session, line: &str) -> String {
         session.eval_line(line).unwrap().unwrap_or_default()
+    }
+
+    /// Tests that toggle or depend on the process-global collector state
+    /// take this lock so they cannot interleave.
+    fn obs_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     #[test]
@@ -309,5 +562,81 @@ mod tests {
         for cmd in ["let", "union", "apply", "image", "tc", "function?"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+        for cmd in [".explain", ".metrics", ".trace", ".store"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn explain_renders_operator_tree() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, ⟨c, x⟩}");
+        run(&mut s, "let a = {⟨a⟩}");
+        let report = run(&mut s, ".explain restrict f ⟨1⟩ a");
+        assert!(report.contains("plan:"), "{report}");
+        assert!(report.contains("operators:"), "{report}");
+        assert!(report.contains("rows="), "{report}");
+        assert!(report.contains("table f"), "{report}");
+        assert!(report.contains("total:"), "{report}");
+        // A restrict-then-domain pipeline shows the optimizer fusing.
+        let fused = run(&mut s, ".explain domain {⟨a, x⟩, ⟨b, y⟩} ⟨2⟩");
+        assert!(fused.contains("domain"), "{fused}");
+        assert!(s.eval_line(".explain frobnicate f").is_err());
+    }
+
+    #[test]
+    fn metrics_expose_and_reset() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let a = {1, 2}");
+        run(&mut s, ".explain union a {3}");
+        xst_obs::registry()
+            .counter("shell_test_lines_total", "test series")
+            .inc();
+        let text = run(&mut s, ".metrics");
+        assert!(text.contains("# TYPE"), "{text}");
+        assert!(text.contains("shell_test_lines_total"), "{text}");
+        let json = run(&mut s, ".metrics json");
+        assert!(json.starts_with('{'), "{json}");
+        assert_eq!(run(&mut s, ".metrics reset"), "metrics reset");
+        assert!(s.eval_line(".metrics bogus").is_err());
+    }
+
+    #[test]
+    fn trace_toggles_and_shows_spans() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, ".trace on");
+        xst_obs::collector().clear();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩}");
+        run(&mut s, ".explain image f {⟨a⟩} ⟨1⟩ ⟨2⟩");
+        let shown = run(&mut s, ".trace show");
+        assert!(shown.contains("query.explain_analyze"), "{shown}");
+        assert_eq!(run(&mut s, ".trace show"), "no spans collected");
+        assert!(run(&mut s, ".trace off").contains("off"));
+        run(&mut s, ".trace on");
+        assert!(s.eval_line(".trace sideways").is_err());
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, c^2}");
+        let stored = run(&mut s, ".store f");
+        assert!(stored.contains("3 members"), "{stored}");
+        let loaded = run(&mut s, ".load f as g");
+        assert!(loaded.contains("3 records"), "{loaded}");
+        assert_eq!(run(&mut s, "show g"), run(&mut s, "show f"));
+        // The round trip leaves pool traffic behind for .metrics.
+        let metrics = run(&mut s, ".metrics");
+        assert!(metrics.contains("xst_storage_pool_hit_ratio"), "{metrics}");
+        assert!(metrics.contains("xst_storage_wal_append_ns"), "{metrics}");
+        // Errors: unknown binding, unknown stored table, bad syntax.
+        assert!(s.eval_line(".store nope").is_err());
+        assert!(s.eval_line(".load nope as h").is_err());
+        assert!(s.eval_line(".load f into h").is_err());
+        assert!(s.eval_line(".load f as bad name").is_err());
     }
 }

@@ -14,7 +14,33 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use xst_obs::{registry, Counter, Histogram};
+
+/// Registry prefix for every metric this module emits; reset routing
+/// ([`Storage::reset_stats`], [`BufferPool::reset_stats`]) keys off it.
+pub const STORAGE_METRIC_PREFIX: &str = "xst_storage_";
+
+fn page_read_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "xst_storage_page_read_ns",
+            "Latency of one page read from the simulated disk.",
+        )
+    })
+}
+
+fn page_write_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "xst_storage_page_write_ns",
+            "Latency of one page write (append or overwrite) to the simulated disk.",
+        )
+    })
+}
 
 /// Identifier of a file on the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +66,8 @@ pub struct IoStats {
     pub pool_hits: u64,
     /// Buffer-pool lookups that had to go to disk.
     pub pool_misses: u64,
+    /// Frames pushed out of the pool by LRU pressure.
+    pub pool_evictions: u64,
 }
 
 impl IoStats {
@@ -84,6 +112,7 @@ impl Storage {
     /// Append a page to `file`, returning its page number. Counts one disk
     /// write.
     pub fn append_page(&self, file: FileId, page: &Page) -> StorageResult<usize> {
+        let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
         let f = file_mut(&mut inner.files, file)?;
         let mut frame = Box::new([0u8; PAGE_SIZE]);
@@ -91,11 +120,16 @@ impl Storage {
         f.push(frame);
         let n = f.len() - 1;
         inner.stats.disk_writes += 1;
+        drop(inner);
+        if let Some(t) = timer {
+            page_write_hist().observe_since(t);
+        }
         Ok(n)
     }
 
     /// Overwrite an existing page. Counts one disk write.
     pub fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
         let f = file_mut(&mut inner.files, id.file)?;
         let pages = f.len();
@@ -105,11 +139,16 @@ impl Storage {
         })?;
         frame.copy_from_slice(page.as_bytes());
         inner.stats.disk_writes += 1;
+        drop(inner);
+        if let Some(t) = timer {
+            page_write_hist().observe_since(t);
+        }
         Ok(())
     }
 
     /// Read a page from disk. Counts one disk read.
     pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
         let f = file_ref(&inner.files, id.file)?;
         let frame = f.get(id.page).ok_or(StorageError::PageOutOfRange {
@@ -118,6 +157,10 @@ impl Storage {
         })?;
         let page = Page::from_bytes(&frame[..])?;
         inner.stats.disk_reads += 1;
+        drop(inner);
+        if let Some(t) = timer {
+            page_read_hist().observe_since(t);
+        }
         Ok(page)
     }
 
@@ -125,6 +168,7 @@ impl Storage {
     /// acquisition — the bulk path for scans and parallel loaders, avoiding
     /// per-page lock contention. Counts `hi - lo` disk reads.
     pub fn read_page_range(&self, file: FileId, lo: usize, hi: usize) -> StorageResult<Vec<Page>> {
+        let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
         let f = file_ref(&inner.files, file)?;
         if hi > f.len() || lo > hi {
@@ -138,6 +182,12 @@ impl Storage {
             .map(|frame| Page::from_bytes(&frame[..]))
             .collect();
         inner.stats.disk_reads += (hi - lo) as u64;
+        drop(inner);
+        if let Some(t) = timer {
+            // One observation for the bulk transfer: the histogram tracks
+            // I/O call latency, and a range read is a single call.
+            page_read_hist().observe_since(t);
+        }
         pages
     }
 
@@ -173,9 +223,12 @@ impl Storage {
         }
     }
 
-    /// Zero the counters (pool hit/miss counters live in the pool).
+    /// Zero the counters (pool hit/miss counters live in the pool) and the
+    /// page-I/O series this module registered — local `IoStats` and the
+    /// global registry stay consistent.
     pub fn reset_stats(&self) {
         self.inner.lock().stats = IoStats::default();
+        registry().reset_prefix("xst_storage_page_");
     }
 }
 
@@ -214,15 +267,24 @@ struct ShardFrames {
 }
 
 /// One pool shard: its frame map behind a dedicated lock, plus lock-free
-/// hit/miss counters so `stats()` never has to stop the world.
+/// hit/miss/eviction counters so `stats()` never has to stop the world.
+/// Each shard also holds its registry series (`…{shard="i"}`) so the hot
+/// path records without a registry lookup — the counters gate themselves
+/// on the global collector switch.
 struct Shard {
     frames: Mutex<ShardFrames>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    hits_metric: Arc<Counter>,
+    misses_metric: Arc<Counter>,
+    evictions_metric: Arc<Counter>,
 }
 
 impl Shard {
-    fn empty() -> Shard {
+    fn new(index: usize) -> Shard {
+        let shard = index.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard)];
         Shard {
             frames: Mutex::new(ShardFrames {
                 frames: HashMap::new(),
@@ -230,8 +292,35 @@ impl Shard {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            hits_metric: registry().counter_with(
+                "xst_storage_pool_hits_total",
+                "Buffer-pool lookups served from memory, per shard.",
+                labels,
+            ),
+            misses_metric: registry().counter_with(
+                "xst_storage_pool_misses_total",
+                "Buffer-pool lookups that went to disk, per shard.",
+                labels,
+            ),
+            evictions_metric: registry().counter_with(
+                "xst_storage_pool_evictions_total",
+                "Frames evicted by LRU pressure, per shard.",
+                labels,
+            ),
         }
     }
+}
+
+/// Per-shard counter snapshot (see [`BufferPool::shard_io_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups served from this shard's frames.
+    pub hits: u64,
+    /// Lookups this shard sent to disk.
+    pub misses: u64,
+    /// Frames this shard evicted.
+    pub evictions: u64,
 }
 
 /// Sharded LRU buffer pool in front of a [`Storage`] disk.
@@ -266,7 +355,7 @@ impl BufferPool {
         BufferPool {
             storage,
             shard_capacity: capacity.div_ceil(shards),
-            shards: (0..shards).map(|_| Shard::empty()).collect(),
+            shards: (0..shards).map(Shard::new).collect(),
         }
     }
 
@@ -293,6 +382,7 @@ impl BufferPool {
                 *last = tick;
                 let page = Arc::clone(page);
                 shard.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits_metric.inc();
                 return Ok(page);
             }
         }
@@ -301,12 +391,15 @@ impl BufferPool {
         // are immutable once written through this API.
         let page = Arc::new(self.storage.read_page(id)?);
         shard.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses_metric.inc();
         let mut inner = shard.frames.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if inner.frames.len() >= self.shard_capacity {
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, (_, last))| *last) {
                 inner.frames.remove(&victim);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions_metric.inc();
             }
         }
         inner.frames.insert(id, (Arc::clone(&page), tick));
@@ -323,16 +416,38 @@ impl BufferPool {
     /// Snapshot combined disk + pool counters, aggregated over shards.
     pub fn stats(&self) -> IoStats {
         let disk = self.storage.stats();
-        let (mut hits, mut misses) = (0, 0);
+        let (mut hits, mut misses, mut evictions) = (0, 0, 0);
         for shard in &self.shards {
             hits += shard.hits.load(Ordering::Relaxed);
             misses += shard.misses.load(Ordering::Relaxed);
+            evictions += shard.evictions.load(Ordering::Relaxed);
         }
         IoStats {
             pool_hits: hits,
             pool_misses: misses,
+            pool_evictions: evictions,
             ..disk
         }
+    }
+
+    /// Publish derived pool gauges to the global registry: the aggregate
+    /// hit ratio (`xst_storage_pool_hit_ratio`) and the shard count.
+    /// Ratios are not counters, so exporters call this right before
+    /// rendering (the shell's `.metrics` does).
+    pub fn publish_metrics(&self) {
+        let stats = self.stats();
+        registry()
+            .gauge(
+                "xst_storage_pool_hit_ratio",
+                "Aggregate buffer-pool hit ratio over all shards (0..1).",
+            )
+            .set(stats.hit_ratio().unwrap_or(0.0));
+        registry()
+            .gauge(
+                "xst_storage_pool_shards",
+                "Number of shards in the most recently published pool.",
+            )
+            .set(self.shards.len() as f64);
     }
 
     /// Per-shard `(hits, misses)` counters, in shard order — the E10
@@ -349,13 +464,31 @@ impl BufferPool {
             .collect()
     }
 
-    /// Zero both pool and disk counters.
+    /// Per-shard `(hits, misses, evictions)` snapshots, in shard order.
+    pub fn shard_io_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Zero pool and disk counters in one call — every shard's local
+    /// hit/miss/eviction counters, the disk's transfer counters, and the
+    /// registry series this module owns (`xst_storage_pool_…` and, via
+    /// [`Storage::reset_stats`], `xst_storage_page_…`), so a reset is
+    /// consistent across all three surfaces.
     pub fn reset_stats(&self) {
         self.storage.reset_stats();
         for shard in &self.shards {
             shard.hits.store(0, Ordering::Relaxed);
             shard.misses.store(0, Ordering::Relaxed);
+            shard.evictions.store(0, Ordering::Relaxed);
         }
+        registry().reset_prefix("xst_storage_pool_");
     }
 
     /// The underlying disk.

@@ -40,7 +40,9 @@ pub mod restructure;
 pub mod snapshot;
 pub mod wal;
 
-pub use bufpool::{BufferPool, FileId, IoStats, PageId, Storage};
+pub use bufpool::{
+    BufferPool, FileId, IoStats, PageId, ShardStats, Storage, STORAGE_METRIC_PREFIX,
+};
 pub use colstore::ColumnTable;
 pub use engine::{RecordEngine, SetEngine, Table};
 pub use error::{StorageError, StorageResult};

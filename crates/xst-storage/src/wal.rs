@@ -20,7 +20,49 @@ use crate::record::{Record, Schema};
 use crate::snapshot::crc32;
 use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use xst_obs::{registry, Counter, Histogram};
+
+fn wal_append_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "xst_storage_wal_append_ns",
+            "Latency of one durable WAL append (length + payload + crc).",
+        )
+    })
+}
+
+fn wal_fsync_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "xst_storage_wal_fsync_ns",
+            "Latency of a checkpoint flush (tail-page sync + log truncation), the fsync analog.",
+        )
+    })
+}
+
+fn wal_appends_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            "xst_storage_wal_appends_total",
+            "Records appended to the write-ahead log.",
+        )
+    })
+}
+
+fn wal_bytes_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            "xst_storage_wal_bytes_total",
+            "Payload bytes appended to the write-ahead log (framing excluded).",
+        )
+    })
+}
 
 /// A shared, append-only log living outside the page store (as a real WAL
 /// lives on a separate device).
@@ -38,10 +80,17 @@ impl Wal {
     /// Append one record payload, fsync-equivalent (immediately durable in
     /// the simulation).
     pub fn append(&self, payload: &[u8]) {
+        let timer = xst_obs::enabled().then(Instant::now);
         let mut buf = self.buf.lock();
         buf.put_u32_le(payload.len() as u32);
         buf.put_slice(payload);
         buf.put_u32_le(crc32(payload));
+        drop(buf);
+        if let Some(t) = timer {
+            wal_append_hist().observe_since(t);
+            wal_appends_total().inc();
+            wal_bytes_total().add(payload.len() as u64);
+        }
     }
 
     /// Total log bytes.
@@ -121,8 +170,12 @@ impl LoggedTable {
 
     /// Checkpoint: flush the tail page and truncate the log.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
+        let timer = xst_obs::enabled().then(Instant::now);
         self.table.file.sync()?;
         self.wal.reset();
+        if let Some(t) = timer {
+            wal_fsync_hist().observe_since(t);
+        }
         Ok(())
     }
 

@@ -1,0 +1,252 @@
+//! Cross-crate observability integration: the span collector, the metrics
+//! registry, and EXPLAIN ANALYZE are exercised through the public surface
+//! of every layer at once — query evaluation over core kernels, the
+//! storage path behind the shell's `.store`/`.load`, and the exposition
+//! formats the shell prints.
+//!
+//! The collector switch and the registry are process-global, so every test
+//! here serializes on one mutex and leaves the collector enabled and
+//! drained on exit.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use xst_core::ops::Parallelism;
+use xst_core::{xtuple, ExtendedSet, Scope, Value};
+use xst_query::{eval_parallel, explain_analyze, Bindings, Expr};
+use xst_shell::Session;
+
+/// Global-state lock: spans and metrics land in process-wide sinks, so
+/// tests that toggle or read them must not interleave.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A deterministic scoped set: `n` members over a colliding element domain.
+fn scoped(n: i64, stride: i64) -> ExtendedSet {
+    ExtendedSet::from_pairs((0..n).map(|i| (Value::Int((i * stride) % (2 * n)), Value::Int(i % 5))))
+}
+
+/// A classical relation of `n` pairs over a small key domain.
+fn pairs(n: i64) -> ExtendedSet {
+    ExtendedSet::classical((0..n).map(|i| {
+        Value::Set(ExtendedSet::pair(
+            Value::Int(i % 20),
+            Value::Int((i * 3) % 20),
+        ))
+    }))
+}
+
+fn env() -> Bindings {
+    [
+        ("s1".to_string(), scoped(400, 3)),
+        ("s2".to_string(), scoped(400, 7)),
+        ("r".to_string(), pairs(120)),
+        ("probe".to_string(), pairs(6)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Every operator shape the analyzed executor supports, as used below.
+fn shapes() -> Vec<Expr> {
+    vec![
+        Expr::table("s1").union(Expr::table("s2")),
+        Expr::table("s1")
+            .union(Expr::table("s2"))
+            .intersect(Expr::table("s1")),
+        Expr::table("s1").difference(Expr::table("s2")),
+        Expr::table("r").domain(xtuple![2]),
+        Expr::table("r").restrict(xtuple![1], Expr::table("probe")),
+        Expr::table("r").image(Expr::table("probe"), Scope::pairs()),
+        Expr::table("r").rel_product(Scope::pairs(), Expr::table("r"), Scope::pairs()),
+        Expr::lit(scoped(24, 5)).cross(Expr::lit(scoped(24, 11))),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE is a second executor: it must agree with eval_parallel.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explain_analyze_matches_eval_parallel_across_shapes() {
+    let _g = obs_lock();
+    let env = env();
+    for threads in [1, 4] {
+        let par = Parallelism::new(threads).with_threshold(1);
+        for expr in shapes() {
+            let (expect, _) = eval_parallel(&expr, &env, &par).unwrap();
+            let report = explain_analyze(&expr, &env, &par).unwrap();
+            assert_eq!(
+                report.result, expect,
+                "threads={threads}, expr={expr:?}: analyzed execution diverged"
+            );
+            assert_eq!(report.root.rows_out, expect.card() as u64);
+            let text = report.to_string();
+            assert!(text.contains("operators:"), "{text}");
+            assert!(text.contains("rows="), "{text}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans nest across crate boundaries: query.eval → eval.* → par.*.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spans_nest_across_query_and_core_layers() {
+    let _g = obs_lock();
+    xst_obs::enable();
+    xst_obs::collector().take_spans();
+
+    let env = env();
+    let par = Parallelism::new(2).with_threshold(1);
+    let expr = Expr::table("s1")
+        .union(Expr::table("s2"))
+        .intersect(Expr::table("s1"));
+    eval_parallel(&expr, &env, &par).unwrap();
+
+    let spans = xst_obs::collector().take_spans();
+    let name_of = |id: u64| spans.iter().find(|s| s.id == id).map(|s| s.name);
+    let find = |name: &str| spans.iter().find(|s| s.name == name);
+
+    let root = find("query.eval").expect("query.eval span recorded");
+    assert!(root.parent.is_none(), "query.eval is a root span");
+    for kernel in ["par.union", "par.intersection"] {
+        let span = find(kernel).unwrap_or_else(|| panic!("{kernel} span recorded"));
+        // Walk the parent chain back to the query root: the core kernel's
+        // span must sit underneath the query layer's operator span.
+        let mut chain = Vec::new();
+        let mut cur = span.parent;
+        while let Some(pid) = cur {
+            let parent = spans.iter().find(|s| s.id == pid).expect("parent recorded");
+            chain.push(parent.name);
+            cur = parent.parent;
+        }
+        assert_eq!(
+            chain.last().copied(),
+            Some("query.eval"),
+            "{kernel}: {chain:?}"
+        );
+        assert!(
+            chain.iter().any(|n| n.starts_with("eval.")),
+            "{kernel} not under an operator span: {chain:?} (names: {:?})",
+            spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+        assert!(
+            span.attrs.iter().any(|(k, _)| *k == "chunks"),
+            "fan-out attr"
+        );
+        let _ = name_of(span.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The disabled path is inert: no spans buffered, no counter movement.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_collector_records_nothing_anywhere() {
+    let _g = obs_lock();
+    let probe = xst_obs::registry().counter("obs_itest_probe_total", "integration probe");
+    xst_obs::disable();
+    xst_obs::collector().take_spans();
+    let before = probe.get();
+
+    probe.inc();
+    let env = env();
+    let par = Parallelism::new(2).with_threshold(1);
+    for expr in shapes() {
+        eval_parallel(&expr, &env, &par).unwrap();
+    }
+
+    assert!(
+        xst_obs::collector().is_empty(),
+        "spans recorded while disabled"
+    );
+    assert_eq!(probe.get(), before, "counter moved while disabled");
+    xst_obs::enable();
+}
+
+// ---------------------------------------------------------------------------
+// The shell end to end: .explain, .store/.load, .metrics exposition.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shell_explain_store_and_metrics_flow() {
+    let _g = obs_lock();
+    let mut s = Session::new();
+    let run = |s: &mut Session, line: &str| -> String {
+        s.eval_line(line)
+            .unwrap_or_else(|e| panic!("'{line}' failed: {e}"))
+            .unwrap_or_default()
+    };
+
+    run(&mut s, "let s1 = {a^1, b^2, c}");
+    run(&mut s, "let s2 = {b^2, d}");
+
+    let report = run(&mut s, ".explain union s1 s2");
+    assert!(report.contains("operators:"), "{report}");
+    assert!(report.contains("union"), "{report}");
+    assert!(report.contains("rows=3"), "{report}");
+    assert!(report.contains("result members"), "{report}");
+
+    run(&mut s, ".store s1");
+    let loaded = run(&mut s, ".load s1 as t1");
+    assert!(loaded.contains("t1"), "{loaded}");
+    assert_eq!(run(&mut s, "union t1 s2"), run(&mut s, "union s1 s2"));
+
+    let text = run(&mut s, ".metrics");
+    for family in [
+        "xst_storage_pool_hit_ratio",
+        "xst_storage_pool_hits_total",
+        "xst_storage_wal_append_ns_bucket",
+        "xst_storage_page_write_ns_bucket",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+
+    let json = run(&mut s, ".metrics json");
+    assert!(json.contains("\"xst_storage_pool_hit_ratio\""), "{json}");
+
+    // Reset must zero the storage families it owns: a fresh exposition
+    // shows the counters again only after new traffic.
+    assert_eq!(run(&mut s, ".metrics reset"), "metrics reset");
+    let text = run(&mut s, ".metrics");
+    let hits_zeroed = text
+        .lines()
+        .filter(|l| l.starts_with("xst_storage_pool_hits_total"))
+        .all(|l| l.ends_with(" 0"));
+    assert!(hits_zeroed, "hit counters survive reset:\n{text}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace toggling through the shell switches the whole process.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shell_trace_show_renders_cross_layer_spans() {
+    let _g = obs_lock();
+    let mut s = Session::new();
+    let run = |s: &mut Session, line: &str| -> String {
+        s.eval_line(line)
+            .unwrap_or_else(|e| panic!("'{line}' failed: {e}"))
+            .unwrap_or_default()
+    };
+
+    run(&mut s, ".trace on");
+    run(&mut s, "let a = {1, 2, 3}");
+    run(&mut s, ".explain union a {4}");
+    let shown = run(&mut s, ".trace show");
+    assert!(shown.contains("query.explain_analyze"), "{shown}");
+
+    // Showing drains the buffer; a second show is empty.
+    assert_eq!(run(&mut s, ".trace show"), "no spans collected");
+
+    run(&mut s, ".trace off");
+    run(&mut s, "union a {5}");
+    run(&mut s, ".trace on");
+    assert_eq!(run(&mut s, ".trace show"), "no spans collected");
+}
