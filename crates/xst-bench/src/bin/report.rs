@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (currently E12) are also
+//! Experiments that produce structured numbers (E12 and E13) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -99,11 +99,21 @@ fn main() {
         let n = if quick { 10_000 } else { 50_000 };
         print!("{}", exp::e11_sharded_pool(n, &[1, 2, 4, 8], 4));
     }
+    let mut json_entries = Vec::new();
     if want("e12") {
         let (n, iters) = if quick { (1_000, 7) } else { (5_000, 15) };
         let (table, entries) = exp::e12_obs_overhead(n, iters);
         print!("{table}");
-        let json = report_json::render_json(&entries, xst_bench::data::SEED);
+        json_entries.extend(entries);
+    }
+    if want("e13") {
+        let (n, iters) = if quick { (2_000, 7) } else { (10_000, 15) };
+        let (table, entries) = exp::e13_fault_overhead(n, iters);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if !json_entries.is_empty() {
+        let json = report_json::render_json(&json_entries, xst_bench::data::SEED);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {}", path),

@@ -23,6 +23,7 @@
 //! .metrics [json]       metrics exposition (Prometheus text or JSON)
 //! .metrics reset        zero every registered series
 //! .trace on|off|show    toggle the collector / render collected spans
+//! .faults on|off|status deterministic fault injection on the store's I/O
 //! .store NAME           persist a binding through the WAL + buffer pool
 //! .load NAME as NEW     read it back through the pool into NEW
 //! ```
@@ -36,7 +37,9 @@ use xst_core::ops::{
 use xst_core::parse::parse_set;
 use xst_core::{ExtendedSet, Process, Scope, SetBuilder, XstError, XstResult};
 use xst_query::{explain_analyze, Expr};
-use xst_storage::{BufferPool, LoggedTable, Record, Schema, Wal};
+use xst_storage::{
+    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, Wal,
+};
 
 /// Persistent backing for `.store`/`.load`: one simulated disk, one buffer
 /// pool, one shared WAL, and the tables stored so far. Created lazily on
@@ -45,6 +48,9 @@ struct Store {
     pool: BufferPool,
     wal: Wal,
     tables: BTreeMap<String, LoggedTable>,
+    /// The `.faults` chaos plan, when armed: shared by the disk and the
+    /// WAL so every I/O op numbers one global fault site.
+    faults: Option<FaultPlan>,
 }
 
 /// Pool capacity for the shell's storage demo — small enough that a
@@ -57,6 +63,7 @@ impl Store {
             pool: BufferPool::new(xst_storage::Storage::new(), SHELL_POOL_PAGES),
             wal: Wal::new(),
             tables: BTreeMap::new(),
+            faults: None,
         }
     }
 }
@@ -173,6 +180,7 @@ impl Session {
             ".explain" => self.explain(&mut parts)?,
             ".metrics" => self.metrics(parts.rest_opt().as_deref())?,
             ".trace" => self.trace(&parts.rest()?)?,
+            ".faults" => self.faults(&parts.rest()?)?,
             ".store" => self.store_binding(&parts.rest()?)?,
             ".load" => {
                 let name = parts.next_operand()?;
@@ -272,6 +280,63 @@ impl Session {
                 Ok(xst_obs::span::render_tree(&forest).trim_end().to_string())
             }
             other => Err(err(format!("usage: .trace on|off|show, got '{other}'"))),
+        }
+    }
+
+    /// `.faults on|off|status` — chaos mode for the storage demo: arm a
+    /// deterministic fault plan (every 5th I/O op fails transiently) on the
+    /// store's disk AND its WAL, so `.store`/`.load` exercise the retry
+    /// path for real. The default retry policy absorbs every injection;
+    /// `.metrics` shows the `xst_storage_faults_injected_total` /
+    /// `xst_storage_retries_total` movement it caused.
+    fn faults(&mut self, arg: &str) -> XstResult<String> {
+        match arg {
+            "on" => {
+                let store = self.store.get_or_insert_with(Store::new);
+                let plan = FaultPlan::new(FaultSchedule::EveryNth(5), FaultKind::Transient);
+                store.pool.storage().install_faults(&plan);
+                store.wal.install_faults(&plan);
+                store.faults = Some(plan);
+                Ok("faults armed: every 5th storage/WAL op fails transiently \
+                    (retry absorbs them; see .metrics)"
+                    .to_string())
+            }
+            "off" => {
+                if let Some(store) = &mut self.store {
+                    if let Some(plan) = store.faults.take() {
+                        plan.disarm();
+                        store.pool.storage().clear_faults();
+                        store.wal.clear_faults();
+                    }
+                }
+                Ok("faults disarmed".to_string())
+            }
+            "status" => {
+                let plan = self.store.as_ref().and_then(|s| s.faults.as_ref());
+                let retries = xst_obs::registry()
+                    .counter(
+                        "xst_storage_retries_total",
+                        "Transient storage failures that were retried.",
+                    )
+                    .get();
+                let give_ups = xst_obs::registry()
+                    .counter(
+                        "xst_storage_retry_give_ups_total",
+                        "Operations abandoned after exhausting their retry budget.",
+                    )
+                    .get();
+                Ok(match plan {
+                    Some(p) => format!(
+                        "faults armed ({}, every 5th op): {} sites seen, {} injected; \
+                         retries {retries}, give-ups {give_ups}",
+                        p.kind(),
+                        p.sites_seen(),
+                        p.injected_count()
+                    ),
+                    None => format!("faults off; retries {retries}, give-ups {give_ups}"),
+                })
+            }
+            other => Err(err(format!("usage: .faults on|off|status, got '{other}'"))),
         }
     }
 
@@ -456,6 +521,7 @@ observability:
   .explain OP ...             optimize + execute, per-operator time/rows tree
   .metrics [json|reset]       metrics exposition · JSON snapshot · zero all
   .trace on|off|show          collector switch · render collected spans
+  .faults on|off|status       inject transient I/O faults (retry absorbs them)
   .store NAME · .load NAME as NEW   WAL + buffer-pool round trip
   help · quit";
 
@@ -638,5 +704,27 @@ mod tests {
         assert!(s.eval_line(".load nope as h").is_err());
         assert!(s.eval_line(".load f into h").is_err());
         assert!(s.eval_line(".load f as bad name").is_err());
+    }
+
+    #[test]
+    fn faults_command_injects_and_retry_absorbs() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, c^2, d, e^3}");
+        assert!(run(&mut s, ".faults status").contains("faults off"));
+        assert!(run(&mut s, ".faults on").contains("armed"));
+        // The store/load round trip now runs under injected transient
+        // faults — the default retry policy must absorb every one.
+        let stored = run(&mut s, ".store f");
+        assert!(stored.contains("5 members"), "{stored}");
+        let loaded = run(&mut s, ".load f as g");
+        assert!(loaded.contains("5 records"), "{loaded}");
+        assert_eq!(run(&mut s, "show g"), run(&mut s, "show f"));
+        let status = run(&mut s, ".faults status");
+        assert!(status.contains("armed"), "{status}");
+        assert!(status.contains("injected"), "{status}");
+        assert!(run(&mut s, ".faults off").contains("disarmed"));
+        assert!(run(&mut s, ".faults status").contains("faults off"));
+        assert!(s.eval_line(".faults sideways").is_err());
     }
 }

@@ -8,7 +8,9 @@
 //! numbers from [`IoStats`].
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{FaultPlan, Injection, SiteClass};
 use crate::page::{Page, PAGE_SIZE};
+use crate::retry::{with_retry, RetryPolicy};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -87,6 +89,16 @@ impl IoStats {
 struct StorageInner {
     files: Vec<Vec<Box<[u8; PAGE_SIZE]>>>,
     stats: IoStats,
+    faults: Option<FaultPlan>,
+}
+
+impl StorageInner {
+    /// Claim the next fault site for an operation of `class`, if a plan is
+    /// installed. Called with the disk lock held, so the site numbering is
+    /// exactly the serialized execution order of disk operations.
+    fn check_fault(&self, class: SiteClass) -> Option<Injection> {
+        self.faults.as_ref().and_then(|p| p.check(class))
+    }
 }
 
 /// The simulated disk: page-addressed, I/O-counting, cheaply cloneable
@@ -112,49 +124,129 @@ impl Storage {
     /// Append a page to `file`, returning its page number. Counts one disk
     /// write.
     pub fn append_page(&self, file: FileId, page: &Page) -> StorageResult<usize> {
-        let timer = xst_obs::enabled().then(Instant::now);
-        let mut inner = self.inner.lock();
-        let f = file_mut(&mut inner.files, file)?;
-        let mut frame = Box::new([0u8; PAGE_SIZE]);
-        frame.copy_from_slice(page.as_bytes());
-        f.push(frame);
-        let n = f.len() - 1;
-        inner.stats.disk_writes += 1;
-        drop(inner);
-        if let Some(t) = timer {
-            page_write_hist().observe_since(t);
-        }
-        Ok(n)
+        self.write_page_at_inner(file, None, page, "append_page")
+    }
+
+    /// Write `page` at `page_no`, appending when `page_no` equals the file
+    /// length and overwriting when it is below. The write-target form heap
+    /// files use: after a torn append left garbage at an index, retrying
+    /// the same target *overwrites* the garbage instead of appending a
+    /// duplicate. Counts one disk write.
+    pub fn write_page_at(&self, file: FileId, page_no: usize, page: &Page) -> StorageResult<usize> {
+        self.write_page_at_inner(file, Some(page_no), page, "write_page_at")
     }
 
     /// Overwrite an existing page. Counts one disk write.
     pub fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        // Address validation happens before the fault site is claimed, so
+        // caller bugs are not confused with injected failures.
+        let pages = self.page_count(id.file)?;
+        if id.page >= pages {
+            return Err(StorageError::PageOutOfRange {
+                page: id.page,
+                pages,
+            });
+        }
+        self.write_page_at_inner(id.file, Some(id.page), page, "write_page")
+            .map(|_| ())
+    }
+
+    fn write_page_at_inner(
+        &self,
+        file: FileId,
+        page_no: Option<usize>,
+        page: &Page,
+        op: &'static str,
+    ) -> StorageResult<usize> {
         let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
-        let f = file_mut(&mut inner.files, id.file)?;
-        let pages = f.len();
-        let frame = f.get_mut(id.page).ok_or(StorageError::PageOutOfRange {
-            page: id.page,
-            pages,
-        })?;
-        frame.copy_from_slice(page.as_bytes());
-        inner.stats.disk_writes += 1;
+        let len = file_ref(&inner.files, file)?.len();
+        let target = page_no.unwrap_or(len);
+        if target > len {
+            return Err(StorageError::PageOutOfRange {
+                page: target,
+                pages: len,
+            });
+        }
+        // One numbered fault site per physical page write.
+        let written = match inner.check_fault(SiteClass::Write) {
+            Some(Injection::Transient) => {
+                return Err(StorageError::Transient { op: op.into() });
+            }
+            Some(Injection::Torn(n)) => {
+                // The power-cut shape: a prefix of the frame reaches the
+                // platter, the transfer still reports failure. An appended
+                // torn frame is zero beyond the prefix; an overwritten one
+                // keeps its old suffix (only the first sectors were hit).
+                let keep = n.min(PAGE_SIZE);
+                let f = file_mut(&mut inner.files, file)?;
+                if target == f.len() {
+                    f.push(Box::new([0u8; PAGE_SIZE]));
+                }
+                f[target][..keep].copy_from_slice(&page.as_bytes()[..keep]);
+                inner.stats.disk_writes += 1;
+                return Err(StorageError::Io {
+                    op: op.into(),
+                    reason: format!("torn write: {keep} of {PAGE_SIZE} bytes persisted"),
+                });
+            }
+            Some(_) => {
+                return Err(StorageError::Io {
+                    op: op.into(),
+                    reason: "write failed".into(),
+                });
+            }
+            None => {
+                let f = file_mut(&mut inner.files, file)?;
+                if target == f.len() {
+                    f.push(Box::new([0u8; PAGE_SIZE]));
+                }
+                f[target].copy_from_slice(page.as_bytes());
+                inner.stats.disk_writes += 1;
+                target
+            }
+        };
         drop(inner);
         if let Some(t) = timer {
             page_write_hist().observe_since(t);
         }
-        Ok(())
+        Ok(written)
     }
 
     /// Read a page from disk. Counts one disk read.
     pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
         let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
-        let f = file_ref(&inner.files, id.file)?;
-        let frame = f.get(id.page).ok_or(StorageError::PageOutOfRange {
-            page: id.page,
-            pages: f.len(),
-        })?;
+        {
+            let f = file_ref(&inner.files, id.file)?;
+            if id.page >= f.len() {
+                return Err(StorageError::PageOutOfRange {
+                    page: id.page,
+                    pages: f.len(),
+                });
+            }
+        }
+        match inner.check_fault(SiteClass::Read) {
+            Some(Injection::Transient) => {
+                return Err(StorageError::Transient {
+                    op: "read_page".into(),
+                })
+            }
+            Some(Injection::Short(n)) => {
+                return Err(StorageError::Io {
+                    op: "read_page".into(),
+                    reason: format!("short read: {} of {PAGE_SIZE} bytes", n.min(PAGE_SIZE)),
+                })
+            }
+            Some(_) => {
+                return Err(StorageError::Io {
+                    op: "read_page".into(),
+                    reason: "read failed".into(),
+                })
+            }
+            None => {}
+        }
+        let frame = &file_ref(&inner.files, id.file)?[id.page];
         let page = Page::from_bytes(&frame[..])?;
         inner.stats.disk_reads += 1;
         drop(inner);
@@ -170,13 +262,37 @@ impl Storage {
     pub fn read_page_range(&self, file: FileId, lo: usize, hi: usize) -> StorageResult<Vec<Page>> {
         let timer = xst_obs::enabled().then(Instant::now);
         let mut inner = self.inner.lock();
-        let f = file_ref(&inner.files, file)?;
-        if hi > f.len() || lo > hi {
-            return Err(StorageError::PageOutOfRange {
-                page: hi,
-                pages: f.len(),
-            });
+        {
+            let f = file_ref(&inner.files, file)?;
+            if hi > f.len() || lo > hi {
+                return Err(StorageError::PageOutOfRange {
+                    page: hi,
+                    pages: f.len(),
+                });
+            }
         }
+        // One fault site per bulk call (it is a single I/O submission).
+        match inner.check_fault(SiteClass::Read) {
+            Some(Injection::Transient) => {
+                return Err(StorageError::Transient {
+                    op: "read_page_range".into(),
+                })
+            }
+            Some(Injection::Short(n)) => {
+                return Err(StorageError::Io {
+                    op: "read_page_range".into(),
+                    reason: format!("short read: {n} bytes of a {}-page range", hi - lo),
+                })
+            }
+            Some(_) => {
+                return Err(StorageError::Io {
+                    op: "read_page_range".into(),
+                    reason: "read failed".into(),
+                })
+            }
+            None => {}
+        }
+        let f = file_ref(&inner.files, file)?;
         let pages: StorageResult<Vec<Page>> = f[lo..hi]
             .iter()
             .map(|frame| Page::from_bytes(&frame[..]))
@@ -219,8 +335,20 @@ impl Storage {
             inner: Arc::new(Mutex::new(StorageInner {
                 files,
                 stats: IoStats::default(),
+                faults: None,
             })),
         }
+    }
+
+    /// Install a fault-injection plan: every subsequent disk operation
+    /// claims a numbered site from it. Clones of this disk share the plan.
+    pub fn install_faults(&self, plan: &FaultPlan) {
+        self.inner.lock().faults = Some(plan.clone());
+    }
+
+    /// Remove the installed fault plan, if any (recovery runs fault-free).
+    pub fn clear_faults(&self) {
+        self.inner.lock().faults = None;
     }
 
     /// Zero the counters (pool hit/miss counters live in the pool) and the
@@ -334,6 +462,7 @@ pub struct BufferPool {
     storage: Storage,
     shard_capacity: usize,
     shards: Vec<Shard>,
+    retry: RetryPolicy,
 }
 
 impl BufferPool {
@@ -356,7 +485,20 @@ impl BufferPool {
             storage,
             shard_capacity: capacity.div_ceil(shards),
             shards: (0..shards).map(Shard::new).collect(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replace the retry policy applied to disk reads on the miss path.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> BufferPool {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy this pool applies to disk reads; engines loading
+    /// through the pool reuse it for their own scans.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Number of shards (for experiment reporting).
@@ -388,8 +530,9 @@ impl BufferPool {
         }
         // Miss path: read outside the shard lock is fine for a simulator —
         // worst case we read twice; correctness is unaffected because pages
-        // are immutable once written through this API.
-        let page = Arc::new(self.storage.read_page(id)?);
+        // are immutable once written through this API. Transient disk
+        // failures are absorbed here, under the pool's retry policy.
+        let page = Arc::new(with_retry(&self.retry, || self.storage.read_page(id))?);
         shard.misses.fetch_add(1, Ordering::Relaxed);
         shard.misses_metric.inc();
         let mut inner = shard.frames.lock();
@@ -436,12 +579,14 @@ impl BufferPool {
     /// rendering (the shell's `.metrics` does).
     pub fn publish_metrics(&self) {
         let stats = self.stats();
+        // -1 is the "no traffic yet" sentinel: an idle pool must not read
+        // as a 0% hit rate, which is what a *thrashing* pool reports.
         registry()
             .gauge(
                 "xst_storage_pool_hit_ratio",
-                "Aggregate buffer-pool hit ratio over all shards (0..1).",
+                "Aggregate buffer-pool hit ratio over all shards (0..1; -1 before any traffic).",
             )
-            .set(stats.hit_ratio().unwrap_or(0.0));
+            .set(stats.hit_ratio().unwrap_or(-1.0));
         registry()
             .gauge(
                 "xst_storage_pool_shards",
@@ -668,6 +813,104 @@ mod tests {
         let disk = Storage::new();
         let pool = BufferPool::new(disk, 2);
         assert_eq!(pool.shard_count(), 2, "capacity caps the shard count");
+    }
+
+    #[test]
+    fn write_page_at_appends_then_overwrites() {
+        let disk = Storage::new();
+        let f = disk.create_file();
+        assert_eq!(disk.write_page_at(f, 0, &page_with(b"first")).unwrap(), 0);
+        assert_eq!(disk.write_page_at(f, 1, &page_with(b"second")).unwrap(), 1);
+        disk.write_page_at(f, 0, &page_with(b"patched")).unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 2);
+        let p = disk.read_page(PageId { file: f, page: 0 }).unwrap();
+        assert_eq!(p.get(0).unwrap(), b"patched");
+        // A gap is an address error, not an implicit extension.
+        assert!(matches!(
+            disk.write_page_at(f, 5, &Page::new()),
+            Err(StorageError::PageOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_append_persists_a_partial_frame() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let disk = Storage::new();
+        let f = disk.create_file();
+        let plan = FaultPlan::new(FaultSchedule::AtSite(0), FaultKind::TornWrite(10));
+        disk.install_faults(&plan);
+        let err = disk.append_page(f, &page_with(b"doomed")).unwrap_err();
+        assert!(matches!(err, StorageError::Io { .. }), "{err}");
+        // The partial page IS on disk — damaged: depending on how much of
+        // the slot directory survived it either fails to parse or parses
+        // with a zeroed payload region, but never yields the record.
+        assert_eq!(disk.page_count(f).unwrap(), 1);
+        if let Ok(p) = disk.read_page(PageId { file: f, page: 0 }) {
+            assert_ne!(p.get(0).ok(), Some(&b"doomed"[..]), "payload survived");
+        }
+        // Retrying the same target overwrites the garbage in place.
+        disk.write_page_at(f, 0, &page_with(b"retried")).unwrap();
+        let p = disk.read_page(PageId { file: f, page: 0 }).unwrap();
+        assert_eq!(p.get(0).unwrap(), b"retried");
+        assert_eq!(disk.page_count(f).unwrap(), 1, "no duplicate page");
+        disk.clear_faults();
+    }
+
+    #[test]
+    fn write_fail_persists_nothing() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let disk = Storage::new();
+        let f = disk.create_file();
+        let plan = FaultPlan::new(FaultSchedule::AtSite(0), FaultKind::WriteFail);
+        disk.install_faults(&plan);
+        assert!(disk.append_page(f, &page_with(b"x")).is_err());
+        assert_eq!(disk.page_count(f).unwrap(), 0);
+        disk.clear_faults();
+        disk.append_page(f, &page_with(b"x")).unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn short_and_transient_reads_surface_as_typed_errors() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let disk = Storage::new();
+        let f = disk.create_file();
+        disk.append_page(f, &page_with(b"x")).unwrap();
+        let id = PageId { file: f, page: 0 };
+        let plan = FaultPlan::new(FaultSchedule::EveryNth(1), FaultKind::ShortRead(100));
+        disk.install_faults(&plan);
+        assert!(matches!(disk.read_page(id), Err(StorageError::Io { .. })));
+        let plan = FaultPlan::new(FaultSchedule::EveryNth(1), FaultKind::Transient);
+        disk.install_faults(&plan);
+        assert!(disk.read_page(id).unwrap_err().is_transient());
+        assert!(disk.read_page_range(f, 0, 1).unwrap_err().is_transient());
+        disk.clear_faults();
+        assert_eq!(disk.read_page(id).unwrap().get(0).unwrap(), b"x");
+    }
+
+    #[test]
+    fn pool_retry_absorbs_transient_read_faults() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let disk = Storage::new();
+        let f = disk.create_file();
+        disk.append_page(f, &page_with(b"x")).unwrap();
+        // The first read faults transiently; its retry lands on site 1,
+        // which is clean.
+        let plan = FaultPlan::new(FaultSchedule::AtSite(0), FaultKind::Transient);
+        disk.install_faults(&plan);
+        let pool = BufferPool::new(disk.clone(), 4).with_retry_policy(RetryPolicy::default());
+        let p = pool.get(PageId { file: f, page: 0 }).unwrap();
+        assert_eq!(p.get(0).unwrap(), b"x");
+        assert_eq!(plan.injected_count(), 1);
+        // With retries disabled the same fault surfaces.
+        let bare = BufferPool::new(disk.clone(), 4).with_retry_policy(RetryPolicy::none());
+        bare.clear();
+        disk.install_faults(&FaultPlan::new(
+            FaultSchedule::EveryNth(1),
+            FaultKind::Transient,
+        ));
+        assert!(bare.get(PageId { file: f, page: 0 }).is_err());
+        disk.clear_faults();
     }
 
     #[test]

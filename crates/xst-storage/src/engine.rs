@@ -208,15 +208,21 @@ pub struct SetEngine {
 
 impl SetEngine {
     /// Load `table` once into its set identity (the only scan this engine
-    /// ever performs).
+    /// ever performs). The scan runs under the pool's retry policy: a
+    /// transient failure mid-scan restarts the load from a fresh builder,
+    /// so a retried load never double-counts records.
     pub fn load(table: &Table, pool: &BufferPool) -> StorageResult<SetEngine> {
-        let mut b = SetBuilder::with_capacity(table.file.record_count());
-        table.file.scan(pool, |_, r| {
-            b.classical_elem(Value::Set(r.to_tuple()));
-            Ok(())
+        let policy = pool.retry_policy();
+        let identity = crate::retry::with_retry(&policy, || {
+            let mut b = SetBuilder::with_capacity(table.file.record_count());
+            table.file.scan(pool, |_, r| {
+                b.classical_elem(Value::Set(r.to_tuple()));
+                Ok(())
+            })?;
+            Ok(b.build())
         })?;
         Ok(SetEngine {
-            identity: b.build(),
+            identity,
             schema: table.schema.clone(),
             par: Parallelism::default(),
         })

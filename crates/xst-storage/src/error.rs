@@ -36,8 +36,40 @@ pub enum StorageError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A transient I/O failure: the device hiccuped but retrying the same
+    /// operation may succeed. The only variant [`StorageError::is_transient`]
+    /// reports, and therefore the only one a [`crate::retry::RetryPolicy`]
+    /// will retry.
+    Transient {
+        /// The operation that failed (e.g. `"append_page"`).
+        op: String,
+    },
+    /// A permanent I/O failure: a failed or torn write, or a failed
+    /// fsync-equivalent. Retrying will not help; recovery might.
+    Io {
+        /// The operation that failed.
+        op: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// In-memory state no longer mirrors durable state (e.g. a record was
+    /// acknowledged in the WAL but could not be applied to its heap file).
+    /// The handle is wedged; run [`crate::wal::LoggedTable::recover`].
+    NeedsRecovery {
+        /// Human-readable explanation.
+        reason: String,
+    },
     /// Propagated error from the XST algebra.
     Xst(xst_core::XstError),
+}
+
+impl StorageError {
+    /// True iff retrying the failed operation may succeed. Everything but
+    /// [`StorageError::Transient`] is permanent: corruption, contract
+    /// violations, and hard I/O failures don't heal on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -54,6 +86,13 @@ impl fmt::Display for StorageError {
             }
             StorageError::Corrupt { reason } => write!(f, "corrupt page data: {reason}"),
             StorageError::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
+            StorageError::Transient { op } => {
+                write!(f, "transient i/o failure during {op} (retry may succeed)")
+            }
+            StorageError::Io { op, reason } => write!(f, "i/o failure during {op}: {reason}"),
+            StorageError::NeedsRecovery { reason } => {
+                write!(f, "storage needs recovery: {reason}")
+            }
             StorageError::Xst(e) => write!(f, "xst error: {e}"),
         }
     }
@@ -87,6 +126,30 @@ mod tests {
             reason: "bad tag".into(),
         };
         assert!(e.to_string().contains("bad tag"));
+    }
+
+    #[test]
+    fn transient_classification_is_exact() {
+        let t = StorageError::Transient {
+            op: "read_page".into(),
+        };
+        assert!(t.is_transient());
+        assert!(t.to_string().contains("read_page"));
+        for permanent in [
+            StorageError::Io {
+                op: "append_page".into(),
+                reason: "torn write".into(),
+            },
+            StorageError::NeedsRecovery {
+                reason: "acknowledged record not applied".into(),
+            },
+            StorageError::Corrupt {
+                reason: "bad frame".into(),
+            },
+            StorageError::PageOutOfRange { page: 1, pages: 0 },
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must be permanent");
+        }
     }
 
     #[test]

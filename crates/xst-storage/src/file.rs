@@ -8,6 +8,7 @@ use crate::bufpool::{BufferPool, FileId, PageId, Storage};
 use crate::error::StorageResult;
 use crate::page::Page;
 use crate::record::Record;
+use crate::retry::{with_retry, RetryPolicy};
 
 /// Address of a record inside a heap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,8 +25,12 @@ pub struct HeapFile {
     file: FileId,
     /// Page being filled (not yet flushed).
     tail: Page,
-    tail_dirty: bool,
+    /// Pages flushed to disk so far, tracked locally: page numbering never
+    /// takes the storage lock, and `RecordId`s stay stable across flushes
+    /// by construction.
+    flushed_pages: usize,
     records: usize,
+    retry: RetryPolicy,
 }
 
 impl HeapFile {
@@ -35,9 +40,15 @@ impl HeapFile {
             storage: storage.clone(),
             file: storage.create_file(),
             tail: Page::new(),
-            tail_dirty: false,
+            flushed_pages: 0,
             records: 0,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replace the retry policy applied to tail-page flushes.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The disk file id.
@@ -57,11 +68,9 @@ impl HeapFile {
             self.flush_tail()?;
         }
         let slot = self.tail.insert(&payload)?;
-        self.tail_dirty = true;
         self.records += 1;
-        let flushed = self.storage.page_count(self.file)?;
         Ok(RecordId {
-            page: flushed,
+            page: self.flushed_pages,
             slot,
         })
     }
@@ -76,9 +85,14 @@ impl HeapFile {
 
     fn flush_tail(&mut self) -> StorageResult<()> {
         if self.tail.slot_count() > 0 {
-            self.storage.append_page(self.file, &self.tail)?;
+            // Write *at* the target index rather than appending: if an
+            // earlier attempt tore (partial frame persisted) the retry
+            // overwrites the garbage in place instead of duplicating it.
+            let (storage, file, target, tail) =
+                (&self.storage, self.file, self.flushed_pages, &self.tail);
+            with_retry(&self.retry, || storage.write_page_at(file, target, tail))?;
+            self.flushed_pages += 1;
             self.tail = Page::new();
-            self.tail_dirty = false;
         }
         Ok(())
     }
@@ -90,8 +104,7 @@ impl HeapFile {
 
     /// Total pages, counting the unflushed tail if non-empty.
     pub fn page_count(&self) -> StorageResult<usize> {
-        let flushed = self.storage.page_count(self.file)?;
-        Ok(flushed + usize::from(self.tail.slot_count() > 0))
+        Ok(self.flushed_pages + usize::from(self.tail.slot_count() > 0))
     }
 
     /// Read one flushed page directly from the disk, bypassing any pool
@@ -112,7 +125,7 @@ impl HeapFile {
 
     /// Number of *flushed* pages (excludes the in-memory tail).
     pub fn flushed_page_count(&self) -> StorageResult<usize> {
-        self.storage.page_count(self.file)
+        Ok(self.flushed_pages)
     }
 
     /// Decode the records still sitting in the unflushed tail page.
@@ -122,7 +135,7 @@ impl HeapFile {
 
     /// Fetch one record by address through the pool.
     pub fn get(&self, pool: &BufferPool, rid: RecordId) -> StorageResult<Record> {
-        let flushed = self.storage.page_count(self.file)?;
+        let flushed = self.flushed_pages;
         if rid.page == flushed {
             return Record::decode(self.tail.get(rid.slot)?);
         }
@@ -139,7 +152,7 @@ impl HeapFile {
         pool: &BufferPool,
         mut f: impl FnMut(RecordId, Record) -> StorageResult<()>,
     ) -> StorageResult<()> {
-        let flushed = self.storage.page_count(self.file)?;
+        let flushed = self.flushed_pages;
         for page_no in 0..flushed {
             let page = pool.get(PageId {
                 file: self.file,
@@ -174,7 +187,7 @@ impl HeapFile {
         pages: &[usize],
         mut f: impl FnMut(RecordId, Record) -> StorageResult<()>,
     ) -> StorageResult<()> {
-        let flushed = self.storage.page_count(self.file)?;
+        let flushed = self.flushed_pages;
         for &page_no in pages {
             if page_no == flushed {
                 for (slot, payload) in self.tail.iter().enumerate() {
@@ -308,6 +321,50 @@ mod tests {
         .unwrap();
         assert!(seen > 0);
         assert_eq!(pool.stats().disk_reads, 1);
+    }
+
+    #[test]
+    fn record_ids_stable_across_flushes() {
+        // An address handed out at append time must still resolve to the
+        // same record after any number of later flushes: page numbering is
+        // tracked locally, never re-derived from the disk.
+        let storage = Storage::new();
+        let mut file = HeapFile::create(&storage);
+        let mut rids = Vec::new();
+        for i in 0..120 {
+            rids.push((i, file.append(&record(i)).unwrap()));
+            if i % 40 == 39 {
+                file.sync().unwrap(); // force a flush mid-stream
+            }
+        }
+        file.sync().unwrap();
+        let pool = BufferPool::new(storage, 8);
+        for (i, rid) in &rids {
+            assert_eq!(file.get(&pool, *rid).unwrap(), record(*i), "rid {rid:?}");
+        }
+        // Interior pages got distinct numbers in flush order.
+        assert!(rids.last().unwrap().1.page > rids[0].1.page);
+    }
+
+    #[test]
+    fn torn_flush_is_repaired_by_retry() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
+        use crate::retry::RetryPolicy;
+        let storage = Storage::new();
+        let mut file = HeapFile::create(&storage);
+        file.set_retry_policy(RetryPolicy::new(3, 10, 1000));
+        for i in 0..3 {
+            file.append(&record(i)).unwrap();
+        }
+        // First flush write is transient; the retry must land the page at
+        // the SAME index, not append a duplicate.
+        let plan = FaultPlan::new(FaultSchedule::AtSite(0), FaultKind::Transient);
+        storage.install_faults(&plan);
+        file.sync().unwrap();
+        storage.clear_faults();
+        assert_eq!(storage.page_count(file.file_id()).unwrap(), 1);
+        let pool = BufferPool::new(storage, 4);
+        assert_eq!(file.read_all(&pool).unwrap().len(), 3);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   rewriting;
 //! * [`mod@snapshot`] — checksummed whole-disk backup/restore images;
 //! * [`parallel`] — multi-threaded identity loading over page ranges;
-//! * [`wal`] — write-ahead logging and crash recovery for appends;
+//! * [`wal`] — write-ahead logging, group commit, and crash recovery;
+//! * [`fault`] — deterministic fault injection at numbered I/O sites;
+//! * [`retry`] — bounded retry with deterministic exponential backoff;
 //! * [`colstore`] — the same relation under a column-oriented identity.
 
 #![warn(missing_docs)]
@@ -31,12 +33,14 @@ pub mod codec;
 pub mod colstore;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod index;
 pub mod page;
 pub mod parallel;
 pub mod record;
 pub mod restructure;
+pub mod retry;
 pub mod snapshot;
 pub mod wal;
 
@@ -46,11 +50,13 @@ pub use bufpool::{
 pub use colstore::ColumnTable;
 pub use engine::{RecordEngine, SetEngine, Table};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultKind, FaultPlan, FaultSchedule, Injection, SiteClass};
 pub use file::{HeapFile, RecordId};
 pub use index::Index;
 pub use page::{Page, MAX_RECORD, PAGE_SIZE};
 pub use parallel::load_identity_parallel;
 pub use record::{file_identity, Record, Schema};
 pub use restructure::{restructure_records, restructure_set, Restructuring};
+pub use retry::{with_retry, RetryPolicy};
 pub use snapshot::{restore, snapshot};
-pub use wal::{LoggedTable, Wal};
+pub use wal::{Checkpoint, LoggedTable, Wal};

@@ -117,3 +117,157 @@ pub fn appendix_b() -> (ExtendedSet, Scope, Scope) {
 pub fn singleton(x: &str) -> ExtendedSet {
     ExtendedSet::classical([Value::Set(ExtendedSet::tuple([x]))])
 }
+
+/// Exhaustive crash-recovery harness: a scripted append/checkpoint/scan
+/// workload driven against a fault-injected substrate, plus the sweep that
+/// enumerates *every* injectable fault site, crashes at each one, recovers,
+/// and asserts the durability contract — acknowledged ⇒ recoverable,
+/// unacknowledged ⇒ atomically absent — at all of them.
+pub mod crash {
+    use xst_core::Value;
+    use xst_storage::{
+        BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, RetryPolicy, Schema,
+        Storage, Wal,
+    };
+
+    /// Batch sizes of the scripted workload, in order.
+    pub const BATCHES: &[usize] = &[3, 1, 4, 2, 5, 3, 2];
+    /// A checkpoint runs after every `CHECKPOINT_EVERY`-th batch.
+    pub const CHECKPOINT_EVERY: usize = 2;
+
+    /// The workload's schema.
+    pub fn schema() -> Schema {
+        Schema::new(["id", "pad"])
+    }
+
+    /// The `i`-th workload record. The pad pushes encoded size to ~400
+    /// bytes so the workload overflows tail pages and exercises heap-flush
+    /// fault sites, not just WAL flushes.
+    pub fn rec(i: i64) -> Record {
+        Record::new([
+            Value::Int(i),
+            Value::str(format!("{i}:{}", "x".repeat(370))),
+        ])
+    }
+
+    /// Everything a crashed (or completed) workload run leaves behind.
+    pub struct WorkloadRun {
+        /// Records whose batch was acknowledged (in acknowledgment order).
+        pub acked: Vec<Record>,
+        /// Display form of the first surfaced error, if the run crashed.
+        pub crashed: Option<String>,
+        /// The surviving disk.
+        pub storage: Storage,
+        /// The surviving log.
+        pub wal: Wal,
+    }
+
+    /// Drive the scripted workload — batched appends with interleaved
+    /// checkpoints, then a full scan — against a substrate with `plan`
+    /// installed (on both the disk and the log, sharing one site counter)
+    /// under `retry`. The first surfaced error "crashes" the run; a batch
+    /// counts as acknowledged iff `append_batch` returned `Ok`.
+    pub fn drive_workload(plan: Option<&FaultPlan>, retry: RetryPolicy) -> WorkloadRun {
+        let storage = Storage::new();
+        let wal = Wal::new();
+        if let Some(p) = plan {
+            storage.install_faults(p);
+            wal.install_faults(p);
+        }
+        let mut t = LoggedTable::create(&storage, schema(), wal.clone()).with_retry_policy(retry);
+        let mut acked = Vec::new();
+        let mut crashed = None;
+        let mut next = 0i64;
+        'work: for (bi, &size) in BATCHES.iter().enumerate() {
+            let batch: Vec<Record> = (next..next + size as i64).map(rec).collect();
+            next += size as i64;
+            match t.append_batch(&batch) {
+                Ok(_) => acked.extend(batch),
+                Err(e) => {
+                    crashed = Some(e.to_string());
+                    break 'work;
+                }
+            }
+            // A post-acknowledge heap failure wedges the handle: the batch
+            // IS acked (it is durable in the log) but the process can only
+            // stop and recover.
+            if t.is_wedged() {
+                crashed = Some("wedged: acknowledged records not applied".into());
+                break 'work;
+            }
+            if (bi + 1) % CHECKPOINT_EVERY == 0 {
+                if let Err(e) = t.checkpoint() {
+                    crashed = Some(e.to_string());
+                    break 'work;
+                }
+            }
+        }
+        if crashed.is_none() {
+            // Read phase: exercises Read fault sites through the pool.
+            let pool = BufferPool::new(storage.clone(), 4).with_retry_policy(retry);
+            match t.table.file.read_all(&pool) {
+                Ok(rows) => assert_eq!(rows, acked, "live scan must see exactly the acked set"),
+                Err(e) => crashed = Some(e.to_string()),
+            }
+        }
+        WorkloadRun {
+            acked,
+            crashed,
+            storage,
+            wal,
+        }
+    }
+
+    /// Crash the run's process (staged log bytes are lost), clear fault
+    /// injection (the recovering process has a working disk), recover, and
+    /// return the recovered rows.
+    pub fn recover_and_rows(run: &WorkloadRun) -> Vec<Record> {
+        run.storage.clear_faults();
+        run.wal.clear_faults();
+        run.wal.drop_staged();
+        let recovered = LoggedTable::recover(&run.storage, schema(), run.wal.clone())
+            .expect("recovery must succeed on a fault-free substrate");
+        let pool = BufferPool::new(run.storage.clone(), 8);
+        recovered
+            .table
+            .file
+            .read_all(&pool)
+            .expect("recovered table must scan")
+    }
+
+    /// Run the workload under a counting plan (never fires) to learn how
+    /// many injectable fault sites it has.
+    pub fn count_sites() -> u64 {
+        let counting = FaultPlan::counting();
+        let clean = drive_workload(Some(&counting), RetryPolicy::none());
+        assert!(
+            clean.crashed.is_none(),
+            "counting plan must not crash: {:?}",
+            clean.crashed
+        );
+        assert_eq!(clean.acked.len(), BATCHES.iter().sum::<usize>());
+        counting.sites_seen()
+    }
+
+    /// The tentpole check: for every enumerable fault site, crash there
+    /// with `kind` (no retries, so the fault always surfaces), recover,
+    /// and assert the recovered rows are *exactly* the acknowledged
+    /// prefix. Returns the number of sites swept.
+    pub fn exhaustive_crash_sweep(kind: FaultKind) -> u64 {
+        let sites = count_sites();
+        assert!(sites > 0, "workload has injectable sites");
+        for site in 0..sites {
+            let plan = FaultPlan::new(FaultSchedule::AtSite(site), kind);
+            let run = drive_workload(Some(&plan), RetryPolicy::none());
+            assert_eq!(plan.injected_count(), 1, "site {site} must fire");
+            let rows = recover_and_rows(&run);
+            assert_eq!(
+                rows, run.acked,
+                "site {site}/{sites}, kind {kind}: recovered rows must equal \
+                 the acknowledged prefix (crash: {:?})",
+                run.crashed
+            );
+        }
+        sites
+    }
+}

@@ -1,0 +1,144 @@
+//! The crash-safety tentpole: exhaustive fault-site enumeration.
+//!
+//! For the scripted workload in `xst_testkit::crash` — batched appends,
+//! interleaved checkpoints, a final scan — these tests crash at *every*
+//! injectable I/O site, for every fault kind, recover, and assert the
+//! durability contract at each one:
+//!
+//! > acknowledged ⇒ recoverable, unacknowledged ⇒ atomically absent.
+//!
+//! On top of the exhaustive sweep: retry-absorption runs (transient faults
+//! under a retrying policy must be invisible), give-up runs (persistent
+//! transient failure must surface, not loop), and a proptest-randomized
+//! fault-schedule sweep.
+
+use proptest::prelude::*;
+use xst_storage::{FaultKind, FaultPlan, FaultSchedule, RetryPolicy};
+use xst_testkit::crash::{
+    count_sites, drive_workload, exhaustive_crash_sweep, recover_and_rows, BATCHES,
+};
+
+// ---------------------------------------------------------------------------
+// The exhaustive sweep, one fault kind per test so failures localize.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_site_recovers_from_failed_writes() {
+    let sites = exhaustive_crash_sweep(FaultKind::WriteFail);
+    assert!(sites >= 10, "workload too small to mean anything: {sites}");
+}
+
+#[test]
+fn every_site_recovers_from_torn_writes() {
+    // 37 bytes: tears mid-frame for pages and mid-header for WAL flushes.
+    exhaustive_crash_sweep(FaultKind::TornWrite(37));
+}
+
+#[test]
+fn every_site_recovers_from_nearly_complete_torn_writes() {
+    // A large prefix persists — the nastier tear, where the frame looks
+    // almost intact.
+    exhaustive_crash_sweep(FaultKind::TornWrite(4000));
+}
+
+#[test]
+fn every_site_recovers_from_failed_syncs() {
+    exhaustive_crash_sweep(FaultKind::SyncFail);
+}
+
+#[test]
+fn every_site_recovers_from_short_reads() {
+    exhaustive_crash_sweep(FaultKind::ShortRead(512));
+}
+
+#[test]
+fn every_site_recovers_from_unretried_transient_faults() {
+    exhaustive_crash_sweep(FaultKind::Transient);
+}
+
+// ---------------------------------------------------------------------------
+// Retry absorbs transient faults; bounded attempts give up honestly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn periodic_transient_faults_are_invisible_under_retry() {
+    let plan = FaultPlan::new(FaultSchedule::EveryNth(3), FaultKind::Transient);
+    let run = drive_workload(Some(&plan), RetryPolicy::default());
+    assert_eq!(run.crashed, None, "retry must absorb every periodic fault");
+    assert_eq!(run.acked.len(), BATCHES.iter().sum::<usize>());
+    assert!(plan.injected_count() > 0, "faults actually fired");
+    // And the contract still holds if we crash right at the end.
+    assert_eq!(recover_and_rows(&run), run.acked);
+}
+
+#[test]
+fn persistent_transient_failure_exhausts_the_budget_and_surfaces() {
+    // Every single I/O op faults: retries fault too, so the first batch
+    // flush must give up after its bounded attempts.
+    let plan = FaultPlan::new(FaultSchedule::EveryNth(1), FaultKind::Transient);
+    let run = drive_workload(Some(&plan), RetryPolicy::new(3, 10, 1_000));
+    assert!(run.crashed.is_some(), "persistent failure must surface");
+    assert_eq!(run.acked.len(), 0, "nothing was ever acknowledged");
+    assert_eq!(
+        plan.injected_count(),
+        3,
+        "exactly max_attempts flushes tried"
+    );
+    assert_eq!(recover_and_rows(&run), Vec::new());
+}
+
+#[test]
+fn site_count_is_stable_across_runs() {
+    // Determinism underwrites the whole harness: the same workload must
+    // enumerate the same sites every time, with no wall-clock randomness.
+    let a = count_sites();
+    let b = count_sites();
+    assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized fault schedules: the contract is schedule-independent.
+// ---------------------------------------------------------------------------
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::WriteFail),
+        Just(FaultKind::SyncFail),
+        Just(FaultKind::Transient),
+        (1usize..4096).prop_map(FaultKind::TornWrite),
+        (1usize..4096).prop_map(FaultKind::ShortRead),
+    ]
+}
+
+fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
+    prop_oneof![
+        (0usize..40).prop_map(|k| FaultSchedule::AtSite(k as u64)),
+        (1usize..8).prop_map(|k| FaultSchedule::EveryNth(k as u64)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn randomized_fault_schedules_preserve_the_contract(
+        kind in arb_kind(),
+        schedule in arb_schedule(),
+        attempts in 1u32..5,
+    ) {
+        let plan = FaultPlan::new(schedule, kind);
+        let run = drive_workload(Some(&plan), RetryPolicy::new(attempts, 100, 10_000));
+        // Whatever happened — clean run, absorbed faults, crash anywhere —
+        // recovery must produce exactly the acknowledged records.
+        let rows = recover_and_rows(&run);
+        prop_assert_eq!(
+            rows,
+            run.acked.clone(),
+            "kind {}, schedule {:?}, attempts {}: crash {:?}",
+            kind,
+            schedule,
+            attempts,
+            run.crashed
+        );
+    }
+}

@@ -223,6 +223,44 @@ fn shell_explain_store_and_metrics_flow() {
 }
 
 // ---------------------------------------------------------------------------
+// The hit-ratio gauge distinguishes "no traffic" from "all misses".
+// ---------------------------------------------------------------------------
+
+#[test]
+fn idle_pool_hit_ratio_exports_the_negative_sentinel() {
+    use xst_storage::{BufferPool, Storage, PAGE_SIZE};
+
+    let _g = obs_lock();
+    xst_obs::enable();
+    let gauge = xst_obs::registry().gauge(
+        "xst_storage_pool_hit_ratio",
+        "Aggregate buffer-pool hit ratio over all shards (0..1; -1 before any traffic).",
+    );
+
+    // An idle pool must not masquerade as a 0% hit rate (the signature of
+    // a *thrashing* pool): it publishes the -1 sentinel instead.
+    let storage = Storage::new();
+    let pool = BufferPool::new(storage.clone(), 4);
+    pool.publish_metrics();
+    assert_eq!(gauge.get(), -1.0, "idle pool must publish the sentinel");
+
+    // After real traffic the gauge returns to the honest 0..=1 range.
+    let file = storage.create_file();
+    let mut page = xst_storage::Page::new();
+    page.insert(&[7u8; 16]).unwrap();
+    storage.append_page(file, &page).unwrap();
+    let id = xst_storage::PageId { file, page: 0 };
+    let _ = pool.get(id).unwrap();
+    let _ = pool.get(id).unwrap();
+    pool.publish_metrics();
+    let ratio = gauge.get();
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "after traffic the ratio is honest, got {ratio} (page size {PAGE_SIZE})"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Trace toggling through the shell switches the whole process.
 // ---------------------------------------------------------------------------
 

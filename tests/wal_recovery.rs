@@ -5,7 +5,7 @@
 //! reordered record.
 
 use xst_core::Value;
-use xst_storage::{BufferPool, LoggedTable, Record, Schema, Storage, Wal};
+use xst_storage::{BufferPool, LoggedTable, Record, Schema, Storage, StorageError, Wal};
 
 fn rec(i: i64) -> Record {
     Record::new([Value::Int(i), Value::str(format!("row-{i}"))])
@@ -21,7 +21,7 @@ fn logged(records: &[Record]) -> (Wal, Vec<usize>) {
     let wal = Wal::new();
     let mut boundaries = vec![0usize];
     for r in records {
-        wal.append(&r.encode());
+        wal.append(&r.encode()).unwrap();
         boundaries.push(wal.len());
     }
     (wal, boundaries)
@@ -106,8 +106,9 @@ fn torn_record_is_dropped_whole() {
     }
 }
 
-/// A checkpoint truncates the log, so a later crash replays only the
-/// post-checkpoint suffix — and the checkpointed pages are on disk.
+/// A checkpoint truncates the log, so after a later crash the log holds
+/// only the post-checkpoint suffix — while recovery stitches the
+/// checkpointed pages back under it and restores everything.
 #[test]
 fn checkpoint_then_crash_replays_only_the_suffix() {
     let storage = Storage::new();
@@ -123,9 +124,60 @@ fn checkpoint_then_crash_replays_only_the_suffix() {
     let file_id = t.table.file.file_id();
     drop(t);
 
-    // The checkpointed prefix survives on disk.
+    // The checkpointed prefix survives on disk, vouched for by the mark.
     assert!(storage.page_count(file_id).unwrap() > 0);
-    // The log holds (and replays) exactly the post-checkpoint appends.
-    let replayed = recovered_rows(wal);
-    assert_eq!(replayed, (4..7).map(rec).collect::<Vec<_>>());
+    let mark = wal.checkpoint().expect("checkpoint mark recorded");
+    assert_eq!(mark.file, file_id);
+    // The log itself holds exactly the post-checkpoint appends…
+    assert_eq!(wal.records().unwrap(), (4..7).map(rec).collect::<Vec<_>>());
+    // …and recovery = marked pages + replayed suffix = everything.
+    let rows = {
+        let t = LoggedTable::recover(&storage, schema(), wal).unwrap();
+        let pool = BufferPool::new(storage, 8);
+        t.table.file.read_all(&pool).unwrap()
+    };
+    assert_eq!(rows, (0..7).map(rec).collect::<Vec<_>>());
+}
+
+/// Corruption in the middle of the log — payload damage behind intact
+/// framing — must fail recovery loudly, never truncate to it.
+#[test]
+fn corrupt_middle_record_fails_recovery_loudly() {
+    let records: Vec<Record> = (0..5).map(rec).collect();
+    let (wal, _) = logged(&records);
+    // Flip a payload byte of the FIRST record (payload starts after the
+    // 8-byte frame header); four intact records follow it.
+    wal.flip_byte(10, 0xFF);
+    let storage = Storage::new();
+    match LoggedTable::recover(&storage, schema(), wal) {
+        Err(StorageError::Corrupt { .. }) => {}
+        other => panic!("corrupt middle must fail recovery, got {:?}", other.is_ok()),
+    }
+}
+
+/// The satellite-bug regression, end to end: a bit-flipped length field in
+/// the middle of the log must be reported as corruption. Against the
+/// pre-fix replay scan (no header checksum) the bogus length overran the
+/// buffer and read as a "torn tail", silently dropping this record and
+/// every later one — recovery then "succeeded" with data loss.
+#[test]
+fn bit_flipped_length_field_is_corruption_not_truncation() {
+    let records: Vec<Record> = (0..5).map(rec).collect();
+    let (wal, _) = logged(&records);
+    // Offset of the SECOND frame's length field: first frame (12 bytes of
+    // framing + payload) plus the 8-byte commit marker sealing its flush.
+    // Flip the most-significant length byte so the frame claims to be
+    // ~2 GiB — far past the end of the log.
+    let second_frame = 12 + records[0].encode().len() + 8;
+    wal.flip_byte(second_frame + 3, 0x80);
+    let storage = Storage::new();
+    match LoggedTable::recover(&storage, schema(), wal) {
+        Err(StorageError::Corrupt { reason }) => {
+            assert!(reason.contains("length"), "{reason}");
+        }
+        other => panic!(
+            "bit-flipped length must be Corrupt, got ok={:?}",
+            other.is_ok()
+        ),
+    }
 }
