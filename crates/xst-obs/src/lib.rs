@@ -28,6 +28,15 @@
 //! measures this: the disabled-collector E1 workload is indistinguishable
 //! from an uninstrumented run (see EXPERIMENTS.md).
 //!
+//! ## Who records here
+//!
+//! The storage layer registers the `xst_storage_*` families (buffer-pool
+//! hit ratio, WAL append latency, retry/backoff counts, injected faults)
+//! and the transaction layer the `xst_txn_*` families (`begins`,
+//! `commits`, `aborts`, `conflicts` counters plus the `xst_txn_commit_ns`
+//! latency histogram); the query layer feeds spans to `EXPLAIN ANALYZE`.
+//! All of it is visible in the shell via `.metrics` and `.trace`.
+//!
 //! ```
 //! xst_obs::enable();
 //! {

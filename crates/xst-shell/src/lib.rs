@@ -27,6 +27,20 @@
 //! .store NAME           persist a binding through the WAL + buffer pool
 //! .load NAME as NEW     read it back through the pool into NEW
 //! ```
+//!
+//! Transaction commands (snapshot isolation over the MVCC layer; see the
+//! README's "Transactions" section):
+//!
+//! ```text
+//! .begin                open a snapshot-isolated transaction
+//! .put NAME             write the binding's members into txn table NAME
+//! .get NAME as NEW      snapshot-read table NAME into binding NEW
+//! .commit               first-committer-wins validate + group-commit
+//! .abort                discard the open transaction's writes
+//! ```
+//!
+//! `.put`/`.get` outside an open transaction autocommit — each runs as
+//! its own transaction, the interactive default.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -38,7 +52,8 @@ use xst_core::parse::parse_set;
 use xst_core::{ExtendedSet, Process, Scope, SetBuilder, XstError, XstResult};
 use xst_query::{explain_analyze, Expr};
 use xst_storage::{
-    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, Wal,
+    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, Txn, TxnManager,
+    Wal,
 };
 
 /// Persistent backing for `.store`/`.load`: one simulated disk, one buffer
@@ -74,10 +89,36 @@ fn member_schema() -> Schema {
     Schema::new(["element", "scope"])
 }
 
+/// The transactional store behind `.begin`/`.put`/`.get`/`.commit`: an
+/// MVCC manager over its own disk and WAL (separate from the
+/// `.store`/`.load` demo store), plus the session's open transaction, if
+/// any. Without an open transaction, `.put`/`.get` autocommit.
+struct TxnStore {
+    mgr: TxnManager,
+    open: Option<Txn>,
+}
+
+impl TxnStore {
+    fn new() -> TxnStore {
+        TxnStore {
+            mgr: TxnManager::new(&xst_storage::Storage::new(), Wal::new()),
+            open: None,
+        }
+    }
+
+    /// Register `name` if this is its first use (the catalog is
+    /// in-memory; re-registration errors are the "already exists" case
+    /// and are fine).
+    fn ensure_table(&self, name: &str) {
+        let _ = self.mgr.create_table(name, member_schema());
+    }
+}
+
 /// An interactive session: named set bindings plus command evaluation.
 pub struct Session {
     bindings: BTreeMap<String, ExtendedSet>,
     store: Option<Store>,
+    txn: Option<TxnStore>,
 }
 
 impl Default for Session {
@@ -95,6 +136,7 @@ impl Session {
         Session {
             bindings: BTreeMap::new(),
             store: None,
+            txn: None,
         }
     }
 
@@ -189,6 +231,18 @@ impl Session {
                     return Err(err("usage: .load NAME as NEW"));
                 }
                 self.load_binding(&name, &parts.rest()?)?
+            }
+            ".begin" => self.txn_begin()?,
+            ".commit" => self.txn_commit()?,
+            ".abort" => self.txn_abort()?,
+            ".put" => self.txn_put(&parts.rest()?)?,
+            ".get" => {
+                let name = parts.next_operand()?;
+                let kw = parts.next_operand()?;
+                if !kw.eq_ignore_ascii_case("as") {
+                    return Err(err("usage: .get NAME as NEW"));
+                }
+                self.txn_get(&name, &parts.rest()?)?
             }
             other => return Err(err(format!("unknown command '{other}' (try 'help')"))),
         };
@@ -404,6 +458,139 @@ impl Session {
         ))
     }
 
+    /// `.begin` — open a snapshot-isolated transaction. Its reads all
+    /// come from the commit state as of now; its writes stay private
+    /// until `.commit`.
+    fn txn_begin(&mut self) -> XstResult<String> {
+        let txn_store = self.txn.get_or_insert_with(TxnStore::new);
+        if txn_store.open.is_some() {
+            return Err(err("a transaction is already open (.commit or .abort it)"));
+        }
+        let txn = txn_store.mgr.begin();
+        let msg = format!(
+            "txn {} open: snapshot at commit ts {}",
+            txn.id(),
+            txn.begin_ts()
+        );
+        txn_store.open = Some(txn);
+        Ok(msg)
+    }
+
+    /// `.commit` — first-committer-wins validation, then one group-commit
+    /// WAL flush for every buffered write. A conflict aborts the
+    /// transaction and surfaces as a shell error (re-run it on a fresh
+    /// snapshot).
+    fn txn_commit(&mut self) -> XstResult<String> {
+        let txn = self
+            .txn
+            .as_mut()
+            .and_then(|t| t.open.take())
+            .ok_or_else(|| err("no open transaction (.begin first)"))?;
+        let read_only = txn.is_read_only();
+        let ts = txn.commit().map_err(storage_err)?;
+        Ok(if read_only {
+            format!("committed (read-only, commit ts stays {ts})")
+        } else {
+            format!("committed at ts {ts} (group-commit flushed)")
+        })
+    }
+
+    /// `.abort` — discard the open transaction's buffered writes.
+    fn txn_abort(&mut self) -> XstResult<String> {
+        let txn = self
+            .txn
+            .as_mut()
+            .and_then(|t| t.open.take())
+            .ok_or_else(|| err("no open transaction (.begin first)"))?;
+        let id = txn.id();
+        txn.abort();
+        Ok(format!("txn {id} aborted; writes discarded"))
+    }
+
+    /// `.put NAME` — insert every member of the binding into txn table
+    /// `NAME` (one row per member, element and scope columns). Inside an
+    /// open transaction the writes stay buffered; outside one this
+    /// autocommits.
+    fn txn_put(&mut self, name: &str) -> XstResult<String> {
+        let set = self
+            .bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(format!("no binding named '{name}'")))?;
+        let txn_store = self.txn.get_or_insert_with(TxnStore::new);
+        txn_store.ensure_table(name);
+        let records: Vec<Record> = set
+            .members()
+            .iter()
+            .map(|m| Record::new([m.element.clone(), m.scope.clone()]))
+            .collect();
+        match &mut txn_store.open {
+            Some(txn) => {
+                for r in &records {
+                    txn.insert(name, r.clone()).map_err(storage_err)?;
+                }
+                Ok(format!(
+                    "{} rows buffered into '{name}' (txn {}, visible after .commit)",
+                    records.len(),
+                    txn.id()
+                ))
+            }
+            None => {
+                let ts = txn_store
+                    .mgr
+                    .autocommit_insert(name, &records)
+                    .map_err(storage_err)?;
+                Ok(format!(
+                    "{} rows into '{name}' (autocommitted at ts {ts})",
+                    records.len()
+                ))
+            }
+        }
+    }
+
+    /// `.get NAME as NEW` — rebuild a binding from txn table `NAME`.
+    /// Inside an open transaction this reads its snapshot (plus its own
+    /// buffered writes); outside one it reads the latest commit.
+    fn txn_get(&mut self, name: &str, target: &str) -> XstResult<String> {
+        if target.is_empty() || !target.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(format!("bad binding name '{target}'")));
+        }
+        let txn_store = self
+            .txn
+            .as_mut()
+            .ok_or_else(|| err("no transactional tables yet (use .put NAME)"))?;
+        let (identity, via) = match &mut txn_store.open {
+            Some(txn) => (
+                txn.read_identity(name).map_err(storage_err)?,
+                format!("snapshot of txn {}", txn.id()),
+            ),
+            None => {
+                let mut auto = txn_store.mgr.begin();
+                let identity = auto.read_identity(name).map_err(storage_err)?;
+                auto.commit().map_err(storage_err)?;
+                (identity, "latest commit".to_string())
+            }
+        };
+        let mut b = SetBuilder::new();
+        for m in identity.members() {
+            let Some(tuple) = m.element.as_set() else {
+                return Err(err("txn row is not a tuple"));
+            };
+            match tuple.as_tuple().as_deref() {
+                Some([element, scope]) => {
+                    b.scoped(element.clone(), scope.clone());
+                }
+                _ => return Err(err("txn row is not an element/scope pair")),
+            }
+        }
+        let set = b.build();
+        let card = set.card();
+        self.bindings.insert(target.to_string(), set);
+        Ok(format!(
+            "{target} bound from '{name}' ({via}): {card} members"
+        ))
+    }
+
     /// Resolve an `.explain` operand: bound names stay symbolic (table
     /// references the optimizer can reason about), anything else must be a
     /// set literal.
@@ -523,6 +710,12 @@ observability:
   .trace on|off|show          collector switch · render collected spans
   .faults on|off|status       inject transient I/O faults (retry absorbs them)
   .store NAME · .load NAME as NEW   WAL + buffer-pool round trip
+transactions (snapshot isolation, first committer wins):
+  .begin                      open a transaction (reads pin this snapshot)
+  .put NAME                   write the binding's members into txn table NAME
+  .get NAME as NEW            snapshot-read txn table NAME into binding NEW
+  .commit · .abort            group-commit the writes · discard them
+                              (.put/.get outside a transaction autocommit)
   help · quit";
 
 #[cfg(test)]
@@ -704,6 +897,94 @@ mod tests {
         assert!(s.eval_line(".load nope as h").is_err());
         assert!(s.eval_line(".load f into h").is_err());
         assert!(s.eval_line(".load f as bad name").is_err());
+    }
+
+    #[test]
+    fn txn_begin_put_get_commit_flow() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, c^2}");
+        assert!(run(&mut s, ".begin").contains("snapshot at commit ts 0"));
+        let put = run(&mut s, ".put f");
+        assert!(put.contains("3 rows buffered"), "{put}");
+        // Read-your-own-writes: the open transaction sees its buffer.
+        let got = run(&mut s, ".get f as g");
+        assert!(got.contains("3 members"), "{got}");
+        assert!(got.contains("snapshot of txn"), "{got}");
+        assert_eq!(run(&mut s, "show g"), run(&mut s, "show f"));
+        assert!(run(&mut s, ".commit").contains("committed at ts 1"));
+        // After commit the rows are the table's latest state.
+        let got = run(&mut s, ".get f as h");
+        assert!(got.contains("latest commit"), "{got}");
+        assert_eq!(run(&mut s, "show h"), run(&mut s, "show f"));
+        // Transaction activity leaves the xst_txn_* families behind.
+        let metrics = run(&mut s, ".metrics");
+        assert!(metrics.contains("xst_txn_begins_total"), "{metrics}");
+        assert!(metrics.contains("xst_txn_commits_total"), "{metrics}");
+        assert!(metrics.contains("xst_txn_commit_ns"), "{metrics}");
+    }
+
+    #[test]
+    fn txn_put_outside_transaction_autocommits() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let a = {1, 2}");
+        let put = run(&mut s, ".put a");
+        assert!(put.contains("autocommitted"), "{put}");
+        let got = run(&mut s, ".get a as b");
+        assert!(got.contains("2 members"), "{got}");
+        assert_eq!(run(&mut s, "show b"), run(&mut s, "show a"));
+    }
+
+    #[test]
+    fn txn_abort_discards_buffered_writes() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let a = {1, 2}");
+        run(&mut s, ".put a"); // autocommit: 2 rows durable
+        run(&mut s, "let more = {3, 4, 5}");
+        run(&mut s, ".begin");
+        run(&mut s, ".put more"); // buffered into table 'more'
+        let aborted = run(&mut s, ".abort");
+        assert!(aborted.contains("writes discarded"), "{aborted}");
+        // The aborted table was created but holds nothing.
+        let got = run(&mut s, ".get more as m");
+        assert!(got.contains("0 members"), "{got}");
+        // The autocommitted table is untouched.
+        let got = run(&mut s, ".get a as b");
+        assert!(got.contains("2 members"), "{got}");
+        // A read-only transaction commits without bumping the timestamp.
+        run(&mut s, ".begin");
+        run(&mut s, ".get a as c");
+        assert!(run(&mut s, ".commit").contains("read-only"));
+    }
+
+    #[test]
+    fn txn_command_errors() {
+        let mut s = Session::new();
+        assert!(s.eval_line(".commit").is_err(), "no open txn");
+        assert!(s.eval_line(".abort").is_err(), "no open txn");
+        assert!(s.eval_line(".put nope").is_err(), "unknown binding");
+        assert!(s.eval_line(".get nope as x").is_err(), "no tables yet");
+        run(&mut s, "let a = {1}");
+        run(&mut s, ".begin");
+        assert!(s.eval_line(".begin").is_err(), "already open");
+        assert!(s.eval_line(".get a into x").is_err(), "bad keyword");
+        run(&mut s, ".abort");
+        run(&mut s, ".put a");
+        assert!(s.eval_line(".get missing as x").is_err(), "unknown table");
+        assert!(s.eval_line(".get a as bad name").is_err(), "bad target");
+        // The session survives all of it.
+        assert_eq!(run(&mut s, "card a"), "1");
+    }
+
+    #[test]
+    fn help_lists_txn_commands() {
+        let mut s = Session::new();
+        let h = run(&mut s, "help");
+        for cmd in [".begin", ".put", ".get", ".commit", ".abort"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
     }
 
     #[test]

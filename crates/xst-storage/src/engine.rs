@@ -200,8 +200,13 @@ fn check_same_arity(a: &Table, b: &Table) -> StorageResult<()> {
 }
 
 /// Whole-set query processing over the table's canonical set identity.
+///
+/// The identity is held behind an [`Arc`](std::sync::Arc) so that
+/// snapshot readers — the transaction layer hands out one engine per
+/// [`crate::txn::Txn`] read — share one materialized set instead of
+/// copying it per reader.
 pub struct SetEngine {
-    identity: ExtendedSet,
+    identity: std::sync::Arc<ExtendedSet>,
     schema: Schema,
     par: Parallelism,
 }
@@ -222,7 +227,7 @@ impl SetEngine {
             Ok(b.build())
         })?;
         Ok(SetEngine {
-            identity,
+            identity: std::sync::Arc::new(identity),
             schema: table.schema.clone(),
             par: Parallelism::default(),
         })
@@ -230,6 +235,12 @@ impl SetEngine {
 
     /// Wrap an already-materialized set identity (e.g. an operation result).
     pub fn from_identity(identity: ExtendedSet, schema: Schema) -> SetEngine {
+        SetEngine::from_shared(std::sync::Arc::new(identity), schema)
+    }
+
+    /// Wrap a shared identity without copying it — the zero-copy path for
+    /// MVCC snapshot readers, which all view the same committed version.
+    pub fn from_shared(identity: std::sync::Arc<ExtendedSet>, schema: Schema) -> SetEngine {
         SetEngine {
             identity,
             schema,

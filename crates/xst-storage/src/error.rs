@@ -59,6 +59,18 @@ pub enum StorageError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A snapshot-isolated transaction lost the first-committer-wins race:
+    /// another transaction committed an overlapping write set after this
+    /// one took its snapshot. The transaction is aborted; re-running it
+    /// against a fresh snapshot may succeed, but the *same* commit attempt
+    /// must not be retried blindly — hence not
+    /// [`StorageError::is_transient`].
+    TxnConflict {
+        /// The table on which the write sets collided.
+        table: String,
+        /// Human-readable explanation (which records overlapped).
+        reason: String,
+    },
     /// Propagated error from the XST algebra.
     Xst(xst_core::XstError),
 }
@@ -92,6 +104,12 @@ impl fmt::Display for StorageError {
             StorageError::Io { op, reason } => write!(f, "i/o failure during {op}: {reason}"),
             StorageError::NeedsRecovery { reason } => {
                 write!(f, "storage needs recovery: {reason}")
+            }
+            StorageError::TxnConflict { table, reason } => {
+                write!(
+                    f,
+                    "write-write conflict on table '{table}' (first committer wins): {reason}"
+                )
             }
             StorageError::Xst(e) => write!(f, "xst error: {e}"),
         }
@@ -147,6 +165,10 @@ mod tests {
                 reason: "bad frame".into(),
             },
             StorageError::PageOutOfRange { page: 1, pages: 0 },
+            StorageError::TxnConflict {
+                table: "t".into(),
+                reason: "overlapping write sets".into(),
+            },
         ] {
             assert!(!permanent.is_transient(), "{permanent} must be permanent");
         }

@@ -23,7 +23,9 @@
 //! * [`wal`] — write-ahead logging, group commit, and crash recovery;
 //! * [`fault`] — deterministic fault injection at numbered I/O sites;
 //! * [`retry`] — bounded retry with deterministic exponential backoff;
-//! * [`colstore`] — the same relation under a column-oriented identity.
+//! * [`colstore`] — the same relation under a column-oriented identity;
+//! * [`txn`] — snapshot-isolated transactions over versioned set
+//!   identities (first committer wins, group-commit durability).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,6 +44,7 @@ pub mod record;
 pub mod restructure;
 pub mod retry;
 pub mod snapshot;
+pub mod txn;
 pub mod wal;
 
 pub use bufpool::{
@@ -59,4 +62,5 @@ pub use record::{file_identity, Record, Schema};
 pub use restructure::{restructure_records, restructure_set, Restructuring};
 pub use retry::{with_retry, RetryPolicy};
 pub use snapshot::{restore, snapshot};
+pub use txn::{CommitTs, Txn, TxnId, TxnManager, TxnOp};
 pub use wal::{Checkpoint, LoggedTable, Wal};

@@ -1,0 +1,791 @@
+//! Multi-version concurrency: snapshot-isolated transactions over the
+//! set-processing engine.
+//!
+//! The 1977 program pitches XST as the foundation of a *backend
+//! information system serving many concurrent consumers*; this module is
+//! the concurrency discipline under that claim. A [`TxnManager`] keeps,
+//! per table, a sequence of **committed versions** — copy-on-write
+//! [`ExtendedSet`] identities keyed by commit timestamp — and hands out
+//! [`Txn`] handles that read a frozen snapshot and buffer their writes
+//! privately:
+//!
+//! * **Snapshot isolation.** A transaction's reads all come from the
+//!   version chain as of its begin timestamp. Commits by other
+//!   transactions never move a running transaction's view (snapshot-read
+//!   stability), and a transaction always sees its own buffered writes
+//!   layered over that snapshot (read-your-own-writes).
+//! * **First committer wins.** Each version remembers the *write set* (the
+//!   exact records inserted or deleted) of the commit that produced it. A
+//!   committing transaction is validated against every version committed
+//!   after its snapshot: any overlap of write sets is a
+//!   [`StorageError::TxnConflict`] and the transaction aborts — the classic
+//!   SI write-write rule, at record granularity.
+//! * **Committed ⇒ recoverable.** The commit point *is* the group-commit
+//!   WAL flush of PR 3: every write of the transaction — across all tables
+//!   it touched — is staged as one batch into a single op-log
+//!   [`LoggedTable`] and acknowledged by ONE flush
+//!   ([`LoggedTable::append_batch`]). A crash at any fault site therefore
+//!   leaves a committed transaction fully recoverable and an uncommitted
+//!   one atomically absent, and [`TxnManager::recover`] rebuilds the
+//!   committed state by replaying the op log in order.
+//!
+//! Versions are whole-set identities, not byte deltas: the version chain
+//! is literally a sequence of extended sets, and a snapshot read is an
+//! `Arc` clone — readers never copy the table and never block the writer.
+//! The deterministic interleaving harness in `xst-testkit::sched`
+//! enumerates schedules of concurrent transactions against this module
+//! and checks every outcome against a sequential oracle.
+
+use crate::bufpool::{BufferPool, Storage};
+use crate::engine::SetEngine;
+use crate::error::{StorageError, StorageResult};
+use crate::record::{Record, Schema};
+use crate::retry::RetryPolicy;
+use crate::wal::{LoggedTable, Wal};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use xst_core::ops::{difference, union};
+use xst_core::{ExtendedSet, Value};
+use xst_obs::{registry, Counter, Histogram};
+
+/// Monotonic transaction id (assigned at [`TxnManager::begin`]).
+pub type TxnId = u64;
+
+/// Monotonic commit timestamp; `0` is the pre-history timestamp every
+/// empty table is born at.
+pub type CommitTs = u64;
+
+fn txn_begins_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| registry().counter("xst_txn_begins_total", "Transactions begun."))
+}
+
+fn txn_commits_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| registry().counter("xst_txn_commits_total", "Transactions committed."))
+}
+
+fn txn_aborts_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            "xst_txn_aborts_total",
+            "Transactions aborted (explicitly or by conflict/IO failure).",
+        )
+    })
+}
+
+fn txn_conflicts_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            "xst_txn_conflicts_total",
+            "Commit attempts rejected by first-committer-wins validation.",
+        )
+    })
+}
+
+fn txn_commit_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "xst_txn_commit_ns",
+            "Latency of a successful commit (validation + WAL group commit + version publish).",
+        )
+    })
+}
+
+/// One buffered write of a transaction, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Insert a record (idempotent under set semantics).
+    Insert(Record),
+    /// Delete a record if present.
+    Delete(Record),
+}
+
+impl TxnOp {
+    /// The record this op touches — the unit of conflict detection.
+    pub fn record(&self) -> &Record {
+        match self {
+            TxnOp::Insert(r) | TxnOp::Delete(r) => r,
+        }
+    }
+}
+
+/// One committed version of a table: the whole-set identity as of
+/// `commit_ts`, plus the write set of the commit that produced it.
+struct TableVersion {
+    commit_ts: CommitTs,
+    identity: Arc<ExtendedSet>,
+    /// Records inserted or deleted by this commit, for first-committer-wins
+    /// overlap checks against later committers.
+    writes: BTreeSet<Record>,
+}
+
+/// A table under MVCC: its schema and the ascending version chain.
+struct VersionedTable {
+    schema: Schema,
+    /// Ascending by `commit_ts`; index 0 is the empty pre-history version.
+    versions: Vec<TableVersion>,
+}
+
+impl VersionedTable {
+    fn new(schema: Schema) -> VersionedTable {
+        VersionedTable {
+            schema,
+            versions: vec![TableVersion {
+                commit_ts: 0,
+                identity: Arc::new(ExtendedSet::empty()),
+                writes: BTreeSet::new(),
+            }],
+        }
+    }
+
+    /// The latest version visible at snapshot `ts`.
+    fn visible_at(&self, ts: CommitTs) -> &TableVersion {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= ts)
+            .expect("version chains always start at ts 0")
+    }
+
+    fn latest(&self) -> &TableVersion {
+        self.versions.last().expect("chains are never empty")
+    }
+}
+
+/// The schema of the shared durable op log: which table, insert or
+/// delete, and the row as its tuple identity.
+fn op_log_schema() -> Schema {
+    Schema::new(["table", "op", "row"])
+}
+
+const OP_INSERT: &str = "i";
+const OP_DELETE: &str = "d";
+
+fn encode_op(table: &str, op: &TxnOp) -> Record {
+    let (tag, r) = match op {
+        TxnOp::Insert(r) => (OP_INSERT, r),
+        TxnOp::Delete(r) => (OP_DELETE, r),
+    };
+    Record::new([Value::str(table), Value::sym(tag), Value::Set(r.to_tuple())])
+}
+
+fn decode_op(record: &Record) -> StorageResult<(String, TxnOp)> {
+    let bad = |what: &str| StorageError::Corrupt {
+        reason: format!("op-log record is not a (table, op, row) triple: {what}"),
+    };
+    let [table, tag, row] = record.values() else {
+        return Err(bad("wrong arity"));
+    };
+    let Value::Str(table) = table else {
+        return Err(bad("table name is not a string"));
+    };
+    let row = row.as_set().ok_or_else(|| bad("row is not a set"))?;
+    let row = Record::from_tuple(row)?;
+    let op = match tag {
+        Value::Sym(t) if t.as_ref() == OP_INSERT => TxnOp::Insert(row),
+        Value::Sym(t) if t.as_ref() == OP_DELETE => TxnOp::Delete(row),
+        _ => return Err(bad("unknown op tag")),
+    };
+    Ok((table.to_string(), op))
+}
+
+struct ManagerInner {
+    next_txn: TxnId,
+    last_commit: CommitTs,
+    tables: BTreeMap<String, VersionedTable>,
+    /// The shared durable op log. One [`LoggedTable::append_batch`] per
+    /// commit — the group-commit flush is the commit point.
+    log: LoggedTable,
+    /// `false` only under [`TxnManager::with_broken_conflict_detection`],
+    /// the deliberately-unsound mode the interleaving harness must catch.
+    detect_conflicts: bool,
+}
+
+/// Issues transactions and owns the versioned table state. Cloning is
+/// cheap (one `Arc`); clones share the same database.
+#[derive(Clone)]
+pub struct TxnManager {
+    inner: Arc<Mutex<ManagerInner>>,
+}
+
+impl TxnManager {
+    /// A fresh transactional database over `storage`, logging commits
+    /// through `wal`.
+    pub fn new(storage: &Storage, wal: Wal) -> TxnManager {
+        TxnManager {
+            inner: Arc::new(Mutex::new(ManagerInner {
+                next_txn: 1,
+                last_commit: 0,
+                tables: BTreeMap::new(),
+                log: LoggedTable::create(storage, op_log_schema(), wal),
+                detect_conflicts: true,
+            })),
+        }
+    }
+
+    /// Replace the retry policy governing the commit-path WAL flushes.
+    pub fn with_retry_policy(self, retry: RetryPolicy) -> TxnManager {
+        {
+            let mut inner = self.inner.lock();
+            let log = std::mem::replace(
+                &mut inner.log,
+                LoggedTable::create(&Storage::new(), op_log_schema(), Wal::new()),
+            );
+            inner.log = log.with_retry_policy(retry);
+        }
+        self
+    }
+
+    /// Disable first-committer-wins validation. **Deliberately unsound** —
+    /// commits then blindly overwrite each other (lost updates). Exists so
+    /// the interleaving harness can prove it detects a broken isolation
+    /// implementation; never use it for real data.
+    pub fn with_broken_conflict_detection(self) -> TxnManager {
+        self.inner.lock().detect_conflicts = false;
+        self
+    }
+
+    /// Register an (empty) table. Registration is in-memory metadata, like
+    /// the catalog of a real system; [`TxnManager::recover`] takes the
+    /// catalog as input for the same reason.
+    pub fn create_table(&self, name: &str, schema: Schema) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.tables.contains_key(name) {
+            return Err(StorageError::SchemaMismatch {
+                reason: format!("table '{name}' already exists"),
+            });
+        }
+        inner
+            .tables
+            .insert(name.to_string(), VersionedTable::new(schema));
+        Ok(())
+    }
+
+    /// Begin a transaction: its snapshot is everything committed so far.
+    pub fn begin(&self) -> Txn {
+        let mut inner = self.inner.lock();
+        let id = inner.next_txn;
+        inner.next_txn += 1;
+        let begin_ts = inner.last_commit;
+        drop(inner);
+        if xst_obs::enabled() {
+            txn_begins_total().inc();
+        }
+        Txn {
+            mgr: self.clone(),
+            id,
+            begin_ts,
+            snapshots: BTreeMap::new(),
+            writes: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    /// The latest committed identity of `name` — what a transaction
+    /// beginning right now would read.
+    pub fn latest_identity(&self, name: &str) -> StorageResult<Arc<ExtendedSet>> {
+        let inner = self.inner.lock();
+        let vt = require_table(&inner.tables, name)?;
+        Ok(Arc::clone(&vt.latest().identity))
+    }
+
+    /// The latest commit timestamp.
+    pub fn last_commit_ts(&self) -> CommitTs {
+        self.inner.lock().last_commit
+    }
+
+    /// Autocommit convenience: run one batch of inserts as its own
+    /// transaction.
+    pub fn autocommit_insert(&self, table: &str, records: &[Record]) -> StorageResult<CommitTs> {
+        let mut txn = self.begin();
+        for r in records {
+            txn.insert(table, r.clone())?;
+        }
+        txn.commit()
+    }
+
+    /// Rebuild committed state after a crash: recover the shared op log
+    /// through the PR 3 machinery (checkpointed pages + marker-sealed WAL
+    /// replay), then fold the surviving ops, in commit order, into one
+    /// recovered version per table. `catalog` supplies the schemas, as a
+    /// real system's separately-durable catalog would; tables in the
+    /// catalog with no surviving ops recover empty. The recovered manager
+    /// logs future commits into `fresh`.
+    pub fn recover(
+        storage: &Storage,
+        wal: Wal,
+        fresh: Wal,
+        catalog: &[(&str, Schema)],
+    ) -> StorageResult<TxnManager> {
+        let log = LoggedTable::recover_onto(storage, op_log_schema(), wal, fresh)?;
+        let pool = BufferPool::new(storage.clone(), 8);
+        let ops = log.table.file.read_all(&pool)?;
+        let mut tables = BTreeMap::new();
+        for (name, schema) in catalog {
+            tables.insert(name.to_string(), VersionedTable::new(schema.clone()));
+        }
+        let mut identities: BTreeMap<String, ExtendedSet> = BTreeMap::new();
+        let mut writes: BTreeMap<String, BTreeSet<Record>> = BTreeMap::new();
+        for op_record in &ops {
+            let (name, op) = decode_op(op_record)?;
+            require_table(&tables, &name)?;
+            let cur = identities
+                .entry(name.clone())
+                .or_insert_with(ExtendedSet::empty);
+            *cur = apply_op(cur, &op);
+            writes.entry(name).or_default().insert(op.record().clone());
+        }
+        let recovered_any = !identities.is_empty();
+        for (name, identity) in identities {
+            let vt = tables.get_mut(&name).expect("checked above");
+            vt.versions.push(TableVersion {
+                commit_ts: 1,
+                identity: Arc::new(identity),
+                writes: writes.remove(&name).unwrap_or_default(),
+            });
+        }
+        Ok(TxnManager {
+            inner: Arc::new(Mutex::new(ManagerInner {
+                next_txn: 1,
+                last_commit: if recovered_any { 1 } else { 0 },
+                tables,
+                log,
+                detect_conflicts: true,
+            })),
+        })
+    }
+
+    /// Number of committed versions retained for `name` (including the
+    /// empty pre-history version).
+    pub fn version_count(&self, name: &str) -> StorageResult<usize> {
+        let inner = self.inner.lock();
+        Ok(require_table(&inner.tables, name)?.versions.len())
+    }
+
+    /// Commit `txn`'s buffered writes. Called by [`Txn::commit`].
+    fn commit_writes(
+        &self,
+        begin_ts: CommitTs,
+        writes: &BTreeMap<String, Vec<TxnOp>>,
+    ) -> StorageResult<CommitTs> {
+        let mut inner = self.inner.lock();
+        // Read-only transactions commit without a timestamp bump or a
+        // flush — they wrote nothing, so there is nothing to make durable.
+        if writes.is_empty() {
+            return Ok(inner.last_commit);
+        }
+        // Validation: first committer wins. Any version committed after
+        // our snapshot whose write set overlaps ours kills the commit.
+        if inner.detect_conflicts {
+            for (name, ops) in writes {
+                let vt = require_table(&inner.tables, name)?;
+                for v in vt.versions.iter().rev() {
+                    if v.commit_ts <= begin_ts {
+                        break;
+                    }
+                    if let Some(op) = ops.iter().find(|op| v.writes.contains(op.record())) {
+                        if xst_obs::enabled() {
+                            txn_conflicts_total().inc();
+                        }
+                        return Err(StorageError::TxnConflict {
+                            table: name.clone(),
+                            reason: format!(
+                                "record {:?} was written by commit ts {} after snapshot ts {begin_ts}",
+                                op.record(),
+                                v.commit_ts
+                            ),
+                        });
+                    }
+                }
+            }
+        } else {
+            // Still validate table existence so the broken mode only
+            // breaks *isolation*, not the catalog.
+            for name in writes.keys() {
+                require_table(&inner.tables, name)?;
+            }
+        }
+        // Durability: one op-log batch, one group-commit flush, across
+        // every table this transaction touched. `Ok` here is the ack —
+        // acknowledged ⇒ recoverable. `Err` leaves the batch atomically
+        // absent and the in-memory version chains untouched.
+        let batch: Vec<Record> = writes
+            .iter()
+            .flat_map(|(name, ops)| ops.iter().map(move |op| encode_op(name, op)))
+            .collect();
+        inner.log.append_batch(&batch)?;
+        // Publish: one new version per written table, all at the same
+        // commit timestamp (the transaction is atomic across tables).
+        let ts = inner.last_commit + 1;
+        inner.last_commit = ts;
+        for (name, ops) in writes {
+            let vt = inner.tables.get_mut(name).expect("validated above");
+            let mut identity = (*vt.latest().identity).clone();
+            for op in ops {
+                identity = apply_op(&identity, op);
+            }
+            vt.versions.push(TableVersion {
+                commit_ts: ts,
+                identity: Arc::new(identity),
+                writes: ops.iter().map(|op| op.record().clone()).collect(),
+            });
+        }
+        Ok(ts)
+    }
+}
+
+fn require_table<'a>(
+    tables: &'a BTreeMap<String, VersionedTable>,
+    name: &str,
+) -> StorageResult<&'a VersionedTable> {
+    tables
+        .get(name)
+        .ok_or_else(|| StorageError::SchemaMismatch {
+            reason: format!("no table named '{name}'"),
+        })
+}
+
+/// Apply one op to a whole-set identity: insert is a union with the
+/// singleton row identity, delete a difference — the set-processing
+/// discipline all the way down.
+fn apply_op(identity: &ExtendedSet, op: &TxnOp) -> ExtendedSet {
+    let row = ExtendedSet::classical([Value::Set(op.record().to_tuple())]);
+    match op {
+        TxnOp::Insert(_) => union(identity, &row),
+        TxnOp::Delete(_) => difference(identity, &row),
+    }
+}
+
+/// A snapshot-isolated transaction. Reads come from the snapshot taken at
+/// [`TxnManager::begin`] (plus this transaction's own writes); writes stay
+/// buffered until [`Txn::commit`].
+///
+/// Dropping a transaction without committing aborts it.
+pub struct Txn {
+    mgr: TxnManager,
+    id: TxnId,
+    begin_ts: CommitTs,
+    /// Identities pinned on first read — `Arc` clones of committed
+    /// versions, so repeat reads are lock-free and provably stable.
+    snapshots: BTreeMap<String, Arc<ExtendedSet>>,
+    writes: BTreeMap<String, Vec<TxnOp>>,
+    finished: bool,
+}
+
+impl Txn {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The commit timestamp this transaction's snapshot was taken at.
+    pub fn begin_ts(&self) -> CommitTs {
+        self.begin_ts
+    }
+
+    /// True iff this transaction has buffered writes.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Pin (on first use) and return the snapshot identity of `table`,
+    /// *without* this transaction's own writes.
+    fn snapshot(&mut self, table: &str) -> StorageResult<Arc<ExtendedSet>> {
+        if let Some(s) = self.snapshots.get(table) {
+            return Ok(Arc::clone(s));
+        }
+        let inner = self.mgr.inner.lock();
+        let vt = require_table(&inner.tables, table)?;
+        let identity = Arc::clone(&vt.visible_at(self.begin_ts).identity);
+        drop(inner);
+        self.snapshots
+            .insert(table.to_string(), Arc::clone(&identity));
+        Ok(identity)
+    }
+
+    fn schema(&self, table: &str) -> StorageResult<Schema> {
+        let inner = self.mgr.inner.lock();
+        Ok(require_table(&inner.tables, table)?.schema.clone())
+    }
+
+    /// The identity this transaction sees for `table`: the pinned snapshot
+    /// with its own buffered writes applied in program order.
+    pub fn read_identity(&mut self, table: &str) -> StorageResult<ExtendedSet> {
+        let snap = self.snapshot(table)?;
+        match self.writes.get(table) {
+            None => Ok((*snap).clone()),
+            Some(ops) => {
+                let mut cur = (*snap).clone();
+                for op in ops {
+                    cur = apply_op(&cur, op);
+                }
+                Ok(cur)
+            }
+        }
+    }
+
+    /// A [`SetEngine`] over this transaction's view of `table` — the
+    /// whole-set query surface (select/project/join/...) against a frozen
+    /// snapshot. Zero-copy when the transaction has no writes on the
+    /// table.
+    pub fn engine(&mut self, table: &str) -> StorageResult<SetEngine> {
+        let schema = self.schema(table)?;
+        if self.writes.get(table).is_none_or(|ops| ops.is_empty()) {
+            let snap = self.snapshot(table)?;
+            return Ok(SetEngine::from_shared(snap, schema));
+        }
+        Ok(SetEngine::from_identity(self.read_identity(table)?, schema))
+    }
+
+    /// This transaction's view of `table` as sorted records.
+    pub fn scan(&mut self, table: &str) -> StorageResult<Vec<Record>> {
+        SetEngine::to_records(&self.read_identity(table)?)
+    }
+
+    /// Buffer an insert.
+    pub fn insert(&mut self, table: &str, record: Record) -> StorageResult<()> {
+        record.conforms(&self.schema(table)?)?;
+        self.writes
+            .entry(table.to_string())
+            .or_default()
+            .push(TxnOp::Insert(record));
+        Ok(())
+    }
+
+    /// Buffer a delete (a no-op at read time if the record is absent).
+    pub fn delete(&mut self, table: &str, record: Record) -> StorageResult<()> {
+        record.conforms(&self.schema(table)?)?;
+        self.writes
+            .entry(table.to_string())
+            .or_default()
+            .push(TxnOp::Delete(record));
+        Ok(())
+    }
+
+    /// Commit: validate first-committer-wins, group-commit the op batch
+    /// through the WAL, publish new versions. On `Err` the transaction is
+    /// aborted and had no effect (the failed batch is atomically absent
+    /// from the log).
+    pub fn commit(mut self) -> StorageResult<CommitTs> {
+        let timer = xst_obs::enabled().then(Instant::now);
+        self.finished = true;
+        let result = self.mgr.commit_writes(self.begin_ts, &self.writes);
+        if xst_obs::enabled() {
+            match &result {
+                Ok(_) => {
+                    txn_commits_total().inc();
+                    if let Some(t) = timer {
+                        txn_commit_hist().observe_since(t);
+                    }
+                }
+                Err(_) => txn_aborts_total().inc(),
+            }
+        }
+        result
+    }
+
+    /// Abort: discard every buffered write. Also what [`Drop`] does.
+    pub fn abort(mut self) {
+        self.finished = true;
+        if xst_obs::enabled() {
+            txn_aborts_total().inc();
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished && xst_obs::enabled() {
+            txn_aborts_total().inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv_schema() -> Schema {
+        Schema::new(["k", "v"])
+    }
+
+    fn row(k: i64, v: i64) -> Record {
+        Record::new([Value::Int(k), Value::Int(v)])
+    }
+
+    fn fresh() -> (Storage, Wal, TxnManager) {
+        let storage = Storage::new();
+        let wal = Wal::new();
+        let mgr = TxnManager::new(&storage, wal.clone());
+        mgr.create_table("t", kv_schema()).unwrap();
+        (storage, wal, mgr)
+    }
+
+    #[test]
+    fn autocommit_and_latest_identity() {
+        let (_s, _w, mgr) = fresh();
+        let ts = mgr
+            .autocommit_insert("t", &[row(1, 10), row(2, 20)])
+            .unwrap();
+        assert_eq!(ts, 1);
+        assert_eq!(mgr.latest_identity("t").unwrap().card(), 2);
+        assert_eq!(mgr.last_commit_ts(), 1);
+        assert_eq!(mgr.version_count("t").unwrap(), 2, "pre-history + 1 commit");
+    }
+
+    #[test]
+    fn snapshot_reads_are_stable_across_concurrent_commits() {
+        let (_s, _w, mgr) = fresh();
+        mgr.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        let mut reader = mgr.begin();
+        assert_eq!(reader.scan("t").unwrap(), vec![row(1, 10)]);
+        // A later commit lands while the reader is open...
+        mgr.autocommit_insert("t", &[row(2, 20)]).unwrap();
+        // ...and the reader's view does not move.
+        assert_eq!(reader.scan("t").unwrap(), vec![row(1, 10)]);
+        assert_eq!(reader.commit().unwrap(), 2, "read-only commit, no ts bump");
+        // A fresh transaction sees everything.
+        let mut after = mgr.begin();
+        assert_eq!(after.scan("t").unwrap(), vec![row(1, 10), row(2, 20)]);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (_s, _w, mgr) = fresh();
+        mgr.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        let mut txn = mgr.begin();
+        txn.insert("t", row(2, 20)).unwrap();
+        txn.delete("t", row(1, 10)).unwrap();
+        assert_eq!(txn.scan("t").unwrap(), vec![row(2, 20)]);
+        // Nothing is visible outside until commit.
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![row(1, 10)]);
+        txn.commit().unwrap();
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![row(2, 20)]);
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let (_s, _w, mgr) = fresh();
+        mgr.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        let mut t1 = mgr.begin();
+        let mut t2 = mgr.begin();
+        // Both rewrite the same row from the same snapshot.
+        for t in [&mut t1, &mut t2] {
+            t.delete("t", row(1, 10)).unwrap();
+            t.insert("t", row(1, 11)).unwrap();
+        }
+        assert!(t1.commit().is_ok(), "first committer wins");
+        match t2.commit() {
+            Err(StorageError::TxnConflict { table, .. }) => assert_eq!(table, "t"),
+            other => panic!("second committer must conflict, got {other:?}"),
+        }
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![row(1, 11)]);
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_conflict() {
+        let (_s, _w, mgr) = fresh();
+        let mut t1 = mgr.begin();
+        let mut t2 = mgr.begin();
+        t1.insert("t", row(1, 10)).unwrap();
+        t2.insert("t", row(2, 20)).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![row(1, 10), row(2, 20)]);
+    }
+
+    #[test]
+    fn broken_conflict_detection_loses_updates() {
+        let (_s, _w, mgr) = fresh();
+        let mgr = mgr.with_broken_conflict_detection();
+        mgr.autocommit_insert("t", &[row(1, 0)]).unwrap();
+        let mut t1 = mgr.begin();
+        let mut t2 = mgr.begin();
+        for t in [&mut t1, &mut t2] {
+            t.delete("t", row(1, 0)).unwrap();
+            t.insert("t", row(1, 1)).unwrap();
+        }
+        t1.commit().unwrap();
+        t2.commit().unwrap(); // the lost update: both "increments" applied blindly
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![row(1, 1)]);
+    }
+
+    #[test]
+    fn engine_snapshot_is_queryable_and_shared() {
+        let (_s, _w, mgr) = fresh();
+        mgr.autocommit_insert("t", &[row(1, 10), row(2, 20), row(3, 10)])
+            .unwrap();
+        let mut txn = mgr.begin();
+        let engine = txn.engine("t").unwrap();
+        let hits = engine.select("v", &Value::Int(10)).unwrap();
+        assert_eq!(hits.card(), 2);
+        // Zero-copy: the engine's identity IS the committed version.
+        let latest = mgr.latest_identity("t").unwrap();
+        assert_eq!(engine.identity(), &*latest);
+    }
+
+    #[test]
+    fn committed_txns_recover_after_crash() {
+        let (storage, wal, mgr) = fresh();
+        mgr.create_table("u", kv_schema()).unwrap();
+        mgr.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        // One multi-table transaction.
+        let mut txn = mgr.begin();
+        txn.insert("t", row(2, 20)).unwrap();
+        txn.insert("u", row(7, 70)).unwrap();
+        txn.delete("t", row(1, 10)).unwrap();
+        txn.commit().unwrap();
+        // An in-flight transaction dies with the process.
+        let mut doomed = mgr.begin();
+        doomed.insert("t", row(9, 90)).unwrap();
+        drop(doomed);
+        drop(mgr); // crash
+        let recovered = TxnManager::recover(
+            &storage,
+            wal,
+            Wal::new(),
+            &[("t", kv_schema()), ("u", kv_schema())],
+        )
+        .unwrap();
+        assert_eq!(recovered.begin().scan("t").unwrap(), vec![row(2, 20)]);
+        assert_eq!(recovered.begin().scan("u").unwrap(), vec![row(7, 70)]);
+        // And the recovered manager accepts new commits.
+        recovered.autocommit_insert("t", &[row(5, 50)]).unwrap();
+        assert_eq!(
+            recovered.begin().scan("t").unwrap(),
+            vec![row(2, 20), row(5, 50)]
+        );
+    }
+
+    #[test]
+    fn unknown_tables_and_schema_violations_are_rejected() {
+        let (_s, _w, mgr) = fresh();
+        let mut txn = mgr.begin();
+        assert!(txn.insert("nope", row(1, 1)).is_err());
+        assert!(txn.scan("nope").is_err());
+        assert!(txn.insert("t", Record::new([Value::Int(1)])).is_err());
+        assert!(mgr.create_table("t", kv_schema()).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn op_codec_roundtrip_and_corrupt_ops_are_errors() {
+        let op = TxnOp::Insert(row(3, 33));
+        let (name, back) = decode_op(&encode_op("t", &op)).unwrap();
+        assert_eq!(name, "t");
+        assert_eq!(back, op);
+        let bad = Record::new([
+            Value::str("t"),
+            Value::sym("x"),
+            Value::Set(row(1, 1).to_tuple()),
+        ]);
+        assert!(decode_op(&bad).is_err(), "unknown tag");
+        let bad = Record::new([Value::Int(1)]);
+        assert!(decode_op(&bad).is_err(), "wrong arity");
+    }
+}

@@ -498,9 +498,22 @@ impl LoggedTable {
     /// ignored. Ends with a checkpoint of the rebuilt table, so the result
     /// is immediately durable.
     pub fn recover(storage: &Storage, schema: Schema, wal: Wal) -> StorageResult<LoggedTable> {
+        LoggedTable::recover_onto(storage, schema, wal, Wal::new())
+    }
+
+    /// [`LoggedTable::recover`], but the rebuilt table continues logging
+    /// into the caller-supplied `fresh` WAL instead of a private new one —
+    /// so the caller can keep injecting faults into (or inspecting) the
+    /// post-recovery log. The crashed `wal` is only read.
+    pub fn recover_onto(
+        storage: &Storage,
+        schema: Schema,
+        wal: Wal,
+        fresh: Wal,
+    ) -> StorageResult<LoggedTable> {
         let mark = wal.checkpoint();
         let logged = wal.records()?;
-        let mut out = LoggedTable::create(storage, schema, Wal::new());
+        let mut out = LoggedTable::create(storage, schema, fresh);
         if let Some(cp) = mark {
             for page_no in 0..cp.pages {
                 let page = storage.read_page(PageId {

@@ -4,6 +4,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod sched;
+
 use proptest::prelude::*;
 use xst_core::{ExtendedSet, Member, Process, Scope, Value};
 
@@ -15,6 +17,54 @@ pub fn arb_atom() -> impl Strategy<Value = Value> {
         prop::sample::select(vec!["a", "b", "c", "x", "y"]).prop_map(Value::sym),
         any::<bool>().prop_map(Value::Bool),
     ]
+}
+
+/// Strategy for atoms that stress the display↔parse corners the small
+/// [`arb_atom`] universe never reaches: strings exercising every escape
+/// the grammar supports (`\"`, `\\`, `\n`, `\t`) plus grammar-significant
+/// characters *inside* quotes (`{`, `^`, `,`, `∅`), byte literals, and
+/// floats that print with a kept fraction. Used by the roundtrip property
+/// suite.
+pub fn arb_tricky_atom() -> impl Strategy<Value = Value> {
+    let string_char = prop::sample::select(vec![
+        'a', 'z', 'A', '0', ' ', '"', '\\', '\n', '\t', '\'', '{', '}', '^', ',', '⟨', '∅',
+    ]);
+    prop_oneof![
+        prop::collection::vec(string_char, 0..8)
+            .prop_map(|cs| Value::str(cs.into_iter().collect::<String>())),
+        prop::collection::vec(any::<u8>(), 0..6).prop_map(Value::bytes),
+        prop::sample::select(vec![0.0f64, 1.5, -2.25, 3.0, 0.125, -10.0]).prop_map(Value::float),
+        arb_atom(),
+    ]
+}
+
+/// Strategy for sets over the tricky-atom universe, nested up to `depth`,
+/// including tuples and the empty set — the full surface the
+/// display↔parse roundtrip must cover.
+pub fn arb_tricky_set(depth: u32) -> BoxedStrategy<ExtendedSet> {
+    let value = if depth == 0 {
+        arb_tricky_atom().boxed()
+    } else {
+        prop_oneof![
+            3 => arb_tricky_atom(),
+            1 => arb_tricky_set(depth - 1).prop_map(Value::Set),
+            1 => prop::collection::vec(arb_tricky_atom(), 0..3)
+                .prop_map(|vs| Value::Set(ExtendedSet::tuple(vs))),
+        ]
+        .boxed()
+    };
+    let scope = prop_oneof![
+        2 => Just(Value::classical_scope()),
+        1 => (1i64..4).prop_map(Value::Int),
+        1 => arb_tricky_atom(),
+    ];
+    prop_oneof![
+        1 => Just(ExtendedSet::empty()),
+        6 => prop::collection::vec((value, scope), 0..4).prop_map(|pairs| {
+            ExtendedSet::from_members(pairs.into_iter().map(|(e, s)| Member::new(e, s)).collect())
+        }),
+    ]
+    .boxed()
 }
 
 /// Strategy for values nested up to `depth` levels of sets.
@@ -265,6 +315,179 @@ pub mod crash {
                 rows, run.acked,
                 "site {site}/{sites}, kind {kind}: recovered rows must equal \
                  the acknowledged prefix (crash: {:?})",
+                run.crashed
+            );
+        }
+        sites
+    }
+
+    // -----------------------------------------------------------------
+    // The transactional workload: the same discipline one layer up.
+    // -----------------------------------------------------------------
+
+    use std::collections::BTreeSet;
+    use xst_storage::TxnManager;
+
+    /// Tables of the transactional crash workload.
+    pub const TXN_TABLES: [&str; 2] = ["t", "u"];
+    /// Transactions the scripted transactional workload commits.
+    pub const TXN_COMMITS: usize = 10;
+
+    /// Schema of the transactional workload's tables.
+    pub fn txn_schema() -> Schema {
+        Schema::new(["k", "pad"])
+    }
+
+    /// The transactional workload's `i`-th row (padded so op-log batches
+    /// span heap pages and exercise heap-flush fault sites).
+    pub fn txn_rec(i: i64) -> Record {
+        Record::new([
+            Value::Int(i),
+            Value::str(format!("{i}:{}", "y".repeat(370))),
+        ])
+    }
+
+    /// What a crashed (or completed) transactional run leaves behind.
+    pub struct TxnRun {
+        /// Expected per-table contents from *acknowledged* commits only.
+        pub acked: Vec<(String, BTreeSet<Record>)>,
+        /// Display form of the first surfaced error, if the run crashed.
+        pub crashed: Option<String>,
+        /// The surviving disk.
+        pub storage: Storage,
+        /// The surviving log.
+        pub wal: Wal,
+    }
+
+    /// Drive a scripted transactional workload — [`TXN_COMMITS`]
+    /// multi-table transactions (inserts plus periodic deletes of earlier
+    /// rows), committed one after another, with one transaction left
+    /// in-flight at the end — against a substrate with `plan` installed
+    /// under `retry`. A transaction counts as acknowledged iff its
+    /// `commit()` returned `Ok`; the model folds exactly the acknowledged
+    /// ops.
+    pub fn drive_txn_workload(plan: Option<&FaultPlan>, retry: RetryPolicy) -> TxnRun {
+        let storage = Storage::new();
+        let wal = Wal::new();
+        if let Some(p) = plan {
+            storage.install_faults(p);
+            wal.install_faults(p);
+        }
+        let mgr = TxnManager::new(&storage, wal.clone()).with_retry_policy(retry);
+        for t in TXN_TABLES {
+            mgr.create_table(t, txn_schema())
+                .expect("catalog is in-memory");
+        }
+        let mut model: Vec<(String, BTreeSet<Record>)> = TXN_TABLES
+            .iter()
+            .map(|t| (t.to_string(), BTreeSet::new()))
+            .collect();
+        let mut crashed = None;
+        for i in 0..TXN_COMMITS as i64 {
+            let mut txn = mgr.begin();
+            let mut staged: Vec<(usize, Record, bool)> = Vec::new(); // (table idx, rec, is_insert)
+            let stage = |txn: &mut xst_storage::Txn,
+                         staged: &mut Vec<(usize, Record, bool)>,
+                         ti: usize,
+                         rec: Record,
+                         insert: bool| {
+                let r = if insert {
+                    txn.insert(TXN_TABLES[ti], rec.clone())
+                } else {
+                    txn.delete(TXN_TABLES[ti], rec.clone())
+                };
+                r.expect("buffered writes do no I/O");
+                staged.push((ti, rec, insert));
+            };
+            stage(&mut txn, &mut staged, 0, txn_rec(i), true);
+            stage(&mut txn, &mut staged, 1, txn_rec(100 + i), true);
+            if i % 3 == 0 && i > 0 {
+                stage(&mut txn, &mut staged, 0, txn_rec(i - 1), false);
+            }
+            match txn.commit() {
+                Ok(_) => {
+                    for (ti, rec, insert) in staged {
+                        if insert {
+                            model[ti].1.insert(rec);
+                        } else {
+                            model[ti].1.remove(&rec);
+                        }
+                    }
+                }
+                Err(e) => {
+                    crashed = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if crashed.is_none() {
+            // The in-flight transaction: buffered writes, never committed.
+            // It must vanish atomically at the crash.
+            let mut doomed = mgr.begin();
+            doomed
+                .insert(TXN_TABLES[0], txn_rec(999))
+                .expect("buffered writes do no I/O");
+            std::mem::forget(doomed);
+        }
+        TxnRun {
+            acked: model,
+            crashed,
+            storage,
+            wal,
+        }
+    }
+
+    /// Crash the transactional run's process, clear fault injection,
+    /// recover through [`TxnManager::recover`], and return the recovered
+    /// per-table rows (as sets, matching [`TxnRun::acked`]).
+    pub fn recover_txn_tables(run: &TxnRun) -> Vec<(String, BTreeSet<Record>)> {
+        run.storage.clear_faults();
+        run.wal.clear_faults();
+        run.wal.drop_staged();
+        let catalog: Vec<(&str, Schema)> = TXN_TABLES.iter().map(|t| (*t, txn_schema())).collect();
+        let recovered = TxnManager::recover(&run.storage, run.wal.clone(), Wal::new(), &catalog)
+            .expect("txn recovery must succeed on a fault-free substrate");
+        TXN_TABLES
+            .iter()
+            .map(|t| {
+                let rows = recovered
+                    .begin()
+                    .scan(t)
+                    .expect("recovered table must scan");
+                (t.to_string(), rows.into_iter().collect())
+            })
+            .collect()
+    }
+
+    /// Injectable-site count of the transactional workload.
+    pub fn count_txn_sites() -> u64 {
+        let counting = FaultPlan::counting();
+        let clean = drive_txn_workload(Some(&counting), RetryPolicy::none());
+        assert!(
+            clean.crashed.is_none(),
+            "counting plan must not crash: {:?}",
+            clean.crashed
+        );
+        counting.sites_seen()
+    }
+
+    /// The fault-compose regression: crash a transactional workload at
+    /// *every* injectable site with `kind`, recover through the txn
+    /// layer, and assert acknowledged commits survive in full while
+    /// unacknowledged and in-flight transactions are atomically absent.
+    /// Returns the number of sites swept.
+    pub fn exhaustive_txn_crash_sweep(kind: FaultKind) -> u64 {
+        let sites = count_txn_sites();
+        assert!(sites > 0, "txn workload has injectable sites");
+        for site in 0..sites {
+            let plan = FaultPlan::new(FaultSchedule::AtSite(site), kind);
+            let run = drive_txn_workload(Some(&plan), RetryPolicy::none());
+            assert_eq!(plan.injected_count(), 1, "site {site} must fire");
+            let recovered = recover_txn_tables(&run);
+            assert_eq!(
+                recovered, run.acked,
+                "site {site}/{sites}, kind {kind}: recovered tables must equal \
+                 the acknowledged commits (crash: {:?})",
                 run.crashed
             );
         }

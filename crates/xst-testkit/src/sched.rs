@@ -1,0 +1,438 @@
+//! Deterministic interleaving harness for the transaction layer.
+//!
+//! A concurrency bug is a *schedule* bug: some interleaving of steps whose
+//! outcome no serial execution can produce. This module makes schedules
+//! first-class so the test suite can enumerate them:
+//!
+//! * a **script** is the program of one transaction — a list of [`Op`]s
+//!   followed by an implicit commit step;
+//! * a **schedule** is a sequence of transaction indices saying whose step
+//!   runs next (a cooperative scheduler — the transactions never race,
+//!   every run is exactly reproducible);
+//! * [`enumerate_schedules`] yields *every* interleaving of the scripts'
+//!   steps (exhaustive for small cases), [`random_schedule`] a
+//!   seed-replayable one for large cases;
+//! * [`run_schedule`] executes one schedule against a fresh
+//!   [`TxnManager`] and records which transactions committed, what every
+//!   `Read` observed, and the final table contents;
+//! * [`find_serial_equivalent`] is the **sequential oracle**: it replays
+//!   the committed scripts serially in every permutation and reports an
+//!   order producing the same final state, if one exists. Snapshot
+//!   isolation with first-committer-wins must make *every* schedule of the
+//!   workloads used here final-state serializable; a schedule with no
+//!   serial witness is a bug (and the deliberately-broken conflict mode is
+//!   required to produce one — that is the harness's own guard test).
+//!
+//! [`Op::Increment`] is the load-bearing operation: a read-modify-write
+//! whose lost update is visible in the final state, so the oracle can tell
+//! correct isolation from broken isolation by looking at rows alone.
+
+use xst_core::Value;
+use xst_storage::{Record, Schema, Storage, Txn, TxnManager, Wal};
+
+/// The single table every scheduled workload runs against.
+pub const TABLE: &str = "t";
+
+/// Schema of the scheduled workload's table.
+pub fn kv_schema() -> Schema {
+    Schema::new(["k", "v"])
+}
+
+/// The workload row `⟨k, v⟩`.
+pub fn row(k: i64, v: i64) -> Record {
+    Record::new([Value::Int(k), Value::Int(v)])
+}
+
+/// The sentinel value marking a key as logically absent. Every key a
+/// workload mentions is seeded with a tombstone row before the schedule
+/// runs, and `Delete` writes a tombstone rather than leaving nothing:
+/// the table holds **exactly one materialized row per key at all times**.
+///
+/// This is the harness's answer to the phantom problem. The manager's
+/// conflict detection is record-level, so a key with *no* row has no
+/// conflict footprint — two transactions writing an absent key from
+/// equal snapshots could slip past first-committer-wins with disjoint
+/// records and produce SI's classic write-skew anomaly (which the
+/// sequential oracle would then, correctly, flag). With a row always
+/// present, every writing op deletes its predecessor row, so any two
+/// concurrent writers of a key ww-conflict — the Fekete condition under
+/// which snapshot isolation IS serializable. Tombstones are stripped
+/// from recorded reads and final rows.
+pub const TOMBSTONE: i64 = -1;
+
+/// One step of a transaction's script.
+///
+/// Every writing op replaces the key's current row (see [`TOMBSTONE`]
+/// for why), so its record-level write set covers its read footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Set key `k` to `⟨k, k·10⟩`, replacing its current row.
+    Insert(i64),
+    /// Logically delete key `k`: replace its current row with a
+    /// tombstone.
+    Delete(i64),
+    /// Read-modify-write: read the visible value at `k` (0 if absent),
+    /// replace the row with `⟨k, v+1⟩`. Two concurrent increments that
+    /// both commit would lose an update — exactly what
+    /// first-committer-wins must prevent.
+    Increment(i64),
+    /// Observe the transaction's current view (recorded in the outcome).
+    Read,
+}
+
+impl Op {
+    /// The key this op writes, if it writes one.
+    pub fn key(&self) -> Option<i64> {
+        match self {
+            Op::Insert(k) | Op::Delete(k) | Op::Increment(k) => Some(*k),
+            Op::Read => None,
+        }
+    }
+}
+
+/// Every key mentioned by the scripts, sorted and deduplicated — the
+/// seeding domain.
+pub fn keys_of(scripts: &[Script]) -> Vec<i64> {
+    let mut keys: Vec<i64> = scripts.iter().flatten().filter_map(|op| op.key()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// A transaction's program. Its schedule footprint is `len() + 1` steps:
+/// each op, then the commit.
+pub type Script = Vec<Op>;
+
+/// Steps contributed by each script (ops + commit).
+pub fn steps_of(scripts: &[Script]) -> Vec<usize> {
+    scripts.iter().map(|s| s.len() + 1).collect()
+}
+
+/// Number of distinct interleavings of `steps` — the multinomial
+/// coefficient `(Σsteps)! / Π(stepsᵢ!)`.
+pub fn schedule_count(steps: &[usize]) -> u64 {
+    let mut n = 0u64;
+    let mut count = 1u64;
+    for &s in steps {
+        for i in 1..=s as u64 {
+            n += 1;
+            // count * n / i stays integral: it is C(n, i) * previous.
+            count = count * n / i;
+        }
+    }
+    count
+}
+
+/// Every interleaving of the given per-transaction step counts, in
+/// lexicographic order. `enumerate_schedules(&[3, 3])` has 20 entries.
+pub fn enumerate_schedules(steps: &[usize]) -> Vec<Vec<usize>> {
+    fn recurse(remaining: &mut [usize], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            if remaining[i] > 0 {
+                remaining[i] -= 1;
+                cur.push(i);
+                recurse(remaining, cur, out);
+                cur.pop();
+                remaining[i] += 1;
+            }
+        }
+    }
+    let mut remaining = steps.to_vec();
+    let mut out = Vec::new();
+    recurse(&mut remaining, &mut Vec::new(), &mut out);
+    out
+}
+
+/// A seed-replayable random interleaving of the given step counts: the
+/// step multiset shuffled by a fixed-constant LCG. Same seed, same
+/// schedule, on every platform — failures reported with their seed replay
+/// exactly.
+pub fn random_schedule(steps: &[usize], seed: u64) -> Vec<usize> {
+    let mut sched: Vec<usize> = steps
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &s)| std::iter::repeat_n(i, s))
+        .collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % bound as u64) as usize
+    };
+    // Fisher–Yates.
+    for i in (1..sched.len()).rev() {
+        sched.swap(i, next(i + 1));
+    }
+    sched
+}
+
+/// What one scheduled run left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Per transaction: did its commit succeed? (A `false` means a
+    /// first-committer-wins abort — never a panic.)
+    pub committed: Vec<bool>,
+    /// Per transaction: the rows each of its `Read` ops observed, in
+    /// program order.
+    pub reads: Vec<Vec<Vec<Record>>>,
+    /// The table contents a fresh transaction sees after the schedule.
+    pub final_rows: Vec<Record>,
+}
+
+fn apply(txn: &mut Txn, op: &Op, reads: &mut Vec<Vec<Record>>) {
+    match op {
+        Op::Insert(k) => replace_key(txn, *k, k * 10),
+        Op::Delete(k) => replace_key(txn, *k, TOMBSTONE),
+        Op::Increment(k) => {
+            let v = visible_with_key(txn, *k)
+                .iter()
+                .map(value_of)
+                .filter(|&v| v != TOMBSTONE)
+                .max()
+                .unwrap_or(0);
+            replace_key(txn, *k, v + 1);
+        }
+        Op::Read => reads.push(strip_tombstones(txn.scan(TABLE).expect("scan"))),
+    }
+}
+
+/// Replace key `k`'s current row(s) with `⟨k, v⟩` — delete-then-insert,
+/// so the write set always includes the row being superseded.
+fn replace_key(txn: &mut Txn, k: i64, v: i64) {
+    for r in visible_with_key(txn, k) {
+        txn.delete(TABLE, r).expect("delete superseded row");
+    }
+    txn.insert(TABLE, row(k, v)).expect("insert replacement");
+}
+
+fn visible_with_key(txn: &mut Txn, k: i64) -> Vec<Record> {
+    txn.scan(TABLE)
+        .expect("scan")
+        .into_iter()
+        .filter(|r| r.values().first() == Some(&Value::Int(k)))
+        .collect()
+}
+
+fn value_of(r: &Record) -> i64 {
+    match r.values().get(1) {
+        Some(Value::Int(v)) => *v,
+        other => panic!("workload rows carry Int values, got {other:?}"),
+    }
+}
+
+fn strip_tombstones(rows: Vec<Record>) -> Vec<Record> {
+    rows.into_iter()
+        .filter(|r| value_of(r) != TOMBSTONE)
+        .collect()
+}
+
+/// A fresh seeded database for `scripts`: the workload table with one
+/// tombstone row per mentioned key (committed, so every transaction's
+/// snapshot materializes every key).
+fn seeded_manager(scripts: &[Script], broken: bool) -> TxnManager {
+    let storage = Storage::new();
+    let mut mgr = TxnManager::new(&storage, Wal::new());
+    if broken {
+        mgr = mgr.with_broken_conflict_detection();
+    }
+    mgr.create_table(TABLE, kv_schema()).expect("create table");
+    let seeds: Vec<Record> = keys_of(scripts)
+        .into_iter()
+        .map(|k| row(k, TOMBSTONE))
+        .collect();
+    if !seeds.is_empty() {
+        mgr.autocommit_insert(TABLE, &seeds).expect("seed keys");
+    }
+    mgr
+}
+
+/// Execute `schedule` over `scripts` against a fresh in-memory database.
+/// Each transaction begins lazily at its first scheduled step; its last
+/// step is its commit. `broken` runs the manager with conflict detection
+/// disabled — the mode the harness must be able to convict.
+pub fn run_schedule(scripts: &[Script], schedule: &[usize], broken: bool) -> Outcome {
+    let mgr = seeded_manager(scripts, broken);
+    let mut txns: Vec<Option<Txn>> = scripts.iter().map(|_| None).collect();
+    let mut pc = vec![0usize; scripts.len()];
+    let mut committed = vec![false; scripts.len()];
+    let mut reads: Vec<Vec<Vec<Record>>> = vec![Vec::new(); scripts.len()];
+    for &ti in schedule {
+        let step = pc[ti];
+        pc[ti] += 1;
+        if step == 0 {
+            txns[ti] = Some(mgr.begin());
+        }
+        if step < scripts[ti].len() {
+            apply(
+                txns[ti].as_mut().expect("began at step 0"),
+                &scripts[ti][step],
+                &mut reads[ti],
+            );
+        } else {
+            assert_eq!(step, scripts[ti].len(), "schedule over-runs script {ti}");
+            let txn = txns[ti].take().expect("began at step 0");
+            committed[ti] = txn.commit().is_ok();
+        }
+    }
+    for (ti, &p) in pc.iter().enumerate() {
+        assert_eq!(p, scripts[ti].len() + 1, "schedule under-runs script {ti}");
+    }
+    let final_rows = strip_tombstones(mgr.begin().scan(TABLE).expect("final scan"));
+    Outcome {
+        committed,
+        reads,
+        final_rows,
+    }
+}
+
+/// The sequential oracle: run the given scripts one-at-a-time, each as
+/// its own committed transaction, in `order`, and return the final rows.
+/// Serial execution never conflicts (every snapshot is current). The
+/// database is seeded from ALL of `scripts` (not just `order`) so the
+/// oracle and a scheduled run start from the identical state.
+pub fn serial_rows(scripts: &[Script], order: &[usize]) -> Vec<Record> {
+    let mgr = seeded_manager(scripts, false);
+    for &ti in order {
+        let mut txn = mgr.begin();
+        let mut sink = Vec::new();
+        for op in &scripts[ti] {
+            apply(&mut txn, op, &mut sink);
+        }
+        txn.commit().expect("serial execution never conflicts");
+    }
+    strip_tombstones(mgr.begin().scan(TABLE).expect("serial final scan"))
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, x);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Search for a serial witness: a permutation of the *committed*
+/// transactions whose serial execution produces `outcome.final_rows`.
+/// `None` convicts the schedule of non-serializability.
+pub fn find_serial_equivalent(scripts: &[Script], outcome: &Outcome) -> Option<Vec<usize>> {
+    let committed: Vec<usize> = outcome
+        .committed
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &c)| c.then_some(i))
+        .collect();
+    permutations(&committed)
+        .into_iter()
+        .find(|perm| serial_rows(scripts, perm) == outcome.final_rows)
+}
+
+/// Run one schedule and assert it has a serial witness; returns the
+/// outcome (with the witness order) for further inspection. Panics with a
+/// replayable description on violation.
+pub fn check_schedule(
+    scripts: &[Script],
+    schedule: &[usize],
+    broken: bool,
+) -> (Outcome, Vec<usize>) {
+    let outcome = run_schedule(scripts, schedule, broken);
+    match find_serial_equivalent(scripts, &outcome) {
+        Some(witness) => (outcome, witness),
+        None => panic!(
+            "schedule {schedule:?} over {scripts:?} is not serializable: \
+             committed={:?}, final_rows={:?}",
+            outcome.committed, outcome.final_rows
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_count_matches_enumeration() {
+        for steps in [vec![3, 3], vec![2, 2, 2], vec![1, 4], vec![4, 4, 4]] {
+            let n = schedule_count(&steps);
+            if n <= 40_000 {
+                assert_eq!(enumerate_schedules(&steps).len() as u64, n, "{steps:?}");
+            }
+        }
+        // The 2-txn × 2-op tentpole case: C(6,3) = 20.
+        assert_eq!(schedule_count(&[3, 3]), 20);
+        // The 3-txn × 3-op randomized case: 12!/(4!)³ = 34 650.
+        assert_eq!(schedule_count(&[4, 4, 4]), 34_650);
+    }
+
+    #[test]
+    fn random_schedules_are_seed_stable_and_well_formed() {
+        let steps = [4, 4, 4];
+        let a = random_schedule(&steps, 42);
+        let b = random_schedule(&steps, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, random_schedule(&steps, 43), "different seed differs");
+        for (i, &s) in steps.iter().enumerate() {
+            assert_eq!(a.iter().filter(|&&t| t == i).count(), s);
+        }
+    }
+
+    #[test]
+    fn serial_oracle_runs_increments_sequentially() {
+        let scripts: Vec<Script> = vec![vec![Op::Increment(1)], vec![Op::Increment(1)]];
+        assert_eq!(serial_rows(&scripts, &[0, 1]), vec![row(1, 2)]);
+        assert_eq!(serial_rows(&scripts, &[1, 0]), vec![row(1, 2)]);
+        assert_eq!(serial_rows(&scripts, &[0]), vec![row(1, 1)]);
+    }
+
+    #[test]
+    fn fully_serial_schedule_reproduces_oracle() {
+        let scripts: Vec<Script> = vec![
+            vec![Op::Insert(1), Op::Increment(1)],
+            vec![Op::Increment(1), Op::Read],
+        ];
+        // Txn 0's three steps, then txn 1's three steps.
+        let (outcome, witness) = check_schedule(&scripts, &[0, 0, 0, 1, 1, 1], false);
+        assert_eq!(outcome.committed, vec![true, true]);
+        assert_eq!(witness, vec![0, 1]);
+        assert_eq!(outcome.final_rows, vec![row(1, 12)]);
+        assert_eq!(outcome.reads[1], vec![vec![row(1, 12)]]);
+    }
+
+    #[test]
+    fn conflicting_interleaving_aborts_one_and_stays_serializable() {
+        let scripts: Vec<Script> = vec![vec![Op::Increment(1)], vec![Op::Increment(1)]];
+        // Both increment from the same empty snapshot; first committer wins.
+        let (outcome, witness) = check_schedule(&scripts, &[0, 1, 0, 1], false);
+        assert_eq!(outcome.committed, vec![true, false]);
+        assert_eq!(witness, vec![0]);
+        assert_eq!(outcome.final_rows, vec![row(1, 1)]);
+    }
+
+    #[test]
+    fn broken_conflict_detection_is_convicted() {
+        let scripts: Vec<Script> = vec![vec![Op::Increment(1)], vec![Op::Increment(1)]];
+        let outcome = run_schedule(&scripts, &[0, 1, 0, 1], true);
+        assert_eq!(
+            outcome.committed,
+            vec![true, true],
+            "broken mode commits both"
+        );
+        assert_eq!(outcome.final_rows, vec![row(1, 1)], "the lost update");
+        assert!(
+            find_serial_equivalent(&scripts, &outcome).is_none(),
+            "no serial order of two committed increments yields v=1"
+        );
+    }
+}

@@ -9,7 +9,10 @@ use xst_core::ops::{
     par_union, relative_product, sigma_restrict, union, Parallelism, Scope,
 };
 use xst_core::{ExtendedSet, Value};
-use xst_storage::{BufferPool, Record, RecordEngine, Schema, SetEngine, Storage, Table};
+use xst_storage::{
+    restructure_records, restructure_set, BufferPool, ColumnTable, Record, RecordEngine,
+    Restructuring, Schema, SetEngine, Storage, Table,
+};
 use xst_testkit::{arb_pair_relation, arb_set};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -129,6 +132,96 @@ proptest! {
         prop_assert_eq!(&i_rec, &SetEngine::to_records(&apar.intersect(&bsq)).unwrap());
         let d_rec = rec.difference(&at, &bt).unwrap();
         prop_assert_eq!(&d_rec, &SetEngine::to_records(&asq.difference(&bsq)).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column store vs the row path: layout must be invisible to the data.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Reconstructed column-store rows ≡ the row table's scan, and the two
+    /// representations share one set identity, on random tables.
+    #[test]
+    fn colstore_reconstruction_agrees_with_row_path(rows in arb_rows(3, 40)) {
+        let storage = Storage::new();
+        let row_table = make_table(&storage, &["a", "b", "c"], &rows);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|r| Record::new(r.iter().map(|&v| Value::Int(v))))
+            .collect();
+        let mut col_table = ColumnTable::create(&storage, Schema::new(["a", "b", "c"]));
+        col_table.load(&records).unwrap();
+        let pool = BufferPool::new(storage, 16);
+
+        prop_assert_eq!(&col_table.reconstruct(&pool).unwrap(), &records);
+        let row_identity = SetEngine::load(&row_table, &pool).unwrap();
+        prop_assert_eq!(
+            &col_table.identity(&pool).unwrap(),
+            row_identity.identity(),
+            "layout must be invisible to the identity"
+        );
+    }
+
+    /// A single materialized column ≡ the row engine's projection of that
+    /// field (order-insensitive: projection is a set, a column is a list).
+    #[test]
+    fn colstore_column_scan_agrees_with_projection(rows in arb_rows(3, 40), col in 0usize..3) {
+        let storage = Storage::new();
+        let row_table = make_table(&storage, &["a", "b", "c"], &rows);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|r| Record::new(r.iter().map(|&v| Value::Int(v))))
+            .collect();
+        let mut col_table = ColumnTable::create(&storage, Schema::new(["a", "b", "c"]));
+        col_table.load(&records).unwrap();
+        let pool = BufferPool::new(storage, 16);
+        let field = ["a", "b", "c"][col];
+
+        // Row order is preserved column-wise.
+        let column = col_table.read_column(&pool, field).unwrap();
+        let expected: Vec<Value> = rows.iter().map(|r| Value::Int(r[col])).collect();
+        prop_assert_eq!(&column, &expected);
+
+        // And deduplicated it is exactly the set-engine projection.
+        let mut distinct: Vec<Record> =
+            column.into_iter().map(|v| Record::new([v])).collect();
+        distinct.sort();
+        distinct.dedup();
+        let engine = SetEngine::load(&row_table, &pool).unwrap();
+        let projected =
+            SetEngine::to_records(&engine.project(&[field]).unwrap()).unwrap();
+        prop_assert_eq!(&distinct, &projected);
+    }
+
+    /// Record-processing restructure ≡ σ-domain restructure on random
+    /// tables and random column selections (permutes, projects, and
+    /// duplicates columns).
+    #[test]
+    fn restructure_disciplines_agree(
+        rows in arb_rows(3, 40),
+        picks in prop::collection::vec(0usize..3, 1..5),
+    ) {
+        let storage = Storage::new();
+        let table = make_table(&storage, &["a", "b", "c"], &rows);
+        let pool = BufferPool::new(storage.clone(), 16);
+        let columns: Vec<(String, &'static str)> = picks
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| (format!("out{j}"), ["a", "b", "c"][p]))
+            .collect();
+        let spec = Restructuring::new(&table.schema, columns).unwrap();
+
+        let new_table = restructure_records(&table, &pool, &storage, &spec).unwrap();
+        let mut rec_rows = new_table.file.read_all(&pool).unwrap();
+        rec_rows.sort();
+        rec_rows.dedup(); // the record path keeps duplicates; the set path cannot
+        let engine = SetEngine::load(&table, &pool).unwrap();
+        let set_rows =
+            SetEngine::to_records(&restructure_set(engine.identity(), &spec)).unwrap();
+        prop_assert_eq!(&rec_rows, &set_rows);
     }
 }
 

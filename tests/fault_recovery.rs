@@ -15,7 +15,8 @@
 use proptest::prelude::*;
 use xst_storage::{FaultKind, FaultPlan, FaultSchedule, RetryPolicy};
 use xst_testkit::crash::{
-    count_sites, drive_workload, exhaustive_crash_sweep, recover_and_rows, BATCHES,
+    count_sites, count_txn_sites, drive_txn_workload, drive_workload, exhaustive_crash_sweep,
+    exhaustive_txn_crash_sweep, recover_and_rows, recover_txn_tables, BATCHES, TXN_COMMITS,
 };
 
 // ---------------------------------------------------------------------------
@@ -97,6 +98,67 @@ fn site_count_is_stable_across_runs() {
 }
 
 // ---------------------------------------------------------------------------
+// Fault-compose: the same sweep one layer up, through the transaction
+// layer. Acknowledged commits survive recovery in full; conflict-aborted,
+// failed, and in-flight transactions are atomically absent.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_site_recovers_committed_txns_from_failed_writes() {
+    let sites = exhaustive_txn_crash_sweep(FaultKind::WriteFail);
+    assert!(
+        sites >= 10,
+        "txn workload too small to mean anything: {sites}"
+    );
+}
+
+#[test]
+fn every_site_recovers_committed_txns_from_torn_writes() {
+    exhaustive_txn_crash_sweep(FaultKind::TornWrite(37));
+}
+
+#[test]
+fn every_site_recovers_committed_txns_from_failed_syncs() {
+    exhaustive_txn_crash_sweep(FaultKind::SyncFail);
+}
+
+#[test]
+fn every_site_recovers_committed_txns_from_short_reads() {
+    exhaustive_txn_crash_sweep(FaultKind::ShortRead(512));
+}
+
+#[test]
+fn every_site_recovers_committed_txns_from_unretried_transients() {
+    exhaustive_txn_crash_sweep(FaultKind::Transient);
+}
+
+#[test]
+fn txn_commits_survive_fault_free_crash_and_inflight_txns_vanish() {
+    // The no-fault baseline: all commits acknowledged, the in-flight
+    // transaction buffered at crash time leaves no trace.
+    let run = drive_txn_workload(None, RetryPolicy::none());
+    assert_eq!(run.crashed, None);
+    let expected_t = TXN_COMMITS - (TXN_COMMITS - 1) / 3; // inserts minus periodic deletes
+    assert_eq!(run.acked[0].1.len(), expected_t);
+    assert_eq!(run.acked[1].1.len(), TXN_COMMITS);
+    assert_eq!(recover_txn_tables(&run), run.acked);
+}
+
+#[test]
+fn txn_retry_absorbs_periodic_transients() {
+    let plan = FaultPlan::new(FaultSchedule::EveryNth(3), FaultKind::Transient);
+    let run = drive_txn_workload(Some(&plan), RetryPolicy::default());
+    assert_eq!(run.crashed, None, "retry must absorb every periodic fault");
+    assert!(plan.injected_count() > 0, "faults actually fired");
+    assert_eq!(recover_txn_tables(&run), run.acked);
+}
+
+#[test]
+fn txn_site_count_is_stable_across_runs() {
+    assert_eq!(count_txn_sites(), count_txn_sites());
+}
+
+// ---------------------------------------------------------------------------
 // Randomized fault schedules: the contract is schedule-independent.
 // ---------------------------------------------------------------------------
 
@@ -133,6 +195,26 @@ proptest! {
         let rows = recover_and_rows(&run);
         prop_assert_eq!(
             rows,
+            run.acked.clone(),
+            "kind {}, schedule {:?}, attempts {}: crash {:?}",
+            kind,
+            schedule,
+            attempts,
+            run.crashed
+        );
+    }
+
+    #[test]
+    fn randomized_fault_schedules_preserve_the_txn_contract(
+        kind in arb_kind(),
+        schedule in arb_schedule(),
+        attempts in 1u32..5,
+    ) {
+        let plan = FaultPlan::new(schedule, kind);
+        let run = drive_txn_workload(Some(&plan), RetryPolicy::new(attempts, 100, 10_000));
+        let tables = recover_txn_tables(&run);
+        prop_assert_eq!(
+            tables,
             run.acked.clone(),
             "kind {}, schedule {:?}, attempts {}: crash {:?}",
             kind,

@@ -7,7 +7,7 @@ use xst_core::ops::{difference, disjoint, intersection, symmetric_difference, un
 use xst_core::parse::parse_set;
 use xst_core::{ExtendedSet, Value};
 use xst_storage::codec::{decode_exact, encode_to_vec};
-use xst_testkit::{arb_set, arb_value};
+use xst_testkit::{arb_set, arb_tricky_atom, arb_tricky_set, arb_value};
 
 proptest! {
     /// Canonical form: building from any permutation of members yields the
@@ -90,6 +90,35 @@ proptest! {
         let text = s.to_string();
         let back = parse_set(&text).unwrap();
         prop_assert_eq!(back, s, "text was {}", text);
+    }
+
+    /// Display → parse also round-trips the grammar's hard corners: string
+    /// escapes (`\"`, `\\`, `\n`, `\t`), grammar-significant characters
+    /// *inside* quotes, byte literals, floats with kept fractions, nested
+    /// scopes, tuples, and the empty set — a value universe the small-atom
+    /// strategy above never reaches.
+    #[test]
+    fn display_parse_roundtrip_tricky(s in arb_tricky_set(2)) {
+        let text = s.to_string();
+        let back = parse_set(&text).unwrap();
+        prop_assert_eq!(back, s, "text was {}", text);
+    }
+
+    /// The binary codec round-trips the tricky universe too.
+    #[test]
+    fn codec_roundtrip_tricky(s in arb_tricky_set(2)) {
+        let v = Value::Set(s);
+        let bytes = encode_to_vec(&v);
+        prop_assert_eq!(decode_exact(&bytes).unwrap(), v);
+    }
+
+    /// Tricky atoms survive a display→parse trip through a scoped member
+    /// position as well as an element position.
+    #[test]
+    fn tricky_atoms_roundtrip_as_scopes(e in arb_tricky_atom(), s in arb_tricky_atom()) {
+        let set = ExtendedSet::from_members(vec![xst_core::Member::new(e, s)]);
+        let text = set.to_string();
+        prop_assert_eq!(parse_set(&text).unwrap(), set, "text was {}", text);
     }
 
     /// Binary codec round-trips every generated value exactly.
