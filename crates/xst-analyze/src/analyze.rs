@@ -1,0 +1,270 @@
+//! The bottom-up abstract-interpretation pass.
+//!
+//! [`analyze`] walks a plan once, computing an [`AbstractSet`] for every
+//! node and collecting [`Diagnostic`]s along the way. The result is an
+//! [`Analysis`]: the annotated node tree (same shape as the plan) plus the
+//! diagnostic list and a `proved_safe` verdict.
+//!
+//! ## Gating policy
+//!
+//! Errors are reserved for plans that *provably* cannot evaluate: an
+//! unbound table in a closed environment, or a cross product whose exact
+//! operands demonstrably collide. Everything else — statically-empty
+//! subplans, vacuous specifications, cross products that merely *might*
+//! collide — is a warning, so gating on errors can never reject a plan
+//! that used to evaluate successfully.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{AnalysisError, DiagCode, Diagnostic, Severity};
+use crate::lattice::{AbstractSet, CrossVerdict, Emptiness, DEFAULT_SCAN_CAP};
+use crate::plan::{AbstractPlan, PlanShape};
+use xst_core::ExtendedSet;
+
+/// What the analyzer may assume about table bindings.
+#[derive(Debug, Clone)]
+pub struct AnalysisEnv {
+    tables: BTreeMap<String, AbstractSet>,
+    closed: bool,
+    scan_cap: usize,
+}
+
+impl AnalysisEnv {
+    /// A *closed* environment: the given bindings are all that will exist
+    /// at evaluation time, so an unbound table is a definite error.
+    pub fn closed() -> AnalysisEnv {
+        AnalysisEnv {
+            tables: BTreeMap::new(),
+            closed: true,
+            scan_cap: DEFAULT_SCAN_CAP,
+        }
+    }
+
+    /// An *open* environment: tables not bound here may still be bound at
+    /// evaluation time (used by the optimizer, which has no bindings).
+    /// Unbound tables abstract to ⊤ and withdraw the safety proof.
+    pub fn open() -> AnalysisEnv {
+        AnalysisEnv {
+            tables: BTreeMap::new(),
+            closed: false,
+            scan_cap: DEFAULT_SCAN_CAP,
+        }
+    }
+
+    /// Override the member-scan budget used when abstracting concrete sets.
+    pub fn with_scan_cap(mut self, cap: usize) -> AnalysisEnv {
+        self.scan_cap = cap;
+        self
+    }
+
+    /// Bind a table name to a concrete set (abstracted under the scan cap).
+    pub fn bind(&mut self, name: impl Into<String>, set: &ExtendedSet) -> &mut Self {
+        let a = AbstractSet::from_set(set, self.scan_cap);
+        self.tables.insert(name.into(), a);
+        self
+    }
+
+    /// The scan budget this environment abstracts concrete sets under.
+    pub fn scan_cap(&self) -> usize {
+        self.scan_cap
+    }
+}
+
+/// One plan node's analysis result; the tree mirrors the plan's shape.
+#[derive(Debug, Clone)]
+pub struct AnalyzedNode {
+    /// Everything known about this node's result.
+    pub set: AbstractSet,
+    /// Child nodes in plan order.
+    pub children: Vec<AnalyzedNode>,
+}
+
+/// The result of analyzing one plan.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The annotated node tree (same shape as the plan).
+    pub root: AnalyzedNode,
+    /// All findings, in discovery (bottom-up, left-to-right) order.
+    pub diagnostics: Vec<Diagnostic>,
+    runtime_safe: bool,
+}
+
+impl Analysis {
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Does analysis reject this plan (any error-severity diagnostic)?
+    pub fn is_rejected(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Did the analyzer *prove* the plan evaluates without a runtime
+    /// scope/type error? Requires no errors, no unproven cross products,
+    /// and no tables left unresolved by an open environment.
+    pub fn proved_safe(&self) -> bool {
+        !self.is_rejected() && self.runtime_safe
+    }
+
+    /// The structured error to return from gated evaluation, if rejected.
+    pub fn to_error(&self) -> Option<AnalysisError> {
+        self.is_rejected().then(|| AnalysisError {
+            diagnostics: self.diagnostics.clone(),
+        })
+    }
+}
+
+/// Analyze `plan` bottom-up under `env`.
+pub fn analyze<P: AbstractPlan>(plan: &P, env: &AnalysisEnv) -> Analysis {
+    let mut cx = Cx {
+        env,
+        diagnostics: Vec::new(),
+        runtime_safe: true,
+    };
+    let root = cx.go(plan);
+    Analysis {
+        root,
+        diagnostics: cx.diagnostics,
+        runtime_safe: cx.runtime_safe,
+    }
+}
+
+struct Cx<'e> {
+    env: &'e AnalysisEnv,
+    diagnostics: Vec<Diagnostic>,
+    runtime_safe: bool,
+}
+
+impl Cx<'_> {
+    fn go<P: AbstractPlan>(&mut self, plan: &P) -> AnalyzedNode {
+        // `true` once a vacuous-spec warning already explains why this node
+        // is empty, so the generic empty-subplan warning stays quiet.
+        let mut spec_warned = false;
+        let (set, children) = match plan.shape() {
+            PlanShape::Literal(s) => (AbstractSet::from_set(s, self.env.scan_cap()), vec![]),
+            PlanShape::Table(name) => match self.env.tables.get(name) {
+                Some(a) => (a.clone(), vec![]),
+                None if self.env.closed => {
+                    self.diagnostics.push(Diagnostic::error(
+                        DiagCode::UnboundTable,
+                        plan.describe(),
+                        format!("table `{name}` is not bound"),
+                    ));
+                    (AbstractSet::top(), vec![])
+                }
+                None => {
+                    // Open environment: the table may be bound later; no
+                    // diagnostic, but the safety proof is withdrawn.
+                    self.runtime_safe = false;
+                    (AbstractSet::top(), vec![])
+                }
+            },
+            PlanShape::Union(a, b) => {
+                let (x, y) = (self.go(a), self.go(b));
+                (x.set.union_with(&y.set), vec![x, y])
+            }
+            PlanShape::Intersect(a, b) => {
+                let (x, y) = (self.go(a), self.go(b));
+                (x.set.intersect_with(&y.set), vec![x, y])
+            }
+            PlanShape::Difference(a, b) => {
+                let (x, y) = (self.go(a), self.go(b));
+                (x.set.difference_with(&y.set), vec![x, y])
+            }
+            PlanShape::Cross(a, b) => {
+                let (x, y) = (self.go(a), self.go(b));
+                let set = match x.set.cross_with(&y.set) {
+                    CrossVerdict::Safe(s) => s,
+                    CrossVerdict::Unproven(s) => {
+                        self.runtime_safe = false;
+                        self.diagnostics.push(Diagnostic::warning(
+                            DiagCode::MaybeCrossCollision,
+                            plan.describe(),
+                            "cannot prove both operands are tuple-only; \
+                             ⊗ may raise a scope collision at runtime",
+                        ));
+                        s
+                    }
+                    CrossVerdict::Collision(e) => {
+                        self.diagnostics.push(Diagnostic::error(
+                            DiagCode::CrossCollision,
+                            plan.describe(),
+                            format!("⊗ provably fails: {e}"),
+                        ));
+                        // Unknown emptiness on purpose: a provably-failing
+                        // node must never be "optimized" into ∅.
+                        AbstractSet::top()
+                    }
+                };
+                (set, vec![x, y])
+            }
+            PlanShape::Restrict { r, sigma, a } => {
+                let (x, y) = (self.go(r), self.go(a));
+                if sigma.is_empty() {
+                    spec_warned = true;
+                    self.diagnostics.push(Diagnostic::warning(
+                        DiagCode::VacuousSpec,
+                        plan.describe(),
+                        "restriction over σ = ∅ is vacuous: R |_∅ A = ∅",
+                    ));
+                }
+                (x.set.restrict_by(sigma, &y.set), vec![x, y])
+            }
+            PlanShape::Domain { r, sigma } => {
+                let x = self.go(r);
+                if sigma.is_empty() {
+                    spec_warned = true;
+                    self.diagnostics.push(Diagnostic::warning(
+                        DiagCode::VacuousSpec,
+                        plan.describe(),
+                        "domain over σ = ∅ is vacuous: 𝔇_∅(R) = ∅",
+                    ));
+                }
+                (x.set.domain_by(sigma), vec![x])
+            }
+            PlanShape::Image { r, a, scope } => {
+                let (x, y) = (self.go(r), self.go(a));
+                if scope.sigma1.is_empty() || scope.sigma2.is_empty() {
+                    spec_warned = true;
+                    self.diagnostics.push(Diagnostic::warning(
+                        DiagCode::VacuousSpec,
+                        plan.describe(),
+                        "image over an empty scope component is vacuous",
+                    ));
+                }
+                (x.set.image_with(&y.set, scope), vec![x, y])
+            }
+            PlanShape::RelProduct { f, sigma, g, omega } => {
+                let (x, y) = (self.go(f), self.go(g));
+                (x.set.rel_product_with(sigma, &y.set, omega), vec![x, y])
+            }
+        };
+        // Flag the *source* of provable emptiness: a node that is empty on
+        // its own account, not one inheriting emptiness from a child or
+        // spelled `∅` in the plan text.
+        if set.emptiness == Emptiness::ProvablyEmpty
+            && !spec_warned
+            && !matches!(plan.shape(), PlanShape::Literal(_))
+            && !children
+                .iter()
+                .any(|c| c.set.emptiness == Emptiness::ProvablyEmpty)
+        {
+            self.diagnostics.push(Diagnostic::warning(
+                DiagCode::EmptySubplan,
+                plan.describe(),
+                "subplan provably evaluates to ∅",
+            ));
+        }
+        AnalyzedNode { set, children }
+    }
+}

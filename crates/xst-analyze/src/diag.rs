@@ -1,0 +1,146 @@
+//! Structured analyzer diagnostics.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The plan provably cannot evaluate successfully; evaluation is
+    /// rejected up front with an [`AnalysisError`].
+    Error,
+    /// The plan is suspicious (statically empty, vacuous specification,
+    /// unprovable cross-safety) but may still evaluate.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// Machine-readable diagnostic categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagCode {
+    /// A `Table` node names a table absent from the bindings.
+    UnboundTable,
+    /// A `⊗` node provably raises a scope collision / non-tuple error.
+    CrossCollision,
+    /// A `⊗` node whose operands could not be proven cross-safe.
+    MaybeCrossCollision,
+    /// A subplan that provably evaluates to `∅` without being written `∅`.
+    EmptySubplan,
+    /// An operator given an empty specification set, making it vacuous
+    /// (e.g. `R |_∅ A = ∅` by law 7.1(e)).
+    VacuousSpec,
+}
+
+impl DiagCode {
+    /// The stable kebab-case name used in rendered diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiagCode::UnboundTable => "unbound-table",
+            DiagCode::CrossCollision => "cross-collision",
+            DiagCode::MaybeCrossCollision => "maybe-cross-collision",
+            DiagCode::EmptySubplan => "empty-subplan",
+            DiagCode::VacuousSpec => "vacuous-spec",
+        }
+    }
+}
+
+/// One analyzer finding, anchored to a plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Machine-readable category.
+    pub code: DiagCode,
+    /// Rendering of the plan node the finding is anchored to.
+    pub node: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(
+        code: DiagCode,
+        node: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            node: node.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(
+        code: DiagCode,
+        node: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            node: node.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at `{}`: {}",
+            self.severity,
+            self.code.name(),
+            self.node,
+            self.message
+        )
+    }
+}
+
+/// The structured error returned when a plan is rejected by analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisError {
+    /// Every diagnostic the analysis produced (errors and warnings).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan rejected by static analysis")?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_render_with_code_and_node() {
+        let d = Diagnostic::error(DiagCode::UnboundTable, "t", "unbound table t");
+        assert_eq!(
+            d.to_string(),
+            "error[unbound-table] at `t`: unbound table t"
+        );
+        let e = AnalysisError {
+            diagnostics: vec![d],
+        };
+        assert!(e.to_string().contains("rejected by static analysis"));
+        assert!(e.to_string().contains("unbound-table"));
+    }
+}

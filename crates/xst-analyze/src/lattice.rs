@@ -1,0 +1,769 @@
+//! The abstract domain: what the analyzer can know about a subplan's result
+//! without running it.
+//!
+//! Every lattice element here is a sound *over-approximation* of the concrete
+//! result the evaluator would produce:
+//!
+//! * [`ScopeSig`] — a superset of the scopes the result's members can carry.
+//!   `Finite(S)` means "every member scope is in `S`"; [`ScopeSig::Top`]
+//!   means nothing is known. Because signatures are supersets, two subplans
+//!   with *disjoint* finite signatures provably intersect to `∅` — the key
+//!   fact the optimizer's analyzer-driven prune exploits.
+//! * [`Emptiness`] — the three-point emptiness lattice.
+//! * [`CardBounds`] — inclusive cardinality bounds (`hi = None` = unbounded).
+//! * `elems_tuples` / `scopes_tuples` — *proof* flags: `true` means every
+//!   member element (resp. scope) is provably cross-safe, i.e. its set view
+//!   is an n-tuple (Definition 9.1; atoms view as `∅`, the 0-tuple). When
+//!   both hold on both operands, `⊗` takes the concatenation path of
+//!   Definition 9.2 and can never raise a scope collision.
+//! * `exact` — bounded constant folding: for small literal-only subplans the
+//!   analyzer knows the result precisely.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use xst_core::ops::{
+    concat, cross, difference, image, intersection, relative_product, rescope_value_by_scope,
+    sigma_domain, sigma_restrict, union,
+};
+use xst_core::{ExtendedSet, Scope, Value, XstError};
+
+/// Maximum number of distinct scopes a [`ScopeSig::Finite`] may carry before
+/// the analyzer widens it to [`ScopeSig::Top`].
+pub const SIG_WIDTH_CAP: usize = 64;
+
+/// Maximum cardinality up to which the analyzer keeps constant-folded exact
+/// results. Larger folded sets still refine the signature/cardinality fields
+/// but drop the `exact` witness.
+pub const EXACT_CARD_CAP: usize = 64;
+
+/// Default member-scan budget when deriving an abstraction from a concrete
+/// set (a literal or a bound table). Sets larger than the budget are
+/// abstracted in O(1): exact cardinality and emptiness, `Top` signature.
+pub const DEFAULT_SCAN_CAP: usize = 2048;
+
+/// Member budget for proving the all-tuples cross-safety flags during a
+/// scan. Past it the flags degrade to "unknown" (never to a wrong proof):
+/// cross-safety needs *every* member checked, and spending O(n) tuple
+/// probes on a huge literal buys one `⊗` proof — while the signature the
+/// same scan builds is what emptiness pruning actually uses.
+pub const FLAG_PROBE_CAP: usize = 2048;
+
+/// Is `v` safe as a cross-product operand component? True iff its set view
+/// is an n-tuple — atoms view as `∅`, the 0-tuple, so only non-tuple *sets*
+/// force `⊗` onto the fallible scope-disjoint-union path.
+pub fn cross_safe(v: &Value) -> bool {
+    // Equivalent to `v.as_set_view().tuple_len().is_some()` without the
+    // set-view clone: atoms view as ∅, the 0-tuple, which is cross-safe.
+    match v {
+        Value::Set(s) => s.tuple_len().is_some(),
+        _ => true,
+    }
+}
+
+/// Three-point emptiness lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emptiness {
+    /// The subplan provably evaluates to `∅`.
+    ProvablyEmpty,
+    /// The subplan provably evaluates to a non-empty set (assuming it
+    /// evaluates at all).
+    ProvablyNonEmpty,
+    /// Nothing is known.
+    Unknown,
+}
+
+impl fmt::Display for Emptiness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Emptiness::ProvablyEmpty => "provably-empty",
+            Emptiness::ProvablyNonEmpty => "provably-non-empty",
+            Emptiness::Unknown => "unknown",
+        })
+    }
+}
+
+/// Inclusive cardinality bounds; `hi = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardBounds {
+    /// Least possible cardinality.
+    pub lo: u64,
+    /// Greatest possible cardinality, if bounded.
+    pub hi: Option<u64>,
+}
+
+impl CardBounds {
+    /// The exact bound `[n, n]`.
+    pub fn exact(n: u64) -> CardBounds {
+        CardBounds { lo: n, hi: Some(n) }
+    }
+
+    /// The unknown bound `[0, ∞)`.
+    pub fn unknown() -> CardBounds {
+        CardBounds { lo: 0, hi: None }
+    }
+
+    /// The bound `[lo, hi]`.
+    pub fn range(lo: u64, hi: Option<u64>) -> CardBounds {
+        CardBounds { lo, hi }
+    }
+
+    /// Do two bounds share no possible cardinality?
+    pub fn disjoint(&self, other: &CardBounds) -> bool {
+        let above = |a: &CardBounds, b: &CardBounds| b.hi.is_some_and(|h| a.lo > h);
+        above(self, other) || above(other, self)
+    }
+
+    fn hi_sum(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+        Some(a?.saturating_add(b?))
+    }
+
+    fn hi_mul(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+        Some(a?.saturating_mul(b?))
+    }
+}
+
+impl fmt::Display for CardBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.hi {
+            Some(hi) => write!(f, "[{}, {}]", self.lo, hi),
+            None => write!(f, "[{}, ∞)", self.lo),
+        }
+    }
+}
+
+/// A scope signature: a sound superset of the scopes the members of a
+/// subplan's result can carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeSig {
+    /// Nothing is known about member scopes.
+    Top,
+    /// Every member scope is one of these values.
+    Finite(BTreeSet<Value>),
+}
+
+impl ScopeSig {
+    /// The signature of `∅` (no scopes at all).
+    pub fn empty() -> ScopeSig {
+        ScopeSig::Finite(BTreeSet::new())
+    }
+
+    /// Build a finite signature, widening to [`ScopeSig::Top`] past
+    /// [`SIG_WIDTH_CAP`].
+    pub fn finite(scopes: impl IntoIterator<Item = Value>) -> ScopeSig {
+        let set: BTreeSet<Value> = scopes.into_iter().collect();
+        if set.len() > SIG_WIDTH_CAP {
+            ScopeSig::Top
+        } else {
+            ScopeSig::Finite(set)
+        }
+    }
+
+    /// Could a member carry scope `v` under this signature?
+    pub fn admits(&self, v: &Value) -> bool {
+        match self {
+            ScopeSig::Top => true,
+            ScopeSig::Finite(s) => s.contains(v),
+        }
+    }
+
+    /// Signature of a union: the result's scopes come from either side.
+    pub fn union(&self, other: &ScopeSig) -> ScopeSig {
+        match (self, other) {
+            (ScopeSig::Finite(a), ScopeSig::Finite(b)) => {
+                ScopeSig::finite(a.iter().chain(b.iter()).cloned())
+            }
+            _ => ScopeSig::Top,
+        }
+    }
+
+    /// Signature of an intersection: the result's scopes satisfy both sides.
+    pub fn intersect(&self, other: &ScopeSig) -> ScopeSig {
+        match (self, other) {
+            (ScopeSig::Finite(a), ScopeSig::Finite(b)) => {
+                ScopeSig::Finite(a.intersection(b).cloned().collect())
+            }
+            (ScopeSig::Top, s) | (s, ScopeSig::Top) => s.clone(),
+        }
+    }
+
+    /// `Some(true)` when both signatures are finite and share no scope —
+    /// which proves an intersection of the underlying sets is `∅`.
+    pub fn provably_disjoint(&self, other: &ScopeSig) -> Option<bool> {
+        match (self, other) {
+            (ScopeSig::Finite(a), ScopeSig::Finite(b)) => Some(a.intersection(b).next().is_none()),
+            _ => None,
+        }
+    }
+
+    /// Apply a deterministic scope transformer to every admissible scope.
+    pub fn map(&self, f: impl Fn(&Value) -> Value) -> ScopeSig {
+        match self {
+            ScopeSig::Top => ScopeSig::Top,
+            ScopeSig::Finite(s) => ScopeSig::finite(s.iter().map(f)),
+        }
+    }
+
+    /// Does this signature prove every member scope is cross-safe?
+    pub fn provably_all_tuples(&self) -> bool {
+        match self {
+            ScopeSig::Top => false,
+            ScopeSig::Finite(s) => s.iter().all(cross_safe),
+        }
+    }
+}
+
+impl fmt::Display for ScopeSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeSig::Top => f.write_str("⊤"),
+            ScopeSig::Finite(s) => {
+                f.write_str("{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Everything the analyzer knows about one subplan's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractSet {
+    /// Superset of the member scopes.
+    pub sig: ScopeSig,
+    /// Emptiness verdict.
+    pub emptiness: Emptiness,
+    /// Cardinality bounds.
+    pub card: CardBounds,
+    /// Proof that every member element is cross-safe (an n-tuple view).
+    pub elems_tuples: bool,
+    /// Proof that every member scope is cross-safe.
+    pub scopes_tuples: bool,
+    /// Constant-folded exact result, when small enough to keep.
+    pub exact: Option<ExtendedSet>,
+}
+
+/// What the analyzer concluded about one `⊗` node.
+#[derive(Debug, Clone)]
+pub enum CrossVerdict {
+    /// The product provably cannot raise a scope collision.
+    Safe(AbstractSet),
+    /// Safety could not be proven; the abstraction is still sound *if* the
+    /// product evaluates.
+    Unproven(AbstractSet),
+    /// The product provably fails with this error.
+    Collision(XstError),
+}
+
+impl AbstractSet {
+    /// The abstraction that knows nothing: any set at all.
+    pub fn top() -> AbstractSet {
+        AbstractSet {
+            sig: ScopeSig::Top,
+            emptiness: Emptiness::Unknown,
+            card: CardBounds::unknown(),
+            elems_tuples: false,
+            scopes_tuples: false,
+            exact: None,
+        }
+    }
+
+    /// The canonical abstraction of `∅`.
+    pub fn empty() -> AbstractSet {
+        AbstractSet {
+            sig: ScopeSig::empty(),
+            emptiness: Emptiness::ProvablyEmpty,
+            card: CardBounds::exact(0),
+            elems_tuples: true,
+            scopes_tuples: true,
+            exact: Some(ExtendedSet::empty()),
+        }
+    }
+
+    /// Abstract a concrete set (a literal or a bound table), scanning at
+    /// most `scan_cap` members. Beyond the budget only O(1) facts are kept.
+    pub fn from_set(s: &ExtendedSet, scan_cap: usize) -> AbstractSet {
+        if s.is_empty() {
+            return AbstractSet::empty();
+        }
+        let n = s.card();
+        if n > scan_cap {
+            return AbstractSet {
+                sig: ScopeSig::Top,
+                emptiness: Emptiness::ProvablyNonEmpty,
+                card: CardBounds::exact(n as u64),
+                elems_tuples: false,
+                scopes_tuples: false,
+                exact: None,
+            };
+        }
+        // One fused pass: signature, cross-safety of elements and scopes.
+        // Scopes are cloned only on first sight (real sets repeat a
+        // handful of scopes across many members), the tuple probes
+        // short-circuit once disproven, and past [`FLAG_PROBE_CAP`] the
+        // flags degrade to "unknown" rather than pay O(n) tuple walks.
+        let probe_flags = n <= FLAG_PROBE_CAP;
+        let mut scopes: BTreeSet<Value> = BTreeSet::new();
+        let mut widened = false;
+        let mut elems_tuples = probe_flags;
+        let mut scopes_tuples = probe_flags;
+        for m in s.members() {
+            if !widened && !scopes.contains(&m.scope) {
+                if scopes.len() >= SIG_WIDTH_CAP {
+                    widened = true;
+                    scopes.clear();
+                } else {
+                    scopes.insert(m.scope.clone());
+                }
+            }
+            elems_tuples = elems_tuples && cross_safe(&m.element);
+            scopes_tuples = scopes_tuples && cross_safe(&m.scope);
+        }
+        AbstractSet {
+            sig: if widened {
+                ScopeSig::Top
+            } else {
+                ScopeSig::Finite(scopes)
+            },
+            emptiness: Emptiness::ProvablyNonEmpty,
+            card: CardBounds::exact(n as u64),
+            elems_tuples,
+            scopes_tuples,
+            exact: (n <= EXACT_CARD_CAP).then(|| s.clone()),
+        }
+    }
+
+    /// Abstract a constant-folded result: full facts, `exact` kept only
+    /// under [`EXACT_CARD_CAP`].
+    fn folded(s: ExtendedSet) -> AbstractSet {
+        AbstractSet::from_set(&s, usize::MAX)
+    }
+
+    /// Canonicalize: a provably-empty abstraction collapses to the precise
+    /// [`AbstractSet::empty`], and signature-level tuple proofs are folded
+    /// into the `scopes_tuples` flag.
+    fn finish(mut self) -> AbstractSet {
+        if self.emptiness == Emptiness::ProvablyEmpty {
+            return AbstractSet::empty();
+        }
+        self.scopes_tuples = self.scopes_tuples || self.sig.provably_all_tuples();
+        self
+    }
+
+    fn both_exact<'a>(
+        &'a self,
+        other: &'a AbstractSet,
+    ) -> Option<(&'a ExtendedSet, &'a ExtendedSet)> {
+        Some((self.exact.as_ref()?, other.exact.as_ref()?))
+    }
+
+    /// Transfer function for `A ∪ B`.
+    pub fn union_with(&self, other: &AbstractSet) -> AbstractSet {
+        if let Some((a, b)) = self.both_exact(other) {
+            return AbstractSet::folded(union(a, b));
+        }
+        let emptiness = match (self.emptiness, other.emptiness) {
+            (Emptiness::ProvablyNonEmpty, _) | (_, Emptiness::ProvablyNonEmpty) => {
+                Emptiness::ProvablyNonEmpty
+            }
+            (Emptiness::ProvablyEmpty, Emptiness::ProvablyEmpty) => Emptiness::ProvablyEmpty,
+            _ => Emptiness::Unknown,
+        };
+        AbstractSet {
+            sig: self.sig.union(&other.sig),
+            emptiness,
+            card: CardBounds::range(
+                self.card.lo.max(other.card.lo),
+                CardBounds::hi_sum(self.card.hi, other.card.hi),
+            ),
+            elems_tuples: self.elems_tuples && other.elems_tuples,
+            scopes_tuples: self.scopes_tuples && other.scopes_tuples,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for `A ∩ B`. Disjoint finite signatures prove the
+    /// intersection empty (signatures are supersets of the true scopes).
+    pub fn intersect_with(&self, other: &AbstractSet) -> AbstractSet {
+        if let Some((a, b)) = self.both_exact(other) {
+            return AbstractSet::folded(intersection(a, b));
+        }
+        if self.emptiness == Emptiness::ProvablyEmpty
+            || other.emptiness == Emptiness::ProvablyEmpty
+            || self.sig.provably_disjoint(&other.sig) == Some(true)
+        {
+            return AbstractSet::empty();
+        }
+        AbstractSet {
+            sig: self.sig.intersect(&other.sig),
+            emptiness: Emptiness::Unknown,
+            card: CardBounds::range(
+                0,
+                self.card
+                    .hi
+                    .min(other.card.hi)
+                    .or(self.card.hi)
+                    .or(other.card.hi),
+            ),
+            elems_tuples: self.elems_tuples || other.elems_tuples,
+            scopes_tuples: self.scopes_tuples || other.scopes_tuples,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for `A ~ B`.
+    pub fn difference_with(&self, other: &AbstractSet) -> AbstractSet {
+        if let Some((a, b)) = self.both_exact(other) {
+            return AbstractSet::folded(difference(a, b));
+        }
+        if other.emptiness == Emptiness::ProvablyEmpty {
+            return self.clone();
+        }
+        let lo = match other.card.hi {
+            Some(h) => self.card.lo.saturating_sub(h),
+            None => 0,
+        };
+        AbstractSet {
+            sig: self.sig.clone(),
+            emptiness: if self.emptiness == Emptiness::ProvablyEmpty {
+                Emptiness::ProvablyEmpty
+            } else if lo > 0 {
+                Emptiness::ProvablyNonEmpty
+            } else {
+                Emptiness::Unknown
+            },
+            card: CardBounds::range(lo, self.card.hi),
+            elems_tuples: self.elems_tuples,
+            scopes_tuples: self.scopes_tuples,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for `R |_σ A` (the receiver is `R`). The result is
+    /// always a subset of `R`; an empty `σ` yields no witnesses, hence `∅`
+    /// (law 7.1(e)).
+    pub fn restrict_by(&self, sigma: &ExtendedSet, a: &AbstractSet) -> AbstractSet {
+        if sigma.is_empty()
+            || self.emptiness == Emptiness::ProvablyEmpty
+            || a.emptiness == Emptiness::ProvablyEmpty
+        {
+            return AbstractSet::empty();
+        }
+        if let Some((r, av)) = self.both_exact(a) {
+            return AbstractSet::folded(sigma_restrict(r, sigma, av));
+        }
+        AbstractSet {
+            sig: self.sig.clone(),
+            emptiness: Emptiness::Unknown,
+            card: CardBounds::range(0, self.card.hi),
+            elems_tuples: self.elems_tuples,
+            scopes_tuples: self.scopes_tuples,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for `𝔇_σ(R)`: every output member scope is the
+    /// σ-projection of an input member scope, so the signature is the
+    /// deterministic image of the input signature under re-scoping.
+    pub fn domain_by(&self, sigma: &ExtendedSet) -> AbstractSet {
+        if sigma.is_empty() || self.emptiness == Emptiness::ProvablyEmpty {
+            return AbstractSet::empty();
+        }
+        if let Some(r) = self.exact.as_ref() {
+            return AbstractSet::folded(sigma_domain(r, sigma));
+        }
+        AbstractSet {
+            sig: self
+                .sig
+                .map(|w| Value::Set(rescope_value_by_scope(w, sigma))),
+            emptiness: Emptiness::Unknown,
+            card: CardBounds::range(0, self.card.hi),
+            elems_tuples: false,
+            scopes_tuples: false,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for `R[A]_⟨σ1,σ2⟩ = 𝔇_σ2(R |_σ1 A)` (the receiver
+    /// is `R`).
+    pub fn image_with(&self, a: &AbstractSet, scope: &Scope) -> AbstractSet {
+        if scope.sigma1.is_empty()
+            || scope.sigma2.is_empty()
+            || self.emptiness == Emptiness::ProvablyEmpty
+            || a.emptiness == Emptiness::ProvablyEmpty
+        {
+            return AbstractSet::empty();
+        }
+        if let Some((r, av)) = self.both_exact(a) {
+            return AbstractSet::folded(image(r, av, scope));
+        }
+        AbstractSet {
+            sig: self
+                .sig
+                .map(|w| Value::Set(rescope_value_by_scope(w, &scope.sigma2))),
+            emptiness: Emptiness::Unknown,
+            card: CardBounds::range(0, self.card.hi),
+            elems_tuples: false,
+            scopes_tuples: false,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for the relative product (the receiver is `F`).
+    /// Every output scope is `{s^{/σ1/} ∪ t^{/ω2/}}` for input scopes `s, t`,
+    /// so the signature is the pairwise image of the operand signatures.
+    pub fn rel_product_with(&self, sigma: &Scope, g: &AbstractSet, omega: &Scope) -> AbstractSet {
+        if self.emptiness == Emptiness::ProvablyEmpty || g.emptiness == Emptiness::ProvablyEmpty {
+            return AbstractSet::empty();
+        }
+        if let Some((f, gv)) = self.both_exact(g) {
+            return AbstractSet::folded(relative_product(f, sigma, gv, omega));
+        }
+        let sig = match (&self.sig, &g.sig) {
+            (ScopeSig::Finite(fs), ScopeSig::Finite(gs)) => {
+                ScopeSig::finite(fs.iter().flat_map(|s| gs.iter().map(move |t| (s, t))).map(
+                    |(s, t)| {
+                        Value::Set(union(
+                            &rescope_value_by_scope(s, &sigma.sigma1),
+                            &rescope_value_by_scope(t, &omega.sigma2),
+                        ))
+                    },
+                ))
+            }
+            _ => ScopeSig::Top,
+        };
+        AbstractSet {
+            sig,
+            emptiness: Emptiness::Unknown,
+            card: CardBounds::range(0, CardBounds::hi_mul(self.card.hi, g.card.hi)),
+            elems_tuples: false,
+            scopes_tuples: false,
+            exact: None,
+        }
+        .finish()
+    }
+
+    /// Transfer function for `A ⊗ B`, with a safety verdict: `⊗` is the one
+    /// operator that can fail at runtime (scope collision / non-tuple in the
+    /// generalized member product), so the analyzer must either prove it
+    /// safe, prove it failing, or admit it cannot tell.
+    pub fn cross_with(&self, other: &AbstractSet) -> CrossVerdict {
+        if self.emptiness == Emptiness::ProvablyEmpty || other.emptiness == Emptiness::ProvablyEmpty
+        {
+            // Zero member pairs: the product never runs its fallible path.
+            return CrossVerdict::Safe(AbstractSet::empty());
+        }
+        if let Some((a, b)) = self.both_exact(other) {
+            return match cross(a, b) {
+                Ok(r) => CrossVerdict::Safe(AbstractSet::folded(r)),
+                Err(e) => CrossVerdict::Collision(e),
+            };
+        }
+        let hi = CardBounds::hi_mul(self.card.hi, other.card.hi);
+        let emptiness = match (self.emptiness, other.emptiness) {
+            (Emptiness::ProvablyNonEmpty, Emptiness::ProvablyNonEmpty) => {
+                Emptiness::ProvablyNonEmpty
+            }
+            _ => Emptiness::Unknown,
+        };
+        let lo = u64::from(emptiness == Emptiness::ProvablyNonEmpty);
+        let all_tuples =
+            self.elems_tuples && self.scopes_tuples && other.elems_tuples && other.scopes_tuples;
+        if all_tuples {
+            // Both member products take the concatenation path of
+            // Definition 9.2, which is total on tuples.
+            let sig = match (&self.sig, &other.sig) {
+                (ScopeSig::Finite(xs), ScopeSig::Finite(ys)) => ScopeSig::finite(
+                    xs.iter()
+                        .flat_map(|s| ys.iter().map(move |t| (s, t)))
+                        .filter_map(|(s, t)| {
+                            concat(&s.as_set_view(), &t.as_set_view())
+                                .ok()
+                                .map(Value::Set)
+                        }),
+                ),
+                _ => ScopeSig::Top,
+            };
+            return CrossVerdict::Safe(
+                AbstractSet {
+                    sig,
+                    emptiness,
+                    card: CardBounds::range(lo, hi),
+                    elems_tuples: true,
+                    scopes_tuples: true,
+                    exact: None,
+                }
+                .finish(),
+            );
+        }
+        CrossVerdict::Unproven(
+            AbstractSet {
+                sig: ScopeSig::Top,
+                emptiness,
+                card: CardBounds::range(lo, hi),
+                elems_tuples: false,
+                scopes_tuples: false,
+                exact: None,
+            }
+            .finish(),
+        )
+    }
+
+    /// One-line rendering used by `.explain` plan annotations.
+    pub fn summary(&self) -> String {
+        format!("sig={} card={} {}", self.sig, self.card, self.emptiness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xst_core::{xset, xtuple};
+
+    #[test]
+    fn from_set_is_exact_on_small_sets() {
+        let s = xset!["a" => 1, "b" => 2];
+        let a = AbstractSet::from_set(&s, DEFAULT_SCAN_CAP);
+        assert_eq!(a.emptiness, Emptiness::ProvablyNonEmpty);
+        assert_eq!(a.card, CardBounds::exact(2));
+        assert!(a.sig.admits(&Value::Int(1)));
+        assert!(!a.sig.admits(&Value::Int(3)));
+        assert_eq!(a.exact, Some(s));
+    }
+
+    #[test]
+    fn from_set_degrades_gracefully_past_the_scan_cap() {
+        let s = ExtendedSet::classical((0..100).map(Value::Int));
+        let a = AbstractSet::from_set(&s, 10);
+        assert_eq!(a.sig, ScopeSig::Top);
+        assert_eq!(a.card, CardBounds::exact(100));
+        assert_eq!(a.emptiness, Emptiness::ProvablyNonEmpty);
+        assert!(a.exact.is_none());
+    }
+
+    #[test]
+    fn disjoint_sigs_prove_empty_intersection() {
+        let a = AbstractSet::from_set(&xset!["a" => 1, "b" => 1], usize::MAX);
+        let mut b = AbstractSet::from_set(&xset!["a" => 2], usize::MAX);
+        b.exact = None; // force the signature path, not constant folding
+        let mut a2 = a.clone();
+        a2.exact = None;
+        let meet = a2.intersect_with(&b);
+        assert_eq!(meet.emptiness, Emptiness::ProvablyEmpty);
+        assert_eq!(meet.card, CardBounds::exact(0));
+    }
+
+    #[test]
+    fn union_bounds_and_sig() {
+        let mut a = AbstractSet::from_set(&xset!["a" => 1], usize::MAX);
+        let mut b = AbstractSet::from_set(&xset!["b" => 2], usize::MAX);
+        a.exact = None;
+        b.exact = None;
+        let u = a.union_with(&b);
+        assert_eq!(u.emptiness, Emptiness::ProvablyNonEmpty);
+        assert_eq!(u.card, CardBounds::range(1, Some(2)));
+        assert!(u.sig.admits(&Value::Int(1)));
+        assert!(u.sig.admits(&Value::Int(2)));
+    }
+
+    #[test]
+    fn constant_folding_tracks_exact_results() {
+        let a = AbstractSet::from_set(&xset![1, 2, 3], usize::MAX);
+        let b = AbstractSet::from_set(&xset![2, 3, 4], usize::MAX);
+        let i = a.intersect_with(&b);
+        assert_eq!(i.exact, Some(xset![2, 3]));
+        assert_eq!(i.card, CardBounds::exact(2));
+    }
+
+    #[test]
+    fn cross_of_tuple_sets_is_proven_safe() {
+        let mut a = AbstractSet::from_set(&xset![xtuple!["a"].into_value()], usize::MAX);
+        let mut b = AbstractSet::from_set(&xset![xtuple!["x"].into_value()], usize::MAX);
+        a.exact = None;
+        b.exact = None;
+        assert!(a.elems_tuples && a.scopes_tuples);
+        match a.cross_with(&b) {
+            CrossVerdict::Safe(s) => {
+                assert_eq!(s.emptiness, Emptiness::ProvablyNonEmpty);
+                assert!(s.elems_tuples);
+            }
+            v => panic!("expected Safe, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_collision_is_detected_on_exact_operands() {
+        let a = AbstractSet::from_set(&xset![xset!["p" => 0].into_value()], usize::MAX);
+        let b = AbstractSet::from_set(&xset![xset!["q" => 0].into_value()], usize::MAX);
+        assert!(matches!(a.cross_with(&b), CrossVerdict::Collision(_)));
+    }
+
+    #[test]
+    fn cross_with_unprovable_operands_is_unproven() {
+        let a = AbstractSet::top();
+        let b = AbstractSet::top();
+        assert!(matches!(a.cross_with(&b), CrossVerdict::Unproven(_)));
+    }
+
+    #[test]
+    fn empty_side_makes_cross_safe() {
+        let a = AbstractSet::empty();
+        let b = AbstractSet::top();
+        match a.cross_with(&b) {
+            CrossVerdict::Safe(s) => assert_eq!(s.emptiness, Emptiness::ProvablyEmpty),
+            v => panic!("expected Safe, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn domain_sig_follows_rescoping() {
+        // Members scoped ⟨A,Z⟩; 𝔇_⟨2⟩ projects scopes to {Z^1}.
+        let r = xset![
+            ExtendedSet::pair("a", "x").into_value() => xtuple!["A", "Z"].into_value()
+        ];
+        let mut ra = AbstractSet::from_set(&r, usize::MAX);
+        ra.exact = None;
+        let d = ra.domain_by(&xtuple![2]);
+        let expected = Value::Set(xset!["Z" => 1]);
+        assert!(d.sig.admits(&expected), "sig {}", d.sig);
+    }
+
+    #[test]
+    fn difference_with_empty_is_identity() {
+        let a = AbstractSet::from_set(&xset![1, 2], usize::MAX);
+        let d = a.difference_with(&AbstractSet::empty());
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn card_bounds_disjointness() {
+        assert!(CardBounds::exact(3).disjoint(&CardBounds::exact(0)));
+        assert!(!CardBounds::range(0, None).disjoint(&CardBounds::exact(7)));
+        assert!(!CardBounds::range(2, Some(5)).disjoint(&CardBounds::range(5, Some(9))));
+    }
+
+    #[test]
+    fn sig_widens_past_cap() {
+        let wide = ScopeSig::finite((0..200).map(Value::Int));
+        assert_eq!(wide, ScopeSig::Top);
+    }
+
+    #[test]
+    fn displays_are_readable() {
+        assert_eq!(Emptiness::ProvablyEmpty.to_string(), "provably-empty");
+        assert_eq!(CardBounds::unknown().to_string(), "[0, ∞)");
+        assert_eq!(ScopeSig::Top.to_string(), "⊤");
+        let s = ScopeSig::finite([Value::Int(1)]);
+        assert_eq!(s.to_string(), "{1}");
+    }
+}

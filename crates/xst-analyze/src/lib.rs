@@ -1,0 +1,45 @@
+//! # xst-analyze — static analysis for XST query plans
+//!
+//! Abstract interpretation over the XST plan algebra. For every plan node
+//! the analyzer infers, bottom-up and without evaluating anything:
+//!
+//! * a **scope signature** ([`ScopeSig`]) — a sound superset of the scopes
+//!   the node's result members can carry (`x ∈_s A` makes this statically
+//!   derivable for every operator);
+//! * an **emptiness verdict** ([`Emptiness`]) — `ProvablyEmpty`,
+//!   `ProvablyNonEmpty`, or `Unknown`;
+//! * **cardinality bounds** ([`CardBounds`]);
+//! * tuple-shape **proof flags** that establish cross-product safety
+//!   (Definition 9.2's concatenation path is total on tuples);
+//! * for small literal-only subplans, the **exact result** by bounded
+//!   constant folding.
+//!
+//! Findings surface as structured [`Diagnostic`]s: *errors* for plans that
+//! provably cannot evaluate (unbound tables, proven `⊗` collisions) and
+//! *warnings* for suspicious-but-runnable plans (statically empty
+//! subplans, vacuous `σ = ∅` specifications, unprovable cross-safety).
+//! `xst-query` gates evaluation on the errors, prunes `ProvablyEmpty`
+//! subplans in the optimizer, and uses [`verify_rewrite`] to machine-check
+//! that every rewrite rule preserves the inferred signature.
+//!
+//! The crate deliberately depends only on `xst-core`: plans are walked
+//! through the [`AbstractPlan`] trait so `xst-query` (which depends on
+//! this crate) can feed its `Expr` in without a dependency cycle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod diag;
+pub mod lattice;
+pub mod plan;
+pub mod verify;
+
+pub use analyze::{analyze, Analysis, AnalysisEnv, AnalyzedNode};
+pub use diag::{AnalysisError, DiagCode, Diagnostic, Severity};
+pub use lattice::{
+    cross_safe, AbstractSet, CardBounds, CrossVerdict, Emptiness, ScopeSig, DEFAULT_SCAN_CAP,
+    EXACT_CARD_CAP, SIG_WIDTH_CAP,
+};
+pub use plan::{AbstractPlan, PlanShape};
+pub use verify::{check_signature_preserved, verify_rewrite, SignatureMismatch};

@@ -1,0 +1,73 @@
+//! Plan-shape abstraction: how the analyzer sees a query plan without
+//! depending on `xst-query`.
+//!
+//! `xst-query` depends on this crate (the evaluator gates on analysis and
+//! the optimizer consults it), so the analyzer cannot name
+//! `xst_query::Expr` directly. Instead any plan representation implements
+//! [`AbstractPlan`], exposing one [`PlanShape`] level at a time; the
+//! analyzer recurses structurally through the shapes.
+
+use xst_core::{ExtendedSet, Scope};
+
+/// One structural level of a query plan, borrowed from the concrete
+/// representation. The variants mirror the XST plan algebra exactly.
+pub enum PlanShape<'a, P> {
+    /// A literal extended set.
+    Literal(&'a ExtendedSet),
+    /// A named table to be resolved against bindings at evaluation time.
+    Table(&'a str),
+    /// `A ∪ B`.
+    Union(&'a P, &'a P),
+    /// `A ∩ B`.
+    Intersect(&'a P, &'a P),
+    /// `A ~ B`.
+    Difference(&'a P, &'a P),
+    /// `A ⊗ B` (generalized cross product, Definition 9.3).
+    Cross(&'a P, &'a P),
+    /// `R |_σ A` (σ-restriction, Definition 7.6).
+    Restrict {
+        /// The restricted set.
+        r: &'a P,
+        /// The restriction specification σ.
+        sigma: &'a ExtendedSet,
+        /// The restricting set.
+        a: &'a P,
+    },
+    /// `𝔇_σ(R)` (σ-domain, Definition 7.4).
+    Domain {
+        /// The input set.
+        r: &'a P,
+        /// The domain specification σ.
+        sigma: &'a ExtendedSet,
+    },
+    /// `R[A]_⟨σ1,σ2⟩` (image, Definition 8.2).
+    Image {
+        /// The carrier set.
+        r: &'a P,
+        /// The input set.
+        a: &'a P,
+        /// The scope pair `⟨σ1,σ2⟩`.
+        scope: &'a Scope,
+    },
+    /// The relative product of `F` and `G` under `⟨σ,ω⟩` (Definition 10.1).
+    RelProduct {
+        /// The left operand.
+        f: &'a P,
+        /// The left scope pair.
+        sigma: &'a Scope,
+        /// The right operand.
+        g: &'a P,
+        /// The right scope pair.
+        omega: &'a Scope,
+    },
+}
+
+/// A plan representation the analyzer can walk.
+pub trait AbstractPlan: Sized {
+    /// Borrow this node's structural shape.
+    fn shape(&self) -> PlanShape<'_, Self>;
+
+    /// A short human-readable rendering of this node, used to anchor
+    /// diagnostics.
+    fn describe(&self) -> String;
+}

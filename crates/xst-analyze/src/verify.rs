@@ -1,0 +1,201 @@
+//! Rewrite-soundness verification: check that an optimizer rewrite
+//! preserved the plan's statically inferred signature.
+//!
+//! Abstract results are over-approximations, so two sound analyses of
+//! semantically equal plans need not be *identical* — a rewrite may
+//! legitimately tighten or loosen the abstraction. What a sound rewrite can
+//! never do is produce analyses that *contradict* each other: facts proven
+//! on one side must not be refuted on the other. When both sides constant-
+//! fold to exact sets the check is exact equality; otherwise it is a
+//! contradiction check over emptiness, cardinality bounds, and scope
+//! signatures.
+
+use std::fmt;
+
+use crate::analyze::{analyze, Analysis, AnalysisEnv};
+use crate::lattice::{Emptiness, ScopeSig};
+use crate::plan::AbstractPlan;
+
+/// Why a rewrite failed signature verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureMismatch {
+    /// Human-readable explanation of the contradiction.
+    pub reason: String,
+}
+
+impl fmt::Display for SignatureMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rewrite is not signature-preserving: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SignatureMismatch {}
+
+fn mismatch(reason: impl Into<String>) -> Result<(), SignatureMismatch> {
+    Err(SignatureMismatch {
+        reason: reason.into(),
+    })
+}
+
+/// Check that two analyses (of a plan before and after a rewrite) do not
+/// contradict each other at the root.
+pub fn check_signature_preserved(
+    before: &Analysis,
+    after: &Analysis,
+) -> Result<(), SignatureMismatch> {
+    let (b, a) = (&before.root.set, &after.root.set);
+    if let (Some(bx), Some(ax)) = (&b.exact, &a.exact) {
+        // Both sides constant-folded: the strongest possible check.
+        if bx != ax {
+            return mismatch(format!("exact results differ: before = {bx}, after = {ax}"));
+        }
+        return Ok(());
+    }
+    match (b.emptiness, a.emptiness) {
+        (Emptiness::ProvablyEmpty, Emptiness::ProvablyNonEmpty)
+        | (Emptiness::ProvablyNonEmpty, Emptiness::ProvablyEmpty) => {
+            return mismatch(format!(
+                "emptiness contradiction: before is {}, after is {}",
+                b.emptiness, a.emptiness
+            ));
+        }
+        _ => {}
+    }
+    if b.card.disjoint(&a.card) {
+        return mismatch(format!(
+            "cardinality bounds are disjoint: before {} vs after {}",
+            b.card, a.card
+        ));
+    }
+    // Disjoint finite signatures are only contradictory when one side is
+    // provably non-empty (two abstractions of ∅ trivially share no scope).
+    let non_empty =
+        b.emptiness == Emptiness::ProvablyNonEmpty || a.emptiness == Emptiness::ProvablyNonEmpty;
+    if non_empty && b.sig.provably_disjoint(&a.sig) == Some(true) {
+        if let (ScopeSig::Finite(bs), ScopeSig::Finite(asig)) = (&b.sig, &a.sig) {
+            if !bs.is_empty() && !asig.is_empty() {
+                return mismatch(format!(
+                    "scope signatures are disjoint on a non-empty result: \
+                     before {} vs after {}",
+                    b.sig, a.sig
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Analyze both sides of a rewrite under `env` and verify they agree.
+pub fn verify_rewrite<P: AbstractPlan>(
+    before: &P,
+    after: &P,
+    env: &AnalysisEnv,
+) -> Result<(), SignatureMismatch> {
+    check_signature_preserved(&analyze(before, env), &analyze(after, env))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanShape;
+    use xst_core::{xset, ExtendedSet};
+
+    /// A minimal plan representation for exercising the analyzer directly.
+    enum TestPlan {
+        Lit(ExtendedSet),
+        Table(String),
+        Union(Box<TestPlan>, Box<TestPlan>),
+        Intersect(Box<TestPlan>, Box<TestPlan>),
+    }
+
+    impl AbstractPlan for TestPlan {
+        fn shape(&self) -> PlanShape<'_, Self> {
+            match self {
+                TestPlan::Lit(s) => PlanShape::Literal(s),
+                TestPlan::Table(n) => PlanShape::Table(n),
+                TestPlan::Union(a, b) => PlanShape::Union(a, b),
+                TestPlan::Intersect(a, b) => PlanShape::Intersect(a, b),
+            }
+        }
+
+        fn describe(&self) -> String {
+            match self {
+                TestPlan::Lit(s) => format!("{s}"),
+                TestPlan::Table(n) => n.clone(),
+                TestPlan::Union(..) => "(∪)".into(),
+                TestPlan::Intersect(..) => "(∩)".into(),
+            }
+        }
+    }
+
+    fn lit(s: ExtendedSet) -> TestPlan {
+        TestPlan::Lit(s)
+    }
+
+    #[test]
+    fn identical_plans_verify() {
+        let p = TestPlan::Union(Box::new(lit(xset![1, 2])), Box::new(lit(xset![2, 3])));
+        verify_rewrite(&p, &p, &AnalysisEnv::closed()).expect("self-rewrite verifies");
+    }
+
+    #[test]
+    fn exact_fold_catches_result_changes() {
+        let before = lit(xset![1, 2]);
+        let after = lit(xset![1, 2, 3]);
+        let err =
+            verify_rewrite(&before, &after, &AnalysisEnv::closed()).expect_err("results differ");
+        assert!(err.reason.contains("exact results differ"), "{err}");
+    }
+
+    #[test]
+    fn emptiness_contradiction_is_caught() {
+        // Non-exact abstractions: a large table vs the empty set.
+        let mut env = AnalysisEnv::closed().with_scan_cap(1);
+        let big = ExtendedSet::classical((0..10).map(xst_core::Value::Int));
+        env.bind("t", &big);
+        let before = TestPlan::Table("t".into());
+        let after = lit(ExtendedSet::empty());
+        let err = verify_rewrite(&before, &after, &env).expect_err("empty vs non-empty");
+        assert!(err.reason.contains("emptiness"), "{err}");
+    }
+
+    #[test]
+    fn unbound_table_in_closed_env_is_an_error() {
+        let a = analyze(&TestPlan::Table("nope".into()), &AnalysisEnv::closed());
+        assert!(a.is_rejected());
+        assert!(!a.proved_safe());
+        let e = a.to_error().expect("rejected analyses produce errors");
+        assert!(e.to_string().contains("unbound-table"));
+    }
+
+    #[test]
+    fn open_env_tables_withdraw_safety_but_do_not_reject() {
+        let a = analyze(&TestPlan::Table("later".into()), &AnalysisEnv::open());
+        assert!(!a.is_rejected());
+        assert!(!a.proved_safe());
+    }
+
+    #[test]
+    fn empty_subplan_warning_fires_at_the_source_only() {
+        // ({a^1} ∩ {a^2}) ∪ ({a^1} ∩ {a^2}): two sources, two warnings —
+        // the union inheriting emptiness stays quiet.
+        let mk = || {
+            TestPlan::Intersect(
+                Box::new(lit(xset!["a" => 1])),
+                Box::new(lit(xset!["a" => 2])),
+            )
+        };
+        let p = TestPlan::Union(Box::new(mk()), Box::new(mk()));
+        let a = analyze(&p, &AnalysisEnv::closed());
+        assert!(!a.is_rejected());
+        let empties: Vec<_> = a
+            .warnings()
+            .filter(|d| d.code == crate::diag::DiagCode::EmptySubplan)
+            .collect();
+        assert_eq!(empties.len(), 2, "diagnostics: {:?}", a.diagnostics);
+        assert_eq!(
+            a.root.set.emptiness,
+            crate::lattice::Emptiness::ProvablyEmpty
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (E12–E14) are also
+//! Experiments that produce structured numbers (E12–E15) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -115,6 +115,12 @@ fn main() {
     if want("e14") {
         let (n, commits) = if quick { (1_000, 100) } else { (5_000, 300) };
         let (table, entries) = exp::e14_txn_snapshot_scaling(n, commits, &[0, 2, 4]);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if want("e15") {
+        let (n, iters) = if quick { (5_000, 7) } else { (50_000, 15) };
+        let (table, entries) = exp::e15_analysis(n, iters);
         print!("{table}");
         json_entries.extend(entries);
     }

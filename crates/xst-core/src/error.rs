@@ -48,6 +48,12 @@ pub enum XstError {
         /// Human-readable explanation.
         message: String,
     },
+    /// Static plan analysis rejected evaluation up front (the plan provably
+    /// cannot evaluate: unbound tables, proven cross-product collisions).
+    Analysis {
+        /// Rendered analyzer diagnostics, errors first.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for XstError {
@@ -73,6 +79,13 @@ impl fmt::Display for XstError {
             }
             XstError::Parse { offset, message } => {
                 write!(f, "parse error at byte {offset}: {message}")
+            }
+            XstError::Analysis { diagnostics } => {
+                write!(f, "plan rejected by static analysis")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -112,6 +125,16 @@ mod tests {
         fn takes_err(_e: &dyn std::error::Error) {}
         let e = XstError::NoUniqueValue { candidates: 2 };
         takes_err(&e);
+    }
+
+    #[test]
+    fn display_analysis_lists_diagnostics() {
+        let e = XstError::Analysis {
+            diagnostics: vec!["error[unbound-table] at `t`: table `t` is not bound".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rejected by static analysis"));
+        assert!(s.contains("unbound-table"));
     }
 
     #[test]

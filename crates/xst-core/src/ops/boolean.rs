@@ -145,7 +145,7 @@ pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a ExtendedSet>) -> Extende
         }
         layer = next;
     }
-    layer.pop().expect("non-empty layer")
+    layer.into_iter().next().unwrap_or_else(ExtendedSet::empty)
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ fn par_fanouts_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_core_par_fanouts_total",
+            xst_obs::names::CORE_PAR_FANOUTS_TOTAL,
             "Parallel kernel invocations that crossed the threshold and fanned out to threads.",
         )
     })
@@ -46,7 +46,7 @@ fn par_chunks_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_core_par_chunks_total",
+            xst_obs::names::CORE_PAR_CHUNKS_TOTAL,
             "Worker chunks dispatched by fanned-out parallel kernels.",
         )
     })
@@ -143,10 +143,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel kernel worker panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
-    .expect("parallel kernel scope panicked")
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
 /// `R |_σ A` — parallel σ-restriction. The witness structure is built once
@@ -331,10 +334,13 @@ fn merge_by_ranges(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("parallel merge worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
-        .expect("parallel merge scope panicked")
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
     };
     ExtendedSet::from_sorted_unique(parts.concat())
 }

@@ -94,7 +94,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, c: char) -> XstResult<()> {
+    fn expect_char(&mut self, c: char) -> XstResult<()> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -120,7 +120,7 @@ impl Parser {
     }
 
     fn set(&mut self) -> XstResult<Value> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         let mut b = SetBuilder::new();
         self.skip_ws();
         if self.peek() == Some('}') {
@@ -148,7 +148,9 @@ impl Parser {
     }
 
     fn tuple(&mut self) -> XstResult<Value> {
-        let open = self.bump().expect("caller checked");
+        let Some(open) = self.bump() else {
+            return Err(self.err("unexpected end of input"));
+        };
         let close = if open == '⟨' { '⟩' } else { '>' };
         let mut components = Vec::new();
         self.skip_ws();
@@ -169,7 +171,7 @@ impl Parser {
     }
 
     fn string(&mut self) -> XstResult<Value> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut s = String::new();
         loop {
             match self.bump() {
@@ -189,8 +191,8 @@ impl Parser {
     }
 
     fn bytes(&mut self) -> XstResult<Value> {
-        self.expect('b')?;
-        self.expect('"')?;
+        self.expect_char('b')?;
+        self.expect_char('"')?;
         let mut hex = String::new();
         loop {
             match self.bump() {
@@ -203,14 +205,12 @@ impl Parser {
         if !hex.len().is_multiple_of(2) {
             return Err(self.err("odd number of hex digits"));
         }
-        let bytes: Vec<u8> = hex
-            .as_bytes()
-            .chunks(2)
-            .map(|pair| {
-                u8::from_str_radix(std::str::from_utf8(pair).expect("hex ascii"), 16)
-                    .expect("validated hex digits")
-            })
-            .collect();
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for pair in hex.as_bytes().chunks(2) {
+            let digits = std::str::from_utf8(pair).map_err(|_| self.err("non-ascii hex pair"))?;
+            let byte = u8::from_str_radix(digits, 16).map_err(|_| self.err("invalid hex pair"))?;
+            bytes.push(byte);
+        }
         Ok(Value::bytes(bytes))
     }
 

@@ -314,6 +314,24 @@ impl ExtendedSet {
     /// `n`. The empty set is the 0-tuple. This is the paper's `tup`.
     pub fn tuple_len(&self) -> Option<usize> {
         let n = self.members.len();
+        if n <= u64::BITS as usize {
+            // Positions fit in one word: no allocation on this hot path
+            // (the analyzer probes every member element during a scan).
+            let mut seen = 0u64;
+            for m in self.members.iter() {
+                match m.scope {
+                    Value::Int(i) if i >= 1 && (i as usize) <= n => {
+                        let bit = 1u64 << (i as u32 - 1);
+                        if seen & bit != 0 {
+                            return None; // two members at one position
+                        }
+                        seen |= bit;
+                    }
+                    _ => return None,
+                }
+            }
+            return Some(n);
+        }
         let mut seen = vec![false; n];
         for m in self.members.iter() {
             match m.scope {

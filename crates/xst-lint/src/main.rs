@@ -1,0 +1,314 @@
+//! `xst-lint` — first-party source lint for the XST workspace.
+//!
+//! Zero dependencies, line/token-level rules over `crates/*/src`:
+//!
+//! 1. **no-panic** — `.unwrap()`, `.expect(`, and `panic!` are forbidden in
+//!    non-test `xst-storage` / `xst-core` code: the storage engine and the
+//!    core algebra must fail with structured errors, never by aborting.
+//! 2. **determinism** — `std::time::{Instant, SystemTime}` and the `rand`
+//!    crate are forbidden inside the deterministic harness/fault/sched
+//!    modules; those subsystems replay byte-identical schedules and must
+//!    not observe wall-clock time or ambient entropy.
+//! 3. **metric-names** — every `xst_*` metric-name string literal must
+//!    live in `crates/xst-obs/src/names.rs`, exactly once; registration
+//!    sites refer to the canonical constants, so a family cannot be
+//!    registered under two drifting spellings.
+//!
+//! Comments, string/char-literal *contents*, and `#[cfg(test)]` regions
+//! are excluded before token rules run. Exit status is non-zero when any
+//! violation is found; `--deny-all` additionally fails allowlisted
+//! findings (the allowlist ships empty and is meant to stay that way).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod scan;
+
+use scan::SourceView;
+
+/// Permanent exemptions: `(path suffix, token)` pairs. Kept empty — CI
+/// runs `--deny-all`, and new exemptions belong in a code fix, not here.
+const ALLOWLIST: &[(&str, &str)] = &[];
+
+/// One lint finding.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    token: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn allowlisted(v: &Violation) -> bool {
+    let path = v.file.to_string_lossy();
+    ALLOWLIST
+        .iter()
+        .any(|(suffix, token)| path.ends_with(suffix) && v.token == *token)
+}
+
+/// Crates whose non-test sources must never panic.
+const NO_PANIC_CRATES: &[&str] = &["xst-storage", "xst-core"];
+/// Forbidden panic tokens (checked on the comment/string-blanked view).
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+
+/// File-name fragments marking deterministic-replay modules.
+const DETERMINISTIC_MODULES: &[&str] = &["fault", "sched", "harness"];
+/// Forbidden nondeterminism tokens, matched on word boundaries.
+const NONDETERMINISM_TOKENS: &[&str] = &["Instant", "SystemTime", "rand"];
+
+/// Where the canonical metric-name constants live.
+const METRIC_NAMES_FILE: &str = "crates/xst-obs/src/names.rs";
+
+fn is_word_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Find `token` in `code` on word boundaries (when `word` is set),
+/// returning byte offsets.
+fn find_token(code: &str, token: &str, word: bool) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        from = at + 1;
+        if word {
+            let before_ok = at == 0 || !is_word_char(bytes[at - 1]);
+            let end = at + token.len();
+            let after_ok = end >= bytes.len() || !is_word_char(bytes[end]);
+            if !(before_ok && after_ok) {
+                continue;
+            }
+        }
+        out.push(at);
+    }
+    out
+}
+
+fn lint_file(path: &Path, rel: &Path, out: &mut Vec<Violation>) -> std::io::Result<()> {
+    let source = std::fs::read_to_string(path)?;
+    let view = SourceView::new(&source);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+
+    let crate_name = rel_str
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let file_name = rel
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+
+    if NO_PANIC_CRATES.contains(&crate_name) {
+        for token in PANIC_TOKENS {
+            for at in find_token(&view.code, token, false) {
+                if view.in_test(at) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: view.line_of(at),
+                    rule: "no-panic",
+                    message: format!(
+                        "`{token}` in non-test {crate_name} code; return a structured error instead"
+                    ),
+                    token: (*token).to_string(),
+                });
+            }
+        }
+    }
+
+    if DETERMINISTIC_MODULES.iter().any(|m| file_name.contains(m)) {
+        for token in NONDETERMINISM_TOKENS {
+            for at in find_token(&view.code, token, true) {
+                if view.in_test(at) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: view.line_of(at),
+                    rule: "determinism",
+                    message: format!(
+                        "`{token}` inside deterministic module `{file_name}`; \
+                         deterministic replay must not read clocks or ambient entropy"
+                    ),
+                    token: (*token).to_string(),
+                });
+            }
+        }
+    }
+
+    let is_names_file = rel_str == METRIC_NAMES_FILE;
+    let mut seen_names: Vec<&str> = Vec::new();
+    for lit in &view.strings {
+        if view.in_test(lit.at) || !lit.text.starts_with("xst_") {
+            continue;
+        }
+        if is_names_file {
+            if seen_names.contains(&lit.text.as_str()) {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: view.line_of(lit.at),
+                    rule: "metric-names",
+                    message: format!(
+                        "metric name \"{}\" is defined more than once in names.rs",
+                        lit.text
+                    ),
+                    token: lit.text.clone(),
+                });
+            }
+            seen_names.push(&lit.text);
+        } else {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: view.line_of(lit.at),
+                rule: "metric-names",
+                message: format!(
+                    "metric-name literal \"{}\" outside {METRIC_NAMES_FILE}; \
+                     use the canonical constant from xst_obs::names",
+                    lit.text
+                ),
+                token: lit.text.clone(),
+            });
+        }
+    }
+
+    Ok(())
+}
+
+/// Collect every `.rs` file under `crates/*/src`, skipping `xst-lint`
+/// itself (its rule tables necessarily spell the forbidden tokens).
+fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let dir = entry?.path();
+        if dir.file_name().is_some_and(|n| n == "xst-lint") {
+            continue;
+        }
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_all = args.iter().any(|a| a == "--deny-all");
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "xst-lint: no crates/ directory under {} (run from the workspace root or pass --root)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let files = match source_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xst-lint: cannot enumerate sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        if let Err(e) = lint_file(file, rel, &mut violations) {
+            eprintln!("xst-lint: cannot read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failing = 0usize;
+    for v in &violations {
+        let allowed = allowlisted(v);
+        if allowed && !deny_all {
+            println!("{v} (allowlisted)");
+        } else {
+            println!("{v}");
+            failing += 1;
+        }
+    }
+
+    if failing > 0 {
+        eprintln!(
+            "xst-lint: {failing} violation(s) across {} file(s) checked",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xst-lint: clean — {} file(s) checked, {} allowlisted finding(s)",
+            files.len(),
+            violations.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_finder_respects_word_boundaries() {
+        let code = "let operand = rand::random(); branding";
+        assert_eq!(find_token(code, "rand", true).len(), 1);
+        assert!(find_token(code, "rand", false).len() >= 3);
+    }
+
+    #[test]
+    fn panic_tokens_do_not_match_similar_identifiers() {
+        // `unwrap_or_else` and a method *named* expect_char are fine; the
+        // forbidden tokens are the exact call forms.
+        let code = "x.unwrap_or_else(f); self.expect_char('{');";
+        for t in PANIC_TOKENS {
+            assert_eq!(find_token(code, t, false).len(), 0, "{t}");
+        }
+        assert_eq!(find_token("x.unwrap();", ".unwrap()", false).len(), 1);
+        assert_eq!(find_token("x.expect(\"m\");", ".expect(", false).len(), 1);
+        assert_eq!(find_token("panic!(\"m\");", "panic!", false).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_ships_empty() {
+        assert!(ALLOWLIST.is_empty());
+    }
+}

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod names;
 pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,112 @@
+//! Canonical metric names.
+//!
+//! Every `xst_*` metric family has exactly one constant here, and every
+//! registration site in the workspace goes through it — `xst-lint`'s
+//! metric-name rule rejects any `xst_`-prefixed string literal outside
+//! this module, so a family can be renamed in one place and duplicate
+//! registrations cannot drift apart silently.
+
+/// Worker fan-outs performed by the parallel set-operation kernels.
+pub const CORE_PAR_FANOUTS_TOTAL: &str = "xst_core_par_fanouts_total";
+/// Chunks dispatched across all parallel kernel fan-outs.
+pub const CORE_PAR_CHUNKS_TOTAL: &str = "xst_core_par_chunks_total";
+
+/// Common prefix of every storage-layer metric.
+pub const STORAGE_PREFIX: &str = "xst_storage_";
+/// Common prefix of the page I/O metric family (reset as a unit).
+pub const STORAGE_PAGE_PREFIX: &str = "xst_storage_page_";
+/// Common prefix of the buffer-pool metric family (reset as a unit).
+pub const STORAGE_POOL_PREFIX: &str = "xst_storage_pool_";
+
+/// Nanoseconds spent reading pages from disk.
+pub const STORAGE_PAGE_READ_NS: &str = "xst_storage_page_read_ns";
+/// Nanoseconds spent writing pages to disk.
+pub const STORAGE_PAGE_WRITE_NS: &str = "xst_storage_page_write_ns";
+
+/// Buffer-pool hits.
+pub const STORAGE_POOL_HITS_TOTAL: &str = "xst_storage_pool_hits_total";
+/// Buffer-pool misses.
+pub const STORAGE_POOL_MISSES_TOTAL: &str = "xst_storage_pool_misses_total";
+/// Buffer-pool evictions.
+pub const STORAGE_POOL_EVICTIONS_TOTAL: &str = "xst_storage_pool_evictions_total";
+/// Buffer-pool hit ratio (gauge, 0–1).
+pub const STORAGE_POOL_HIT_RATIO: &str = "xst_storage_pool_hit_ratio";
+/// Number of buffer-pool shards (gauge).
+pub const STORAGE_POOL_SHARDS: &str = "xst_storage_pool_shards";
+
+/// Nanoseconds spent appending WAL records.
+pub const STORAGE_WAL_APPEND_NS: &str = "xst_storage_wal_append_ns";
+/// Nanoseconds spent in WAL fsync.
+pub const STORAGE_WAL_FSYNC_NS: &str = "xst_storage_wal_fsync_ns";
+/// WAL records appended.
+pub const STORAGE_WAL_APPENDS_TOTAL: &str = "xst_storage_wal_appends_total";
+/// WAL bytes appended.
+pub const STORAGE_WAL_BYTES_TOTAL: &str = "xst_storage_wal_bytes_total";
+/// WAL group commits performed.
+pub const STORAGE_WAL_GROUP_COMMITS_TOTAL: &str = "xst_storage_wal_group_commits_total";
+/// WAL records flushed via group commits.
+pub const STORAGE_WAL_GROUP_COMMIT_RECORDS_TOTAL: &str =
+    "xst_storage_wal_group_commit_records_total";
+
+/// Storage operations retried after an injected/transient fault.
+pub const STORAGE_RETRIES_TOTAL: &str = "xst_storage_retries_total";
+/// Storage operations abandoned after exhausting the retry budget.
+pub const STORAGE_RETRY_GIVE_UPS_TOTAL: &str = "xst_storage_retry_give_ups_total";
+/// Nanoseconds of simulated retry backoff.
+pub const STORAGE_RETRY_BACKOFF_NS: &str = "xst_storage_retry_backoff_ns";
+/// Faults injected by the deterministic fault plan.
+pub const STORAGE_FAULTS_INJECTED_TOTAL: &str = "xst_storage_faults_injected_total";
+
+/// Transactions begun.
+pub const TXN_BEGINS_TOTAL: &str = "xst_txn_begins_total";
+/// Transactions committed.
+pub const TXN_COMMITS_TOTAL: &str = "xst_txn_commits_total";
+/// Transactions aborted.
+pub const TXN_ABORTS_TOTAL: &str = "xst_txn_aborts_total";
+/// Commit-time conflicts detected.
+pub const TXN_CONFLICTS_TOTAL: &str = "xst_txn_conflicts_total";
+/// Nanoseconds spent committing transactions.
+pub const TXN_COMMIT_NS: &str = "xst_txn_commit_ns";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_unique_and_prefixed() {
+        let all = [
+            super::CORE_PAR_FANOUTS_TOTAL,
+            super::CORE_PAR_CHUNKS_TOTAL,
+            super::STORAGE_PAGE_READ_NS,
+            super::STORAGE_PAGE_WRITE_NS,
+            super::STORAGE_POOL_HITS_TOTAL,
+            super::STORAGE_POOL_MISSES_TOTAL,
+            super::STORAGE_POOL_EVICTIONS_TOTAL,
+            super::STORAGE_POOL_HIT_RATIO,
+            super::STORAGE_POOL_SHARDS,
+            super::STORAGE_WAL_APPEND_NS,
+            super::STORAGE_WAL_FSYNC_NS,
+            super::STORAGE_WAL_APPENDS_TOTAL,
+            super::STORAGE_WAL_BYTES_TOTAL,
+            super::STORAGE_WAL_GROUP_COMMITS_TOTAL,
+            super::STORAGE_WAL_GROUP_COMMIT_RECORDS_TOTAL,
+            super::STORAGE_RETRIES_TOTAL,
+            super::STORAGE_RETRY_GIVE_UPS_TOTAL,
+            super::STORAGE_RETRY_BACKOFF_NS,
+            super::STORAGE_FAULTS_INJECTED_TOTAL,
+            super::TXN_BEGINS_TOTAL,
+            super::TXN_COMMITS_TOTAL,
+            super::TXN_ABORTS_TOTAL,
+            super::TXN_CONFLICTS_TOTAL,
+            super::TXN_COMMIT_NS,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for name in all {
+            assert!(name.starts_with("xst_"), "{name}");
+            assert!(seen.insert(name), "duplicate metric name {name}");
+        }
+        for page in [super::STORAGE_PAGE_READ_NS, super::STORAGE_PAGE_WRITE_NS] {
+            assert!(page.starts_with(super::STORAGE_PAGE_PREFIX));
+        }
+        assert!(super::STORAGE_POOL_HITS_TOTAL.starts_with(super::STORAGE_POOL_PREFIX));
+        assert!(super::STORAGE_PAGE_PREFIX.starts_with(super::STORAGE_PREFIX));
+    }
+}

@@ -134,7 +134,12 @@ impl fmt::Display for EvalStats {
 }
 
 /// Evaluate `expr` against `bindings`.
+///
+/// Evaluation is gated on static analysis: plans that provably cannot
+/// evaluate (unbound tables, proven `⊗` collisions) are rejected with a
+/// structured [`XstError::Analysis`] before any kernel runs.
 pub fn eval(expr: &Expr, bindings: &Bindings) -> XstResult<ExtendedSet> {
+    crate::analysis::gate(expr, bindings)?;
     let mut stats = EvalStats::default();
     eval_with_stats(expr, bindings, &mut stats, &Parallelism::sequential())
 }
@@ -150,6 +155,21 @@ pub fn eval_counted(expr: &Expr, bindings: &Bindings) -> XstResult<(ExtendedSet,
 /// sequential evaluation on every input; `stats.per_op` records where the
 /// time went and how wide each family ran.
 pub fn eval_parallel(
+    expr: &Expr,
+    bindings: &Bindings,
+    par: &Parallelism,
+) -> XstResult<(ExtendedSet, EvalStats)> {
+    crate::analysis::gate(expr, bindings)?;
+    eval_parallel_unchecked(expr, bindings, par)
+}
+
+/// [`eval_parallel`] without the static-analysis gate.
+///
+/// The semantics are identical for every plan the gate admits; plans the
+/// gate rejects fail here too, just at the offending operator instead of
+/// up front. Exists so the analysis overhead itself can be measured
+/// (experiment E15).
+pub fn eval_parallel_unchecked(
     expr: &Expr,
     bindings: &Bindings,
     par: &Parallelism,

@@ -16,6 +16,7 @@ use crate::expr::{Bindings, Expr};
 use crate::optimizer::{Optimizer, Trace};
 use std::fmt;
 use std::time::Instant;
+use xst_analyze::AnalyzedNode;
 use xst_core::ops::{
     cross, difference, par_image, par_intersection, par_relative_product, par_sigma_restrict,
     par_union, sigma_domain, Parallelism,
@@ -28,6 +29,9 @@ use xst_obs::span::fmt_ns;
 pub struct PlanNode {
     /// Operator label (`"image"`, `"table f"`, ...).
     pub op: String,
+    /// Statically inferred scope signature (a superset of the scopes the
+    /// node's members can carry; `⊤` when nothing is known).
+    pub sig: String,
     /// Output cardinality.
     pub rows_out: u64,
     /// Inclusive wall-time (children included).
@@ -71,8 +75,8 @@ impl PlanNode {
             )
         };
         out.push_str(&format!(
-            "{branch}{}  {timing}  rows={}\n",
-            self.op, self.rows_out
+            "{branch}{}  sig={}  {timing}  rows={}\n",
+            self.op, self.sig, self.rows_out
         ));
         for (i, child) in self.children.iter().enumerate() {
             child.render_into(&next_prefix, i + 1 == self.children.len(), false, out);
@@ -126,10 +130,14 @@ pub fn explain_analyze(
     bindings: &Bindings,
     par: &Parallelism,
 ) -> XstResult<ExplainAnalyze> {
+    crate::analysis::gate(expr, bindings)?;
     let mut span = xst_obs::span!("query.explain_analyze", threads = par.threads);
     let (plan, rewrites) = Optimizer::new().optimize(expr);
+    // Analyze the optimized plan once; its node tree mirrors the plan's
+    // shape, so the executor can zip the inferred signatures in.
+    let analysis = crate::analysis::check(&plan, bindings);
     let started = Instant::now();
-    let (result, root) = run(&plan, bindings, par)?;
+    let (result, root) = run(&plan, bindings, par, Some(&analysis.root))?;
     let total_ns = started.elapsed().as_nanos() as u64;
     if span.id().is_some() {
         span.attr("operators", root.size());
@@ -147,7 +155,13 @@ pub fn explain_analyze(
 /// Execute one node, timing it inclusively and collecting child nodes.
 /// Mirrors `eval_with_stats` operator-for-operator — the kernels are the
 /// same, only the bookkeeping differs.
-fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(ExtendedSet, PlanNode)> {
+fn run(
+    expr: &Expr,
+    bindings: &Bindings,
+    par: &Parallelism,
+    info: Option<&AnalyzedNode>,
+) -> XstResult<(ExtendedSet, PlanNode)> {
+    let child = |i: usize| info.and_then(|n| n.children.get(i));
     let started = Instant::now();
     let (op, result, children) = match expr {
         Expr::Literal(s) => ("literal".to_string(), s.clone(), Vec::new()),
@@ -161,13 +175,13 @@ fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(Extend
             (format!("table {name}"), s, Vec::new())
         }
         Expr::Union(a, b) => {
-            let (x, na) = run(a, bindings, par)?;
-            let (y, nb) = run(b, bindings, par)?;
+            let (x, na) = run(a, bindings, par, child(0))?;
+            let (y, nb) = run(b, bindings, par, child(1))?;
             ("union".to_string(), par_union(&x, &y, par), vec![na, nb])
         }
         Expr::Intersect(a, b) => {
-            let (x, na) = run(a, bindings, par)?;
-            let (y, nb) = run(b, bindings, par)?;
+            let (x, na) = run(a, bindings, par, child(0))?;
+            let (y, nb) = run(b, bindings, par, child(1))?;
             (
                 "intersect".to_string(),
                 par_intersection(&x, &y, par),
@@ -175,13 +189,13 @@ fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(Extend
             )
         }
         Expr::Difference(a, b) => {
-            let (x, na) = run(a, bindings, par)?;
-            let (y, nb) = run(b, bindings, par)?;
+            let (x, na) = run(a, bindings, par, child(0))?;
+            let (y, nb) = run(b, bindings, par, child(1))?;
             ("difference".to_string(), difference(&x, &y), vec![na, nb])
         }
         Expr::Restrict { r, sigma, a } => {
-            let (rs, nr) = run(r, bindings, par)?;
-            let (av, na) = run(a, bindings, par)?;
+            let (rs, nr) = run(r, bindings, par, child(0))?;
+            let (av, na) = run(a, bindings, par, child(1))?;
             (
                 "restrict".to_string(),
                 par_sigma_restrict(&rs, sigma, &av, par),
@@ -189,12 +203,12 @@ fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(Extend
             )
         }
         Expr::Domain { r, sigma } => {
-            let (rs, nr) = run(r, bindings, par)?;
+            let (rs, nr) = run(r, bindings, par, child(0))?;
             ("domain".to_string(), sigma_domain(&rs, sigma), vec![nr])
         }
         Expr::Image { r, a, scope } => {
-            let (rs, nr) = run(r, bindings, par)?;
-            let (av, na) = run(a, bindings, par)?;
+            let (rs, nr) = run(r, bindings, par, child(0))?;
+            let (av, na) = run(a, bindings, par, child(1))?;
             (
                 "image".to_string(),
                 par_image(&rs, &av, scope, par),
@@ -202,8 +216,8 @@ fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(Extend
             )
         }
         Expr::RelProduct { f, sigma, g, omega } => {
-            let (fs, nf) = run(f, bindings, par)?;
-            let (gs, ng) = run(g, bindings, par)?;
+            let (fs, nf) = run(f, bindings, par, child(0))?;
+            let (gs, ng) = run(g, bindings, par, child(1))?;
             (
                 "rel_product".to_string(),
                 par_relative_product(&fs, sigma, &gs, omega, par),
@@ -211,13 +225,14 @@ fn run(expr: &Expr, bindings: &Bindings, par: &Parallelism) -> XstResult<(Extend
             )
         }
         Expr::Cross(a, b) => {
-            let (x, na) = run(a, bindings, par)?;
-            let (y, nb) = run(b, bindings, par)?;
+            let (x, na) = run(a, bindings, par, child(0))?;
+            let (y, nb) = run(b, bindings, par, child(1))?;
             ("cross".to_string(), cross(&x, &y)?, vec![na, nb])
         }
     };
     let node = PlanNode {
         op,
+        sig: info.map(|n| n.set.sig.to_string()).unwrap_or_default(),
         rows_out: result.card() as u64,
         total_ns: started.elapsed().as_nanos() as u64,
         children,
@@ -281,17 +296,20 @@ mod tests {
     fn self_time_subtracts_children() {
         let node = PlanNode {
             op: "union".into(),
+            sig: "⊤".into(),
             rows_out: 10,
             total_ns: 1_000,
             children: vec![
                 PlanNode {
                     op: "table x".into(),
+                    sig: "⊤".into(),
                     rows_out: 6,
                     total_ns: 300,
                     children: Vec::new(),
                 },
                 PlanNode {
                     op: "table y".into(),
+                    sig: "⊤".into(),
                     rows_out: 4,
                     total_ns: 200,
                     children: Vec::new(),

@@ -3,6 +3,8 @@
 //! Query processing over the XST algebra:
 //!
 //! * [`expr`] — logical expression trees over named tables and literals;
+//! * [`analysis`] — the bridge to `xst-analyze`: static scope/emptiness/
+//!   cardinality inference, evaluation gating, and rewrite verification;
 //! * [`mod@eval`] — an evaluator with operator statistics (node counts and
 //!   intermediate materialization volume — what composition saves);
 //! * [`rules`] — rewrite rules, each justified by a numbered law of the
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod cost;
 pub mod eval;
 pub mod explain;
@@ -25,8 +28,11 @@ pub mod expr;
 pub mod optimizer;
 pub mod rules;
 
+pub use analysis::{check, env_for};
 pub use cost::{estimate, estimated_work, StatsSource, TableStats, DEFAULT_SELECTIVITY};
-pub use eval::{eval, eval_counted, eval_parallel, EvalStats, OpKind, OpStat};
+pub use eval::{
+    eval, eval_counted, eval_parallel, eval_parallel_unchecked, EvalStats, OpKind, OpStat,
+};
 pub use explain::{explain_analyze, ExplainAnalyze, PlanNode};
 pub use expr::{Bindings, Expr};
 pub use optimizer::{explain, Optimizer, Trace, TraceEntry};

@@ -11,6 +11,7 @@
 //! | [`CompositionFusion`] | Theorem 11.2: nested applications fuse into one relative product |
 
 use crate::expr::Expr;
+use xst_analyze::{analyze, AnalysisEnv, Emptiness};
 use xst_core::process::Process;
 use xst_core::{ExtendedSet, Member, Scope};
 
@@ -268,6 +269,51 @@ impl Rule for CompositionFusion {
     }
 }
 
+/// Member-scan budget the analyzer gets inside the optimizer: rewriting
+/// happens once per plan, so it is worth scanning far larger literals than
+/// the per-evaluation gate does.
+const PRUNE_SCAN_CAP: usize = 1 << 20;
+
+/// Rewrite subplans the static analyzer proves empty to `∅`.
+///
+/// Goes beyond [`EmptyPrune`]'s syntactic checks: the analyzer propagates
+/// scope signatures bottom-up, so e.g. an intersection of two non-empty
+/// sets whose members provably carry disjoint scopes collapses — before
+/// any kernel, pool, or WAL cost is paid. Tables are analyzed under an
+/// *open* environment (the optimizer has no bindings), which abstracts
+/// them to ⊤ — never `ProvablyEmpty` — so no table-dependent subplan is
+/// ever pruned. Nodes carrying proven cross-collisions analyze to unknown
+/// emptiness and are likewise left for the evaluator gate to report.
+pub struct AnalyzerPrune;
+
+impl Rule for AnalyzerPrune {
+    fn name(&self) -> &'static str {
+        "analyzer-empty-prune"
+    }
+    fn law(&self) -> &'static str {
+        "static emptiness analysis (scope-signature disjointness)"
+    }
+    fn apply(&self, expr: &Expr) -> Option<Expr> {
+        // Only node types with a *local* emptiness proof are worth the
+        // analysis: disjoint signatures (intersect), an empty σ or input
+        // (restrict/domain/image), an empty operand (cross, rel-product).
+        // Union and difference are empty only when a child is, and the
+        // rule visits children anyway — analyzing the parent too would
+        // just re-scan the same subtrees without adding pruning power.
+        // Leaves are already minimal (∅ literals included).
+        if matches!(
+            expr,
+            Expr::Literal(_) | Expr::Table(_) | Expr::Union(_, _) | Expr::Difference(_, _)
+        ) {
+            return None;
+        }
+        let env = AnalysisEnv::open().with_scan_cap(PRUNE_SCAN_CAP);
+        let analysis = analyze(expr, &env);
+        (analysis.root.set.emptiness == Emptiness::ProvablyEmpty)
+            .then(|| Expr::lit(ExtendedSet::empty()))
+    }
+}
+
 /// The default rule set, in application order.
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
@@ -278,6 +324,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ImageUnionMerge),
         Box::new(InputUnionMerge),
         Box::new(CompositionFusion),
+        Box::new(AnalyzerPrune),
     ]
 }
 
@@ -443,6 +490,24 @@ mod tests {
                 "input {input}"
             );
         }
+    }
+
+    #[test]
+    fn analyzer_prune_collapses_scope_disjoint_intersections() {
+        // Both operands non-empty, but every member scope differs: no
+        // syntactic rule sees this, the analyzer's signatures do.
+        let e = Expr::lit(xset!["a" => 1, "b" => 1]).intersect(Expr::lit(xset!["a" => 2]));
+        assert!(AnalyzerPrune.apply(&e).unwrap().is_empty_literal());
+        assert_eq!(EmptyPrune.apply(&e), None);
+    }
+
+    #[test]
+    fn analyzer_prune_leaves_tables_and_unknowns_alone() {
+        let t = Expr::table("t").intersect(Expr::table("u"));
+        assert_eq!(AnalyzerPrune.apply(&t), None);
+        let overlapping =
+            Expr::lit(xset!["a" => 1, "c" => 2]).intersect(Expr::lit(xset!["a" => 1]));
+        assert_eq!(AnalyzerPrune.apply(&overlapping), None);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!
 //! ```text
 //! .explain <op> ...     optimize + execute, print the per-operator tree
+//! .check <op> ...       static analysis only: sig, emptiness, diagnostics
 //! .metrics [json]       metrics exposition (Prometheus text or JSON)
 //! .metrics reset        zero every registered series
 //! .trace on|off|show    toggle the collector / render collected spans
@@ -220,6 +221,7 @@ impl Session {
                 Process::pairs(f).is_function().to_string()
             }
             ".explain" => self.explain(&mut parts)?,
+            ".check" => self.check(&mut parts)?,
             ".metrics" => self.metrics(parts.rest_opt().as_deref())?,
             ".trace" => self.trace(&parts.rest()?)?,
             ".faults" => self.faults(&parts.rest()?)?,
@@ -252,6 +254,47 @@ impl Session {
     /// `.explain <op> ...` — build the [`Expr`] a command form denotes,
     /// optimize + execute it, and render the per-operator tree.
     fn explain(&self, parts: &mut Tokens) -> XstResult<String> {
+        let expr = self.command_expr(parts)?;
+        let report = explain_analyze(&expr, &self.bindings, &Parallelism::available())?;
+        Ok(report.to_string())
+    }
+
+    /// `.check <op> ...` — statically analyze the plan a command form
+    /// denotes *without executing it*: inferred scope signature, emptiness
+    /// verdict, cardinality bounds, and every diagnostic. Always prints a
+    /// report (rejection is part of the report, not an error), so scripts
+    /// can drive it over ill-scoped plans.
+    fn check(&self, parts: &mut Tokens) -> XstResult<String> {
+        let expr = self.command_expr(parts)?;
+        let analysis = xst_query::check(&expr, &self.bindings);
+        let root = &analysis.root.set;
+        let verdict = if analysis.is_rejected() {
+            "rejected (would fail at runtime)"
+        } else if analysis.proved_safe() {
+            "accepted (proved safe)"
+        } else {
+            "accepted (runtime safety unproven)"
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "plan:       {expr}");
+        let _ = writeln!(out, "sig:        {}", root.sig);
+        let _ = writeln!(out, "emptiness:  {}", root.emptiness);
+        let _ = writeln!(out, "card:       {}", root.card);
+        let _ = writeln!(out, "verdict:    {verdict}");
+        if analysis.diagnostics.is_empty() {
+            let _ = write!(out, "diagnostics: none");
+        } else {
+            let _ = write!(out, "diagnostics:");
+            for d in &analysis.diagnostics {
+                let _ = write!(out, "\n  {d}");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the `<op> ...` command form shared by `.explain` and
+    /// `.check` into the [`Expr`] it denotes.
+    fn command_expr(&self, parts: &mut Tokens) -> XstResult<Expr> {
         let op = parts.next_word()?;
         let expr = match op.as_str() {
             "union" | "intersect" | "difference" | "cross" => {
@@ -284,12 +327,11 @@ impl Session {
             }
             other => {
                 return Err(err(format!(
-                "cannot explain '{other}' (union/intersect/difference/cross/domain/restrict/image)"
+                "cannot analyze '{other}' (union/intersect/difference/cross/domain/restrict/image)"
             )))
             }
         };
-        let report = explain_analyze(&expr, &self.bindings, &Parallelism::available())?;
-        Ok(report.to_string())
+        Ok(expr)
     }
 
     /// `.metrics [json|reset]`.
@@ -369,13 +411,13 @@ impl Session {
                 let plan = self.store.as_ref().and_then(|s| s.faults.as_ref());
                 let retries = xst_obs::registry()
                     .counter(
-                        "xst_storage_retries_total",
+                        xst_obs::names::STORAGE_RETRIES_TOTAL,
                         "Transient storage failures that were retried.",
                     )
                     .get();
                 let give_ups = xst_obs::registry()
                     .counter(
-                        "xst_storage_retry_give_ups_total",
+                        xst_obs::names::STORAGE_RETRY_GIVE_UPS_TOTAL,
                         "Operations abandoned after exhausting their retry budget.",
                     )
                     .get();
@@ -705,7 +747,8 @@ commands:
   tc R                        transitive closure of a pair relation
   function? F                 Definition 8.2 test
 observability:
-  .explain OP ...             optimize + execute, per-operator time/rows tree
+  .explain OP ...             optimize + execute, per-operator sig/time/rows tree
+  .check OP ...               static analysis only: sig, emptiness, card, diagnostics
   .metrics [json|reset]       metrics exposition · JSON snapshot · zero all
   .trace on|off|show          collector switch · render collected spans
   .faults on|off|status       inject transient I/O faults (retry absorbs them)
@@ -842,6 +885,44 @@ mod tests {
         let fused = run(&mut s, ".explain domain {⟨a, x⟩, ⟨b, y⟩} ⟨2⟩");
         assert!(fused.contains("domain"), "{fused}");
         assert!(s.eval_line(".explain frobnicate f").is_err());
+        // Each operator line carries its inferred signature.
+        assert!(report.contains("sig="), "{report}");
+    }
+
+    #[test]
+    fn check_reports_without_executing() {
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, ⟨c, x⟩}");
+        let out = run(&mut s, ".check union f {⟨d, z⟩}");
+        assert!(out.contains("sig:"), "{out}");
+        assert!(out.contains("emptiness:"), "{out}");
+        assert!(out.contains("card:"), "{out}");
+        assert!(out.contains("accepted"), "{out}");
+        assert!(out.contains("diagnostics: none"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_proven_cross_collision() {
+        let mut s = Session::new();
+        // Members {p^0} and {q^0} are not tuples, and their set views share
+        // scope 0 — concatenation provably collides.
+        run(&mut s, "let a = {{p^0}}");
+        run(&mut s, "let b = {{q^0}}");
+        let out = run(&mut s, ".check cross a b");
+        assert!(out.contains("rejected"), "{out}");
+        assert!(out.contains("cross-collision"), "{out}");
+        // Rejection is a report, not an error: the same plan through
+        // .explain IS an error (the evaluator gate refuses to run it).
+        assert!(s.eval_line(".explain cross a b").is_err());
+    }
+
+    #[test]
+    fn check_warns_on_statically_empty_plans() {
+        let mut s = Session::new();
+        let out = run(&mut s, ".check intersect {a^1} {b^2}");
+        assert!(out.contains("provably-empty"), "{out}");
+        assert!(out.contains("accepted"), "{out}");
+        assert!(out.contains("empty-subplan"), "{out}");
     }
 
     #[test]

@@ -22,13 +22,13 @@ use xst_obs::{registry, Counter, Histogram};
 
 /// Registry prefix for every metric this module emits; reset routing
 /// ([`Storage::reset_stats`], [`BufferPool::reset_stats`]) keys off it.
-pub const STORAGE_METRIC_PREFIX: &str = "xst_storage_";
+pub const STORAGE_METRIC_PREFIX: &str = xst_obs::names::STORAGE_PREFIX;
 
 fn page_read_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
-            "xst_storage_page_read_ns",
+            xst_obs::names::STORAGE_PAGE_READ_NS,
             "Latency of one page read from the simulated disk.",
         )
     })
@@ -38,7 +38,7 @@ fn page_write_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
-            "xst_storage_page_write_ns",
+            xst_obs::names::STORAGE_PAGE_WRITE_NS,
             "Latency of one page write (append or overwrite) to the simulated disk.",
         )
     })
@@ -356,7 +356,7 @@ impl Storage {
     /// global registry stay consistent.
     pub fn reset_stats(&self) {
         self.inner.lock().stats = IoStats::default();
-        registry().reset_prefix("xst_storage_page_");
+        registry().reset_prefix(xst_obs::names::STORAGE_PAGE_PREFIX);
     }
 }
 
@@ -422,17 +422,17 @@ impl Shard {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             hits_metric: registry().counter_with(
-                "xst_storage_pool_hits_total",
+                xst_obs::names::STORAGE_POOL_HITS_TOTAL,
                 "Buffer-pool lookups served from memory, per shard.",
                 labels,
             ),
             misses_metric: registry().counter_with(
-                "xst_storage_pool_misses_total",
+                xst_obs::names::STORAGE_POOL_MISSES_TOTAL,
                 "Buffer-pool lookups that went to disk, per shard.",
                 labels,
             ),
             evictions_metric: registry().counter_with(
-                "xst_storage_pool_evictions_total",
+                xst_obs::names::STORAGE_POOL_EVICTIONS_TOTAL,
                 "Frames evicted by LRU pressure, per shard.",
                 labels,
             ),
@@ -583,13 +583,13 @@ impl BufferPool {
         // as a 0% hit rate, which is what a *thrashing* pool reports.
         registry()
             .gauge(
-                "xst_storage_pool_hit_ratio",
+                xst_obs::names::STORAGE_POOL_HIT_RATIO,
                 "Aggregate buffer-pool hit ratio over all shards (0..1; -1 before any traffic).",
             )
             .set(stats.hit_ratio().unwrap_or(-1.0));
         registry()
             .gauge(
-                "xst_storage_pool_shards",
+                xst_obs::names::STORAGE_POOL_SHARDS,
                 "Number of shards in the most recently published pool.",
             )
             .set(self.shards.len() as f64);
@@ -633,7 +633,7 @@ impl BufferPool {
             shard.misses.store(0, Ordering::Relaxed);
             shard.evictions.store(0, Ordering::Relaxed);
         }
-        registry().reset_prefix("xst_storage_pool_");
+        registry().reset_prefix(xst_obs::names::STORAGE_POOL_PREFIX);
     }
 
     /// The underlying disk.

@@ -91,8 +91,12 @@ impl<'a> RecordEngine<'a> {
         table.file.scan(self.pool, |_, r| {
             let projected: Vec<Value> = positions
                 .iter()
-                .map(|&p| r.get(p).cloned().expect("validated position"))
-                .collect();
+                .map(|&p| {
+                    r.get(p).cloned().ok_or_else(|| StorageError::Corrupt {
+                        reason: format!("record narrower than schema position {p}"),
+                    })
+                })
+                .collect::<StorageResult<_>>()?;
             out.push(Record::new(projected));
             Ok(())
         })?;

@@ -24,7 +24,7 @@ fn faults_injected_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_faults_injected_total",
+            xst_obs::names::STORAGE_FAULTS_INJECTED_TOTAL,
             "Faults injected into the storage substrate by an installed FaultPlan.",
         )
     })

@@ -53,7 +53,11 @@ pub fn load_identity_parallel(file: &HeapFile, threads: usize) -> StorageResult<
             }));
         }
         for h in handles {
-            chunks.push(h.join().expect("loader thread panicked"));
+            chunks.push(h.join().unwrap_or_else(|_| {
+                Err(StorageError::Corrupt {
+                    reason: "parallel loader thread panicked".into(),
+                })
+            }));
         }
     })
     .map_err(|_| StorageError::Corrupt {

@@ -19,7 +19,7 @@ fn retries_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_retries_total",
+            xst_obs::names::STORAGE_RETRIES_TOTAL,
             "Transient storage failures that were retried.",
         )
     })
@@ -29,7 +29,7 @@ fn give_ups_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_retry_give_ups_total",
+            xst_obs::names::STORAGE_RETRY_GIVE_UPS_TOTAL,
             "Operations abandoned after exhausting their retry budget.",
         )
     })
@@ -39,7 +39,7 @@ fn backoff_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
-            "xst_storage_retry_backoff_ns",
+            xst_obs::names::STORAGE_RETRY_BACKOFF_NS,
             "Simulated exponential-backoff delay before each retry.",
         )
     })

@@ -54,7 +54,11 @@ pub fn restore(image: &[u8]) -> StorageResult<Storage> {
         return Err(corrupt("image too short"));
     }
     let (body, crc_bytes) = image.split_at(image.len() - 4);
-    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let crc_arr: [u8; 4] = match crc_bytes.try_into() {
+        Ok(arr) => arr,
+        Err(_) => return Err(corrupt("truncated checksum")),
+    };
+    let stored_crc = u32::from_le_bytes(crc_arr);
     if crc32(body) != stored_crc {
         return Err(corrupt("checksum mismatch"));
     }

@@ -59,19 +59,21 @@ pub type CommitTs = u64;
 
 fn txn_begins_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
-    C.get_or_init(|| registry().counter("xst_txn_begins_total", "Transactions begun."))
+    C.get_or_init(|| registry().counter(xst_obs::names::TXN_BEGINS_TOTAL, "Transactions begun."))
 }
 
 fn txn_commits_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
-    C.get_or_init(|| registry().counter("xst_txn_commits_total", "Transactions committed."))
+    C.get_or_init(|| {
+        registry().counter(xst_obs::names::TXN_COMMITS_TOTAL, "Transactions committed.")
+    })
 }
 
 fn txn_aborts_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_txn_aborts_total",
+            xst_obs::names::TXN_ABORTS_TOTAL,
             "Transactions aborted (explicitly or by conflict/IO failure).",
         )
     })
@@ -81,7 +83,7 @@ fn txn_conflicts_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_txn_conflicts_total",
+            xst_obs::names::TXN_CONFLICTS_TOTAL,
             "Commit attempts rejected by first-committer-wins validation.",
         )
     })
@@ -91,7 +93,7 @@ fn txn_commit_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
-            "xst_txn_commit_ns",
+            xst_obs::names::TXN_COMMIT_NS,
             "Latency of a successful commit (validation + WAL group commit + version publish).",
         )
     })
@@ -144,17 +146,14 @@ impl VersionedTable {
         }
     }
 
-    /// The latest version visible at snapshot `ts`.
-    fn visible_at(&self, ts: CommitTs) -> &TableVersion {
-        self.versions
-            .iter()
-            .rev()
-            .find(|v| v.commit_ts <= ts)
-            .expect("version chains always start at ts 0")
+    /// The latest version visible at snapshot `ts`. Chains are seeded with
+    /// a ts-0 version at construction, so `None` means a corrupted chain.
+    fn visible_at(&self, ts: CommitTs) -> Option<&TableVersion> {
+        self.versions.iter().rev().find(|v| v.commit_ts <= ts)
     }
 
-    fn latest(&self) -> &TableVersion {
-        self.versions.last().expect("chains are never empty")
+    fn latest(&self) -> Option<&TableVersion> {
+        self.versions.last()
     }
 }
 
@@ -292,7 +291,8 @@ impl TxnManager {
     pub fn latest_identity(&self, name: &str) -> StorageResult<Arc<ExtendedSet>> {
         let inner = self.inner.lock();
         let vt = require_table(&inner.tables, name)?;
-        Ok(Arc::clone(&vt.latest().identity))
+        let head = vt.latest().ok_or_else(|| broken_chain(name))?;
+        Ok(Arc::clone(&head.identity))
     }
 
     /// The latest commit timestamp.
@@ -343,7 +343,7 @@ impl TxnManager {
         }
         let recovered_any = !identities.is_empty();
         for (name, identity) in identities {
-            let vt = tables.get_mut(&name).expect("checked above");
+            let vt = tables.get_mut(&name).ok_or_else(|| broken_chain(&name))?;
             vt.versions.push(TableVersion {
                 commit_ts: 1,
                 identity: Arc::new(identity),
@@ -425,8 +425,12 @@ impl TxnManager {
         let ts = inner.last_commit + 1;
         inner.last_commit = ts;
         for (name, ops) in writes {
-            let vt = inner.tables.get_mut(name).expect("validated above");
-            let mut identity = (*vt.latest().identity).clone();
+            let vt = inner
+                .tables
+                .get_mut(name)
+                .ok_or_else(|| broken_chain(name))?;
+            let head = vt.latest().ok_or_else(|| broken_chain(name))?;
+            let mut identity = (*head.identity).clone();
             for op in ops {
                 identity = apply_op(&identity, op);
             }
@@ -437,6 +441,14 @@ impl TxnManager {
             });
         }
         Ok(ts)
+    }
+}
+
+/// A version chain lost its seed entry (or a validated table vanished) —
+/// an invariant violation surfaced as corruption rather than a panic.
+fn broken_chain(name: &str) -> StorageError {
+    StorageError::Corrupt {
+        reason: format!("broken version chain for table '{name}'"),
     }
 }
 
@@ -502,7 +514,10 @@ impl Txn {
         }
         let inner = self.mgr.inner.lock();
         let vt = require_table(&inner.tables, table)?;
-        let identity = Arc::clone(&vt.visible_at(self.begin_ts).identity);
+        let visible = vt
+            .visible_at(self.begin_ts)
+            .ok_or_else(|| broken_chain(table))?;
+        let identity = Arc::clone(&visible.identity);
         drop(inner);
         self.snapshots
             .insert(table.to_string(), Arc::clone(&identity));

@@ -64,7 +64,7 @@ fn wal_append_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
-            "xst_storage_wal_append_ns",
+            xst_obs::names::STORAGE_WAL_APPEND_NS,
             "Latency of staging one WAL frame (length + header crc + payload + crc).",
         )
     })
@@ -74,7 +74,7 @@ fn wal_fsync_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
-            "xst_storage_wal_fsync_ns",
+            xst_obs::names::STORAGE_WAL_FSYNC_NS,
             "Latency of one WAL flush (the fsync-equivalent commit point).",
         )
     })
@@ -84,7 +84,7 @@ fn wal_appends_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_wal_appends_total",
+            xst_obs::names::STORAGE_WAL_APPENDS_TOTAL,
             "Records staged into the write-ahead log.",
         )
     })
@@ -94,7 +94,7 @@ fn wal_bytes_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_wal_bytes_total",
+            xst_obs::names::STORAGE_WAL_BYTES_TOTAL,
             "Payload bytes staged into the write-ahead log (framing excluded).",
         )
     })
@@ -104,7 +104,7 @@ fn group_commits_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_wal_group_commits_total",
+            xst_obs::names::STORAGE_WAL_GROUP_COMMITS_TOTAL,
             "Batches acknowledged by a single WAL flush (group commit).",
         )
     })
@@ -114,7 +114,7 @@ fn group_commit_records_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
-            "xst_storage_wal_group_commit_records_total",
+            xst_obs::names::STORAGE_WAL_GROUP_COMMIT_RECORDS_TOTAL,
             "Records acknowledged through group commit.",
         )
     })
