@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (E12–E15) are also
+//! Experiments that produce structured numbers (E12–E16) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -121,6 +121,12 @@ fn main() {
     if want("e15") {
         let (n, iters) = if quick { (5_000, 7) } else { (50_000, 15) };
         let (table, entries) = exp::e15_analysis(n, iters);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if want("e16") {
+        let (n, requests) = if quick { (500, 160) } else { (2_000, 480) };
+        let (table, entries) = exp::e16_server_sessions(n, requests, &[1, 4, 16]);
         print!("{table}");
         json_entries.extend(entries);
     }

@@ -1,0 +1,323 @@
+//! # xst-client — blocking typed client for the XST wire protocol
+//!
+//! One [`Client`] is one connection is one server-side session: a
+//! private transactional view over the served engine. The API is
+//! deliberately small and synchronous — connect, issue one request at a
+//! time, get a typed result — because every consumer in this workspace
+//! (the shell's `.connect`, the end-to-end battery, the latency
+//! experiments) wants exactly that shape.
+//!
+//! Every failure is a typed [`ClientError`]. Server-side failures arrive
+//! as [`ClientError::Remote`] carrying the wire [`ErrorCode`] — so a
+//! commit that lost first-committer-wins validation is
+//! `Remote { code: TxnConflict, .. }`, checkable with
+//! [`ClientError::is_conflict`], not a stringly-typed guess.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::net::TcpStream;
+use std::time::Duration;
+use xst_core::ExtendedSet;
+use xst_query::Expr;
+use xst_server::proto::{ErrorCode, Request, Response, WireError, PROTO_VERSION};
+use xst_server::wire::{read_frame, write_frame, FrameError};
+use xst_storage::{FaultKind, FaultSchedule};
+
+/// Everything that can go wrong on the client side of a session.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(std::io::Error),
+    /// The byte stream violated the frame or message protocol.
+    Protocol(String),
+    /// The handshake failed (version mismatch or malformed welcome).
+    Handshake(String),
+    /// The server refused the connection at admission control.
+    Rejected(String),
+    /// The server answered with a structured error; the session
+    /// survives (admission/version errors surface as
+    /// [`ClientError::Rejected`]/[`ClientError::Handshake`] instead).
+    Remote(WireError),
+    /// The server answered with a response kind the request cannot
+    /// produce — a server bug or a desynced stream.
+    Unexpected(String),
+}
+
+impl ClientError {
+    /// Is this a first-committer-wins conflict (retry on a fresh
+    /// snapshot may succeed)?
+    pub fn is_conflict(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Remote(WireError {
+                code: ErrorCode::TxnConflict,
+                ..
+            })
+        )
+    }
+
+    /// The remote error code, if this is a remote failure.
+    pub fn remote_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Remote(e) => Some(e.code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failure: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Handshake(m) => write!(f, "handshake failed: {m}"),
+            ClientError::Rejected(m) => write!(f, "admission rejected: {m}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for every client call.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// The outcome of a put/delete: how many rows it touched, and the
+/// commit timestamp if it autocommitted (buffered writes have none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Applied {
+    /// Rows the request touched.
+    pub rows: u64,
+    /// Commit timestamp when autocommitted, `None` while buffered in an
+    /// open transaction.
+    pub autocommit_ts: Option<u64>,
+}
+
+/// An open transaction's identity, as reported by `begin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnInfo {
+    /// The server-assigned transaction id.
+    pub id: u64,
+    /// The commit timestamp the transaction's snapshot reads from.
+    pub snapshot_ts: u64,
+}
+
+/// A blocking connection to an `xst-server`, already past the version
+/// handshake. Dropping the client closes the connection, which aborts
+/// any transaction left open server-side.
+pub struct Client {
+    stream: TcpStream,
+    banner: String,
+}
+
+impl Client {
+    /// Connect to `addr` and perform the handshake, identifying as
+    /// `client_name` in the server's diagnostics.
+    pub fn connect(addr: &str, client_name: &str) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut c = Client {
+            stream,
+            banner: String::new(),
+        };
+        let resp = c.round_trip(&Request::Hello {
+            version: PROTO_VERSION,
+            client: client_name.to_string(),
+        })?;
+        match resp {
+            Response::Welcome { version, banner } if version == PROTO_VERSION => {
+                c.banner = banner;
+                Ok(c)
+            }
+            Response::Welcome { version, .. } => Err(ClientError::Handshake(format!(
+                "server answered protocol v{version}, client speaks v{PROTO_VERSION}"
+            ))),
+            Response::Error(e) if e.code == ErrorCode::Admission => {
+                Err(ClientError::Rejected(e.message))
+            }
+            Response::Error(e) if e.code == ErrorCode::Version => {
+                Err(ClientError::Handshake(e.message))
+            }
+            other => Err(ClientError::Unexpected(format!(
+                "handshake answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's welcome banner.
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Bound how long a blocked read waits (for tests that must not
+    /// hang on a dead server).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self, req: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Issue `req`; treat a [`Response::Error`] as [`ClientError::Remote`].
+    fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        match self.round_trip(req)? {
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("ping", &other)),
+        }
+    }
+
+    /// Evaluate an expression against this session's visible snapshot.
+    pub fn eval(&mut self, expr: &Expr) -> ClientResult<ExtendedSet> {
+        match self.call(&Request::Eval { expr: expr.clone() })? {
+            Response::Value { set } => Ok(set),
+            other => Err(unexpected("eval", &other)),
+        }
+    }
+
+    /// Statically analyze an expression; returns the rendered report.
+    pub fn check(&mut self, expr: &Expr) -> ClientResult<String> {
+        match self.call(&Request::Check { expr: expr.clone() })? {
+            Response::Report { text } => Ok(text),
+            other => Err(unexpected("check", &other)),
+        }
+    }
+
+    /// Optimize + execute; returns the per-operator report.
+    pub fn explain(&mut self, expr: &Expr) -> ClientResult<String> {
+        match self.call(&Request::Explain { expr: expr.clone() })? {
+            Response::Report { text } => Ok(text),
+            other => Err(unexpected("explain", &other)),
+        }
+    }
+
+    /// Open an explicit transaction.
+    pub fn begin(&mut self) -> ClientResult<TxnInfo> {
+        match self.call(&Request::Begin)? {
+            Response::TxnBegun { id, snapshot_ts } => Ok(TxnInfo { id, snapshot_ts }),
+            other => Err(unexpected("begin", &other)),
+        }
+    }
+
+    /// Commit the open transaction; returns its commit timestamp.
+    /// First-committer-wins losses surface as a
+    /// [`ClientError::is_conflict`] remote error.
+    pub fn commit(&mut self) -> ClientResult<u64> {
+        match self.call(&Request::Commit)? {
+            Response::Committed { ts } => Ok(ts),
+            other => Err(unexpected("commit", &other)),
+        }
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Abort)? {
+            Response::Aborted => Ok(()),
+            other => Err(unexpected("abort", &other)),
+        }
+    }
+
+    /// Insert every member of `set` into `table` (autocommits outside
+    /// an open transaction).
+    pub fn put(&mut self, table: &str, set: &ExtendedSet) -> ClientResult<Applied> {
+        match self.call(&Request::Put {
+            table: table.to_string(),
+            set: set.clone(),
+        })? {
+            Response::Applied {
+                rows,
+                autocommit_ts,
+            } => Ok(Applied {
+                rows,
+                autocommit_ts,
+            }),
+            other => Err(unexpected("put", &other)),
+        }
+    }
+
+    /// Delete every member of `set` from `table`.
+    pub fn delete(&mut self, table: &str, set: &ExtendedSet) -> ClientResult<Applied> {
+        match self.call(&Request::Delete {
+            table: table.to_string(),
+            set: set.clone(),
+        })? {
+            Response::Applied {
+                rows,
+                autocommit_ts,
+            } => Ok(Applied {
+                rows,
+                autocommit_ts,
+            }),
+            other => Err(unexpected("delete", &other)),
+        }
+    }
+
+    /// Read `table`'s visible identity: rows as scoped tuples. Use
+    /// [`xst_server::records_identity_to_set`] to rebuild the member
+    /// set it denotes.
+    pub fn get(&mut self, table: &str) -> ClientResult<ExtendedSet> {
+        match self.call(&Request::Get {
+            table: table.to_string(),
+        })? {
+            Response::Value { set } => Ok(set),
+            other => Err(unexpected("get", &other)),
+        }
+    }
+
+    /// Metrics exposition (Prometheus text, or JSON).
+    pub fn metrics(&mut self, json: bool) -> ClientResult<String> {
+        match self.call(&Request::Metrics { json })? {
+            Response::Report { text } => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Arm the served engine's deterministic fault plan.
+    pub fn arm_faults(&mut self, schedule: FaultSchedule, kind: FaultKind) -> ClientResult<()> {
+        match self.call(&Request::ArmFaults { schedule, kind })? {
+            Response::FaultsArmed { armed: true } => Ok(()),
+            other => Err(unexpected("arm_faults", &other)),
+        }
+    }
+
+    /// Disarm and clear any armed fault plan.
+    pub fn clear_faults(&mut self) -> ClientResult<()> {
+        match self.call(&Request::ClearFaults)? {
+            Response::FaultsArmed { armed: false } => Ok(()),
+            other => Err(unexpected("clear_faults", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, resp: &Response) -> ClientError {
+    ClientError::Unexpected(format!("{what} answered with {resp:?}"))
+}

@@ -61,7 +61,7 @@ fn allowlisted(v: &Violation) -> bool {
 }
 
 /// Crates whose non-test sources must never panic.
-const NO_PANIC_CRATES: &[&str] = &["xst-storage", "xst-core"];
+const NO_PANIC_CRATES: &[&str] = &["xst-storage", "xst-core", "xst-server", "xst-client"];
 /// Forbidden panic tokens (checked on the comment/string-blanked view).
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
 

@@ -57,6 +57,23 @@ pub const STORAGE_RETRY_BACKOFF_NS: &str = "xst_storage_retry_backoff_ns";
 /// Faults injected by the deterministic fault plan.
 pub const STORAGE_FAULTS_INJECTED_TOTAL: &str = "xst_storage_faults_injected_total";
 
+/// Common prefix of every network-server metric.
+pub const SERVER_PREFIX: &str = "xst_server_";
+/// Connections accepted by the server (admitted into a session).
+pub const SERVER_ACCEPTED_TOTAL: &str = "xst_server_accepted_total";
+/// Connections rejected by admission control (cap + queue both full).
+pub const SERVER_ADMISSION_REJECTED_TOTAL: &str = "xst_server_admission_rejected_total";
+/// Sessions currently open (gauge).
+pub const SERVER_ACTIVE_SESSIONS: &str = "xst_server_active_sessions";
+/// Connections waiting in the admission queue for a session slot (gauge).
+pub const SERVER_QUEUE_DEPTH: &str = "xst_server_queue_depth";
+/// Requests served across all sessions.
+pub const SERVER_REQUESTS_TOTAL: &str = "xst_server_requests_total";
+/// Malformed frames / protocol violations answered with a structured error.
+pub const SERVER_PROTOCOL_ERRORS_TOTAL: &str = "xst_server_protocol_errors_total";
+/// Nanoseconds spent handling one request (decode → dispatch → encode).
+pub const SERVER_REQUEST_NS: &str = "xst_server_request_ns";
+
 /// Transactions begun.
 pub const TXN_BEGINS_TOTAL: &str = "xst_txn_begins_total";
 /// Transactions committed.
@@ -67,6 +84,9 @@ pub const TXN_ABORTS_TOTAL: &str = "xst_txn_aborts_total";
 pub const TXN_CONFLICTS_TOTAL: &str = "xst_txn_conflicts_total";
 /// Nanoseconds spent committing transactions.
 pub const TXN_COMMIT_NS: &str = "xst_txn_commit_ns";
+/// Transactions currently open — begun but neither committed nor aborted
+/// (gauge; pins a snapshot identity each).
+pub const TXN_ACTIVE: &str = "xst_txn_active";
 
 #[cfg(test)]
 mod tests {
@@ -92,11 +112,19 @@ mod tests {
             super::STORAGE_RETRY_GIVE_UPS_TOTAL,
             super::STORAGE_RETRY_BACKOFF_NS,
             super::STORAGE_FAULTS_INJECTED_TOTAL,
+            super::SERVER_ACCEPTED_TOTAL,
+            super::SERVER_ADMISSION_REJECTED_TOTAL,
+            super::SERVER_ACTIVE_SESSIONS,
+            super::SERVER_QUEUE_DEPTH,
+            super::SERVER_REQUESTS_TOTAL,
+            super::SERVER_PROTOCOL_ERRORS_TOTAL,
+            super::SERVER_REQUEST_NS,
             super::TXN_BEGINS_TOTAL,
             super::TXN_COMMITS_TOTAL,
             super::TXN_ABORTS_TOTAL,
             super::TXN_CONFLICTS_TOTAL,
             super::TXN_COMMIT_NS,
+            super::TXN_ACTIVE,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for name in all {

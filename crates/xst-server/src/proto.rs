@@ -1,0 +1,878 @@
+//! Message layer: typed requests and responses over frame payloads.
+//!
+//! Inside each [`crate::wire`] frame sits exactly one message, encoded
+//! with a hand-rolled tagged binary format: one tag byte per variant,
+//! little-endian fixed-width integers, and length-prefixed UTF-8 for
+//! text. Extended sets travel as their **canonical display text** — the
+//! same grammar `xst_core::parse_set` accepts — so the wire format
+//! inherits the display↔parse round-trip property the core crate already
+//! proves, and a captured frame is inspectable with nothing more than a
+//! hex dump. [`xst_query::Expr`] trees are encoded structurally
+//! (recursively, one tag per operator) with a decode-side depth cap so a
+//! hostile payload cannot recurse the decoder off the stack.
+//!
+//! Decoding is total: every malformed payload maps to a structured
+//! [`ProtoError`] — unknown tags, truncated fields, non-UTF-8 text,
+//! unparseable sets, excess trailing bytes — and never panics.
+
+use std::fmt;
+use xst_core::parse::parse_set;
+use xst_core::{ExtendedSet, Scope};
+use xst_query::Expr;
+use xst_storage::{FaultKind, FaultSchedule};
+
+/// Protocol version sent in [`Request::Hello`] and echoed in
+/// [`Response::Welcome`]. Bump on any wire-incompatible change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Maximum [`Expr`] nesting depth the decoder will follow.
+pub const MAX_EXPR_DEPTH: usize = 64;
+
+/// Everything that can go wrong decoding a message payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before a field was complete.
+    Truncated,
+    /// Bytes remained after the message was fully decoded.
+    Trailing(usize),
+    /// An unknown tag byte where `what` was expected.
+    BadTag {
+        /// Which tagged union was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// A set's display text failed to parse back.
+    BadSet(String),
+    /// An [`Expr`] nested deeper than [`MAX_EXPR_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "message payload truncated"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+            ProtoError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            ProtoError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtoError::BadSet(e) => write!(f, "set text failed to parse: {e}"),
+            ProtoError::TooDeep => {
+                write!(f, "expression nests deeper than {MAX_EXPR_DEPTH} levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Machine-readable classification of a [`Response::Error`]. The codes
+/// are the client's dispatch surface: `TxnConflict` is what
+/// first-committer-wins looks like over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame or message (decode-side failure).
+    Protocol,
+    /// Handshake version mismatch.
+    Version,
+    /// Rejected by admission control (server at capacity).
+    Admission,
+    /// Operand text failed to parse.
+    Parse,
+    /// The static-analysis gate rejected the plan.
+    Analysis,
+    /// Evaluation failed at runtime.
+    Eval,
+    /// Request illegal in the session's current transaction state.
+    TxnState,
+    /// Commit lost first-committer-wins validation.
+    TxnConflict,
+    /// A storage-layer failure (I/O, corruption, unknown table).
+    Storage,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    const ALL: [ErrorCode; 10] = [
+        ErrorCode::Protocol,
+        ErrorCode::Version,
+        ErrorCode::Admission,
+        ErrorCode::Parse,
+        ErrorCode::Analysis,
+        ErrorCode::Eval,
+        ErrorCode::TxnState,
+        ErrorCode::TxnConflict,
+        ErrorCode::Storage,
+        ErrorCode::Internal,
+    ];
+
+    /// Stable display name (used in error text and the shell).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Version => "version",
+            ErrorCode::Admission => "admission",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Analysis => "analysis",
+            ErrorCode::Eval => "eval",
+            ErrorCode::TxnState => "txn-state",
+            ErrorCode::TxnConflict => "txn-conflict",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured server-side error, as carried by [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What failed.
+    pub code: ErrorCode,
+    /// The table involved, when the failure names one (conflicts do).
+    pub table: Option<String>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error with no table attribution.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            table: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{} [{t}]: {}", self.code, self.message),
+            None => write!(f, "{}: {}", self.code, self.message),
+        }
+    }
+}
+
+/// One client request. The variants mirror the shell's command surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open the session: version handshake. Must be the first request.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        version: u32,
+        /// Free-form client identification, for diagnostics.
+        client: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Evaluate an expression against the session's snapshot.
+    Eval {
+        /// The plan to run.
+        expr: Expr,
+    },
+    /// Statically analyze an expression without running it.
+    Check {
+        /// The plan to analyze.
+        expr: Expr,
+    },
+    /// Optimize + execute and return the per-operator report.
+    Explain {
+        /// The plan to explain.
+        expr: Expr,
+    },
+    /// Open an explicit transaction (error if one is already open).
+    Begin,
+    /// Commit the open transaction.
+    Commit,
+    /// Abort the open transaction.
+    Abort,
+    /// Insert every member of `set` as a `(element, scope)` record of
+    /// `table` — buffered in the open transaction, else autocommitted.
+    Put {
+        /// Target table.
+        table: String,
+        /// Members to insert.
+        set: ExtendedSet,
+    },
+    /// Delete every member of `set` from `table`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Members to delete.
+        set: ExtendedSet,
+    },
+    /// Read a table's visible identity (rows as scoped tuples).
+    Get {
+        /// Table to read.
+        table: String,
+    },
+    /// Metrics exposition (Prometheus text, or JSON).
+    Metrics {
+        /// `true` for the JSON form.
+        json: bool,
+    },
+    /// Arm the served engine's deterministic fault plan — the hook the
+    /// crash-at-commit-site battery drives across the wire.
+    ArmFaults {
+        /// When to inject.
+        schedule: FaultSchedule,
+        /// What to inject.
+        kind: FaultKind,
+    },
+    /// Disarm and clear any armed fault plan.
+    ClearFaults,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome {
+        /// The server's [`PROTO_VERSION`].
+        version: u32,
+        /// Server identification banner.
+        banner: String,
+    },
+    /// Liveness reply.
+    Pong,
+    /// An evaluated set.
+    Value {
+        /// The result identity.
+        set: ExtendedSet,
+    },
+    /// A rendered text report (check/explain/metrics).
+    Report {
+        /// The report body.
+        text: String,
+    },
+    /// An explicit transaction is now open.
+    TxnBegun {
+        /// Its transaction id.
+        id: u64,
+        /// The commit timestamp its snapshot reads from.
+        snapshot_ts: u64,
+    },
+    /// A put/delete was applied.
+    Applied {
+        /// Rows the request touched.
+        rows: u64,
+        /// The commit timestamp, when the request autocommitted
+        /// (`None` while buffered inside an explicit transaction).
+        autocommit_ts: Option<u64>,
+    },
+    /// The open transaction committed.
+    Committed {
+        /// Its commit timestamp.
+        ts: u64,
+    },
+    /// The open transaction aborted.
+    Aborted,
+    /// The fault plan is armed (or cleared, for `armed == false`).
+    FaultsArmed {
+        /// Whether a plan is now armed.
+        armed: bool,
+    },
+    /// The request failed; the session survives (except version and
+    /// admission errors, after which the server closes the stream).
+    Error(WireError),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_set(out: &mut Vec<u8>, s: &ExtendedSet) {
+    put_str(out, &s.to_string());
+}
+
+fn put_scope(out: &mut Vec<u8>, s: &Scope) {
+    put_set(out, &s.sigma1);
+    put_set(out, &s.sigma2);
+}
+
+fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Literal(s) => {
+            out.push(0);
+            put_set(out, s);
+        }
+        Expr::Table(name) => {
+            out.push(1);
+            put_str(out, name);
+        }
+        Expr::Union(a, b) => {
+            out.push(2);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Intersect(a, b) => {
+            out.push(3);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Difference(a, b) => {
+            out.push(4);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Restrict { r, sigma, a } => {
+            out.push(5);
+            put_expr(out, r);
+            put_set(out, sigma);
+            put_expr(out, a);
+        }
+        Expr::Domain { r, sigma } => {
+            out.push(6);
+            put_expr(out, r);
+            put_set(out, sigma);
+        }
+        Expr::Image { r, a, scope } => {
+            out.push(7);
+            put_expr(out, r);
+            put_expr(out, a);
+            put_scope(out, scope);
+        }
+        Expr::RelProduct { f, sigma, g, omega } => {
+            out.push(8);
+            put_expr(out, f);
+            put_scope(out, sigma);
+            put_expr(out, g);
+            put_scope(out, omega);
+        }
+        Expr::Cross(a, b) => {
+            out.push(9);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding primitives.
+// ---------------------------------------------------------------------------
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Rd<'a> {
+        Rd { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ProtoError::BadTag { what, tag }),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn set(&mut self) -> Result<ExtendedSet, ProtoError> {
+        let text = self.str()?;
+        parse_set(&text).map_err(|e| ProtoError::BadSet(e.to_string()))
+    }
+
+    fn scope(&mut self) -> Result<Scope, ProtoError> {
+        let sigma1 = self.set()?;
+        let sigma2 = self.set()?;
+        Ok(Scope::new(sigma1, sigma2))
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, ProtoError> {
+        if depth >= MAX_EXPR_DEPTH {
+            return Err(ProtoError::TooDeep);
+        }
+        let d = depth + 1;
+        Ok(match self.u8()? {
+            0 => Expr::Literal(self.set()?),
+            1 => Expr::Table(self.str()?),
+            2 => Expr::Union(Box::new(self.expr(d)?), Box::new(self.expr(d)?)),
+            3 => Expr::Intersect(Box::new(self.expr(d)?), Box::new(self.expr(d)?)),
+            4 => Expr::Difference(Box::new(self.expr(d)?), Box::new(self.expr(d)?)),
+            5 => Expr::Restrict {
+                r: Box::new(self.expr(d)?),
+                sigma: self.set()?,
+                a: Box::new(self.expr(d)?),
+            },
+            6 => Expr::Domain {
+                r: Box::new(self.expr(d)?),
+                sigma: self.set()?,
+            },
+            7 => Expr::Image {
+                r: Box::new(self.expr(d)?),
+                a: Box::new(self.expr(d)?),
+                scope: self.scope()?,
+            },
+            8 => Expr::RelProduct {
+                f: Box::new(self.expr(d)?),
+                sigma: self.scope()?,
+                g: Box::new(self.expr(d)?),
+                omega: self.scope()?,
+            },
+            9 => Expr::Cross(Box::new(self.expr(d)?), Box::new(self.expr(d)?)),
+            tag => return Err(ProtoError::BadTag { what: "expr", tag }),
+        })
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left > 0 {
+            return Err(ProtoError::Trailing(left));
+        }
+        Ok(())
+    }
+}
+
+fn put_schedule(out: &mut Vec<u8>, s: &FaultSchedule) {
+    match s {
+        FaultSchedule::AtSite(k) => {
+            out.push(0);
+            put_u64(out, *k);
+        }
+        FaultSchedule::EveryNth(k) => {
+            out.push(1);
+            put_u64(out, *k);
+        }
+    }
+}
+
+fn put_kind(out: &mut Vec<u8>, k: &FaultKind) {
+    match k {
+        FaultKind::WriteFail => out.push(0),
+        FaultKind::TornWrite(n) => {
+            out.push(1);
+            put_u64(out, *n as u64);
+        }
+        FaultKind::ShortRead(n) => {
+            out.push(2);
+            put_u64(out, *n as u64);
+        }
+        FaultKind::SyncFail => out.push(3),
+        FaultKind::Transient => out.push(4),
+    }
+}
+
+impl Rd<'_> {
+    fn schedule(&mut self) -> Result<FaultSchedule, ProtoError> {
+        Ok(match self.u8()? {
+            0 => FaultSchedule::AtSite(self.u64()?),
+            1 => FaultSchedule::EveryNth(self.u64()?),
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "fault schedule",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn kind(&mut self) -> Result<FaultKind, ProtoError> {
+        Ok(match self.u8()? {
+            0 => FaultKind::WriteFail,
+            1 => FaultKind::TornWrite(self.u64()? as usize),
+            2 => FaultKind::ShortRead(self.u64()? as usize),
+            3 => FaultKind::SyncFail,
+            4 => FaultKind::Transient,
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "fault kind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { version, client } => {
+                out.push(0);
+                put_u32(&mut out, *version);
+                put_str(&mut out, client);
+            }
+            Request::Ping => out.push(1),
+            Request::Eval { expr } => {
+                out.push(2);
+                put_expr(&mut out, expr);
+            }
+            Request::Check { expr } => {
+                out.push(3);
+                put_expr(&mut out, expr);
+            }
+            Request::Explain { expr } => {
+                out.push(4);
+                put_expr(&mut out, expr);
+            }
+            Request::Begin => out.push(5),
+            Request::Commit => out.push(6),
+            Request::Abort => out.push(7),
+            Request::Put { table, set } => {
+                out.push(8);
+                put_str(&mut out, table);
+                put_set(&mut out, set);
+            }
+            Request::Delete { table, set } => {
+                out.push(9);
+                put_str(&mut out, table);
+                put_set(&mut out, set);
+            }
+            Request::Get { table } => {
+                out.push(10);
+                put_str(&mut out, table);
+            }
+            Request::Metrics { json } => {
+                out.push(11);
+                out.push(u8::from(*json));
+            }
+            Request::ArmFaults { schedule, kind } => {
+                out.push(12);
+                put_schedule(&mut out, schedule);
+                put_kind(&mut out, kind);
+            }
+            Request::ClearFaults => out.push(13),
+        }
+        out
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut rd = Rd::new(payload);
+        let req = match rd.u8()? {
+            0 => Request::Hello {
+                version: rd.u32()?,
+                client: rd.str()?,
+            },
+            1 => Request::Ping,
+            2 => Request::Eval { expr: rd.expr(0)? },
+            3 => Request::Check { expr: rd.expr(0)? },
+            4 => Request::Explain { expr: rd.expr(0)? },
+            5 => Request::Begin,
+            6 => Request::Commit,
+            7 => Request::Abort,
+            8 => Request::Put {
+                table: rd.str()?,
+                set: rd.set()?,
+            },
+            9 => Request::Delete {
+                table: rd.str()?,
+                set: rd.set()?,
+            },
+            10 => Request::Get { table: rd.str()? },
+            11 => Request::Metrics {
+                json: rd.bool("metrics form")?,
+            },
+            12 => Request::ArmFaults {
+                schedule: rd.schedule()?,
+                kind: rd.kind()?,
+            },
+            13 => Request::ClearFaults,
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "request",
+                    tag,
+                })
+            }
+        };
+        rd.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Welcome { version, banner } => {
+                out.push(0);
+                put_u32(&mut out, *version);
+                put_str(&mut out, banner);
+            }
+            Response::Pong => out.push(1),
+            Response::Value { set } => {
+                out.push(2);
+                put_set(&mut out, set);
+            }
+            Response::Report { text } => {
+                out.push(3);
+                put_str(&mut out, text);
+            }
+            Response::TxnBegun { id, snapshot_ts } => {
+                out.push(4);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *snapshot_ts);
+            }
+            Response::Applied {
+                rows,
+                autocommit_ts,
+            } => {
+                out.push(5);
+                put_u64(&mut out, *rows);
+                match autocommit_ts {
+                    None => out.push(0),
+                    Some(ts) => {
+                        out.push(1);
+                        put_u64(&mut out, *ts);
+                    }
+                }
+            }
+            Response::Committed { ts } => {
+                out.push(6);
+                put_u64(&mut out, *ts);
+            }
+            Response::Aborted => out.push(7),
+            Response::FaultsArmed { armed } => {
+                out.push(8);
+                out.push(u8::from(*armed));
+            }
+            Response::Error(e) => {
+                out.push(9);
+                out.push(e.code as u8);
+                match &e.table {
+                    None => out.push(0),
+                    Some(t) => {
+                        out.push(1);
+                        put_str(&mut out, t);
+                    }
+                }
+                put_str(&mut out, &e.message);
+            }
+        }
+        out
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut rd = Rd::new(payload);
+        let resp = match rd.u8()? {
+            0 => Response::Welcome {
+                version: rd.u32()?,
+                banner: rd.str()?,
+            },
+            1 => Response::Pong,
+            2 => Response::Value { set: rd.set()? },
+            3 => Response::Report { text: rd.str()? },
+            4 => Response::TxnBegun {
+                id: rd.u64()?,
+                snapshot_ts: rd.u64()?,
+            },
+            5 => Response::Applied {
+                rows: rd.u64()?,
+                autocommit_ts: if rd.bool("option tag")? {
+                    Some(rd.u64()?)
+                } else {
+                    None
+                },
+            },
+            6 => Response::Committed { ts: rd.u64()? },
+            7 => Response::Aborted,
+            8 => Response::FaultsArmed {
+                armed: rd.bool("armed flag")?,
+            },
+            9 => {
+                let code_tag = rd.u8()?;
+                let code = *ErrorCode::ALL
+                    .get(code_tag as usize)
+                    .ok_or(ProtoError::BadTag {
+                        what: "error code",
+                        tag: code_tag,
+                    })?;
+                let table = if rd.bool("option tag")? {
+                    Some(rd.str()?)
+                } else {
+                    None
+                };
+                Response::Error(WireError {
+                    code,
+                    table,
+                    message: rd.str()?,
+                })
+            }
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "response",
+                    tag,
+                })
+            }
+        };
+        rd.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xst_core::xset;
+
+    #[test]
+    fn request_round_trips() {
+        let exprs = [
+            Expr::table("t"),
+            Expr::lit(xset![1, 2]).union(Expr::table("u")),
+            Expr::table("r").restrict(xset![1], Expr::lit(xset![3])),
+        ];
+        let mut reqs = vec![
+            Request::Hello {
+                version: PROTO_VERSION,
+                client: "test".into(),
+            },
+            Request::Ping,
+            Request::Begin,
+            Request::Commit,
+            Request::Abort,
+            Request::Put {
+                table: "t".into(),
+                set: xset![1, 2, 3],
+            },
+            Request::Delete {
+                table: "t".into(),
+                set: xset![2],
+            },
+            Request::Get { table: "t".into() },
+            Request::Metrics { json: true },
+            Request::Metrics { json: false },
+            Request::ArmFaults {
+                schedule: FaultSchedule::AtSite(7),
+                kind: FaultKind::TornWrite(37),
+            },
+            Request::ClearFaults,
+        ];
+        for e in exprs {
+            reqs.push(Request::Eval { expr: e.clone() });
+            reqs.push(Request::Check { expr: e.clone() });
+            reqs.push(Request::Explain { expr: e });
+        }
+        for req in reqs {
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Welcome {
+                version: PROTO_VERSION,
+                banner: "xst-server".into(),
+            },
+            Response::Pong,
+            Response::Value { set: xset![1, 2] },
+            Response::Report {
+                text: "line 1\nline 2".into(),
+            },
+            Response::TxnBegun {
+                id: 3,
+                snapshot_ts: 9,
+            },
+            Response::Applied {
+                rows: 4,
+                autocommit_ts: Some(5),
+            },
+            Response::Applied {
+                rows: 0,
+                autocommit_ts: None,
+            },
+            Response::Committed { ts: 11 },
+            Response::Aborted,
+            Response::FaultsArmed { armed: true },
+            Response::Error(WireError {
+                code: ErrorCode::TxnConflict,
+                table: Some("t".into()),
+                message: "first committer won".into(),
+            }),
+        ];
+        for resp in resps {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn deep_expressions_are_rejected_not_overflowed() {
+        let mut e = Expr::table("t");
+        for _ in 0..(MAX_EXPR_DEPTH * 4) {
+            e = e.union(Expr::table("t"));
+        }
+        let payload = Request::Eval { expr: e }.encode();
+        assert_eq!(Request::decode(&payload), Err(ProtoError::TooDeep));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_structured() {
+        let payload = Request::Get { table: "t".into() }.encode();
+        for cut in 0..payload.len() {
+            let err = Request::decode(&payload[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Truncated | ProtoError::BadTag { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert_eq!(Request::decode(&extended), Err(ProtoError::Trailing(1)));
+    }
+}

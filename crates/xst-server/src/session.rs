@@ -1,0 +1,539 @@
+//! Per-connection sessions over a shared [`ServedEngine`].
+//!
+//! One [`Session`] exists per admitted connection. Every session holds at
+//! most one open [`Txn`] against the engine's shared [`TxnManager`] —
+//! *shared* is the point: first-committer-wins conflicts between clients
+//! are real conflicts on one version chain, not artifacts of separate
+//! databases. Outside an explicit `Begin`, writes autocommit (each
+//! request is its own transaction), mirroring the shell. A session that
+//! ends for any reason — clean close, truncated stream, I/O error —
+//! aborts its open transaction, so a dead client can never pin a
+//! snapshot.
+//!
+//! Request handling is total: every failure maps to a
+//! [`Response::Error`] with a machine-readable [`ErrorCode`], and the
+//! session survives all of them except transport-level desync. In
+//! particular a commit that loses first-committer-wins validation
+//! surfaces as [`ErrorCode::TxnConflict`] with the table attributed —
+//! the wire image of [`StorageError::TxnConflict`].
+
+use crate::proto::{ErrorCode, Request, Response, WireError, PROTO_VERSION};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xst_core::ops::Parallelism;
+use xst_core::{ExtendedSet, SetBuilder, XstError};
+use xst_query::{eval_parallel, explain_analyze, Bindings, Expr};
+use xst_storage::{
+    FaultKind, FaultPlan, FaultSchedule, Record, Schema, Storage, StorageError, Txn, TxnManager,
+    Wal,
+};
+
+/// Schema of every served table: one row per set member, element and
+/// scope columns (the same layout the shell's `.put` uses).
+pub fn member_schema() -> Schema {
+    Schema::new(["element", "scope"])
+}
+
+/// Flatten a set into `(element, scope)` records, one per member.
+pub fn set_to_records(set: &ExtendedSet) -> Vec<Record> {
+    set.members()
+        .iter()
+        .map(|m| Record::new([m.element.clone(), m.scope.clone()]))
+        .collect()
+}
+
+/// Rebuild the member set a table's row-tuple identity denotes — the
+/// inverse of [`set_to_records`] composed with the record identity.
+pub fn records_identity_to_set(identity: &ExtendedSet) -> Result<ExtendedSet, String> {
+    let mut b = SetBuilder::new();
+    for m in identity.members() {
+        let Some(tuple) = m.element.as_set() else {
+            return Err("table row is not a tuple".to_string());
+        };
+        match tuple.as_tuple().as_deref() {
+            Some([element, scope]) => {
+                b.scoped(element.clone(), scope.clone());
+            }
+            _ => return Err("table row is not an element/scope pair".to_string()),
+        }
+    }
+    Ok(b.build())
+}
+
+/// The one engine a server instance serves: storage, WAL, and the shared
+/// transaction manager, plus the armable deterministic fault plan that
+/// lets the crash battery reach the engine's I/O sites across the wire.
+pub struct ServedEngine {
+    storage: Storage,
+    wal: Wal,
+    mgr: TxnManager,
+    faults: Mutex<Option<FaultPlan>>,
+}
+
+impl ServedEngine {
+    /// A fresh engine over a fresh simulated disk.
+    pub fn new() -> ServedEngine {
+        let storage = Storage::new();
+        let wal = Wal::new();
+        let mgr = TxnManager::new(&storage, wal.clone());
+        ServedEngine {
+            storage,
+            wal,
+            mgr,
+            faults: Mutex::new(None),
+        }
+    }
+
+    /// The shared transaction manager (every session's txns come from
+    /// here; its gauges are how tests observe snapshot-pinning leaks).
+    pub fn mgr(&self) -> &TxnManager {
+        &self.mgr
+    }
+
+    /// The simulated disk under the engine.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// The engine's WAL handle.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Create `name` with the served [`member_schema`] if it does not
+    /// exist yet (first `Put` wins; concurrent creates are benign).
+    pub fn ensure_table(&self, name: &str) {
+        let _ = self.mgr.create_table(name, member_schema());
+    }
+
+    /// Arm a deterministic fault plan on the engine's storage *and* WAL
+    /// (one shared site counter, as in the in-process crash harnesses).
+    pub fn arm_faults(&self, schedule: FaultSchedule, kind: FaultKind) {
+        let plan = FaultPlan::new(schedule, kind);
+        self.storage.install_faults(&plan);
+        self.wal.install_faults(&plan);
+        *self.faults.lock() = Some(plan);
+    }
+
+    /// Disarm and drop any armed plan.
+    pub fn clear_faults(&self) {
+        self.storage.clear_faults();
+        self.wal.clear_faults();
+        *self.faults.lock() = None;
+    }
+
+    /// Is a fault plan currently armed?
+    pub fn faults_armed(&self) -> bool {
+        self.faults.lock().is_some()
+    }
+
+    /// Faults injected by the armed plan so far, if any.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults
+            .lock()
+            .as_ref()
+            .map(|p| p.injected_count())
+            .unwrap_or(0)
+    }
+
+    /// Crash-test helper: clear faults, drop unacknowledged staged WAL
+    /// state (the crash), and rebuild a manager from durable state alone.
+    /// What this returns is what a post-crash restart would see.
+    pub fn recover(&self, catalog: &[(&str, Schema)]) -> Result<TxnManager, StorageError> {
+        self.storage.clear_faults();
+        self.wal.clear_faults();
+        self.wal.drop_staged();
+        TxnManager::recover(&self.storage, self.wal.clone(), Wal::new(), catalog)
+    }
+}
+
+impl Default for ServedEngine {
+    fn default() -> Self {
+        ServedEngine::new()
+    }
+}
+
+/// Map a storage failure onto the wire: conflicts keep their code and
+/// table attribution, everything else is [`ErrorCode::Storage`].
+fn storage_error(e: StorageError) -> Response {
+    let (code, table) = match &e {
+        StorageError::TxnConflict { table, .. } => (ErrorCode::TxnConflict, Some(table.clone())),
+        _ => (ErrorCode::Storage, None),
+    };
+    Response::Error(WireError {
+        code,
+        table,
+        message: e.to_string(),
+    })
+}
+
+/// Map an algebra/query failure onto the wire.
+fn xst_error(e: XstError) -> Response {
+    let code = match &e {
+        XstError::Parse { .. } => ErrorCode::Parse,
+        XstError::Analysis { .. } => ErrorCode::Analysis,
+        _ => ErrorCode::Eval,
+    };
+    Response::Error(WireError::new(code, e.to_string()))
+}
+
+fn txn_state_error(message: &str) -> Response {
+    Response::Error(WireError::new(ErrorCode::TxnState, message))
+}
+
+/// One connection's dispatch state: the shared engine plus at most one
+/// open transaction.
+pub struct Session {
+    engine: Arc<ServedEngine>,
+    open: Option<Txn>,
+}
+
+impl Session {
+    /// A session over `engine` with no transaction open.
+    pub fn new(engine: Arc<ServedEngine>) -> Session {
+        Session { engine, open: None }
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_txn(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// End the session: abort any open transaction so the connection's
+    /// snapshot is released. Called on every disconnect path.
+    pub fn close(&mut self) {
+        if let Some(txn) = self.open.take() {
+            txn.abort();
+        }
+    }
+
+    /// Bind every table `expr` names to the session's visible identity:
+    /// the open transaction's snapshot (plus its own writes) if one is
+    /// open, else the latest commit. Unknown tables stay unbound so the
+    /// static-analysis gate reports them as structured diagnostics.
+    fn bindings_for(&mut self, expr: &Expr) -> Result<Bindings, Response> {
+        let names: Vec<String> = expr.tables().iter().map(|n| n.to_string()).collect();
+        let mut b = Bindings::new();
+        for name in names {
+            let identity = match &mut self.open {
+                Some(txn) => txn.read_identity(&name),
+                None => self
+                    .engine
+                    .mgr
+                    .latest_identity(&name)
+                    .map(|arc| (*arc).clone()),
+            };
+            match identity {
+                Ok(set) => {
+                    b.insert(name, set);
+                }
+                Err(StorageError::SchemaMismatch { .. }) => {} // unbound: the gate reports it
+                Err(e) => return Err(storage_error(e)),
+            }
+        }
+        Ok(b)
+    }
+
+    fn eval(&mut self, expr: Expr) -> Response {
+        let b = match self.bindings_for(&expr) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        match eval_parallel(&expr, &b, &Parallelism::sequential()) {
+            Ok((set, _stats)) => Response::Value { set },
+            Err(e) => xst_error(e),
+        }
+    }
+
+    fn check(&mut self, expr: Expr) -> Response {
+        let b = match self.bindings_for(&expr) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let analysis = xst_query::check(&expr, &b);
+        let mut text = format!(
+            "rejected: {}\nproved safe: {}\n",
+            analysis.is_rejected(),
+            analysis.proved_safe()
+        );
+        for d in &analysis.diagnostics {
+            text.push_str(&format!("  {d}\n"));
+        }
+        Response::Report { text }
+    }
+
+    fn explain(&mut self, expr: Expr) -> Response {
+        let b = match self.bindings_for(&expr) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        match explain_analyze(&expr, &b, &Parallelism::sequential()) {
+            Ok(report) => Response::Report {
+                text: report.to_string(),
+            },
+            Err(e) => xst_error(e),
+        }
+    }
+
+    fn begin(&mut self) -> Response {
+        if self.open.is_some() {
+            return txn_state_error("a transaction is already open (commit or abort it)");
+        }
+        let txn = self.engine.mgr.begin();
+        let resp = Response::TxnBegun {
+            id: txn.id(),
+            snapshot_ts: txn.begin_ts(),
+        };
+        self.open = Some(txn);
+        resp
+    }
+
+    fn commit(&mut self) -> Response {
+        let Some(txn) = self.open.take() else {
+            return txn_state_error("no open transaction (begin first)");
+        };
+        match txn.commit() {
+            Ok(ts) => Response::Committed { ts },
+            Err(e) => storage_error(e),
+        }
+    }
+
+    fn abort(&mut self) -> Response {
+        let Some(txn) = self.open.take() else {
+            return txn_state_error("no open transaction (begin first)");
+        };
+        txn.abort();
+        Response::Aborted
+    }
+
+    fn put(&mut self, table: String, set: ExtendedSet) -> Response {
+        self.engine.ensure_table(&table);
+        let records = set_to_records(&set);
+        match &mut self.open {
+            Some(txn) => {
+                for r in &records {
+                    if let Err(e) = txn.insert(&table, r.clone()) {
+                        return storage_error(e);
+                    }
+                }
+                Response::Applied {
+                    rows: records.len() as u64,
+                    autocommit_ts: None,
+                }
+            }
+            None => match self.engine.mgr.autocommit_insert(&table, &records) {
+                Ok(ts) => Response::Applied {
+                    rows: records.len() as u64,
+                    autocommit_ts: Some(ts),
+                },
+                Err(e) => storage_error(e),
+            },
+        }
+    }
+
+    fn delete(&mut self, table: String, set: ExtendedSet) -> Response {
+        let records = set_to_records(&set);
+        match &mut self.open {
+            Some(txn) => {
+                for r in &records {
+                    if let Err(e) = txn.delete(&table, r.clone()) {
+                        return storage_error(e);
+                    }
+                }
+                Response::Applied {
+                    rows: records.len() as u64,
+                    autocommit_ts: None,
+                }
+            }
+            None => {
+                let mut txn = self.engine.mgr.begin();
+                for r in &records {
+                    if let Err(e) = txn.delete(&table, r.clone()) {
+                        txn.abort();
+                        return storage_error(e);
+                    }
+                }
+                match txn.commit() {
+                    Ok(ts) => Response::Applied {
+                        rows: records.len() as u64,
+                        autocommit_ts: Some(ts),
+                    },
+                    Err(e) => storage_error(e),
+                }
+            }
+        }
+    }
+
+    fn get(&mut self, table: String) -> Response {
+        let identity = match &mut self.open {
+            Some(txn) => txn.read_identity(&table),
+            None => self
+                .engine
+                .mgr
+                .latest_identity(&table)
+                .map(|arc| (*arc).clone()),
+        };
+        match identity {
+            Ok(set) => Response::Value { set },
+            Err(e) => storage_error(e),
+        }
+    }
+
+    fn metrics(&self, json: bool) -> Response {
+        let text = if json {
+            xst_obs::registry().export_json()
+        } else {
+            xst_obs::registry().export_prometheus()
+        };
+        Response::Report { text }
+    }
+
+    /// Dispatch one already-decoded request. Total: every outcome is a
+    /// [`Response`]; this function never panics and never closes the
+    /// session itself.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Hello { .. } => Response::Error(WireError::new(
+                ErrorCode::Protocol,
+                format!("handshake already complete (protocol v{PROTO_VERSION})"),
+            )),
+            Request::Ping => Response::Pong,
+            Request::Eval { expr } => self.eval(expr),
+            Request::Check { expr } => self.check(expr),
+            Request::Explain { expr } => self.explain(expr),
+            Request::Begin => self.begin(),
+            Request::Commit => self.commit(),
+            Request::Abort => self.abort(),
+            Request::Put { table, set } => self.put(table, set),
+            Request::Delete { table, set } => self.delete(table, set),
+            Request::Get { table } => self.get(table),
+            Request::Metrics { json } => self.metrics(json),
+            Request::ArmFaults { schedule, kind } => {
+                self.engine.arm_faults(schedule, kind);
+                Response::FaultsArmed { armed: true }
+            }
+            Request::ClearFaults => {
+                self.engine.clear_faults();
+                Response::FaultsArmed { armed: false }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xst_core::xset;
+
+    fn session() -> Session {
+        Session::new(Arc::new(ServedEngine::new()))
+    }
+
+    #[test]
+    fn autocommit_put_then_get_round_trips_members() {
+        let mut s = session();
+        let set = xset![1, 2, 3];
+        let resp = s.handle(Request::Put {
+            table: "t".into(),
+            set: set.clone(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Applied {
+                    rows: 3,
+                    autocommit_ts: Some(_)
+                }
+            ),
+            "{resp:?}"
+        );
+        let Response::Value { set: identity } = s.handle(Request::Get { table: "t".into() }) else {
+            unreachable!()
+        };
+        assert_eq!(records_identity_to_set(&identity), Ok(set));
+    }
+
+    #[test]
+    fn ryow_inside_txn_and_invisible_outside() {
+        let engine = Arc::new(ServedEngine::new());
+        let mut a = Session::new(Arc::clone(&engine));
+        let mut b = Session::new(Arc::clone(&engine));
+        assert!(matches!(
+            a.handle(Request::Begin),
+            Response::TxnBegun { .. }
+        ));
+        a.handle(Request::Put {
+            table: "t".into(),
+            set: xset![7],
+        });
+        // A sees its own write...
+        let Response::Value { set } = a.handle(Request::Get { table: "t".into() }) else {
+            unreachable!()
+        };
+        assert_eq!(set.card(), 1);
+        // ...B does not, until A commits.
+        let Response::Value { set } = b.handle(Request::Get { table: "t".into() }) else {
+            unreachable!()
+        };
+        assert!(set.is_empty());
+        assert!(matches!(
+            a.handle(Request::Commit),
+            Response::Committed { .. }
+        ));
+        let Response::Value { set } = b.handle(Request::Get { table: "t".into() }) else {
+            unreachable!()
+        };
+        assert_eq!(set.card(), 1);
+    }
+
+    #[test]
+    fn conflicting_commit_maps_to_txn_conflict_code() {
+        let engine = Arc::new(ServedEngine::new());
+        let mut a = Session::new(Arc::clone(&engine));
+        let mut b = Session::new(Arc::clone(&engine));
+        engine.ensure_table("t");
+        a.handle(Request::Begin);
+        b.handle(Request::Begin);
+        a.handle(Request::Put {
+            table: "t".into(),
+            set: xset![1],
+        });
+        b.handle(Request::Put {
+            table: "t".into(),
+            set: xset![1],
+        });
+        assert!(matches!(
+            a.handle(Request::Commit),
+            Response::Committed { .. }
+        ));
+        let resp = b.handle(Request::Commit);
+        let Response::Error(e) = resp else {
+            unreachable!("second committer must conflict: {resp:?}")
+        };
+        assert_eq!(e.code, ErrorCode::TxnConflict);
+        assert_eq!(e.table.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn eval_over_unknown_table_is_an_analysis_error() {
+        let mut s = session();
+        let resp = s.handle(Request::Eval {
+            expr: Expr::table("missing"),
+        });
+        let Response::Error(e) = resp else {
+            unreachable!()
+        };
+        assert_eq!(e.code, ErrorCode::Analysis);
+        assert!(e.message.contains("unbound-table"), "{}", e.message);
+    }
+
+    #[test]
+    fn close_aborts_the_open_txn() {
+        let engine = Arc::new(ServedEngine::new());
+        let mut s = Session::new(Arc::clone(&engine));
+        s.handle(Request::Begin);
+        assert_eq!(engine.mgr().active_txns(), 1);
+        s.close();
+        assert_eq!(engine.mgr().active_txns(), 0);
+    }
+}

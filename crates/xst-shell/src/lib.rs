@@ -42,9 +42,23 @@
 //!
 //! `.put`/`.get` outside an open transaction autocommit — each runs as
 //! its own transaction, the interactive default.
+//!
+//! Network commands (serve this session's transactional store over TCP,
+//! or drive a remote one; see the README's "Network server" section):
+//!
+//! ```text
+//! .serve start [ADDR|PORT]   serve the txn store (default 127.0.0.1:0)
+//! .serve stop|status         shut the server down / show where it listens
+//! .connect HOST:PORT         open a client session against a server
+//! .disconnect                close it (a remote open txn aborts)
+//! .remote CMD ...            ping · begin · commit · abort ·
+//!                            put NAME · get NAME as NEW · eval OP ...
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use xst_client::Client;
 use xst_core::ops::{
     difference, image, intersection, pair_compose, sigma_domain, sigma_restrict,
     transitive_closure, union, Parallelism,
@@ -52,9 +66,9 @@ use xst_core::ops::{
 use xst_core::parse::parse_set;
 use xst_core::{ExtendedSet, Process, Scope, SetBuilder, XstError, XstResult};
 use xst_query::{explain_analyze, Expr};
+use xst_server::{records_identity_to_set, ServedEngine, Server, ServerConfig};
 use xst_storage::{
-    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, Txn, TxnManager,
-    Wal,
+    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, Txn, Wal,
 };
 
 /// Persistent backing for `.store`/`.load`: one simulated disk, one buffer
@@ -90,19 +104,20 @@ fn member_schema() -> Schema {
     Schema::new(["element", "scope"])
 }
 
-/// The transactional store behind `.begin`/`.put`/`.get`/`.commit`: an
-/// MVCC manager over its own disk and WAL (separate from the
-/// `.store`/`.load` demo store), plus the session's open transaction, if
-/// any. Without an open transaction, `.put`/`.get` autocommit.
+/// The transactional store behind `.begin`/`.put`/`.get`/`.commit`: a
+/// [`ServedEngine`] — the same MVCC engine the network server wraps, so
+/// `.serve start` publishes exactly the tables this session's `.put`
+/// writes — plus the session's open transaction, if any. Without an
+/// open transaction, `.put`/`.get` autocommit.
 struct TxnStore {
-    mgr: TxnManager,
+    engine: Arc<ServedEngine>,
     open: Option<Txn>,
 }
 
 impl TxnStore {
     fn new() -> TxnStore {
         TxnStore {
-            mgr: TxnManager::new(&xst_storage::Storage::new(), Wal::new()),
+            engine: Arc::new(ServedEngine::new()),
             open: None,
         }
     }
@@ -111,7 +126,7 @@ impl TxnStore {
     /// in-memory; re-registration errors are the "already exists" case
     /// and are fine).
     fn ensure_table(&self, name: &str) {
-        let _ = self.mgr.create_table(name, member_schema());
+        self.engine.ensure_table(name);
     }
 }
 
@@ -120,6 +135,11 @@ pub struct Session {
     bindings: BTreeMap<String, ExtendedSet>,
     store: Option<Store>,
     txn: Option<TxnStore>,
+    /// The `.serve` network server, when running (it serves the
+    /// [`TxnStore`]'s engine, so `.put` writes are visible to clients).
+    server: Option<Server>,
+    /// The `.connect` client session, when one is open.
+    remote: Option<Client>,
 }
 
 impl Default for Session {
@@ -138,6 +158,8 @@ impl Session {
             bindings: BTreeMap::new(),
             store: None,
             txn: None,
+            server: None,
+            remote: None,
         }
     }
 
@@ -234,6 +256,13 @@ impl Session {
                 }
                 self.load_binding(&name, &parts.rest()?)?
             }
+            ".serve" => {
+                let sub = parts.next_operand()?;
+                self.serve(&sub, parts.rest_opt().as_deref())?
+            }
+            ".connect" => self.connect(&parts.rest()?)?,
+            ".disconnect" => self.disconnect()?,
+            ".remote" => self.remote_command(&mut parts)?,
             ".begin" => self.txn_begin()?,
             ".commit" => self.txn_commit()?,
             ".abort" => self.txn_abort()?,
@@ -500,6 +529,155 @@ impl Session {
         ))
     }
 
+    /// `.serve start [ADDR|PORT]` / `.serve stop` / `.serve status` —
+    /// serve this session's transactional store over TCP. A bare port
+    /// binds `127.0.0.1:PORT`; no argument picks an ephemeral port (the
+    /// reply says which). `.put` writes are immediately visible to
+    /// connected clients: the server wraps the same engine.
+    fn serve(&mut self, sub: &str, arg: Option<&str>) -> XstResult<String> {
+        match sub {
+            "start" => {
+                if self.server.is_some() {
+                    return Err(err("already serving (.serve stop first)"));
+                }
+                let addr = match arg {
+                    None => "127.0.0.1:0".to_string(),
+                    Some(a) if a.contains(':') => a.to_string(),
+                    Some(port) => format!("127.0.0.1:{port}"),
+                };
+                let engine = Arc::clone(&self.txn.get_or_insert_with(TxnStore::new).engine);
+                let server = Server::start(engine, &addr, ServerConfig::default())
+                    .map_err(|e| err(format!("serve: {e}")))?;
+                let bound = server.addr().to_string();
+                self.server = Some(server);
+                Ok(format!(
+                    "serving the txn store on {bound} (.connect {bound})"
+                ))
+            }
+            "stop" => match self.server.take() {
+                Some(mut server) => {
+                    let bound = server.addr().to_string();
+                    server.stop();
+                    Ok(format!("server on {bound} stopped"))
+                }
+                None => Err(err("not serving (.serve start first)")),
+            },
+            "status" => Ok(match &self.server {
+                Some(server) => format!("serving on {}", server.addr()),
+                None => "not serving".to_string(),
+            }),
+            other => Err(err(format!(
+                "usage: .serve start [ADDR|PORT] | stop | status, got '{other}'"
+            ))),
+        }
+    }
+
+    /// `.connect HOST:PORT` — open a client session against a server
+    /// (this session's own `.serve`, or another process's).
+    fn connect(&mut self, addr: &str) -> XstResult<String> {
+        if self.remote.is_some() {
+            return Err(err("already connected (.disconnect first)"));
+        }
+        let client = Client::connect(addr, "xst-shell").map_err(client_err)?;
+        let banner = client.banner().to_string();
+        self.remote = Some(client);
+        Ok(format!("connected to {addr} ({banner})"))
+    }
+
+    /// `.disconnect` — close the client session. If a remote transaction
+    /// is open, the server aborts it (abort-on-disconnect).
+    fn disconnect(&mut self) -> XstResult<String> {
+        match self.remote.take() {
+            Some(_) => Ok("disconnected (an open remote txn aborts server-side)".to_string()),
+            None => Err(err("not connected (.connect HOST:PORT first)")),
+        }
+    }
+
+    /// `.remote CMD ...` — drive the connected server: `ping`, `begin`,
+    /// `commit`, `abort`, `put NAME`, `get NAME as NEW`, `eval OP ...`.
+    fn remote_command(&mut self, parts: &mut Tokens) -> XstResult<String> {
+        let sub = parts.next_word()?;
+        // `eval` needs `&self` for operands while the client needs
+        // `&mut`; build the expression before borrowing the client.
+        let eval_expr = if sub == "eval" {
+            Some(self.command_expr(parts)?)
+        } else {
+            None
+        };
+        let client = self
+            .remote
+            .as_mut()
+            .ok_or_else(|| err("not connected (.connect HOST:PORT first)"))?;
+        match sub.as_str() {
+            "ping" => {
+                client.ping().map_err(client_err)?;
+                Ok("pong".to_string())
+            }
+            "begin" => {
+                let info = client.begin().map_err(client_err)?;
+                Ok(format!(
+                    "remote txn {} open: snapshot at commit ts {}",
+                    info.id, info.snapshot_ts
+                ))
+            }
+            "commit" => {
+                let ts = client.commit().map_err(client_err)?;
+                Ok(format!("remote committed at ts {ts}"))
+            }
+            "abort" => {
+                client.abort().map_err(client_err)?;
+                Ok("remote txn aborted; writes discarded".to_string())
+            }
+            "put" => {
+                let name = parts.rest()?;
+                let set = self
+                    .bindings
+                    .get(&name)
+                    .ok_or_else(|| err(format!("no binding named '{name}'")))?;
+                let client = self.remote.as_mut().ok_or_else(|| err("not connected"))?;
+                let applied = client.put(&name, set).map_err(client_err)?;
+                Ok(match applied.autocommit_ts {
+                    Some(ts) => format!(
+                        "{} rows into remote '{name}' (autocommitted at ts {ts})",
+                        applied.rows
+                    ),
+                    None => format!(
+                        "{} rows buffered into remote '{name}' (visible after .remote commit)",
+                        applied.rows
+                    ),
+                })
+            }
+            "get" => {
+                let name = parts.next_operand()?;
+                let kw = parts.next_operand()?;
+                if !kw.eq_ignore_ascii_case("as") {
+                    return Err(err("usage: .remote get NAME as NEW"));
+                }
+                let target = parts.rest()?;
+                if target.is_empty() || !target.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    return Err(err(format!("bad binding name '{target}'")));
+                }
+                let identity = client.get(&name).map_err(client_err)?;
+                let set = records_identity_to_set(&identity)
+                    .map_err(|e| err(format!("remote rows: {e}")))?;
+                let card = set.card();
+                self.bindings.insert(target.clone(), set);
+                Ok(format!(
+                    "{target} bound from remote '{name}': {card} members"
+                ))
+            }
+            "eval" => {
+                let expr = eval_expr.unwrap_or_else(|| Expr::lit(ExtendedSet::empty()));
+                let set = client.eval(&expr).map_err(client_err)?;
+                Ok(set.to_string())
+            }
+            other => Err(err(format!(
+                "usage: .remote ping|begin|commit|abort|put NAME|get NAME as NEW|eval OP ..., \
+                 got '{other}'"
+            ))),
+        }
+    }
+
     /// `.begin` — open a snapshot-isolated transaction. Its reads all
     /// come from the commit state as of now; its writes stay private
     /// until `.commit`.
@@ -508,7 +686,7 @@ impl Session {
         if txn_store.open.is_some() {
             return Err(err("a transaction is already open (.commit or .abort it)"));
         }
-        let txn = txn_store.mgr.begin();
+        let txn = txn_store.engine.mgr().begin();
         let msg = format!(
             "txn {} open: snapshot at commit ts {}",
             txn.id(),
@@ -579,7 +757,8 @@ impl Session {
             }
             None => {
                 let ts = txn_store
-                    .mgr
+                    .engine
+                    .mgr()
                     .autocommit_insert(name, &records)
                     .map_err(storage_err)?;
                 Ok(format!(
@@ -607,7 +786,7 @@ impl Session {
                 format!("snapshot of txn {}", txn.id()),
             ),
             None => {
-                let mut auto = txn_store.mgr.begin();
+                let mut auto = txn_store.engine.mgr().begin();
                 let identity = auto.read_identity(name).map_err(storage_err)?;
                 auto.commit().map_err(storage_err)?;
                 (identity, "latest commit".to_string())
@@ -735,6 +914,12 @@ fn storage_err(e: xst_storage::StorageError) -> XstError {
     err(format!("storage: {e}"))
 }
 
+/// Client errors surface as shell errors, not panics. Typed remote
+/// errors keep their error-code name in the message.
+fn client_err(e: xst_client::ClientError) -> XstError {
+    err(format!("remote: {e}"))
+}
+
 const HELP: &str = "\
 commands:
   let NAME = SET              bind a set (literal notation: {a^1, ⟨b,c⟩, ∅})
@@ -759,6 +944,12 @@ transactions (snapshot isolation, first committer wins):
   .get NAME as NEW            snapshot-read txn table NAME into binding NEW
   .commit · .abort            group-commit the writes · discard them
                               (.put/.get outside a transaction autocommit)
+network (serve this session's txn store over TCP, or drive a remote one):
+  .serve start [ADDR|PORT]    listen (default 127.0.0.1, ephemeral port)
+  .serve stop · .serve status shut down · show where the server listens
+  .connect HOST:PORT          open a client session · .disconnect closes it
+  .remote ping|begin|commit|abort
+  .remote put NAME · .remote get NAME as NEW · .remote eval OP ...
   help · quit";
 
 #[cfg(test)]
@@ -1064,6 +1255,76 @@ mod tests {
         let mut s = Session::new();
         let h = run(&mut s, "help");
         for cmd in [".begin", ".put", ".get", ".commit", ".abort"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn serve_connect_remote_round_trip() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, c^2}");
+        assert_eq!(run(&mut s, ".serve status"), "not serving");
+        let started = run(&mut s, ".serve start");
+        assert!(started.contains("serving the txn store on"), "{started}");
+        let addr = started
+            .split_whitespace()
+            .find(|w| w.contains(':'))
+            .unwrap()
+            .to_string();
+        assert!(run(&mut s, ".serve status").contains(&addr));
+        // Local autocommit, then read it back OVER THE WIRE: the server
+        // wraps this session's own engine.
+        run(&mut s, ".put f");
+        assert!(run(&mut s, &format!(".connect {addr}")).contains("connected"));
+        assert_eq!(run(&mut s, ".remote ping"), "pong");
+        let got = run(&mut s, ".remote get f as g");
+        assert!(got.contains("3 members"), "{got}");
+        assert_eq!(run(&mut s, "show g"), run(&mut s, "show f"));
+        // Remote eval over the served table: the result is the table's
+        // row-tuple identity; converting it back recovers the members.
+        let evaled = parse_set(&run(&mut s, ".remote eval union f f")).unwrap();
+        assert_eq!(
+            records_identity_to_set(&evaled).unwrap().to_string(),
+            run(&mut s, "show f"),
+        );
+        // A remote explicit transaction: put under .remote begin stays
+        // buffered until .remote commit.
+        run(&mut s, "let more = {1, 2}");
+        assert!(run(&mut s, ".remote begin").contains("remote txn"));
+        let put = run(&mut s, ".remote put more");
+        assert!(put.contains("buffered"), "{put}");
+        assert!(run(&mut s, ".remote commit").contains("remote committed"));
+        let got = run(&mut s, ".remote get more as m");
+        assert!(got.contains("2 members"), "{got}");
+        assert!(run(&mut s, ".disconnect").contains("disconnected"));
+        assert!(run(&mut s, ".serve stop").contains("stopped"));
+        assert_eq!(run(&mut s, ".serve status"), "not serving");
+    }
+
+    #[test]
+    fn network_command_errors() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        assert!(s.eval_line(".serve stop").is_err(), "not serving");
+        assert!(s.eval_line(".serve sideways").is_err());
+        assert!(s.eval_line(".disconnect").is_err(), "not connected");
+        assert!(s.eval_line(".remote ping").is_err(), "not connected");
+        assert!(
+            s.eval_line(".connect 127.0.0.1:1").is_err(),
+            "nothing listens there"
+        );
+        run(&mut s, ".serve start");
+        assert!(s.eval_line(".serve start").is_err(), "already serving");
+        // The session survives all of it.
+        assert_eq!(run(&mut s, "card {1}"), "1");
+    }
+
+    #[test]
+    fn help_lists_network_commands() {
+        let mut s = Session::new();
+        let h = run(&mut s, "help");
+        for cmd in [".serve", ".connect", ".disconnect", ".remote"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
     }

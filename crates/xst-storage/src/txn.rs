@@ -48,7 +48,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use xst_core::ops::{difference, union};
 use xst_core::{ExtendedSet, Value};
-use xst_obs::{registry, Counter, Histogram};
+use xst_obs::{registry, Counter, Gauge, Histogram};
 
 /// Monotonic transaction id (assigned at [`TxnManager::begin`]).
 pub type TxnId = u64;
@@ -85,6 +85,16 @@ fn txn_conflicts_total() -> &'static Arc<Counter> {
         registry().counter(
             xst_obs::names::TXN_CONFLICTS_TOTAL,
             "Commit attempts rejected by first-committer-wins validation.",
+        )
+    })
+}
+
+fn txn_active_gauge() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        registry().gauge(
+            xst_obs::names::TXN_ACTIVE,
+            "Transactions currently open (each pins a snapshot identity).",
         )
     })
 }
@@ -197,6 +207,10 @@ fn decode_op(record: &Record) -> StorageResult<(String, TxnOp)> {
 struct ManagerInner {
     next_txn: TxnId,
     last_commit: CommitTs,
+    /// Transactions begun but not yet committed/aborted/dropped. Kept
+    /// even while the collector is off so [`TxnManager::active_txns`] is
+    /// always accurate; the `xst_txn_active` gauge mirrors it.
+    active: u64,
     tables: BTreeMap<String, VersionedTable>,
     /// The shared durable op log. One [`LoggedTable::append_batch`] per
     /// commit — the group-commit flush is the commit point.
@@ -221,6 +235,7 @@ impl TxnManager {
             inner: Arc::new(Mutex::new(ManagerInner {
                 next_txn: 1,
                 last_commit: 0,
+                active: 0,
                 tables: BTreeMap::new(),
                 log: LoggedTable::create(storage, op_log_schema(), wal),
                 detect_conflicts: true,
@@ -272,9 +287,12 @@ impl TxnManager {
         let id = inner.next_txn;
         inner.next_txn += 1;
         let begin_ts = inner.last_commit;
+        inner.active += 1;
+        let active = inner.active;
         drop(inner);
         if xst_obs::enabled() {
             txn_begins_total().inc();
+            txn_active_gauge().set(active as f64);
         }
         Txn {
             mgr: self.clone(),
@@ -298,6 +316,26 @@ impl TxnManager {
     /// The latest commit timestamp.
     pub fn last_commit_ts(&self) -> CommitTs {
         self.inner.lock().last_commit
+    }
+
+    /// Number of transactions currently open — begun but neither
+    /// committed nor aborted. Each open transaction may pin committed
+    /// version identities, so a session layer that leaks transactions
+    /// shows up here (and on the `xst_txn_active` gauge).
+    pub fn active_txns(&self) -> u64 {
+        self.inner.lock().active
+    }
+
+    /// A transaction finished (committed, aborted, or dropped): release
+    /// its slot in the open-transaction count.
+    fn release_txn(&self) {
+        let mut inner = self.inner.lock();
+        inner.active = inner.active.saturating_sub(1);
+        let active = inner.active;
+        drop(inner);
+        if xst_obs::enabled() {
+            txn_active_gauge().set(active as f64);
+        }
     }
 
     /// Autocommit convenience: run one batch of inserts as its own
@@ -354,6 +392,7 @@ impl TxnManager {
             inner: Arc::new(Mutex::new(ManagerInner {
                 next_txn: 1,
                 last_commit: if recovered_any { 1 } else { 0 },
+                active: 0,
                 tables,
                 log,
                 detect_conflicts: true,
@@ -591,6 +630,7 @@ impl Txn {
         let timer = xst_obs::enabled().then(Instant::now);
         self.finished = true;
         let result = self.mgr.commit_writes(self.begin_ts, &self.writes);
+        self.mgr.release_txn();
         if xst_obs::enabled() {
             match &result {
                 Ok(_) => {
@@ -608,6 +648,7 @@ impl Txn {
     /// Abort: discard every buffered write. Also what [`Drop`] does.
     pub fn abort(mut self) {
         self.finished = true;
+        self.mgr.release_txn();
         if xst_obs::enabled() {
             txn_aborts_total().inc();
         }
@@ -616,8 +657,11 @@ impl Txn {
 
 impl Drop for Txn {
     fn drop(&mut self) {
-        if !self.finished && xst_obs::enabled() {
-            txn_aborts_total().inc();
+        if !self.finished {
+            self.mgr.release_txn();
+            if xst_obs::enabled() {
+                txn_aborts_total().inc();
+            }
         }
     }
 }
