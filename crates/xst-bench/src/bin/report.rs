@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (E12–E16) are also
+//! Experiments that produce structured numbers (E12–E17) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -127,6 +127,12 @@ fn main() {
     if want("e16") {
         let (n, requests) = if quick { (500, 160) } else { (2_000, 480) };
         let (table, entries) = exp::e16_server_sessions(n, requests, &[1, 4, 16]);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if want("e17") {
+        let (n, requests, iters) = if quick { (500, 64, 9) } else { (2_000, 200, 15) };
+        let (table, entries) = exp::e17_tracing_overhead(n, requests, iters);
         print!("{table}");
         json_entries.extend(entries);
     }

@@ -1621,3 +1621,143 @@ pub fn e16_server_sessions(
     }
     (table, entries)
 }
+
+/// E17 — end-to-end tracing overhead across the wire. The protocol-v2
+/// tentpole (a `Traced` wrapper + span stitching + per-request cost
+/// records on every request) must be effectively free: with the
+/// collector disabled the client sends plain v2 requests and every
+/// instrumentation site costs one relaxed atomic load, so the
+/// disabled path must sit at the interleaved noise floor; with the
+/// collector enabled the full pipeline runs — client root span,
+/// context bytes on the wire, server-side adoption, cost scope, and a
+/// request-log record per request — and the acceptance bar is 1.05×
+/// against the best disabled run.
+pub fn e17_tracing_overhead(
+    n: usize,
+    requests: usize,
+    iters: usize,
+) -> (String, Vec<crate::report_json::BenchEntry>) {
+    use crate::report_json::BenchEntry;
+    use std::sync::Arc as StdArc;
+    use xst_client::Client;
+    use xst_server::{ServedEngine, Server, ServerConfig};
+
+    let engine = StdArc::new(ServedEngine::new());
+    engine.ensure_table("t");
+    let seed_set = ExtendedSet::classical((0..n as i64).collect::<Vec<_>>());
+    engine
+        .mgr()
+        .autocommit_insert("t", &xst_server::set_to_records(&seed_set))
+        .unwrap();
+    let mut server = Server::start(
+        StdArc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr, "bench-e17").unwrap();
+    let expr = Expr::table("t");
+
+    // One iteration is a batch of wire evals on a warm connection; the
+    // tracing machinery prices itself per request, so the batch keeps
+    // scheduler noise small relative to the quantity under test.
+    let time_ns = |client: &mut Client| -> u64 {
+        let start = Instant::now();
+        for _ in 0..requests {
+            std::hint::black_box(client.eval(&expr).unwrap());
+        }
+        start.elapsed().as_nanos() as u64
+    };
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+
+    let was_enabled = xst_obs::enabled();
+    // Fully interleaved sampling: every iteration takes one off-A, one
+    // off-B, and one tracing-on batch back to back, so clock drift or a
+    // lost timeslice on this single-CPU box hits all three series
+    // equally (a trailing on-phase, E12-style, reads warm-up drift as
+    // tracing cost on a wire workload this latency-bound).
+    xst_obs::disable();
+    time_ns(&mut client); // warm the connection and the table cache
+    let (mut off_a, mut off_b, mut on) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..iters {
+        off_a.push(time_ns(&mut client));
+        off_b.push(time_ns(&mut client));
+        xst_obs::enable();
+        on.push(time_ns(&mut client));
+        // Drain spans and request records as a live scraper would, so
+        // the rings never saturate and each iteration pays full price.
+        xst_obs::collector().take_spans();
+        xst_obs::request_log().clear();
+        xst_obs::disable();
+    }
+    if was_enabled {
+        xst_obs::enable();
+    }
+    drop(client);
+    server.stop();
+
+    let (a, b, e) = (median(off_a), median(off_b), median(on));
+    let noise = b as f64 / a as f64;
+    let overhead = e as f64 / a.min(b) as f64;
+
+    let mut t = TableBuilder::new(
+        "E17 wire tracing overhead (per-request eval, median of iters)",
+        &["phase", "rows", "reqs/iter", "median us/req", "vs off (A)"],
+    );
+    for (phase, ns, ratio) in [
+        ("tracing off (A)", a, 1.0),
+        ("tracing off (B)", b, noise),
+        ("tracing on", e, e as f64 / a as f64),
+    ] {
+        t.row(&[
+            phase.into(),
+            n.to_string(),
+            requests.to_string(),
+            format!("{:.2}", ns as f64 / requests as f64 / 1e3),
+            format!("{ratio:.3}x"),
+        ]);
+    }
+    let table = t.finish(
+        "off(B)/off(A) is the noise floor of two identical untraced runs; \
+              on/off prices the whole v2 pipeline — client root span, Traced \
+              wrapper bytes, server-side context adoption, cost scope, and a \
+              request-log record per request.",
+    );
+
+    let meta = vec![
+        ("rows", n.to_string()),
+        ("requests_per_iter", requests.to_string()),
+        ("iters", iters.to_string()),
+        ("workload", "wire eval on a warm session".to_string()),
+    ];
+    let entries = vec![
+        BenchEntry::ns("e17_wire_eval_tracing_off_a", a, &meta),
+        BenchEntry::ns("e17_wire_eval_tracing_off_b", b, &meta),
+        BenchEntry::ns("e17_wire_eval_tracing_on", e, &meta),
+        BenchEntry::ratio(
+            "e17_disabled_noise_floor",
+            noise,
+            &[(
+                "note",
+                "two interleaved tracing-off runs; the disabled wire path \
+                 (plain v2 requests, one atomic load per site) is bounded by \
+                 this ratio"
+                    .to_string(),
+            )],
+        ),
+        BenchEntry::ratio(
+            "e17_enabled_overhead",
+            overhead,
+            &[(
+                "note",
+                "tracing on vs best tracing-off median; acceptance bar 1.05x"
+                    .to_string(),
+            )],
+        ),
+    ];
+    (table, entries)
+}

@@ -12,16 +12,30 @@
 //! commit that lost first-committer-wins validation is
 //! `Remote { code: TxnConflict, .. }`, checkable with
 //! [`ClientError::is_conflict`], not a stringly-typed guess.
+//!
+//! ## Distributed tracing
+//!
+//! When the observability collector is on and the negotiated protocol
+//! is v2+, every call **originates a trace**: it opens a
+//! `client.request` root span and ships its
+//! [`TraceContext`](xst_obs::TraceContext) inside a
+//! [`Request::Traced`] wrapper, so the server-side spans
+//! (`session.request` → `query.eval` → `txn.*`/`wal.*`) stitch under
+//! the same 64-bit trace id. [`Client::trace_dump`] fetches the
+//! server's collected spans as `xst-trace/1` JSON and
+//! [`Client::request_log`] its structured per-request cost records.
+//! Against a v1 server — or with [`Client::set_tracing`] off — calls
+//! travel bare, exactly as a v1 client would send them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xst_core::ExtendedSet;
 use xst_query::Expr;
-use xst_server::proto::{ErrorCode, Request, Response, WireError, PROTO_VERSION};
+use xst_server::proto::{ErrorCode, Request, Response, WireError, MIN_PROTO_VERSION, PROTO_VERSION};
 use xst_server::wire::{read_frame, write_frame, FrameError};
 use xst_storage::{FaultKind, FaultSchedule};
 
@@ -126,6 +140,31 @@ pub struct TxnInfo {
 pub struct Client {
     stream: TcpStream,
     banner: String,
+    /// The protocol version the handshake negotiated (the server echo).
+    version: u32,
+    /// Wrap calls in a trace context when the collector is on and the
+    /// negotiated protocol supports it.
+    tracing: bool,
+}
+
+fn requests_total() -> &'static std::sync::Arc<xst_obs::Counter> {
+    static C: std::sync::OnceLock<std::sync::Arc<xst_obs::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        xst_obs::registry().counter(
+            xst_obs::names::CLIENT_REQUESTS_TOTAL,
+            "Requests issued by xst-client connections.",
+        )
+    })
+}
+
+fn request_ns_hist() -> &'static std::sync::Arc<xst_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<xst_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        xst_obs::registry().histogram(
+            xst_obs::names::CLIENT_REQUEST_NS,
+            "Nanoseconds from request write to response decode on the client.",
+        )
+    })
 }
 
 impl Client {
@@ -137,14 +176,19 @@ impl Client {
         let mut c = Client {
             stream,
             banner: String::new(),
+            version: PROTO_VERSION,
+            tracing: true,
         };
         let resp = c.round_trip(&Request::Hello {
             version: PROTO_VERSION,
             client: client_name.to_string(),
         })?;
         match resp {
-            Response::Welcome { version, banner } if version == PROTO_VERSION => {
+            Response::Welcome { version, banner }
+                if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) =>
+            {
                 c.banner = banner;
+                c.version = version;
                 Ok(c)
             }
             Response::Welcome { version, .. } => Err(ClientError::Handshake(format!(
@@ -167,6 +211,18 @@ impl Client {
         &self.banner
     }
 
+    /// The protocol version the handshake negotiated.
+    pub fn negotiated_version(&self) -> u32 {
+        self.version
+    }
+
+    /// Control trace origination (default on). Even when on, calls only
+    /// carry a context if the collector is enabled and the negotiated
+    /// protocol is v2+.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
     /// Bound how long a blocked read waits (for tests that must not
     /// hang on a dead server).
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
@@ -181,8 +237,28 @@ impl Client {
     }
 
     /// Issue `req`; treat a [`Response::Error`] as [`ClientError::Remote`].
-    fn call(&mut self, req: &Request) -> ClientResult<Response> {
-        match self.round_trip(req)? {
+    ///
+    /// This is where a trace originates: with the collector on and a
+    /// v2+ peer, the call opens a `client.request` root span and wraps
+    /// `req` in [`Request::Traced`] carrying the span's context, so the
+    /// server's spans stitch under the same trace id.
+    fn call(&mut self, req: Request) -> ClientResult<Response> {
+        let span = (self.tracing && self.version >= 2 && xst_obs::enabled()).then(|| {
+            xst_obs::span!("client.request", kind = req.kind_name())
+        });
+        let timer = xst_obs::enabled().then(Instant::now);
+        let resp = match span.as_ref().and_then(xst_obs::SpanGuard::context) {
+            Some(ctx) => self.round_trip(&Request::Traced {
+                ctx,
+                req: Box::new(req),
+            })?,
+            None => self.round_trip(&req)?,
+        };
+        if let Some(start) = timer {
+            requests_total().inc();
+            request_ns_hist().observe_since(start);
+        }
+        match resp {
             Response::Error(e) => Err(ClientError::Remote(e)),
             other => Ok(other),
         }
@@ -190,7 +266,7 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> ClientResult<()> {
-        match self.call(&Request::Ping)? {
+        match self.call(Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(unexpected("ping", &other)),
         }
@@ -198,7 +274,7 @@ impl Client {
 
     /// Evaluate an expression against this session's visible snapshot.
     pub fn eval(&mut self, expr: &Expr) -> ClientResult<ExtendedSet> {
-        match self.call(&Request::Eval { expr: expr.clone() })? {
+        match self.call(Request::Eval { expr: expr.clone() })? {
             Response::Value { set } => Ok(set),
             other => Err(unexpected("eval", &other)),
         }
@@ -206,7 +282,7 @@ impl Client {
 
     /// Statically analyze an expression; returns the rendered report.
     pub fn check(&mut self, expr: &Expr) -> ClientResult<String> {
-        match self.call(&Request::Check { expr: expr.clone() })? {
+        match self.call(Request::Check { expr: expr.clone() })? {
             Response::Report { text } => Ok(text),
             other => Err(unexpected("check", &other)),
         }
@@ -214,7 +290,7 @@ impl Client {
 
     /// Optimize + execute; returns the per-operator report.
     pub fn explain(&mut self, expr: &Expr) -> ClientResult<String> {
-        match self.call(&Request::Explain { expr: expr.clone() })? {
+        match self.call(Request::Explain { expr: expr.clone() })? {
             Response::Report { text } => Ok(text),
             other => Err(unexpected("explain", &other)),
         }
@@ -222,7 +298,7 @@ impl Client {
 
     /// Open an explicit transaction.
     pub fn begin(&mut self) -> ClientResult<TxnInfo> {
-        match self.call(&Request::Begin)? {
+        match self.call(Request::Begin)? {
             Response::TxnBegun { id, snapshot_ts } => Ok(TxnInfo { id, snapshot_ts }),
             other => Err(unexpected("begin", &other)),
         }
@@ -232,7 +308,7 @@ impl Client {
     /// First-committer-wins losses surface as a
     /// [`ClientError::is_conflict`] remote error.
     pub fn commit(&mut self) -> ClientResult<u64> {
-        match self.call(&Request::Commit)? {
+        match self.call(Request::Commit)? {
             Response::Committed { ts } => Ok(ts),
             other => Err(unexpected("commit", &other)),
         }
@@ -240,7 +316,7 @@ impl Client {
 
     /// Abort the open transaction.
     pub fn abort(&mut self) -> ClientResult<()> {
-        match self.call(&Request::Abort)? {
+        match self.call(Request::Abort)? {
             Response::Aborted => Ok(()),
             other => Err(unexpected("abort", &other)),
         }
@@ -249,7 +325,7 @@ impl Client {
     /// Insert every member of `set` into `table` (autocommits outside
     /// an open transaction).
     pub fn put(&mut self, table: &str, set: &ExtendedSet) -> ClientResult<Applied> {
-        match self.call(&Request::Put {
+        match self.call(Request::Put {
             table: table.to_string(),
             set: set.clone(),
         })? {
@@ -266,7 +342,7 @@ impl Client {
 
     /// Delete every member of `set` from `table`.
     pub fn delete(&mut self, table: &str, set: &ExtendedSet) -> ClientResult<Applied> {
-        match self.call(&Request::Delete {
+        match self.call(Request::Delete {
             table: table.to_string(),
             set: set.clone(),
         })? {
@@ -285,7 +361,7 @@ impl Client {
     /// [`xst_server::records_identity_to_set`] to rebuild the member
     /// set it denotes.
     pub fn get(&mut self, table: &str) -> ClientResult<ExtendedSet> {
-        match self.call(&Request::Get {
+        match self.call(Request::Get {
             table: table.to_string(),
         })? {
             Response::Value { set } => Ok(set),
@@ -295,7 +371,7 @@ impl Client {
 
     /// Metrics exposition (Prometheus text, or JSON).
     pub fn metrics(&mut self, json: bool) -> ClientResult<String> {
-        match self.call(&Request::Metrics { json })? {
+        match self.call(Request::Metrics { json })? {
             Response::Report { text } => Ok(text),
             other => Err(unexpected("metrics", &other)),
         }
@@ -303,7 +379,7 @@ impl Client {
 
     /// Arm the served engine's deterministic fault plan.
     pub fn arm_faults(&mut self, schedule: FaultSchedule, kind: FaultKind) -> ClientResult<()> {
-        match self.call(&Request::ArmFaults { schedule, kind })? {
+        match self.call(Request::ArmFaults { schedule, kind })? {
             Response::FaultsArmed { armed: true } => Ok(()),
             other => Err(unexpected("arm_faults", &other)),
         }
@@ -311,9 +387,28 @@ impl Client {
 
     /// Disarm and clear any armed fault plan.
     pub fn clear_faults(&mut self) -> ClientResult<()> {
-        match self.call(&Request::ClearFaults)? {
+        match self.call(Request::ClearFaults)? {
             Response::FaultsArmed { armed: false } => Ok(()),
             other => Err(unexpected("clear_faults", &other)),
+        }
+    }
+
+    /// Fetch the server's collected spans as an `xst-trace/1` JSON
+    /// document (requires a v2+ server).
+    pub fn trace_dump(&mut self) -> ClientResult<String> {
+        match self.call(Request::TraceDump)? {
+            Response::Report { text } => Ok(text),
+            other => Err(unexpected("trace_dump", &other)),
+        }
+    }
+
+    /// Fetch the server's structured request log as a rendered table:
+    /// the slowest retained requests, or the threshold-gated slow ring
+    /// when `slow` is set (requires a v2+ server).
+    pub fn request_log(&mut self, slow: bool, limit: u32) -> ClientResult<String> {
+        match self.call(Request::RequestLog { slow, limit })? {
+            Response::Report { text } => Ok(text),
+            other => Err(unexpected("request_log", &other)),
         }
     }
 }

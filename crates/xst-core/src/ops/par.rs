@@ -52,11 +52,15 @@ fn par_chunks_total() -> &'static Arc<Counter> {
     })
 }
 
-/// Record one fan-out of `workers` chunks on the kernel's span + counters.
+/// Record one fan-out of `workers` chunks on the kernel's span +
+/// counters, and charge it to the ambient per-request cost scope (the
+/// fan-out decision happens on the request thread, so the charge lands
+/// on the right request even though chunk work runs on workers).
 fn note_fanout(span: &mut xst_obs::SpanGuard, workers: usize) {
     span.attr("chunks", workers);
     par_fanouts_total().inc();
     par_chunks_total().add(workers as u64);
+    xst_obs::cost::add_par_fanout();
 }
 
 /// Members below this count run sequentially by default: thread spawn and

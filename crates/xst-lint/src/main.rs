@@ -13,6 +13,11 @@
 //!    live in `crates/xst-obs/src/names.rs`, exactly once; registration
 //!    sites refer to the canonical constants, so a family cannot be
 //!    registered under two drifting spellings.
+//! 4. **registered-metrics** — every non-test
+//!    `registry().counter/gauge/histogram(...)` registration site must
+//!    name its family through `names::` constants, so the registry cannot
+//!    grow a family the names module (and its uniqueness test) never
+//!    heard of. Covers every crate, xst-server/xst-client included.
 //!
 //! Comments, string/char-literal *contents*, and `#[cfg(test)]` regions
 //! are excluded before token rules run. Exit status is non-zero when any
@@ -73,8 +78,28 @@ const NONDETERMINISM_TOKENS: &[&str] = &["Instant", "SystemTime", "rand"];
 /// Where the canonical metric-name constants live.
 const METRIC_NAMES_FILE: &str = "crates/xst-obs/src/names.rs";
 
+/// Registry registration methods; a call site must pass a `names::`
+/// constant as the family name.
+const REGISTRATION_METHODS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+/// How far back a registration method looks for its `registry()` receiver
+/// and how far forward for the `names::` constant (call sites wrap).
+const REGISTRATION_WINDOW: usize = 120;
+
 fn is_word_char(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Slice `code` around `[start, end)`, widening to char boundaries so a
+/// blanked multi-byte char can never split the window.
+fn window(code: &str, mut start: usize, mut end: usize) -> &str {
+    end = end.min(code.len());
+    while start > 0 && !code.is_char_boundary(start) {
+        start -= 1;
+    }
+    while end < code.len() && !code.is_char_boundary(end) {
+        end += 1;
+    }
+    &code[start..end]
 }
 
 /// Find `token` in `code` on word boundaries (when `word` is set),
@@ -184,6 +209,42 @@ fn lint_file(path: &Path, rel: &Path, out: &mut Vec<Violation>) -> std::io::Resu
                 ),
                 token: lit.text.clone(),
             });
+        }
+    }
+
+    for method in REGISTRATION_METHODS {
+        for at in find_token(&view.code, method, false) {
+            if view.in_test(at) {
+                continue;
+            }
+            // Only `registry().counter(...)`-shaped calls register a
+            // family; a method merely named `counter` elsewhere is fine.
+            // The receiver must directly precede the method (modulo the
+            // whitespace rustfmt wraps with).
+            let before = window(&view.code, at.saturating_sub(REGISTRATION_WINDOW), at);
+            if !before.trim_end().ends_with("registry()") {
+                continue;
+            }
+            // The family name is the first argument: scan it alone, so a
+            // `names::` in the *next* statement can't vouch for this one.
+            let after = window(
+                &view.code,
+                at + method.len(),
+                at + method.len() + REGISTRATION_WINDOW,
+            );
+            let first_arg = &after[..after.find([',', ')']).unwrap_or(after.len())];
+            if !first_arg.contains("names::") {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: view.line_of(at),
+                    rule: "registered-metrics",
+                    message: format!(
+                        "registration `registry(){method}...)` without a `names::` constant; \
+                         add the family to xst_obs::names and register through it"
+                    ),
+                    token: (*method).to_string(),
+                });
+            }
         }
     }
 
@@ -310,5 +371,36 @@ mod tests {
     #[test]
     fn allowlist_ships_empty() {
         assert!(ALLOWLIST.is_empty());
+    }
+
+    #[test]
+    fn window_respects_char_boundaries() {
+        let code = "ab⟨cd⟩ef";
+        // Offsets inside the 3-byte '⟨' widen instead of panicking.
+        assert_eq!(window(code, 3, 4), "⟨");
+        assert_eq!(window(code, 0, 100), code);
+    }
+
+    #[test]
+    fn registration_requires_names_constant() {
+        let path = std::env::temp_dir().join("xst_lint_registration_check.rs");
+        std::fs::write(
+            &path,
+            "fn bad() { let c = registry().counter(\"plain_total\", \"h\"); }\n\
+             fn good() { let c = registry().counter(names::OK_TOTAL, \"h\"); }\n\
+             fn wrapped() {\n    let h = registry().histogram(\n        \
+             xst_obs::names::OK_NS,\n        \"h\",\n    );\n}\n\
+             fn unrelated(c: &Tally) { c.counter(\"not a registration\"); }\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        lint_file(&path, Path::new("crates/xst-fake/src/fake.rs"), &mut out).unwrap();
+        std::fs::remove_file(&path).ok();
+        let regs: Vec<_> = out
+            .iter()
+            .filter(|v| v.rule == "registered-metrics")
+            .collect();
+        assert_eq!(regs.len(), 1, "only the literal registration fires");
+        assert_eq!(regs[0].line, 1);
     }
 }

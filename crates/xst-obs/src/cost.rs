@@ -1,0 +1,314 @@
+//! Per-request resource accounting.
+//!
+//! A [`QueryCost`] is the itemized bill for one request: buffer-pool
+//! hits/misses, WAL appends and fsyncs, parallel-kernel fan-outs,
+//! storage retries, commit conflicts, and evaluated plan nodes/rows.
+//! The engine's existing *global* counters answer "how busy is the
+//! system"; this module answers "which request did that work".
+//!
+//! Accounting is **task-scoped**: the server (or shell) opens a scope
+//! with [`begin`] on the thread that serves a request, the storage and
+//! query layers charge into the ambient scope through the `add_*`
+//! helpers placed beside their existing metric sites, and the scope is
+//! closed with [`CostGuard::take`] to harvest the bill. Scopes nest —
+//! an inner scope's bill also lands on the enclosing scope, so a
+//! compound request still totals correctly.
+//!
+//! The disabled path is the crate-wide contract: every `add_*` helper
+//! bails on one relaxed atomic load when the collector is off, and even
+//! when on it costs only a thread-local flag test unless a scope is
+//! actually open. Experiment E17 measures both paths.
+//!
+//! Worker threads spawned *inside* a request (parallel kernels) charge
+//! their own thread's scope, which the request thread does not open —
+//! so fan-out is counted at the dispatch site (on the request thread)
+//! and per-chunk work inside workers is not itemized. That is the same
+//! boundary the span layer draws for thread-local stacks.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+/// The itemized resource bill of one request.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Buffer-pool page hits.
+    pub pool_hits: u64,
+    /// Buffer-pool page misses (page faulted in from the disk image).
+    pub pool_misses: u64,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// WAL fsyncs awaited (group commits this request rode or led).
+    pub wal_fsyncs: u64,
+    /// Parallel kernel invocations that fanned out to worker threads.
+    pub par_fanouts: u64,
+    /// Storage operations retried after a transient fault.
+    pub retries: u64,
+    /// First-committer-wins conflicts this request lost.
+    pub conflicts: u64,
+    /// Plan nodes the query evaluator executed.
+    pub eval_nodes: u64,
+    /// Rows (set members) the query evaluator produced.
+    pub rows_out: u64,
+}
+
+impl QueryCost {
+    const fn zero() -> QueryCost {
+        QueryCost {
+            pool_hits: 0,
+            pool_misses: 0,
+            wal_appends: 0,
+            wal_fsyncs: 0,
+            par_fanouts: 0,
+            retries: 0,
+            conflicts: 0,
+            eval_nodes: 0,
+            rows_out: 0,
+        }
+    }
+
+    /// True iff no component was charged.
+    pub fn is_zero(&self) -> bool {
+        *self == QueryCost::zero()
+    }
+
+    /// Fold `other` into `self`, component-wise (saturating).
+    pub fn merge(&mut self, other: &QueryCost) {
+        self.pool_hits = self.pool_hits.saturating_add(other.pool_hits);
+        self.pool_misses = self.pool_misses.saturating_add(other.pool_misses);
+        self.wal_appends = self.wal_appends.saturating_add(other.wal_appends);
+        self.wal_fsyncs = self.wal_fsyncs.saturating_add(other.wal_fsyncs);
+        self.par_fanouts = self.par_fanouts.saturating_add(other.par_fanouts);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.conflicts = self.conflicts.saturating_add(other.conflicts);
+        self.eval_nodes = self.eval_nodes.saturating_add(other.eval_nodes);
+        self.rows_out = self.rows_out.saturating_add(other.rows_out);
+    }
+}
+
+impl fmt::Display for QueryCost {
+    /// Compact `key=value` rendering of the non-zero components, or `-`
+    /// when nothing was charged (the request-log column format).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: [(&str, u64); 9] = [
+            ("pool_hit", self.pool_hits),
+            ("pool_miss", self.pool_misses),
+            ("wal", self.wal_appends),
+            ("fsync", self.wal_fsyncs),
+            ("fanout", self.par_fanouts),
+            ("retry", self.retries),
+            ("conflict", self.conflicts),
+            ("nodes", self.eval_nodes),
+            ("rows", self.rows_out),
+        ];
+        let mut wrote = false;
+        for (key, v) in parts {
+            if v > 0 {
+                if wrote {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{key}={v}")?;
+                wrote = true;
+            }
+        }
+        if !wrote {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// Open-scope nesting depth on this thread (0 = nothing to charge).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// The innermost open scope's accumulator.
+    static COST: RefCell<QueryCost> = const { RefCell::new(QueryCost::zero()) };
+}
+
+/// RAII scope for one request's bill; close with [`CostGuard::take`] to
+/// harvest it (dropping without `take` still restores the outer scope
+/// and charges it the inner bill).
+pub struct CostGuard {
+    prev: Option<QueryCost>,
+}
+
+/// Open a cost scope on this thread: subsequent `add_*` charges land on
+/// it until the guard is taken or dropped.
+pub fn begin() -> CostGuard {
+    let prev = COST.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    DEPTH.with(|d| d.set(d.get() + 1));
+    CostGuard { prev: Some(prev) }
+}
+
+/// Is a cost scope open on this thread?
+pub fn active() -> bool {
+    DEPTH.with(Cell::get) > 0
+}
+
+impl CostGuard {
+    fn finish(&mut self) -> QueryCost {
+        let Some(prev) = self.prev.take() else {
+            return QueryCost::zero();
+        };
+        let depth = DEPTH.with(|d| {
+            let depth = d.get().saturating_sub(1);
+            d.set(depth);
+            depth
+        });
+        COST.with(|c| {
+            let mut cur = c.borrow_mut();
+            let inner = *cur;
+            *cur = if depth == 0 {
+                // Outermost scope closed: drop any stray residue so an
+                // unscoped charge can never leak into the next request.
+                QueryCost::zero()
+            } else {
+                // Restore the enclosing scope and charge it the inner
+                // bill, so nested scopes total correctly.
+                let mut outer = prev;
+                outer.merge(&inner);
+                outer
+            };
+            inner
+        })
+    }
+
+    /// Close the scope and return the bill accrued inside it.
+    pub fn take(mut self) -> QueryCost {
+        self.finish()
+    }
+}
+
+impl Drop for CostGuard {
+    fn drop(&mut self) {
+        if self.prev.is_some() {
+            self.finish();
+        }
+    }
+}
+
+/// Charge the ambient scope, if the collector is on and a scope is open.
+#[inline]
+fn tally(f: impl FnOnce(&mut QueryCost)) {
+    if !crate::enabled() || DEPTH.with(Cell::get) == 0 {
+        return;
+    }
+    COST.with(|c| f(&mut c.borrow_mut()));
+}
+
+/// Charge one buffer-pool hit.
+#[inline]
+pub fn add_pool_hit() {
+    tally(|c| c.pool_hits += 1);
+}
+
+/// Charge one buffer-pool miss.
+#[inline]
+pub fn add_pool_miss() {
+    tally(|c| c.pool_misses += 1);
+}
+
+/// Charge one WAL record append.
+#[inline]
+pub fn add_wal_append() {
+    tally(|c| c.wal_appends += 1);
+}
+
+/// Charge one WAL fsync.
+#[inline]
+pub fn add_wal_fsync() {
+    tally(|c| c.wal_fsyncs += 1);
+}
+
+/// Charge one parallel-kernel fan-out.
+#[inline]
+pub fn add_par_fanout() {
+    tally(|c| c.par_fanouts += 1);
+}
+
+/// Charge one retried storage operation.
+#[inline]
+pub fn add_retry() {
+    tally(|c| c.retries += 1);
+}
+
+/// Charge one lost first-committer-wins conflict.
+#[inline]
+pub fn add_conflict() {
+    tally(|c| c.conflicts += 1);
+}
+
+/// Charge one finished evaluation: `nodes` executed plan nodes
+/// producing `rows` output members.
+#[inline]
+pub fn add_eval(nodes: u64, rows: u64) {
+    tally(|c| {
+        c.eval_nodes += nodes;
+        c.rows_out += rows;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::obs_lock;
+
+    #[test]
+    fn charges_land_only_inside_an_open_scope() {
+        let _serial = obs_lock();
+        crate::enable();
+        add_pool_hit(); // no scope: dropped
+        let scope = begin();
+        add_pool_hit();
+        add_wal_append();
+        add_eval(3, 40);
+        let bill = scope.take();
+        assert_eq!(bill.pool_hits, 1);
+        assert_eq!(bill.wal_appends, 1);
+        assert_eq!(bill.eval_nodes, 3);
+        assert_eq!(bill.rows_out, 40);
+        // After the outermost scope closes, charges are dropped again.
+        add_conflict();
+        let bill = begin().take();
+        assert!(bill.is_zero(), "{bill}");
+        crate::disable();
+    }
+
+    #[test]
+    fn nested_scopes_bill_the_outer_scope_too() {
+        let _serial = obs_lock();
+        crate::enable();
+        let outer = begin();
+        add_retry();
+        let inner = begin();
+        add_pool_miss();
+        add_pool_miss();
+        let inner_bill = inner.take();
+        assert_eq!(inner_bill.pool_misses, 2);
+        assert_eq!(inner_bill.retries, 0, "outer charges stay outside");
+        add_wal_fsync();
+        let outer_bill = outer.take();
+        assert_eq!(outer_bill.retries, 1);
+        assert_eq!(outer_bill.pool_misses, 2, "inner bill rolls up");
+        assert_eq!(outer_bill.wal_fsyncs, 1);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_collector_charges_nothing() {
+        let _serial = obs_lock();
+        crate::disable();
+        let scope = begin();
+        add_pool_hit();
+        add_wal_append();
+        assert!(scope.take().is_zero());
+    }
+
+    #[test]
+    fn display_is_compact_and_dash_when_empty() {
+        let mut c = QueryCost::default();
+        assert_eq!(c.to_string(), "-");
+        c.pool_hits = 2;
+        c.conflicts = 1;
+        assert_eq!(c.to_string(), "pool_hit=2 conflict=1");
+    }
+}

@@ -18,6 +18,48 @@
 //!   ([`Registry::export_prometheus`](metrics::Registry::export_prometheus))
 //!   and a JSON snapshot
 //!   ([`Registry::export_json`](metrics::Registry::export_json)).
+//! * [`cost`] — **per-request resource accounting**: a task-scoped
+//!   [`QueryCost`](cost::QueryCost) accumulator the server opens around
+//!   each request, charged by the storage and query layers (pool
+//!   hits/misses, WAL appends/fsyncs, kernel fan-outs, retries,
+//!   conflicts, plan nodes/rows) so work is attributable to the request
+//!   that caused it, not just to a global counter.
+//! * [`reqlog`] — the **structured request log**: a bounded ring of
+//!   per-request records (session, txn, kind, wall time, cost bill,
+//!   outcome, trace id) plus a threshold-gated slow-query ring, behind
+//!   the shell's `.top`/`.slow` and the server's `RequestLog` request.
+//!
+//! ## Distributed tracing
+//!
+//! Spans carry stable 64-bit **trace ids** minted at each root span (via
+//! a SplitMix64-mixed process-local counter, so client and server
+//! processes on one machine draw from different sequences). A
+//! [`TraceContext`] — `{trace_id, parent_span}` — is the portable
+//! identity of an in-flight trace: the wire protocol carries it beside
+//! each request (protocol v2+), and the serving thread
+//! [`adopt`](span::adopt)s it so its root spans join the remote
+//! caller's trace, parented under the caller's span id. The result is
+//! one stitched trace per wire request: the client's `client.request`
+//! root and the server's `session.request` → `query.eval` → `txn.*` /
+//! `wal.*` subtree all share one trace id.
+//!
+//! ### Export schema (`xst-trace/1`)
+//!
+//! [`span::export_trace_json`] renders a span batch as JSON:
+//!
+//! ```json
+//! {"schema":"xst-trace/1","spans":[
+//!   {"name":"client.request","id":12,"trace_id":"0x9e3779b97f4a7c15",
+//!    "parent":null,"thread":0,"start_ns":100,"duration_ns":900,
+//!    "attrs":{"kind":"eval"},"children":[ ... ]}]}
+//! ```
+//!
+//! `trace_id` is a `0x`-prefixed 16-digit hex string (grep-stable, no
+//! JSON number-precision hazard); `id`/`parent` are process-local span
+//! ids; a parent that lives in another process makes the span a root of
+//! the local forest, so partial dumps always render. The server's
+//! `TraceDump` request and the shell's `.trace export` both emit this
+//! document.
 //!
 //! ## The no-op fast path
 //!
@@ -57,8 +99,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cost;
 pub mod metrics;
 pub mod names;
+pub mod reqlog;
 pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,8 +131,13 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
+pub use cost::{CostGuard, QueryCost};
 pub use metrics::{registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use span::{collector, span_tree, Collector, SpanGuard, SpanNode, SpanRecord};
+pub use reqlog::{request_log, RequestLog, RequestRecord};
+pub use span::{
+    collector, export_trace_json, span_tree, Collector, SpanGuard, SpanNode, SpanRecord,
+    TraceContext,
+};
 
 /// The enable/disable switch is process-global, so tests that toggle it
 /// serialize on one lock (the test harness runs them on many threads).

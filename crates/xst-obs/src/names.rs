@@ -74,6 +74,21 @@ pub const SERVER_PROTOCOL_ERRORS_TOTAL: &str = "xst_server_protocol_errors_total
 /// Nanoseconds spent handling one request (decode → dispatch → encode).
 pub const SERVER_REQUEST_NS: &str = "xst_server_request_ns";
 
+/// Requests that arrived wrapped in a client trace context (v2 peers).
+pub const SERVER_TRACED_REQUESTS_TOTAL: &str = "xst_server_traced_requests_total";
+
+/// Common prefix of every client-side metric.
+pub const CLIENT_PREFIX: &str = "xst_client_";
+/// Requests issued by `xst-client` connections.
+pub const CLIENT_REQUESTS_TOTAL: &str = "xst_client_requests_total";
+/// Nanoseconds from request write to response decode on the client.
+pub const CLIENT_REQUEST_NS: &str = "xst_client_request_ns";
+
+/// Requests recorded in the structured request log.
+pub const REQLOG_RECORDS_TOTAL: &str = "xst_reqlog_records_total";
+/// Requests whose wall time crossed the slow-query threshold.
+pub const REQLOG_SLOW_TOTAL: &str = "xst_reqlog_slow_total";
+
 /// Transactions begun.
 pub const TXN_BEGINS_TOTAL: &str = "xst_txn_begins_total";
 /// Transactions committed.
@@ -119,6 +134,11 @@ mod tests {
             super::SERVER_REQUESTS_TOTAL,
             super::SERVER_PROTOCOL_ERRORS_TOTAL,
             super::SERVER_REQUEST_NS,
+            super::SERVER_TRACED_REQUESTS_TOTAL,
+            super::CLIENT_REQUESTS_TOTAL,
+            super::CLIENT_REQUEST_NS,
+            super::REQLOG_RECORDS_TOTAL,
+            super::REQLOG_SLOW_TOTAL,
             super::TXN_BEGINS_TOTAL,
             super::TXN_COMMITS_TOTAL,
             super::TXN_ABORTS_TOTAL,
@@ -136,5 +156,9 @@ mod tests {
         }
         assert!(super::STORAGE_POOL_HITS_TOTAL.starts_with(super::STORAGE_POOL_PREFIX));
         assert!(super::STORAGE_PAGE_PREFIX.starts_with(super::STORAGE_PREFIX));
+        for client in [super::CLIENT_REQUESTS_TOTAL, super::CLIENT_REQUEST_NS] {
+            assert!(client.starts_with(super::CLIENT_PREFIX));
+        }
+        assert!(super::SERVER_TRACED_REQUESTS_TOTAL.starts_with(super::SERVER_PREFIX));
     }
 }

@@ -12,6 +12,19 @@
 //! Worker threads spawned inside a span start their own root (thread-local
 //! stacks do not cross threads); their records still drain to the same
 //! collector and carry a distinct `thread` index.
+//!
+//! ## Distributed traces
+//!
+//! Every span additionally carries a **trace id**: a stable 64-bit
+//! identifier shared by every span of one logical request, across threads
+//! and across processes. A root span normally mints a fresh trace id; a
+//! server thread that received a [`TraceContext`] over the wire instead
+//! [`adopt`]s it, so its root spans join the remote caller's trace (their
+//! `parent` points at the caller's span id, which may live in another
+//! process — [`span_tree`] treats a parent absent from the batch as a
+//! root, so partial dumps still render). [`export_trace_json`] renders a
+//! batch as the `xst-trace/1` JSON schema the server's `TraceDump`
+//! request and the shell's `.trace export` emit.
 
 use std::cell::RefCell;
 use std::fmt::Display;
@@ -24,7 +37,11 @@ use std::time::Instant;
 pub struct SpanRecord {
     /// Process-unique span id (monotonic).
     pub id: u64,
-    /// Enclosing span on the same thread, if any.
+    /// Stable 64-bit id of the trace this span belongs to (shared across
+    /// threads and processes; never zero on a live record).
+    pub trace_id: u64,
+    /// Enclosing span on the same thread, if any — or the remote span a
+    /// [`TraceContext`] named (an id that may live in another process).
     pub parent: Option<u64>,
     /// Instrumentation-site name, e.g. `"eval.restrict"`.
     pub name: &'static str,
@@ -36,6 +53,42 @@ pub struct SpanRecord {
     pub duration_ns: u64,
     /// `key=value` attributes recorded while the span was open.
     pub attrs: Vec<(&'static str, String)>,
+}
+
+/// The portable identity of an in-flight trace: enough for a peer (in
+/// another thread or another process) to stitch its spans under the same
+/// trace. This is what the wire protocol carries alongside a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every joined span will carry.
+    pub trace_id: u64,
+    /// The caller's span id — joined root spans parent under it
+    /// (`0` means "no parent": join the trace as a root).
+    pub parent_span: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates sequential counter values into
+/// well-spread 64-bit ids.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mint a fresh, never-zero trace id. Ids mix the process id with a
+/// process-local counter through SplitMix64, so ids from a client and a
+/// server on one machine land in different sequences and a merged dump
+/// does not collide.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seed = (std::process::id() as u64) << 32;
+    let id = splitmix64(seed ^ NEXT.fetch_add(1, Ordering::Relaxed));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
 }
 
 /// The global span sink: finished records from every thread, in drain
@@ -57,9 +110,21 @@ impl Collector {
         }
     }
 
+    /// Most finished spans the collector retains; older records are
+    /// discarded first, so a long-lived traced server stays bounded even
+    /// if nothing ever drains it.
+    pub const MAX_RETAINED: usize = 1 << 16;
+
     /// Take every collected span, leaving the collector empty.
     pub fn take_spans(&self) -> Vec<SpanRecord> {
         std::mem::take(&mut self.finished.lock().expect("span sink poisoned"))
+    }
+
+    /// Copy every collected span without draining — the `TraceDump`
+    /// request's read, so remote trace fetches do not race local `.trace`
+    /// consumers for the same records.
+    pub fn snapshot_spans(&self) -> Vec<SpanRecord> {
+        self.finished.lock().expect("span sink poisoned").clone()
     }
 
     /// Number of collected (drained) spans.
@@ -78,10 +143,12 @@ impl Collector {
     }
 
     fn absorb(&self, records: &mut Vec<SpanRecord>) {
-        self.finished
-            .lock()
-            .expect("span sink poisoned")
-            .append(records);
+        let mut finished = self.finished.lock().expect("span sink poisoned");
+        finished.append(records);
+        let len = finished.len();
+        if len > Collector::MAX_RETAINED {
+            finished.drain(..len - Collector::MAX_RETAINED);
+        }
     }
 }
 
@@ -94,6 +161,12 @@ pub fn collector() -> &'static Collector {
 struct ThreadSpans {
     thread: u64,
     stack: Vec<u64>,
+    /// Trace id of the innermost open span (valid while `stack` is
+    /// non-empty).
+    trace: u64,
+    /// Ambient remote context installed by [`adopt`]: root spans opened
+    /// while it is set join this trace instead of minting a fresh one.
+    adopted: Option<TraceContext>,
     buf: Vec<SpanRecord>,
 }
 
@@ -101,12 +174,15 @@ thread_local! {
     static TLS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans {
         thread: collector().next_thread.fetch_add(1, Ordering::Relaxed),
         stack: Vec::new(),
+        trace: 0,
+        adopted: None,
         buf: Vec::new(),
     });
 }
 
 struct ActiveSpan {
     id: u64,
+    trace_id: u64,
     parent: Option<u64>,
     name: &'static str,
     start: Instant,
@@ -131,17 +207,30 @@ impl SpanGuard {
         }
         let c = collector();
         let id = c.next_id.fetch_add(1, Ordering::Relaxed);
-        let parent = TLS
+        let (parent, trace_id) = TLS
             .try_with(|tls| {
                 let mut tls = tls.borrow_mut();
-                let parent = tls.stack.last().copied();
+                let (parent, trace_id) = match tls.stack.last().copied() {
+                    // Nested span: inherit the open trace.
+                    Some(p) => (Some(p), tls.trace),
+                    // Root span: join an adopted remote trace, else mint.
+                    None => match tls.adopted {
+                        Some(ctx) => (
+                            (ctx.parent_span != 0).then_some(ctx.parent_span),
+                            ctx.trace_id,
+                        ),
+                        None => (None, next_trace_id()),
+                    },
+                };
+                tls.trace = trace_id;
                 tls.stack.push(id);
-                parent
+                (parent, trace_id)
             })
-            .unwrap_or(None);
+            .unwrap_or_else(|_| (None, next_trace_id()));
         SpanGuard {
             inner: Some(ActiveSpan {
                 id,
+                trace_id,
                 parent,
                 name,
                 start: Instant::now(),
@@ -162,6 +251,61 @@ impl SpanGuard {
     pub fn id(&self) -> Option<u64> {
         self.inner.as_ref().map(|a| a.id)
     }
+
+    /// Trace id this span belongs to, if the guard is live.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|a| a.trace_id)
+    }
+
+    /// The [`TraceContext`] a peer should adopt to stitch its spans under
+    /// this one, if the guard is live.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.inner.as_ref().map(|a| TraceContext {
+            trace_id: a.trace_id,
+            parent_span: a.id,
+        })
+    }
+}
+
+/// RAII handle restoring the thread's previous ambient trace context.
+/// Returned by [`adopt`].
+pub struct AdoptGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        let _ = TLS.try_with(|tls| tls.borrow_mut().adopted = prev);
+    }
+}
+
+/// Install `ctx` as this thread's ambient trace for the guard's
+/// lifetime: root spans opened meanwhile join the remote trace (their
+/// parent is `ctx.parent_span`) instead of minting a fresh trace id.
+/// Nested adoptions stack; each guard restores its predecessor.
+pub fn adopt(ctx: TraceContext) -> AdoptGuard {
+    let prev = TLS
+        .try_with(|tls| tls.borrow_mut().adopted.replace(ctx))
+        .unwrap_or(None);
+    AdoptGuard { prev }
+}
+
+/// The context a peer should adopt to continue this thread's current
+/// trace: the innermost open span if any, else the adopted ambient
+/// context, else `None`.
+pub fn current_context() -> Option<TraceContext> {
+    TLS.try_with(|tls| {
+        let tls = tls.borrow();
+        match tls.stack.last().copied() {
+            Some(span) => Some(TraceContext {
+                trace_id: tls.trace,
+                parent_span: span,
+            }),
+            None => tls.adopted,
+        }
+    })
+    .unwrap_or(None)
 }
 
 impl Drop for SpanGuard {
@@ -183,6 +327,7 @@ impl Drop for SpanGuard {
             let thread = tls.thread;
             tls.buf.push(SpanRecord {
                 id: active.id,
+                trace_id: active.trace_id,
                 parent: active.parent,
                 name: active.name,
                 thread,
@@ -303,6 +448,73 @@ pub fn render_tree(forest: &[SpanNode]) -> String {
     out
 }
 
+/// Escape `s` into `out` as a JSON string body (no surrounding quotes).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a batch of records as the `xst-trace/1` JSON document: the
+/// reconstructed span forest, each node carrying its `trace_id` as a
+/// `0x`-prefixed hex string (stable to grep, immune to JSON number
+/// precision), ids/parents as numbers, times in nanoseconds, attributes
+/// as a string map, and children nested. This is the payload of the
+/// server's `TraceDump` request and the shell's `.trace export`.
+pub fn export_trace_json(records: &[SpanRecord]) -> String {
+    fn node(n: &SpanNode, out: &mut String) {
+        let r = &n.record;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"id\":{},\"trace_id\":\"{:#018x}\",\"parent\":",
+            r.name, r.id, r.trace_id
+        ));
+        match r.parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\"thread\":{},\"start_ns\":{},\"duration_ns\":{},\"attrs\":{{",
+            r.thread, r.start_ns, r.duration_ns
+        ));
+        for (i, (k, v)) in r.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(k, out);
+            out.push_str("\":\"");
+            json_escape(v, out);
+            out.push('"');
+        }
+        out.push_str("},\"children\":[");
+        for (i, child) in n.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            node(child, out);
+        }
+        out.push_str("]}");
+    }
+    let forest = span_tree(records);
+    let mut out = String::from("{\"schema\":\"xst-trace/1\",\"spans\":[");
+    for (i, root) in forest.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        node(root, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Human duration: picks ns/µs/ms/s.
 pub fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
@@ -395,6 +607,139 @@ mod tests {
         // Workers are roots of their own threads (no cross-thread parent).
         let forest = span_tree(&records);
         assert_eq!(forest.len(), 5);
+    }
+
+    #[test]
+    fn every_span_of_one_tree_shares_the_root_trace_id() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        {
+            let _a = crate::span!("outer");
+            let _b = crate::span!("mid");
+            let _c = crate::span!("leaf");
+        }
+        {
+            let _d = crate::span!("second-root");
+        }
+        crate::disable();
+        let records = collector().take_spans();
+        let outer = records.iter().find(|r| r.name == "outer").unwrap();
+        assert_ne!(outer.trace_id, 0);
+        for name in ["mid", "leaf"] {
+            let r = records.iter().find(|r| r.name == name).unwrap();
+            assert_eq!(r.trace_id, outer.trace_id, "{name}");
+        }
+        let second = records.iter().find(|r| r.name == "second-root").unwrap();
+        assert_ne!(
+            second.trace_id, outer.trace_id,
+            "distinct roots mint distinct traces"
+        );
+    }
+
+    #[test]
+    fn adopting_a_remote_context_stitches_root_spans_under_it() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        let remote = TraceContext {
+            trace_id: 0xdead_beef_cafe_f00d,
+            parent_span: 999_999,
+        };
+        {
+            let _in = adopt(remote);
+            let g = crate::span!("joined");
+            assert_eq!(g.trace_id(), Some(remote.trace_id));
+            let ctx = current_context().unwrap();
+            assert_eq!(ctx.trace_id, remote.trace_id);
+            assert_eq!(ctx.parent_span, g.id().unwrap());
+        }
+        // The guard restored the ambient state: fresh roots mint again.
+        {
+            let g = crate::span!("fresh");
+            assert_ne!(g.trace_id(), Some(remote.trace_id));
+        }
+        crate::disable();
+        let records = collector().take_spans();
+        let joined = records.iter().find(|r| r.name == "joined").unwrap();
+        assert_eq!(joined.trace_id, remote.trace_id);
+        assert_eq!(joined.parent, Some(remote.parent_span));
+        // The remote parent is absent from the batch, so the joined span
+        // still renders as a root of the local forest.
+        let forest = span_tree(&records);
+        assert!(forest.iter().any(|n| n.record.name == "joined"));
+    }
+
+    #[test]
+    fn trace_json_export_nests_children_and_escapes_attrs() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        {
+            let mut a = crate::span!("root.op");
+            a.attr("note", "quote\" backslash\\ newline\n");
+            let _b = crate::span!("child.op");
+        }
+        crate::disable();
+        let json = export_trace_json(&collector().take_spans());
+        assert!(json.starts_with("{\"schema\":\"xst-trace/1\""), "{json}");
+        assert!(json.contains("\"name\":\"root.op\""), "{json}");
+        assert!(
+            json.contains("\"children\":[{\"name\":\"child.op\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("quote\\\" backslash\\\\ newline\\n"),
+            "{json}"
+        );
+        // Exactly one distinct trace id appears, as a 0x-hex string.
+        let ids: std::collections::BTreeSet<&str> = json
+            .match_indices("\"trace_id\":\"")
+            .map(|(i, pat)| &json[i + pat.len()..i + pat.len() + 18])
+            .collect();
+        assert_eq!(ids.len(), 1, "{json}");
+        assert!(ids.iter().all(|id| id.starts_with("0x")), "{json}");
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = next_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "trace id repeated");
+        }
+    }
+
+    #[test]
+    fn snapshot_does_not_drain_and_retention_is_bounded() {
+        let _serial = obs_lock();
+        crate::enable();
+        collector().clear();
+        {
+            let _g = crate::span!("kept");
+        }
+        assert_eq!(collector().snapshot_spans().len(), 1);
+        assert_eq!(collector().len(), 1, "snapshot must not drain");
+        crate::disable();
+        collector().clear();
+        // The retention cap holds even when absorb outpaces draining.
+        let mut batch: Vec<SpanRecord> = (0..Collector::MAX_RETAINED + 7)
+            .map(|i| SpanRecord {
+                id: i as u64 + 1,
+                trace_id: 1,
+                parent: None,
+                name: "bulk",
+                thread: 0,
+                start_ns: i as u64,
+                duration_ns: 0,
+                attrs: Vec::new(),
+            })
+            .collect();
+        collector().absorb(&mut batch);
+        assert_eq!(collector().len(), Collector::MAX_RETAINED);
+        let kept = collector().take_spans();
+        assert_eq!(kept.first().map(|r| r.id), Some(8), "oldest were dropped");
     }
 
     #[test]

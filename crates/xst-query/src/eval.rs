@@ -181,6 +181,7 @@ pub fn eval_parallel_unchecked(
         span.attr("nodes", stats.nodes);
         span.attr("rows_out", result.card());
     }
+    xst_obs::cost::add_eval(stats.nodes, result.card() as u64);
     // A non-leaf root was counted as intermediate inside the recursion;
     // correct it (leaf roots were never counted).
     if !matches!(expr, Expr::Literal(_) | Expr::Table(_)) {

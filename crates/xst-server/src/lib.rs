@@ -39,7 +39,9 @@ pub mod server;
 pub mod session;
 pub mod wire;
 
-pub use proto::{ErrorCode, ProtoError, Request, Response, WireError, PROTO_VERSION};
+pub use proto::{
+    ErrorCode, ProtoError, Request, Response, WireError, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 pub use server::{Server, ServerConfig};
 pub use session::{member_schema, records_identity_to_set, set_to_records, ServedEngine, Session};
 pub use wire::{encode_frame, read_frame, write_frame, FrameError, MAGIC, MAX_FRAME};

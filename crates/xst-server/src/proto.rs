@@ -18,12 +18,24 @@
 use std::fmt;
 use xst_core::parse::parse_set;
 use xst_core::{ExtendedSet, Scope};
+use xst_obs::TraceContext;
 use xst_query::Expr;
 use xst_storage::{FaultKind, FaultSchedule};
 
 /// Protocol version sent in [`Request::Hello`] and echoed in
 /// [`Response::Welcome`]. Bump on any wire-incompatible change.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2 added distributed tracing: the [`Request::Traced`] wrapper
+/// carrying a [`TraceContext`], plus the [`Request::TraceDump`] and
+/// [`Request::RequestLog`] observability fetches. Every v1 message is
+/// unchanged, so the server still seats v1 peers (see
+/// [`MIN_PROTO_VERSION`]) — they simply run untraced.
+pub const PROTO_VERSION: u32 = 2;
+
+/// Oldest protocol version the server still accepts in the handshake.
+/// The negotiated session version is the client's `Hello` version,
+/// echoed back in [`Response::Welcome`].
+pub const MIN_PROTO_VERSION: u32 = 1;
 
 /// Maximum [`Expr`] nesting depth the decoder will follow.
 pub const MAX_EXPR_DEPTH: usize = 64;
@@ -230,6 +242,65 @@ pub enum Request {
     },
     /// Disarm and clear any armed fault plan.
     ClearFaults,
+    /// A request annotated with the client's trace context (v2+): the
+    /// server adopts `ctx` while handling `req`, so every server-side
+    /// span stitches under the client's trace. Never nests.
+    Traced {
+        /// The trace the server-side spans should join.
+        ctx: TraceContext,
+        /// The request to handle under that trace.
+        req: Box<Request>,
+    },
+    /// Fetch the server's collected spans as an `xst-trace/1` JSON
+    /// document (v2+), answered with [`Response::Report`].
+    TraceDump,
+    /// Fetch the server's structured request log (v2+), answered with a
+    /// rendered [`Response::Report`] table.
+    RequestLog {
+        /// `true` for the threshold-gated slow ring, `false` for the
+        /// slowest retained requests (the `.top` ranking).
+        slow: bool,
+        /// Most records to return.
+        limit: u32,
+    },
+}
+
+impl Request {
+    /// Stable request-kind name, for the request log and span
+    /// attributes. A [`Request::Traced`] wrapper reports its inner kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Ping => "ping",
+            Request::Eval { .. } => "eval",
+            Request::Check { .. } => "check",
+            Request::Explain { .. } => "explain",
+            Request::Begin => "begin",
+            Request::Commit => "commit",
+            Request::Abort => "abort",
+            Request::Put { .. } => "put",
+            Request::Delete { .. } => "delete",
+            Request::Get { .. } => "get",
+            Request::Metrics { .. } => "metrics",
+            Request::ArmFaults { .. } => "arm-faults",
+            Request::ClearFaults => "clear-faults",
+            Request::Traced { req, .. } => req.kind_name(),
+            Request::TraceDump => "trace-dump",
+            Request::RequestLog { .. } => "request-log",
+        }
+    }
+
+    /// Short free-form detail for the request log: the table a request
+    /// names, if any.
+    pub fn detail(&self) -> String {
+        match self {
+            Request::Put { table, .. }
+            | Request::Delete { table, .. }
+            | Request::Get { table } => table.clone(),
+            Request::Traced { req, .. } => req.detail(),
+            _ => String::new(),
+        }
+    }
 }
 
 /// One server response.
@@ -284,6 +355,17 @@ pub enum Response {
     /// The request failed; the session survives (except version and
     /// admission errors, after which the server closes the stream).
     Error(WireError),
+}
+
+impl Response {
+    /// Stable outcome name for the request log: `"ok"`, or the error
+    /// code name for [`Response::Error`].
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            Response::Error(e) => e.code.name(),
+            _ => "ok",
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -547,41 +629,46 @@ impl Request {
     /// Encode into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Request::Hello { version, client } => {
                 out.push(0);
-                put_u32(&mut out, *version);
-                put_str(&mut out, client);
+                put_u32(out, *version);
+                put_str(out, client);
             }
             Request::Ping => out.push(1),
             Request::Eval { expr } => {
                 out.push(2);
-                put_expr(&mut out, expr);
+                put_expr(out, expr);
             }
             Request::Check { expr } => {
                 out.push(3);
-                put_expr(&mut out, expr);
+                put_expr(out, expr);
             }
             Request::Explain { expr } => {
                 out.push(4);
-                put_expr(&mut out, expr);
+                put_expr(out, expr);
             }
             Request::Begin => out.push(5),
             Request::Commit => out.push(6),
             Request::Abort => out.push(7),
             Request::Put { table, set } => {
                 out.push(8);
-                put_str(&mut out, table);
-                put_set(&mut out, set);
+                put_str(out, table);
+                put_set(out, set);
             }
             Request::Delete { table, set } => {
                 out.push(9);
-                put_str(&mut out, table);
-                put_set(&mut out, set);
+                put_str(out, table);
+                put_set(out, set);
             }
             Request::Get { table } => {
                 out.push(10);
-                put_str(&mut out, table);
+                put_str(out, table);
             }
             Request::Metrics { json } => {
                 out.push(11);
@@ -589,17 +676,37 @@ impl Request {
             }
             Request::ArmFaults { schedule, kind } => {
                 out.push(12);
-                put_schedule(&mut out, schedule);
-                put_kind(&mut out, kind);
+                put_schedule(out, schedule);
+                put_kind(out, kind);
             }
             Request::ClearFaults => out.push(13),
+            Request::Traced { ctx, req } => {
+                out.push(14);
+                put_u64(out, ctx.trace_id);
+                put_u64(out, ctx.parent_span);
+                req.encode_into(out);
+            }
+            Request::TraceDump => out.push(15),
+            Request::RequestLog { slow, limit } => {
+                out.push(16);
+                out.push(u8::from(*slow));
+                put_u32(out, *limit);
+            }
         }
-        out
     }
 
     /// Decode from a frame payload.
     pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
         let mut rd = Rd::new(payload);
+        let req = Request::decode_body(&mut rd, true)?;
+        rd.finish()?;
+        Ok(req)
+    }
+
+    /// Decode one request body. `allow_traced` is false when decoding
+    /// the inner request of a [`Request::Traced`] wrapper, so a hostile
+    /// payload cannot nest wrappers (and carries no recursion risk).
+    fn decode_body(rd: &mut Rd, allow_traced: bool) -> Result<Request, ProtoError> {
         let req = match rd.u8()? {
             0 => Request::Hello {
                 version: rd.u32()?,
@@ -629,6 +736,28 @@ impl Request {
                 kind: rd.kind()?,
             },
             13 => Request::ClearFaults,
+            14 if allow_traced => {
+                let ctx = TraceContext {
+                    trace_id: rd.u64()?,
+                    parent_span: rd.u64()?,
+                };
+                let req = Request::decode_body(rd, false)?;
+                Request::Traced {
+                    ctx,
+                    req: Box::new(req),
+                }
+            }
+            14 => {
+                return Err(ProtoError::BadTag {
+                    what: "nested traced request",
+                    tag: 14,
+                })
+            }
+            15 => Request::TraceDump,
+            16 => Request::RequestLog {
+                slow: rd.bool("slow flag")?,
+                limit: rd.u32()?,
+            },
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "request",
@@ -636,7 +765,6 @@ impl Request {
                 })
             }
         };
-        rd.finish()?;
         Ok(req)
     }
 }

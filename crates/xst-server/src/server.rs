@@ -19,7 +19,7 @@
 //! The accept/admit/active/queue-depth state is exported through the
 //! `xst_server_*` metric families registered in `xst_obs::names`.
 
-use crate::proto::{ErrorCode, Request, Response, WireError, PROTO_VERSION};
+use crate::proto::{ErrorCode, Request, Response, WireError, MIN_PROTO_VERSION, PROTO_VERSION};
 use crate::session::{ServedEngine, Session};
 use crate::wire::{read_frame, write_frame, FrameError};
 use std::collections::HashMap;
@@ -372,7 +372,10 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         accepted_total().inc();
     }
     let conn_id = shared.register(&stream);
-    serve_session(&mut stream, &shared);
+    // 1-based session id so 0 stays "not a served connection" in the
+    // request log.
+    let session_id = conn_id.map_or(0, |id| id + 1);
+    serve_session(&mut stream, &shared, session_id);
     if let Some(id) = conn_id {
         shared.deregister(id);
     }
@@ -381,8 +384,11 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 }
 
 /// The handshake and request loop for one admitted connection.
-fn serve_session(stream: &mut TcpStream, shared: &Shared) {
+fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64) {
     // Handshake: the first frame must be a version-compatible Hello.
+    // Any version in [MIN_PROTO_VERSION, PROTO_VERSION] is seated and
+    // echoed back, so a v1 peer keeps working — it simply never sends
+    // the v2 tracing requests.
     let hello = match read_frame(stream) {
         Ok(payload) => payload,
         Err(FrameError::Closed | FrameError::Truncated | FrameError::Io(_)) => return,
@@ -398,11 +404,13 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared) {
         }
     };
     match Request::decode(&hello) {
-        Ok(Request::Hello { version, .. }) if version == PROTO_VERSION => {
+        Ok(Request::Hello { version, .. })
+            if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) =>
+        {
             if !write_response(
                 stream,
                 &Response::Welcome {
-                    version: PROTO_VERSION,
+                    version,
                     banner: shared.config.banner.clone(),
                 },
             ) {
@@ -417,7 +425,10 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared) {
                 stream,
                 &Response::Error(WireError::new(
                     ErrorCode::Version,
-                    format!("server speaks protocol v{PROTO_VERSION}, client sent v{version}"),
+                    format!(
+                        "server speaks protocol v{MIN_PROTO_VERSION}..v{PROTO_VERSION}, \
+                         client sent v{version}"
+                    ),
                 )),
             );
             return;
@@ -437,7 +448,7 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared) {
         }
     }
 
-    let mut session = Session::new(Arc::clone(&shared.engine));
+    let mut session = Session::with_id(Arc::clone(&shared.engine), session_id);
     loop {
         let payload = match read_frame(stream) {
             Ok(p) => p,
@@ -465,7 +476,7 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared) {
                 if xst_obs::enabled() {
                     requests_total().inc();
                 }
-                session.handle(req)
+                session.serve_one(req)
             }
             // A well-framed but undecodable message: the stream is still
             // in sync, so the session survives the structured error.

@@ -19,7 +19,9 @@
 
 use crate::proto::{ErrorCode, Request, Response, WireError, PROTO_VERSION};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use xst_obs::{registry, Counter};
 use xst_core::ops::Parallelism;
 use xst_core::{ExtendedSet, SetBuilder, XstError};
 use xst_query::{eval_parallel, explain_analyze, Bindings, Expr};
@@ -181,17 +183,45 @@ fn txn_state_error(message: &str) -> Response {
     Response::Error(WireError::new(ErrorCode::TxnState, message))
 }
 
+fn traced_requests_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SERVER_TRACED_REQUESTS_TOTAL,
+            "Requests that arrived wrapped in a client trace context.",
+        )
+    })
+}
+
 /// One connection's dispatch state: the shared engine plus at most one
 /// open transaction.
 pub struct Session {
     engine: Arc<ServedEngine>,
     open: Option<Txn>,
+    /// Diagnostic session id carried into spans and the request log
+    /// (0 = not a served connection).
+    id: u64,
 }
 
 impl Session {
     /// A session over `engine` with no transaction open.
     pub fn new(engine: Arc<ServedEngine>) -> Session {
-        Session { engine, open: None }
+        Session::with_id(engine, 0)
+    }
+
+    /// A session carrying a diagnostic `id` (the server uses the
+    /// connection id, 1-based so 0 stays "not a served connection").
+    pub fn with_id(engine: Arc<ServedEngine>, id: u64) -> Session {
+        Session {
+            engine,
+            open: None,
+            id,
+        }
+    }
+
+    /// This session's diagnostic id.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Is an explicit transaction open?
@@ -388,6 +418,68 @@ impl Session {
         Response::Report { text }
     }
 
+    fn trace_dump(&self) -> Response {
+        Response::Report {
+            text: xst_obs::export_trace_json(&xst_obs::collector().snapshot_spans()),
+        }
+    }
+
+    fn request_log(&self, slow: bool, limit: u32) -> Response {
+        let log = xst_obs::request_log();
+        let limit = (limit as usize).max(1);
+        let records = if slow {
+            log.slow(limit)
+        } else {
+            log.top(limit)
+        };
+        Response::Report {
+            text: xst_obs::reqlog::render_records(&records),
+        }
+    }
+
+    /// Handle one request with full observability: peel and adopt any
+    /// carried [`TraceContext`] (so the request's spans join the remote
+    /// trace), open the `session.request` span, meter the request's
+    /// resource bill, and append a structured record to the request
+    /// log. This is the entry the server's request loop uses; `handle`
+    /// is the bare dispatch underneath it.
+    pub fn serve_one(&mut self, req: Request) -> Response {
+        let (ctx, req) = match req {
+            Request::Traced { ctx, req } => (Some(ctx), *req),
+            other => (None, other),
+        };
+        let _adopted = ctx.map(|ctx| {
+            if xst_obs::enabled() {
+                traced_requests_total().inc();
+            }
+            xst_obs::span::adopt(ctx)
+        });
+        let kind = req.kind_name();
+        let detail = req.detail();
+        let timer = xst_obs::enabled().then(Instant::now);
+        let costs = xst_obs::cost::begin();
+        let span = xst_obs::span!("session.request", session = self.id, kind = kind);
+        let txn_before = self.open.as_ref().map(Txn::id);
+        let resp = self.handle(req);
+        let trace_id = span.trace_id().unwrap_or(0);
+        drop(span);
+        let cost = costs.take();
+        if let Some(start) = timer {
+            xst_obs::request_log().record(xst_obs::RequestRecord {
+                seq: 0,
+                session: self.id,
+                txn: txn_before.or_else(|| self.open.as_ref().map(Txn::id)),
+                kind,
+                detail,
+                trace_id,
+                wall_ns: start.elapsed().as_nanos() as u64,
+                cost,
+                outcome: resp.outcome(),
+            });
+        }
+        resp
+    }
+
     /// Dispatch one already-decoded request. Total: every outcome is a
     /// [`Response`]; this function never panics and never closes the
     /// session itself.
@@ -416,6 +508,16 @@ impl Session {
                 self.engine.clear_faults();
                 Response::FaultsArmed { armed: false }
             }
+            // A Traced wrapper reaching bare dispatch (tests, defensive
+            // callers) still adopts its context around the inner
+            // request; `serve_one` normally peels it first so the
+            // request span itself joins the trace.
+            Request::Traced { ctx, req } => {
+                let _adopted = xst_obs::span::adopt(ctx);
+                self.handle(*req)
+            }
+            Request::TraceDump => self.trace_dump(),
+            Request::RequestLog { slow, limit } => self.request_log(slow, limit),
         }
     }
 }

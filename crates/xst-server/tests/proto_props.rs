@@ -15,7 +15,8 @@ use xst_core::ExtendedSet;
 use xst_query::Expr;
 use xst_server::proto::{ProtoError, Request, Response, WireError};
 use xst_server::wire::{encode_frame, read_frame, FrameError, HEADER_LEN, MAX_FRAME};
-use xst_server::{ErrorCode, PROTO_VERSION};
+use xst_server::{ErrorCode, MIN_PROTO_VERSION, PROTO_VERSION};
+use xst_obs::TraceContext;
 use xst_storage::{FaultKind, FaultSchedule};
 use xst_testkit::{arb_tricky_atom, arb_tricky_set};
 
@@ -116,6 +117,44 @@ fn arb_request() -> BoxedStrategy<Request> {
             })
             .boxed(),
         Just(Request::ClearFaults).boxed(),
+        Just(Request::TraceDump).boxed(),
+        (any::<bool>(), any::<u32>())
+            .prop_map(|(slow, limit)| Request::RequestLog { slow, limit })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+/// A trace context, hostile values included: zero ids (the "absent"
+/// sentinels) must ride the wire as faithfully as real ones.
+fn arb_trace_id() -> BoxedStrategy<u64> {
+    prop_oneof![
+        Just(0u64).boxed(),
+        Just(u64::MAX).boxed(),
+        any::<u64>().boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_trace_ctx() -> BoxedStrategy<TraceContext> {
+    (arb_trace_id(), arb_trace_id())
+        .prop_map(|(trace_id, parent_span)| TraceContext {
+            trace_id,
+            parent_span,
+        })
+        .boxed()
+}
+
+/// Everything that may head a frame: plain requests (the v1 shapes plus
+/// the v2 observability pulls) and `Traced`-wrapped ones. `Traced` never
+/// nests — the decoder rejects that — so the wrapper draws its inner
+/// request from the plain pool.
+fn arb_wire_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        3 => arb_request(),
+        1 => (arb_trace_ctx(), arb_request())
+            .prop_map(|(ctx, req)| Request::Traced { ctx, req: Box::new(req) })
+            .boxed(),
     ]
     .boxed()
 }
@@ -186,7 +225,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn requests_round_trip_through_frames(req in arb_request()) {
+    fn requests_round_trip_through_frames(req in arb_wire_request()) {
         let frame = encode_frame(&req.encode()).unwrap();
         let payload = read_frame(&mut Cursor::new(frame)).unwrap();
         prop_assert_eq!(Request::decode(&payload).unwrap(), req);
@@ -225,7 +264,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn truncated_frames_error_structurally(req in arb_request(), cut_seed in any::<u64>()) {
+    fn truncated_frames_error_structurally(req in arb_wire_request(), cut_seed in any::<u64>()) {
         let frame = encode_frame(&req.encode()).unwrap();
         let cut = (cut_seed % frame.len() as u64) as usize;
         let err = read_frame(&mut Cursor::new(frame[..cut].to_vec())).unwrap_err();
@@ -237,7 +276,7 @@ proptest! {
 
     #[test]
     fn bit_flips_are_rejected_or_decode_structurally(
-        req in arb_request(),
+        req in arb_wire_request(),
         at_seed in any::<u64>(),
         bit in 0u8..8,
     ) {
@@ -360,8 +399,72 @@ fn hostile_recursion_depth_is_bounded() {
 }
 
 #[test]
+fn nested_traced_wrappers_are_rejected() {
+    // Encoding can express Traced(Traced(..)) — the decoder must refuse
+    // it, or a hostile peer could nest contexts arbitrarily deep.
+    let inner = Request::Traced {
+        ctx: TraceContext {
+            trace_id: 7,
+            parent_span: 8,
+        },
+        req: Box::new(Request::Ping),
+    };
+    let outer = Request::Traced {
+        ctx: TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+        },
+        req: Box::new(inner),
+    };
+    assert!(matches!(
+        Request::decode(&outer.encode()),
+        Err(ProtoError::BadTag { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn traced_wrappers_round_trip_any_context(ctx in arb_trace_ctx(), req in arb_request()) {
+        let wrapped = Request::Traced { ctx, req: Box::new(req) };
+        let frame = encode_frame(&wrapped.encode()).unwrap();
+        let payload = read_frame(&mut Cursor::new(frame)).unwrap();
+        prop_assert_eq!(Request::decode(&payload).unwrap(), wrapped);
+    }
+
+    #[test]
+    fn absent_context_is_byte_identical_to_v1(req in arb_request()) {
+        // The Traced wrapper is strictly additive: an unwrapped request
+        // encodes exactly as protocol v1 spelled it, so a v1 peer and a
+        // v2 peer that opted out of tracing are indistinguishable.
+        let bytes = req.encode();
+        // No phantom Traced tag may lead the plain encoding.
+        prop_assert_ne!(bytes.first(), Some(&14u8));
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn truncated_traced_payloads_error_structurally(
+        ctx in arb_trace_ctx(),
+        req in arb_request(),
+        cut_seed in any::<u64>(),
+    ) {
+        // Cut inside the context fields or the inner request: the
+        // decoder must answer Truncated-shaped errors, never panic.
+        let wrapped = Request::Traced { ctx, req: Box::new(req) };
+        let bytes = wrapped.encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let _ = Request::decode(&bytes[..cut]);
+    }
+}
+
+#[test]
 fn version_constant_is_stable() {
     // The handshake contract: bumping this silently would strand every
     // deployed client. Force the change to be visible in review.
-    assert_eq!(PROTO_VERSION, 1);
+    // v2 = distributed tracing (Traced/TraceDump/RequestLog); servers
+    // still seat v1 peers, so MIN stays pinned at 1.
+    assert_eq!(PROTO_VERSION, 2);
+    assert_eq!(MIN_PROTO_VERSION, 1);
 }

@@ -24,6 +24,9 @@
 //! .metrics [json]       metrics exposition (Prometheus text or JSON)
 //! .metrics reset        zero every registered series
 //! .trace on|off|show    toggle the collector / render collected spans
+//! .trace export         dump collected spans as xst-trace/1 JSON
+//! .top [N]              most expensive accounted requests (cost bills)
+//! .slow [MS|off]        show the slow-query ring / arm its threshold
 //! .faults on|off|status deterministic fault injection on the store's I/O
 //! .store NAME           persist a binding through the WAL + buffer pool
 //! .load NAME as NEW     read it back through the pool into NEW
@@ -52,12 +55,20 @@
 //! .connect HOST:PORT         open a client session against a server
 //! .disconnect                close it (a remote open txn aborts)
 //! .remote CMD ...            ping · begin · commit · abort ·
-//!                            put NAME · get NAME as NEW · eval OP ...
+//!                            put NAME · get NAME as NEW · eval OP ... ·
+//!                            metrics [json] · trace · top [N] · slow
 //! ```
+//!
+//! Every command line is *accounted* the way the server accounts a wire
+//! request: it runs under a `shell.command` root span and a
+//! [`QueryCost`](xst_obs::QueryCost) scope, and lands one record in the
+//! process request log (session 0 = the local shell), so `.top`/`.slow`
+//! rank interactive work and served requests side by side.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 use xst_client::Client;
 use xst_core::ops::{
     difference, image, intersection, pair_compose, sigma_domain, sigma_restrict,
@@ -188,7 +199,49 @@ impl Session {
         }
         let mut parts = Tokens::new(line);
         let command = parts.next_word()?;
-        let out = match command.as_str() {
+        // `.trace`/`.top`/`.slow` inspect the collector and the request
+        // log; accounting them would have them observe themselves (a
+        // drained `.trace show` would always rediscover its own span on
+        // the next call), so they dispatch bare.
+        if matches!(command.as_str(), ".trace" | ".top" | ".slow") {
+            return self.dispatch(&command, &mut parts).map(Some);
+        }
+        // Account the command like the server accounts a wire request:
+        // root span + cost scope + one request-log record under session 0,
+        // so `.top`/`.slow` see interactive work too. `enabled()` off means
+        // all three degrade to nothing.
+        let timer = xst_obs::enabled().then(Instant::now);
+        let costs = xst_obs::cost::begin();
+        let span = xst_obs::span!("shell.command", kind = command.as_str());
+        let txn_before = self.open_txn_id();
+        let result = self.dispatch(&command, &mut parts);
+        let trace_id = span.trace_id().unwrap_or(0);
+        drop(span);
+        let cost = costs.take();
+        if let Some(t) = timer {
+            xst_obs::request_log().record(xst_obs::RequestRecord {
+                seq: 0,
+                session: 0,
+                txn: txn_before.or_else(|| self.open_txn_id()),
+                kind: "shell",
+                detail: command,
+                trace_id,
+                wall_ns: t.elapsed().as_nanos() as u64,
+                cost,
+                outcome: if result.is_ok() { "ok" } else { "error" },
+            });
+        }
+        result.map(Some)
+    }
+
+    /// The id of the open local transaction, if any.
+    fn open_txn_id(&self) -> Option<u64> {
+        self.txn.as_ref().and_then(|t| t.open.as_ref()).map(Txn::id)
+    }
+
+    /// Dispatch one parsed command word to its handler.
+    fn dispatch(&mut self, command: &str, parts: &mut Tokens) -> XstResult<String> {
+        let out = match command {
             "help" => HELP.to_string(),
             "vars" => {
                 if self.bindings.is_empty() {
@@ -206,7 +259,7 @@ impl Session {
             "union" | "intersect" | "difference" | "compose" => {
                 let a = self.operand(&parts.next_operand()?)?;
                 let b = self.operand(&parts.rest()?)?;
-                match command.as_str() {
+                match command {
                     "union" => union(&a, &b).to_string(),
                     "intersect" => intersection(&a, &b).to_string(),
                     "difference" => difference(&a, &b).to_string(),
@@ -242,10 +295,12 @@ impl Session {
                 let f = self.operand(&parts.rest()?)?;
                 Process::pairs(f).is_function().to_string()
             }
-            ".explain" => self.explain(&mut parts)?,
-            ".check" => self.check(&mut parts)?,
+            ".explain" => self.explain(parts)?,
+            ".check" => self.check(parts)?,
             ".metrics" => self.metrics(parts.rest_opt().as_deref())?,
             ".trace" => self.trace(&parts.rest()?)?,
+            ".top" => self.reqlog_top(parts.rest_opt().as_deref())?,
+            ".slow" => self.reqlog_slow(parts.rest_opt().as_deref())?,
             ".faults" => self.faults(&parts.rest()?)?,
             ".store" => self.store_binding(&parts.rest()?)?,
             ".load" => {
@@ -262,7 +317,7 @@ impl Session {
             }
             ".connect" => self.connect(&parts.rest()?)?,
             ".disconnect" => self.disconnect()?,
-            ".remote" => self.remote_command(&mut parts)?,
+            ".remote" => self.remote_command(parts)?,
             ".begin" => self.txn_begin()?,
             ".commit" => self.txn_commit()?,
             ".abort" => self.txn_abort()?,
@@ -277,7 +332,7 @@ impl Session {
             }
             other => return Err(err(format!("unknown command '{other}' (try 'help')"))),
         };
-        Ok(Some(out))
+        Ok(out)
     }
 
     /// `.explain <op> ...` — build the [`Expr`] a command form denotes,
@@ -383,9 +438,15 @@ impl Session {
         }
     }
 
-    /// `.trace on|off|show`.
+    /// `.trace on|off|show|export`.
     fn trace(&self, arg: &str) -> XstResult<String> {
         match arg {
+            "export" => {
+                // Non-draining snapshot: exporting leaves the spans in
+                // place for a later `.trace show`.
+                let records = xst_obs::collector().snapshot_spans();
+                Ok(xst_obs::export_trace_json(&records))
+            }
             "on" => {
                 xst_obs::enable();
                 Ok("collector on".to_string())
@@ -404,7 +465,52 @@ impl Session {
                 let forest = xst_obs::span_tree(&records);
                 Ok(xst_obs::span::render_tree(&forest).trim_end().to_string())
             }
-            other => Err(err(format!("usage: .trace on|off|show, got '{other}'"))),
+            other => Err(err(format!(
+                "usage: .trace on|off|show|export, got '{other}'"
+            ))),
+        }
+    }
+
+    /// `.top [N]` — the N most expensive accounted requests, by wall
+    /// time: local shell commands (session 0) and served wire requests
+    /// side by side, each with its per-request cost bill.
+    fn reqlog_top(&self, arg: Option<&str>) -> XstResult<String> {
+        let limit = match arg {
+            None => 10,
+            Some(n) => n
+                .parse()
+                .map_err(|_| err(format!("usage: .top [N], got '{n}'")))?,
+        };
+        let table = xst_obs::reqlog::render_records(&xst_obs::request_log().top(limit));
+        Ok(table.trim_end().to_string())
+    }
+
+    /// `.slow` shows the slow-query ring; `.slow MS` arms the threshold
+    /// (requests at or over it are retained); `.slow off` disarms it.
+    fn reqlog_slow(&self, arg: Option<&str>) -> XstResult<String> {
+        let log = xst_obs::request_log();
+        match arg {
+            None => {
+                let threshold = log.slow_threshold_ns();
+                let header = if threshold == 0 {
+                    "slow-query log disabled (.slow MS to arm)".to_string()
+                } else {
+                    format!("slow threshold: {} ms", threshold / 1_000_000)
+                };
+                let table = xst_obs::reqlog::render_records(&log.slow(20));
+                Ok(format!("{header}\n{}", table.trim_end()))
+            }
+            Some("off") => {
+                log.set_slow_threshold_ns(0);
+                Ok("slow-query log disabled".to_string())
+            }
+            Some(ms) => {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| err(format!("usage: .slow [MS|off], got '{ms}'")))?;
+                log.set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+                Ok(format!("slow-query log armed at {ms} ms"))
+            }
         }
     }
 
@@ -594,7 +700,10 @@ impl Session {
     }
 
     /// `.remote CMD ...` — drive the connected server: `ping`, `begin`,
-    /// `commit`, `abort`, `put NAME`, `get NAME as NEW`, `eval OP ...`.
+    /// `commit`, `abort`, `put NAME`, `get NAME as NEW`, `eval OP ...`,
+    /// plus the observability pulls `metrics [json]` (the server's
+    /// registry), `trace` (its span collector as xst-trace/1 JSON), and
+    /// `top [N]` / `slow` (its per-request log).
     fn remote_command(&mut self, parts: &mut Tokens) -> XstResult<String> {
         let sub = parts.next_word()?;
         // `eval` needs `&self` for operands while the client needs
@@ -671,9 +780,36 @@ impl Session {
                 let set = client.eval(&expr).map_err(client_err)?;
                 Ok(set.to_string())
             }
+            "metrics" => {
+                let json = match parts.rest_opt().as_deref() {
+                    None => false,
+                    Some("json") => true,
+                    Some(other) => {
+                        return Err(err(format!(
+                            "usage: .remote metrics [json], got '{other}'"
+                        )))
+                    }
+                };
+                Ok(client.metrics(json).map_err(client_err)?)
+            }
+            "trace" => Ok(client.trace_dump().map_err(client_err)?),
+            "top" => {
+                let limit = match parts.rest_opt() {
+                    None => 10,
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| err(format!("usage: .remote top [N], got '{n}'")))?,
+                };
+                let table = client.request_log(false, limit).map_err(client_err)?;
+                Ok(table.trim_end().to_string())
+            }
+            "slow" => {
+                let table = client.request_log(true, 20).map_err(client_err)?;
+                Ok(table.trim_end().to_string())
+            }
             other => Err(err(format!(
-                "usage: .remote ping|begin|commit|abort|put NAME|get NAME as NEW|eval OP ..., \
-                 got '{other}'"
+                "usage: .remote ping|begin|commit|abort|put NAME|get NAME as NEW|eval OP ...\
+                 |metrics [json]|trace|top [N]|slow, got '{other}'"
             ))),
         }
     }
@@ -936,6 +1072,9 @@ observability:
   .check OP ...               static analysis only: sig, emptiness, card, diagnostics
   .metrics [json|reset]       metrics exposition · JSON snapshot · zero all
   .trace on|off|show          collector switch · render collected spans
+  .trace export               collected spans as xst-trace/1 JSON (non-draining)
+  .top [N]                    N most expensive accounted requests + cost bills
+  .slow [MS|off]              show the slow-query ring · arm/disarm threshold
   .faults on|off|status       inject transient I/O faults (retry absorbs them)
   .store NAME · .load NAME as NEW   WAL + buffer-pool round trip
 transactions (snapshot isolation, first committer wins):
@@ -950,6 +1089,7 @@ network (serve this session's txn store over TCP, or drive a remote one):
   .connect HOST:PORT          open a client session · .disconnect closes it
   .remote ping|begin|commit|abort
   .remote put NAME · .remote get NAME as NEW · .remote eval OP ...
+  .remote metrics [json] · .remote trace · .remote top [N] · .remote slow
   help · quit";
 
 #[cfg(test)]
@@ -1327,6 +1467,80 @@ mod tests {
         for cmd in [".serve", ".connect", ".disconnect", ".remote"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn top_and_slow_account_local_commands() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let a = {1, 2}");
+        run(&mut s, "let b = {2, 3}");
+        run(&mut s, "union a b");
+        // Every command landed a session-0 record with its word as detail.
+        let top = run(&mut s, ".top 500");
+        assert!(top.contains("shell(union)"), "{top}");
+        // Costs flow into the bill: an autocommitted .put appends to the WAL.
+        run(&mut s, ".put a");
+        let top = run(&mut s, ".top 500");
+        assert!(top.contains("shell(.put)"), "{top}");
+        assert!(top.contains("wal="), "{top}");
+        // Slow-log threshold arms, renders, and disarms.
+        assert!(run(&mut s, ".slow 250").contains("armed at 250 ms"));
+        let shown = run(&mut s, ".slow");
+        assert!(shown.contains("slow threshold: 250 ms"), "{shown}");
+        assert!(run(&mut s, ".slow off").contains("disabled"));
+        assert!(run(&mut s, ".slow").contains("disabled"), "disarmed");
+        assert!(s.eval_line(".top sideways").is_err());
+        assert!(s.eval_line(".slow sideways").is_err());
+    }
+
+    #[test]
+    fn trace_export_emits_schema_json() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, ".trace on");
+        xst_obs::collector().clear();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩}");
+        run(&mut s, ".explain union f {⟨c, z⟩}");
+        let json = run(&mut s, ".trace export");
+        assert!(json.contains("\"schema\":\"xst-trace/1\""), "{json}");
+        assert!(json.contains("shell.command"), "{json}");
+        assert!(json.contains("query.explain_analyze"), "{json}");
+        assert!(json.contains("\"trace_id\":\"0x"), "{json}");
+        // Export is non-draining: .trace show still sees the spans.
+        let shown = run(&mut s, ".trace show");
+        assert!(shown.contains("query.explain_analyze"), "{shown}");
+    }
+
+    #[test]
+    fn remote_observability_pulls() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩}");
+        let started = run(&mut s, ".serve start");
+        let addr = started
+            .split_whitespace()
+            .find(|w| w.contains(':'))
+            .unwrap()
+            .to_string();
+        run(&mut s, &format!(".connect {addr}"));
+        run(&mut s, ".put f");
+        let evaled = run(&mut s, ".remote eval union f f");
+        assert!(!evaled.is_empty());
+        let metrics = run(&mut s, ".remote metrics");
+        assert!(metrics.contains("# TYPE"), "{metrics}");
+        let json = run(&mut s, ".remote metrics json");
+        assert!(json.starts_with('{'), "{json}");
+        let trace = run(&mut s, ".remote trace");
+        assert!(trace.contains("\"schema\":\"xst-trace/1\""), "{trace}");
+        // The server's request log saw the eval, with its session id.
+        let top = run(&mut s, ".remote top 400");
+        assert!(top.contains("eval"), "{top}");
+        let slow = run(&mut s, ".remote slow");
+        assert!(!slow.is_empty(), "{slow}");
+        assert!(s.eval_line(".remote metrics sideways").is_err());
+        run(&mut s, ".disconnect");
+        run(&mut s, ".serve stop");
     }
 
     #[test]

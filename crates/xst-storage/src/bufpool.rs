@@ -525,6 +525,7 @@ impl BufferPool {
                 let page = Arc::clone(page);
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 shard.hits_metric.inc();
+                xst_obs::cost::add_pool_hit();
                 return Ok(page);
             }
         }
@@ -535,6 +536,7 @@ impl BufferPool {
         let page = Arc::new(with_retry(&self.retry, || self.storage.read_page(id))?);
         shard.misses.fetch_add(1, Ordering::Relaxed);
         shard.misses_metric.inc();
+        xst_obs::cost::add_pool_miss();
         let mut inner = shard.frames.lock();
         inner.tick += 1;
         let tick = inner.tick;

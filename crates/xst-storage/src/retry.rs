@@ -113,6 +113,7 @@ pub fn with_retry<T>(
             Err(e) if e.is_transient() && attempt < policy.max_attempts() => {
                 retries_total().inc();
                 backoff_hist().observe(policy.backoff_ns(attempt));
+                xst_obs::cost::add_retry();
                 attempt += 1;
             }
             Err(e) => {

@@ -431,6 +431,7 @@ impl TxnManager {
                     if let Some(op) = ops.iter().find(|op| v.writes.contains(op.record())) {
                         if xst_obs::enabled() {
                             txn_conflicts_total().inc();
+                            xst_obs::cost::add_conflict();
                         }
                         return Err(StorageError::TxnConflict {
                             table: name.clone(),

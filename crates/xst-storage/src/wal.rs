@@ -184,6 +184,7 @@ impl Wal {
             wal_append_hist().observe_since(t);
             wal_appends_total().inc();
             wal_bytes_total().add(payload.len() as u64);
+            xst_obs::cost::add_wal_append();
         }
     }
 
@@ -236,6 +237,7 @@ impl Wal {
         drop(inner);
         if let Some(t) = timer {
             wal_fsync_hist().observe_since(t);
+            xst_obs::cost::add_wal_fsync();
         }
         Ok(())
     }
