@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (E12–E17) are also
+//! Experiments that produce structured numbers (E12–E18) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -131,8 +131,18 @@ fn main() {
         json_entries.extend(entries);
     }
     if want("e17") {
-        let (n, requests, iters) = if quick { (500, 64, 9) } else { (2_000, 200, 15) };
+        let (n, requests, iters) = if quick {
+            (500, 64, 9)
+        } else {
+            (2_000, 200, 15)
+        };
         let (table, entries) = exp::e17_tracing_overhead(n, requests, iters);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if want("e18") {
+        let (n, iters) = if quick { (5_000, 9) } else { (50_000, 15) };
+        let (table, entries) = exp::e18_scatter_gather(n, iters, &[1, 2, 4]);
         print!("{table}");
         json_entries.extend(entries);
     }

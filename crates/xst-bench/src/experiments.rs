@@ -1754,10 +1754,145 @@ pub fn e17_tracing_overhead(
             overhead,
             &[(
                 "note",
-                "tracing on vs best tracing-off median; acceptance bar 1.05x"
+                "tracing on vs best tracing-off median; acceptance bar 1.05x".to_string(),
+            )],
+        ),
+    ];
+    (table, entries)
+}
+
+/// E18 — scatter-gather evaluation overhead. The sharding tentpole
+/// lowers every plan over per-shard fragments and gathers once at the
+/// root; the promise is that a 1-shard deployment pays for the routing
+/// arithmetic and the `Frag` bookkeeping, not an extra evaluation —
+/// the acceptance bar is 1.05× against the best whole-set run. Wider
+/// shard counts are reported for shape (on one core the zip kernels
+/// add per-fragment dispatch, so the interesting number is how flat
+/// the curve stays, not a speedup).
+pub fn e18_scatter_gather(
+    n: usize,
+    iters: usize,
+    shard_counts: &[usize],
+) -> (String, Vec<crate::report_json::BenchEntry>) {
+    use crate::report_json::BenchEntry;
+    use xst_core::ops::{partition_members, Parallelism};
+    use xst_query::{eval_parallel, eval_sharded, ShardedBindings};
+
+    let x = ExtendedSet::classical((0..n as i64).collect::<Vec<_>>());
+    let y = ExtendedSet::classical(((n / 2) as i64..(n + n / 2) as i64).collect::<Vec<_>>());
+    // Exercises the zip, fragment-vs-whole, and gather paths in one
+    // plan: (x ∩ y) ∪ (x ∖ y).
+    let plan = Expr::table("x")
+        .intersect(Expr::table("y"))
+        .union(Expr::table("x").difference(Expr::table("y")));
+    let par = Parallelism::sequential();
+    let whole: Bindings = [("x".to_string(), x.clone()), ("y".to_string(), y.clone())]
+        .into_iter()
+        .collect();
+    let envs: Vec<(usize, ShardedBindings)> = shard_counts
+        .iter()
+        .map(|&s| {
+            let env: ShardedBindings = [
+                ("x".to_string(), partition_members(&x, s)),
+                ("y".to_string(), partition_members(&y, s)),
+            ]
+            .into_iter()
+            .collect();
+            (s, env)
+        })
+        .collect();
+
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let time_whole = || -> u64 {
+        let start = Instant::now();
+        std::hint::black_box(eval_parallel(&plan, &whole, &par).unwrap());
+        start.elapsed().as_nanos() as u64
+    };
+    // Interleaved sampling, E17-style: each iteration takes one whole-A,
+    // one whole-B, and one sharded sample per shard count back to back,
+    // so a lost timeslice hits every series equally.
+    let expected = eval_parallel(&plan, &whole, &par).unwrap().0; // warm-up + oracle
+    let (mut whole_a, mut whole_b) = (Vec::new(), Vec::new());
+    let mut sharded: Vec<Vec<u64>> = vec![Vec::new(); envs.len()];
+    for _ in 0..iters {
+        whole_a.push(time_whole());
+        whole_b.push(time_whole());
+        for (series, (_, env)) in sharded.iter_mut().zip(&envs) {
+            let start = Instant::now();
+            let (got, _) = eval_sharded(&plan, env, &par).unwrap();
+            series.push(start.elapsed().as_nanos() as u64);
+            assert_eq!(got, expected, "scatter-gather must be exact");
+        }
+    }
+
+    let (a, b) = (median(whole_a), median(whole_b));
+    let best = a.min(b);
+    let noise = b as f64 / a as f64;
+    let mut t = TableBuilder::new(
+        "E18 scatter-gather eval overhead (median of iters)",
+        &["evaluator", "rows", "median ms", "vs whole (A)"],
+    );
+    for (label, ns) in [("whole-set (A)", a), ("whole-set (B)", b)] {
+        t.row(&[
+            label.into(),
+            n.to_string(),
+            format!("{:.3}", ns as f64 / 1e6),
+            format!("{:.3}x", ns as f64 / a as f64),
+        ]);
+    }
+    let meta = vec![
+        ("rows", n.to_string()),
+        ("iters", iters.to_string()),
+        ("plan", "(x∩y)∪(x∖y)".to_string()),
+    ];
+    let mut entries = vec![
+        BenchEntry::ns("e18_whole_eval_a", a, &meta),
+        BenchEntry::ns("e18_whole_eval_b", b, &meta),
+        BenchEntry::ratio(
+            "e18_whole_noise_floor",
+            noise,
+            &[(
+                "note",
+                "two interleaved whole-set runs; bounds what a ratio on this \
+                 box can resolve"
                     .to_string(),
             )],
         ),
     ];
+    let mut one_shard_ratio = None;
+    for (series, (s, _)) in sharded.iter().zip(&envs) {
+        let m = median(series.clone());
+        t.row(&[
+            format!("sharded ×{s}"),
+            n.to_string(),
+            format!("{:.3}", m as f64 / 1e6),
+            format!("{:.3}x", m as f64 / a as f64),
+        ]);
+        entries.push(BenchEntry::ns(format!("e18_sharded_eval_s{s}"), m, &meta));
+        if *s == 1 {
+            one_shard_ratio = Some(m as f64 / best as f64);
+        }
+    }
+    if let Some(r) = one_shard_ratio {
+        entries.push(BenchEntry::ratio(
+            "e18_merge_overhead_1shard",
+            r,
+            &[(
+                "note",
+                "sharded evaluator at 1 shard vs best whole-set median; \
+                 acceptance bar 1.05x"
+                    .to_string(),
+            )],
+        ));
+    }
+    let table = t.finish(
+        "whole(B)/whole(A) is the noise floor; sharded ×1 runs the full \
+              scatter-gather machinery (fragment bookkeeping + root gather) \
+              over a single fragment and must sit at that floor. Wider \
+              counts show the per-fragment dispatch cost on one core.",
+    );
     (table, entries)
 }

@@ -35,7 +35,9 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use xst_core::ExtendedSet;
 use xst_query::Expr;
-use xst_server::proto::{ErrorCode, Request, Response, WireError, MIN_PROTO_VERSION, PROTO_VERSION};
+use xst_server::proto::{
+    ErrorCode, Request, Response, WireError, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 use xst_server::wire::{read_frame, write_frame, FrameError};
 use xst_storage::{FaultKind, FaultSchedule};
 
@@ -243,9 +245,8 @@ impl Client {
     /// `req` in [`Request::Traced`] carrying the span's context, so the
     /// server's spans stitch under the same trace id.
     fn call(&mut self, req: Request) -> ClientResult<Response> {
-        let span = (self.tracing && self.version >= 2 && xst_obs::enabled()).then(|| {
-            xst_obs::span!("client.request", kind = req.kind_name())
-        });
+        let span = (self.tracing && self.version >= 2 && xst_obs::enabled())
+            .then(|| xst_obs::span!("client.request", kind = req.kind_name()));
         let timer = xst_obs::enabled().then(Instant::now);
         let resp = match span.as_ref().and_then(xst_obs::SpanGuard::context) {
             Some(ctx) => self.round_trip(&Request::Traced {

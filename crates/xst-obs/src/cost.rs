@@ -28,6 +28,11 @@
 use std::cell::{Cell, RefCell};
 use std::fmt;
 
+/// Shard slots a [`QueryCost`] attributes scatter-gather work to. Shard
+/// indexes at or above the last slot aggregate into it, so the struct
+/// stays `Copy` regardless of the engine's configured shard count.
+pub const SHARD_SLOTS: usize = 8;
+
 /// The itemized resource bill of one request.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct QueryCost {
@@ -49,6 +54,10 @@ pub struct QueryCost {
     pub eval_nodes: u64,
     /// Rows (set members) the query evaluator produced.
     pub rows_out: u64,
+    /// Scatter-gather fragment operations billed per shard (index =
+    /// shard id, last slot aggregates ids `>= SHARD_SLOTS - 1`), so one
+    /// wire request attributes its work to the shards that did it.
+    pub shard_ops: [u64; SHARD_SLOTS],
 }
 
 impl QueryCost {
@@ -63,7 +72,13 @@ impl QueryCost {
             conflicts: 0,
             eval_nodes: 0,
             rows_out: 0,
+            shard_ops: [0; SHARD_SLOTS],
         }
+    }
+
+    /// Total scatter-gather fragment operations across all shard slots.
+    pub fn shard_ops_total(&self) -> u64 {
+        self.shard_ops.iter().copied().sum()
     }
 
     /// True iff no component was charged.
@@ -82,6 +97,9 @@ impl QueryCost {
         self.conflicts = self.conflicts.saturating_add(other.conflicts);
         self.eval_nodes = self.eval_nodes.saturating_add(other.eval_nodes);
         self.rows_out = self.rows_out.saturating_add(other.rows_out);
+        for (slot, v) in self.shard_ops.iter_mut().zip(other.shard_ops.iter()) {
+            *slot = slot.saturating_add(*v);
+        }
     }
 }
 
@@ -107,6 +125,15 @@ impl fmt::Display for QueryCost {
                     f.write_str(" ")?;
                 }
                 write!(f, "{key}={v}")?;
+                wrote = true;
+            }
+        }
+        for (i, v) in self.shard_ops.iter().enumerate() {
+            if *v > 0 {
+                if wrote {
+                    f.write_str(" ")?;
+                }
+                write!(f, "s{i}={v}")?;
                 wrote = true;
             }
         }
@@ -247,6 +274,14 @@ pub fn add_eval(nodes: u64, rows: u64) {
     });
 }
 
+/// Charge one scatter-gather fragment operation executed on behalf of
+/// shard `shard` (slots above [`SHARD_SLOTS`]` - 1` aggregate into the
+/// last slot).
+#[inline]
+pub fn add_shard_op(shard: usize) {
+    tally(|c| c.shard_ops[shard.min(SHARD_SLOTS - 1)] += 1);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +345,24 @@ mod tests {
         c.pool_hits = 2;
         c.conflicts = 1;
         assert_eq!(c.to_string(), "pool_hit=2 conflict=1");
+        c.shard_ops[1] = 3;
+        assert_eq!(c.to_string(), "pool_hit=2 conflict=1 s1=3");
+    }
+
+    #[test]
+    fn shard_ops_attribute_and_clamp_to_the_last_slot() {
+        let _serial = obs_lock();
+        crate::enable();
+        let scope = begin();
+        add_shard_op(0);
+        add_shard_op(2);
+        add_shard_op(2);
+        add_shard_op(SHARD_SLOTS + 40); // beyond the slots: aggregates
+        let bill = scope.take();
+        assert_eq!(bill.shard_ops[0], 1);
+        assert_eq!(bill.shard_ops[2], 2);
+        assert_eq!(bill.shard_ops[SHARD_SLOTS - 1], 1);
+        assert_eq!(bill.shard_ops_total(), 4);
+        crate::disable();
     }
 }

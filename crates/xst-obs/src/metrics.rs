@@ -62,6 +62,38 @@ impl Gauge {
         }
     }
 
+    /// Add `delta` (negative to decrement) to the value atomically. Unlike
+    /// [`Gauge::set`], increments from independent owners compose — the
+    /// transaction layer uses this so one shared gauge stays coherent
+    /// across multiple managers. No-op while the collector is disabled.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.force_add(delta);
+    }
+
+    /// Add `delta` regardless of the collector switch. For the closing
+    /// half of paired inc/dec accounting: once an increment has been
+    /// applied, its matching decrement must land even if the collector
+    /// was disabled in between — dropping it would drift the gauge for
+    /// the rest of the process.
+    #[inline]
+    pub fn force_add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))

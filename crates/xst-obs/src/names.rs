@@ -103,6 +103,29 @@ pub const TXN_COMMIT_NS: &str = "xst_txn_commit_ns";
 /// (gauge; pins a snapshot identity each).
 pub const TXN_ACTIVE: &str = "xst_txn_active";
 
+/// Common prefix of every sharded-execution metric.
+pub const SHARD_PREFIX: &str = "xst_shard_";
+/// Shards configured on the serving engine (gauge).
+pub const SHARD_COUNT: &str = "xst_shard_count";
+/// Distributed transactions begun on a sharded engine.
+pub const SHARD_TXN_BEGINS_TOTAL: &str = "xst_shard_txn_begins_total";
+/// Distributed transactions committed via the single-shard fast path
+/// (one participant, no coordinator decision record needed).
+pub const SHARD_SINGLE_COMMITS_TOTAL: &str = "xst_shard_single_commits_total";
+/// Distributed transactions committed through full two-phase commit.
+pub const SHARD_2PC_COMMITS_TOTAL: &str = "xst_shard_2pc_commits_total";
+/// Two-phase commits aborted before their decision record became durable.
+pub const SHARD_2PC_ABORTS_TOTAL: &str = "xst_shard_2pc_aborts_total";
+/// Per-shard prepare flushes performed (one per participating shard).
+pub const SHARD_2PC_PREPARES_TOTAL: &str = "xst_shard_2pc_prepares_total";
+/// In-doubt prepared transactions resolved from the coordinator's
+/// decision record during recovery (committed or dropped).
+pub const SHARD_2PC_IN_DOUBT_RESOLVED_TOTAL: &str = "xst_shard_2pc_in_doubt_resolved_total";
+/// Scatter stage: per-shard fragment kernel dispatches.
+pub const SHARD_SCATTER_OPS_TOTAL: &str = "xst_shard_scatter_ops_total";
+/// Gather stage: ordered fragment merges performed.
+pub const SHARD_GATHER_MERGES_TOTAL: &str = "xst_shard_gather_merges_total";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -145,6 +168,15 @@ mod tests {
             super::TXN_CONFLICTS_TOTAL,
             super::TXN_COMMIT_NS,
             super::TXN_ACTIVE,
+            super::SHARD_COUNT,
+            super::SHARD_TXN_BEGINS_TOTAL,
+            super::SHARD_SINGLE_COMMITS_TOTAL,
+            super::SHARD_2PC_COMMITS_TOTAL,
+            super::SHARD_2PC_ABORTS_TOTAL,
+            super::SHARD_2PC_PREPARES_TOTAL,
+            super::SHARD_2PC_IN_DOUBT_RESOLVED_TOTAL,
+            super::SHARD_SCATTER_OPS_TOTAL,
+            super::SHARD_GATHER_MERGES_TOTAL,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for name in all {
@@ -160,5 +192,18 @@ mod tests {
             assert!(client.starts_with(super::CLIENT_PREFIX));
         }
         assert!(super::SERVER_TRACED_REQUESTS_TOTAL.starts_with(super::SERVER_PREFIX));
+        for shard in [
+            super::SHARD_COUNT,
+            super::SHARD_TXN_BEGINS_TOTAL,
+            super::SHARD_SINGLE_COMMITS_TOTAL,
+            super::SHARD_2PC_COMMITS_TOTAL,
+            super::SHARD_2PC_ABORTS_TOTAL,
+            super::SHARD_2PC_PREPARES_TOTAL,
+            super::SHARD_2PC_IN_DOUBT_RESOLVED_TOTAL,
+            super::SHARD_SCATTER_OPS_TOTAL,
+            super::SHARD_GATHER_MERGES_TOTAL,
+        ] {
+            assert!(shard.starts_with(super::SHARD_PREFIX), "{shard}");
+        }
     }
 }

@@ -103,15 +103,19 @@ impl RequestLog {
             return;
         }
         records_total().inc();
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // Retention is decided — and the counter bumped — under the same
+        // lock as the ring insertion, so `xst_reqlog_slow_total` always
+        // equals the number of records that actually entered the slow
+        // ring. Reading the threshold before the lock let a mid-flight
+        // `.slow off` (or a new threshold) race a record: the counter
+        // would reflect one decision and the ring the other.
         let threshold = self.slow_threshold_ns.load(Ordering::Relaxed);
         let is_slow = threshold > 0 && record.wall_ns >= threshold;
-        if is_slow {
-            slow_total().inc();
-        }
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         record.seq = st.next_seq;
         st.next_seq += 1;
         if is_slow {
+            slow_total().inc();
             if st.slow.len() >= RequestLog::SLOW_CAPACITY {
                 st.slow.pop_front();
             }
@@ -146,7 +150,13 @@ impl RequestLog {
     }
 
     /// Set the slow threshold in nanoseconds (0 disables the slow ring).
+    ///
+    /// Serialized against [`RequestLog::record`] via the state lock: once
+    /// this returns, every record that had already entered the slow ring
+    /// was counted, and no record observing the new threshold can land
+    /// under the old decision.
     pub fn set_slow_threshold_ns(&self, ns: u64) {
+        let _st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         self.slow_threshold_ns.store(ns, Ordering::Relaxed);
     }
 
@@ -272,6 +282,67 @@ mod tests {
         assert_eq!(slow.len(), 2);
         assert_eq!(slow[0].kind, "slower", "newest first");
         assert_eq!(slow[1].kind, "slow");
+        crate::disable();
+    }
+
+    #[test]
+    fn slow_counter_agrees_with_ring_insertions_across_threshold_changes() {
+        let _serial = obs_lock();
+        crate::enable();
+        let log = RequestLog::new();
+        let counted = |f: &dyn Fn()| {
+            let before = super::slow_total().get();
+            f();
+            super::slow_total().get() - before
+        };
+        log.set_slow_threshold_ns(1_000);
+        // A slow record while the ring is on: counted AND retained.
+        assert_eq!(counted(&|| log.record(rec("slow", 2_000))), 1);
+        assert_eq!(log.slow(10).len(), 1);
+        // `.slow off` then the same record: neither counted nor retained —
+        // the regression was counting before retention was decided, so a
+        // threshold change between the two left the counter ahead of the
+        // ring.
+        log.set_slow_threshold_ns(0);
+        assert_eq!(counted(&|| log.record(rec("slow", 2_000))), 0);
+        assert_eq!(log.slow(10).len(), 1, "ring did not grow");
+        // Re-arm with a higher bar: sub-threshold records stay uncounted.
+        log.set_slow_threshold_ns(5_000);
+        assert_eq!(counted(&|| log.record(rec("fast", 4_999))), 0);
+        assert_eq!(counted(&|| log.record(rec("slow", 5_000))), 1);
+        assert_eq!(log.slow(10).len(), 2);
+        // The invariant the fix enforces: counter delta == ring insertions.
+        crate::disable();
+    }
+
+    #[test]
+    fn concurrent_threshold_flips_never_desync_counter_and_ring() {
+        let _serial = obs_lock();
+        crate::enable();
+        let log = std::sync::Arc::new(RequestLog::new());
+        log.set_slow_threshold_ns(1);
+        let before = super::slow_total().get();
+        let flipper = {
+            let log = std::sync::Arc::clone(&log);
+            std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    log.set_slow_threshold_ns(if i % 2 == 0 { 0 } else { 1 });
+                }
+            })
+        };
+        // 100 < SLOW_CAPACITY, so nothing is ever evicted and the ring
+        // length equals the number of insertions.
+        for _ in 0..100 {
+            log.record(rec("maybe-slow", 10));
+        }
+        flipper.join().expect("flipper thread");
+        let counted = super::slow_total().get() - before;
+        let retained = log.slow(RequestLog::SLOW_CAPACITY).len() as u64;
+        assert_eq!(
+            counted, retained,
+            "every counted slow record must actually be in the ring"
+        );
+        log.set_slow_threshold_ns(0);
         crate::disable();
     }
 

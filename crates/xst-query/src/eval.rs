@@ -193,7 +193,7 @@ pub fn eval_parallel_unchecked(
 
 /// Run one kernel under the clock, crediting `kind`'s profile. `card` is
 /// the dominant-operand cardinality that decides the fan-out width.
-fn timed<F: FnOnce() -> ExtendedSet>(
+pub(crate) fn timed<F: FnOnce() -> ExtendedSet>(
     stats: &mut EvalStats,
     kind: OpKind,
     par: &Parallelism,

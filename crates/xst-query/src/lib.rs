@@ -27,6 +27,7 @@ pub mod explain;
 pub mod expr;
 pub mod optimizer;
 pub mod rules;
+pub mod sharded;
 
 pub use analysis::{check, env_for};
 pub use cost::{estimate, estimated_work, StatsSource, TableStats, DEFAULT_SELECTIVITY};
@@ -37,3 +38,4 @@ pub use explain::{explain_analyze, ExplainAnalyze, PlanNode};
 pub use expr::{Bindings, Expr};
 pub use optimizer::{explain, Optimizer, Trace, TraceEntry};
 pub use rules::{default_rules, spec_compose, Rule};
+pub use sharded::{eval_sharded, merge_bindings, ShardedBindings};

@@ -1,0 +1,485 @@
+//! Shard-aware plan lowering: evaluate an expression over per-shard
+//! fragments, scattering each operator and gathering once at the root.
+//!
+//! The input is a [`ShardedBindings`]: every table bound as the list of
+//! its per-shard fragments (pairwise disjoint, union = the table). The
+//! evaluator keeps intermediates **scattered** as long as the algebra
+//! allows and tracks one bit of provenance per intermediate — whether
+//! its partition is still *aligned* with the engine's member-hash
+//! routing:
+//!
+//! * table scans start aligned (the engine routed them by member hash);
+//! * subset-producing operators (union/intersect/difference/restrict)
+//!   preserve their carrier's alignment — every output member keeps the
+//!   identity it was routed by;
+//! * member-transforming operators (domain, image, relative product,
+//!   cross) emit *new* members, so their outputs are an arbitrary
+//!   partition (`aligned = false`) — still a valid fragmentation, just
+//!   not zip-safe.
+//!
+//! Zip lowerings (`⋃ᵢ Aᵢ∩Bᵢ`) need alignment on BOTH sides; when either
+//! side lost it, the evaluator falls back to the always-valid
+//! fragment-vs-whole lowering (`⋃ᵢ Aᵢ∩B`) instead of silently dropping
+//! members. Union zips for any equal-count partition. The result is
+//! **identical** to single-set evaluation on every plan — the
+//! differential tests below drive both evaluators over the same inputs.
+//!
+//! The static-analysis gate runs once against the *merged* bindings:
+//! analysis facts are properties of whole tables, and the merge is exact,
+//! so gating on the union neither over- nor under-rejects.
+
+use crate::eval::{timed, EvalStats, OpKind};
+use crate::expr::{Bindings, Expr};
+use std::collections::BTreeMap;
+use xst_core::ops::{
+    cross, gather, par_intersection, par_union, scatter_difference_whole, scatter_image,
+    scatter_intersection_whole, scatter_relative_product, scatter_restrict, scatter_union,
+    scatter_zip_difference, scatter_zip_intersection, sigma_domain, Parallelism,
+};
+use xst_core::{ExtendedSet, XstError, XstResult};
+
+/// Every table bound as its per-shard fragment list, in shard order.
+pub type ShardedBindings = BTreeMap<String, Vec<ExtendedSet>>;
+
+/// Merge sharded bindings into whole-table [`Bindings`] (for the
+/// analysis gate, or to hand a sharded environment to a single-set
+/// consumer). Exact: gather is ordered union over disjoint fragments.
+pub fn merge_bindings(sharded: &ShardedBindings) -> Bindings {
+    sharded
+        .iter()
+        .map(|(name, frags)| (name.clone(), gather(frags)))
+        .collect()
+}
+
+/// An intermediate during sharded evaluation.
+enum Frag {
+    /// Merged to a single set (literals, member-transforming results
+    /// that a later operator needed whole).
+    Whole(ExtendedSet),
+    /// Still scattered across shards.
+    Sharded {
+        parts: Vec<ExtendedSet>,
+        /// Partitioned by the engine's member-hash routing (zip-safe)?
+        aligned: bool,
+    },
+}
+
+impl Frag {
+    fn card(&self) -> usize {
+        match self {
+            Frag::Whole(s) => s.card(),
+            Frag::Sharded { parts, .. } => parts.iter().map(ExtendedSet::card).sum(),
+        }
+    }
+
+    /// Merge to a single set (gather if scattered).
+    fn into_whole(self) -> ExtendedSet {
+        match self {
+            Frag::Whole(s) => s,
+            Frag::Sharded { parts, .. } => gather(&parts),
+        }
+    }
+}
+
+/// Evaluate `expr` over per-shard fragments, gathering once at the root.
+/// Semantically identical to [`crate::eval::eval_parallel`] on the
+/// merged bindings; the scatter keeps per-operator work partitioned by
+/// shard (and attributes it per shard in the ambient
+/// [`xst_obs::cost::QueryCost`] scope).
+pub fn eval_sharded(
+    expr: &Expr,
+    bindings: &ShardedBindings,
+    par: &Parallelism,
+) -> XstResult<(ExtendedSet, EvalStats)> {
+    let merged = merge_bindings(bindings);
+    crate::analysis::gate(expr, &merged)?;
+    // Same root span name as the whole-set evaluator: consumers of the
+    // trace see one `query.eval` per query regardless of sharding.
+    let mut span = xst_obs::span!("query.eval", threads = par.threads);
+    let mut stats = EvalStats::default();
+    let frag = eval_frag(expr, bindings, &mut stats, par)?;
+    let result = frag.into_whole();
+    if span.id().is_some() {
+        let shards = bindings.values().map(Vec::len).max().unwrap_or(1);
+        span.attr("shards", shards);
+        span.attr("nodes", stats.nodes);
+        span.attr("rows_out", result.card());
+    }
+    xst_obs::cost::add_eval(stats.nodes, result.card() as u64);
+    if !matches!(expr, Expr::Literal(_) | Expr::Table(_)) {
+        stats.intermediate_members -= result.card() as u64;
+    }
+    stats.result_members = result.card() as u64;
+    Ok((result, stats))
+}
+
+/// [`timed`] for kernels that produce a fragment list: same per-family
+/// profile accounting, rows_out = total members across fragments.
+fn timed_parts<F: FnOnce() -> Vec<ExtendedSet>>(
+    stats: &mut EvalStats,
+    kind: OpKind,
+    par: &Parallelism,
+    card: usize,
+    run: F,
+) -> Vec<ExtendedSet> {
+    let mut span = xst_obs::SpanGuard::new(kind.span_name());
+    let started = std::time::Instant::now();
+    let out = run();
+    if span.id().is_some() {
+        span.attr("card_in", card);
+        span.attr("rows_out", out.iter().map(ExtendedSet::card).sum::<usize>());
+    }
+    drop(span);
+    let slot = &mut stats.per_op[kind as usize];
+    slot.invocations += 1;
+    slot.wall_nanos += started.elapsed().as_nanos() as u64;
+    let width = if par.should_parallelize(card) {
+        par.threads as u32
+    } else {
+        1
+    };
+    slot.max_threads = slot.max_threads.max(width);
+    out
+}
+
+/// Zip-compatible: both scattered, same fragment count, both aligned.
+fn zippable(a: &Frag, b: &Frag) -> bool {
+    match (a, b) {
+        (
+            Frag::Sharded {
+                parts: pa,
+                aligned: la,
+            },
+            Frag::Sharded {
+                parts: pb,
+                aligned: lb,
+            },
+        ) => *la && *lb && pa.len() == pb.len(),
+        _ => false,
+    }
+}
+
+fn eval_frag(
+    expr: &Expr,
+    bindings: &ShardedBindings,
+    stats: &mut EvalStats,
+    par: &Parallelism,
+) -> XstResult<Frag> {
+    let result = match expr {
+        Expr::Literal(s) => Frag::Whole(s.clone()),
+        Expr::Table(name) => {
+            let parts = bindings
+                .get(name)
+                .cloned()
+                .ok_or_else(|| XstError::NotComposable {
+                    reason: format!("unbound table {name}"),
+                })?;
+            Frag::Sharded {
+                parts,
+                aligned: true,
+            }
+        }
+        Expr::Union(a, b) => {
+            let x = eval_frag(a, bindings, stats, par)?;
+            let y = eval_frag(b, bindings, stats, par)?;
+            let card = x.card() + y.card();
+            // Union zips for ANY equal-count partition; alignment of the
+            // result holds only if both inputs were aligned.
+            match (x, y) {
+                (
+                    Frag::Sharded {
+                        parts: pa,
+                        aligned: la,
+                    },
+                    Frag::Sharded {
+                        parts: pb,
+                        aligned: lb,
+                    },
+                ) if pa.len() == pb.len() => {
+                    let parts = timed_parts(stats, OpKind::Union, par, card, || {
+                        scatter_union(&pa, &pb, par)
+                    });
+                    count_intermediate(stats, &parts);
+                    return Ok(Frag::Sharded {
+                        parts,
+                        aligned: la && lb,
+                    });
+                }
+                (x, y) => {
+                    let (xs, ys) = (x.into_whole(), y.into_whole());
+                    Frag::Whole(timed(stats, OpKind::Union, par, card, || {
+                        par_union(&xs, &ys, par)
+                    }))
+                }
+            }
+        }
+        Expr::Intersect(a, b) => {
+            let x = eval_frag(a, bindings, stats, par)?;
+            let y = eval_frag(b, bindings, stats, par)?;
+            let card = x.card() + y.card();
+            if zippable(&x, &y) {
+                let (Frag::Sharded { parts: pa, .. }, Frag::Sharded { parts: pb, .. }) = (x, y)
+                else {
+                    unreachable!("zippable checked the variants");
+                };
+                let parts = timed_parts(stats, OpKind::Intersect, par, card, || {
+                    scatter_zip_intersection(&pa, &pb, par)
+                });
+                count_intermediate(stats, &parts);
+                return Ok(Frag::Sharded {
+                    parts,
+                    aligned: true,
+                });
+            }
+            // Fragment-vs-whole: valid for any partition of the carrier
+            // (intersection commutes, so either scattered side carries).
+            match (x, y) {
+                (Frag::Sharded { parts, aligned }, other)
+                | (other, Frag::Sharded { parts, aligned }) => {
+                    let whole = other.into_whole();
+                    let out = timed_parts(stats, OpKind::Intersect, par, card, || {
+                        scatter_intersection_whole(&parts, &whole, par)
+                    });
+                    count_intermediate(stats, &out);
+                    return Ok(Frag::Sharded {
+                        parts: out,
+                        aligned,
+                    });
+                }
+                (x, y) => {
+                    let (xs, ys) = (x.into_whole(), y.into_whole());
+                    Frag::Whole(timed(stats, OpKind::Intersect, par, card, || {
+                        par_intersection(&xs, &ys, par)
+                    }))
+                }
+            }
+        }
+        Expr::Difference(a, b) => {
+            let x = eval_frag(a, bindings, stats, par)?;
+            let y = eval_frag(b, bindings, stats, par)?;
+            let seq = Parallelism::sequential();
+            if zippable(&x, &y) {
+                let (Frag::Sharded { parts: pa, .. }, Frag::Sharded { parts: pb, .. }) = (x, y)
+                else {
+                    unreachable!("zippable checked the variants");
+                };
+                let parts = timed_parts(stats, OpKind::Difference, &seq, 0, || {
+                    scatter_zip_difference(&pa, &pb)
+                });
+                count_intermediate(stats, &parts);
+                return Ok(Frag::Sharded {
+                    parts,
+                    aligned: true,
+                });
+            }
+            match x {
+                // Difference is NOT commutative: only the left side may
+                // stay scattered.
+                Frag::Sharded { parts, aligned } => {
+                    let whole = y.into_whole();
+                    let out = timed_parts(stats, OpKind::Difference, &seq, 0, || {
+                        scatter_difference_whole(&parts, &whole)
+                    });
+                    count_intermediate(stats, &out);
+                    return Ok(Frag::Sharded {
+                        parts: out,
+                        aligned,
+                    });
+                }
+                x => {
+                    let (xs, ys) = (x.into_whole(), y.into_whole());
+                    Frag::Whole(timed(stats, OpKind::Difference, &seq, 0, || {
+                        xst_core::ops::difference(&xs, &ys)
+                    }))
+                }
+            }
+        }
+        Expr::Restrict { r, sigma, a } => {
+            let rf = eval_frag(r, bindings, stats, par)?;
+            let av = eval_frag(a, bindings, stats, par)?.into_whole();
+            let card = rf.card();
+            match rf {
+                Frag::Sharded { parts, aligned } => {
+                    let out = timed_parts(stats, OpKind::Restrict, par, card, || {
+                        scatter_restrict(&parts, sigma, &av, par)
+                    });
+                    count_intermediate(stats, &out);
+                    // Restriction outputs a subset of its carrier
+                    // fragment: alignment survives.
+                    return Ok(Frag::Sharded {
+                        parts: out,
+                        aligned,
+                    });
+                }
+                Frag::Whole(rs) => Frag::Whole(timed(stats, OpKind::Restrict, par, card, || {
+                    xst_core::ops::par_sigma_restrict(&rs, sigma, &av, par)
+                })),
+            }
+        }
+        Expr::Domain { r, sigma } => {
+            // σ-domain transforms members; evaluate whole (the gather is
+            // exact, and the op is cheap relative to its carriers).
+            let rs = eval_frag(r, bindings, stats, par)?.into_whole();
+            Frag::Whole(timed(
+                stats,
+                OpKind::Domain,
+                &Parallelism::sequential(),
+                0,
+                || sigma_domain(&rs, sigma),
+            ))
+        }
+        Expr::Image { r, a, scope } => {
+            let rf = eval_frag(r, bindings, stats, par)?;
+            let av = eval_frag(a, bindings, stats, par)?.into_whole();
+            let card = rf.card();
+            match rf {
+                Frag::Sharded { parts, .. } => {
+                    let out = timed_parts(stats, OpKind::Image, par, card, || {
+                        scatter_image(&parts, &av, scope, par)
+                    });
+                    count_intermediate(stats, &out);
+                    // Image re-scopes members: the output partition is
+                    // arbitrary, not member-hash aligned.
+                    return Ok(Frag::Sharded {
+                        parts: out,
+                        aligned: false,
+                    });
+                }
+                Frag::Whole(rs) => Frag::Whole(timed(stats, OpKind::Image, par, card, || {
+                    xst_core::ops::par_image(&rs, &av, scope, par)
+                })),
+            }
+        }
+        Expr::RelProduct { f, sigma, g, omega } => {
+            let ff = eval_frag(f, bindings, stats, par)?;
+            let gs = eval_frag(g, bindings, stats, par)?.into_whole();
+            let card = ff.card();
+            match ff {
+                Frag::Sharded { parts, .. } => {
+                    let out = timed_parts(stats, OpKind::RelProduct, par, card, || {
+                        scatter_relative_product(&parts, sigma, &gs, omega, par)
+                    });
+                    count_intermediate(stats, &out);
+                    return Ok(Frag::Sharded {
+                        parts: out,
+                        aligned: false,
+                    });
+                }
+                Frag::Whole(fs) => Frag::Whole(timed(stats, OpKind::RelProduct, par, card, || {
+                    xst_core::ops::par_relative_product(&fs, sigma, &gs, omega, par)
+                })),
+            }
+        }
+        Expr::Cross(a, b) => {
+            // `⊗` concatenates tuples — inherently whole-vs-whole.
+            let xs = eval_frag(a, bindings, stats, par)?.into_whole();
+            let ys = eval_frag(b, bindings, stats, par)?.into_whole();
+            let out = cross(&xs, &ys)?;
+            let slot = &mut stats.per_op[OpKind::Cross as usize];
+            slot.invocations += 1;
+            slot.max_threads = slot.max_threads.max(1);
+            Frag::Whole(out)
+        }
+    };
+    stats.nodes += 1;
+    if !matches!(expr, Expr::Literal(_) | Expr::Table(_)) {
+        stats.intermediate_members += result.card() as u64;
+    }
+    Ok(result)
+}
+
+/// Book-keep a scattered intermediate the way the whole-set evaluator
+/// books a materialized one, and close out the node count (the scattered
+/// arms return early, so they do their own accounting here).
+fn count_intermediate(stats: &mut EvalStats, parts: &[ExtendedSet]) {
+    stats.nodes += 1;
+    stats.intermediate_members += parts.iter().map(|p| p.card() as u64).sum::<u64>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_parallel;
+    use proptest::prelude::*;
+    use xst_core::ops::partition_members;
+    use xst_core::{Scope, SetBuilder, Value};
+
+    fn rel(ks: &[(i64, i64)]) -> ExtendedSet {
+        let mut b = SetBuilder::new();
+        for (x, y) in ks {
+            b.scoped(Value::Int(*y), Value::Int(*x));
+        }
+        b.build()
+    }
+
+    fn shard_env(tables: &[(&str, &ExtendedSet)], shards: usize) -> ShardedBindings {
+        tables
+            .iter()
+            .map(|(n, s)| (n.to_string(), partition_members(s, shards)))
+            .collect()
+    }
+
+    /// A family of plans exercising every operator family, including
+    /// zip, fragment-vs-whole, alignment-loss (image feeding intersect),
+    /// and whole-only (cross) paths.
+    fn plans() -> Vec<Expr> {
+        let sigma = Scope::pairs();
+        vec![
+            Expr::table("x").union(Expr::table("y")),
+            Expr::table("x").intersect(Expr::table("y")),
+            Expr::table("x").difference(Expr::table("y")),
+            Expr::table("x")
+                .union(Expr::table("y"))
+                .intersect(Expr::table("x")),
+            Expr::table("x")
+                .image(Expr::table("k"), sigma.clone())
+                .intersect(Expr::table("y")),
+            Expr::table("x")
+                .image(Expr::table("k"), sigma.clone())
+                .union(Expr::table("y").image(Expr::table("k"), sigma.clone())),
+            Expr::table("x").rel_product(sigma.clone(), Expr::table("y"), Scope::pairs_inverse()),
+            Expr::table("x")
+                .difference(Expr::table("y"))
+                .union(Expr::table("y").difference(Expr::table("x"))),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn sharded_eval_matches_whole_eval(
+            xs in proptest::collection::vec((0i64..40, 0i64..40), 0..30),
+            ys in proptest::collection::vec((0i64..40, 0i64..40), 0..30),
+            ks in proptest::collection::vec(0i64..40, 0..8),
+            shards in 1usize..5,
+        ) {
+            let x = rel(&xs);
+            let y = rel(&ys);
+            let k = ExtendedSet::classical(ks.into_iter().map(Value::Int));
+            let par = Parallelism::sequential();
+            let sharded = shard_env(&[("x", &x), ("y", &y), ("k", &k)], shards);
+            let merged = merge_bindings(&sharded);
+            for plan in plans() {
+                let (whole, _) = eval_parallel(&plan, &merged, &par).unwrap();
+                let (scattered, stats) = eval_sharded(&plan, &sharded, &par).unwrap();
+                prop_assert_eq!(&scattered, &whole, "plan {:?} diverged", plan);
+                prop_assert!(stats.nodes > 0);
+                prop_assert_eq!(stats.result_members, whole.card() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn unbound_table_is_rejected_by_the_gate() {
+        let env = ShardedBindings::new();
+        let err = eval_sharded(&Expr::table("nope"), &env, &Parallelism::sequential());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn merge_bindings_is_exact() {
+        let x = rel(&[(1, 2), (3, 4), (5, 6), (7, 8)]);
+        let sharded = shard_env(&[("x", &x)], 3);
+        let merged = merge_bindings(&sharded);
+        assert_eq!(merged.get("x"), Some(&x));
+    }
+}

@@ -294,9 +294,9 @@ impl Request {
     /// names, if any.
     pub fn detail(&self) -> String {
         match self {
-            Request::Put { table, .. }
-            | Request::Delete { table, .. }
-            | Request::Get { table } => table.clone(),
+            Request::Put { table, .. } | Request::Delete { table, .. } | Request::Get { table } => {
+                table.clone()
+            }
             Request::Traced { req, .. } => req.detail(),
             _ => String::new(),
         }

@@ -1,14 +1,20 @@
 //! Per-connection sessions over a shared [`ServedEngine`].
 //!
-//! One [`Session`] exists per admitted connection. Every session holds at
-//! most one open [`Txn`] against the engine's shared [`TxnManager`] —
-//! *shared* is the point: first-committer-wins conflicts between clients
-//! are real conflicts on one version chain, not artifacts of separate
-//! databases. Outside an explicit `Begin`, writes autocommit (each
-//! request is its own transaction), mirroring the shell. A session that
-//! ends for any reason — clean close, truncated stream, I/O error —
-//! aborts its open transaction, so a dead client can never pin a
-//! snapshot.
+//! One [`Session`] exists per admitted connection. Every session holds
+//! at most one open [`ShardedTxn`] against the engine's shared
+//! [`ShardedEngine`] — *shared* is the point: first-committer-wins
+//! conflicts between clients are real conflicts on one version chain,
+//! not artifacts of separate databases. Outside an explicit `Begin`,
+//! writes autocommit (each request is its own transaction), mirroring
+//! the shell. A session that ends for any reason — clean close,
+//! truncated stream, I/O error — aborts its open transaction, so a dead
+//! client can never pin a snapshot.
+//!
+//! The engine is sharded ([`ServedEngine::with_shards`]); the default
+//! single-shard deployment behaves exactly like the pre-sharding engine
+//! (one write path, one WAL flush per commit). Queries evaluate by
+//! scatter-gather over per-shard table fragments, and multi-shard
+//! commits run two-phase commit under the engine's coordinator.
 //!
 //! Request handling is total: every failure maps to a
 //! [`Response::Error`] with a machine-readable [`ErrorCode`], and the
@@ -18,16 +24,15 @@
 //! the wire image of [`StorageError::TxnConflict`].
 
 use crate::proto::{ErrorCode, Request, Response, WireError, PROTO_VERSION};
-use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
-use xst_obs::{registry, Counter};
 use xst_core::ops::Parallelism;
 use xst_core::{ExtendedSet, SetBuilder, XstError};
-use xst_query::{eval_parallel, explain_analyze, Bindings, Expr};
+use xst_obs::{registry, Counter};
+use xst_query::{eval_sharded, explain_analyze, merge_bindings, Bindings, Expr, ShardedBindings};
 use xst_storage::{
-    FaultKind, FaultPlan, FaultSchedule, Record, Schema, Storage, StorageError, Txn, TxnManager,
-    Wal,
+    FaultKind, FaultSchedule, Record, Schema, ShardedEngine, ShardedTxn, Storage, StorageError,
+    TxnManager, Wal,
 };
 
 /// Schema of every served table: one row per set member, element and
@@ -62,90 +67,99 @@ pub fn records_identity_to_set(identity: &ExtendedSet) -> Result<ExtendedSet, St
     Ok(b.build())
 }
 
-/// The one engine a server instance serves: storage, WAL, and the shared
-/// transaction manager, plus the armable deterministic fault plan that
-/// lets the crash battery reach the engine's I/O sites across the wire.
+/// The one engine a server instance serves: a [`ShardedEngine`]
+/// (storage, WAL, transaction manager, and 2PC coordinator per shard),
+/// plus the armable deterministic fault plan that lets the crash battery
+/// reach the engine's I/O sites across the wire.
 pub struct ServedEngine {
-    storage: Storage,
-    wal: Wal,
-    mgr: TxnManager,
-    faults: Mutex<Option<FaultPlan>>,
+    sharded: ShardedEngine,
 }
 
 impl ServedEngine {
-    /// A fresh engine over a fresh simulated disk.
+    /// A fresh single-shard engine over a fresh simulated disk — the
+    /// pre-sharding serving behavior, one write path and one WAL flush
+    /// per commit.
     pub fn new() -> ServedEngine {
-        let storage = Storage::new();
-        let wal = Wal::new();
-        let mgr = TxnManager::new(&storage, wal.clone());
+        ServedEngine::with_shards(1)
+    }
+
+    /// A fresh engine over `shards` independent engine+WAL pairs; writes
+    /// route by member hash, queries scatter-gather, and multi-shard
+    /// commits run two-phase commit.
+    pub fn with_shards(shards: usize) -> ServedEngine {
         ServedEngine {
-            storage,
-            wal,
-            mgr,
-            faults: Mutex::new(None),
+            sharded: ShardedEngine::with_shards(shards),
         }
     }
 
-    /// The shared transaction manager (every session's txns come from
+    /// The sharded engine underneath (every session's txns come from
     /// here; its gauges are how tests observe snapshot-pinning leaks).
+    pub fn sharded(&self) -> &ShardedEngine {
+        &self.sharded
+    }
+
+    /// Number of shards this engine partitions tables across.
+    pub fn shard_count(&self) -> usize {
+        self.sharded.shard_count()
+    }
+
+    /// Shard 0's transaction manager — the whole engine on the default
+    /// single-shard deployment. Kept for tests and tools that inspect
+    /// the manager directly.
     pub fn mgr(&self) -> &TxnManager {
-        &self.mgr
+        self.sharded.shard_mgr(0)
     }
 
-    /// The simulated disk under the engine.
+    /// Shard 0's simulated disk (the whole disk when single-shard).
     pub fn storage(&self) -> &Storage {
-        &self.storage
+        self.sharded.shard_storage(0)
     }
 
-    /// The engine's WAL handle.
+    /// Shard 0's WAL handle (the whole WAL when single-shard).
     pub fn wal(&self) -> &Wal {
-        &self.wal
+        self.sharded.shard_wal(0)
     }
 
     /// Create `name` with the served [`member_schema`] if it does not
     /// exist yet (first `Put` wins; concurrent creates are benign).
     pub fn ensure_table(&self, name: &str) {
-        let _ = self.mgr.create_table(name, member_schema());
+        let _ = self.sharded.create_table(name, member_schema());
     }
 
-    /// Arm a deterministic fault plan on the engine's storage *and* WAL
-    /// (one shared site counter, as in the in-process crash harnesses).
+    /// Arm a deterministic fault plan on every shard's storage *and* WAL
+    /// plus the coordinator's (one shared site counter, as in the
+    /// in-process crash harnesses).
     pub fn arm_faults(&self, schedule: FaultSchedule, kind: FaultKind) {
-        let plan = FaultPlan::new(schedule, kind);
-        self.storage.install_faults(&plan);
-        self.wal.install_faults(&plan);
-        *self.faults.lock() = Some(plan);
+        self.sharded.arm_faults(schedule, kind);
     }
 
     /// Disarm and drop any armed plan.
     pub fn clear_faults(&self) {
-        self.storage.clear_faults();
-        self.wal.clear_faults();
-        *self.faults.lock() = None;
+        self.sharded.clear_faults();
     }
 
     /// Is a fault plan currently armed?
     pub fn faults_armed(&self) -> bool {
-        self.faults.lock().is_some()
+        self.sharded.faults_armed()
     }
 
     /// Faults injected by the armed plan so far, if any.
     pub fn faults_injected(&self) -> u64 {
-        self.faults
-            .lock()
-            .as_ref()
-            .map(|p| p.injected_count())
-            .unwrap_or(0)
+        self.sharded.faults_injected()
     }
 
     /// Crash-test helper: clear faults, drop unacknowledged staged WAL
-    /// state (the crash), and rebuild a manager from durable state alone.
-    /// What this returns is what a post-crash restart would see.
-    pub fn recover(&self, catalog: &[(&str, Schema)]) -> Result<TxnManager, StorageError> {
-        self.storage.clear_faults();
-        self.wal.clear_faults();
-        self.wal.drop_staged();
-        TxnManager::recover(&self.storage, self.wal.clone(), Wal::new(), catalog)
+    /// state on every device (the crash), and rebuild an engine from
+    /// durable state alone — in-doubt prepares resolved against the
+    /// coordinator's decision log. What this returns is what a
+    /// post-crash restart would see. `catalog` registers any tables the
+    /// engine was never told about in-process (registration is
+    /// in-memory metadata, so re-registering is benign).
+    pub fn recover(&self, catalog: &[(&str, Schema)]) -> Result<ShardedEngine, StorageError> {
+        for (name, schema) in catalog {
+            let _ = self.sharded.create_table(name, schema.clone());
+        }
+        self.sharded.recover()
     }
 }
 
@@ -197,7 +211,7 @@ fn traced_requests_total() -> &'static Arc<Counter> {
 /// open transaction.
 pub struct Session {
     engine: Arc<ServedEngine>,
-    open: Option<Txn>,
+    open: Option<ShardedTxn>,
     /// Diagnostic session id carried into spans and the request log
     /// (0 = not a served connection).
     id: u64,
@@ -237,25 +251,22 @@ impl Session {
         }
     }
 
-    /// Bind every table `expr` names to the session's visible identity:
-    /// the open transaction's snapshot (plus its own writes) if one is
-    /// open, else the latest commit. Unknown tables stay unbound so the
-    /// static-analysis gate reports them as structured diagnostics.
-    fn bindings_for(&mut self, expr: &Expr) -> Result<Bindings, Response> {
+    /// Bind every table `expr` names to the session's visible per-shard
+    /// fragments: the open transaction's snapshot (plus its own writes)
+    /// if one is open, else the latest commit. Unknown tables stay
+    /// unbound so the static-analysis gate reports them as structured
+    /// diagnostics.
+    fn fragments_for(&mut self, expr: &Expr) -> Result<ShardedBindings, Response> {
         let names: Vec<String> = expr.tables().iter().map(|n| n.to_string()).collect();
-        let mut b = Bindings::new();
+        let mut b = ShardedBindings::new();
         for name in names {
-            let identity = match &mut self.open {
-                Some(txn) => txn.read_identity(&name),
-                None => self
-                    .engine
-                    .mgr
-                    .latest_identity(&name)
-                    .map(|arc| (*arc).clone()),
+            let frags = match &mut self.open {
+                Some(txn) => txn.read_fragments(&name),
+                None => self.engine.sharded.latest_fragments(&name),
             };
-            match identity {
-                Ok(set) => {
-                    b.insert(name, set);
+            match frags {
+                Ok(parts) => {
+                    b.insert(name, parts);
                 }
                 Err(StorageError::SchemaMismatch { .. }) => {} // unbound: the gate reports it
                 Err(e) => return Err(storage_error(e)),
@@ -264,12 +275,18 @@ impl Session {
         Ok(b)
     }
 
+    /// The gathered (whole-set) bindings, for paths that need unsharded
+    /// views (static checks, `EXPLAIN ANALYZE`).
+    fn bindings_for(&mut self, expr: &Expr) -> Result<Bindings, Response> {
+        Ok(merge_bindings(&self.fragments_for(expr)?))
+    }
+
     fn eval(&mut self, expr: Expr) -> Response {
-        let b = match self.bindings_for(&expr) {
+        let b = match self.fragments_for(&expr) {
             Ok(b) => b,
             Err(resp) => return resp,
         };
-        match eval_parallel(&expr, &b, &Parallelism::sequential()) {
+        match eval_sharded(&expr, &b, &Parallelism::sequential()) {
             Ok((set, _stats)) => Response::Value { set },
             Err(e) => xst_error(e),
         }
@@ -309,7 +326,7 @@ impl Session {
         if self.open.is_some() {
             return txn_state_error("a transaction is already open (commit or abort it)");
         }
-        let txn = self.engine.mgr.begin();
+        let txn = self.engine.sharded.begin();
         let resp = Response::TxnBegun {
             id: txn.id(),
             snapshot_ts: txn.begin_ts(),
@@ -351,7 +368,7 @@ impl Session {
                     autocommit_ts: None,
                 }
             }
-            None => match self.engine.mgr.autocommit_insert(&table, &records) {
+            None => match self.engine.sharded.autocommit_insert(&table, &records) {
                 Ok(ts) => Response::Applied {
                     rows: records.len() as u64,
                     autocommit_ts: Some(ts),
@@ -376,7 +393,7 @@ impl Session {
                 }
             }
             None => {
-                let mut txn = self.engine.mgr.begin();
+                let mut txn = self.engine.sharded.begin();
                 for r in &records {
                     if let Err(e) = txn.delete(&table, r.clone()) {
                         txn.abort();
@@ -397,11 +414,7 @@ impl Session {
     fn get(&mut self, table: String) -> Response {
         let identity = match &mut self.open {
             Some(txn) => txn.read_identity(&table),
-            None => self
-                .engine
-                .mgr
-                .latest_identity(&table)
-                .map(|arc| (*arc).clone()),
+            None => self.engine.sharded.latest_identity(&table),
         };
         match identity {
             Ok(set) => Response::Value { set },
@@ -459,7 +472,7 @@ impl Session {
         let timer = xst_obs::enabled().then(Instant::now);
         let costs = xst_obs::cost::begin();
         let span = xst_obs::span!("session.request", session = self.id, kind = kind);
-        let txn_before = self.open.as_ref().map(Txn::id);
+        let txn_before = self.open.as_ref().map(ShardedTxn::id);
         let resp = self.handle(req);
         let trace_id = span.trace_id().unwrap_or(0);
         drop(span);
@@ -468,7 +481,7 @@ impl Session {
             xst_obs::request_log().record(xst_obs::RequestRecord {
                 seq: 0,
                 session: self.id,
-                txn: txn_before.or_else(|| self.open.as_ref().map(Txn::id)),
+                txn: txn_before.or_else(|| self.open.as_ref().map(ShardedTxn::id)),
                 kind,
                 detail,
                 trace_id,
@@ -627,6 +640,58 @@ mod tests {
         };
         assert_eq!(e.code, ErrorCode::Analysis);
         assert!(e.message.contains("unbound-table"), "{}", e.message);
+    }
+
+    #[test]
+    fn multi_shard_engine_serves_the_same_answers_as_single_shard() {
+        let sharded = Arc::new(ServedEngine::with_shards(3));
+        let plain = Arc::new(ServedEngine::new());
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(plain.shard_count(), 1);
+        let nums = |range: &mut dyn Iterator<Item = i64>| {
+            let mut b = SetBuilder::new();
+            for k in range {
+                b.classical_elem(k);
+            }
+            b.build()
+        };
+        let big = nums(&mut (0..64));
+        let odd = nums(&mut (0..64).filter(|k| k % 2 == 1));
+        for engine in [&sharded, &plain] {
+            let mut s = Session::new(Arc::clone(engine));
+            s.handle(Request::Put {
+                table: "big".into(),
+                set: big.clone(),
+            });
+            s.handle(Request::Begin);
+            s.handle(Request::Put {
+                table: "odd".into(),
+                set: odd.clone(),
+            });
+            assert!(matches!(
+                s.handle(Request::Commit),
+                Response::Committed { .. }
+            ));
+        }
+        let expr = Expr::table("big").intersect(Expr::table("odd"));
+        let mut answers = Vec::new();
+        for engine in [&sharded, &plain] {
+            let mut s = Session::new(Arc::clone(engine));
+            let Response::Value { set } = s.handle(Request::Eval { expr: expr.clone() }) else {
+                unreachable!()
+            };
+            answers.push(set);
+        }
+        assert_eq!(answers[0], answers[1]);
+        // The sharded engine's table really is spread: Get gathers the
+        // full identity back.
+        let mut s = Session::new(Arc::clone(&sharded));
+        let Response::Value { set } = s.handle(Request::Get {
+            table: "big".into(),
+        }) else {
+            unreachable!()
+        };
+        assert_eq!(records_identity_to_set(&set), Ok(big));
     }
 
     #[test]

@@ -12,11 +12,11 @@
 use proptest::prelude::*;
 use std::io::Cursor;
 use xst_core::ExtendedSet;
+use xst_obs::TraceContext;
 use xst_query::Expr;
 use xst_server::proto::{ProtoError, Request, Response, WireError};
 use xst_server::wire::{encode_frame, read_frame, FrameError, HEADER_LEN, MAX_FRAME};
 use xst_server::{ErrorCode, MIN_PROTO_VERSION, PROTO_VERSION};
-use xst_obs::TraceContext;
 use xst_storage::{FaultKind, FaultSchedule};
 use xst_testkit::{arb_tricky_atom, arb_tricky_set};
 

@@ -52,6 +52,9 @@
 //! ```text
 //! .serve start [ADDR|PORT]   serve the txn store (default 127.0.0.1:0)
 //! .serve stop|status         shut the server down / show where it listens
+//! .shards [N]                show per-shard txn-store state / reshard to N
+//!                            (before any data; 2PC makes multi-shard
+//!                            commits atomic)
 //! .connect HOST:PORT         open a client session against a server
 //! .disconnect                close it (a remote open txn aborts)
 //! .remote CMD ...            ping · begin · commit · abort ·
@@ -79,7 +82,7 @@ use xst_core::{ExtendedSet, Process, Scope, SetBuilder, XstError, XstResult};
 use xst_query::{explain_analyze, Expr};
 use xst_server::{records_identity_to_set, ServedEngine, Server, ServerConfig};
 use xst_storage::{
-    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, Txn, Wal,
+    BufferPool, FaultKind, FaultPlan, FaultSchedule, LoggedTable, Record, Schema, ShardedTxn, Wal,
 };
 
 /// Persistent backing for `.store`/`.load`: one simulated disk, one buffer
@@ -122,13 +125,20 @@ fn member_schema() -> Schema {
 /// open transaction, `.put`/`.get` autocommit.
 struct TxnStore {
     engine: Arc<ServedEngine>,
-    open: Option<Txn>,
+    open: Option<ShardedTxn>,
 }
 
 impl TxnStore {
     fn new() -> TxnStore {
+        TxnStore::with_shards(1)
+    }
+
+    /// A store partitioned across `shards` engine+WAL pairs (`.shards N`
+    /// before any data exists). One shard is the classic single-engine
+    /// behavior.
+    fn with_shards(shards: usize) -> TxnStore {
         TxnStore {
-            engine: Arc::new(ServedEngine::new()),
+            engine: Arc::new(ServedEngine::with_shards(shards)),
             open: None,
         }
     }
@@ -236,7 +246,10 @@ impl Session {
 
     /// The id of the open local transaction, if any.
     fn open_txn_id(&self) -> Option<u64> {
-        self.txn.as_ref().and_then(|t| t.open.as_ref()).map(Txn::id)
+        self.txn
+            .as_ref()
+            .and_then(|t| t.open.as_ref())
+            .map(ShardedTxn::id)
     }
 
     /// Dispatch one parsed command word to its handler.
@@ -315,6 +328,7 @@ impl Session {
                 let sub = parts.next_operand()?;
                 self.serve(&sub, parts.rest_opt().as_deref())?
             }
+            ".shards" => self.shards(parts.rest_opt().as_deref())?,
             ".connect" => self.connect(&parts.rest()?)?,
             ".disconnect" => self.disconnect()?,
             ".remote" => self.remote_command(parts)?,
@@ -477,9 +491,7 @@ impl Session {
     fn reqlog_top(&self, arg: Option<&str>) -> XstResult<String> {
         let limit = match arg {
             None => 10,
-            Some(n) => n
-                .parse()
-                .map_err(|_| err(format!("usage: .top [N], got '{n}'")))?,
+            Some(n) => parse_num(n, ".top [N]")?,
         };
         let table = xst_obs::reqlog::render_records(&xst_obs::request_log().top(limit));
         Ok(table.trim_end().to_string())
@@ -505,9 +517,7 @@ impl Session {
                 Ok("slow-query log disabled".to_string())
             }
             Some(ms) => {
-                let ms: u64 = ms
-                    .parse()
-                    .map_err(|_| err(format!("usage: .slow [MS|off], got '{ms}'")))?;
+                let ms: u64 = parse_num(ms, ".slow [MS|off]")?;
                 log.set_slow_threshold_ns(ms.saturating_mul(1_000_000));
                 Ok(format!("slow-query log armed at {ms} ms"))
             }
@@ -649,7 +659,12 @@ impl Session {
                 let addr = match arg {
                     None => "127.0.0.1:0".to_string(),
                     Some(a) if a.contains(':') => a.to_string(),
-                    Some(port) => format!("127.0.0.1:{port}"),
+                    Some(port) => {
+                        // A bare argument must be a real port, not just
+                        // string-glued into the address.
+                        let port: u16 = parse_num(port, ".serve start [ADDR|PORT]")?;
+                        format!("127.0.0.1:{port}")
+                    }
                 };
                 let engine = Arc::clone(&self.txn.get_or_insert_with(TxnStore::new).engine);
                 let server = Server::start(engine, &addr, ServerConfig::default())
@@ -676,6 +691,55 @@ impl Session {
                 "usage: .serve start [ADDR|PORT] | stop | status, got '{other}'"
             ))),
         }
+    }
+
+    /// `.shards` — introspect the transactional store's sharding: shard
+    /// count and, per shard, last commit timestamp, open sub-transactions,
+    /// and in-doubt prepares. `.shards N` re-creates the store partitioned
+    /// across N shards — only before any table exists, because resharding
+    /// would reroute every member hash.
+    fn shards(&mut self, arg: Option<&str>) -> XstResult<String> {
+        if let Some(n) = arg {
+            let n: usize = parse_num(n, ".shards [N]")?;
+            if n == 0 {
+                return Err(err("usage: .shards [N], N must be at least 1"));
+            }
+            let replaceable = self
+                .txn
+                .as_ref()
+                .is_none_or(|t| t.open.is_none() && t.engine.sharded().tables().is_empty());
+            if !replaceable {
+                return Err(err(
+                    "cannot reshard: the txn store already holds tables or an open \
+                     transaction (restart the session to change shard count)",
+                ));
+            }
+            if self.server.is_some() {
+                return Err(err("cannot reshard while serving (.serve stop first)"));
+            }
+            self.txn = Some(TxnStore::with_shards(n));
+            return Ok(format!("txn store resharded across {n} shard(s)"));
+        }
+        let Some(txn_store) = self.txn.as_ref() else {
+            return Ok("no txn store yet (1 shard by default; .shards N before .put)".to_string());
+        };
+        let sharded = txn_store.engine.sharded();
+        let mut out = format!(
+            "{} shard(s), {} distributed txn(s) open",
+            sharded.shard_count(),
+            sharded.active_txns()
+        );
+        for i in 0..sharded.shard_count() {
+            let mgr = sharded.shard_mgr(i);
+            let _ = write!(
+                out,
+                "\n  shard {i}: last commit ts {}, {} open sub-txn(s), {} in-doubt prepare(s)",
+                mgr.last_commit_ts(),
+                mgr.active_txns(),
+                mgr.prepared_txns()
+            );
+        }
+        Ok(out)
     }
 
     /// `.connect HOST:PORT` — open a client session against a server
@@ -785,9 +849,7 @@ impl Session {
                     None => false,
                     Some("json") => true,
                     Some(other) => {
-                        return Err(err(format!(
-                            "usage: .remote metrics [json], got '{other}'"
-                        )))
+                        return Err(err(format!("usage: .remote metrics [json], got '{other}'")))
                     }
                 };
                 Ok(client.metrics(json).map_err(client_err)?)
@@ -796,9 +858,7 @@ impl Session {
             "top" => {
                 let limit = match parts.rest_opt() {
                     None => 10,
-                    Some(n) => n
-                        .parse()
-                        .map_err(|_| err(format!("usage: .remote top [N], got '{n}'")))?,
+                    Some(n) => parse_num(&n, ".remote top [N]")?,
                 };
                 let table = client.request_log(false, limit).map_err(client_err)?;
                 Ok(table.trim_end().to_string())
@@ -822,7 +882,7 @@ impl Session {
         if txn_store.open.is_some() {
             return Err(err("a transaction is already open (.commit or .abort it)"));
         }
-        let txn = txn_store.engine.mgr().begin();
+        let txn = txn_store.engine.sharded().begin();
         let msg = format!(
             "txn {} open: snapshot at commit ts {}",
             txn.id(),
@@ -894,7 +954,7 @@ impl Session {
             None => {
                 let ts = txn_store
                     .engine
-                    .mgr()
+                    .sharded()
                     .autocommit_insert(name, &records)
                     .map_err(storage_err)?;
                 Ok(format!(
@@ -921,12 +981,14 @@ impl Session {
                 txn.read_identity(name).map_err(storage_err)?,
                 format!("snapshot of txn {}", txn.id()),
             ),
-            None => {
-                let mut auto = txn_store.engine.mgr().begin();
-                let identity = auto.read_identity(name).map_err(storage_err)?;
-                auto.commit().map_err(storage_err)?;
-                (identity, "latest commit".to_string())
-            }
+            None => (
+                txn_store
+                    .engine
+                    .sharded()
+                    .latest_identity(name)
+                    .map_err(storage_err)?,
+                "latest commit".to_string(),
+            ),
         };
         let mut b = SetBuilder::new();
         for m in identity.members() {
@@ -1045,6 +1107,29 @@ fn err(message: impl Into<String>) -> XstError {
     }
 }
 
+/// Parse a numeric command argument into a structured shell error on any
+/// failure: empty input, garbage, and out-of-range values each get a
+/// message naming the usage form, and overflow is reported as "out of
+/// range" rather than masquerading as a typo.
+fn parse_num<T>(value: &str, usage: &str) -> XstResult<T>
+where
+    T: std::str::FromStr<Err = std::num::ParseIntError>,
+{
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Err(err(format!("missing number (usage: {usage})")));
+    }
+    trimmed.parse().map_err(|e: std::num::ParseIntError| {
+        use std::num::IntErrorKind;
+        match e.kind() {
+            IntErrorKind::PosOverflow | IntErrorKind::NegOverflow => err(format!(
+                "number out of range (usage: {usage}), got '{trimmed}'"
+            )),
+            _ => err(format!("usage: {usage}, got '{trimmed}'")),
+        }
+    })
+}
+
 /// Storage errors surface as shell errors, not panics.
 fn storage_err(e: xst_storage::StorageError) -> XstError {
     err(format!("storage: {e}"))
@@ -1083,6 +1168,8 @@ transactions (snapshot isolation, first committer wins):
   .get NAME as NEW            snapshot-read txn table NAME into binding NEW
   .commit · .abort            group-commit the writes · discard them
                               (.put/.get outside a transaction autocommit)
+  .shards [N]                 per-shard store state · reshard to N (before
+                              any data; multi-shard commits run 2PC)
 network (serve this session's txn store over TCP, or drive a remote one):
   .serve start [ADDR|PORT]    listen (default 127.0.0.1, ephemeral port)
   .serve stop · .serve status shut down · show where the server listens
@@ -1541,6 +1628,65 @@ mod tests {
         assert!(s.eval_line(".remote metrics sideways").is_err());
         run(&mut s, ".disconnect");
         run(&mut s, ".serve stop");
+    }
+
+    #[test]
+    fn numeric_args_reject_garbage_empty_and_overflow() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        // Garbage.
+        for line in [".top sideways", ".slow sideways", ".shards sideways"] {
+            let e = s.eval_line(line).unwrap_err().to_string();
+            assert!(e.contains("usage:"), "{line}: {e}");
+        }
+        // Negative numbers are garbage to unsigned args.
+        assert!(s.eval_line(".top -3").is_err());
+        assert!(s.eval_line(".slow -1").is_err());
+        // Overflow is reported as out of range, not as a typo.
+        for line in [
+            ".top 99999999999999999999999999",
+            ".slow 18446744073709551616",
+            ".serve start 70000",
+        ] {
+            let e = s.eval_line(line).unwrap_err().to_string();
+            assert!(e.contains("out of range"), "{line}: {e}");
+        }
+        // A bare non-numeric .serve port is rejected before the bind.
+        let e = s.eval_line(".serve start bogus").unwrap_err().to_string();
+        assert!(e.contains(".serve start [ADDR|PORT]"), "{e}");
+        // Empty arguments keep their defaults (no error).
+        assert!(run(&mut s, ".top").contains("session"));
+        assert!(run(&mut s, ".slow").contains("disabled"));
+        // The session survives all of it.
+        assert_eq!(run(&mut s, "card {1}"), "1");
+    }
+
+    #[test]
+    fn shards_command_introspects_and_reshards() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        assert!(run(&mut s, ".shards").contains("no txn store yet"));
+        assert_eq!(
+            run(&mut s, ".shards 3"),
+            "txn store resharded across 3 shard(s)"
+        );
+        let status = run(&mut s, ".shards");
+        assert!(status.contains("3 shard(s)"), "{status}");
+        assert!(status.contains("shard 2:"), "{status}");
+        // A multi-member put spreads across shards and gathers back.
+        run(&mut s, "let f = {⟨a, x⟩, ⟨b, y⟩, c^2, d, e^3}");
+        run(&mut s, ".begin");
+        run(&mut s, ".put f");
+        let in_txn = run(&mut s, ".shards");
+        assert!(in_txn.contains("1 distributed txn(s) open"), "{in_txn}");
+        assert!(run(&mut s, ".commit").contains("committed at ts"));
+        let got = run(&mut s, ".get f as g");
+        assert!(got.contains("5 members"), "{got}");
+        assert_eq!(run(&mut s, "show g"), run(&mut s, "show f"));
+        // Resharding with data in place is refused.
+        let e = s.eval_line(".shards 2").unwrap_err().to_string();
+        assert!(e.contains("cannot reshard"), "{e}");
+        assert!(s.eval_line(".shards 0").is_err(), "zero shards");
     }
 
     #[test]

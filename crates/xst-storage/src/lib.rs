@@ -25,7 +25,9 @@
 //! * [`retry`] — bounded retry with deterministic exponential backoff;
 //! * [`colstore`] — the same relation under a column-oriented identity;
 //! * [`txn`] — snapshot-isolated transactions over versioned set
-//!   identities (first committer wins, group-commit durability).
+//!   identities (first committer wins, group-commit durability);
+//! * [`shard`] — hash-partitioned engines with scatter-gather reads and
+//!   two-phase-commit cross-shard atomicity.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +45,7 @@ pub mod parallel;
 pub mod record;
 pub mod restructure;
 pub mod retry;
+pub mod shard;
 pub mod snapshot;
 pub mod txn;
 pub mod wal;
@@ -61,6 +64,7 @@ pub use parallel::load_identity_parallel;
 pub use record::{file_identity, Record, Schema};
 pub use restructure::{restructure_records, restructure_set, Restructuring};
 pub use retry::{with_retry, RetryPolicy};
+pub use shard::{shard_of, ShardedEngine, ShardedTxn};
 pub use snapshot::{restore, snapshot};
-pub use txn::{CommitTs, Txn, TxnId, TxnManager, TxnOp};
+pub use txn::{CommitTs, RecoveredParticipant, Txn, TxnId, TxnManager, TxnOp};
 pub use wal::{Checkpoint, LoggedTable, Wal};

@@ -1,0 +1,911 @@
+//! In-process sharding: hash-partitioned engines under one atomic
+//! commit protocol.
+//!
+//! The 1977 program's "very large data base" premise is that no single
+//! device — or in our reproduction, no single engine — holds the whole
+//! extension of a set. A [`ShardedEngine`] partitions every table's
+//! members by a deterministic hash of the member's whole identity across
+//! N independent [`TxnManager`]s, each with its own storage, WAL, and
+//! group-commit op log. Reads scatter to all shards and gather by
+//! ordered union (set union IS the merge — fragments are disjoint by
+//! construction, so `⋃ᵢ fragᵢ` is exact, not approximate); writes route
+//! to the owning shard.
+//!
+//! **Atomicity across shards is two-phase commit** built from the group
+//! commit primitive the single engine already has:
+//!
+//! 1. **Prepare.** Each written shard validates first-committer-wins and
+//!    flushes its write set — gtxn-tagged and sealed with a PREPARE
+//!    control record — as ONE marker-sealed batch
+//!    ([`TxnManager::prepare`]). Nothing is published.
+//! 2. **Decide.** The coordinator appends the global transaction id to
+//!    its own decision log ([`LoggedTable::append_batch`]). *This flush
+//!    is the acknowledgement*: before it, no decision exists and every
+//!    prepare defaults to abort; after it, the transaction is committed
+//!    on every shard no matter what else fails.
+//! 3. **Commit.** Each shard writes a best-effort local COMMIT marker
+//!    and publishes its versions ([`TxnManager::commit_prepared`]). A
+//!    crash anywhere here leaves the shard *in doubt*, and
+//!    [`ShardedEngine::recover`] resolves it from the decision log.
+//!
+//! Transactions touching a **single** shard skip the protocol entirely
+//! and use the ordinary one-flush commit — a sharded deployment with one
+//! shard pays one extra in-memory hash per write, not an extra fsync
+//! (experiment E18 holds this to ≤1.05× the unsharded engine).
+
+use crate::bufpool::{BufferPool, Storage};
+use crate::engine::SetEngine;
+use crate::error::{StorageError, StorageResult};
+use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
+use crate::record::{Record, Schema};
+use crate::retry::RetryPolicy;
+use crate::txn::{self, CommitTs, Txn, TxnId, TxnManager};
+use crate::wal::{LoggedTable, Wal};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use xst_core::ops::union_all;
+use xst_core::{ExtendedSet, Value};
+use xst_obs::{registry, Counter, Gauge};
+
+fn shard_count_gauge() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        registry().gauge(
+            xst_obs::names::SHARD_COUNT,
+            "Shards in the serving engine's hash partition.",
+        )
+    })
+}
+
+fn shard_txn_begins_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_TXN_BEGINS_TOTAL,
+            "Distributed transactions begun on the sharded engine.",
+        )
+    })
+}
+
+fn shard_single_commits_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_SINGLE_COMMITS_TOTAL,
+            "Distributed commits that touched one shard and took the one-flush fast path.",
+        )
+    })
+}
+
+fn shard_2pc_commits_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_2PC_COMMITS_TOTAL,
+            "Multi-shard commits acknowledged by a durable coordinator decision.",
+        )
+    })
+}
+
+fn shard_2pc_aborts_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_2PC_ABORTS_TOTAL,
+            "Multi-shard commits aborted before a decision was recorded.",
+        )
+    })
+}
+
+fn shard_2pc_prepares_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_2PC_PREPARES_TOTAL,
+            "Per-shard prepare flushes performed by the 2PC coordinator.",
+        )
+    })
+}
+
+fn shard_2pc_in_doubt_resolved_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_2PC_IN_DOUBT_RESOLVED_TOTAL,
+            "In-doubt prepares resolved from the coordinator decision log at recovery.",
+        )
+    })
+}
+
+fn shard_gather_merges_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::SHARD_GATHER_MERGES_TOTAL,
+            "Gather steps that merged per-shard fragments by ordered union.",
+        )
+    })
+}
+
+/// The schema of the coordinator's decision log: one committed global
+/// transaction id per record. Presence == COMMIT; absence == ABORT
+/// (presumed abort needs no abort records).
+fn decision_schema() -> Schema {
+    Schema::new(["gtxn"])
+}
+
+/// Route a record to its owning shard: FNV-1a over the record's
+/// bit-exact codec bytes, reduced mod the shard count. The hash covers
+/// the member's **whole identity** (every field), so routing is a pure
+/// function of set membership — the same member lands on the same shard
+/// in any engine with the same shard count, and rebalancing is re-scoping
+/// (re-hash and re-insert), never interpretation.
+pub fn shard_of(record: &Record, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let bytes = crate::codec::encode_to_vec(&Value::Set(record.to_tuple()));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// One shard: an independent storage device, WAL, and transaction
+/// manager. Shards share nothing but the coordinator.
+struct Shard {
+    storage: Storage,
+    wal: Wal,
+    mgr: TxnManager,
+}
+
+struct EngineInner {
+    shards: Vec<Shard>,
+    /// The coordinator's own durable device and decision log, separate
+    /// from every shard (a real deployment's coordinator node).
+    coord_storage: Storage,
+    coord_wal: Wal,
+    decisions: Mutex<LoggedTable>,
+    /// Serializes every commit round (prepare → decide → commit) and
+    /// every begin, so a begin can never observe a distributed commit
+    /// published on some shards but not others.
+    commit_lock: Mutex<()>,
+    next_gtxn: AtomicU64,
+    /// Registered tables (the in-memory catalog, mirrored on every
+    /// shard), kept so recovery can rebuild each shard's manager.
+    catalog: Mutex<BTreeMap<String, Schema>>,
+    faults: Mutex<Option<FaultPlan>>,
+}
+
+/// A hash-partitioned database over N independent engines with
+/// all-or-nothing cross-shard commits. Cloning shares the same database.
+#[derive(Clone)]
+pub struct ShardedEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl ShardedEngine {
+    /// A fresh sharded database over `shards` independent engines
+    /// (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> ShardedEngine {
+        let shards = shards.max(1);
+        let built: Vec<Shard> = (0..shards)
+            .map(|_| {
+                let storage = Storage::new();
+                let wal = Wal::new();
+                let mgr = TxnManager::new(&storage, wal.clone());
+                Shard { storage, wal, mgr }
+            })
+            .collect();
+        let coord_storage = Storage::new();
+        let coord_wal = Wal::new();
+        let decisions = LoggedTable::create(&coord_storage, decision_schema(), coord_wal.clone());
+        if xst_obs::enabled() {
+            shard_count_gauge().set(shards as f64);
+        }
+        ShardedEngine {
+            inner: Arc::new(EngineInner {
+                shards: built,
+                coord_storage,
+                coord_wal,
+                decisions: Mutex::new(decisions),
+                commit_lock: Mutex::new(()),
+                next_gtxn: AtomicU64::new(1),
+                catalog: Mutex::new(BTreeMap::new()),
+                faults: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Replace the retry policy governing commit-path flushes on every
+    /// shard's manager and on the coordinator's decision log. Crash
+    /// harnesses pass [`RetryPolicy::none`] so an injected fault
+    /// surfaces instead of being absorbed by a retried flush.
+    pub fn with_retry_policy(self, retry: RetryPolicy) -> ShardedEngine {
+        for shard in &self.inner.shards {
+            let _ = shard.mgr.clone().with_retry_policy(retry);
+        }
+        {
+            let mut decisions = self.inner.decisions.lock();
+            let taken = std::mem::replace(
+                &mut *decisions,
+                LoggedTable::create(&Storage::new(), decision_schema(), Wal::new()),
+            );
+            *decisions = taken.with_retry_policy(retry);
+        }
+        self
+    }
+
+    /// Number of shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The transaction manager of shard `i` (shard 0 is the compat
+    /// surface for single-engine callers). Panics are forbidden in this
+    /// crate, so out-of-range returns shard 0's manager.
+    pub fn shard_mgr(&self, i: usize) -> &TxnManager {
+        let i = i.min(self.inner.shards.len() - 1);
+        &self.inner.shards[i].mgr
+    }
+
+    /// The storage device of shard `i` (clamped like [`Self::shard_mgr`]).
+    pub fn shard_storage(&self, i: usize) -> &Storage {
+        let i = i.min(self.inner.shards.len() - 1);
+        &self.inner.shards[i].storage
+    }
+
+    /// The WAL of shard `i` (clamped like [`Self::shard_mgr`]).
+    pub fn shard_wal(&self, i: usize) -> &Wal {
+        let i = i.min(self.inner.shards.len() - 1);
+        &self.inner.shards[i].wal
+    }
+
+    /// The coordinator's decision-log WAL.
+    pub fn coordinator_wal(&self) -> &Wal {
+        &self.inner.coord_wal
+    }
+
+    /// Register a table on every shard and in the catalog.
+    pub fn create_table(&self, name: &str, schema: Schema) -> StorageResult<()> {
+        let mut catalog = self.inner.catalog.lock();
+        if catalog.contains_key(name) {
+            return Err(StorageError::SchemaMismatch {
+                reason: format!("table '{name}' already exists"),
+            });
+        }
+        for shard in &self.inner.shards {
+            shard.mgr.create_table(name, schema.clone())?;
+        }
+        catalog.insert(name.to_string(), schema);
+        Ok(())
+    }
+
+    /// The registered tables, in name order.
+    pub fn tables(&self) -> Vec<(String, Schema)> {
+        self.inner
+            .catalog
+            .lock()
+            .iter()
+            .map(|(n, s)| (n.clone(), s.clone()))
+            .collect()
+    }
+
+    /// Begin a distributed transaction: one internal sub-transaction per
+    /// shard, all opened under the commit lock so the cross-shard
+    /// snapshot is consistent (no shard's view includes a distributed
+    /// commit another shard's view lacks).
+    pub fn begin(&self) -> ShardedTxn {
+        let _commit = self.inner.commit_lock.lock();
+        let subs: Vec<Txn> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.mgr.begin_internal())
+            .collect();
+        let gauge_counted = xst_obs::enabled();
+        if gauge_counted {
+            txn::txn_begins_total().inc();
+            txn::txn_active_gauge().add(1.0);
+            shard_txn_begins_total().inc();
+        }
+        ShardedTxn {
+            engine: self.clone(),
+            subs: subs.into_iter().map(Some).collect(),
+            finished: false,
+            gauge_counted,
+        }
+    }
+
+    /// The latest commit timestamp across shards (per-shard clocks are
+    /// independent; the max is a readable "how far along" figure).
+    pub fn last_commit_ts(&self) -> CommitTs {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.mgr.last_commit_ts())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Distributed transactions currently open. Every open transaction
+    /// holds one sub-transaction on every shard, so any shard's active
+    /// count IS the distributed count.
+    pub fn active_txns(&self) -> u64 {
+        self.inner.shards[0].mgr.active_txns()
+    }
+
+    /// The latest committed identity of `table`: per-shard latest
+    /// identities gathered by ordered union (no transaction needed).
+    pub fn latest_identity(&self, name: &str) -> StorageResult<ExtendedSet> {
+        let frags = self.latest_fragments(name)?;
+        if xst_obs::enabled() {
+            shard_gather_merges_total().inc();
+        }
+        Ok(union_all(frags.iter()))
+    }
+
+    /// The latest committed per-shard fragments of `table`. Fragment `i`
+    /// holds exactly the members owned by shard `i` — disjoint, and
+    /// their union is the table's identity.
+    pub fn latest_fragments(&self, name: &str) -> StorageResult<Vec<ExtendedSet>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.mgr.latest_identity(name).map(|arc| (*arc).clone()))
+            .collect()
+    }
+
+    /// Autocommit convenience mirroring [`TxnManager::autocommit_insert`].
+    pub fn autocommit_insert(&self, table: &str, records: &[Record]) -> StorageResult<CommitTs> {
+        let mut txn = self.begin();
+        for r in records {
+            txn.insert(table, r.clone())?;
+        }
+        txn.commit()
+    }
+
+    /// Arm one deterministic fault plan across the WHOLE deployment:
+    /// every shard's storage and WAL plus the coordinator's, all sharing
+    /// one site counter. Site k can therefore land inside any phase of
+    /// 2PC — a shard's prepare flush, the coordinator's decision flush,
+    /// any shard's local commit marker, or a post-commit heap apply —
+    /// which is exactly the enumeration the crash sweep walks.
+    pub fn arm_faults(&self, schedule: FaultSchedule, kind: FaultKind) {
+        let plan = FaultPlan::new(schedule, kind);
+        self.install_faults(&plan);
+        *self.inner.faults.lock() = Some(plan);
+    }
+
+    /// Install an existing plan (shared site counter) everywhere.
+    pub fn install_faults(&self, plan: &FaultPlan) {
+        for shard in &self.inner.shards {
+            shard.storage.install_faults(plan);
+            shard.wal.install_faults(plan);
+        }
+        self.inner.coord_storage.install_faults(plan);
+        self.inner.coord_wal.install_faults(plan);
+    }
+
+    /// Disarm and drop any armed plan, everywhere.
+    pub fn clear_faults(&self) {
+        for shard in &self.inner.shards {
+            shard.storage.clear_faults();
+            shard.wal.clear_faults();
+        }
+        self.inner.coord_storage.clear_faults();
+        self.inner.coord_wal.clear_faults();
+        *self.inner.faults.lock() = None;
+    }
+
+    /// Is a fault plan currently armed?
+    pub fn faults_armed(&self) -> bool {
+        self.inner.faults.lock().is_some()
+    }
+
+    /// Faults injected by the armed plan so far, if any.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner
+            .faults
+            .lock()
+            .as_ref()
+            .map(|p| p.injected_count())
+            .unwrap_or(0)
+    }
+
+    /// Crash-recover the whole deployment from durable state alone:
+    /// clear faults, drop every unacknowledged staged batch (the crash),
+    /// replay the coordinator's decision log, then recover each shard
+    /// with those decisions resolving its in-doubt prepares. Returns a
+    /// fresh engine over the same devices; the gtxn counter restarts
+    /// above everything any shard ever logged.
+    pub fn recover(&self) -> StorageResult<ShardedEngine> {
+        for shard in &self.inner.shards {
+            shard.storage.clear_faults();
+            shard.wal.clear_faults();
+            shard.wal.drop_staged();
+        }
+        self.inner.coord_storage.clear_faults();
+        self.inner.coord_wal.clear_faults();
+        self.inner.coord_wal.drop_staged();
+        // The coordinator first: its surviving records ARE the set of
+        // committed global transactions.
+        let coord_fresh = Wal::new();
+        let decisions_log = LoggedTable::recover_onto(
+            &self.inner.coord_storage,
+            decision_schema(),
+            self.inner.coord_wal.clone(),
+            coord_fresh.clone(),
+        )?;
+        let pool = BufferPool::new(self.inner.coord_storage.clone(), 8);
+        let mut committed: BTreeSet<u64> = BTreeSet::new();
+        let mut max_gtxn = 0u64;
+        for rec in decisions_log.table.file.read_all(&pool)? {
+            let [Value::Int(g)] = rec.values() else {
+                return Err(StorageError::Corrupt {
+                    reason: "decision log record is not a single gtxn".to_string(),
+                });
+            };
+            let g = u64::try_from(*g).map_err(|_| StorageError::Corrupt {
+                reason: "negative gtxn in decision log".to_string(),
+            })?;
+            committed.insert(g);
+            max_gtxn = max_gtxn.max(g);
+        }
+        let catalog = self.inner.catalog.lock().clone();
+        let catalog_refs: Vec<(&str, Schema)> = catalog
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.clone()))
+            .collect();
+        let mut shards = Vec::with_capacity(self.inner.shards.len());
+        let mut resolved = 0u64;
+        for shard in &self.inner.shards {
+            let recovered = TxnManager::recover_with_decisions(
+                &shard.storage,
+                shard.wal.clone(),
+                Wal::new(),
+                &catalog_refs,
+                &committed,
+            )?;
+            resolved += recovered.in_doubt_committed + recovered.in_doubt_aborted;
+            max_gtxn = max_gtxn.max(recovered.max_gtxn);
+            shards.push(Shard {
+                storage: shard.storage.clone(),
+                wal: shard.wal.clone(),
+                mgr: recovered.mgr,
+            });
+        }
+        if xst_obs::enabled() {
+            shard_2pc_in_doubt_resolved_total().add(resolved);
+            shard_count_gauge().set(shards.len() as f64);
+        }
+        Ok(ShardedEngine {
+            inner: Arc::new(EngineInner {
+                shards,
+                coord_storage: self.inner.coord_storage.clone(),
+                coord_wal: coord_fresh,
+                decisions: Mutex::new(decisions_log),
+                commit_lock: Mutex::new(()),
+                next_gtxn: AtomicU64::new(max_gtxn + 1),
+                catalog: Mutex::new(catalog),
+                faults: Mutex::new(None),
+            }),
+        })
+    }
+}
+
+/// A distributed transaction: one snapshot-isolated sub-transaction per
+/// shard, routed writes, and an atomic cross-shard commit. Dropping it
+/// uncommitted aborts every sub-transaction.
+pub struct ShardedTxn {
+    engine: ShardedEngine,
+    /// One slot per shard; `None` after the slot is consumed at commit.
+    subs: Vec<Option<Txn>>,
+    finished: bool,
+    gauge_counted: bool,
+}
+
+impl ShardedTxn {
+    fn shards(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// A diagnostic id for this distributed transaction: the shard-0
+    /// sub-transaction's id (every open distributed txn holds one sub on
+    /// every shard, so shard-0 ids are unique among open txns).
+    pub fn id(&self) -> TxnId {
+        self.subs
+            .first()
+            .and_then(Option::as_ref)
+            .map(Txn::id)
+            .unwrap_or(0)
+    }
+
+    /// The snapshot timestamp this transaction reads at, as seen by
+    /// shard 0 (all shards snapshot under one commit-lock hold, so any
+    /// shard's begin timestamp names the same consistent cut).
+    pub fn begin_ts(&self) -> CommitTs {
+        self.subs
+            .first()
+            .and_then(Option::as_ref)
+            .map(Txn::begin_ts)
+            .unwrap_or(0)
+    }
+
+    fn sub(&mut self, i: usize) -> StorageResult<&mut Txn> {
+        self.subs
+            .get_mut(i)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| StorageError::Corrupt {
+                reason: format!("sharded txn lost its shard-{i} sub-transaction"),
+            })
+    }
+
+    /// Buffer an insert on the owning shard.
+    pub fn insert(&mut self, table: &str, record: Record) -> StorageResult<()> {
+        let i = shard_of(&record, self.shards());
+        self.sub(i)?.insert(table, record)
+    }
+
+    /// Buffer a delete on the owning shard.
+    pub fn delete(&mut self, table: &str, record: Record) -> StorageResult<()> {
+        let i = shard_of(&record, self.shards());
+        self.sub(i)?.delete(table, record)
+    }
+
+    /// This transaction's per-shard fragments of `table` — the scatter
+    /// half of scatter-gather. Fragment `i` is exactly the members owned
+    /// by shard `i` (snapshot plus this transaction's own writes), so
+    /// the fragments are pairwise disjoint and their union is the table.
+    pub fn read_fragments(&mut self, table: &str) -> StorageResult<Vec<ExtendedSet>> {
+        (0..self.shards())
+            .map(|i| self.sub(i)?.read_identity(table))
+            .collect()
+    }
+
+    /// This transaction's view of `table`: gather the fragments by
+    /// ordered union.
+    pub fn read_identity(&mut self, table: &str) -> StorageResult<ExtendedSet> {
+        let frags = self.read_fragments(table)?;
+        if xst_obs::enabled() {
+            shard_gather_merges_total().inc();
+        }
+        Ok(union_all(frags.iter()))
+    }
+
+    /// A [`SetEngine`] over the gathered view of `table`.
+    pub fn engine(&mut self, table: &str) -> StorageResult<SetEngine> {
+        let schema = {
+            let catalog = self.engine.inner.catalog.lock();
+            catalog
+                .get(table)
+                .cloned()
+                .ok_or_else(|| StorageError::SchemaMismatch {
+                    reason: format!("no table named '{table}'"),
+                })?
+        };
+        Ok(SetEngine::from_identity(self.read_identity(table)?, schema))
+    }
+
+    /// The gathered view of `table` as sorted records.
+    pub fn scan(&mut self, table: &str) -> StorageResult<Vec<Record>> {
+        SetEngine::to_records(&self.read_identity(table)?)
+    }
+
+    /// True iff no shard has buffered writes.
+    pub fn is_read_only(&self) -> bool {
+        self.subs
+            .iter()
+            .all(|s| s.as_ref().is_none_or(Txn::is_read_only))
+    }
+
+    /// Commit atomically across shards. One written shard takes the
+    /// ordinary one-flush fast path; two or more run full 2PC. On `Ok`
+    /// the transaction is durable on every shard it touched
+    /// (acknowledged ⇒ recoverable); on `Err` it is atomically absent
+    /// everywhere (a prepare that survived on some shard defaults to
+    /// abort at recovery because no decision was recorded).
+    pub fn commit(mut self) -> StorageResult<CommitTs> {
+        let timer = xst_obs::enabled().then(std::time::Instant::now);
+        self.finished = true;
+        let engine = self.engine.clone();
+        let _commit = engine.inner.commit_lock.lock();
+        let subs: Vec<Txn> = self.subs.iter_mut().filter_map(Option::take).collect();
+        self.release_metrics();
+        let result = commit_subs(&engine, subs);
+        if xst_obs::enabled() {
+            match &result {
+                Ok(_) => {
+                    txn::txn_commits_total().inc();
+                    if let Some(t) = timer {
+                        txn::txn_commit_hist().observe_since(t);
+                    }
+                }
+                Err(_) => txn::txn_aborts_total().inc(),
+            }
+        }
+        result
+    }
+
+    /// Abort: discard every shard's buffered writes.
+    pub fn abort(mut self) {
+        self.finished = true;
+        for sub in self.subs.iter_mut().filter_map(Option::take) {
+            sub.abort();
+        }
+        self.release_metrics();
+        if xst_obs::enabled() {
+            txn::txn_aborts_total().inc();
+        }
+    }
+
+    fn release_metrics(&mut self) {
+        if self.gauge_counted {
+            self.gauge_counted = false;
+            txn::txn_active_gauge().force_add(-1.0);
+        }
+    }
+}
+
+impl Drop for ShardedTxn {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Sub-transactions abort via their own Drop (metric-silent).
+            self.subs.clear();
+            self.release_metrics();
+            if xst_obs::enabled() {
+                txn::txn_aborts_total().inc();
+            }
+        } else {
+            self.release_metrics();
+        }
+    }
+}
+
+/// The commit protocol proper, under the engine's commit lock.
+fn commit_subs(engine: &ShardedEngine, subs: Vec<Txn>) -> StorageResult<CommitTs> {
+    let inner = &engine.inner;
+    let mut writers: Vec<(usize, Txn)> = Vec::new();
+    for (i, sub) in subs.into_iter().enumerate() {
+        if sub.is_read_only() {
+            sub.abort(); // nothing buffered: just release the slot
+        } else {
+            writers.push((i, sub));
+        }
+    }
+    match writers.len() {
+        // Read-only everywhere: nothing to decide, nothing to flush.
+        0 => Ok(engine.last_commit_ts()),
+        // One shard wrote: the ordinary single-flush commit IS atomic,
+        // no coordinator round needed. This is why a 1-shard deployment
+        // keeps single-engine commit costs.
+        1 => {
+            let (_, sub) = writers.swap_remove(0);
+            let ts = sub.commit()?;
+            if xst_obs::enabled() {
+                shard_single_commits_total().inc();
+            }
+            Ok(ts)
+        }
+        // Two or more shards wrote: two-phase commit.
+        _ => {
+            let gtxn = inner.next_gtxn.fetch_add(1, Ordering::Relaxed);
+            let mut prepared: Vec<usize> = Vec::with_capacity(writers.len());
+            let mut participants: Vec<usize> = Vec::with_capacity(writers.len());
+            let mut prepare_err: Option<StorageError> = None;
+            for (i, sub) in writers {
+                if prepare_err.is_some() {
+                    sub.abort();
+                    continue;
+                }
+                let (begin_ts, writes) = sub.into_writes();
+                match inner.shards[i].mgr.prepare(gtxn, begin_ts, writes) {
+                    Ok(()) => {
+                        if xst_obs::enabled() {
+                            shard_2pc_prepares_total().inc();
+                        }
+                        prepared.push(i);
+                    }
+                    Err(e) => prepare_err = Some(e),
+                }
+                participants.push(i);
+            }
+            if prepare_err.is_none() {
+                // The decision flush: THE acknowledgement of the whole
+                // distributed transaction.
+                let decision = Record::new([Value::Int(gtxn as i64)]);
+                if let Err(e) = inner.decisions.lock().append_batch(&[decision]) {
+                    prepare_err = Some(e);
+                }
+            }
+            if let Some(e) = prepare_err {
+                // No decision was recorded: roll every prepared shard
+                // back (in-memory; recovery default-aborts the durable
+                // prepares because the decision log does not name them).
+                for i in prepared {
+                    inner.shards[i].mgr.abort_prepared(gtxn);
+                }
+                if xst_obs::enabled() {
+                    shard_2pc_aborts_total().inc();
+                }
+                return Err(e);
+            }
+            // Decided: commit every participant. Past this point the
+            // outcome is fixed — commit_prepared absorbs local marker
+            // I/O failures and only errors on invariant corruption.
+            let mut ts = 0;
+            for i in prepared {
+                ts = ts.max(inner.shards[i].mgr.commit_prepared(gtxn)?);
+            }
+            if xst_obs::enabled() {
+                shard_2pc_commits_total().inc();
+            }
+            Ok(ts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv_schema() -> Schema {
+        Schema::new(["k", "v"])
+    }
+
+    fn row(k: i64, v: i64) -> Record {
+        Record::new([Value::Int(k), Value::Int(v)])
+    }
+
+    /// Rows guaranteed to land on at least two different shards of a
+    /// 3-shard engine (found by hashing, asserted in the test).
+    fn spread_rows(n: usize) -> Vec<Record> {
+        (0..n as i64).map(|k| row(k, k * 10)).collect()
+    }
+
+    fn fresh(shards: usize) -> ShardedEngine {
+        let engine = ShardedEngine::with_shards(shards);
+        engine.create_table("t", kv_schema()).unwrap();
+        engine
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let rows = spread_rows(64);
+        let mut seen = BTreeSet::new();
+        for r in &rows {
+            let s = shard_of(r, 3);
+            assert!(s < 3);
+            assert_eq!(s, shard_of(r, 3), "stable");
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 3, "64 rows cover all 3 shards");
+        assert_eq!(shard_of(&rows[0], 1), 0, "single shard routes to 0");
+    }
+
+    #[test]
+    fn multi_shard_commit_is_atomic_and_readable() {
+        let engine = fresh(3);
+        let rows = spread_rows(12);
+        engine.autocommit_insert("t", &rows).unwrap();
+        let mut txn = engine.begin();
+        assert_eq!(txn.scan("t").unwrap(), rows, "gather = ordered union");
+        // Fragments are disjoint and total.
+        let frags = txn.read_fragments("t").unwrap();
+        assert_eq!(frags.len(), 3);
+        let total: usize = frags.iter().map(|f| f.card()).sum();
+        assert_eq!(total, rows.len());
+        txn.abort();
+    }
+
+    #[test]
+    fn single_shard_writes_take_the_fast_path() {
+        let engine = fresh(3);
+        // All writes to one record — exactly one shard participates, so
+        // no decision record is appended to the coordinator log.
+        engine.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        let decided = engine
+            .inner
+            .decisions
+            .lock()
+            .wal()
+            .records()
+            .map(|r| r.len());
+        assert_eq!(decided.unwrap_or(0), 0, "no 2PC round for one shard");
+    }
+
+    #[test]
+    fn snapshot_isolation_holds_across_shards() {
+        let engine = fresh(3);
+        let rows = spread_rows(8);
+        engine.autocommit_insert("t", &rows).unwrap();
+        let mut reader = engine.begin();
+        assert_eq!(reader.scan("t").unwrap().len(), 8);
+        engine.autocommit_insert("t", &[row(100, 1000)]).unwrap();
+        assert_eq!(
+            reader.scan("t").unwrap().len(),
+            8,
+            "cross-shard snapshot does not move"
+        );
+        drop(reader);
+        let mut after = engine.begin();
+        assert_eq!(after.scan("t").unwrap().len(), 9);
+        after.abort();
+    }
+
+    #[test]
+    fn first_committer_wins_across_shards() {
+        let engine = fresh(3);
+        let rows = spread_rows(8);
+        engine.autocommit_insert("t", &rows).unwrap();
+        let mut t1 = engine.begin();
+        let mut t2 = engine.begin();
+        for t in [&mut t1, &mut t2] {
+            for r in &rows {
+                t.delete("t", r.clone()).unwrap();
+            }
+        }
+        assert!(t1.commit().is_ok());
+        assert!(
+            matches!(t2.commit(), Err(StorageError::TxnConflict { .. })),
+            "second committer conflicts on every shard it shares"
+        );
+        let mut check = engine.begin();
+        assert_eq!(check.scan("t").unwrap(), vec![]);
+        check.abort();
+    }
+
+    #[test]
+    fn failed_prepare_rolls_back_every_shard() {
+        let engine = fresh(3);
+        let rows = spread_rows(8);
+        // A rival commits first; the victim's multi-shard commit must
+        // fail prepare on some shard and leave NOTHING anywhere.
+        let mut victim = engine.begin();
+        for r in &rows {
+            victim.insert("t", r.clone()).unwrap();
+        }
+        engine.autocommit_insert("t", &[rows[0].clone()]).unwrap();
+        assert!(victim.commit().is_err());
+        for i in 0..3 {
+            assert_eq!(engine.shard_mgr(i).prepared_txns(), 0, "shard {i} clean");
+        }
+        let mut check = engine.begin();
+        assert_eq!(check.scan("t").unwrap(), vec![rows[0].clone()]);
+        check.abort();
+    }
+
+    #[test]
+    fn committed_distributed_txns_recover_all_or_nothing() {
+        let engine = fresh(3);
+        let rows = spread_rows(12);
+        engine.autocommit_insert("t", &rows).unwrap();
+        // An in-flight transaction dies with the process.
+        let mut doomed = engine.begin();
+        doomed.insert("t", row(500, 5000)).unwrap();
+        std::mem::forget(doomed);
+        let recovered = engine.recover().unwrap();
+        let mut check = recovered.begin();
+        assert_eq!(check.scan("t").unwrap(), rows);
+        check.abort();
+        // The recovered engine accepts new distributed commits.
+        recovered.autocommit_insert("t", &spread_rows(20)).unwrap();
+        let mut check = recovered.begin();
+        assert_eq!(check.scan("t").unwrap().len(), 20);
+        check.abort();
+    }
+
+    #[test]
+    fn active_txns_counts_distributed_transactions_once() {
+        let engine = fresh(3);
+        assert_eq!(engine.active_txns(), 0);
+        let txn = engine.begin();
+        assert_eq!(engine.active_txns(), 1, "one dtxn == one, not three");
+        drop(txn);
+        assert_eq!(engine.active_txns(), 0);
+    }
+}

@@ -57,19 +57,19 @@ pub type TxnId = u64;
 /// empty table is born at.
 pub type CommitTs = u64;
 
-fn txn_begins_total() -> &'static Arc<Counter> {
+pub(crate) fn txn_begins_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| registry().counter(xst_obs::names::TXN_BEGINS_TOTAL, "Transactions begun."))
 }
 
-fn txn_commits_total() -> &'static Arc<Counter> {
+pub(crate) fn txn_commits_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(xst_obs::names::TXN_COMMITS_TOTAL, "Transactions committed.")
     })
 }
 
-fn txn_aborts_total() -> &'static Arc<Counter> {
+pub(crate) fn txn_aborts_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| {
         registry().counter(
@@ -89,7 +89,7 @@ fn txn_conflicts_total() -> &'static Arc<Counter> {
     })
 }
 
-fn txn_active_gauge() -> &'static Arc<Gauge> {
+pub(crate) fn txn_active_gauge() -> &'static Arc<Gauge> {
     static G: OnceLock<Arc<Gauge>> = OnceLock::new();
     G.get_or_init(|| {
         registry().gauge(
@@ -99,7 +99,7 @@ fn txn_active_gauge() -> &'static Arc<Gauge> {
     })
 }
 
-fn txn_commit_hist() -> &'static Arc<Histogram> {
+pub(crate) fn txn_commit_hist() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         registry().histogram(
@@ -176,6 +176,13 @@ fn op_log_schema() -> Schema {
 const OP_INSERT: &str = "i";
 const OP_DELETE: &str = "d";
 
+/// Pseudo-table name of two-phase-commit control records in the op log.
+/// The leading NUL keeps it out of the namespace any catalog table can
+/// occupy (wire/ shell table names are plain text).
+const CTRL_TABLE: &str = "\u{0}2pc";
+const CTRL_PREPARE: &str = "p";
+const CTRL_COMMIT: &str = "c";
+
 fn encode_op(table: &str, op: &TxnOp) -> Record {
     let (tag, r) = match op {
         TxnOp::Insert(r) => (OP_INSERT, r),
@@ -184,7 +191,42 @@ fn encode_op(table: &str, op: &TxnOp) -> Record {
     Record::new([Value::str(table), Value::sym(tag), Value::Set(r.to_tuple())])
 }
 
-fn decode_op(record: &Record) -> StorageResult<(String, TxnOp)> {
+/// Encode one op of a prepared distributed transaction: the op tag
+/// carries the global transaction id (`i7`/`d7`), so replay can group the
+/// batch under its 2PC outcome instead of applying it at flush time.
+fn encode_op_prepared(table: &str, op: &TxnOp, gtxn: u64) -> Record {
+    let (tag, r) = match op {
+        TxnOp::Insert(r) => (OP_INSERT, r),
+        TxnOp::Delete(r) => (OP_DELETE, r),
+    };
+    Record::new([
+        Value::str(table),
+        Value::sym(format!("{tag}{gtxn}")),
+        Value::Set(r.to_tuple()),
+    ])
+}
+
+/// Encode a 2PC control record (PREPARE / local COMMIT) for `gtxn`.
+fn encode_ctrl(kind: &str, gtxn: u64) -> Record {
+    Record::new([
+        Value::str(CTRL_TABLE),
+        Value::sym(kind),
+        Value::Int(gtxn as i64),
+    ])
+}
+
+/// One decoded op-log record: a data op (optionally tagged with the
+/// distributed transaction that prepared it) or a 2PC control record.
+enum LogEntry {
+    /// `(table, op, gtxn)` — `gtxn = None` for single-flush commits.
+    Op(String, TxnOp, Option<u64>),
+    /// PREPARE marker of a distributed transaction on this participant.
+    Prepare(u64),
+    /// Local COMMIT marker: the distributed transaction's ops apply here.
+    Commit(u64),
+}
+
+fn decode_entry(record: &Record) -> StorageResult<LogEntry> {
     let bad = |what: &str| StorageError::Corrupt {
         reason: format!("op-log record is not a (table, op, row) triple: {what}"),
     };
@@ -194,14 +236,44 @@ fn decode_op(record: &Record) -> StorageResult<(String, TxnOp)> {
     let Value::Str(table) = table else {
         return Err(bad("table name is not a string"));
     };
+    if table.as_ref() == CTRL_TABLE {
+        let Value::Int(gtxn) = row else {
+            return Err(bad("2pc control record without a gtxn"));
+        };
+        let gtxn = u64::try_from(*gtxn).map_err(|_| bad("negative gtxn"))?;
+        return match tag {
+            Value::Sym(t) if t.as_ref() == CTRL_PREPARE => Ok(LogEntry::Prepare(gtxn)),
+            Value::Sym(t) if t.as_ref() == CTRL_COMMIT => Ok(LogEntry::Commit(gtxn)),
+            _ => Err(bad("unknown 2pc control tag")),
+        };
+    }
     let row = row.as_set().ok_or_else(|| bad("row is not a set"))?;
     let row = Record::from_tuple(row)?;
-    let op = match tag {
-        Value::Sym(t) if t.as_ref() == OP_INSERT => TxnOp::Insert(row),
-        Value::Sym(t) if t.as_ref() == OP_DELETE => TxnOp::Delete(row),
+    let Value::Sym(t) = tag else {
+        return Err(bad("op tag is not a symbol"));
+    };
+    let (kind, rest) = t.as_ref().split_at(1);
+    let gtxn = if rest.is_empty() {
+        None
+    } else {
+        Some(rest.parse::<u64>().map_err(|_| bad("bad gtxn suffix"))?)
+    };
+    let op = match kind {
+        OP_INSERT => TxnOp::Insert(row),
+        OP_DELETE => TxnOp::Delete(row),
         _ => return Err(bad("unknown op tag")),
     };
-    Ok((table.to_string(), op))
+    Ok(LogEntry::Op(table.to_string(), op, gtxn))
+}
+
+#[cfg(test)]
+fn decode_op(record: &Record) -> StorageResult<(String, TxnOp)> {
+    match decode_entry(record)? {
+        LogEntry::Op(table, op, _) => Ok((table, op)),
+        LogEntry::Prepare(_) | LogEntry::Commit(_) => Err(StorageError::Corrupt {
+            reason: "expected a data op, found a 2pc control record".to_string(),
+        }),
+    }
 }
 
 struct ManagerInner {
@@ -215,6 +287,10 @@ struct ManagerInner {
     /// The shared durable op log. One [`LoggedTable::append_batch`] per
     /// commit — the group-commit flush is the commit point.
     log: LoggedTable,
+    /// Distributed transactions prepared on this participant but not yet
+    /// locally committed or aborted: their validated write sets, held
+    /// until the coordinator's decision arrives.
+    prepared: BTreeMap<u64, BTreeMap<String, Vec<TxnOp>>>,
     /// `false` only under [`TxnManager::with_broken_conflict_detection`],
     /// the deliberately-unsound mode the interleaving harness must catch.
     detect_conflicts: bool,
@@ -225,6 +301,21 @@ struct ManagerInner {
 #[derive(Clone)]
 pub struct TxnManager {
     inner: Arc<Mutex<ManagerInner>>,
+}
+
+/// The outcome of [`TxnManager::recover_with_decisions`] on one 2PC
+/// participant.
+pub struct RecoveredParticipant {
+    /// The recovered manager (logs future commits into the fresh WAL).
+    pub mgr: TxnManager,
+    /// In-doubt prepares resolved to COMMIT by the coordinator's record.
+    pub in_doubt_committed: u64,
+    /// In-doubt prepares resolved to ABORT (no coordinator decision).
+    pub in_doubt_aborted: u64,
+    /// Highest global transaction id seen anywhere in this participant's
+    /// log — the coordinator restarts its gtxn counter above the max
+    /// across shards so ids never collide after recovery.
+    pub max_gtxn: u64,
 }
 
 impl TxnManager {
@@ -238,6 +329,7 @@ impl TxnManager {
                 active: 0,
                 tables: BTreeMap::new(),
                 log: LoggedTable::create(storage, op_log_schema(), wal),
+                prepared: BTreeMap::new(),
                 detect_conflicts: true,
             })),
         }
@@ -283,16 +375,35 @@ impl TxnManager {
 
     /// Begin a transaction: its snapshot is everything committed so far.
     pub fn begin(&self) -> Txn {
+        self.begin_with(false)
+    }
+
+    /// Begin an **internal** sub-transaction: identical isolation and
+    /// durability, but silent on the transaction metric families. A
+    /// sharded engine opens one sub-transaction per shard for every
+    /// distributed transaction and does its own (single) accounting, so
+    /// an N-shard deployment must not report N× the begins/commits or an
+    /// N× `xst_txn_active` gauge. [`TxnManager::active_txns`] still
+    /// counts internal transactions — it answers "who pins snapshots
+    /// here", a per-manager question.
+    pub fn begin_internal(&self) -> Txn {
+        self.begin_with(true)
+    }
+
+    fn begin_with(&self, internal: bool) -> Txn {
         let mut inner = self.inner.lock();
         let id = inner.next_txn;
         inner.next_txn += 1;
         let begin_ts = inner.last_commit;
         inner.active += 1;
-        let active = inner.active;
         drop(inner);
-        if xst_obs::enabled() {
+        // Remember whether the gauge actually saw this begin: increments
+        // and decrements must pair exactly even if the collector is
+        // toggled while the transaction is open.
+        let gauge_counted = !internal && xst_obs::enabled();
+        if gauge_counted {
             txn_begins_total().inc();
-            txn_active_gauge().set(active as f64);
+            txn_active_gauge().add(1.0);
         }
         Txn {
             mgr: self.clone(),
@@ -301,6 +412,8 @@ impl TxnManager {
             snapshots: BTreeMap::new(),
             writes: BTreeMap::new(),
             finished: false,
+            internal,
+            gauge_counted,
         }
     }
 
@@ -327,14 +440,17 @@ impl TxnManager {
     }
 
     /// A transaction finished (committed, aborted, or dropped): release
-    /// its slot in the open-transaction count.
-    fn release_txn(&self) {
+    /// its slot in the open-transaction count. `gauge_counted` says
+    /// whether the begin incremented the `xst_txn_active` gauge; the
+    /// decrement mirrors it exactly so multiple managers sharing the
+    /// process-wide gauge compose by deltas instead of overwriting each
+    /// other with their local counts.
+    fn release_txn(&self, gauge_counted: bool) {
         let mut inner = self.inner.lock();
         inner.active = inner.active.saturating_sub(1);
-        let active = inner.active;
         drop(inner);
-        if xst_obs::enabled() {
-            txn_active_gauge().set(active as f64);
+        if gauge_counted {
+            txn_active_gauge().force_add(-1.0);
         }
     }
 
@@ -361,6 +477,25 @@ impl TxnManager {
         fresh: Wal,
         catalog: &[(&str, Schema)],
     ) -> StorageResult<TxnManager> {
+        Self::recover_with_decisions(storage, wal, fresh, catalog, &BTreeSet::new()).map(|r| r.mgr)
+    }
+
+    /// Like [`TxnManager::recover`], but resolves **in-doubt** 2PC
+    /// participants from the coordinator's decision log. Replay applies
+    /// plain ops directly; gtxn-tagged ops are grouped per distributed
+    /// transaction and applied at that transaction's local COMMIT
+    /// control record. A prepare with no local commit by end-of-log is
+    /// in doubt: the crash hit between the prepare flush and the local
+    /// decision marker. It commits iff the coordinator's durable decision
+    /// record names it in `committed`; otherwise it aborts (presumed
+    /// abort — an undecided global transaction was never acknowledged).
+    pub fn recover_with_decisions(
+        storage: &Storage,
+        wal: Wal,
+        fresh: Wal,
+        catalog: &[(&str, Schema)],
+        committed: &BTreeSet<u64>,
+    ) -> StorageResult<RecoveredParticipant> {
         let log = LoggedTable::recover_onto(storage, op_log_schema(), wal, fresh)?;
         let pool = BufferPool::new(storage.clone(), 8);
         let ops = log.table.file.read_all(&pool)?;
@@ -370,15 +505,72 @@ impl TxnManager {
         }
         let mut identities: BTreeMap<String, ExtendedSet> = BTreeMap::new();
         let mut writes: BTreeMap<String, BTreeSet<Record>> = BTreeMap::new();
-        for op_record in &ops {
-            let (name, op) = decode_op(op_record)?;
-            require_table(&tables, &name)?;
+        // Ops of distributed transactions whose local decision has not
+        // been replayed yet, keyed by gtxn (the prepare flush is one
+        // marker-sealed batch, so ops and their PREPARE survive or vanish
+        // together). `decided_early` tracks prepares applied straight
+        // from the coordinator's decision set.
+        let mut pending: BTreeMap<u64, Vec<(String, TxnOp)>> = BTreeMap::new();
+        let mut decided_early: BTreeSet<u64> = BTreeSet::new();
+        let mut max_gtxn = 0u64;
+        fn apply_into(
+            identities: &mut BTreeMap<String, ExtendedSet>,
+            writes: &mut BTreeMap<String, BTreeSet<Record>>,
+            name: String,
+            op: &TxnOp,
+        ) {
             let cur = identities
                 .entry(name.clone())
                 .or_insert_with(ExtendedSet::empty);
-            *cur = apply_op(cur, &op);
+            *cur = apply_op(cur, op);
             writes.entry(name).or_default().insert(op.record().clone());
         }
+        for op_record in &ops {
+            match decode_entry(op_record)? {
+                LogEntry::Op(name, op, None) => {
+                    require_table(&tables, &name)?;
+                    apply_into(&mut identities, &mut writes, name, &op);
+                }
+                LogEntry::Op(name, op, Some(gtxn)) => {
+                    require_table(&tables, &name)?;
+                    max_gtxn = max_gtxn.max(gtxn);
+                    pending.entry(gtxn).or_default().push((name, op));
+                }
+                LogEntry::Prepare(gtxn) => {
+                    max_gtxn = max_gtxn.max(gtxn);
+                    // A transaction the coordinator durably decided commits
+                    // *here*, at its prepare position, not at end of log.
+                    // The commit lock serializes the whole 2PC round, so
+                    // nothing else lands on this log between a PREPARE and
+                    // its local COMMIT — applying at the prepare preserves
+                    // commit order even when the best-effort local COMMIT
+                    // marker was lost and a later transaction's ops (say a
+                    // delete of a row this one inserted) follow in the log.
+                    if committed.contains(&gtxn) {
+                        for (name, op) in pending.remove(&gtxn).unwrap_or_default() {
+                            apply_into(&mut identities, &mut writes, name, &op);
+                        }
+                        decided_early.insert(gtxn);
+                    }
+                }
+                LogEntry::Commit(gtxn) => {
+                    max_gtxn = max_gtxn.max(gtxn);
+                    // Already applied at its PREPARE if the decision set
+                    // named it; this local marker then adds nothing.
+                    if !decided_early.remove(&gtxn) {
+                        for (name, op) in pending.remove(&gtxn).unwrap_or_default() {
+                            apply_into(&mut identities, &mut writes, name, &op);
+                        }
+                    }
+                }
+            }
+        }
+        // End of log. A decided-committed prepare with no local COMMIT
+        // marker was already applied at its prepare position and is still
+        // in `decided_early` — that is the in-doubt-committed case.
+        // Everything still pending lacks a decision: presumed abort.
+        let in_doubt_committed = decided_early.len() as u64;
+        let in_doubt_aborted = pending.len() as u64;
         let recovered_any = !identities.is_empty();
         for (name, identity) in identities {
             let vt = tables.get_mut(&name).ok_or_else(|| broken_chain(&name))?;
@@ -388,15 +580,22 @@ impl TxnManager {
                 writes: writes.remove(&name).unwrap_or_default(),
             });
         }
-        Ok(TxnManager {
+        let mgr = TxnManager {
             inner: Arc::new(Mutex::new(ManagerInner {
                 next_txn: 1,
                 last_commit: if recovered_any { 1 } else { 0 },
                 active: 0,
                 tables,
                 log,
+                prepared: BTreeMap::new(),
                 detect_conflicts: true,
             })),
+        };
+        Ok(RecoveredParticipant {
+            mgr,
+            in_doubt_committed,
+            in_doubt_aborted,
+            max_gtxn,
         })
     }
 
@@ -419,38 +618,7 @@ impl TxnManager {
         if writes.is_empty() {
             return Ok(inner.last_commit);
         }
-        // Validation: first committer wins. Any version committed after
-        // our snapshot whose write set overlaps ours kills the commit.
-        if inner.detect_conflicts {
-            for (name, ops) in writes {
-                let vt = require_table(&inner.tables, name)?;
-                for v in vt.versions.iter().rev() {
-                    if v.commit_ts <= begin_ts {
-                        break;
-                    }
-                    if let Some(op) = ops.iter().find(|op| v.writes.contains(op.record())) {
-                        if xst_obs::enabled() {
-                            txn_conflicts_total().inc();
-                            xst_obs::cost::add_conflict();
-                        }
-                        return Err(StorageError::TxnConflict {
-                            table: name.clone(),
-                            reason: format!(
-                                "record {:?} was written by commit ts {} after snapshot ts {begin_ts}",
-                                op.record(),
-                                v.commit_ts
-                            ),
-                        });
-                    }
-                }
-            }
-        } else {
-            // Still validate table existence so the broken mode only
-            // breaks *isolation*, not the catalog.
-            for name in writes.keys() {
-                require_table(&inner.tables, name)?;
-            }
-        }
+        validate_writes(&inner, begin_ts, writes)?;
         // Durability: one op-log batch, one group-commit flush, across
         // every table this transaction touched. `Ok` here is the ack —
         // acknowledged ⇒ recoverable. `Err` leaves the batch atomically
@@ -460,28 +628,143 @@ impl TxnManager {
             .flat_map(|(name, ops)| ops.iter().map(move |op| encode_op(name, op)))
             .collect();
         inner.log.append_batch(&batch)?;
-        // Publish: one new version per written table, all at the same
-        // commit timestamp (the transaction is atomic across tables).
-        let ts = inner.last_commit + 1;
-        inner.last_commit = ts;
-        for (name, ops) in writes {
-            let vt = inner
-                .tables
-                .get_mut(name)
-                .ok_or_else(|| broken_chain(name))?;
-            let head = vt.latest().ok_or_else(|| broken_chain(name))?;
-            let mut identity = (*head.identity).clone();
-            for op in ops {
-                identity = apply_op(&identity, op);
-            }
-            vt.versions.push(TableVersion {
-                commit_ts: ts,
-                identity: Arc::new(identity),
-                writes: ops.iter().map(|op| op.record().clone()).collect(),
-            });
-        }
-        Ok(ts)
+        publish_writes(&mut inner, writes)
     }
+
+    /// **Phase one of two-phase commit.** Validate `writes` under
+    /// first-committer-wins, then make them durable — tagged with `gtxn`
+    /// and sealed with a PREPARE control record — in ONE group-commit
+    /// flush. Nothing is published: the writes stay invisible to readers
+    /// and are held in memory until [`TxnManager::commit_prepared`] or
+    /// [`TxnManager::abort_prepared`] delivers the coordinator's
+    /// decision. On `Err` the participant is clean: the batch is
+    /// atomically absent and nothing was retained.
+    ///
+    /// The coordinator must serialize prepare→decision across
+    /// participants (the sharded engine holds a commit lock for the whole
+    /// 2PC round); two overlapping prepares on one participant would
+    /// both pass validation because neither is published yet.
+    pub fn prepare(
+        &self,
+        gtxn: u64,
+        begin_ts: CommitTs,
+        writes: BTreeMap<String, Vec<TxnOp>>,
+    ) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        validate_writes(&inner, begin_ts, &writes)?;
+        let mut batch: Vec<Record> = writes
+            .iter()
+            .flat_map(|(name, ops)| ops.iter().map(move |op| encode_op_prepared(name, op, gtxn)))
+            .collect();
+        batch.push(encode_ctrl(CTRL_PREPARE, gtxn));
+        inner.log.append_batch(&batch)?;
+        inner.prepared.insert(gtxn, writes);
+        Ok(())
+    }
+
+    /// **Phase two, commit.** The coordinator's decision record is
+    /// already durable, so this CANNOT veto the transaction: the local
+    /// COMMIT control record is written best-effort (if its flush dies,
+    /// recovery resolves the in-doubt prepare from the coordinator's
+    /// decisions instead), and the prepared writes are always published.
+    /// Errors only on the invariant violations `Corrupt` covers — never
+    /// on I/O.
+    pub fn commit_prepared(&self, gtxn: u64) -> StorageResult<CommitTs> {
+        let mut inner = self.inner.lock();
+        let writes = inner
+            .prepared
+            .remove(&gtxn)
+            .ok_or_else(|| StorageError::Corrupt {
+                reason: format!("commit_prepared({gtxn}): no such prepared transaction"),
+            })?;
+        // Best-effort local decision marker; the prepare flush already
+        // made the ops durable and the coordinator record is the truth.
+        let _ = inner.log.append_batch(&[encode_ctrl(CTRL_COMMIT, gtxn)]);
+        publish_writes(&mut inner, &writes)
+    }
+
+    /// **Phase two, abort.** Purely in-memory — the prepared batch stays
+    /// in the log but recovery discards prepares with no commit decision,
+    /// so dropping the retained writes is all an abort takes. Infallible
+    /// by design: an abort path that could itself fail would wedge the
+    /// coordinator.
+    pub fn abort_prepared(&self, gtxn: u64) {
+        self.inner.lock().prepared.remove(&gtxn);
+    }
+
+    /// Distributed transactions currently prepared and awaiting a
+    /// decision on this participant.
+    pub fn prepared_txns(&self) -> usize {
+        self.inner.lock().prepared.len()
+    }
+}
+
+/// First-committer-wins validation of `writes` against every version
+/// committed after `begin_ts` (shared by the single-flush commit path and
+/// the 2PC prepare path). With detection disabled, still validates table
+/// existence so the deliberately-broken mode only breaks *isolation*.
+fn validate_writes(
+    inner: &ManagerInner,
+    begin_ts: CommitTs,
+    writes: &BTreeMap<String, Vec<TxnOp>>,
+) -> StorageResult<()> {
+    if !inner.detect_conflicts {
+        for name in writes.keys() {
+            require_table(&inner.tables, name)?;
+        }
+        return Ok(());
+    }
+    for (name, ops) in writes {
+        let vt = require_table(&inner.tables, name)?;
+        for v in vt.versions.iter().rev() {
+            if v.commit_ts <= begin_ts {
+                break;
+            }
+            if let Some(op) = ops.iter().find(|op| v.writes.contains(op.record())) {
+                if xst_obs::enabled() {
+                    txn_conflicts_total().inc();
+                    xst_obs::cost::add_conflict();
+                }
+                return Err(StorageError::TxnConflict {
+                    table: name.clone(),
+                    reason: format!(
+                        "record {:?} was written by commit ts {} after snapshot ts {begin_ts}",
+                        op.record(),
+                        v.commit_ts
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Publish validated, durable writes: one new version per written table,
+/// all at the same commit timestamp (the transaction is atomic across
+/// tables). Fails only on broken-chain invariant violations.
+fn publish_writes(
+    inner: &mut ManagerInner,
+    writes: &BTreeMap<String, Vec<TxnOp>>,
+) -> StorageResult<CommitTs> {
+    let ts = inner.last_commit + 1;
+    inner.last_commit = ts;
+    for (name, ops) in writes {
+        let vt = inner
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| broken_chain(name))?;
+        let head = vt.latest().ok_or_else(|| broken_chain(name))?;
+        let mut identity = (*head.identity).clone();
+        for op in ops {
+            identity = apply_op(&identity, op);
+        }
+        vt.versions.push(TableVersion {
+            commit_ts: ts,
+            identity: Arc::new(identity),
+            writes: ops.iter().map(|op| op.record().clone()).collect(),
+        });
+    }
+    Ok(ts)
 }
 
 /// A version chain lost its seed entry (or a validated table vanished) —
@@ -528,6 +811,13 @@ pub struct Txn {
     snapshots: BTreeMap<String, Arc<ExtendedSet>>,
     writes: BTreeMap<String, Vec<TxnOp>>,
     finished: bool,
+    /// Metric-silent sub-transaction of a distributed transaction (see
+    /// [`TxnManager::begin_internal`]).
+    internal: bool,
+    /// Whether the begin incremented the `xst_txn_active` gauge; the
+    /// release decrements iff it did, so increments and decrements pair
+    /// exactly across collector toggles.
+    gauge_counted: bool,
 }
 
 impl Txn {
@@ -628,11 +918,11 @@ impl Txn {
     /// aborted and had no effect (the failed batch is atomically absent
     /// from the log).
     pub fn commit(mut self) -> StorageResult<CommitTs> {
-        let timer = xst_obs::enabled().then(Instant::now);
+        let timer = (!self.internal && xst_obs::enabled()).then(Instant::now);
         self.finished = true;
         let result = self.mgr.commit_writes(self.begin_ts, &self.writes);
-        self.mgr.release_txn();
-        if xst_obs::enabled() {
+        self.mgr.release_txn(self.gauge_counted);
+        if !self.internal && xst_obs::enabled() {
             match &result {
                 Ok(_) => {
                     txn_commits_total().inc();
@@ -649,18 +939,29 @@ impl Txn {
     /// Abort: discard every buffered write. Also what [`Drop`] does.
     pub fn abort(mut self) {
         self.finished = true;
-        self.mgr.release_txn();
-        if xst_obs::enabled() {
+        self.mgr.release_txn(self.gauge_counted);
+        if !self.internal && xst_obs::enabled() {
             txn_aborts_total().inc();
         }
+    }
+
+    /// Tear the transaction down and hand its snapshot timestamp and
+    /// buffered writes to a 2PC coordinator: the sharded engine turns
+    /// each per-shard sub-transaction into a [`TxnManager::prepare`]
+    /// call. Releases the open-transaction slot — from here on the
+    /// prepared write set, not the transaction handle, carries the work.
+    pub(crate) fn into_writes(mut self) -> (CommitTs, BTreeMap<String, Vec<TxnOp>>) {
+        self.finished = true;
+        self.mgr.release_txn(self.gauge_counted);
+        (self.begin_ts, std::mem::take(&mut self.writes))
     }
 }
 
 impl Drop for Txn {
     fn drop(&mut self) {
         if !self.finished {
-            self.mgr.release_txn();
-            if xst_obs::enabled() {
+            self.mgr.release_txn(self.gauge_counted);
+            if !self.internal && xst_obs::enabled() {
                 txn_aborts_total().inc();
             }
         }
@@ -831,6 +1132,141 @@ mod tests {
         assert!(txn.scan("nope").is_err());
         assert!(txn.insert("t", Record::new([Value::Int(1)])).is_err());
         assert!(mgr.create_table("t", kv_schema()).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn prepared_writes_are_invisible_until_commit_prepared() {
+        let (_s, _w, mgr) = fresh();
+        let mut txn = mgr.begin_internal();
+        txn.insert("t", row(1, 10)).unwrap();
+        txn.insert("t", row(2, 20)).unwrap();
+        let (begin_ts, writes) = txn.into_writes();
+        mgr.prepare(7, begin_ts, writes).unwrap();
+        assert_eq!(mgr.prepared_txns(), 1);
+        // Phase one made nothing visible.
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![]);
+        let ts = mgr.commit_prepared(7).unwrap();
+        assert_eq!(ts, 1);
+        assert_eq!(mgr.prepared_txns(), 0);
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![row(1, 10), row(2, 20)]);
+        // Unknown gtxn is an invariant violation.
+        assert!(mgr.commit_prepared(99).is_err());
+    }
+
+    #[test]
+    fn abort_prepared_discards_in_memory_and_on_recovery() {
+        let (storage, wal, mgr) = fresh();
+        let mut txn = mgr.begin_internal();
+        txn.insert("t", row(1, 10)).unwrap();
+        let (begin_ts, writes) = txn.into_writes();
+        mgr.prepare(3, begin_ts, writes).unwrap();
+        mgr.abort_prepared(3);
+        assert_eq!(mgr.prepared_txns(), 0);
+        assert_eq!(mgr.begin().scan("t").unwrap(), vec![]);
+        // The prepared batch is still physically in the log, but replay
+        // without a decision for gtxn 3 discards it.
+        drop(mgr);
+        let r = TxnManager::recover_with_decisions(
+            &storage,
+            wal,
+            Wal::new(),
+            &[("t", kv_schema())],
+            &BTreeSet::new(),
+        )
+        .unwrap();
+        assert_eq!(r.mgr.begin().scan("t").unwrap(), vec![]);
+        assert_eq!(r.in_doubt_aborted, 1);
+        assert_eq!(r.in_doubt_committed, 0);
+        assert_eq!(r.max_gtxn, 3);
+    }
+
+    #[test]
+    fn in_doubt_prepares_resolve_from_the_coordinator_decision_set() {
+        let (storage, wal, mgr) = fresh();
+        mgr.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        let mut txn = mgr.begin_internal();
+        txn.insert("t", row(2, 20)).unwrap();
+        let (begin_ts, writes) = txn.into_writes();
+        mgr.prepare(11, begin_ts, writes).unwrap();
+        drop(mgr); // crash between prepare and the local decision marker
+        let committed: BTreeSet<u64> = [11].into_iter().collect();
+        let r = TxnManager::recover_with_decisions(
+            &storage,
+            wal,
+            Wal::new(),
+            &[("t", kv_schema())],
+            &committed,
+        )
+        .unwrap();
+        assert_eq!(
+            r.mgr.begin().scan("t").unwrap(),
+            vec![row(1, 10), row(2, 20)],
+            "coordinator said COMMIT: the in-doubt prepare applies"
+        );
+        assert_eq!(r.in_doubt_committed, 1);
+        assert_eq!(r.max_gtxn, 11);
+    }
+
+    #[test]
+    fn locally_committed_prepares_recover_without_decisions() {
+        let (storage, wal, mgr) = fresh();
+        let mut txn = mgr.begin_internal();
+        txn.insert("t", row(5, 50)).unwrap();
+        let (begin_ts, writes) = txn.into_writes();
+        mgr.prepare(2, begin_ts, writes).unwrap();
+        mgr.commit_prepared(2).unwrap();
+        drop(mgr); // crash after the local COMMIT marker
+        let recovered =
+            TxnManager::recover(&storage, wal, Wal::new(), &[("t", kv_schema())]).unwrap();
+        assert_eq!(recovered.begin().scan("t").unwrap(), vec![row(5, 50)]);
+    }
+
+    #[test]
+    fn prepare_validates_first_committer_wins() {
+        let (_s, _w, mgr) = fresh();
+        mgr.autocommit_insert("t", &[row(1, 10)]).unwrap();
+        let mut txn = mgr.begin_internal();
+        txn.delete("t", row(1, 10)).unwrap();
+        let (begin_ts, writes) = txn.into_writes();
+        // A conflicting single-flush commit lands first.
+        let mut rival = mgr.begin();
+        rival.delete("t", row(1, 10)).unwrap();
+        rival.insert("t", row(1, 11)).unwrap();
+        rival.commit().unwrap();
+        match mgr.prepare(4, begin_ts, writes) {
+            Err(StorageError::TxnConflict { table, .. }) => assert_eq!(table, "t"),
+            other => panic!("prepare must validate, got {other:?}"),
+        }
+        assert_eq!(mgr.prepared_txns(), 0, "failed prepare retains nothing");
+    }
+
+    #[test]
+    fn tagged_op_and_control_codec_roundtrip() {
+        let op = TxnOp::Delete(row(8, 80));
+        match decode_entry(&encode_op_prepared("u", &op, 42)).unwrap() {
+            LogEntry::Op(name, back, Some(42)) => {
+                assert_eq!(name, "u");
+                assert_eq!(back, op);
+            }
+            _ => panic!("tagged op did not round-trip"),
+        }
+        match decode_entry(&encode_ctrl(CTRL_PREPARE, 7)).unwrap() {
+            LogEntry::Prepare(7) => {}
+            _ => panic!("prepare ctrl did not round-trip"),
+        }
+        match decode_entry(&encode_ctrl(CTRL_COMMIT, 9)).unwrap() {
+            LogEntry::Commit(9) => {}
+            _ => panic!("commit ctrl did not round-trip"),
+        }
+        // Garbage gtxn suffixes and unknown control tags are corruption.
+        let bad = Record::new([
+            Value::str("t"),
+            Value::sym("ixy"),
+            Value::Set(row(1, 1).to_tuple()),
+        ]);
+        assert!(decode_entry(&bad).is_err());
+        let bad = Record::new([Value::str(CTRL_TABLE), Value::sym("z"), Value::Int(1)]);
+        assert!(decode_entry(&bad).is_err());
     }
 
     #[test]

@@ -493,4 +493,171 @@ pub mod crash {
         }
         sites
     }
+
+    // -----------------------------------------------------------------
+    // The sharded workload: the same discipline across a multi-shard
+    // deployment, where a crash can land inside any phase of two-phase
+    // commit on any shard or on the coordinator.
+    // -----------------------------------------------------------------
+
+    use xst_storage::{shard_of, SetEngine, ShardedEngine};
+
+    /// Shards in the sharded crash workload.
+    pub const SHARD_COUNT: usize = 3;
+    /// Table of the sharded crash workload.
+    pub const SHARDED_TABLE: &str = "d";
+    /// Distributed transactions the scripted sharded workload commits.
+    pub const SHARDED_COMMITS: usize = 6;
+    /// Records per multi-shard transaction (spread over the hash so
+    /// nearly every commit runs the full prepare/decide/commit round).
+    pub const SHARDED_SPREAD: i64 = 4;
+
+    /// What a crashed (or completed) sharded run leaves behind.
+    pub struct ShardedRun {
+        /// Expected table contents from *acknowledged* commits only.
+        pub acked: BTreeSet<Record>,
+        /// Display form of the first surfaced error, if the run crashed.
+        pub crashed: Option<String>,
+        /// The surviving deployment: every shard's devices plus the
+        /// coordinator's decision log, exactly as the crash left them.
+        pub engine: ShardedEngine,
+    }
+
+    /// Drive a scripted distributed workload — [`SHARDED_COMMITS`]
+    /// transactions against a [`SHARD_COUNT`]-shard engine, one
+    /// single-record transaction first (the one-flush fast path) and
+    /// multi-record spreads after (the full 2PC round), with periodic
+    /// deletes of earlier rows and one distributed transaction left
+    /// in-flight at the end. A transaction counts as acknowledged iff
+    /// its `commit()` returned `Ok`.
+    pub fn drive_sharded_workload(plan: Option<&FaultPlan>, retry: RetryPolicy) -> ShardedRun {
+        let engine = ShardedEngine::with_shards(SHARD_COUNT).with_retry_policy(retry);
+        engine
+            .create_table(SHARDED_TABLE, txn_schema())
+            .expect("catalog is in-memory");
+        if let Some(p) = plan {
+            engine.install_faults(p);
+        }
+        let mut model: BTreeSet<Record> = BTreeSet::new();
+        let mut crashed = None;
+        for i in 0..SHARDED_COMMITS as i64 {
+            let mut txn = engine.begin();
+            let mut staged: Vec<(Record, bool)> = Vec::new();
+            let spread = if i == 0 { 1 } else { SHARDED_SPREAD };
+            for k in 0..spread {
+                let rec = txn_rec(10 * i + k);
+                txn.insert(SHARDED_TABLE, rec.clone())
+                    .expect("buffered writes do no I/O");
+                staged.push((rec, true));
+            }
+            if i % 3 == 0 && i > 0 {
+                let victim = txn_rec(10 * (i - 1));
+                txn.delete(SHARDED_TABLE, victim.clone())
+                    .expect("buffered writes do no I/O");
+                staged.push((victim, false));
+            }
+            match txn.commit() {
+                Ok(_) => {
+                    for (rec, insert) in staged {
+                        if insert {
+                            model.insert(rec);
+                        } else {
+                            model.remove(&rec);
+                        }
+                    }
+                }
+                Err(e) => {
+                    crashed = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if crashed.is_none() {
+            // The in-flight distributed transaction: buffered on every
+            // shard, prepared nowhere. It must vanish atomically.
+            let mut doomed = engine.begin();
+            for k in 0..SHARDED_SPREAD {
+                doomed
+                    .insert(SHARDED_TABLE, txn_rec(990 + k))
+                    .expect("buffered writes do no I/O");
+            }
+            std::mem::forget(doomed);
+        }
+        ShardedRun {
+            acked: model,
+            crashed,
+            engine,
+        }
+    }
+
+    /// Crash the sharded run's process, recover the whole deployment
+    /// through [`ShardedEngine::recover`] (which resolves in-doubt
+    /// prepares from the coordinator's decision log), and return the
+    /// recovered table rows. Along the way, assert the scatter
+    /// invariant: every recovered record lives on exactly the shard the
+    /// hash owns it to, with no duplicates across shards — so a
+    /// half-committed distributed transaction cannot hide as a
+    /// fragment mismatch.
+    pub fn recover_sharded_table(run: &ShardedRun) -> BTreeSet<Record> {
+        let recovered = run
+            .engine
+            .recover()
+            .expect("sharded recovery must succeed on a fault-free substrate");
+        let mut txn = recovered.begin();
+        let frags = txn
+            .read_fragments(SHARDED_TABLE)
+            .expect("recovered table must read");
+        txn.abort();
+        let mut rows = BTreeSet::new();
+        for (i, frag) in frags.iter().enumerate() {
+            for rec in SetEngine::to_records(frag).expect("fragment decodes to records") {
+                assert_eq!(
+                    shard_of(&rec, SHARD_COUNT),
+                    i,
+                    "record recovered on a shard that does not own it"
+                );
+                assert!(rows.insert(rec), "record duplicated across shards");
+            }
+        }
+        rows
+    }
+
+    /// Injectable-site count of the sharded workload (every shard's
+    /// storage and WAL plus the coordinator's, one shared counter).
+    pub fn count_sharded_sites() -> u64 {
+        let counting = FaultPlan::counting();
+        let clean = drive_sharded_workload(Some(&counting), RetryPolicy::none());
+        assert!(
+            clean.crashed.is_none(),
+            "counting plan must not crash: {:?}",
+            clean.crashed
+        );
+        counting.sites_seen()
+    }
+
+    /// The 2PC crash regression: crash the sharded workload at *every*
+    /// injectable site with `kind` — inside prepare flushes, the
+    /// coordinator's decision flush, local commit markers, and heap
+    /// applies, on every shard — recover the deployment, and assert
+    /// all-or-nothing across shards: acknowledged distributed commits
+    /// survive on every shard they touched, unacknowledged ones leave no
+    /// trace on any shard. Returns the number of sites swept.
+    pub fn exhaustive_sharded_crash_sweep(kind: FaultKind) -> u64 {
+        let sites = count_sharded_sites();
+        assert!(sites > 0, "sharded workload has injectable sites");
+        for site in 0..sites {
+            let plan = FaultPlan::new(FaultSchedule::AtSite(site), kind);
+            let run = drive_sharded_workload(Some(&plan), RetryPolicy::none());
+            assert_eq!(plan.injected_count(), 1, "site {site} must fire");
+            let recovered = recover_sharded_table(&run);
+            assert_eq!(
+                recovered, run.acked,
+                "site {site}/{sites}, kind {kind}: the recovered deployment must \
+                 hold exactly the acknowledged distributed commits, atomically \
+                 across shards (crash: {:?})",
+                run.crashed
+            );
+        }
+        sites
+    }
 }

@@ -15,8 +15,10 @@
 use proptest::prelude::*;
 use xst_storage::{FaultKind, FaultPlan, FaultSchedule, RetryPolicy};
 use xst_testkit::crash::{
-    count_sites, count_txn_sites, drive_txn_workload, drive_workload, exhaustive_crash_sweep,
-    exhaustive_txn_crash_sweep, recover_and_rows, recover_txn_tables, BATCHES, TXN_COMMITS,
+    count_sharded_sites, count_sites, count_txn_sites, drive_sharded_workload, drive_txn_workload,
+    drive_workload, exhaustive_crash_sweep, exhaustive_sharded_crash_sweep,
+    exhaustive_txn_crash_sweep, recover_and_rows, recover_sharded_table, recover_txn_tables,
+    BATCHES, SHARDED_COMMITS, SHARDED_SPREAD, TXN_COMMITS,
 };
 
 // ---------------------------------------------------------------------------
@@ -159,6 +161,73 @@ fn txn_site_count_is_stable_across_runs() {
 }
 
 // ---------------------------------------------------------------------------
+// The sweep across shards: crash inside any phase of two-phase commit —
+// a shard's prepare flush, the coordinator's decision flush, a local
+// commit marker, a heap apply — on any shard, and recovery must be
+// all-or-nothing for every distributed transaction.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_2pc_site_recovers_distributed_commits_from_failed_writes() {
+    let sites = exhaustive_sharded_crash_sweep(FaultKind::WriteFail);
+    assert!(
+        sites >= 10,
+        "sharded workload too small to mean anything: {sites}"
+    );
+}
+
+#[test]
+fn every_2pc_site_recovers_distributed_commits_from_torn_writes() {
+    exhaustive_sharded_crash_sweep(FaultKind::TornWrite(37));
+}
+
+#[test]
+fn every_2pc_site_recovers_distributed_commits_from_nearly_complete_torn_writes() {
+    exhaustive_sharded_crash_sweep(FaultKind::TornWrite(4000));
+}
+
+#[test]
+fn every_2pc_site_recovers_distributed_commits_from_failed_syncs() {
+    exhaustive_sharded_crash_sweep(FaultKind::SyncFail);
+}
+
+#[test]
+fn every_2pc_site_recovers_distributed_commits_from_short_reads() {
+    exhaustive_sharded_crash_sweep(FaultKind::ShortRead(512));
+}
+
+#[test]
+fn every_2pc_site_recovers_distributed_commits_from_unretried_transients() {
+    exhaustive_sharded_crash_sweep(FaultKind::Transient);
+}
+
+#[test]
+fn sharded_commits_survive_fault_free_crash_and_inflight_dtxns_vanish() {
+    let run = drive_sharded_workload(None, RetryPolicy::none());
+    assert_eq!(run.crashed, None);
+    // One single-record txn, the rest SHARDED_SPREAD-record spreads,
+    // minus the periodic deletes of earlier rows.
+    let inserts = 1 + (SHARDED_COMMITS - 1) * SHARDED_SPREAD as usize;
+    let deletes = (SHARDED_COMMITS - 1) / 3;
+    assert_eq!(run.acked.len(), inserts - deletes);
+    assert_eq!(recover_sharded_table(&run), run.acked);
+}
+
+#[test]
+fn sharded_retry_absorbs_periodic_transients() {
+    let plan = FaultPlan::new(FaultSchedule::EveryNth(3), FaultKind::Transient);
+    let run = drive_sharded_workload(Some(&plan), RetryPolicy::default());
+    assert_eq!(run.crashed, None, "retry must absorb every periodic fault");
+    assert!(plan.injected_count() > 0, "faults actually fired");
+    assert_eq!(recover_sharded_table(&run), run.acked);
+}
+
+#[test]
+fn sharded_site_count_is_stable_across_runs() {
+    assert_eq!(count_sharded_sites(), count_sharded_sites());
+}
+
+// ---------------------------------------------------------------------------
 // Randomized fault schedules: the contract is schedule-independent.
 // ---------------------------------------------------------------------------
 
@@ -215,6 +284,26 @@ proptest! {
         let tables = recover_txn_tables(&run);
         prop_assert_eq!(
             tables,
+            run.acked.clone(),
+            "kind {}, schedule {:?}, attempts {}: crash {:?}",
+            kind,
+            schedule,
+            attempts,
+            run.crashed
+        );
+    }
+
+    #[test]
+    fn randomized_fault_schedules_preserve_the_2pc_contract(
+        kind in arb_kind(),
+        schedule in arb_schedule(),
+        attempts in 1u32..5,
+    ) {
+        let plan = FaultPlan::new(schedule, kind);
+        let run = drive_sharded_workload(Some(&plan), RetryPolicy::new(attempts, 100, 10_000));
+        let rows = recover_sharded_table(&run);
+        prop_assert_eq!(
+            rows,
             run.acked.clone(),
             "kind {}, schedule {:?}, attempts {}: crash {:?}",
             kind,

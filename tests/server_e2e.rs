@@ -240,6 +240,138 @@ fn client_drop_mid_txn_aborts_and_releases_the_snapshot() {
     }
 }
 
+/// The `xst_txn_active` gauge must return exactly to baseline on EVERY
+/// session exit path — commit, abort, a conflict-losing commit, a
+/// vanished peer, and a server shutdown with sessions still open. Any
+/// path that forgets its decrement drifts the gauge forever (it is
+/// process-global), so each path gets its own connection here.
+#[test]
+fn txn_active_gauge_returns_to_zero_on_every_exit_path() {
+    let _guard = serial();
+    let (server, engine, addr) = start_server(ServerConfig::default());
+    let active_gauge = xst_obs::registry().gauge(
+        xst_obs::names::TXN_ACTIVE,
+        "Transactions currently open (each pins a snapshot identity).",
+    );
+    let baseline = active_gauge.get();
+
+    // Path 1: explicit commit.
+    let mut c = connect(&addr, "committer");
+    c.begin().unwrap();
+    c.put("t", &xset![1]).unwrap();
+    assert_eq!(active_gauge.get(), baseline + 1.0);
+    c.commit().unwrap();
+    assert_eq!(active_gauge.get(), baseline, "commit path leaked");
+
+    // Path 2: explicit abort.
+    c.begin().unwrap();
+    c.put("t", &xset![2]).unwrap();
+    c.abort().unwrap();
+    assert_eq!(active_gauge.get(), baseline, "abort path leaked");
+
+    // Path 3: a commit that LOSES first-committer-wins validation. The
+    // loser's transaction is dead server-side; its gauge count must go
+    // with it.
+    let mut rival = connect(&addr, "rival");
+    c.begin().unwrap();
+    c.put("t", &xset![3]).unwrap();
+    rival.begin().unwrap();
+    rival.put("t", &xset![3]).unwrap();
+    c.commit().unwrap();
+    let e = rival.commit().unwrap_err();
+    assert!(e.is_conflict(), "{e}");
+    assert_eq!(active_gauge.get(), baseline, "conflict-loss path leaked");
+
+    // Path 4: the peer vanishes mid-transaction.
+    c.begin().unwrap();
+    c.put("t", &xset![4]).unwrap();
+    wait_for("txn registered", || active_gauge.get() == baseline + 1.0);
+    drop(c);
+    wait_for("disconnect released the gauge", || {
+        active_gauge.get() == baseline
+    });
+
+    // Path 5: server shutdown with a session mid-transaction.
+    let mut last = connect(&addr, "open-at-shutdown");
+    last.begin().unwrap();
+    last.put("t", &xset![5]).unwrap();
+    wait_for("txn registered", || active_gauge.get() == baseline + 1.0);
+    let mut server = server;
+    server.stop();
+    wait_for("shutdown released the gauge", || {
+        active_gauge.get() == baseline
+    });
+    assert_eq!(engine.sharded().active_txns(), 0);
+}
+
+/// An N-shard engine opens one sub-transaction per shard for every
+/// distributed transaction; the gauge (and begin/commit counters) must
+/// count the DISTRIBUTED transaction once, not once per shard.
+#[test]
+fn sharded_engine_counts_one_distributed_txn_not_one_per_shard() {
+    let _guard = serial();
+    let engine = Arc::new(ServedEngine::with_shards(3));
+    let server =
+        Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let active_gauge = xst_obs::registry().gauge(
+        xst_obs::names::TXN_ACTIVE,
+        "Transactions currently open (each pins a snapshot identity).",
+    );
+    let baseline = active_gauge.get();
+
+    let mut c = connect(&addr, "sharded");
+    c.begin().unwrap();
+    // Enough members to touch several shards.
+    let spread = ExtendedSet::classical((0..32).collect::<Vec<i64>>());
+    c.put("wide", &spread).unwrap();
+    wait_for("one distributed txn on the gauge", || {
+        active_gauge.get() == baseline + 1.0
+    });
+    assert_eq!(engine.sharded().active_txns(), 1);
+    c.commit().unwrap();
+    wait_for("distributed commit released the gauge", || {
+        active_gauge.get() == baseline
+    });
+    // The committed members survive the scatter: gather returns them all.
+    let got = records_identity_to_set(&c.get("wide").unwrap()).unwrap();
+    assert_eq!(got, spread);
+    drop(c);
+    drop(server);
+}
+
+/// Toggling the collector mid-transaction must not drift the gauge in
+/// either direction: a txn begun while disabled never decrements, and a
+/// txn begun while enabled decrements exactly once even if the collector
+/// was toggled in between.
+#[test]
+fn txn_active_gauge_survives_collector_toggles() {
+    let _guard = serial();
+    let (_server, _engine, addr) = start_server(ServerConfig::default());
+    let active_gauge = xst_obs::registry().gauge(
+        xst_obs::names::TXN_ACTIVE,
+        "Transactions currently open (each pins a snapshot identity).",
+    );
+    let baseline = active_gauge.get();
+
+    // Begun disabled, released enabled: no decrement (would go negative).
+    xst_obs::disable();
+    let mut c = connect(&addr, "toggler");
+    c.begin().unwrap();
+    xst_obs::enable();
+    c.abort().unwrap();
+    assert_eq!(active_gauge.get(), baseline, "phantom decrement");
+
+    // Begun enabled, released disabled-then-enabled: exactly one
+    // decrement, applied when the txn actually ends.
+    c.begin().unwrap();
+    assert_eq!(active_gauge.get(), baseline + 1.0);
+    xst_obs::disable();
+    c.abort().unwrap();
+    xst_obs::enable();
+    assert_eq!(active_gauge.get(), baseline, "missed decrement");
+}
+
 #[test]
 fn connection_cap_overflow_rejected_with_typed_error_and_counted() {
     let _guard = serial();
