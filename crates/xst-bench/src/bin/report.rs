@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (E12–E18) are also
+//! Experiments that produce structured numbers (E12–E19) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -143,6 +143,12 @@ fn main() {
     if want("e18") {
         let (n, iters) = if quick { (5_000, 9) } else { (50_000, 15) };
         let (table, entries) = exp::e18_scatter_gather(n, iters, &[1, 2, 4]);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if want("e19") {
+        let (n, iters) = if quick { (2_000, 7) } else { (20_000, 11) };
+        let (table, entries) = exp::e19_wire_coordinator(n, iters);
         print!("{table}");
         json_entries.extend(entries);
     }

@@ -1896,3 +1896,154 @@ pub fn e18_scatter_gather(
     );
     (table, entries)
 }
+
+/// E19 — cross-process sharding: the wire 2PC coordinator (real TCP,
+/// frame codec, Prepare/Decide round, durable decision log) vs the
+/// in-process [`ShardedEngine`] on the identical workload — one
+/// distributed transaction scattering `n` members across 2 shards,
+/// then one gathered read. E18 priced the scatter-gather *evaluator*;
+/// this prices the *wire* around it. Interleaved A/B sampling:
+/// every iteration takes one in-process and one wire sample of each
+/// phase back to back, so a lost timeslice hits both series equally.
+pub fn e19_wire_coordinator(
+    n: usize,
+    iters: usize,
+) -> (String, Vec<crate::report_json::BenchEntry>) {
+    use crate::report_json::BenchEntry;
+    use std::sync::Arc;
+    use xst_client::coord::Coordinator;
+    use xst_server::{
+        member_schema, records_identity_to_set, set_to_records, ServedEngine, Server, ServerConfig,
+    };
+    use xst_storage::ShardedEngine;
+
+    const SHARDS: usize = 2;
+    let set = ExtendedSet::classical((0..n as i64).collect::<Vec<_>>());
+    let records = set_to_records(&set);
+
+    // The in-process baseline: one engine, SHARDS shards, internal 2PC.
+    let engine = ShardedEngine::with_shards(SHARDS);
+
+    // The wire cluster: SHARDS single-shard servers plus a coordinator
+    // running the same two-phase round over TCP.
+    let mut servers = Vec::with_capacity(SHARDS);
+    let mut addrs = Vec::with_capacity(SHARDS);
+    for _ in 0..SHARDS {
+        let served = Arc::new(ServedEngine::new());
+        let server = Server::start(served, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        addrs.push(server.addr().to_string());
+        servers.push(server);
+    }
+    let mut coord = Coordinator::connect(&addrs, Some(std::time::Duration::from_secs(30))).unwrap();
+
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let (mut ip_txn, mut wire_txn) = (Vec::new(), Vec::new());
+    let (mut ip_read, mut wire_read) = (Vec::new(), Vec::new());
+    for i in 0..iters {
+        // Fresh tables per iteration so every sample writes and reads
+        // the same number of rows.
+        let t_ip = format!("ip{i}");
+        let t_wire = format!("wire{i}");
+
+        engine.create_table(&t_ip, member_schema()).unwrap();
+        let start = Instant::now();
+        let mut txn = engine.begin();
+        for r in &records {
+            txn.insert(&t_ip, r.clone()).unwrap();
+        }
+        std::hint::black_box(txn.commit().unwrap());
+        ip_txn.push(start.elapsed().as_nanos() as u64);
+
+        let start = Instant::now();
+        coord.begin().unwrap();
+        coord.put(&t_wire, &set).unwrap();
+        std::hint::black_box(coord.commit().unwrap());
+        wire_txn.push(start.elapsed().as_nanos() as u64);
+
+        // Both reads end in the member set (the server applies the
+        // identity→members conversion per fragment; the in-process
+        // mirror pays the same conversion once).
+        let start = Instant::now();
+        let got_ip = records_identity_to_set(&engine.latest_identity(&t_ip).unwrap()).unwrap();
+        ip_read.push(start.elapsed().as_nanos() as u64);
+
+        let start = Instant::now();
+        let got_wire = coord.get(&t_wire).unwrap();
+        wire_read.push(start.elapsed().as_nanos() as u64);
+
+        assert_eq!(got_wire, got_ip, "wire gather must match in-process gather");
+        assert_eq!(got_wire, set, "no member may be lost or invented");
+    }
+    drop(coord);
+    for server in &mut servers {
+        server.stop();
+    }
+
+    let (it, wt) = (median(ip_txn), median(wire_txn));
+    let (ir, wr) = (median(ip_read), median(wire_read));
+    let mut t = TableBuilder::new(
+        "E19 wire 2PC coordinator vs in-process sharded engine (median of iters)",
+        &[
+            "phase",
+            "rows",
+            "in-process ms",
+            "wire ms",
+            "wire/in-process",
+        ],
+    );
+    t.row(&[
+        "txn (begin+put+2PC commit)".into(),
+        n.to_string(),
+        format!("{:.3}", it as f64 / 1e6),
+        format!("{:.3}", wt as f64 / 1e6),
+        format!("{:.2}x", wt as f64 / it as f64),
+    ]);
+    t.row(&[
+        "gathered read".into(),
+        n.to_string(),
+        format!("{:.3}", ir as f64 / 1e6),
+        format!("{:.3}", wr as f64 / 1e6),
+        format!("{:.2}x", wr as f64 / ir as f64),
+    ]);
+    let meta = vec![
+        ("rows", n.to_string()),
+        ("iters", iters.to_string()),
+        ("shards", SHARDS.to_string()),
+    ];
+    let entries = vec![
+        BenchEntry::ns("e19_inproc_txn", it, &meta),
+        BenchEntry::ns("e19_wire_txn", wt, &meta),
+        BenchEntry::ratio(
+            "e19_wire_txn_overhead",
+            wt as f64 / it as f64,
+            &[(
+                "note",
+                "wire 2PC round (frames + CRC + decision log) over the \
+                 in-process engine's internal two-phase commit"
+                    .to_string(),
+            )],
+        ),
+        BenchEntry::ns("e19_inproc_read", ir, &meta),
+        BenchEntry::ns("e19_wire_read", wr, &meta),
+        BenchEntry::ratio(
+            "e19_wire_read_overhead",
+            wr as f64 / ir as f64,
+            &[(
+                "note",
+                "per-shard frag-read round-trips + root gather over the \
+                 in-process gathered identity"
+                    .to_string(),
+            )],
+        ),
+    ];
+    let table = t.finish(
+        "the wire columns pay the frame codec, CRC, kernel round-trips, \
+         and the coordinator's durable decision log on top of the same \
+         storage work; the ratio is the cost of crossing process \
+         boundaries, not of sharding itself (E18 prices that).",
+    );
+    (table, entries)
+}

@@ -1,0 +1,686 @@
+//! # Wire-protocol 2PC coordinator over N shard processes
+//!
+//! [`Coordinator`] promotes the in-process `ShardedEngine` coordinator
+//! to a **cross-process** one: each shard is a separate `xst-server`
+//! reached over the length-prefixed CRC-framed protocol, and the
+//! coordinator drives the same commit state machine over the wire —
+//! scatter writes by member hash, read by gathering per-shard
+//! fragments ([`Request::FragRead`]), and settle multi-shard commits
+//! with a wire 2PC round ([`Request::Prepare`] /
+//! [`Request::Decide`] / [`Request::Resolve`]).
+//!
+//! ## The decision log is the acknowledgement
+//!
+//! Exactly as in the in-process engine, the coordinator's own durable
+//! decision log (one `gtxn` record per committed global transaction,
+//! presence == COMMIT, absence == ABORT) is **the** acknowledgement:
+//!
+//! 1. `Prepare(gtxn)` to every written shard — each seals its staged
+//!    writes and a PREPARE control record in one marker-sealed flush;
+//! 2. the coordinator appends the decision record to its own log —
+//!    *this flush is the commit point*;
+//! 3. `Decide(gtxn, commit)` to every prepared shard — **best effort**.
+//!    A lost decision message cannot change the outcome: the decision
+//!    is durable, and [`Coordinator::recover`] replays the log and
+//!    sends [`Request::Resolve`] so every reachable shard converges.
+//!
+//! Crash before step 2 and no decision exists — every shard
+//! presumed-aborts its in-doubt prepare at resolve. Crash after step 2
+//! and the transaction IS committed — recovery re-delivers the
+//! decision. There is no window where shards can disagree (split-brain)
+//! because no shard ever decides unilaterally: prepared state waits for
+//! a decision or a resolve, nothing else.
+//!
+//! ## Sequencing
+//!
+//! The coordinator issues strictly sequential round-trips (one
+//! outstanding request across the whole cluster). That is deliberately
+//! boring: the deterministic network-fault sweep in `xst-testkit`
+//! numbers every coordinator↔shard message as a fault site, and
+//! sequential rounds make the numbering a total order.
+
+use crate::{Client, ClientError};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use xst_core::ops::{gather, Parallelism};
+use xst_core::{ExtendedSet, SetBuilder};
+use xst_obs::{registry, Counter, Gauge};
+use xst_query::{eval_sharded, Expr, ShardedBindings};
+use xst_server::proto::ErrorCode;
+use xst_server::set_to_records;
+use xst_storage::{
+    decision_schema, shard_of, BufferPool, LoggedTable, Record, Storage, StorageError, Wal,
+};
+
+/// Everything that can go wrong driving the cluster.
+#[derive(Debug)]
+pub enum CoordError {
+    /// A shard connection failed (transport, protocol, or remote error).
+    Shard {
+        /// Index of the shard whose round-trip failed.
+        shard: usize,
+        /// The underlying client failure.
+        source: ClientError,
+    },
+    /// The coordinator's own decision log failed to flush — the
+    /// transaction was aborted (no decision exists).
+    DecisionLog(StorageError),
+    /// Request illegal in the coordinator's current transaction state.
+    State(String),
+    /// The test-only crash hook fired: the decision for this gtxn is
+    /// durable but its delivery was deliberately suppressed, simulating
+    /// a coordinator crash between the decision flush and the Decide
+    /// round. Only reachable via [`Coordinator::kill_after_decision`].
+    KilledAfterDecision {
+        /// The globally-committed transaction whose Decide never left.
+        gtxn: u64,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            CoordError::DecisionLog(e) => write!(f, "decision log flush failed: {e}"),
+            CoordError::State(m) => write!(f, "coordinator state: {m}"),
+            CoordError::KilledAfterDecision { gtxn } => {
+                write!(f, "coordinator killed after deciding gtxn {gtxn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// Result alias for every coordinator call.
+pub type CoordResult<T> = Result<T, CoordError>;
+
+fn shard_err(shard: usize, source: ClientError) -> CoordError {
+    CoordError::Shard { shard, source }
+}
+
+fn shards_gauge() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        registry().gauge(
+            xst_obs::names::COORD_SHARDS,
+            "Shard processes the wire coordinator is connected to.",
+        )
+    })
+}
+
+fn txn_begins_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_TXN_BEGINS_TOTAL,
+            "Distributed transactions begun by the wire coordinator.",
+        )
+    })
+}
+
+fn single_commits_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_SINGLE_COMMITS_TOTAL,
+            "Coordinator commits settled on at most one shard (no 2PC round).",
+        )
+    })
+}
+
+fn two_pc_commits_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_2PC_COMMITS_TOTAL,
+            "Multi-shard wire commits acknowledged by a durable coordinator decision.",
+        )
+    })
+}
+
+fn two_pc_aborts_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_2PC_ABORTS_TOTAL,
+            "Multi-shard wire commits aborted before a decision was recorded.",
+        )
+    })
+}
+
+fn frag_reads_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_FRAG_READS_TOTAL,
+            "Per-shard fragment reads issued by the wire coordinator.",
+        )
+    })
+}
+
+fn resolves_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_RESOLVES_TOTAL,
+            "Resolve rounds the wire coordinator delivered to shards.",
+        )
+    })
+}
+
+fn decisions_replayed_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            xst_obs::names::COORD_DECISIONS_REPLAYED_TOTAL,
+            "Committed decisions replayed from the log at coordinator recovery.",
+        )
+    })
+}
+
+/// A cross-process 2PC coordinator: one [`Client`] per shard process,
+/// plus its own durable decision log. At most one distributed
+/// transaction is open at a time (the coordinator *is* the session).
+pub struct Coordinator {
+    shards: Vec<Client>,
+    addrs: Vec<String>,
+    timeout: Option<Duration>,
+    storage: Storage,
+    wal: Wal,
+    decisions: LoggedTable,
+    /// Every gtxn this coordinator ever durably committed (replayed
+    /// from the log at recovery) — what Resolve ships to shards.
+    committed: BTreeSet<u64>,
+    next_gtxn: u64,
+    in_txn: bool,
+    /// Which shards received at least one non-empty write in the open
+    /// transaction — the 2PC participant set.
+    wrote: Vec<bool>,
+    kill_after_decision: bool,
+}
+
+impl Coordinator {
+    /// Connect to one `xst-server` per address over fresh coordinator
+    /// devices (a brand-new decision log). `timeout` bounds every
+    /// read/write on every shard connection — a stalled shard surfaces
+    /// as a typed timeout instead of a hang.
+    pub fn connect(addrs: &[String], timeout: Option<Duration>) -> CoordResult<Coordinator> {
+        let storage = Storage::new();
+        let wal = Wal::new();
+        let decisions = LoggedTable::create(&storage, decision_schema(), wal.clone());
+        let shards = Coordinator::dial(addrs, timeout)?;
+        let n = shards.len();
+        if xst_obs::enabled() {
+            shards_gauge().set(n as f64);
+        }
+        Ok(Coordinator {
+            shards,
+            addrs: addrs.to_vec(),
+            timeout,
+            storage,
+            wal,
+            decisions,
+            committed: BTreeSet::new(),
+            next_gtxn: 1,
+            in_txn: false,
+            wrote: vec![false; n],
+            kill_after_decision: false,
+        })
+    }
+
+    /// Restart a coordinator over its surviving devices: drop any
+    /// unacknowledged staged decision (the crash), replay the decision
+    /// log into the committed set, reconnect every shard, and deliver a
+    /// [`Request::Resolve`] round so each reachable shard settles its
+    /// in-doubt prepares to the logged outcome. Shards that cannot be
+    /// reached stay prepared — harmless, a later resolve settles them.
+    pub fn recover(
+        addrs: &[String],
+        storage: Storage,
+        wal: Wal,
+        timeout: Option<Duration>,
+    ) -> CoordResult<Coordinator> {
+        storage.clear_faults();
+        wal.clear_faults();
+        wal.drop_staged();
+        let fresh = Wal::new();
+        let decisions = LoggedTable::recover_onto(&storage, decision_schema(), wal, fresh.clone())
+            .map_err(CoordError::DecisionLog)?;
+        let pool = BufferPool::new(storage.clone(), 8);
+        let mut committed: BTreeSet<u64> = BTreeSet::new();
+        let mut max_gtxn = 0u64;
+        let records = decisions
+            .table
+            .file
+            .read_all(&pool)
+            .map_err(CoordError::DecisionLog)?;
+        for rec in records {
+            let [xst_core::Value::Int(g)] = rec.values() else {
+                return Err(CoordError::DecisionLog(StorageError::Corrupt {
+                    reason: "decision log record is not a single gtxn".to_string(),
+                }));
+            };
+            let g = u64::try_from(*g).map_err(|_| {
+                CoordError::DecisionLog(StorageError::Corrupt {
+                    reason: "negative gtxn in decision log".to_string(),
+                })
+            })?;
+            committed.insert(g);
+            max_gtxn = max_gtxn.max(g);
+        }
+        if xst_obs::enabled() {
+            decisions_replayed_total().add(committed.len() as u64);
+        }
+        let shards = Coordinator::dial(addrs, timeout)?;
+        let n = shards.len();
+        if xst_obs::enabled() {
+            shards_gauge().set(n as f64);
+        }
+        let mut coord = Coordinator {
+            shards,
+            addrs: addrs.to_vec(),
+            timeout,
+            storage,
+            wal: fresh,
+            decisions,
+            committed,
+            next_gtxn: max_gtxn + 1,
+            in_txn: false,
+            wrote: vec![false; n],
+            kill_after_decision: false,
+        };
+        coord.resolve_all()?;
+        Ok(coord)
+    }
+
+    fn dial(addrs: &[String], timeout: Option<Duration>) -> CoordResult<Vec<Client>> {
+        let mut shards = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            let name = format!("xst-coord/{i}");
+            let client =
+                Client::connect_with_timeout(addr, &name, timeout).map_err(|e| shard_err(i, e))?;
+            shards.push(client);
+        }
+        Ok(shards)
+    }
+
+    /// The coordinator's durable devices. Hold on to these to later
+    /// [`Coordinator::recover`] "the same node" after dropping this
+    /// instance — the decision log lives on them.
+    pub fn devices(&self) -> (Storage, Wal) {
+        (self.storage.clone(), self.wal.clone())
+    }
+
+    /// The shard addresses this coordinator was built over.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Number of shard processes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Is a distributed transaction open?
+    pub fn in_txn(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Every globally-committed transaction id this coordinator knows
+    /// (logged this run plus replayed at recovery), in id order.
+    pub fn committed_gtxns(&self) -> Vec<u64> {
+        self.committed.iter().copied().collect()
+    }
+
+    /// The configured per-request timeout.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// Test-only crash hook: when set, the next multi-shard commit
+    /// flushes its decision and then returns
+    /// [`CoordError::KilledAfterDecision`] **without** delivering any
+    /// Decide — exactly the coordinator dying between its commit point
+    /// and the decision round. Recovery must finish the job.
+    pub fn kill_after_decision(&mut self, on: bool) {
+        self.kill_after_decision = on;
+    }
+
+    /// Begin a distributed transaction: one server-side transaction per
+    /// shard, all on the same logical snapshot boundary (begins are
+    /// issued under no concurrent coordinator activity — this
+    /// coordinator is the only writer session on every shard).
+    pub fn begin(&mut self) -> CoordResult<()> {
+        if self.in_txn {
+            return Err(CoordError::State(
+                "a distributed transaction is already open (commit or abort it)".to_string(),
+            ));
+        }
+        for i in 0..self.shards.len() {
+            self.shards[i].begin().map_err(|e| shard_err(i, e))?;
+        }
+        self.in_txn = true;
+        self.wrote.iter_mut().for_each(|w| *w = false);
+        if xst_obs::enabled() {
+            txn_begins_total().inc();
+        }
+        Ok(())
+    }
+
+    /// Split `set` into per-shard member subsets by the engine's member
+    /// hash — the same [`shard_of`] every in-process engine uses, so a
+    /// member lands on the same shard in either deployment.
+    fn route(&self, set: &ExtendedSet) -> Vec<ExtendedSet> {
+        let n = self.shards.len().max(1);
+        let mut builders: Vec<SetBuilder> = (0..n).map(|_| SetBuilder::new()).collect();
+        for (member, record) in set.members().iter().zip(set_to_records(set)) {
+            let shard = shard_of(&record, n);
+            builders[shard].scoped(member.element.clone(), member.scope.clone());
+        }
+        builders.into_iter().map(SetBuilder::build).collect()
+    }
+
+    /// Insert every member of `set` into `table`, routed by member
+    /// hash. **Every** shard receives a Put — empty subsets included —
+    /// so the table exists in every shard's catalog (reads and recovery
+    /// need the uniform catalog). Outside a transaction this wraps
+    /// itself in begin/commit, keeping cross-shard atomicity.
+    pub fn put(&mut self, table: &str, set: &ExtendedSet) -> CoordResult<u64> {
+        if !self.in_txn {
+            self.begin()?;
+            let rows = self.put(table, set)?;
+            self.commit()?;
+            return Ok(rows);
+        }
+        let parts = self.route(set);
+        let mut rows = 0u64;
+        for (i, part) in parts.iter().enumerate() {
+            let applied = self.shards[i]
+                .put(table, part)
+                .map_err(|e| shard_err(i, e))?;
+            rows += applied.rows;
+            if part.card() > 0 {
+                self.wrote[i] = true;
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Delete every member of `set` from `table`, routed by member hash.
+    pub fn delete(&mut self, table: &str, set: &ExtendedSet) -> CoordResult<u64> {
+        if !self.in_txn {
+            self.begin()?;
+            let rows = self.delete(table, set)?;
+            self.commit()?;
+            return Ok(rows);
+        }
+        let parts = self.route(set);
+        let mut rows = 0u64;
+        for (i, part) in parts.iter().enumerate() {
+            if part.card() == 0 {
+                continue;
+            }
+            let applied = self.shards[i]
+                .delete(table, part)
+                .map_err(|e| shard_err(i, e))?;
+            rows += applied.rows;
+            self.wrote[i] = true;
+        }
+        Ok(rows)
+    }
+
+    /// The per-shard member fragments of `table`, in shard order.
+    /// A shard that does not know the table contributes an empty
+    /// fragment; if **no** shard knows it, the error propagates (the
+    /// table does not exist anywhere).
+    fn fragments(&mut self, table: &str) -> CoordResult<Vec<ExtendedSet>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        let mut known = 0usize;
+        let mut first_err: Option<CoordError> = None;
+        for i in 0..self.shards.len() {
+            match self.shards[i].frag_read(table) {
+                Ok(set) => {
+                    known += 1;
+                    parts.push(set);
+                }
+                Err(ClientError::Remote(e)) if e.code == ErrorCode::Storage => {
+                    if first_err.is_none() {
+                        first_err = Some(shard_err(i, ClientError::Remote(e)));
+                    }
+                    parts.push(ExtendedSet::empty());
+                }
+                Err(e) => return Err(shard_err(i, e)),
+            }
+            if xst_obs::enabled() {
+                frag_reads_total().inc();
+            }
+        }
+        if known == 0 {
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        Ok(parts)
+    }
+
+    /// Read the whole member set of `table`: gather the per-shard
+    /// fragments (ordered union over disjoint fragments — exact).
+    pub fn get(&mut self, table: &str) -> CoordResult<ExtendedSet> {
+        Ok(gather(&self.fragments(table)?))
+    }
+
+    /// Evaluate `expr` over the cluster: scatter-read every named
+    /// table's per-shard fragments, then run the shard-aware evaluator
+    /// exactly as the in-process engine would. Tables no shard knows
+    /// stay unbound, so the static-analysis gate reports them.
+    pub fn eval(&mut self, expr: &Expr) -> CoordResult<ExtendedSet> {
+        let names: Vec<String> = expr.tables().iter().map(|n| n.to_string()).collect();
+        let mut bindings = ShardedBindings::new();
+        for name in names {
+            match self.fragments(&name) {
+                Ok(parts) => {
+                    bindings.insert(name, parts);
+                }
+                Err(CoordError::Shard {
+                    source: ClientError::Remote(e),
+                    ..
+                }) if e.code == ErrorCode::Storage => {} // unbound: the gate reports it
+                Err(e) => return Err(e),
+            }
+        }
+        eval_sharded(expr, &bindings, &Parallelism::sequential())
+            .map(|(set, _stats)| set)
+            .map_err(|e| CoordError::State(format!("eval failed: {e}")))
+    }
+
+    /// Abort the open distributed transaction on every shard.
+    pub fn abort(&mut self) -> CoordResult<()> {
+        if !self.in_txn {
+            return Err(CoordError::State(
+                "no open distributed transaction (begin first)".to_string(),
+            ));
+        }
+        self.in_txn = false;
+        let mut first_err: Option<CoordError> = None;
+        for i in 0..self.shards.len() {
+            if let Err(e) = self.shards[i].abort() {
+                if first_err.is_none() {
+                    first_err = Some(shard_err(i, e));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Commit the open distributed transaction.
+    ///
+    /// * **No shard wrote** — plain Commit everywhere (read-only).
+    /// * **One shard wrote** — Commit on the writer, Abort elsewhere:
+    ///   single-shard durability is the shard's own WAL flush, no
+    ///   coordination needed.
+    /// * **Two or more wrote** — the wire 2PC round: Prepare on every
+    ///   writer, the decision-log flush (THE acknowledgement), then
+    ///   best-effort Decide. Any prepare failure aborts the whole
+    ///   transaction before a decision exists.
+    ///
+    /// Returns the maximum commit timestamp any shard reported.
+    pub fn commit(&mut self) -> CoordResult<u64> {
+        if !self.in_txn {
+            return Err(CoordError::State(
+                "no open distributed transaction (begin first)".to_string(),
+            ));
+        }
+        self.in_txn = false;
+        let writers: Vec<usize> = (0..self.shards.len()).filter(|&i| self.wrote[i]).collect();
+        match writers.len() {
+            0 => {
+                let mut ts = 0u64;
+                let mut first_err: Option<CoordError> = None;
+                for i in 0..self.shards.len() {
+                    match self.shards[i].commit() {
+                        Ok(t) => ts = ts.max(t),
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(shard_err(i, e));
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                if xst_obs::enabled() {
+                    single_commits_total().inc();
+                }
+                Ok(ts)
+            }
+            1 => {
+                let w = writers[0];
+                // Abort the read-only shards first: their sessions hold
+                // snapshots, nothing durable rides on them.
+                for i in 0..self.shards.len() {
+                    if i != w {
+                        let _ = self.shards[i].abort();
+                    }
+                }
+                let ts = self.shards[w].commit().map_err(|e| shard_err(w, e))?;
+                if xst_obs::enabled() {
+                    single_commits_total().inc();
+                }
+                Ok(ts)
+            }
+            _ => self.commit_2pc(&writers),
+        }
+    }
+
+    fn commit_2pc(&mut self, writers: &[usize]) -> CoordResult<u64> {
+        let gtxn = self.next_gtxn;
+        self.next_gtxn += 1;
+        // Read-only shards just abort; they are not participants.
+        for i in 0..self.shards.len() {
+            if !writers.contains(&i) {
+                let _ = self.shards[i].abort();
+            }
+        }
+        // Phase one: prepare every writer. A failure here — a conflict,
+        // a dead shard, a timeout — aborts the transaction *before* any
+        // decision exists: decide-abort the already-prepared shards
+        // (best effort; presumed abort covers the unreachable) and
+        // abort the unprepared remainder, whose sessions still hold the
+        // open transaction.
+        let mut prepared: Vec<usize> = Vec::with_capacity(writers.len());
+        let mut prepare_err: Option<CoordError> = None;
+        for &i in writers {
+            if prepare_err.is_some() {
+                let _ = self.shards[i].abort();
+                continue;
+            }
+            match self.shards[i].prepare(gtxn) {
+                Ok(_participants) => prepared.push(i),
+                Err(e) => prepare_err = Some(shard_err(i, e)),
+            }
+        }
+        if prepare_err.is_none() && self.kill_after_decision {
+            // The test hook crashes "the coordinator" after its commit
+            // point: flush the decision, deliver nothing.
+            self.kill_after_decision = false;
+            let decision = Record::new([xst_core::Value::Int(gtxn as i64)]);
+            if let Err(e) = self.decisions.append_batch(&[decision]) {
+                prepare_err = Some(CoordError::DecisionLog(e));
+            } else {
+                self.committed.insert(gtxn);
+                return Err(CoordError::KilledAfterDecision { gtxn });
+            }
+        }
+        if prepare_err.is_none() {
+            // The decision flush: THE acknowledgement of the whole
+            // distributed transaction.
+            let decision = Record::new([xst_core::Value::Int(gtxn as i64)]);
+            if let Err(e) = self.decisions.append_batch(&[decision]) {
+                prepare_err = Some(CoordError::DecisionLog(e));
+            }
+        }
+        if let Some(e) = prepare_err {
+            for i in prepared {
+                let _ = self.shards[i].decide(gtxn, false);
+            }
+            if xst_obs::enabled() {
+                two_pc_aborts_total().inc();
+            }
+            return Err(e);
+        }
+        self.committed.insert(gtxn);
+        // Phase two: deliver the decision, best effort. The outcome is
+        // already fixed; a shard that misses its Decide stays prepared
+        // until a Resolve (recovery, or the next resolve_all) commits
+        // it from the log.
+        let mut ts = 0u64;
+        for i in prepared {
+            if let Ok(t) = self.shards[i].decide(gtxn, true) {
+                ts = ts.max(t);
+            }
+        }
+        if xst_obs::enabled() {
+            two_pc_commits_total().inc();
+        }
+        Ok(ts)
+    }
+
+    /// Deliver the coordinator's full committed set to every shard as a
+    /// [`Request::Resolve`]: each settles its in-doubt prepares —
+    /// commit the logged ones, presume abort for the rest. Returns the
+    /// summed `(committed, aborted)` counts. Unreachable shards are
+    /// skipped (they settle on the next resolve).
+    pub fn resolve_all(&mut self) -> CoordResult<(u64, u64)> {
+        let committed: Vec<u64> = self.committed.iter().copied().collect();
+        let mut totals = (0u64, 0u64);
+        for i in 0..self.shards.len() {
+            if let Ok((c, a)) = self.shards[i].resolve(&committed) {
+                totals.0 += c;
+                totals.1 += a;
+            }
+        }
+        if xst_obs::enabled() {
+            resolves_total().inc();
+        }
+        Ok(totals)
+    }
+
+    /// A one-line human status of the cluster, for the shell.
+    pub fn status(&self) -> String {
+        format!(
+            "cluster: {} shard(s) [{}], {} committed decision(s), next gtxn {}, txn open: {}",
+            self.shards.len(),
+            self.addrs.join(", "),
+            self.committed.len(),
+            self.next_gtxn,
+            self.in_txn
+        )
+    }
+}

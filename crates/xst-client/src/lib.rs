@@ -46,6 +46,10 @@ use xst_storage::{FaultKind, FaultSchedule};
 pub enum ClientError {
     /// The transport failed (connect, read, or write).
     Io(std::io::Error),
+    /// A configured read/write deadline expired before the server
+    /// answered. The stream may hold a half-delivered frame, so the
+    /// connection should be abandoned, not reused.
+    Timeout,
     /// The byte stream violated the frame or message protocol.
     Protocol(String),
     /// The handshake failed (version mismatch or malformed welcome).
@@ -81,12 +85,29 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// Did a configured request deadline expire?
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ClientError::Timeout)
+    }
+}
+
+/// Map an I/O failure to [`ClientError`], folding the two kinds the
+/// platform uses for an expired socket deadline (`TimedOut` on most
+/// systems, `WouldBlock` where timeouts surface as non-blocking reads)
+/// into the typed [`ClientError::Timeout`].
+fn io_to_client(e: std::io::Error) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ClientError::Timeout,
+        _ => ClientError::Io(e),
+    }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport failure: {e}"),
+            ClientError::Timeout => write!(f, "request deadline expired"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ClientError::Handshake(m) => write!(f, "handshake failed: {m}"),
             ClientError::Rejected(m) => write!(f, "admission rejected: {m}"),
@@ -100,14 +121,14 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
-        ClientError::Io(e)
+        io_to_client(e)
     }
 }
 
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> ClientError {
         match e {
-            FrameError::Io(io) => ClientError::Io(io),
+            FrameError::Io(io) => io_to_client(io),
             other => ClientError::Protocol(other.to_string()),
         }
     }
@@ -139,6 +160,7 @@ pub struct TxnInfo {
 /// A blocking connection to an `xst-server`, already past the version
 /// handshake. Dropping the client closes the connection, which aborts
 /// any transaction left open server-side.
+#[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     banner: String,
@@ -173,8 +195,22 @@ impl Client {
     /// Connect to `addr` and perform the handshake, identifying as
     /// `client_name` in the server's diagnostics.
     pub fn connect(addr: &str, client_name: &str) -> ClientResult<Client> {
+        Client::connect_with_timeout(addr, client_name, None)
+    }
+
+    /// Like [`Client::connect`], but with a per-request read/write
+    /// deadline installed **before** the handshake, so even a server
+    /// that accepts and then stalls cannot hang the connect. A blocked
+    /// call past the deadline returns [`ClientError::Timeout`].
+    pub fn connect_with_timeout(
+        addr: &str,
+        client_name: &str,
+        timeout: Option<Duration>,
+    ) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         let mut c = Client {
             stream,
             banner: String::new(),
@@ -226,9 +262,17 @@ impl Client {
     }
 
     /// Bound how long a blocked read waits (for tests that must not
-    /// hang on a dead server).
+    /// hang on a dead server). A read past the deadline surfaces as
+    /// [`ClientError::Timeout`].
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
         self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Bound how long a blocked write waits (a peer that stops reading
+    /// eventually fills the socket buffer and stalls the sender).
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.stream.set_write_timeout(timeout)?;
         Ok(())
     }
 
@@ -370,6 +414,56 @@ impl Client {
         }
     }
 
+    /// Read this shard's **raw local fragment** of `table` — its
+    /// members only, no gather — as the member set it denotes. The
+    /// coordinator's scatter read (requires a v2+ server).
+    pub fn frag_read(&mut self, table: &str) -> ClientResult<ExtendedSet> {
+        match self.call(Request::FragRead {
+            table: table.to_string(),
+        })? {
+            Response::Value { set } => Ok(set),
+            other => Err(unexpected("frag_read", &other)),
+        }
+    }
+
+    /// 2PC phase one: seal this session's open transaction as an
+    /// in-doubt prepare under the coordinator's global id `gtxn`.
+    /// Returns how many local shards staged writes. After success the
+    /// session has no open transaction and a disconnect no longer
+    /// aborts the staged writes (requires a v2+ server).
+    pub fn prepare(&mut self, gtxn: u64) -> ClientResult<u64> {
+        match self.call(Request::Prepare { gtxn })? {
+            Response::Prepared {
+                gtxn: echoed,
+                participants,
+            } if echoed == gtxn => Ok(participants),
+            other => Err(unexpected("prepare", &other)),
+        }
+    }
+
+    /// 2PC phase two: deliver the coordinator's durable decision for
+    /// `gtxn`. Returns the local commit timestamp (0 on abort). Requires
+    /// a v2+ server.
+    pub fn decide(&mut self, gtxn: u64, commit: bool) -> ClientResult<u64> {
+        match self.call(Request::Decide { gtxn, commit })? {
+            Response::Decided { ts, .. } => Ok(ts),
+            other => Err(unexpected("decide", &other)),
+        }
+    }
+
+    /// Settle every in-doubt prepare on the server against the
+    /// coordinator's committed set: commit the named gtxns, presume
+    /// abort for the rest. Returns `(committed, aborted)` counts
+    /// (requires a v2+ server).
+    pub fn resolve(&mut self, committed: &[u64]) -> ClientResult<(u64, u64)> {
+        match self.call(Request::Resolve {
+            committed: committed.to_vec(),
+        })? {
+            Response::Resolved { committed, aborted } => Ok((committed, aborted)),
+            other => Err(unexpected("resolve", &other)),
+        }
+    }
+
     /// Metrics exposition (Prometheus text, or JSON).
     pub fn metrics(&mut self, json: bool) -> ClientResult<String> {
         match self.call(Request::Metrics { json })? {
@@ -416,4 +510,75 @@ impl Client {
 
 fn unexpected(what: &str, resp: &Response) -> ClientError {
     ClientError::Unexpected(format!("{what} answered with {resp:?}"))
+}
+
+pub mod coord;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    /// A server that accepts connections and then never writes a byte:
+    /// the worst case for an unbounded client, the base case for a
+    /// bounded one. Returns the address and a shutdown sender; the
+    /// accept loop exits when the sender drops.
+    fn stalled_server() -> (String, mpsc::Sender<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let (tx, rx) = mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            loop {
+                if let Err(mpsc::TryRecvError::Disconnected) = rx.try_recv() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => held.push(stream),
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        (addr, tx)
+    }
+
+    #[test]
+    fn connect_with_timeout_fails_fast_on_stalled_handshake() {
+        let (addr, _tx) = stalled_server();
+        let err = Client::connect_with_timeout(&addr, "t", Some(Duration::from_millis(40)))
+            .expect_err("handshake against a mute server must not succeed");
+        assert!(err.is_timeout(), "wanted Timeout, got {err:?}");
+    }
+
+    #[test]
+    fn read_timeout_surfaces_as_typed_timeout() {
+        // A raw frame read against a stalled peer: the client-level
+        // mapping (TimedOut/WouldBlock -> Timeout) is what we assert.
+        let (addr, _tx) = stalled_server();
+        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .expect("set timeout");
+        let mut stream = stream;
+        let mut buf = [0u8; 4];
+        let io_err = stream.read_exact(&mut buf).expect_err("must time out");
+        let err = ClientError::from(io_err);
+        assert!(err.is_timeout(), "wanted Timeout, got {err:?}");
+    }
+
+    #[test]
+    fn connect_without_timeout_is_unaffected_by_mapping() {
+        // Refused connection (nothing listening) stays a transport
+        // error, not a Timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        drop(listener);
+        let err = Client::connect(&addr, "t").expect_err("must fail");
+        assert!(matches!(err, ClientError::Io(_)), "wanted Io, got {err:?}");
+    }
 }

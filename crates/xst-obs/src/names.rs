@@ -126,6 +126,26 @@ pub const SHARD_SCATTER_OPS_TOTAL: &str = "xst_shard_scatter_ops_total";
 /// Gather stage: ordered fragment merges performed.
 pub const SHARD_GATHER_MERGES_TOTAL: &str = "xst_shard_gather_merges_total";
 
+/// Common prefix of every cross-process coordinator metric.
+pub const COORD_PREFIX: &str = "xst_coord_";
+/// Shard processes the wire coordinator is connected to (gauge).
+pub const COORD_SHARDS: &str = "xst_coord_shards";
+/// Distributed transactions begun by the wire coordinator.
+pub const COORD_TXN_BEGINS_TOTAL: &str = "xst_coord_txn_begins_total";
+/// Wire commits that touched one shard process (no 2PC round).
+pub const COORD_SINGLE_COMMITS_TOTAL: &str = "xst_coord_single_commits_total";
+/// Wire commits acknowledged by a durable coordinator decision.
+pub const COORD_2PC_COMMITS_TOTAL: &str = "xst_coord_2pc_commits_total";
+/// Wire commits aborted before a decision was recorded.
+pub const COORD_2PC_ABORTS_TOTAL: &str = "xst_coord_2pc_aborts_total";
+/// Fragment reads scattered to shard processes over the wire.
+pub const COORD_FRAG_READS_TOTAL: &str = "xst_coord_frag_reads_total";
+/// Resolve rounds delivered to shard processes (recovery and reconnect).
+pub const COORD_RESOLVES_TOTAL: &str = "xst_coord_resolves_total";
+/// Committed decisions replayed from the decision log at coordinator
+/// recovery.
+pub const COORD_DECISIONS_REPLAYED_TOTAL: &str = "xst_coord_decisions_replayed_total";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -177,6 +197,14 @@ mod tests {
             super::SHARD_2PC_IN_DOUBT_RESOLVED_TOTAL,
             super::SHARD_SCATTER_OPS_TOTAL,
             super::SHARD_GATHER_MERGES_TOTAL,
+            super::COORD_SHARDS,
+            super::COORD_TXN_BEGINS_TOTAL,
+            super::COORD_SINGLE_COMMITS_TOTAL,
+            super::COORD_2PC_COMMITS_TOTAL,
+            super::COORD_2PC_ABORTS_TOTAL,
+            super::COORD_FRAG_READS_TOTAL,
+            super::COORD_RESOLVES_TOTAL,
+            super::COORD_DECISIONS_REPLAYED_TOTAL,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for name in all {
@@ -204,6 +232,18 @@ mod tests {
             super::SHARD_GATHER_MERGES_TOTAL,
         ] {
             assert!(shard.starts_with(super::SHARD_PREFIX), "{shard}");
+        }
+        for coord in [
+            super::COORD_SHARDS,
+            super::COORD_TXN_BEGINS_TOTAL,
+            super::COORD_SINGLE_COMMITS_TOTAL,
+            super::COORD_2PC_COMMITS_TOTAL,
+            super::COORD_2PC_ABORTS_TOTAL,
+            super::COORD_FRAG_READS_TOTAL,
+            super::COORD_RESOLVES_TOTAL,
+            super::COORD_DECISIONS_REPLAYED_TOTAL,
+        ] {
+            assert!(coord.starts_with(super::COORD_PREFIX), "{coord}");
         }
     }
 }

@@ -263,6 +263,39 @@ pub enum Request {
         /// Most records to return.
         limit: u32,
     },
+    /// Read the shard-local **fragment** of `table` this server owns —
+    /// the member set, not the row-tuple identity — through the
+    /// session's visible snapshot (v2+; the scatter half of the wire
+    /// coordinator's scatter-gather). Answered with [`Response::Value`].
+    FragRead {
+        /// Table whose local fragment to read.
+        table: String,
+    },
+    /// **Phase one of wire 2PC** (v2+): consume the session's open
+    /// transaction and stage its writes as a durable prepare tagged with
+    /// the coordinator's global transaction id. After this the session
+    /// has no open transaction — a disconnect no longer aborts the
+    /// writes; they await [`Request::Decide`] or [`Request::Resolve`].
+    Prepare {
+        /// The coordinator's global transaction id.
+        gtxn: u64,
+    },
+    /// **Phase two of wire 2PC** (v2+): deliver the coordinator's
+    /// already-durable decision for a prepared transaction.
+    Decide {
+        /// The global transaction id the decision names.
+        gtxn: u64,
+        /// `true` publishes the prepared writes; `false` drops them.
+        commit: bool,
+    },
+    /// Resolve **every** transaction still prepared on this server
+    /// against the coordinator's committed set: named gtxns publish,
+    /// all others abort (presumed abort). Sent by a recovering or
+    /// reconnecting coordinator (v2+).
+    Resolve {
+        /// Every committed gtxn the coordinator's decision log records.
+        committed: Vec<u64>,
+    },
 }
 
 impl Request {
@@ -287,6 +320,10 @@ impl Request {
             Request::Traced { req, .. } => req.kind_name(),
             Request::TraceDump => "trace-dump",
             Request::RequestLog { .. } => "request-log",
+            Request::FragRead { .. } => "frag-read",
+            Request::Prepare { .. } => "prepare",
+            Request::Decide { .. } => "decide",
+            Request::Resolve { .. } => "resolve",
         }
     }
 
@@ -294,9 +331,11 @@ impl Request {
     /// names, if any.
     pub fn detail(&self) -> String {
         match self {
-            Request::Put { table, .. } | Request::Delete { table, .. } | Request::Get { table } => {
-                table.clone()
-            }
+            Request::Put { table, .. }
+            | Request::Delete { table, .. }
+            | Request::Get { table }
+            | Request::FragRead { table } => table.clone(),
+            Request::Prepare { gtxn } | Request::Decide { gtxn, .. } => format!("gtxn {gtxn}"),
             Request::Traced { req, .. } => req.detail(),
             _ => String::new(),
         }
@@ -355,6 +394,28 @@ pub enum Response {
     /// The request failed; the session survives (except version and
     /// admission errors, after which the server closes the stream).
     Error(WireError),
+    /// A [`Request::Prepare`] staged a durable prepare (v2+).
+    Prepared {
+        /// The global transaction id, echoed for sanity.
+        gtxn: u64,
+        /// Local shards that flushed a prepare (0 = the transaction was
+        /// read-only here and there is nothing to decide).
+        participants: u64,
+    },
+    /// A [`Request::Decide`] was applied (v2+).
+    Decided {
+        /// Whether the decision was commit.
+        committed: bool,
+        /// The local commit timestamp (0 for an abort).
+        ts: u64,
+    },
+    /// A [`Request::Resolve`] swept the prepared set (v2+).
+    Resolved {
+        /// In-doubt transactions published as committed.
+        committed: u64,
+        /// In-doubt transactions dropped (presumed abort).
+        aborted: u64,
+    },
 }
 
 impl Response {
@@ -552,6 +613,10 @@ impl<'a> Rd<'a> {
         })
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), ProtoError> {
         let left = self.buf.len() - self.pos;
         if left > 0 {
@@ -692,6 +757,26 @@ impl Request {
                 out.push(u8::from(*slow));
                 put_u32(out, *limit);
             }
+            Request::FragRead { table } => {
+                out.push(17);
+                put_str(out, table);
+            }
+            Request::Prepare { gtxn } => {
+                out.push(18);
+                put_u64(out, *gtxn);
+            }
+            Request::Decide { gtxn, commit } => {
+                out.push(19);
+                put_u64(out, *gtxn);
+                out.push(u8::from(*commit));
+            }
+            Request::Resolve { committed } => {
+                out.push(20);
+                put_u32(out, committed.len() as u32);
+                for g in committed {
+                    put_u64(out, *g);
+                }
+            }
         }
     }
 
@@ -758,6 +843,22 @@ impl Request {
                 slow: rd.bool("slow flag")?,
                 limit: rd.u32()?,
             },
+            17 => Request::FragRead { table: rd.str()? },
+            18 => Request::Prepare { gtxn: rd.u64()? },
+            19 => Request::Decide {
+                gtxn: rd.u64()?,
+                commit: rd.bool("decide flag")?,
+            },
+            20 => {
+                let n = rd.u32()? as usize;
+                // Bound the pre-allocation by what the payload can hold
+                // (8 bytes per id), so a hostile length cannot balloon.
+                let mut committed = Vec::with_capacity(n.min(rd.remaining() / 8 + 1));
+                for _ in 0..n {
+                    committed.push(rd.u64()?);
+                }
+                Request::Resolve { committed }
+            }
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "request",
@@ -828,6 +929,21 @@ impl Response {
                 }
                 put_str(&mut out, &e.message);
             }
+            Response::Prepared { gtxn, participants } => {
+                out.push(10);
+                put_u64(&mut out, *gtxn);
+                put_u64(&mut out, *participants);
+            }
+            Response::Decided { committed, ts } => {
+                out.push(11);
+                out.push(u8::from(*committed));
+                put_u64(&mut out, *ts);
+            }
+            Response::Resolved { committed, aborted } => {
+                out.push(12);
+                put_u64(&mut out, *committed);
+                put_u64(&mut out, *aborted);
+            }
         }
         out
     }
@@ -879,6 +995,18 @@ impl Response {
                     message: rd.str()?,
                 })
             }
+            10 => Response::Prepared {
+                gtxn: rd.u64()?,
+                participants: rd.u64()?,
+            },
+            11 => Response::Decided {
+                committed: rd.bool("decided flag")?,
+                ts: rd.u64()?,
+            },
+            12 => Response::Resolved {
+                committed: rd.u64()?,
+                aborted: rd.u64()?,
+            },
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "response",
@@ -928,6 +1056,20 @@ mod tests {
                 kind: FaultKind::TornWrite(37),
             },
             Request::ClearFaults,
+            Request::FragRead { table: "t".into() },
+            Request::Prepare { gtxn: 42 },
+            Request::Decide {
+                gtxn: 42,
+                commit: true,
+            },
+            Request::Decide {
+                gtxn: 43,
+                commit: false,
+            },
+            Request::Resolve { committed: vec![] },
+            Request::Resolve {
+                committed: vec![1, 7, u64::MAX],
+            },
         ];
         for e in exprs {
             reqs.push(Request::Eval { expr: e.clone() });
@@ -972,6 +1114,22 @@ mod tests {
                 table: Some("t".into()),
                 message: "first committer won".into(),
             }),
+            Response::Prepared {
+                gtxn: 42,
+                participants: 1,
+            },
+            Response::Decided {
+                committed: true,
+                ts: 9,
+            },
+            Response::Decided {
+                committed: false,
+                ts: 0,
+            },
+            Response::Resolved {
+                committed: 2,
+                aborted: 3,
+            },
         ];
         for resp in resps {
             let decoded = Response::decode(&resp.encode()).unwrap();

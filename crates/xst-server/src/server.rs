@@ -403,7 +403,7 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64) {
             return;
         }
     };
-    match Request::decode(&hello) {
+    let negotiated = match Request::decode(&hello) {
         Ok(Request::Hello { version, .. })
             if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) =>
         {
@@ -416,6 +416,7 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64) {
             ) {
                 return;
             }
+            version
         }
         Ok(Request::Hello { version, .. }) => {
             if xst_obs::enabled() {
@@ -446,9 +447,9 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64) {
             );
             return;
         }
-    }
+    };
 
-    let mut session = Session::with_id(Arc::clone(&shared.engine), session_id);
+    let mut session = Session::with_version(Arc::clone(&shared.engine), session_id, negotiated);
     loop {
         let payload = match read_frame(stream) {
             Ok(p) => p,

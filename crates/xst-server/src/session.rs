@@ -156,10 +156,28 @@ impl ServedEngine {
     /// engine was never told about in-process (registration is
     /// in-memory metadata, so re-registering is benign).
     pub fn recover(&self, catalog: &[(&str, Schema)]) -> Result<ShardedEngine, StorageError> {
+        self.recover_with_decisions(catalog, &std::collections::BTreeSet::new())
+    }
+
+    /// Like [`ServedEngine::recover`], but resolving in-doubt prepares
+    /// against an **external** wire coordinator's committed set as well
+    /// as the local decision log — how a shard process restarts under a
+    /// remote coordinator without presumed-aborting decided prepares.
+    pub fn recover_with_decisions(
+        &self,
+        catalog: &[(&str, Schema)],
+        committed: &std::collections::BTreeSet<u64>,
+    ) -> Result<ShardedEngine, StorageError> {
         for (name, schema) in catalog {
             let _ = self.sharded.create_table(name, schema.clone());
         }
-        self.sharded.recover()
+        self.sharded.recover_with_decisions(committed)
+    }
+
+    /// Global transaction ids prepared here and awaiting an external
+    /// coordinator's decision.
+    pub fn prepared_gtxns(&self) -> Vec<u64> {
+        self.sharded.prepared_external()
     }
 }
 
@@ -215,6 +233,10 @@ pub struct Session {
     /// Diagnostic session id carried into spans and the request log
     /// (0 = not a served connection).
     id: u64,
+    /// The protocol version the handshake negotiated. The v2-only
+    /// coordinator requests (frag-read and the 2PC round) are rejected
+    /// with a structured protocol error on a v1 session.
+    version: u32,
 }
 
 impl Session {
@@ -226,10 +248,17 @@ impl Session {
     /// A session carrying a diagnostic `id` (the server uses the
     /// connection id, 1-based so 0 stays "not a served connection").
     pub fn with_id(engine: Arc<ServedEngine>, id: u64) -> Session {
+        Session::with_version(engine, id, PROTO_VERSION)
+    }
+
+    /// A session pinned to the handshake-negotiated protocol `version`
+    /// (the server seats v1 peers; they must not reach v2-only kinds).
+    pub fn with_version(engine: Arc<ServedEngine>, id: u64, version: u32) -> Session {
         Session {
             engine,
             open: None,
             id,
+            version,
         }
     }
 
@@ -422,6 +451,86 @@ impl Session {
         }
     }
 
+    /// Coordinator read path: the raw local fragment of `table` — this
+    /// shard's members only, no gather — as a set identity.
+    fn frag_read(&mut self, table: String) -> Response {
+        let identity = match &mut self.open {
+            Some(txn) => txn.read_identity(&table),
+            None => self.engine.sharded.latest_identity(&table),
+        };
+        match identity {
+            Ok(set) => match records_identity_to_set(&set) {
+                Ok(set) => Response::Value { set },
+                Err(msg) => Response::Error(WireError::new(ErrorCode::Internal, msg)),
+            },
+            Err(e) => storage_error(e),
+        }
+    }
+
+    /// 2PC phase one: seal the session's open transaction as an
+    /// in-doubt prepare under the coordinator's global id. The open
+    /// transaction is **consumed** — after a successful prepare the
+    /// session has no open transaction, and a disconnect no longer
+    /// aborts the staged writes (only Decide/Resolve settles them).
+    fn prepare(&mut self, gtxn: u64) -> Response {
+        let Some(txn) = self.open.take() else {
+            return txn_state_error("no open transaction to prepare (begin first)");
+        };
+        match self.engine.sharded.prepare_external(txn, gtxn) {
+            Ok(participants) => Response::Prepared {
+                gtxn,
+                participants: participants as u64,
+            },
+            Err(e) => storage_error(e),
+        }
+    }
+
+    /// 2PC phase two: apply the coordinator's durable decision to a
+    /// prepared transaction. Commit errors are real (the marker write
+    /// can fail); aborting an unknown gtxn is a no-op by design — the
+    /// coordinator resolves liberally after recovery.
+    fn decide(&mut self, gtxn: u64, commit: bool) -> Response {
+        if commit {
+            match self.engine.sharded.commit_external(gtxn) {
+                Ok(ts) => Response::Decided {
+                    committed: true,
+                    ts,
+                },
+                Err(e) => storage_error(e),
+            }
+        } else {
+            self.engine.sharded.abort_external(gtxn);
+            Response::Decided {
+                committed: false,
+                ts: 0,
+            }
+        }
+    }
+
+    /// Settle every in-doubt prepare on this shard against the
+    /// coordinator's committed set: commit the named ones, presume
+    /// abort for the rest.
+    fn resolve(&mut self, committed: Vec<u64>) -> Response {
+        let committed: std::collections::BTreeSet<u64> = committed.into_iter().collect();
+        match self.engine.sharded.resolve_external(&committed) {
+            Ok((committed, aborted)) => Response::Resolved { committed, aborted },
+            Err(e) => storage_error(e),
+        }
+    }
+
+    /// Reject a v2-only request on a session negotiated below v2.
+    fn v2_only(&self, kind: &str) -> Option<Response> {
+        (self.version < 2).then(|| {
+            Response::Error(WireError::new(
+                ErrorCode::Protocol,
+                format!(
+                    "{kind} requires protocol v2 (session negotiated v{})",
+                    self.version
+                ),
+            ))
+        })
+    }
+
     fn metrics(&self, json: bool) -> Response {
         let text = if json {
             xst_obs::registry().export_json()
@@ -512,6 +621,18 @@ impl Session {
             Request::Put { table, set } => self.put(table, set),
             Request::Delete { table, set } => self.delete(table, set),
             Request::Get { table } => self.get(table),
+            Request::FragRead { table } => self
+                .v2_only("frag-read")
+                .unwrap_or_else(|| self.frag_read(table)),
+            Request::Prepare { gtxn } => self
+                .v2_only("prepare")
+                .unwrap_or_else(|| self.prepare(gtxn)),
+            Request::Decide { gtxn, commit } => self
+                .v2_only("decide")
+                .unwrap_or_else(|| self.decide(gtxn, commit)),
+            Request::Resolve { committed } => self
+                .v2_only("resolve")
+                .unwrap_or_else(|| self.resolve(committed)),
             Request::Metrics { json } => self.metrics(json),
             Request::ArmFaults { schedule, kind } => {
                 self.engine.arm_faults(schedule, kind);

@@ -121,6 +121,19 @@ fn arb_request() -> BoxedStrategy<Request> {
         (any::<bool>(), any::<u32>())
             .prop_map(|(slow, limit)| Request::RequestLog { slow, limit })
             .boxed(),
+        // The v2 coordinator kinds: fragment reads and the 2PC round.
+        arb_text()
+            .prop_map(|table| Request::FragRead { table })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|gtxn| Request::Prepare { gtxn })
+            .boxed(),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(gtxn, commit)| Request::Decide { gtxn, commit })
+            .boxed(),
+        prop::collection::vec(any::<u64>(), 0..20)
+            .prop_map(|committed| Request::Resolve { committed })
+            .boxed(),
     ]
     .boxed()
 }
@@ -212,6 +225,16 @@ fn arb_response() -> BoxedStrategy<Response> {
                     message,
                 })
             })
+            .boxed(),
+        // The v2 coordinator answers.
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(gtxn, participants)| Response::Prepared { gtxn, participants })
+            .boxed(),
+        (any::<bool>(), any::<u64>())
+            .prop_map(|(committed, ts)| Response::Decided { committed, ts })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(committed, aborted)| Response::Resolved { committed, aborted })
             .boxed(),
     ]
     .boxed()
@@ -463,8 +486,102 @@ proptest! {
 fn version_constant_is_stable() {
     // The handshake contract: bumping this silently would strand every
     // deployed client. Force the change to be visible in review.
-    // v2 = distributed tracing (Traced/TraceDump/RequestLog); servers
+    // v2 = distributed tracing (Traced/TraceDump/RequestLog) plus the
+    // coordinator kinds (FragRead/Prepare/Decide/Resolve); servers
     // still seat v1 peers, so MIN stays pinned at 1.
     assert_eq!(PROTO_VERSION, 2);
     assert_eq!(MIN_PROTO_VERSION, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator kinds: truncation hostility and v1-peer gating.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cut a coordinator message anywhere: structured error or valid
+    /// decode, never a panic. Resolve is the interesting one — its
+    /// count prefix must not drive allocation past the actual bytes.
+    #[test]
+    fn truncated_coordinator_requests_error_structurally(
+        committed in prop::collection::vec(any::<u64>(), 0..50),
+        gtxn in any::<u64>(),
+        pick in 0u8..4,
+        cut_seed in any::<u64>(),
+    ) {
+        let req = match pick {
+            0 => Request::FragRead { table: "t".into() },
+            1 => Request::Prepare { gtxn },
+            2 => Request::Decide { gtxn, commit: gtxn.is_multiple_of(2) },
+            _ => Request::Resolve { committed },
+        };
+        let bytes = req.encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let _ = Request::decode(&bytes[..cut]);
+    }
+}
+
+/// A Resolve frame claiming u32::MAX gtxns with no bytes behind the
+/// claim must fail structurally without allocating for the claim.
+#[test]
+fn resolve_with_hostile_count_prefix_is_rejected() {
+    let mut payload = vec![20u8]; // Request::Resolve tag
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(Request::decode(&payload), Err(ProtoError::Truncated));
+}
+
+/// A session negotiated at protocol v1 must reject every coordinator
+/// kind with a structured Protocol error — the state machine stays
+/// untouched (no transaction consumed, no prepare staged).
+#[test]
+fn v1_sessions_reject_coordinator_kinds_cleanly() {
+    use std::sync::Arc;
+    use xst_server::{ServedEngine, Session};
+
+    let engine = Arc::new(ServedEngine::new());
+    let mut v1 = Session::with_version(Arc::clone(&engine), 1, 1);
+    let kinds = [
+        Request::FragRead { table: "t".into() },
+        Request::Prepare { gtxn: 7 },
+        Request::Decide {
+            gtxn: 7,
+            commit: true,
+        },
+        Request::Resolve {
+            committed: vec![1, 2, 3],
+        },
+    ];
+    for req in kinds {
+        match v1.handle(req) {
+            Response::Error(e) => assert_eq!(
+                e.code,
+                ErrorCode::Protocol,
+                "v1 rejection must be a Protocol error, got {e:?}"
+            ),
+            other => panic!("v1 session answered a coordinator kind with {other:?}"),
+        }
+    }
+
+    // The same engine behind a v2 session serves them fine (proving the
+    // gate keys on the negotiated version, not on capability).
+    let mut v2 = Session::with_version(engine, 2, 2);
+    assert!(matches!(
+        v2.handle(Request::Put {
+            table: "t".into(),
+            set: ExtendedSet::classical([1, 2]),
+        }),
+        Response::Applied { .. }
+    ));
+    assert!(matches!(
+        v2.handle(Request::FragRead { table: "t".into() }),
+        Response::Value { .. }
+    ));
+    assert!(matches!(
+        v2.handle(Request::Resolve { committed: vec![] }),
+        Response::Resolved {
+            committed: 0,
+            aborted: 0
+        }
+    ));
 }

@@ -60,6 +60,9 @@
 //! .remote CMD ...            ping · begin · commit · abort ·
 //!                            put NAME · get NAME as NEW · eval OP ... ·
 //!                            metrics [json] · trace · top [N] · slow
+//! .cluster start [N]         N in-process shard servers + a wire 2PC
+//!                            coordinator; .remote then drives it
+//! .cluster status|stop       coordinator state / tear the cluster down
 //! ```
 //!
 //! Every command line is *accounted* the way the server accounts a wire
@@ -71,7 +74,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use xst_client::coord::Coordinator;
 use xst_client::Client;
 use xst_core::ops::{
     difference, image, intersection, pair_compose, sigma_domain, sigma_restrict,
@@ -100,6 +104,22 @@ struct Store {
 /// Pool capacity for the shell's storage demo — small enough that a
 /// multi-page table forces real misses and evictions into the metrics.
 const SHELL_POOL_PAGES: usize = 8;
+
+/// Per-request deadline for the shell's cluster coordinator: generous
+/// for interactive use, but bounded so a wedged shard surfaces as a
+/// typed timeout instead of a hung prompt.
+const CLUSTER_RPC_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The `.cluster` in-process cluster: N shard servers (each its own
+/// [`ServedEngine`] behind a real TCP listener on an ephemeral port)
+/// plus the wire 2PC [`Coordinator`] driving them. While this is up and
+/// no `.connect` session exists, `.remote` commands route through the
+/// coordinator: puts scatter by member hash, gets/evals gather
+/// fragments, and multi-shard commits run the wire two-phase round.
+struct ShellCluster {
+    servers: Vec<Server>,
+    coord: Coordinator,
+}
 
 impl Store {
     fn new() -> Store {
@@ -161,6 +181,8 @@ pub struct Session {
     server: Option<Server>,
     /// The `.connect` client session, when one is open.
     remote: Option<Client>,
+    /// The `.cluster` in-process cluster, when one is running.
+    cluster: Option<ShellCluster>,
 }
 
 impl Default for Session {
@@ -181,6 +203,7 @@ impl Session {
             txn: None,
             server: None,
             remote: None,
+            cluster: None,
         }
     }
 
@@ -332,6 +355,7 @@ impl Session {
             ".connect" => self.connect(&parts.rest()?)?,
             ".disconnect" => self.disconnect()?,
             ".remote" => self.remote_command(parts)?,
+            ".cluster" => self.cluster_command(parts)?,
             ".begin" => self.txn_begin()?,
             ".commit" => self.txn_commit()?,
             ".abort" => self.txn_abort()?,
@@ -777,10 +801,15 @@ impl Session {
         } else {
             None
         };
+        // A direct `.connect` session wins; otherwise a running
+        // `.cluster` answers through its 2PC coordinator.
+        if self.remote.is_none() && self.cluster.is_some() {
+            return self.cluster_remote(&sub, eval_expr, parts);
+        }
         let client = self
             .remote
             .as_mut()
-            .ok_or_else(|| err("not connected (.connect HOST:PORT first)"))?;
+            .ok_or_else(|| err("not connected (.connect HOST:PORT or .cluster start first)"))?;
         match sub.as_str() {
             "ping" => {
                 client.ping().map_err(client_err)?;
@@ -870,6 +899,163 @@ impl Session {
             other => Err(err(format!(
                 "usage: .remote ping|begin|commit|abort|put NAME|get NAME as NEW|eval OP ...\
                  |metrics [json]|trace|top [N]|slow, got '{other}'"
+            ))),
+        }
+    }
+
+    /// `.cluster start [N]` / `.cluster status` / `.cluster stop` — run
+    /// an in-process cluster: N shard servers over real TCP plus the
+    /// wire 2PC coordinator with its own durable decision log. While a
+    /// cluster runs (and no `.connect` session is open), `.remote`
+    /// commands drive the coordinator instead of a single server.
+    fn cluster_command(&mut self, parts: &mut Tokens) -> XstResult<String> {
+        let sub = parts.next_word()?;
+        match sub.as_str() {
+            "start" => {
+                if self.cluster.is_some() {
+                    return Err(err("a cluster is already running (.cluster stop first)"));
+                }
+                let n: usize = match parts.rest_opt() {
+                    None => 2,
+                    Some(n) => parse_num(&n, ".cluster start [N]")?,
+                };
+                if n == 0 {
+                    return Err(err("usage: .cluster start [N], N must be at least 1"));
+                }
+                let mut servers = Vec::with_capacity(n);
+                let mut addrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let engine = Arc::new(ServedEngine::new());
+                    let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default())
+                        .map_err(|e| err(format!("cluster: {e}")))?;
+                    addrs.push(server.addr().to_string());
+                    servers.push(server);
+                }
+                let coord =
+                    Coordinator::connect(&addrs, Some(CLUSTER_RPC_TIMEOUT)).map_err(coord_err)?;
+                self.cluster = Some(ShellCluster { servers, coord });
+                Ok(format!(
+                    "cluster up: {n} shard server(s) on [{}]; .remote now drives the \
+                     2PC coordinator",
+                    addrs.join(", ")
+                ))
+            }
+            "status" => Ok(match &self.cluster {
+                Some(c) => c.coord.status(),
+                None => "no cluster (.cluster start [N] first)".to_string(),
+            }),
+            "stop" => match self.cluster.take() {
+                Some(c) => {
+                    let ShellCluster { mut servers, coord } = c;
+                    // The coordinator goes first so its sessions close
+                    // before the listeners they dial disappear.
+                    drop(coord);
+                    let n = servers.len();
+                    for server in &mut servers {
+                        server.stop();
+                    }
+                    Ok(format!("cluster stopped ({n} shard server(s) down)"))
+                }
+                None => Err(err("no cluster running (.cluster start first)")),
+            },
+            other => Err(err(format!(
+                "usage: .cluster start [N] | status | stop, got '{other}'"
+            ))),
+        }
+    }
+
+    /// The running cluster's coordinator, for `.remote` routing.
+    fn coord_mut(&mut self) -> XstResult<&mut Coordinator> {
+        self.cluster
+            .as_mut()
+            .map(|c| &mut c.coord)
+            .ok_or_else(|| err("no cluster running (.cluster start first)"))
+    }
+
+    /// `.remote` over the in-process cluster: the same verbs, answered
+    /// by the 2PC coordinator. Observability pulls (`metrics`, `trace`,
+    /// `top`, `slow`) need a direct `.connect` — the coordinator runs
+    /// in this process, so its `xst_coord_*` series are already in the
+    /// local `.metrics` output.
+    fn cluster_remote(
+        &mut self,
+        sub: &str,
+        eval_expr: Option<Expr>,
+        parts: &mut Tokens,
+    ) -> XstResult<String> {
+        match sub {
+            "ping" => {
+                // A genuine round-trip to every shard: resolving with
+                // the known decisions is a benign no-op on a healthy
+                // cluster.
+                let coord = self.coord_mut()?;
+                let (committed, aborted) = coord.resolve_all().map_err(coord_err)?;
+                Ok(format!(
+                    "pong from {} shard(s) ({committed} committed / {aborted} aborted \
+                     in-doubt prepare(s) settled)",
+                    coord.shard_count()
+                ))
+            }
+            "begin" => {
+                let coord = self.coord_mut()?;
+                coord.begin().map_err(coord_err)?;
+                Ok(format!(
+                    "cluster txn open across {} shard(s)",
+                    coord.shard_count()
+                ))
+            }
+            "commit" => {
+                let ts = self.coord_mut()?.commit().map_err(coord_err)?;
+                Ok(format!("cluster committed at ts {ts}"))
+            }
+            "abort" => {
+                self.coord_mut()?.abort().map_err(coord_err)?;
+                Ok("cluster txn aborted; staged writes discarded on every shard".to_string())
+            }
+            "put" => {
+                let name = parts.rest()?;
+                let set = self
+                    .bindings
+                    .get(&name)
+                    .ok_or_else(|| err(format!("no binding named '{name}'")))?
+                    .clone();
+                let coord = self.coord_mut()?;
+                let was_open = coord.in_txn();
+                let rows = coord.put(&name, &set).map_err(coord_err)?;
+                Ok(if was_open {
+                    format!(
+                        "{rows} rows scattered into cluster '{name}' (visible after \
+                         .remote commit)"
+                    )
+                } else {
+                    format!("{rows} rows scattered into cluster '{name}' (autocommitted)")
+                })
+            }
+            "get" => {
+                let name = parts.next_operand()?;
+                let kw = parts.next_operand()?;
+                if !kw.eq_ignore_ascii_case("as") {
+                    return Err(err("usage: .remote get NAME as NEW"));
+                }
+                let target = parts.rest()?;
+                if target.is_empty() || !target.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    return Err(err(format!("bad binding name '{target}'")));
+                }
+                let set = self.coord_mut()?.get(&name).map_err(coord_err)?;
+                let card = set.card();
+                self.bindings.insert(target.clone(), set);
+                Ok(format!(
+                    "{target} bound from cluster '{name}': {card} members"
+                ))
+            }
+            "eval" => {
+                let expr = eval_expr.unwrap_or_else(|| Expr::lit(ExtendedSet::empty()));
+                let set = self.coord_mut()?.eval(&expr).map_err(coord_err)?;
+                Ok(set.to_string())
+            }
+            other => Err(err(format!(
+                "'.remote {other}' needs a direct .connect session; the cluster \
+                 coordinator runs in-process (its xst_coord_* series are in .metrics)"
             ))),
         }
     }
@@ -1141,6 +1327,11 @@ fn client_err(e: xst_client::ClientError) -> XstError {
     err(format!("remote: {e}"))
 }
 
+/// Coordinator errors surface as shell errors, not panics.
+fn coord_err(e: xst_client::coord::CoordError) -> XstError {
+    err(format!("cluster: {e}"))
+}
+
 const HELP: &str = "\
 commands:
   let NAME = SET              bind a set (literal notation: {a^1, ⟨b,c⟩, ∅})
@@ -1177,6 +1368,11 @@ network (serve this session's txn store over TCP, or drive a remote one):
   .remote ping|begin|commit|abort
   .remote put NAME · .remote get NAME as NEW · .remote eval OP ...
   .remote metrics [json] · .remote trace · .remote top [N] · .remote slow
+cluster (N shard servers + a wire 2PC coordinator, all in-process):
+  .cluster start [N]          start N shard servers and dial a coordinator;
+                              .remote then scatters puts / gathers reads and
+                              runs multi-shard commits as wire 2PC
+  .cluster status · stop      coordinator state · tear the cluster down
   help · quit";
 
 #[cfg(test)]
@@ -1551,9 +1747,87 @@ mod tests {
     fn help_lists_network_commands() {
         let mut s = Session::new();
         let h = run(&mut s, "help");
-        for cmd in [".serve", ".connect", ".disconnect", ".remote"] {
+        for cmd in [".serve", ".connect", ".disconnect", ".remote", ".cluster"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn cluster_lifecycle_and_remote_routing() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let w = {1^1, 2^1, 3^1, 4^1}");
+        let up = run(&mut s, ".cluster start 2");
+        assert!(up.contains("2 shard server(s)"), "{up}");
+        assert!(s.eval_line(".cluster start 2").is_err(), "double start");
+        // `.remote` routes through the coordinator: autocommit scatter,
+        // gathered read, distributed eval.
+        let pong = run(&mut s, ".remote ping");
+        assert!(pong.contains("pong from 2 shard(s)"), "{pong}");
+        let put = run(&mut s, ".remote put w");
+        assert!(
+            put.contains("4 rows") && put.contains("autocommitted"),
+            "{put}"
+        );
+        let got = run(&mut s, ".remote get w as back");
+        assert!(
+            got.contains("back bound from cluster 'w': 4 members"),
+            "{got}"
+        );
+        assert_eq!(run(&mut s, "show back"), run(&mut s, "show w"));
+        let evaled = parse_set(&run(&mut s, ".remote eval union w w")).unwrap();
+        assert_eq!(evaled.to_string(), run(&mut s, "show w"));
+        let status = run(&mut s, ".cluster status");
+        assert!(status.contains("2 shard(s)"), "{status}");
+        // The coordinator runs in-process, so its series land in the
+        // local registry — no wire pull needed.
+        assert!(
+            run(&mut s, ".metrics").contains("xst_coord_"),
+            "coordinator metrics must be in local .metrics"
+        );
+        let down = run(&mut s, ".cluster stop");
+        assert!(down.contains("2 shard server(s) down"), "{down}");
+        assert!(
+            s.eval_line(".remote ping").is_err(),
+            "no cluster, no client"
+        );
+        assert!(s.eval_line(".cluster stop").is_err(), "nothing to stop");
+        assert_eq!(
+            run(&mut s, ".cluster status"),
+            "no cluster (.cluster start [N] first)"
+        );
+    }
+
+    #[test]
+    fn cluster_transactions_and_error_surface() {
+        let _serial = obs_serial();
+        let mut s = Session::new();
+        run(&mut s, "let a = {10^1, 11^2}");
+        run(&mut s, ".cluster start 2");
+        // An explicit distributed transaction: staged puts commit as a
+        // wire 2PC round.
+        let begin = run(&mut s, ".remote begin");
+        assert!(
+            begin.contains("cluster txn open across 2 shard(s)"),
+            "{begin}"
+        );
+        let put = run(&mut s, ".remote put a");
+        assert!(put.contains("visible after .remote commit"), "{put}");
+        let commit = run(&mut s, ".remote commit");
+        assert!(commit.contains("cluster committed at ts"), "{commit}");
+        run(&mut s, ".remote get a as b");
+        assert_eq!(run(&mut s, "card b"), "2");
+        // Abort discards staged writes everywhere.
+        run(&mut s, ".remote begin");
+        run(&mut s, ".remote put a");
+        assert!(run(&mut s, ".remote abort").contains("aborted"));
+        // Observability pulls need a direct `.connect`.
+        assert!(s.eval_line(".remote trace").is_err());
+        assert!(s.eval_line(".remote metrics").is_err());
+        // Unknown bindings and bad verbs surface as errors, not hangs.
+        assert!(s.eval_line(".remote put nope").is_err());
+        assert!(s.eval_line(".cluster sideways").is_err());
+        run(&mut s, ".cluster stop");
     }
 
     #[test]

@@ -131,8 +131,10 @@ fn shard_gather_merges_total() -> &'static Arc<Counter> {
 
 /// The schema of the coordinator's decision log: one committed global
 /// transaction id per record. Presence == COMMIT; absence == ABORT
-/// (presumed abort needs no abort records).
-fn decision_schema() -> Schema {
+/// (presumed abort needs no abort records). Shared with the wire
+/// coordinator in `xst-client`, whose decision log is the same table
+/// shape on its own device.
+pub fn decision_schema() -> Schema {
     Schema::new(["gtxn"])
 }
 
@@ -417,6 +419,123 @@ impl ShardedEngine {
             .unwrap_or(0)
     }
 
+    /// **Participant side of an external (wire) coordinator's 2PC.**
+    /// Consume `txn` and stage its buffered writes as a durable
+    /// `gtxn`-tagged prepare on every shard it wrote
+    /// ([`TxnManager::prepare`] per written shard). Nothing is
+    /// published; the writes wait for [`ShardedEngine::commit_external`]
+    /// or [`ShardedEngine::abort_external`]. Returns how many local
+    /// shards prepared (0 for a read-only transaction — nothing to
+    /// decide). On `Err` every shard is clean: already-prepared shards
+    /// are rolled back and unvalidated writes discarded.
+    pub fn prepare_external(&self, txn: ShardedTxn, gtxn: u64) -> StorageResult<usize> {
+        let _commit = self.inner.commit_lock.lock();
+        let mut txn = txn;
+        txn.finished = true;
+        let subs: Vec<Txn> = txn.subs.iter_mut().filter_map(Option::take).collect();
+        txn.release_metrics();
+        let mut prepared: Vec<usize> = Vec::new();
+        let mut prepare_err: Option<StorageError> = None;
+        for (i, sub) in subs.into_iter().enumerate() {
+            if prepare_err.is_some() || sub.is_read_only() {
+                sub.abort();
+                continue;
+            }
+            let (begin_ts, writes) = sub.into_writes();
+            match self.inner.shards[i].mgr.prepare(gtxn, begin_ts, writes) {
+                Ok(()) => {
+                    if xst_obs::enabled() {
+                        shard_2pc_prepares_total().inc();
+                    }
+                    prepared.push(i);
+                }
+                Err(e) => prepare_err = Some(e),
+            }
+        }
+        if let Some(e) = prepare_err {
+            for i in prepared {
+                self.inner.shards[i].mgr.abort_prepared(gtxn);
+            }
+            return Err(e);
+        }
+        Ok(prepared.len())
+    }
+
+    /// **Decision delivery, commit.** Publish `gtxn`'s prepared writes on
+    /// every shard holding them. The external coordinator's decision is
+    /// already durable, so this cannot veto; it errors only if `gtxn` is
+    /// prepared nowhere (a protocol violation worth surfacing).
+    pub fn commit_external(&self, gtxn: u64) -> StorageResult<CommitTs> {
+        let _commit = self.inner.commit_lock.lock();
+        let mut ts = None;
+        for shard in &self.inner.shards {
+            if shard.mgr.has_prepared(gtxn) {
+                ts = Some(ts.unwrap_or(0).max(shard.mgr.commit_prepared(gtxn)?));
+            }
+        }
+        match ts {
+            Some(ts) => {
+                if xst_obs::enabled() {
+                    shard_2pc_commits_total().inc();
+                    txn::txn_commits_total().inc();
+                }
+                Ok(ts)
+            }
+            None => Err(StorageError::Corrupt {
+                reason: format!("commit_external({gtxn}): no such prepared transaction"),
+            }),
+        }
+    }
+
+    /// **Decision delivery, abort.** Drop `gtxn`'s prepared writes
+    /// everywhere. Infallible and idempotent, like
+    /// [`TxnManager::abort_prepared`].
+    pub fn abort_external(&self, gtxn: u64) {
+        let _commit = self.inner.commit_lock.lock();
+        let mut dropped = false;
+        for shard in &self.inner.shards {
+            dropped |= shard.mgr.has_prepared(gtxn);
+            shard.mgr.abort_prepared(gtxn);
+        }
+        if dropped && xst_obs::enabled() {
+            shard_2pc_aborts_total().inc();
+            txn::txn_aborts_total().inc();
+        }
+    }
+
+    /// Resolve every transaction still prepared on this participant
+    /// against an external coordinator's committed set: named gtxns
+    /// publish, everything else aborts (presumed abort). Returns
+    /// `(committed, aborted)` counts. This is how a reconnecting wire
+    /// coordinator clears in-doubt state left by lost decision messages.
+    pub fn resolve_external(&self, committed: &BTreeSet<u64>) -> StorageResult<(u64, u64)> {
+        let pending = self.prepared_external();
+        let mut done = (0u64, 0u64);
+        for gtxn in pending {
+            if committed.contains(&gtxn) {
+                self.commit_external(gtxn)?;
+                done.0 += 1;
+            } else {
+                self.abort_external(gtxn);
+                done.1 += 1;
+            }
+        }
+        if xst_obs::enabled() {
+            shard_2pc_in_doubt_resolved_total().add(done.0 + done.1);
+        }
+        Ok(done)
+    }
+
+    /// Global transaction ids prepared on any shard and awaiting an
+    /// external decision, in id order without duplicates.
+    pub fn prepared_external(&self) -> Vec<u64> {
+        let mut ids = BTreeSet::new();
+        for shard in &self.inner.shards {
+            ids.extend(shard.mgr.prepared_gtxns());
+        }
+        ids.into_iter().collect()
+    }
+
     /// Crash-recover the whole deployment from durable state alone:
     /// clear faults, drop every unacknowledged staged batch (the crash),
     /// replay the coordinator's decision log, then recover each shard
@@ -424,6 +543,17 @@ impl ShardedEngine {
     /// fresh engine over the same devices; the gtxn counter restarts
     /// above everything any shard ever logged.
     pub fn recover(&self) -> StorageResult<ShardedEngine> {
+        self.recover_with_decisions(&BTreeSet::new())
+    }
+
+    /// Like [`ShardedEngine::recover`], but resolving in-doubt prepares
+    /// against the union of the local decision log and `extra` — the
+    /// committed set an **external** wire coordinator replayed from its
+    /// own decision log. A shard process restarting under a remote
+    /// coordinator must not presume-abort prepares the coordinator
+    /// durably decided; the coordinator ships its decisions and recovery
+    /// honors them exactly as it honors local ones.
+    pub fn recover_with_decisions(&self, extra: &BTreeSet<u64>) -> StorageResult<ShardedEngine> {
         for shard in &self.inner.shards {
             shard.storage.clear_faults();
             shard.wal.clear_faults();
@@ -453,6 +583,10 @@ impl ShardedEngine {
             let g = u64::try_from(*g).map_err(|_| StorageError::Corrupt {
                 reason: "negative gtxn in decision log".to_string(),
             })?;
+            committed.insert(g);
+            max_gtxn = max_gtxn.max(g);
+        }
+        for &g in extra {
             committed.insert(g);
             max_gtxn = max_gtxn.max(g);
         }

@@ -697,6 +697,18 @@ impl TxnManager {
     pub fn prepared_txns(&self) -> usize {
         self.inner.lock().prepared.len()
     }
+
+    /// Is `gtxn` currently prepared (awaiting a decision) here?
+    pub fn has_prepared(&self, gtxn: u64) -> bool {
+        self.inner.lock().prepared.contains_key(&gtxn)
+    }
+
+    /// The global transaction ids currently prepared here, in id order.
+    /// An external coordinator resolving in-doubt state enumerates these
+    /// and delivers commit/abort for each from its decision log.
+    pub fn prepared_gtxns(&self) -> Vec<u64> {
+        self.inner.lock().prepared.keys().copied().collect()
+    }
 }
 
 /// First-committer-wins validation of `writes` against every version

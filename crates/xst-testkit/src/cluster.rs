@@ -1,0 +1,293 @@
+//! Scripted cross-process cluster workloads for the network-fault sweep.
+//!
+//! The shape mirrors the storage crash battery in [`crate::crash`]: a
+//! deterministic scripted workload, a site-counting dry run, then an
+//! exhaustive sweep injecting one fault per numbered site and asserting
+//! the cluster's standing contract after recovery:
+//!
+//! * **acknowledged ⇒ recoverable** — every transaction whose commit
+//!   returned `Ok` is present in full on the recovered cluster;
+//! * **unacknowledged ⇒ atomically absent** — a transaction that never
+//!   got its `Ok` leaves no partial residue on any shard;
+//! * **never split-brain** — both are checked per shard fragment, so a
+//!   transaction can never be half-applied across the partition.
+//!
+//! The workload here is intentionally small (every commit is a genuine
+//! multi-shard 2PC round) because the sweep multiplies it by every
+//! message site × every fault kind.
+
+use crate::netfault::{NetFaultKind, NetFaultPlan, ProxyGroup};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+use xst_client::coord::{CoordError, Coordinator};
+use xst_core::ops::gather;
+use xst_core::{ExtendedSet, SetBuilder, Value};
+use xst_server::{member_schema, records_identity_to_set, ServedEngine, Server, ServerConfig};
+use xst_storage::{shard_of, Record, Storage, Wal};
+
+/// Shard processes in the scripted cluster.
+pub const CLUSTER_SHARDS: usize = 2;
+/// The one table the workload writes.
+pub const CLUSTER_TABLE: &str = "w";
+/// Transactions the scripted workload commits (each multi-shard).
+pub const CLUSTER_TXNS: usize = 2;
+/// Per-request deadline for every coordinator↔shard round-trip. Small,
+/// because Hold faults cost exactly one deadline per stalled request.
+pub const CLUSTER_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// N single-shard server processes (in-process threads over real TCP)
+/// plus their engines, so the sweep can recover shards from durable
+/// state after a run.
+pub struct ShardServers {
+    /// The running servers (dropping stops them).
+    pub servers: Vec<Server>,
+    /// Each server's engine, shared with it.
+    pub engines: Vec<Arc<ServedEngine>>,
+    /// Direct (unproxied) addresses, in shard order.
+    pub addrs: Vec<String>,
+}
+
+/// Start `n` fresh single-shard servers on loopback.
+pub fn start_shard_servers(n: usize) -> ShardServers {
+    let mut servers = Vec::with_capacity(n);
+    let mut engines = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let engine = Arc::new(ServedEngine::new());
+        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
+            .expect("start shard server");
+        addrs.push(server.addr().to_string());
+        servers.push(server);
+        engines.push(engine);
+    }
+    ShardServers {
+        servers,
+        engines,
+        addrs,
+    }
+}
+
+/// The member record a set member becomes on the wire (the routing
+/// key): `[element, scope]`.
+fn member_record(element: i64, scope: i64) -> Record {
+    Record::new([Value::Int(element), Value::Int(scope)])
+}
+
+/// The scripted set transaction `t` writes: exactly one member routed
+/// to each of the [`CLUSTER_SHARDS`] shards (found by scanning element
+/// values — pure hashing, no randomness), scoped by the transaction
+/// number so every transaction's members are disjoint.
+pub fn txn_set(t: usize) -> ExtendedSet {
+    let scope = t as i64 + 1;
+    let mut found: Vec<Option<i64>> = vec![None; CLUSTER_SHARDS];
+    let mut missing = CLUSTER_SHARDS;
+    let mut candidate = t as i64 * 1000;
+    while missing > 0 {
+        let shard = shard_of(&member_record(candidate, scope), CLUSTER_SHARDS);
+        if found[shard].is_none() {
+            found[shard] = Some(candidate);
+            missing -= 1;
+        }
+        candidate += 1;
+    }
+    let mut b = SetBuilder::new();
+    for element in found.into_iter().flatten() {
+        b.scoped(Value::Int(element), Value::Int(scope));
+    }
+    b.build()
+}
+
+/// The whole-cluster contents implied by the acknowledged transaction
+/// set: the union of every acked transaction's scripted set.
+pub fn expected_set(acked: &[usize]) -> ExtendedSet {
+    gather(&acked.iter().map(|&t| txn_set(t)).collect::<Vec<_>>())
+}
+
+/// Drive the scripted workload through `coord`: [`CLUSTER_TXNS`]
+/// begin→put→commit rounds, each writing both shards. Returns the
+/// transactions whose commit was **acknowledged** (returned `Ok`), and
+/// the first error if a fault cut the run short.
+pub fn drive_cluster_workload(coord: &mut Coordinator) -> (Vec<usize>, Option<CoordError>) {
+    let mut acked = Vec::new();
+    for t in 0..CLUSTER_TXNS {
+        if let Err(e) = coord.begin() {
+            return (acked, Some(e));
+        }
+        if let Err(e) = coord.put(CLUSTER_TABLE, &txn_set(t)) {
+            return (acked, Some(e));
+        }
+        match coord.commit() {
+            Ok(_) => acked.push(t),
+            Err(e) => return (acked, Some(e)),
+        }
+    }
+    (acked, None)
+}
+
+/// Count the workload's message sites: run it once through counting
+/// proxies with no injection. Also asserts the clean run acknowledges
+/// every transaction — the sweep below would be vacuous otherwise.
+pub fn count_message_sites() -> u64 {
+    let cluster = start_shard_servers(CLUSTER_SHARDS);
+    let plan = NetFaultPlan::count_only();
+    let proxies = ProxyGroup::start(&cluster.addrs, &plan).expect("start proxies");
+    let mut coord = Coordinator::connect(proxies.addrs(), Some(CLUSTER_TIMEOUT))
+        .expect("connect coordinator through counting proxies");
+    let (acked, err) = drive_cluster_workload(&mut coord);
+    assert!(err.is_none(), "clean run must not fail: {err:?}");
+    assert_eq!(
+        acked.len(),
+        CLUSTER_TXNS,
+        "clean run must acknowledge every transaction"
+    );
+    let sites = plan.sites_seen();
+    assert!(sites > 0, "the workload must cross the wire");
+    sites
+}
+
+/// The durable residue of one run, for post-fault verification.
+pub struct RunOutcome {
+    /// Transactions whose commit round-trip was acknowledged.
+    pub acked: Vec<usize>,
+    /// The fault-induced error, if the run was cut short.
+    pub error: Option<CoordError>,
+    /// The coordinator's durable devices (decision log), if the
+    /// coordinator got far enough to exist.
+    pub devices: Option<(Storage, Wal)>,
+    /// The shard servers, still running, with their engines.
+    pub cluster: ShardServers,
+}
+
+/// One faulted run: fresh servers, fresh proxies with `kind` planned at
+/// message `site`, fresh coordinator, scripted workload. The servers
+/// (and all durable state) survive into the returned outcome; the
+/// coordinator and proxies do not — exactly a coordinator crash with
+/// the network gone.
+pub fn run_with_fault(site: u64, kind: NetFaultKind) -> RunOutcome {
+    let cluster = start_shard_servers(CLUSTER_SHARDS);
+    let plan = NetFaultPlan::at_site(site, kind);
+    let proxies = ProxyGroup::start(&cluster.addrs, &plan).expect("start proxies");
+    let (acked, error, devices) = match Coordinator::connect(proxies.addrs(), Some(CLUSTER_TIMEOUT))
+    {
+        Ok(mut coord) => {
+            let devices = coord.devices();
+            let (acked, error) = drive_cluster_workload(&mut coord);
+            (acked, error, Some(devices))
+        }
+        Err(e) => (Vec::new(), Some(e), None),
+    };
+    drop(proxies); // severs every surviving proxied connection
+    RunOutcome {
+        acked,
+        error,
+        devices,
+        cluster,
+    }
+}
+
+/// Verify the standing contract on a finished run, in two layers:
+///
+/// 1. **Wire resolve**: restart "the coordinator node" over the same
+///    durable devices against the still-running servers —
+///    [`Coordinator::recover`] replays the decision log and delivers a
+///    Resolve round — then read the table through the recovered
+///    coordinator and compare against the acked expectation.
+/// 2. **Shard restart**: recover every shard engine from durable state
+///    alone (with the replayed committed set resolving in-doubt
+///    prepares), re-gather the fragments, and compare again — also
+///    asserting every member sits on the shard its hash routes to.
+pub fn verify_recovery(outcome: RunOutcome) {
+    let expected = expected_set(&outcome.acked);
+    let direct = outcome.cluster.addrs.clone();
+
+    // Layer 1: wire resolve against live servers.
+    let committed: BTreeSet<u64> = match outcome.devices {
+        Some((storage, wal)) => {
+            let mut coord = Coordinator::recover(&direct, storage, wal, Some(CLUSTER_TIMEOUT))
+                .expect("coordinator recovery over live shards");
+            let got = match coord.get(CLUSTER_TABLE) {
+                Ok(set) => set,
+                // No shard knows the table: nothing was ever written.
+                Err(_) if outcome.acked.is_empty() => ExtendedSet::empty(),
+                Err(e) => panic!("cluster read after recovery failed: {e}"),
+            };
+            assert_eq!(
+                got, expected,
+                "wire-recovered cluster must hold exactly the acked transactions \
+                 (acked {:?})",
+                outcome.acked
+            );
+            coord.committed_gtxns().into_iter().collect()
+        }
+        None => BTreeSet::new(),
+    };
+
+    // Layer 2: every shard restarts from durable state.
+    drop(outcome.cluster.servers);
+    let catalog = [(CLUSTER_TABLE, member_schema())];
+    let mut fragments = Vec::with_capacity(CLUSTER_SHARDS);
+    for (i, engine) in outcome.cluster.engines.iter().enumerate() {
+        let recovered = engine
+            .recover_with_decisions(&catalog, &committed)
+            .expect("shard recovery");
+        let frag = match recovered.latest_identity(CLUSTER_TABLE) {
+            Ok(identity) => records_identity_to_set(&identity).expect("fragment identity decodes"),
+            Err(_) => ExtendedSet::empty(),
+        };
+        for m in frag.members() {
+            let rec = Record::new([m.element.clone(), m.scope.clone()]);
+            assert_eq!(
+                shard_of(&rec, CLUSTER_SHARDS),
+                i,
+                "member {m:?} recovered on shard {i} but routes elsewhere"
+            );
+        }
+        fragments.push(frag);
+    }
+    let restarted = gather(&fragments);
+    assert_eq!(
+        restarted, expected,
+        "restarted shards must hold exactly the acked transactions (acked {:?})",
+        outcome.acked
+    );
+}
+
+/// The full deterministic sweep for one fault kind: inject `kind` at
+/// every message site of the scripted workload and verify recovery
+/// after each. `sites` comes from [`count_message_sites`]. Returns how
+/// many runs actually saw their fault fire (callers assert it is the
+/// whole range — otherwise the sweep went vacuous).
+pub fn sweep_fault_kind(sites: u64, kind: NetFaultKind) -> u64 {
+    let mut fired = 0;
+    for site in 0..sites {
+        let cluster = start_shard_servers(CLUSTER_SHARDS);
+        let plan = NetFaultPlan::at_site(site, kind);
+        let proxies = ProxyGroup::start(&cluster.addrs, &plan).expect("start proxies");
+        let (acked, error, devices) =
+            match Coordinator::connect(proxies.addrs(), Some(CLUSTER_TIMEOUT)) {
+                Ok(mut coord) => {
+                    let devices = coord.devices();
+                    let (acked, error) = drive_cluster_workload(&mut coord);
+                    (acked, error, Some(devices))
+                }
+                Err(e) => (Vec::new(), Some(e), None),
+            };
+        if plan.fired() {
+            fired += 1;
+        } else {
+            assert!(
+                error.is_none() && acked.len() == CLUSTER_TXNS,
+                "site {site}/{kind:?}: fault never fired yet the run failed: {error:?}"
+            );
+        }
+        drop(proxies);
+        verify_recovery(RunOutcome {
+            acked,
+            error,
+            devices,
+            cluster,
+        });
+    }
+    fired
+}

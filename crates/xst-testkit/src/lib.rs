@@ -4,6 +4,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
+pub mod netfault;
 pub mod sched;
 
 use proptest::prelude::*;

@@ -1,0 +1,250 @@
+//! Deterministic network-fault injection for the cross-process cluster.
+//!
+//! A [`ProxyGroup`] sits one frame-forwarding proxy in front of every
+//! shard server. Every frame any proxy forwards — in either direction,
+//! handshakes included — consumes one **message site** from a counter
+//! shared across the whole group. Because the wire coordinator issues
+//! strictly sequential round-trips (one outstanding frame across the
+//! cluster), the numbering is a total order and a scripted workload
+//! consumes an identical site sequence on every run: the network-fault
+//! mirror of the storage layer's numbered I/O sites.
+//!
+//! A [`NetFaultPlan`] names one site and what happens to the message
+//! that lands on it:
+//!
+//! * [`NetFaultKind::DropMessage`] — the frame vanishes; both ends keep
+//!   running (a lost datagram). The sender's read deadline expires.
+//! * [`NetFaultKind::Hold`] — the frame and **everything after it** on
+//!   that direction of that connection stalls forever, without closing
+//!   anything: delay-past-timeout, modeled without a clock. The proxy
+//!   simply stops pumping that direction; the sockets stay open (held
+//!   by the group), so neither end sees EOF — only the deadline fires.
+//! * [`NetFaultKind::Sever`] — both directions of that connection are
+//!   shut down: a broken TCP session. The peer sees EOF/reset.
+//! * [`NetFaultKind::KillAll`] — every connection in the group is
+//!   severed at once: the coordinator process dying mid-protocol.
+//!
+//! Nothing here reads a clock or a random source: the only
+//! nondeterminism a fault introduces is *which error* the blocked peer
+//! reports (timeout vs. closed), and every harness treats all failure
+//! shapes identically.
+
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use xst_server::wire::{read_frame, write_frame};
+
+/// What happens to the message that lands on the planned site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Discard exactly this message; keep the connection flowing.
+    DropMessage,
+    /// Stall this direction of this connection forever without closing
+    /// it (delay past any timeout, clock-free).
+    Hold,
+    /// Shut down both directions of this connection.
+    Sever,
+    /// Shut down every connection in the group (coordinator death).
+    KillAll,
+}
+
+/// One planned fault at one numbered message site, sharing its site
+/// counter with every proxy in a group. Clone freely: clones share the
+/// counter.
+#[derive(Clone)]
+pub struct NetFaultPlan {
+    counter: Arc<AtomicU64>,
+    target: u64,
+    kind: NetFaultKind,
+}
+
+impl NetFaultPlan {
+    /// A pass-through plan that only counts sites (no injection).
+    pub fn count_only() -> NetFaultPlan {
+        NetFaultPlan {
+            counter: Arc::new(AtomicU64::new(0)),
+            target: u64::MAX,
+            kind: NetFaultKind::DropMessage,
+        }
+    }
+
+    /// Inject `kind` on the message that lands on 0-based `site`.
+    pub fn at_site(site: u64, kind: NetFaultKind) -> NetFaultPlan {
+        NetFaultPlan {
+            counter: Arc::new(AtomicU64::new(0)),
+            target: site,
+            kind,
+        }
+    }
+
+    /// Messages seen so far across every proxy sharing this plan.
+    pub fn sites_seen(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Did the planned site fire (was it reached)?
+    pub fn fired(&self) -> bool {
+        self.sites_seen() > self.target
+    }
+}
+
+/// Every live socket in the group, so [`NetFaultKind::KillAll`] and
+/// shutdown can sever them all, and so [`NetFaultKind::Hold`] can leave
+/// sockets open after their pump thread exits.
+type ConnSet = Arc<Mutex<Vec<TcpStream>>>;
+
+fn sever_all(conns: &ConnSet) {
+    let Ok(guard) = conns.lock() else { return };
+    for s in guard.iter() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}
+
+/// One frame-forwarding proxy per upstream shard address, all sharing
+/// one fault plan and one site counter. Dropping the group severs every
+/// connection and stops every accept loop.
+pub struct ProxyGroup {
+    addrs: Vec<String>,
+    conns: ConnSet,
+    stop: Arc<AtomicBool>,
+    plan: NetFaultPlan,
+}
+
+impl ProxyGroup {
+    /// Start one proxy in front of each `upstreams` address. Returns
+    /// after every listener is bound; `addrs()` yields the proxy-side
+    /// addresses in upstream order.
+    pub fn start(upstreams: &[String], plan: &NetFaultPlan) -> std::io::Result<ProxyGroup> {
+        let conns: ConnSet = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut addrs = Vec::with_capacity(upstreams.len());
+        for upstream in upstreams {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            listener.set_nonblocking(true)?;
+            addrs.push(listener.local_addr()?.to_string());
+            let upstream = upstream.clone();
+            let conns = Arc::clone(&conns);
+            let stop = Arc::clone(&stop);
+            let plan = plan.clone();
+            std::thread::spawn(move || accept_loop(&listener, &upstream, &conns, &stop, &plan));
+        }
+        Ok(ProxyGroup {
+            addrs,
+            conns,
+            stop,
+            plan: plan.clone(),
+        })
+    }
+
+    /// The proxy-side addresses, in upstream order — what the
+    /// coordinator dials instead of the real servers.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// The group's shared fault plan (site counter included).
+    pub fn plan(&self) -> &NetFaultPlan {
+        &self.plan
+    }
+
+    /// Sever every connection now (without waiting for drop).
+    pub fn sever_all(&self) {
+        sever_all(&self.conns);
+    }
+}
+
+impl Drop for ProxyGroup {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        sever_all(&self.conns);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &str,
+    conns: &ConnSet,
+    stop: &Arc<AtomicBool>,
+    plan: &NetFaultPlan,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    let _ = server.shutdown(Shutdown::Both);
+                    continue;
+                };
+                if let Ok(mut guard) = conns.lock() {
+                    if let (Ok(ch), Ok(sh)) = (client.try_clone(), server.try_clone()) {
+                        guard.push(ch);
+                        guard.push(sh);
+                    }
+                }
+                let plan_fwd = plan.clone();
+                let plan_rev = plan.clone();
+                let conns_fwd = Arc::clone(conns);
+                let conns_rev = Arc::clone(conns);
+                std::thread::spawn(move || pump(client, server, &plan_fwd, &conns_fwd));
+                std::thread::spawn(move || pump(s2, c2, &plan_rev, &conns_rev));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Forward frames `from` → `to`, numbering each against the shared
+/// site counter and injecting the planned fault when its site lands
+/// here. Exits on EOF/error (severing the pair so the peer notices) or
+/// when the fault says so.
+fn pump(mut from: TcpStream, mut to: TcpStream, plan: &NetFaultPlan, conns: &ConnSet) {
+    loop {
+        let payload = match read_frame(&mut from) {
+            Ok(p) => p,
+            Err(_) => {
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let site = plan.counter.fetch_add(1, Ordering::SeqCst);
+        if site == plan.target {
+            match plan.kind {
+                NetFaultKind::DropMessage => continue,
+                // Exit without closing anything: the clones held by the
+                // group keep both sockets open, so the stall looks like
+                // unbounded delay, not disconnection.
+                NetFaultKind::Hold => return,
+                NetFaultKind::Sever => {
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+                NetFaultKind::KillAll => {
+                    sever_all(conns);
+                    return;
+                }
+            }
+        }
+        if write_frame(&mut to, &payload).is_err() {
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+impl std::fmt::Debug for NetFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetFaultPlan")
+            .field("target", &self.target)
+            .field("kind", &self.kind)
+            .field("seen", &self.sites_seen())
+            .finish()
+    }
+}

@@ -311,3 +311,190 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cross-process sharding: routing invariants. The member-hash router is
+// the contract both deployments (in-process ShardedEngine, wire
+// Coordinator) share — it must be a pure function of member identity,
+// partition without loss or duplication, and be invisible to query
+// results at any shard count.
+// ---------------------------------------------------------------------------
+
+mod routing {
+    use proptest::prelude::*;
+    use xst_core::ops::{gather, Parallelism};
+    use xst_core::{ExtendedSet, SetBuilder, Value};
+    use xst_query::{eval_parallel, eval_sharded, merge_bindings, Expr, ShardedBindings};
+    use xst_storage::{codec, shard_of, Record};
+    use xst_testkit::arb_set;
+
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+    /// A set's members as routing-key records (`[element, scope]` —
+    /// the wire layout every served table uses).
+    fn member_records(set: &ExtendedSet) -> Vec<Record> {
+        set.members()
+            .iter()
+            .map(|m| Record::new([m.element.clone(), m.scope.clone()]))
+            .collect()
+    }
+
+    /// Hash-partition `set` into `shards` member-disjoint fragments,
+    /// exactly as both engines route writes.
+    fn route(set: &ExtendedSet, shards: usize) -> Vec<ExtendedSet> {
+        let mut builders: Vec<SetBuilder> = (0..shards).map(|_| SetBuilder::new()).collect();
+        for (m, rec) in set.members().iter().zip(member_records(set)) {
+            builders[shard_of(&rec, shards)].scoped(m.element.clone(), m.scope.clone());
+        }
+        builders.into_iter().map(SetBuilder::build).collect()
+    }
+
+    /// A small random plan over two bound tables (subset-producing and
+    /// member-transforming operators both appear, so the sharded
+    /// evaluator exercises aligned and fallback lowerings).
+    fn plan(shape: u8) -> Expr {
+        let ta = || Expr::table("ta");
+        let tb = || Expr::table("tb");
+        match shape % 6 {
+            0 => ta().union(tb()),
+            1 => ta().intersect(tb()),
+            2 => ta().difference(tb()),
+            3 => ta().union(tb()).intersect(ta()),
+            4 => ta().difference(tb()).union(tb().difference(ta())),
+            _ => ta().intersect(ta().union(tb())),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// `shard_of` is a pure function of the member's bit-exact
+        /// codec identity: a record surviving an encode/decode
+        /// round-trip routes to the same shard at every shard count.
+        #[test]
+        fn shard_of_stable_across_codec_round_trip(set in arb_set(2)) {
+            for rec in member_records(&set) {
+                let bytes = codec::encode_to_vec(&Value::Set(rec.to_tuple()));
+                let decoded = codec::decode_exact(&bytes).expect("codec round-trip");
+                let Value::Set(tuple) = decoded else {
+                    panic!("record tuple must decode as a set");
+                };
+                let vals = tuple.as_tuple().expect("tuple layout survives");
+                let rebuilt = Record::new(vals);
+                for shards in SHARD_COUNTS {
+                    prop_assert_eq!(
+                        shard_of(&rec, shards),
+                        shard_of(&rebuilt, shards),
+                        "routing must survive the codec round-trip"
+                    );
+                }
+                prop_assert_eq!(shard_of(&rec, 1), 0, "one shard takes everything");
+            }
+        }
+
+        /// Routing partitions exactly: no member lost, none duplicated,
+        /// none misrouted, and the gather of the fragments is the set.
+        #[test]
+        fn fragments_partition_without_loss_or_duplication(set in arb_set(2)) {
+            for shards in SHARD_COUNTS {
+                let frags = route(&set, shards);
+                prop_assert_eq!(frags.len(), shards);
+                let total: usize = frags.iter().map(ExtendedSet::card).sum();
+                prop_assert_eq!(total, set.card(), "no duplicates, no losses");
+                for (i, frag) in frags.iter().enumerate() {
+                    for m in frag.members() {
+                        let rec = Record::new([m.element.clone(), m.scope.clone()]);
+                        prop_assert_eq!(
+                            shard_of(&rec, shards), i,
+                            "member on shard {} routes elsewhere", i
+                        );
+                    }
+                }
+                prop_assert_eq!(&gather(&frags), &set, "gather must rebuild the set");
+            }
+        }
+
+        /// Gather-of-fragments ≡ whole-set evaluation for arbitrary
+        /// plans at 1/2/4 shards: the partition is invisible to every
+        /// query result.
+        #[test]
+        fn sharded_eval_matches_whole_eval(
+            a in arb_set(2),
+            b in arb_set(2),
+            shape in 0u8..6,
+        ) {
+            let expr = plan(shape);
+            for shards in SHARD_COUNTS {
+                let mut sharded = ShardedBindings::new();
+                sharded.insert("ta".to_string(), route(&a, shards));
+                sharded.insert("tb".to_string(), route(&b, shards));
+                let whole = merge_bindings(&sharded);
+                let (scattered, _) =
+                    eval_sharded(&expr, &sharded, &Parallelism::sequential())
+                        .expect("sharded eval");
+                let (gathered, _) =
+                    eval_parallel(&expr, &whole, &Parallelism::sequential())
+                        .expect("whole eval");
+                prop_assert_eq!(
+                    &scattered, &gathered,
+                    "shard count {} must be invisible to plan {}", shards, shape
+                );
+            }
+        }
+    }
+
+    /// The cross-process path: the same invariants over real TCP.
+    /// A wire coordinator scatters a tricky set across two shard
+    /// servers; per-shard fragment reads must show exact, disjoint,
+    /// correctly-routed fragments, and coordinator reads/evals must
+    /// equal the in-process expectation.
+    #[test]
+    fn cross_process_routing_matches_in_process() {
+        use std::time::Duration;
+        use xst_client::coord::Coordinator;
+        use xst_client::Client;
+        use xst_testkit::cluster::start_shard_servers;
+
+        let set = {
+            let mut b = SetBuilder::new();
+            for i in 0..24i64 {
+                b.scoped(Value::Int(i), Value::Int(i % 3));
+            }
+            b.scoped(
+                Value::Set(ExtendedSet::pair(Value::Int(7), Value::Int(9))),
+                Value::Int(5),
+            );
+            b.build()
+        };
+        const SHARDS: usize = 2;
+        let cluster = start_shard_servers(SHARDS);
+        let mut coord = Coordinator::connect(&cluster.addrs, Some(Duration::from_secs(5)))
+            .expect("connect coordinator");
+        coord.put("r", &set).expect("scatter put");
+
+        // Whole-set read and trivial eval both rebuild the set.
+        assert_eq!(coord.get("r").expect("gather read"), set);
+        let expr = Expr::table("r").union(Expr::table("r"));
+        assert_eq!(coord.eval(&expr).expect("wire eval"), set);
+
+        // Per-shard fragments: disjoint, complete, correctly routed.
+        let mut frags = Vec::new();
+        for (i, addr) in cluster.addrs.iter().enumerate() {
+            let mut c = Client::connect(addr, "frag-probe").expect("connect shard");
+            let frag = c.frag_read("r").expect("frag read");
+            for m in frag.members() {
+                let rec = Record::new([m.element.clone(), m.scope.clone()]);
+                assert_eq!(
+                    shard_of(&rec, SHARDS),
+                    i,
+                    "member {m:?} served by shard {i} but routes elsewhere"
+                );
+            }
+            frags.push(frag);
+        }
+        let total: usize = frags.iter().map(ExtendedSet::card).sum();
+        assert_eq!(total, set.card(), "no duplicates across shards");
+        assert_eq!(gather(&frags), set, "fragments gather to the set");
+        assert_eq!(frags, route(&set, SHARDS), "wire routing ≡ local routing");
+    }
+}
