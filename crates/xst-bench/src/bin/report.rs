@@ -6,7 +6,7 @@
 //! report --quick    # smaller sizes (CI-friendly)
 //! ```
 //!
-//! Experiments that produce structured numbers (E12–E19) are also
+//! Experiments that produce structured numbers (E12–E20) are also
 //! written to `BENCH_PR2.json` at the repository root — see EXPERIMENTS.md
 //! ("Machine-readable results") for the format.
 
@@ -149,6 +149,12 @@ fn main() {
     if want("e19") {
         let (n, iters) = if quick { (2_000, 7) } else { (20_000, 11) };
         let (table, entries) = exp::e19_wire_coordinator(n, iters);
+        print!("{table}");
+        json_entries.extend(entries);
+    }
+    if want("e20") {
+        let iters = if quick { 3 } else { 7 };
+        let (table, entries) = exp::e20_lint_workspace(iters);
         print!("{table}");
         json_entries.extend(entries);
     }

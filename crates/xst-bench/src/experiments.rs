@@ -2047,3 +2047,73 @@ pub fn e19_wire_coordinator(
     );
     (table, entries)
 }
+
+/// E20 — static-analyzer wall time. `xst-lint` runs on every CI push
+/// (`--deny-all`), so its cost is part of the edit-compile loop and
+/// gets a budget: a full workspace scan — lex, parse, call-graph
+/// fixpoint, all four passes — must finish well under 5 s on a 1-CPU
+/// box. Reports the median of `iters` full scans plus per-phase
+/// context (files scanned, findings justified).
+pub fn e20_lint_workspace(iters: usize) -> (String, Vec<crate::report_json::BenchEntry>) {
+    use crate::report_json::BenchEntry;
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+
+    let mut scans = Vec::with_capacity(iters);
+    let mut files = 0usize;
+    let mut justified = 0usize;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let report = xst_lint::run_lint(&root).expect("workspace scan");
+        scans.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(report.error_count(), 0, "the tree must scan clean");
+        files = report.files_checked;
+        justified = report.justified_count();
+    }
+    let scan = median(scans);
+    const BUDGET_NS: u64 = 5_000_000_000;
+    assert!(
+        scan < BUDGET_NS,
+        "analyzer blew its 5 s budget: {} ms",
+        scan / 1_000_000
+    );
+
+    let mut t = TableBuilder::new(
+        "E20 static analyzer full-workspace scan (median of iters)",
+        &["files", "justified findings", "scan ms", "budget ms"],
+    );
+    t.row(&[
+        files.to_string(),
+        justified.to_string(),
+        format!("{:.1}", scan as f64 / 1e6),
+        format!("{:.0}", BUDGET_NS as f64 / 1e6),
+    ]);
+    let meta = vec![
+        ("files", files.to_string()),
+        ("iters", iters.to_string()),
+        ("justified", justified.to_string()),
+    ];
+    let entries = vec![
+        BenchEntry::ns("e20_lint_workspace", scan, &meta),
+        BenchEntry::ratio(
+            "e20_lint_budget_fraction",
+            scan as f64 / BUDGET_NS as f64,
+            &[(
+                "note",
+                "fraction of the 5 s CI budget one full scan consumes \
+                 (lex + parse + call-graph fixpoint + all four passes)"
+                    .to_string(),
+            )],
+        ),
+    ];
+    let table = t.finish(
+        "the analyzer re-reads and re-parses every crates/*/src file from \
+         scratch each scan; staying far inside the budget is what lets CI \
+         run it with --deny-all on every push.",
+    );
+    (table, entries)
+}

@@ -1,0 +1,137 @@
+//! Pass 3: fault-site completeness over `xst-storage`.
+//!
+//! The crash harnesses claim to crash at *every* I/O site — a claim that
+//! is only as strong as the numbering. This pass makes it checkable:
+//! a *device struct* is any `xst-storage` struct holding a `FaultPlan`
+//! field (today `StorageInner` in bufpool.rs and `WalInner` in wal.rs);
+//! its remaining fields are device state. Every non-test function in the
+//! declaring file that touches device state (`.field` access) must
+//! either pass through a site-numbering claim (`check_fault(` or
+//! `.check(SiteClass::`) or carry a
+//! `// lint: unnumbered-io: <why>` justification explaining why the
+//! access is not a numbered I/O operation (pure accessors, recovery
+//! replay, test-only device manipulation).
+
+use std::collections::BTreeSet;
+
+use crate::{push_finding, Workspace};
+
+/// Body substrings that prove the function claims a numbered fault site.
+const SITE_CLAIMS: &[&str] = &["check_fault(", "check(SiteClass::"];
+
+pub fn analyze(
+    ws: &Workspace,
+    findings: &mut Vec<crate::Finding>,
+    used: &mut BTreeSet<(usize, usize)>,
+) {
+    for (fi, rec) in ws.files.iter().enumerate() {
+        if rec.crate_name != "xst-storage" {
+            continue;
+        }
+        // Device structs and their state fields, per file. A device is a
+        // FaultPlan-carrying struct that itself lives behind a Mutex
+        // (`Mutex<WalInner>`, `Mutex<StorageInner>`): single-device
+        // mutable state whose every touch is an I/O operation. A struct
+        // that merely *distributes* fault plans (`ShardedEngine`'s
+        // coordinator holds a `Mutex<Option<FaultPlan>>` staging slot)
+        // is not a device.
+        let behind_mutex = |name: &str| {
+            rec.model.structs.iter().any(|s| {
+                s.fields
+                    .iter()
+                    .any(|f| f.ty.contains("Mutex<") && f.ty.contains(name))
+            })
+        };
+        let mut device_fields: Vec<(String, String)> = Vec::new(); // (struct, field)
+        for s in &rec.model.structs {
+            if !s.fields.iter().any(|f| f.ty.contains("FaultPlan")) || !behind_mutex(&s.name) {
+                continue;
+            }
+            for f in &s.fields {
+                if !f.ty.contains("FaultPlan") {
+                    device_fields.push((s.name.clone(), f.name.clone()));
+                }
+            }
+        }
+        if device_fields.is_empty() {
+            continue;
+        }
+        let code = &rec.view.code;
+        let b = code.as_bytes();
+        for decl in &rec.model.fns {
+            let Some(body) = decl.body else { continue };
+            if rec.view.in_test(decl.sig_at) {
+                continue;
+            }
+            let text = &code[body.0..body.1.min(code.len())];
+            let mut touched: Vec<&str> = Vec::new();
+            let mut first_at = usize::MAX;
+            for (_, field) in &device_fields {
+                let pat = format!(".{field}");
+                let mut from = 0;
+                while let Some(p) = text[from..].find(&pat) {
+                    let at = from + p;
+                    from = at + 1;
+                    let end = at + pat.len();
+                    // Word-bounded field access, not a method call.
+                    let after = text.as_bytes().get(end).copied();
+                    if after.is_some_and(crate::syntax::is_ident_char) {
+                        continue;
+                    }
+                    let mut q = end;
+                    let tb = text.as_bytes();
+                    while q < tb.len() && tb[q].is_ascii_whitespace() {
+                        q += 1;
+                    }
+                    if q < tb.len() && tb[q] == b'(' {
+                        continue;
+                    }
+                    // `0.field` tuple access can't collide: fields are named.
+                    if !touched.contains(&field.as_str()) {
+                        touched.push(field);
+                    }
+                    first_at = first_at.min(body.0 + at);
+                    break;
+                }
+            }
+            if touched.is_empty() {
+                continue;
+            }
+            if SITE_CLAIMS.iter().any(|c| text.contains(c)) {
+                continue;
+            }
+            let sig_line = rec.view.line_of(decl.sig_at);
+            let access_line = rec.view.line_of(first_at.min(b.len()));
+            let just_lines = [
+                sig_line,
+                sig_line.saturating_sub(1),
+                access_line,
+                access_line.saturating_sub(1),
+            ];
+            let js = rec.view.justifications_on("unnumbered-io", &just_lines);
+            let justified = !js.is_empty();
+            for j in js {
+                used.insert((fi, j));
+            }
+            let display = match &decl.self_type {
+                Some(t) => format!("{}::{}", t, decl.name),
+                None => decl.name.clone(),
+            };
+            push_finding(
+                findings,
+                &rec.rel,
+                sig_line,
+                "unnumbered-io",
+                format!(
+                    "`{display}` touches device state ({}) without a FaultPlan site check",
+                    touched
+                        .iter()
+                        .map(|f| format!("`.{f}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                justified,
+            );
+        }
+    }
+}

@@ -1,286 +1,17 @@
-//! `xst-lint` — first-party source lint for the XST workspace.
+//! CLI for `xst-lint`: run every rule and pass over a workspace root.
 //!
-//! Zero dependencies, line/token-level rules over `crates/*/src`:
+//! ```text
+//! xst-lint [--root PATH] [--deny-all] [--json PATH]
+//! ```
 //!
-//! 1. **no-panic** — `.unwrap()`, `.expect(`, and `panic!` are forbidden in
-//!    non-test `xst-storage` / `xst-core` code: the storage engine and the
-//!    core algebra must fail with structured errors, never by aborting.
-//! 2. **determinism** — `std::time::{Instant, SystemTime}` and the `rand`
-//!    crate are forbidden inside the deterministic harness/fault/sched
-//!    modules; those subsystems replay byte-identical schedules and must
-//!    not observe wall-clock time or ambient entropy.
-//! 3. **metric-names** — every `xst_*` metric-name string literal must
-//!    live in `crates/xst-obs/src/names.rs`, exactly once; registration
-//!    sites refer to the canonical constants, so a family cannot be
-//!    registered under two drifting spellings.
-//! 4. **registered-metrics** — every non-test
-//!    `registry().counter/gauge/histogram(...)` registration site must
-//!    name its family through `names::` constants, so the registry cannot
-//!    grow a family the names module (and its uniqueness test) never
-//!    heard of. Covers every crate, xst-server/xst-client included.
-//!
-//! Comments, string/char-literal *contents*, and `#[cfg(test)]` regions
-//! are excluded before token rules run. Exit status is non-zero when any
-//! violation is found; `--deny-all` additionally fails allowlisted
-//! findings (the allowlist ships empty and is meant to stay that way).
+//! `--deny-all` re-raises findings excused by the legacy static
+//! allowlist (justification comments are unaffected — they are the
+//! documented exemption mechanism and are themselves linted).
+//! `--json PATH` additionally writes an `xst-lint-report/1` document
+//! (`-` for stdout).
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-mod scan;
-
-use scan::SourceView;
-
-/// Permanent exemptions: `(path suffix, token)` pairs. Kept empty — CI
-/// runs `--deny-all`, and new exemptions belong in a code fix, not here.
-const ALLOWLIST: &[(&str, &str)] = &[];
-
-/// One lint finding.
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-    token: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-fn allowlisted(v: &Violation) -> bool {
-    let path = v.file.to_string_lossy();
-    ALLOWLIST
-        .iter()
-        .any(|(suffix, token)| path.ends_with(suffix) && v.token == *token)
-}
-
-/// Crates whose non-test sources must never panic.
-const NO_PANIC_CRATES: &[&str] = &["xst-storage", "xst-core", "xst-server", "xst-client"];
-/// Forbidden panic tokens (checked on the comment/string-blanked view).
-const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
-
-/// File-name fragments marking deterministic-replay modules.
-const DETERMINISTIC_MODULES: &[&str] = &["fault", "sched", "harness"];
-/// Forbidden nondeterminism tokens, matched on word boundaries.
-const NONDETERMINISM_TOKENS: &[&str] = &["Instant", "SystemTime", "rand"];
-
-/// Where the canonical metric-name constants live.
-const METRIC_NAMES_FILE: &str = "crates/xst-obs/src/names.rs";
-
-/// Registry registration methods; a call site must pass a `names::`
-/// constant as the family name.
-const REGISTRATION_METHODS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
-/// How far back a registration method looks for its `registry()` receiver
-/// and how far forward for the `names::` constant (call sites wrap).
-const REGISTRATION_WINDOW: usize = 120;
-
-fn is_word_char(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Slice `code` around `[start, end)`, widening to char boundaries so a
-/// blanked multi-byte char can never split the window.
-fn window(code: &str, mut start: usize, mut end: usize) -> &str {
-    end = end.min(code.len());
-    while start > 0 && !code.is_char_boundary(start) {
-        start -= 1;
-    }
-    while end < code.len() && !code.is_char_boundary(end) {
-        end += 1;
-    }
-    &code[start..end]
-}
-
-/// Find `token` in `code` on word boundaries (when `word` is set),
-/// returning byte offsets.
-fn find_token(code: &str, token: &str, word: bool) -> Vec<usize> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(token) {
-        let at = from + pos;
-        from = at + 1;
-        if word {
-            let before_ok = at == 0 || !is_word_char(bytes[at - 1]);
-            let end = at + token.len();
-            let after_ok = end >= bytes.len() || !is_word_char(bytes[end]);
-            if !(before_ok && after_ok) {
-                continue;
-            }
-        }
-        out.push(at);
-    }
-    out
-}
-
-fn lint_file(path: &Path, rel: &Path, out: &mut Vec<Violation>) -> std::io::Result<()> {
-    let source = std::fs::read_to_string(path)?;
-    let view = SourceView::new(&source);
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-
-    let crate_name = rel_str
-        .strip_prefix("crates/")
-        .and_then(|r| r.split('/').next())
-        .unwrap_or("");
-    let file_name = rel
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_default();
-
-    if NO_PANIC_CRATES.contains(&crate_name) {
-        for token in PANIC_TOKENS {
-            for at in find_token(&view.code, token, false) {
-                if view.in_test(at) {
-                    continue;
-                }
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: view.line_of(at),
-                    rule: "no-panic",
-                    message: format!(
-                        "`{token}` in non-test {crate_name} code; return a structured error instead"
-                    ),
-                    token: (*token).to_string(),
-                });
-            }
-        }
-    }
-
-    if DETERMINISTIC_MODULES.iter().any(|m| file_name.contains(m)) {
-        for token in NONDETERMINISM_TOKENS {
-            for at in find_token(&view.code, token, true) {
-                if view.in_test(at) {
-                    continue;
-                }
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: view.line_of(at),
-                    rule: "determinism",
-                    message: format!(
-                        "`{token}` inside deterministic module `{file_name}`; \
-                         deterministic replay must not read clocks or ambient entropy"
-                    ),
-                    token: (*token).to_string(),
-                });
-            }
-        }
-    }
-
-    let is_names_file = rel_str == METRIC_NAMES_FILE;
-    let mut seen_names: Vec<&str> = Vec::new();
-    for lit in &view.strings {
-        if view.in_test(lit.at) || !lit.text.starts_with("xst_") {
-            continue;
-        }
-        if is_names_file {
-            if seen_names.contains(&lit.text.as_str()) {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: view.line_of(lit.at),
-                    rule: "metric-names",
-                    message: format!(
-                        "metric name \"{}\" is defined more than once in names.rs",
-                        lit.text
-                    ),
-                    token: lit.text.clone(),
-                });
-            }
-            seen_names.push(&lit.text);
-        } else {
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: view.line_of(lit.at),
-                rule: "metric-names",
-                message: format!(
-                    "metric-name literal \"{}\" outside {METRIC_NAMES_FILE}; \
-                     use the canonical constant from xst_obs::names",
-                    lit.text
-                ),
-                token: lit.text.clone(),
-            });
-        }
-    }
-
-    for method in REGISTRATION_METHODS {
-        for at in find_token(&view.code, method, false) {
-            if view.in_test(at) {
-                continue;
-            }
-            // Only `registry().counter(...)`-shaped calls register a
-            // family; a method merely named `counter` elsewhere is fine.
-            // The receiver must directly precede the method (modulo the
-            // whitespace rustfmt wraps with).
-            let before = window(&view.code, at.saturating_sub(REGISTRATION_WINDOW), at);
-            if !before.trim_end().ends_with("registry()") {
-                continue;
-            }
-            // The family name is the first argument: scan it alone, so a
-            // `names::` in the *next* statement can't vouch for this one.
-            let after = window(
-                &view.code,
-                at + method.len(),
-                at + method.len() + REGISTRATION_WINDOW,
-            );
-            let first_arg = &after[..after.find([',', ')']).unwrap_or(after.len())];
-            if !first_arg.contains("names::") {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: view.line_of(at),
-                    rule: "registered-metrics",
-                    message: format!(
-                        "registration `registry(){method}...)` without a `names::` constant; \
-                         add the family to xst_obs::names and register through it"
-                    ),
-                    token: (*method).to_string(),
-                });
-            }
-        }
-    }
-
-    Ok(())
-}
-
-/// Collect every `.rs` file under `crates/*/src`, skipping `xst-lint`
-/// itself (its rule tables necessarily spell the forbidden tokens).
-fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut out = Vec::new();
-    let crates = root.join("crates");
-    for entry in std::fs::read_dir(&crates)? {
-        let dir = entry?.path();
-        if dir.file_name().is_some_and(|n| n == "xst-lint") {
-            continue;
-        }
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut out)?;
-        }
-    }
-    out.sort();
-    Ok(out)
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -291,6 +22,11 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
+    let json_to = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     if !root.join("crates").is_dir() {
         eprintln!(
@@ -300,107 +36,50 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let files = match source_files(&root) {
-        Ok(f) => f,
+    let report = match xst_lint::run_lint(&root) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("xst-lint: cannot enumerate sources: {e}");
+            eprintln!("xst-lint: {e}");
             return ExitCode::FAILURE;
         }
     };
 
-    let mut violations = Vec::new();
-    for file in &files {
-        let rel = file.strip_prefix(&root).unwrap_or(file);
-        if let Err(e) = lint_file(file, rel, &mut violations) {
-            eprintln!("xst-lint: cannot read {}: {e}", file.display());
-            return ExitCode::FAILURE;
+    let mut failing = 0usize;
+    for f in &report.findings {
+        // Under --deny-all the static allowlist stops excusing token
+        // findings; justification comments still stand.
+        let denied =
+            deny_all && f.justified && !xst_lint::JUSTIFIABLE_RULES.contains(&f.rule.as_str());
+        if f.justified && !denied {
+            println!("{f}");
+        } else {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            failing += 1;
         }
     }
 
-    let mut failing = 0usize;
-    for v in &violations {
-        let allowed = allowlisted(v);
-        if allowed && !deny_all {
-            println!("{v} (allowlisted)");
-        } else {
-            println!("{v}");
-            failing += 1;
+    if let Some(path) = json_to {
+        let doc = report.to_json(deny_all);
+        if path == "-" {
+            print!("{doc}");
+        } else if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("xst-lint: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
 
     if failing > 0 {
         eprintln!(
             "xst-lint: {failing} violation(s) across {} file(s) checked",
-            files.len()
+            report.files_checked
         );
         ExitCode::FAILURE
     } else {
         println!(
-            "xst-lint: clean — {} file(s) checked, {} allowlisted finding(s)",
-            files.len(),
-            violations.len()
+            "xst-lint: clean — {} file(s) checked, {} justified finding(s)",
+            report.files_checked,
+            report.justified_count()
         );
         ExitCode::SUCCESS
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn token_finder_respects_word_boundaries() {
-        let code = "let operand = rand::random(); branding";
-        assert_eq!(find_token(code, "rand", true).len(), 1);
-        assert!(find_token(code, "rand", false).len() >= 3);
-    }
-
-    #[test]
-    fn panic_tokens_do_not_match_similar_identifiers() {
-        // `unwrap_or_else` and a method *named* expect_char are fine; the
-        // forbidden tokens are the exact call forms.
-        let code = "x.unwrap_or_else(f); self.expect_char('{');";
-        for t in PANIC_TOKENS {
-            assert_eq!(find_token(code, t, false).len(), 0, "{t}");
-        }
-        assert_eq!(find_token("x.unwrap();", ".unwrap()", false).len(), 1);
-        assert_eq!(find_token("x.expect(\"m\");", ".expect(", false).len(), 1);
-        assert_eq!(find_token("panic!(\"m\");", "panic!", false).len(), 1);
-    }
-
-    #[test]
-    fn allowlist_ships_empty() {
-        assert!(ALLOWLIST.is_empty());
-    }
-
-    #[test]
-    fn window_respects_char_boundaries() {
-        let code = "ab⟨cd⟩ef";
-        // Offsets inside the 3-byte '⟨' widen instead of panicking.
-        assert_eq!(window(code, 3, 4), "⟨");
-        assert_eq!(window(code, 0, 100), code);
-    }
-
-    #[test]
-    fn registration_requires_names_constant() {
-        let path = std::env::temp_dir().join("xst_lint_registration_check.rs");
-        std::fs::write(
-            &path,
-            "fn bad() { let c = registry().counter(\"plain_total\", \"h\"); }\n\
-             fn good() { let c = registry().counter(names::OK_TOTAL, \"h\"); }\n\
-             fn wrapped() {\n    let h = registry().histogram(\n        \
-             xst_obs::names::OK_NS,\n        \"h\",\n    );\n}\n\
-             fn unrelated(c: &Tally) { c.counter(\"not a registration\"); }\n",
-        )
-        .unwrap();
-        let mut out = Vec::new();
-        lint_file(&path, Path::new("crates/xst-fake/src/fake.rs"), &mut out).unwrap();
-        std::fs::remove_file(&path).ok();
-        let regs: Vec<_> = out
-            .iter()
-            .filter(|v| v.rule == "registered-metrics")
-            .collect();
-        assert_eq!(regs.len(), 1, "only the literal registration fires");
-        assert_eq!(regs[0].line, 1);
     }
 }

@@ -1,0 +1,286 @@
+//! Machine-readable report: the `xst-lint-report/1` JSON schema, with a
+//! hand-rolled writer and a minimal JSON parser so the schema can be
+//! round-trip tested without external dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::LintReport;
+
+/// Schema identifier emitted in every report.
+pub const SCHEMA: &str = "xst-lint-report/1";
+
+/// Render `report` as `xst-lint-report/1` JSON.
+pub fn render(report: &LintReport, deny_all: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", quote(SCHEMA));
+    let _ = writeln!(s, "  \"root\": {},", quote(&report.root.to_string_lossy()));
+    let _ = writeln!(s, "  \"files_checked\": {},", report.files_checked);
+    let _ = writeln!(s, "  \"deny_all\": {},", deny_all);
+    s.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        let _ = write!(
+            s,
+            "\"file\": {}, \"line\": {}, \"rule\": {}, \"justified\": {}, \"message\": {}",
+            quote(&f.file),
+            f.line,
+            quote(&f.rule),
+            f.justified,
+            quote(&f.message)
+        );
+        s.push('}');
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let _ = writeln!(
+        s,
+        "  \"counts\": {{\"errors\": {}, \"justified\": {}}}",
+        report.error_count(),
+        report.justified_count()
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn quote(text: &str) -> String {
+    let mut s = String::with_capacity(text.len() + 2);
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+/// A parsed JSON value — just enough to verify the report round-trips.
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Returns `Err` with a byte offset on malformed
+/// input — precise enough for a test failure message.
+pub fn parse(text: &str) -> Result<Json, usize> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, text, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(i);
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && b[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], text: &str, i: &mut usize) -> Result<Json, usize> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match parse_value(b, text, i)? {
+                    Json::Str(s) => s,
+                    _ => return Err(*i),
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(*i);
+                }
+                *i += 1;
+                let v = parse_value(b, text, i)?;
+                m.insert(key, v);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(*i),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut v = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, text, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(*i),
+                }
+            }
+        }
+        Some(b'"') => {
+            *i += 1;
+            let mut s = String::new();
+            while *i < b.len() {
+                match b[*i] {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    b'\\' => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'u') => {
+                                let hex = text.get(*i + 1..*i + 5).ok_or(*i)?;
+                                let n = u32::from_str_radix(hex, 16).map_err(|_| *i)?;
+                                s.push(char::from_u32(n).ok_or(*i)?);
+                                *i += 4;
+                            }
+                            _ => return Err(*i),
+                        }
+                        *i += 1;
+                    }
+                    _ => {
+                        // Copy the full (possibly multi-byte) char.
+                        let c = text[*i..].chars().next().ok_or(*i)?;
+                        s.push(c);
+                        *i += c.len_utf8();
+                    }
+                }
+            }
+            Err(*i)
+        }
+        Some(b't') if text[*i..].starts_with("true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if text[*i..].starts_with("false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if text[*i..].starts_with("null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *i += 1;
+            }
+            text[start..*i]
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| start)
+        }
+        _ => Err(*i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_report_shapes() {
+        let v = parse(
+            "{\"a\": [1, 2.5, -3], \"b\": {\"c\": true, \"d\": \"x\\n\\\"y\\u0041\"}, \"e\": null}",
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_num(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("b").unwrap().get("d").unwrap().as_str(),
+            Some("x\n\"yA")
+        );
+        assert_eq!(v.get("e"), Some(&Json::Null));
+        assert!(parse("{\"unterminated\": ").is_err());
+        assert!(parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let back = parse(&quote("a\"b\\c\nd\t\u{7}")).unwrap();
+        assert_eq!(back.as_str(), Some("a\"b\\c\nd\t\u{7}"));
+    }
+}

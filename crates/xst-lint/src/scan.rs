@@ -15,6 +15,21 @@ pub struct StringLit {
     pub text: String,
 }
 
+/// One `// lint: <rule>: <why>` justification comment. Passes that
+/// support justified exemptions (`lock-across-io`, `unnumbered-io`,
+/// `version-gate`) match findings against these by line; the driver
+/// reports any justification no finding ever used.
+pub struct Justification {
+    /// Byte offset of the `//` in the original source.
+    pub at: usize,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule being justified, e.g. `lock-across-io`.
+    pub rule: String,
+    /// The stated reason (everything after the second colon, trimmed).
+    pub why: String,
+}
+
 /// The scanner's product: a blanked code view plus extracted literals and
 /// test-region spans, all indexed by byte offset into the original source.
 pub struct SourceView {
@@ -25,18 +40,39 @@ pub struct SourceView {
     pub strings: Vec<StringLit>,
     /// Half-open byte ranges covered by `#[cfg(test)]` items.
     pub test_regions: Vec<(usize, usize)>,
+    /// Every `// lint: <rule>: <why>` comment, in source order.
+    pub justifications: Vec<Justification>,
 }
 
 impl SourceView {
     /// Scan `source` into a view.
     pub fn new(source: &str) -> SourceView {
-        let (code, strings) = blank(source);
+        let (code, strings, mut justifications) = blank(source);
         let test_regions = find_test_regions(&code);
+        for j in &mut justifications {
+            j.line = code.as_bytes()[..j.at]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                + 1;
+        }
         SourceView {
             code,
             strings,
             test_regions,
+            justifications,
         }
+    }
+
+    /// Justifications for `rule` on any of the given 1-based lines.
+    /// Returns indices into `self.justifications`.
+    pub fn justifications_on(&self, rule: &str, lines: &[usize]) -> Vec<usize> {
+        self.justifications
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.rule == rule && lines.contains(&j.line))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Is byte offset `at` inside a `#[cfg(test)]` region?
@@ -54,11 +90,13 @@ impl SourceView {
     }
 }
 
-/// Replace comments and literal contents with spaces; collect strings.
-fn blank(source: &str) -> (String, Vec<StringLit>) {
+/// Replace comments and literal contents with spaces; collect strings
+/// and `// lint:` justification comments.
+fn blank(source: &str) -> (String, Vec<StringLit>, Vec<Justification>) {
     let b = source.as_bytes();
     let mut out = vec![b' '; b.len()];
     let mut strings = Vec::new();
+    let mut justifications = Vec::new();
     let mut i = 0;
     // Keep newlines so line numbers survive blanking.
     for (k, &c) in b.iter().enumerate() {
@@ -69,8 +107,12 @@ fn blank(source: &str) -> (String, Vec<StringLit>) {
     while i < b.len() {
         match b[i] {
             b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
                 while i < b.len() && b[i] != b'\n' {
                     i += 1;
+                }
+                if let Some(j) = parse_justification(&source[start..i], start) {
+                    justifications.push(j);
                 }
             }
             b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
@@ -141,7 +183,31 @@ fn blank(source: &str) -> (String, Vec<StringLit>) {
             }
         }
     }
-    (String::from_utf8(out).unwrap_or_default(), strings)
+    (
+        String::from_utf8(out).unwrap_or_default(),
+        strings,
+        justifications,
+    )
+}
+
+/// Parse one line comment as a `// lint: <rule>: <why>` justification.
+/// `text` is the comment including its leading slashes; `at` its offset.
+/// The `line` field is filled in later (the caller counts newlines once).
+fn parse_justification(text: &str, at: usize) -> Option<Justification> {
+    let body = text.trim_start_matches('/').trim_start_matches('!').trim();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let colon = rest.find(':')?;
+    let rule = rest[..colon].trim().to_string();
+    let why = rest[colon + 1..].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    Some(Justification {
+        at,
+        line: 0,
+        rule,
+        why,
+    })
 }
 
 fn is_raw_string_start(b: &[u8], i: usize) -> bool {
@@ -292,6 +358,23 @@ mod tests {
         assert!(v.in_test(unwraps[1]));
         let live2 = v.code.find("live2").unwrap();
         assert!(!v.in_test(live2));
+    }
+
+    #[test]
+    fn justification_comments_are_captured() {
+        let src = "fn f() {\n    // lint: lock-across-io: group commit holds the lock by design\n    g(); // lint: unnumbered-io: volatile accessor\n}\n// not a lint comment\n";
+        let v = SourceView::new(src);
+        assert_eq!(v.justifications.len(), 2);
+        assert_eq!(v.justifications[0].rule, "lock-across-io");
+        assert_eq!(
+            v.justifications[0].why,
+            "group commit holds the lock by design"
+        );
+        assert_eq!(v.justifications[0].line, 2);
+        assert_eq!(v.justifications[1].rule, "unnumbered-io");
+        assert_eq!(v.justifications[1].line, 3);
+        assert_eq!(v.justifications_on("lock-across-io", &[1, 2]), vec![0]);
+        assert!(v.justifications_on("lock-across-io", &[3]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! A lightweight syntactic model of one Rust source file, built on the
+//! comment/string-blanked [`crate::scan::SourceView`].
+//!
+//! This is deliberately *not* a real parser: it recognises exactly the
+//! shapes the analysis passes need — `struct` field declarations, `impl`
+//! blocks, `fn` items with receiver/arity, call sites with an optional
+//! receiver identifier, and statement/block extents found by delimiter
+//! counting. No type inference: resolution downstream works from names,
+//! arities, and declared field types, and deliberately under-approximates
+//! when a call is ambiguous.
+
+use crate::scan::SourceView;
+
+/// One named field of a struct: `name: Ty`.
+pub struct FieldDecl {
+    pub name: String,
+    /// The declared type, as source text (e.g. `Arc<Mutex<WalInner>>`).
+    pub ty: String,
+}
+
+/// One `struct` item with its named fields (tuple/unit structs keep an
+/// empty field list).
+pub struct StructDecl {
+    pub name: String,
+    pub fields: Vec<FieldDecl>,
+    /// Offset of the `struct` keyword.
+    pub at: usize,
+}
+
+/// One `fn` item.
+pub struct FnDecl {
+    pub name: String,
+    /// The `impl` type this fn sits in, if any (trait impls use the
+    /// implementing type).
+    pub self_type: Option<String>,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Number of non-`self` parameters.
+    pub arity: usize,
+    /// Offset of the `fn` keyword.
+    pub sig_at: usize,
+    /// Body span as (open-brace offset, close-brace offset), if the fn
+    /// has a body (trait method declarations do not).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One call site: `name(...)` or `recv.name(...)`.
+pub struct Call {
+    pub name: String,
+    /// Offset of the callee name.
+    pub at: usize,
+    /// Top-level comma arity of the argument list.
+    pub args: usize,
+    /// True for method-call syntax (`.name(`).
+    pub method: bool,
+    /// The identifier immediately left of the dot (`self`, a field or
+    /// local name); `None` when the receiver is a call chain or group.
+    pub receiver: Option<String>,
+}
+
+/// The parsed model of one file.
+pub struct FileModel {
+    pub structs: Vec<StructDecl>,
+    pub fns: Vec<FnDecl>,
+}
+
+pub fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn prev_non_ws(b: &[u8], i: usize) -> Option<u8> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !b[j].is_ascii_whitespace() {
+            return Some(b[j]);
+        }
+    }
+    None
+}
+
+fn ident_at(b: &[u8], i: usize) -> Option<(String, usize)> {
+    if i >= b.len() || !(b[i].is_ascii_alphabetic() || b[i] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    while j < b.len() && is_ident_char(b[j]) {
+        j += 1;
+    }
+    Some((String::from_utf8_lossy(&b[i..j]).into_owned(), j))
+}
+
+/// Read the identifier *ending* just before offset `end` (exclusive).
+fn ident_ending_at(b: &[u8], end: usize) -> Option<String> {
+    let mut i = end;
+    while i > 0 && is_ident_char(b[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&b[i..end]).into_owned())
+}
+
+/// Offset of the delimiter closing the one at `open` (same kind only —
+/// safe on blanked code where literals cannot unbalance anything).
+pub fn matching(b: &[u8], open: usize) -> usize {
+    let (o, c) = match b[open] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        _ => (b'{', b'}'),
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        if b[i] == o {
+            depth += 1;
+        } else if b[i] == c {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    b.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` group starting at `i` (which must be `<`).
+/// `->` and `=>` arrows are skipped so `Fn() -> T` bounds don't
+/// unbalance the scan.
+fn skip_angles(b: &[u8], i: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < b.len() {
+        match b[j] {
+            b'<' => depth += 1,
+            b'>' if j > 0 && (b[j - 1] == b'-' || b[j - 1] == b'=') => {}
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+/// Split `text` (a field list or parameter list) on top-level commas,
+/// tracking `()`, `[]`, `{}`, and `<>` depth.
+fn split_top_commas(text: &str) -> Vec<String> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            b'>' if i > 0 && (b[i - 1] == b'-' || b[i - 1] == b'=') => {}
+            b')' | b']' | b'}' | b'>' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(text[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < text.len() {
+        out.push(text[start..].to_string());
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) from an item or field fragment.
+fn strip_attrs_and_vis(piece: &str) -> &str {
+    let mut s = piece.trim_start();
+    loop {
+        if let Some(rest) = s.strip_prefix("#[") {
+            let b = rest.as_bytes();
+            let mut depth = 1usize;
+            let mut i = 0usize;
+            while i < b.len() && depth > 0 {
+                match b[i] {
+                    b'[' => depth += 1,
+                    b']' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            s = rest[i..].trim_start();
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix("pub") {
+            if rest.starts_with(|c: char| c.is_whitespace() || c == '(') {
+                let rest = rest.trim_start();
+                s = if let Some(paren) = rest.strip_prefix('(') {
+                    let close = paren.find(')').map(|i| i + 1).unwrap_or(paren.len());
+                    paren[close..].trim_start()
+                } else {
+                    rest
+                };
+                continue;
+            }
+        }
+        return s;
+    }
+}
+
+/// Parse `view` into a [`FileModel`].
+pub fn parse(view: &SourceView) -> FileModel {
+    let code = &view.code;
+    let b = code.as_bytes();
+    let structs = parse_structs(code);
+    let impls = parse_impls(b, code);
+    let mut fns = parse_fns(b, code);
+    for f in &mut fns {
+        f.self_type = impls
+            .iter()
+            .find(|(_, span)| span.0 < f.sig_at && f.sig_at < span.1)
+            .map(|(ty, _)| ty.clone());
+    }
+    FileModel { structs, fns }
+}
+
+/// Word-bounded occurrences of keyword `kw` in `code`.
+fn keyword_positions(code: &str, kw: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(kw) {
+        let at = from + p;
+        from = at + 1;
+        let before_ok = at == 0 || !is_ident_char(b[at - 1]);
+        let end = at + kw.len();
+        let after_ok = end >= b.len() || !is_ident_char(b[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
+fn parse_structs(code: &str) -> Vec<StructDecl> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for at in keyword_positions(code, "struct") {
+        let Some((name, mut i)) = ident_at(b, skip_ws(b, at + "struct".len())) else {
+            continue;
+        };
+        // Walk to the body: `{` opens named fields, `(` a tuple struct,
+        // `;` a unit struct. Generic params may hold `Fn(..)` parens.
+        if skip_ws(b, i) < b.len() && b[skip_ws(b, i)] == b'<' {
+            i = skip_angles(b, skip_ws(b, i));
+        }
+        let mut fields = Vec::new();
+        let mut j = i;
+        while j < b.len() {
+            match b[j] {
+                b';' => break,
+                b'(' => {
+                    j = matching(b, j);
+                }
+                b'{' => {
+                    let close = matching(b, j);
+                    for piece in split_top_commas(&code[j + 1..close]) {
+                        let piece = strip_attrs_and_vis(&piece);
+                        if let Some(colon) = piece.find(':') {
+                            let fname = piece[..colon].trim();
+                            if fname.chars().all(|c| is_ident_char(c as u8)) && !fname.is_empty() {
+                                fields.push(FieldDecl {
+                                    name: fname.to_string(),
+                                    ty: piece[colon + 1..].trim().to_string(),
+                                });
+                            }
+                        }
+                    }
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        out.push(StructDecl { name, fields, at });
+    }
+    out
+}
+
+/// `impl` blocks as (self-type ident, body span).
+fn parse_impls(b: &[u8], code: &str) -> Vec<(String, (usize, usize))> {
+    let mut out = Vec::new();
+    for at in keyword_positions(code, "impl") {
+        // `impl Trait` in type position (`-> impl Iterator`, `x: impl Fn`)
+        // is not an impl block.
+        if matches!(
+            prev_non_ws(b, at),
+            Some(b':' | b'>' | b',' | b'(' | b'&' | b'+' | b'=' | b'<')
+        ) {
+            continue;
+        }
+        // Find the body `{` at paren depth 0.
+        let mut i = at + "impl".len();
+        let mut paren = 0isize;
+        let mut open = None;
+        while i < b.len() {
+            match b[i] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'{' if paren == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if paren == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut header = code[at + "impl".len()..open].trim();
+        if let Some(w) = keyword_positions(header, "where").first() {
+            header = header[..*w].trim_end();
+        }
+        if let Some(f) = keyword_positions(header, "for").first() {
+            header = header[f + "for".len()..].trim();
+        }
+        // Strip leading generic params, then take the path's last segment.
+        let hb = header.as_bytes();
+        let rest = if !hb.is_empty() && hb[0] == b'<' {
+            header[skip_angles(hb, 0)..].trim_start()
+        } else {
+            header
+        };
+        let base = rest.split('<').next().unwrap_or(rest).trim();
+        let ty = base.rsplit("::").next().unwrap_or(base).trim().to_string();
+        if !ty.is_empty() {
+            out.push((ty, (open, matching(b, open))));
+        }
+    }
+    out
+}
+
+fn parse_fns(b: &[u8], code: &str) -> Vec<FnDecl> {
+    let mut out = Vec::new();
+    for at in keyword_positions(code, "fn") {
+        let Some((name, after_name)) = ident_at(b, skip_ws(b, at + "fn".len())) else {
+            continue; // `fn(..)` pointer type
+        };
+        let mut i = skip_ws(b, after_name);
+        if i < b.len() && b[i] == b'<' {
+            i = skip_ws(b, skip_angles(b, i));
+        }
+        if i >= b.len() || b[i] != b'(' {
+            continue;
+        }
+        let close = matching(b, i);
+        let params = split_top_commas(&code[i + 1..close]);
+        let mut has_self = false;
+        let mut arity = 0usize;
+        for (k, p) in params.iter().enumerate() {
+            let t = p.trim();
+            if t.is_empty() {
+                continue;
+            }
+            // Strip `&`, a lifetime (`'a `), and `mut ` prefixes, then
+            // look for a `self` receiver in first position.
+            let stripped = t.trim_start_matches('&').trim_start();
+            let stripped = stripped
+                .strip_prefix('\'')
+                .map(|s| {
+                    s.trim_start_matches(|c: char| is_ident_char(c as u8))
+                        .trim_start()
+                })
+                .unwrap_or(stripped);
+            let stripped = stripped
+                .strip_prefix("mut ")
+                .unwrap_or(stripped)
+                .trim_start();
+            if k == 0
+                && (stripped == "self"
+                    || stripped.starts_with("self:")
+                    || stripped.starts_with("self "))
+            {
+                has_self = true;
+            } else {
+                arity += 1;
+            }
+        }
+        // Find the body `{` or the terminating `;` at paren/bracket depth 0
+        // (return types may hold parens and array types — `[u8; N]` hides
+        // a `;` — but never braces).
+        let mut j = close + 1;
+        let mut paren = 0isize;
+        let mut body = None;
+        while j < b.len() {
+            match b[j] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if paren == 0 => {
+                    body = Some((j, matching(b, j)));
+                    break;
+                }
+                b';' if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnDecl {
+            name,
+            self_type: None,
+            has_self,
+            arity,
+            sig_at: at,
+            body,
+        });
+    }
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "struct", "enum", "impl", "let", "in",
+    "move", "as", "use", "mod", "where", "else", "break", "continue",
+];
+
+/// Every call site within `span` of the blanked code.
+pub fn calls_in(code: &str, span: (usize, usize)) -> Vec<Call> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = span.0;
+    let end = span.1.min(b.len());
+    while i < end {
+        if !(b[i].is_ascii_alphabetic() || b[i] == b'_') || (i > 0 && is_ident_char(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let Some((name, after)) = ident_at(b, i) else {
+            i += 1;
+            continue;
+        };
+        let open = skip_ws(b, after);
+        if open >= end || b[open] != b'(' || KEYWORDS.contains(&name.as_str()) {
+            i = after;
+            continue;
+        }
+        // Method call? The token before the name must be a `.` (skipping
+        // whitespace rustfmt wraps chains with).
+        let mut k = i;
+        while k > 0 && b[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        let method = k > 0 && b[k - 1] == b'.';
+        let receiver = if method {
+            let mut r = k - 1;
+            while r > 0 && b[r - 1].is_ascii_whitespace() {
+                r -= 1;
+            }
+            ident_ending_at(b, r)
+        } else {
+            // Skip declarations (`fn name(`) — the word before is `fn`.
+            if ident_ending_at(b, k).as_deref() == Some("fn") {
+                i = after;
+                continue;
+            }
+            None
+        };
+        let close = matching(b, open);
+        let inner = code[open + 1..close].trim();
+        let args = if inner.is_empty() {
+            0
+        } else {
+            top_level_commas(inner.as_bytes()) + 1
+        };
+        out.push(Call {
+            name,
+            at: i,
+            args,
+            method,
+            receiver,
+        });
+        i = after;
+    }
+    out
+}
+
+/// Count commas at `()`/`[]`/`{}` depth 0 (no angle tracking: argument
+/// expressions may contain `<` comparisons).
+fn top_level_commas(b: &[u8]) -> usize {
+    let mut depth = 0isize;
+    let mut n = 0usize;
+    for &c in b {
+        match c {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Offset of the `;` (or enclosing-block `}`) ending the statement that
+/// contains offset `from`. Signed depth handles a mid-expression start.
+pub fn stmt_end(b: &[u8], from: usize, limit: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = from;
+    let limit = limit.min(b.len());
+    while i < limit {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b'}' => {
+                if depth <= 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b')' | b']' => depth -= 1,
+            b';' if depth <= 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Offset where the statement containing `from` begins (just past the
+/// previous `;`, `{`, or match-arm `=>` at this nesting level).
+pub fn stmt_start(b: &[u8], from: usize, floor: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = from;
+    while i > floor {
+        i -= 1;
+        match b[i] {
+            b')' | b']' | b'}' => depth += 1,
+            b'{' => {
+                if depth <= 0 {
+                    return i + 1;
+                }
+                depth -= 1;
+            }
+            b'(' | b'[' => depth -= 1,
+            b';' if depth <= 0 => return i + 1,
+            b'>' if depth <= 0 && i > floor && b[i - 1] == b'=' => return i + 1,
+            _ => {}
+        }
+    }
+    floor
+}
+
+/// Offset of the `}` closing the innermost block containing `from`.
+pub fn block_end(b: &[u8], from: usize, limit: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = from;
+    let limit = limit.min(b.len());
+    while i < limit {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b'}' => {
+                if depth <= 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b')' | b']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceView;
+
+    fn model(src: &str) -> FileModel {
+        parse(&SourceView::new(src))
+    }
+
+    #[test]
+    fn structs_and_fields_are_parsed() {
+        let m = model(
+            "pub struct Wal { pub(crate) inner: Arc<Mutex<WalInner>>, n: usize }\n\
+             struct Unit;\nstruct Tup(u32, u32);\n\
+             struct Gen<T: Fn(u32) -> u32> { f: T, m: BTreeMap<String, Vec<u8>> }",
+        );
+        assert_eq!(m.structs.len(), 4);
+        assert_eq!(m.structs[0].name, "Wal");
+        assert_eq!(m.structs[0].fields[0].name, "inner");
+        assert_eq!(m.structs[0].fields[0].ty, "Arc<Mutex<WalInner>>");
+        assert_eq!(m.structs[0].fields[1].name, "n");
+        assert!(m.structs[1].fields.is_empty());
+        assert!(m.structs[2].fields.is_empty());
+        assert_eq!(m.structs[3].fields.len(), 2, "comma inside <> not split");
+        assert_eq!(m.structs[3].fields[1].ty, "BTreeMap<String, Vec<u8>>");
+    }
+
+    #[test]
+    fn fns_get_impl_type_receiver_and_arity() {
+        let m = model(
+            "impl Wal {\n  pub fn sync(&self) -> Result<(), E> { self.flush() }\n\
+              fn two(&mut self, a: u32, b: Vec<(u8, u8)>) {}\n}\n\
+             impl fmt::Display for Wal { fn fmt(&self, f: &mut F) -> R { todo() } }\n\
+             fn free(a: u32) {}\nfn decl_only();\n",
+        );
+        let sync = m.fns.iter().find(|f| f.name == "sync").unwrap();
+        assert_eq!(sync.self_type.as_deref(), Some("Wal"));
+        assert!(sync.has_self);
+        assert_eq!(sync.arity, 0);
+        let two = m.fns.iter().find(|f| f.name == "two").unwrap();
+        assert_eq!(two.arity, 2, "tuple-typed arg is one parameter");
+        let fmt = m.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(
+            fmt.self_type.as_deref(),
+            Some("Wal"),
+            "trait impl binds the type"
+        );
+        let free = m.fns.iter().find(|f| f.name == "free").unwrap();
+        assert!(!free.has_self && free.self_type.is_none());
+        assert_eq!(free.arity, 1);
+        assert!(m
+            .fns
+            .iter()
+            .find(|f| f.name == "decl_only")
+            .unwrap()
+            .body
+            .is_none());
+    }
+
+    #[test]
+    fn calls_capture_receiver_and_arity() {
+        let src = "fn f(&self) { self.inner.lock(); shard.mgr.prepare(a, b); free(x); \
+                   chain().next(); if cond(x) { } }";
+        let m = model(src);
+        let body = m.fns[0].body.unwrap();
+        let calls = calls_in(src, (body.0, body.1));
+        let lock = calls.iter().find(|c| c.name == "lock").unwrap();
+        assert!(lock.method);
+        assert_eq!(lock.receiver.as_deref(), Some("inner"));
+        assert_eq!(lock.args, 0);
+        let prep = calls.iter().find(|c| c.name == "prepare").unwrap();
+        assert_eq!(prep.receiver.as_deref(), Some("mgr"));
+        assert_eq!(prep.args, 2);
+        let free = calls.iter().find(|c| c.name == "free").unwrap();
+        assert!(!free.method);
+        let next = calls.iter().find(|c| c.name == "next").unwrap();
+        assert!(next.receiver.is_none(), "chained receiver is opaque");
+        assert!(!calls.iter().any(|c| c.name == "if"));
+    }
+
+    #[test]
+    fn statement_and_block_extents() {
+        let src = "fn f() { let g = m.lock(); use_it(g); { inner(); } }";
+        let b = src.as_bytes();
+        let lock_at = src.find("lock").unwrap();
+        let semi = stmt_end(b, lock_at, src.len());
+        assert_eq!(&src[semi..semi + 1], ";");
+        assert!(src[..semi].ends_with("m.lock()"));
+        let start = stmt_start(b, lock_at, 0);
+        assert!(src[start..].trim_start().starts_with("let g"));
+        let close = block_end(b, lock_at, src.len());
+        assert_eq!(close, src.len() - 1);
+        let inner_at = src.find("inner").unwrap();
+        let inner_close = block_end(b, inner_at, src.len());
+        assert!(src[inner_close..].starts_with("} }"));
+    }
+
+    #[test]
+    fn mid_expression_statement_end_is_found() {
+        let src = "fn f() { g(m.lock()); next(); }";
+        let b = src.as_bytes();
+        let lock_at = src.find("lock").unwrap();
+        let semi = stmt_end(b, lock_at, src.len());
+        assert!(src[..semi].ends_with("g(m.lock())"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: a guard held across a blocking `sync_all` (positive), the
+//! same code with the guard dropped first (negative), and a justified
+//! variant exercising the `// lint:` exemption path.
+
+use std::fs::File;
+use std::sync::Mutex;
+
+pub struct Wal {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl Wal {
+    /// POSITIVE: the guard is live when `sync_all` blocks.
+    pub fn bad(&self, f: &File) {
+        let g = self.buf.lock().unwrap();
+        let _ = f.sync_all();
+        drop(g);
+    }
+
+    /// NEGATIVE: the guard is dropped before the blocking call.
+    pub fn good(&self, f: &File) {
+        let g = self.buf.lock().unwrap();
+        drop(g);
+        let _ = f.sync_all();
+    }
+
+    /// JUSTIFIED: same shape as `bad`, excused with a reason.
+    pub fn excused(&self, f: &File) {
+        // lint: lock-across-io: ordering requires the flush inside the guard so ack order equals buffer order
+        let g = self.buf.lock().unwrap();
+        let _ = f.sync_all();
+        drop(g);
+    }
+}

@@ -1,0 +1,62 @@
+//! Fixture: a real lock-order cycle (positive) next to a pair of
+//! functions that agree on acquisition order (negative).
+
+use std::sync::Mutex;
+
+/// POSITIVE: `flush` holds `pages` while `note` takes `frames`;
+/// `audit` holds `frames` while `touch` takes `pages`. That is the
+/// textbook AB/BA deadlock and must be reported as a `lock-cycle`.
+pub struct Engine {
+    pages: Mutex<Vec<u8>>,
+    frames: Mutex<Vec<u8>>,
+}
+
+impl Engine {
+    pub fn flush(&self) {
+        let g = self.pages.lock().unwrap();
+        self.note();
+        drop(g);
+    }
+
+    fn note(&self) {
+        let f = self.frames.lock().unwrap();
+        let _ = f.len();
+    }
+
+    pub fn audit(&self) {
+        let f = self.frames.lock().unwrap();
+        self.touch();
+        drop(f);
+    }
+
+    fn touch(&self) {
+        let g = self.pages.lock().unwrap();
+        let _ = g.len();
+    }
+}
+
+/// NEGATIVE: both paths take `first` before `second` — a consistent
+/// global order, so no cycle may be reported for these locks.
+pub struct Ordered {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Ordered {
+    pub fn step(&self) {
+        let a = self.first.lock().unwrap();
+        self.finish();
+        drop(a);
+    }
+
+    fn finish(&self) {
+        let b = self.second.lock().unwrap();
+        let _ = *b;
+    }
+
+    pub fn also(&self) {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        let _ = (*a, *b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: a device struct (FaultPlan behind a Mutex) with a numbered
+//! write (negative), a raw unnumbered `write_all` (positive), and a
+//! justified accessor.
+
+use std::sync::{Arc, Mutex};
+
+pub struct FaultPlan;
+
+impl FaultPlan {
+    pub fn check_fault(&self, _site: u32) -> bool {
+        false
+    }
+}
+
+struct DiskInner {
+    bytes: Vec<u8>,
+    faults: Option<FaultPlan>,
+}
+
+pub struct Disk {
+    inner: Arc<Mutex<DiskInner>>,
+}
+
+impl Disk {
+    /// NEGATIVE: claims a numbered fault site before touching bytes.
+    pub fn write(&self, data: &[u8]) {
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.faults.as_ref() {
+            let _ = p.check_fault(7);
+        }
+        inner.bytes.extend_from_slice(data);
+    }
+
+    /// POSITIVE: raw append with no site check.
+    pub fn write_all(&self, data: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.bytes.extend_from_slice(data);
+    }
+
+    /// JUSTIFIED: pure accessor, exempted with a reason.
+    // lint: unnumbered-io: length accessor reads no device bytes, so no fault site applies
+    pub fn len(&self) -> usize {
+        self.inner.lock().bytes.len()
+    }
+}

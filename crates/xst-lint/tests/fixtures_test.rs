@@ -1,0 +1,141 @@
+//! Seeded-defect corpus: each analysis pass must detect its fixture's
+//! planted defect with the exact expected diagnostic, must stay silent
+//! on the negative variant beside it, and must honor `// lint:`
+//! justifications.
+
+use std::path::PathBuf;
+
+fn lint(fixture: &str) -> xst_lint::LintReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    xst_lint::run_lint(&root).expect("fixture workspace lints")
+}
+
+fn errors(report: &xst_lint::LintReport) -> Vec<String> {
+    report.errors().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn lock_cycle_fixture_reports_the_ab_ba_cycle() {
+    let report = lint("lock_cycle");
+    assert_eq!(
+        errors(&report),
+        vec![
+            "crates/app/src/lib.rs:17: [lock-cycle] lock-order cycle \
+             `Engine.pages -> Engine.frames -> Engine.pages`; witnesses: \
+             crates/app/src/lib.rs:17: `Engine::flush` holds `Engine.pages` and calls \
+             `Engine::note` which acquires `Engine.frames`; \
+             crates/app/src/lib.rs:28: `Engine::audit` holds `Engine.frames` and calls \
+             `Engine::touch` which acquires `Engine.pages`"
+        ]
+    );
+    // The consistently-ordered `Ordered` pair is the negative: exactly
+    // one finding total, and it never mentions those locks.
+    assert_eq!(report.findings.len(), 1);
+    assert!(!report.findings[0].message.contains("Ordered"));
+}
+
+#[test]
+fn lock_across_io_fixture_flags_guard_across_sync_and_honors_justification() {
+    let report = lint("lock_across_io");
+    assert_eq!(
+        errors(&report),
+        vec![
+            "crates/app/src/lib.rs:16: [lock-across-io] guard on `Wal.buf` \
+             (acquired line 15) held across blocking `sync_all()`"
+        ]
+    );
+    // `good` (guard dropped first) is silent; `excused` is justified.
+    let justified: Vec<&xst_lint::Finding> =
+        report.findings.iter().filter(|f| f.justified).collect();
+    assert_eq!(justified.len(), 1);
+    assert_eq!(justified[0].line, 31);
+    assert_eq!(justified[0].rule, "lock-across-io");
+}
+
+#[test]
+fn unnumbered_io_fixture_flags_raw_write_and_honors_justification() {
+    let report = lint("unnumbered_io");
+    assert_eq!(
+        errors(&report),
+        vec![
+            "crates/xst-storage/src/dev.rs:35: [unnumbered-io] `Disk::write_all` \
+             touches device state (`.bytes`) without a FaultPlan site check"
+        ]
+    );
+    // `write` claims a site (negative); `len` is justified.
+    let justified: Vec<&xst_lint::Finding> =
+        report.findings.iter().filter(|f| f.justified).collect();
+    assert_eq!(justified.len(), 1);
+    assert_eq!(justified[0].line, 42);
+    assert!(justified[0].message.contains("`Disk::len`"));
+}
+
+#[test]
+fn proto_dispatch_fixture_flags_the_unhandled_wire_tag() {
+    let report = lint("proto_dispatch");
+    assert_eq!(
+        errors(&report),
+        vec![
+            "crates/xst-server/src/session.rs:11: [proto-dispatch] `Request::Drop` \
+             is not dispatched in `Session::handle`"
+        ]
+    );
+    // The v2+ `Stats` arm carries a `self.version` gate — the negative:
+    // no version-gate finding anywhere.
+    assert!(report.findings.iter().all(|f| f.rule != "version-gate"));
+    assert_eq!(report.findings.len(), 1);
+}
+
+/// Roster: every analysis pass fires at least once across the corpus —
+/// a pass that silently stopped matching anything cannot go unnoticed.
+#[test]
+fn every_pass_fires_on_the_corpus() {
+    let mut rules_fired: Vec<String> = Vec::new();
+    for fixture in [
+        "lock_cycle",
+        "lock_across_io",
+        "unnumbered_io",
+        "proto_dispatch",
+    ] {
+        for f in &lint(fixture).findings {
+            if !rules_fired.contains(&f.rule) {
+                rules_fired.push(f.rule.clone());
+            }
+        }
+    }
+    for rule in [
+        "lock-cycle",
+        "lock-across-io",
+        "unnumbered-io",
+        "proto-dispatch",
+    ] {
+        assert!(
+            rules_fired.iter().any(|r| r == rule),
+            "pass `{rule}` never fired"
+        );
+    }
+}
+
+/// Justification hygiene: an exemption comment for a finding that does
+/// not exist is itself an error.
+#[test]
+fn unused_justification_is_an_error() {
+    let dir = std::env::temp_dir().join("xst_lint_unused_just/crates/app/src");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("lib.rs"),
+        "// lint: lock-across-io: this excuses nothing at all\npub fn fine() {}\n",
+    )
+    .unwrap();
+    let root = std::env::temp_dir().join("xst_lint_unused_just");
+    let report = xst_lint::run_lint(&root).unwrap();
+    std::fs::remove_dir_all(&root).ok();
+    let errs = errors(&report);
+    assert_eq!(errs.len(), 1);
+    assert!(
+        errs[0].contains("[justification] unused justification for `lock-across-io`"),
+        "{errs:?}"
+    );
+}

@@ -646,11 +646,14 @@ impl Session {
             // callers) still adopts its context around the inner
             // request; `serve_one` normally peels it first so the
             // request span itself joins the trace.
+            // lint: version-gate: a v1 peer cannot encode Traced, so none arrives to gate; the inner request is dispatched on its own merits
             Request::Traced { ctx, req } => {
                 let _adopted = xst_obs::span::adopt(ctx);
                 self.handle(*req)
             }
+            // lint: version-gate: read-only observability dump — harmless if reached, and v1 peers cannot encode the request
             Request::TraceDump => self.trace_dump(),
+            // lint: version-gate: read-only request-log view — harmless if reached, and v1 peers cannot encode the request
             Request::RequestLog { slow, limit } => self.request_log(slow, limit),
         }
     }

@@ -333,6 +333,7 @@ impl Session {
             }
             ".explain" => self.explain(parts)?,
             ".check" => self.check(parts)?,
+            ".lint" => lint(parts.rest_opt().as_deref())?,
             ".metrics" => self.metrics(parts.rest_opt().as_deref())?,
             ".trace" => self.trace(&parts.rest()?)?,
             ".top" => self.reqlog_top(parts.rest_opt().as_deref())?,
@@ -1317,6 +1318,64 @@ where
 }
 
 /// Storage errors surface as shell errors, not panics.
+/// `.lint [all]` — run the workspace static analyzer in-process and
+/// summarize its verdict per rule. `all` also lists the justified
+/// findings (the documented exemptions); unjustified findings are
+/// always listed in full.
+fn lint(arg: Option<&str>) -> XstResult<String> {
+    let show_justified = match arg {
+        None => false,
+        Some("all") => true,
+        Some(other) => return Err(err(format!("usage: .lint [all], got '{other}'"))),
+    };
+    let root = workspace_root().ok_or_else(|| {
+        err("cannot locate the workspace root (no crates/ directory above the cwd)")
+    })?;
+    let report = xst_lint::run_lint(&root).map_err(|e| err(format!("lint: {e}")))?;
+    let mut s = String::new();
+    let mut by_rule: Vec<(&str, usize, usize)> = Vec::new(); // (rule, errors, justified)
+    for f in &report.findings {
+        match by_rule.iter_mut().find(|(r, _, _)| *r == f.rule) {
+            Some((_, e, j)) => {
+                *e += usize::from(!f.justified);
+                *j += usize::from(f.justified);
+            }
+            None => by_rule.push((&f.rule, usize::from(!f.justified), usize::from(f.justified))),
+        }
+    }
+    for (rule, errors, justified) in &by_rule {
+        let _ = writeln!(s, "{rule}: {errors} error(s), {justified} justified");
+    }
+    for f in &report.findings {
+        if !f.justified || show_justified {
+            let _ = writeln!(s, "{f}");
+        }
+    }
+    let _ = write!(
+        s,
+        "lint: {} file(s) checked, {} error(s), {} justified",
+        report.files_checked,
+        report.error_count(),
+        report.justified_count()
+    );
+    Ok(s)
+}
+
+/// Walk up from the current directory to the first one holding a
+/// `crates/` subdirectory; fall back to this crate's compile-time
+/// location (two levels under the workspace root).
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        if d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(std::path::Path::to_path_buf);
+    }
+    let fallback = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    fallback.join("crates").is_dir().then_some(fallback)
+}
+
 fn storage_err(e: xst_storage::StorageError) -> XstError {
     err(format!("storage: {e}"))
 }
@@ -1346,6 +1405,8 @@ commands:
 observability:
   .explain OP ...             optimize + execute, per-operator sig/time/rows tree
   .check OP ...               static analysis only: sig, emptiness, card, diagnostics
+  .lint [all]                 run the workspace static analyzer in-process
+                              (all: also list justified findings)
   .metrics [json|reset]       metrics exposition · JSON snapshot · zero all
   .trace on|off|show          collector switch · render collected spans
   .trace export               collected spans as xst-trace/1 JSON (non-draining)
@@ -1481,6 +1542,23 @@ mod tests {
         for cmd in [".explain", ".metrics", ".trace", ".store"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn lint_command_runs_the_analyzer_in_process() {
+        let mut s = Session::new();
+        let out = run(&mut s, ".lint");
+        // The tree is clean, so `.lint` reports zero errors and the
+        // per-rule summary plus the footer — no finding lines.
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("file(s) checked"), "{out}");
+        assert!(!out.contains("(justified)"), "{out}");
+        // `.lint all` additionally lists the documented exemptions.
+        let all = run(&mut s, ".lint all");
+        assert!(all.contains("(justified)"), "{all}");
+        assert!(all.contains("lock-across-io"), "{all}");
+        // Anything else is a usage error.
+        assert!(s.eval_line(".lint loud").is_err());
     }
 
     #[test]

@@ -429,6 +429,7 @@ impl ShardedEngine {
     /// decide). On `Err` every shard is clean: already-prepared shards
     /// are rolled back and unvalidated writes discarded.
     pub fn prepare_external(&self, txn: ShardedTxn, gtxn: u64) -> StorageResult<usize> {
+        // lint: lock-across-io: the commit lock serializes whole 2PC rounds — overlapping prepares on one participant would both pass validation (see TxnManager::prepare)
         let _commit = self.inner.commit_lock.lock();
         let mut txn = txn;
         txn.finished = true;
@@ -466,6 +467,7 @@ impl ShardedEngine {
     /// already durable, so this cannot veto; it errors only if `gtxn` is
     /// prepared nowhere (a protocol violation worth surfacing).
     pub fn commit_external(&self, gtxn: u64) -> StorageResult<CommitTs> {
+        // lint: lock-across-io: decision delivery runs under the round lock so publishes on every shard land before the next round's prepares validate
         let _commit = self.inner.commit_lock.lock();
         let mut ts = None;
         for shard in &self.inner.shards {
@@ -747,6 +749,7 @@ impl ShardedTxn {
         let timer = xst_obs::enabled().then(std::time::Instant::now);
         self.finished = true;
         let engine = self.engine.clone();
+        // lint: lock-across-io: the commit lock spans prepare, decision flush, and publish — the whole 2PC round must be one critical section for first-committer-wins
         let _commit = engine.inner.commit_lock.lock();
         let subs: Vec<Txn> = self.subs.iter_mut().filter_map(Option::take).collect();
         self.release_metrics();
@@ -852,6 +855,7 @@ fn commit_subs(engine: &ShardedEngine, subs: Vec<Txn>) -> StorageResult<CommitTs
                 // The decision flush: THE acknowledgement of the whole
                 // distributed transaction.
                 let decision = Record::new([Value::Int(gtxn as i64)]);
+                // lint: lock-across-io: the decisions table is only ever touched here, already under the round-wide commit lock; the temp guard spans exactly the flush
                 if let Err(e) = inner.decisions.lock().append_batch(&[decision]) {
                     prepare_err = Some(e);
                 }

@@ -612,6 +612,7 @@ impl TxnManager {
         begin_ts: CommitTs,
         writes: &BTreeMap<String, Vec<TxnOp>>,
     ) -> StorageResult<CommitTs> {
+        // lint: lock-across-io: group commit — the manager lock IS the commit order; the flush must happen inside it so acknowledged order equals publish order
         let mut inner = self.inner.lock();
         // Read-only transactions commit without a timestamp bump or a
         // flush — they wrote nothing, so there is nothing to make durable.
@@ -650,6 +651,7 @@ impl TxnManager {
         begin_ts: CommitTs,
         writes: BTreeMap<String, Vec<TxnOp>>,
     ) -> StorageResult<()> {
+        // lint: lock-across-io: prepare must validate and flush atomically — releasing the lock between them would let a racing prepare validate against unpublished state
         let mut inner = self.inner.lock();
         validate_writes(&inner, begin_ts, &writes)?;
         let mut batch: Vec<Record> = writes
@@ -670,6 +672,7 @@ impl TxnManager {
     /// Errors only on the invariant violations `Corrupt` covers — never
     /// on I/O.
     pub fn commit_prepared(&self, gtxn: u64) -> StorageResult<CommitTs> {
+        // lint: lock-across-io: the best-effort decision marker and the publish must be one critical section so recovery and readers agree on commit order
         let mut inner = self.inner.lock();
         let writes = inner
             .prepared

@@ -171,6 +171,7 @@ impl Wal {
     /// Stage one record payload without flushing. Staged frames are not
     /// durable — and not visible to [`Wal::records`] — until [`Wal::sync`]
     /// succeeds.
+    // lint: unnumbered-io: staging fills a volatile buffer — bytes only hit the device in sync(), which claims the fault site
     pub fn append_staged(&self, payload: &[u8]) {
         let timer = xst_obs::enabled().then(Instant::now);
         let len = (payload.len() as u32).to_le_bytes();
@@ -251,21 +252,25 @@ impl Wal {
     /// Discard staged-but-unflushed frames. This is what process death
     /// does to them, and what [`LoggedTable`] does after a failed flush so
     /// no later flush can resurrect an unacknowledged batch.
+    // lint: unnumbered-io: clears the volatile staging buffer — models process death, which no fault site can interrupt
     pub fn drop_staged(&self) {
         self.inner.lock().staged.clear();
     }
 
     /// Bytes staged but not yet flushed.
+    // lint: unnumbered-io: length accessor on the volatile staging buffer, no device bytes move
     pub fn staged_len(&self) -> usize {
         self.inner.lock().staged.len()
     }
 
     /// Total durable log bytes.
+    // lint: unnumbered-io: length accessor — reads no log bytes, so a crash here loses nothing
     pub fn len(&self) -> usize {
         self.inner.lock().durable.len()
     }
 
     /// True iff nothing durable has been logged.
+    // lint: unnumbered-io: emptiness accessor — reads no log bytes, so a crash here loses nothing
     pub fn is_empty(&self) -> bool {
         self.inner.lock().durable.is_empty()
     }
@@ -277,6 +282,7 @@ impl Wal {
     /// the replay at the last acknowledged batch, like a real recovery
     /// scan. A corrupt *middle* record — payload damage or a garbage
     /// length field — is an error, never a silent truncation.
+    // lint: unnumbered-io: recovery replay runs fault-free by design — the sweeps crash the writes that produced these bytes, not the scan that reads them back
     pub fn records(&self) -> StorageResult<Vec<Record>> {
         let inner = self.inner.lock();
         let mut slice: &[u8] = &inner.durable;
@@ -326,6 +332,7 @@ impl Wal {
     /// Simulate media corruption: XOR `mask` into the durable byte at
     /// `offset`. Unlike a torn tail this damages the *middle* of the log,
     /// which replay must report as corruption, never silently truncate.
+    // lint: unnumbered-io: test-only media-corruption injector — it IS the fault, not an operation a fault could interrupt
     pub fn flip_byte(&self, offset: usize, mask: u8) {
         let mut inner = self.inner.lock();
         if let Some(b) = inner.durable.get_mut(offset) {
@@ -334,6 +341,7 @@ impl Wal {
     }
 
     /// Simulate a torn tail: drop the final `n` durable bytes.
+    // lint: unnumbered-io: test-only torn-write injector — it IS the fault, not an operation a fault could interrupt
     pub fn tear(&self, n: usize) {
         let mut inner = self.inner.lock();
         let keep = inner.durable.len().saturating_sub(n);
@@ -342,6 +350,7 @@ impl Wal {
     }
 
     /// Wipe the log completely (durable bytes, staged bytes, checkpoint).
+    // lint: unnumbered-io: test-harness wipe that models a fresh disk; nothing durable exists afterwards for a fault to bite
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         inner.durable.clear();
@@ -378,6 +387,7 @@ impl Wal {
     }
 
     /// The last successfully recorded checkpoint, if any.
+    // lint: unnumbered-io: checkpoint metadata accessor — the mark itself is written by checkpoint_mark under a numbered site
     pub fn checkpoint(&self) -> Option<Checkpoint> {
         self.inner.lock().checkpoint
     }
